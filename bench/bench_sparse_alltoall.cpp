@@ -1,0 +1,120 @@
+/// @file bench_sparse_alltoall.cpp
+/// @brief Regenerates the §V-A sparse-exchange comparison: latency of a
+/// k-neighbor personalized exchange via (a) dense MPI_Alltoallv — linear in
+/// p, (b) the NBX sparse plugin — O(log p + k), (c) neighborhood collectives
+/// on a static topology, and (d) neighborhood collectives when the graph
+/// topology is rebuilt before every exchange (dynamic patterns).
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "kamping/plugins/sparse_alltoall.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using SparseComm = kamping::CommunicatorWith<kamping::plugin::SparseAlltoall>;
+
+constexpr int kReps = 6;
+constexpr int kPayload = 16;  // elements per neighbor message
+
+struct Times {
+    double dense = 0, sparse = 0, neighbor = 0, neighbor_rebuild = 0;
+};
+
+Times measure(int p, int degree) {
+    Times times;
+    xmpi::run(p, [&, p, degree](int rank) {
+        using namespace kamping;
+        SparseComm comm;
+        // k-regular ring-like pattern: rank r talks to r+1 .. r+degree.
+        std::unordered_map<int, std::vector<std::uint64_t>> messages;
+        std::vector<int> partners_out, partners_in;
+        for (int d = 1; d <= degree; ++d) {
+            int const to = (rank + d) % p;
+            messages[to].assign(kPayload, static_cast<std::uint64_t>(rank));
+            partners_out.push_back(to);
+            partners_in.push_back((rank - d + p) % p);
+        }
+
+        // (a) dense alltoallv
+        std::vector<std::uint64_t> flat;
+        std::vector<int> counts(static_cast<std::size_t>(p), 0);
+        for (int d = 1; d <= degree; ++d) counts[static_cast<std::size_t>((rank + d) % p)] = kPayload;
+        for (int i = 0; i < p; ++i) {
+            if (counts[static_cast<std::size_t>(i)] > 0)
+                flat.insert(flat.end(), kPayload, static_cast<std::uint64_t>(rank));
+        }
+        double t0 = xmpi::vtime_now();
+        for (int i = 0; i < kReps; ++i) {
+            auto r = comm.alltoallv(send_buf(flat), send_counts(counts));
+            (void)r;
+        }
+        double t1 = xmpi::vtime_now();
+        if (rank == 0) times.dense = (t1 - t0) / kReps;
+
+        // (b) NBX sparse
+        t0 = xmpi::vtime_now();
+        for (int i = 0; i < kReps; ++i) {
+            comm.alltoallv_sparse(messages, [](int, std::vector<std::uint64_t>&&) {});
+        }
+        t1 = xmpi::vtime_now();
+        if (rank == 0) times.sparse = (t1 - t0) / kReps;
+
+        // (c) neighborhood collective, static topology
+        MPI_Comm graph_comm = MPI_COMM_NULL;
+        MPI_Dist_graph_create_adjacent(MPI_COMM_WORLD, degree, partners_in.data(), nullptr, degree,
+                                       partners_out.data(), nullptr, MPI_INFO_NULL, 0,
+                                       &graph_comm);
+        std::vector<std::uint64_t> nsend(static_cast<std::size_t>(degree) * kPayload,
+                                         static_cast<std::uint64_t>(rank));
+        std::vector<std::uint64_t> nrecv(nsend.size());
+        t0 = xmpi::vtime_now();
+        for (int i = 0; i < kReps; ++i) {
+            MPI_Neighbor_alltoall(nsend.data(), kPayload, MPI_UINT64_T, nrecv.data(), kPayload,
+                                  MPI_UINT64_T, graph_comm);
+        }
+        t1 = xmpi::vtime_now();
+        if (rank == 0) times.neighbor = (t1 - t0) / kReps;
+        MPI_Comm_free(&graph_comm);
+
+        // (d) neighborhood collective with per-exchange topology rebuild
+        t0 = xmpi::vtime_now();
+        for (int i = 0; i < kReps; ++i) {
+            MPI_Comm gc = MPI_COMM_NULL;
+            MPI_Dist_graph_create_adjacent(MPI_COMM_WORLD, degree, partners_in.data(), nullptr,
+                                           degree, partners_out.data(), nullptr, MPI_INFO_NULL, 0,
+                                           &gc);
+            MPI_Neighbor_alltoall(nsend.data(), kPayload, MPI_UINT64_T, nrecv.data(), kPayload,
+                                  MPI_UINT64_T, gc);
+            MPI_Comm_free(&gc);
+        }
+        t1 = xmpi::vtime_now();
+        if (rank == 0) times.neighbor_rebuild = (t1 - t0) / kReps;
+    });
+    return times;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== §V-A: sparse personalized exchange latency (modeled, %d x uint64 per "
+                "neighbor) ===\n",
+                kPayload);
+    std::printf("%4s %7s %12s %12s %12s %16s\n", "p", "degree", "dense[us]", "nbx[us]",
+                "neighbor[us]", "nbr_rebuild[us]");
+    for (int p : {8, 16, 32}) {
+        for (int degree : {1, 2, 4, 8}) {
+            if (degree >= p) continue;
+            auto const t = measure(p, degree);
+            std::printf("%4d %7d %12.2f %12.2f %12.2f %16.2f\n", p, degree, t.dense * 1e6,
+                        t.sparse * 1e6, t.neighbor * 1e6, t.neighbor_rebuild * 1e6);
+        }
+    }
+    std::printf(
+        "\nShape check: dense grows ~linearly in p for fixed degree; NBX ~ log p + degree and is\n"
+        "only slightly slower than the static neighborhood collective; rebuilding the topology\n"
+        "before every exchange erases the neighborhood advantage (paper Fig. 10 discussion).\n");
+    return 0;
+}

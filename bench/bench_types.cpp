@@ -1,0 +1,112 @@
+/// @file bench_types.cpp
+/// @brief Regenerates the §III-D4 experiment ("towards sensible defaults for
+/// type construction"): communicating an array of padded structs as (a) the
+/// KaMPIng default — one contiguous block of bytes, (b) a proper MPI struct
+/// type that skips the alignment gaps, and (c) explicit serialization.
+///
+/// Expected shape (paper §III-D4): contiguous bytes fastest (block copy);
+/// the struct type pays for gap-skipping pack/unpack; serialization incurs a
+/// clearly non-negligible overhead — the reason KaMPIng keeps it opt-in.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+/// A struct with alignment gaps, as in the paper's discussion.
+struct Padded {
+    char tag;
+    // 7 bytes of padding
+    double value;
+    int id;
+    // 4 bytes of padding
+};
+static_assert(sizeof(Padded) == 24);
+
+constexpr int kInner = 30;
+
+template <typename Op>
+void drive(benchmark::State& state, Op&& op) {
+    for (auto _ : state) {
+        double elapsed = 0;
+        xmpi::run(2, [&](int rank) {
+            op(rank);  // warmup
+            auto const t0 = std::chrono::steady_clock::now();
+            for (int i = 0; i < kInner; ++i) op(rank);
+            auto const t1 = std::chrono::steady_clock::now();
+            if (rank == 0) elapsed = std::chrono::duration<double>(t1 - t0).count() / kInner;
+        });
+        state.SetIterationTime(elapsed);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) *
+                            static_cast<std::int64_t>(sizeof(Padded)));
+}
+
+/// (a) KaMPIng default: trivially copyable -> contiguous bytes (this is what
+/// mpi_datatype<Padded>() resolves to).
+void BM_pingpong_contiguous_bytes(benchmark::State& state) {
+    auto const n = static_cast<int>(state.range(0));
+    drive(state, [n](int rank) {
+        std::vector<Padded> buf(static_cast<std::size_t>(n), Padded{'x', 1.5, 7});
+        if (rank == 0) {
+            MPI_Send(buf.data(), n, kamping::mpi_datatype<Padded>(), 1, 0, MPI_COMM_WORLD);
+            MPI_Recv(buf.data(), n, kamping::mpi_datatype<Padded>(), 1, 0, MPI_COMM_WORLD,
+                     MPI_STATUS_IGNORE);
+        } else {
+            MPI_Recv(buf.data(), n, kamping::mpi_datatype<Padded>(), 0, 0, MPI_COMM_WORLD,
+                     MPI_STATUS_IGNORE);
+            MPI_Send(buf.data(), n, kamping::mpi_datatype<Padded>(), 0, 0, MPI_COMM_WORLD);
+        }
+        benchmark::DoNotOptimize(buf.data());
+    });
+}
+BENCHMARK(BM_pingpong_contiguous_bytes)->Arg(64)->Arg(4096)->Arg(65536)->UseManualTime()->MinTime(0.05);
+
+/// (b) MPI struct type with gap skipping (what the standard suggests).
+void BM_pingpong_struct_type(benchmark::State& state) {
+    auto const n = static_cast<int>(state.range(0));
+    drive(state, [n](int rank) {
+        static MPI_Datatype const struct_type = [] {
+            MPI_Datatype t = kamping::struct_type<Padded>::data_type();
+            MPI_Type_commit(&t);
+            return t;
+        }();
+        std::vector<Padded> buf(static_cast<std::size_t>(n), Padded{'x', 1.5, 7});
+        if (rank == 0) {
+            MPI_Send(buf.data(), n, struct_type, 1, 0, MPI_COMM_WORLD);
+            MPI_Recv(buf.data(), n, struct_type, 1, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+        } else {
+            MPI_Recv(buf.data(), n, struct_type, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+            MPI_Send(buf.data(), n, struct_type, 0, 0, MPI_COMM_WORLD);
+        }
+        benchmark::DoNotOptimize(buf.data());
+    });
+}
+BENCHMARK(BM_pingpong_struct_type)->Arg(64)->Arg(4096)->Arg(65536)->UseManualTime()->MinTime(0.05);
+
+/// (c) Explicit serialization (as_serialized / as_deserializable).
+void BM_pingpong_serialized(benchmark::State& state) {
+    auto const n = static_cast<std::size_t>(state.range(0));
+    drive(state, [n](int rank) {
+        using namespace kamping;
+        Communicator comm;
+        std::vector<double> buf(n * 3, 1.5);  // same payload volume
+        if (rank == 0) {
+            comm.send(send_buf(as_serialized(buf)), destination(1));
+            buf = comm.recv(recv_buf(as_deserializable<std::vector<double>>()));
+        } else {
+            auto got = comm.recv(recv_buf(as_deserializable<std::vector<double>>()));
+            comm.send(send_buf(as_serialized(got)), destination(0));
+        }
+        benchmark::DoNotOptimize(buf.data());
+    });
+}
+BENCHMARK(BM_pingpong_serialized)->Arg(64)->Arg(4096)->Arg(65536)->UseManualTime()->MinTime(0.05);
+
+}  // namespace
+
+BENCHMARK_MAIN();

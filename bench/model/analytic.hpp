@@ -1,0 +1,89 @@
+/// @file analytic.hpp
+/// @brief Closed-form cost model used to extrapolate the figure sweeps to
+/// the paper's largest scales (up to 2^14 ranks), where running one thread
+/// per rank is infeasible on a laptop-class host. The formulas price the
+/// exact message patterns the xmpi collectives implement (DESIGN.md §2), so
+/// small-p modeled measurements and the analytic curves line up.
+#pragma once
+
+#include <cmath>
+
+namespace bench::model {
+
+/// LogP-style machine parameters; defaults match xmpi::Config.
+struct Machine {
+    double alpha = 2e-6;   ///< per-message latency [s]
+    double beta = 8e-10;   ///< per-byte cost [s/B]
+    double o = 2e-7;       ///< sender overhead per message [s]
+    double compute_rate = 2.5e8;  ///< elements/s for local sort-like work
+};
+
+inline double log2d(double x) { return std::log2(x); }
+
+/// Pairwise-exchange alltoallv: p-1 rounds, total volume `bytes` per rank.
+inline double alltoallv(Machine const& m, double p, double bytes_per_rank) {
+    return (p - 1) * (m.alpha + m.o) + m.beta * bytes_per_rank;
+}
+
+/// Recursive-doubling allgather of `bytes` per rank.
+inline double allgather(Machine const& m, double p, double bytes_per_rank) {
+    return log2d(p) * (m.alpha + m.o) + m.beta * bytes_per_rank * (p - 1);
+}
+
+/// Dissemination barrier / small allreduce.
+inline double allreduce_small(Machine const& m, double p) {
+    return log2d(p) * 2 * (m.alpha + m.o);
+}
+
+/// NBX sparse exchange with out-degree k and `bytes` total payload:
+/// issends + probe drain + non-blocking barrier.
+inline double sparse_alltoallv(Machine const& m, double p, double k, double bytes) {
+    return k * (m.alpha + m.o) + m.beta * bytes + 2 * log2d(p) * (m.alpha + m.o);
+}
+
+/// Two-hop grid alltoallv: 2*(sqrt(p)-1) messages, twice the volume, plus
+/// the count exchanges within rows/columns.
+inline double grid_alltoallv(Machine const& m, double p, double bytes) {
+    double const s = std::sqrt(p);
+    return 4 * (s - 1) * (m.alpha + m.o) + 2 * m.beta * bytes;
+}
+
+/// Neighborhood alltoallv with degree k (static topology).
+inline double neighbor_alltoallv(Machine const& m, double k, double bytes) {
+    return 2 * k * (m.alpha + m.o) + m.beta * bytes;
+}
+
+/// Fig. 8: sample sort of n elements/rank of `elem_bytes` each.
+/// Phases: local sample + allgatherv of samples, local sort, pairwise
+/// alltoallv of all data, final merge/sort.
+inline double sample_sort(Machine const& m, double p, double n, double elem_bytes) {
+    double const samples = 16 * log2d(p) + 1;
+    double const sort_local = n * log2d(std::max(2.0, n)) / m.compute_rate;
+    return allgather(m, p, samples * elem_bytes)       // sample exchange
+           + samples * p * log2d(samples * p) / m.compute_rate  // sort samples
+           + sort_local                                 // local sort
+           + alltoallv(m, p, n * elem_bytes)            // bucket exchange
+           + sort_local;                                // final sort
+}
+
+/// Fig. 10: one BFS level exchanging `frontier_bytes` to `partners` ranks,
+/// for each exchange algorithm. A full BFS is the sum over its levels; for
+/// the shape comparison we report the per-level cost times the expected
+/// number of levels (diameter).
+struct BfsLevel {
+    double alltoallv;
+    double neighbor;
+    double sparse;
+    double grid;
+};
+
+inline BfsLevel bfs_level(Machine const& m, double p, double partners, double frontier_bytes) {
+    BfsLevel r{};
+    r.alltoallv = alltoallv(m, p, frontier_bytes) + allreduce_small(m, p);
+    r.neighbor = neighbor_alltoallv(m, partners, frontier_bytes) + allreduce_small(m, p);
+    r.sparse = sparse_alltoallv(m, p, partners, frontier_bytes) + allreduce_small(m, p);
+    r.grid = grid_alltoallv(m, p, frontier_bytes) + allreduce_small(m, p);
+    return r;
+}
+
+}  // namespace bench::model

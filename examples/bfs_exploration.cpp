@@ -1,0 +1,56 @@
+/// @file bfs_exploration.cpp
+/// @brief Distributed BFS (paper Fig. 9/10) over the three generated graph
+/// families, comparing the exchange strategies: built-in alltoallv, sparse
+/// NBX, 2D grid and neighborhood collectives.
+#include <cstdio>
+#include <vector>
+
+#include "apps/bfs/bfs_kamping.hpp"
+#include "apps/bfs/bfs_mpi.hpp"
+#include "apps/bfs/bfs_variants.hpp"
+#include "kagen/kagen.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+template <typename BfsFn>
+void run_bfs(char const* graph, char const* variant, BfsFn fn, int p) {
+    auto result = xmpi::run(p, [&](int) {
+        kamping::Communicator comm;
+        kagen::Graph g;
+        if (graph[0] == 'g') {
+            g = kagen::generate_gnm(comm, 1 << 10, 1 << 12, 42);
+        } else if (graph[0] == 'r') {
+            g = kagen::generate_rgg2d(comm, 1 << 10, 8.0, 42);
+        } else {
+            g = kagen::generate_plg(comm, 1 << 10, 1 << 12, 2.8, 42);
+        }
+        double const t0 = xmpi::vtime_now();
+        auto dist = fn(g, 0, MPI_COMM_WORLD);
+        double const t1 = xmpi::vtime_now();
+        std::size_t reached = 0;
+        for (auto d : dist) reached += d != apps::bfs::undef ? 1 : 0;
+        if (comm.rank() == 0) {
+            std::printf("  %-6s %-16s bfs time %8.3f ms, %5zu/%u local vertices reached\n", graph,
+                        variant, (t1 - t0) * 1e3, reached, 1u << 10);
+        }
+    });
+    (void)result;
+}
+
+}  // namespace
+
+int main() {
+    int const p = 8;
+    std::printf("bfs_exploration: 2^10 vertices per rank on %d ranks\n", p);
+    for (char const* graph : {"gnm", "rgg2d", "plg"}) {
+        run_bfs(graph, "alltoallv", &apps::bfs::mpi::bfs, p);
+        run_bfs(graph, "kamping", &apps::bfs::kamping_impl::bfs, p);
+        run_bfs(graph, "sparse(nbx)", &apps::bfs::kamping_sparse::bfs, p);
+        run_bfs(graph, "grid", &apps::bfs::kamping_grid::bfs, p);
+        run_bfs(graph, "neighbor", [](auto const& g, auto s, MPI_Comm c) {
+            return apps::bfs::mpi_neighbor::bfs(g, s, c, false);
+        }, p);
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+/// @file quickstart.cpp
+/// @brief Tour of the KaMPIng-style API (paper Fig. 1): sensible defaults,
+/// named parameters, out-parameters with structured bindings, in-place
+/// calls, reductions with STL functors and lambdas, and non-blocking safety.
+///
+/// The program runs 4 MPI ranks inside this process (threads-as-ranks; see
+/// DESIGN.md) — no mpirun needed.
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "xmpi/xmpi.hpp"
+
+int main() {
+    using namespace kamping;
+    auto result = xmpi::run(4, [](int rank) {
+        Communicator comm;
+
+        // (1) The one-liner from the paper's Fig. 1: allgather a vector of
+        // varying size; counts, displacements and buffer sizing inferred.
+        std::vector<double> v(static_cast<std::size_t>(rank) + 1, rank + 0.5);
+        auto v_global = comm.allgatherv(send_buf(v));
+
+        // (2) Full control: request the receive counts and displacements as
+        // out-parameters and decompose the result with structured bindings.
+        std::vector<int> rc;
+        auto [v_global2, rcounts, rdispls] = comm.allgatherv(
+            send_buf(v), recv_counts_out<resize_to_fit>(std::move(rc)), recv_displs_out());
+
+        // (3) In-place allgather with move semantics (paper §III-G).
+        std::vector<int> table(comm.size());
+        table[comm.rank()] = rank * rank;
+        table = comm.allgather(send_recv_buf(std::move(table)));
+
+        // (4) Reductions: STL functors map to MPI built-ins, lambdas become
+        // custom operations.
+        int const sum = comm.allreduce_single(send_buf(rank + 1), op(std::plus<>{}));
+        int const weird = comm.allreduce_single(
+            send_buf(rank + 1), op([](int a, int b) { return a ^ b; }, ops::commutative));
+
+        // (5) Non-blocking safety (paper Fig. 6): the moved-in buffer is
+        // inaccessible until the operation completed; wait() hands it back.
+        std::vector<int> payload{rank, rank + 10};
+        auto r1 = comm.isend(send_buf_out(std::move(payload)), destination((rank + 1) % 4), tag(1));
+        auto r2 = comm.irecv<int>(recv_count(2), source((rank + 3) % 4), tag(1));
+        std::vector<int> received = r2.wait();
+        payload = r1.wait();  // moved back to the caller after completion
+
+        if (rank == 0) {
+            std::printf("quickstart: global vector has %zu elements\n", v_global.size());
+            std::printf("quickstart: recv_counts =");
+            for (int c : rcounts) std::printf(" %d", c);
+            std::printf("; displs[3] = %d\n", rdispls[3]);
+            std::printf("quickstart: allgathered squares:");
+            for (int t : table) std::printf(" %d", t);
+            std::printf("\nquickstart: sum(1..4) = %d, xor-reduce = %d\n", sum, weird);
+            std::printf("quickstart: got {%d, %d} from rank 3\n", received[0], received[1]);
+        }
+    });
+    std::printf("quickstart: modeled parallel time %.2f us, %llu messages\n",
+                result.max_vtime * 1e6,
+                static_cast<unsigned long long>(result.total.p2p_messages +
+                                                result.total.coll_messages));
+    return 0;
+}

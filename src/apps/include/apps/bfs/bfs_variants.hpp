@@ -1,0 +1,275 @@
+/// @file bfs_variants.hpp
+/// @brief The remaining BFS frontier-exchange variants of paper Fig. 10 and
+/// Table I: KaMPIng sparse (NBX), KaMPIng grid, MPI neighborhood collectives
+/// (static topology or rebuilt per step to model dynamic patterns), and the
+/// Boost.MPI-/RWTH-/MPL-style implementations.
+#pragma once
+
+#include <numeric>
+
+#include "apps/bfs/common.hpp"
+#include "baselines/boostmpi_like.hpp"
+#include "baselines/mpl_like.hpp"
+#include "baselines/rwth_like.hpp"
+#include "kamping/kamping.hpp"
+#include "kamping/plugins/grid_alltoall.hpp"
+#include "kamping/plugins/sparse_alltoall.hpp"
+
+namespace apps::bfs {
+
+// ---------------------------------------------------------------------------
+// KaMPIng sparse all-to-all (NBX plugin)
+// ---------------------------------------------------------------------------
+namespace kamping_sparse {
+
+using Comm = kamping::CommunicatorWith<kamping::plugin::SparseAlltoall>;
+
+inline std::vector<std::size_t> bfs(Graph const& g, VId s, MPI_Comm comm_) {
+    using namespace kamping;
+    Comm comm(comm_);
+    VBuf frontier;
+    if (g.is_local(s)) frontier.push_back(s);
+    std::vector<std::size_t> dist(g.local_n(), undef);
+    std::size_t level = 0;
+    while (!comm.allreduce_single(send_buf(frontier.empty()), op(std::logical_and<>{}))) {
+        auto next = expand_frontier(g, frontier, dist, level);
+        frontier.clear();
+        comm.alltoallv_sparse(next, [&](int /*source*/, VBuf&& payload) {
+            frontier.insert(frontier.end(), payload.begin(), payload.end());
+        });
+        ++level;
+    }
+    return dist;
+}
+
+}  // namespace kamping_sparse
+
+// ---------------------------------------------------------------------------
+// KaMPIng grid all-to-all (2D grid plugin)
+// ---------------------------------------------------------------------------
+namespace kamping_grid {
+
+using Comm = kamping::CommunicatorWith<kamping::plugin::GridAlltoall>;
+
+inline std::vector<std::size_t> bfs(Graph const& g, VId s, MPI_Comm comm_) {
+    using namespace kamping;
+    Comm comm(comm_);
+    VBuf frontier;
+    if (g.is_local(s)) frontier.push_back(s);
+    std::vector<std::size_t> dist(g.local_n(), undef);
+    std::size_t level = 0;
+    while (!comm.allreduce_single(send_buf(frontier.empty()), op(std::logical_and<>{}))) {
+        auto next = expand_frontier(g, frontier, dist, level);
+        auto [data, counts] = flatten(next, comm.size());
+        frontier = comm.alltoallv_grid(data, counts).data;
+        ++level;
+    }
+    return dist;
+}
+
+}  // namespace kamping_grid
+
+// ---------------------------------------------------------------------------
+// MPI neighborhood collectives. The communication graph contains every rank
+// that owns a neighbor of a local vertex. With `rebuild_each_level`, the
+// topology communicator is re-created before every exchange, modelling
+// dynamically changing communication patterns (paper §V-A).
+// ---------------------------------------------------------------------------
+namespace mpi_neighbor {
+
+inline std::vector<int> comm_partners(Graph const& g) {
+    std::vector<char> partner(static_cast<std::size_t>(g.global_n / g.vertices_per_rank), 0);
+    for (std::size_t lv = 0; lv < g.local_n(); ++lv) {
+        auto const [begin, end] = g.neighbors(lv);
+        for (auto it = begin; it != end; ++it)
+            partner[static_cast<std::size_t>(g.owner(*it))] = 1;
+    }
+    std::vector<int> out;
+    for (std::size_t r = 0; r < partner.size(); ++r) {
+        if (partner[r] != 0) out.push_back(static_cast<int>(r));
+    }
+    return out;
+}
+
+inline MPI_Comm build_topology(Graph const& g, MPI_Comm comm, std::vector<int> const& partners) {
+    MPI_Comm graph_comm = MPI_COMM_NULL;
+    MPI_Dist_graph_create_adjacent(comm, static_cast<int>(partners.size()), partners.data(),
+                                   nullptr, static_cast<int>(partners.size()), partners.data(),
+                                   nullptr, MPI_INFO_NULL, 0, &graph_comm);
+    return graph_comm;
+}
+
+inline VBuf exchange_frontier(std::unordered_map<int, VBuf> const& next, MPI_Comm graph_comm,
+                     std::vector<int> const& partners) {
+    std::size_t const deg = partners.size();
+    std::vector<int> scounts(deg, 0), sdispls(deg, 0);
+    VBuf data;
+    for (std::size_t j = 0; j < deg; ++j) {
+        sdispls[j] = static_cast<int>(data.size());
+        auto it = next.find(partners[j]);
+        if (it != next.end()) {
+            scounts[j] = static_cast<int>(it->second.size());
+            data.insert(data.end(), it->second.begin(), it->second.end());
+        }
+    }
+    // Counts travel over the same neighborhood collective.
+    std::vector<int> rcounts(deg, 0);
+    MPI_Neighbor_alltoall(scounts.data(), 1, MPI_INT, rcounts.data(), 1, MPI_INT, graph_comm);
+    std::vector<int> rdispls(deg, 0);
+    std::exclusive_scan(rcounts.begin(), rcounts.end(), rdispls.begin(), 0);
+    VBuf received(deg == 0 ? 0 : static_cast<std::size_t>(rdispls.back() + rcounts.back()));
+    MPI_Neighbor_alltoallv(data.data(), scounts.data(), sdispls.data(),
+                           kamping::mpi_datatype<VId>(), received.data(), rcounts.data(),
+                           rdispls.data(), kamping::mpi_datatype<VId>(), graph_comm);
+    return received;
+}
+
+inline std::vector<std::size_t> bfs(Graph const& g, VId s, MPI_Comm comm,
+                                    bool rebuild_each_level = false) {
+    auto const partners = comm_partners(g);
+    MPI_Comm graph_comm = build_topology(g, comm, partners);
+    VBuf frontier;
+    if (g.is_local(s)) frontier.push_back(s);
+    std::vector<std::size_t> dist(g.local_n(), undef);
+    std::size_t level = 0;
+    int empty = 0;
+    for (;;) {
+        int const mine = frontier.empty() ? 1 : 0;
+        MPI_Allreduce(&mine, &empty, 1, MPI_INT, MPI_LAND, comm);
+        if (empty != 0) break;
+        auto next = expand_frontier(g, frontier, dist, level);
+        if (rebuild_each_level) {
+            MPI_Comm_free(&graph_comm);
+            graph_comm = build_topology(g, comm, partners);
+        }
+        frontier = exchange_frontier(next, graph_comm, partners);
+        ++level;
+    }
+    MPI_Comm_free(&graph_comm);
+    return dist;
+}
+
+}  // namespace mpi_neighbor
+
+// ---------------------------------------------------------------------------
+// Boost.MPI-style (Table I) — all_to_all of vectors with serialization.
+// ---------------------------------------------------------------------------
+namespace boost_impl {
+
+// LOC-COUNT-BEGIN (Table I: BFS, Boost.MPI)
+inline bool is_empty(VBuf const& frontier, boostmpi::communicator const& comm) {
+    return boostmpi::all_reduce(comm, frontier.empty() ? 1 : 0, std::logical_and<>{}) != 0;
+}
+
+inline VBuf exchange_frontier(std::unordered_map<int, VBuf> const& next,
+                     boostmpi::communicator const& comm) {
+    std::size_t const p = static_cast<std::size_t>(comm.size());
+    std::vector<VBuf> out_msgs(p);
+    for (auto const& [dest, msg] : next) out_msgs[static_cast<std::size_t>(dest)] = msg;
+    std::vector<VBuf> in_msgs;
+    boostmpi::all_to_all(comm, out_msgs, in_msgs);
+    VBuf received;
+    for (auto& msg : in_msgs) received.insert(received.end(), msg.begin(), msg.end());
+    return received;
+}
+
+inline std::vector<std::size_t> bfs(Graph const& g, VId s, MPI_Comm comm_) {
+    boostmpi::communicator comm(comm_);
+    VBuf frontier;
+    if (g.is_local(s)) frontier.push_back(s);
+    std::vector<std::size_t> dist(g.local_n(), undef);
+    std::size_t level = 0;
+    while (!is_empty(frontier, comm)) {
+        auto next = expand_frontier(g, frontier, dist, level);
+        frontier = exchange_frontier(next, comm);
+        ++level;
+    }
+    return dist;
+}
+// LOC-COUNT-END
+
+}  // namespace boost_impl
+
+// ---------------------------------------------------------------------------
+// RWTH-MPI-style (Table I) — container overloads, internal count exchange.
+// ---------------------------------------------------------------------------
+namespace rwth_impl {
+
+// LOC-COUNT-BEGIN (Table I: BFS, RWTH-MPI)
+inline bool is_empty(VBuf const& frontier, rwth::communicator const& comm) {
+    return comm.all_reduce(frontier.empty() ? 1 : 0, std::logical_and<>{}) != 0;
+}
+
+inline VBuf exchange_frontier(std::unordered_map<int, VBuf> const& next, rwth::communicator const& comm) {
+    auto [data, counts] = flatten(next, static_cast<std::size_t>(comm.size()));
+    return comm.all_to_all_varying(data, counts);
+}
+
+inline std::vector<std::size_t> bfs(Graph const& g, VId s, MPI_Comm comm_) {
+    rwth::communicator comm(comm_);
+    VBuf frontier;
+    if (g.is_local(s)) frontier.push_back(s);
+    std::vector<std::size_t> dist(g.local_n(), undef);
+    std::size_t level = 0;
+    while (!is_empty(frontier, comm)) {
+        auto next = expand_frontier(g, frontier, dist, level);
+        frontier = exchange_frontier(next, comm);
+        ++level;
+    }
+    return dist;
+}
+// LOC-COUNT-END
+
+}  // namespace rwth_impl
+
+// ---------------------------------------------------------------------------
+// MPL-style (Table I) — explicit layouts, alltoallw underneath.
+// ---------------------------------------------------------------------------
+namespace mpl_impl {
+
+// LOC-COUNT-BEGIN (Table I: BFS, MPL)
+inline bool is_empty(VBuf const& frontier, mpl::communicator const& comm) {
+    int all = 0;
+    comm.allreduce(std::logical_and<>{}, frontier.empty() ? 1 : 0, all);
+    return all != 0;
+}
+
+inline VBuf exchange_frontier(std::unordered_map<int, VBuf> const& next, mpl::communicator const& comm) {
+    std::size_t const p = static_cast<std::size_t>(comm.size());
+    auto [data, scounts] = flatten(next, p);
+    std::vector<int> rcounts(p);
+    comm.alltoall(scounts.data(), rcounts.data());
+    mpl::layouts<VId> slayouts(static_cast<int>(p)), rlayouts(static_cast<int>(p));
+    mpl::displacements sdispls(p), rdispls(p);
+    MPI_Aint soff = 0, roff = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+        slayouts[static_cast<int>(i)] = mpl::contiguous_layout<VId>(scounts[i]);
+        rlayouts[static_cast<int>(i)] = mpl::contiguous_layout<VId>(rcounts[i]);
+        sdispls[i] = soff;
+        rdispls[i] = roff;
+        soff += scounts[i];
+        roff += rcounts[i];
+    }
+    VBuf received(static_cast<std::size_t>(roff));
+    comm.alltoallv(data.data(), slayouts, sdispls, received.data(), rlayouts, rdispls);
+    return received;
+}
+
+inline std::vector<std::size_t> bfs(Graph const& g, VId s, MPI_Comm comm_) {
+    mpl::communicator comm(comm_);
+    VBuf frontier;
+    if (g.is_local(s)) frontier.push_back(s);
+    std::vector<std::size_t> dist(g.local_n(), undef);
+    std::size_t level = 0;
+    while (!is_empty(frontier, comm)) {
+        auto next = expand_frontier(g, frontier, dist, level);
+        frontier = exchange_frontier(next, comm);
+        ++level;
+    }
+    return dist;
+}
+// LOC-COUNT-END
+
+}  // namespace mpl_impl
+
+}  // namespace apps::bfs

@@ -1,0 +1,56 @@
+/// @file common.hpp
+/// @brief Shared parts of the distributed BFS (paper Fig. 9): the graph is
+/// distributed with each rank holding a subset of vertices and their
+/// incident edges; the per-level frontier expansion is binding-independent.
+/// The implementations differ only in the frontier exchange and completion
+/// logic — exactly the part Table I counts.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "kagen/kagen.hpp"
+
+namespace apps::bfs {
+
+using VId = kagen::VertexId;
+using VBuf = std::vector<VId>;
+using Graph = kagen::Graph;
+
+inline constexpr std::size_t undef = std::numeric_limits<std::size_t>::max();
+
+/// Expands the current frontier: marks newly reached local vertices with
+/// `level` and groups their unvisited neighbors by owner rank.
+inline std::unordered_map<int, VBuf> expand_frontier(Graph const& g, VBuf const& frontier,
+                                                     std::vector<std::size_t>& dist,
+                                                     std::size_t level) {
+    std::unordered_map<int, VBuf> next;
+    for (VId const u : frontier) {
+        std::size_t const lu = g.to_local(u);
+        if (dist[lu] != undef) continue;
+        dist[lu] = level;
+        auto const [begin, end] = g.neighbors(lu);
+        for (auto it = begin; it != end; ++it) {
+            next[g.owner(*it)].push_back(*it);
+        }
+    }
+    return next;
+}
+
+/// Flattens an owner→vertices map into (data ordered by rank, counts).
+inline std::pair<VBuf, std::vector<int>> flatten(std::unordered_map<int, VBuf> const& messages,
+                                                 std::size_t comm_size) {
+    VBuf data;
+    std::vector<int> counts(comm_size, 0);
+    for (std::size_t r = 0; r < comm_size; ++r) {
+        auto it = messages.find(static_cast<int>(r));
+        if (it == messages.end()) continue;
+        counts[r] = static_cast<int>(it->second.size());
+        data.insert(data.end(), it->second.begin(), it->second.end());
+    }
+    return {std::move(data), std::move(counts)};
+}
+
+}  // namespace apps::bfs

@@ -1,0 +1,66 @@
+/// @file common.hpp
+/// @brief Shared, binding-independent parts of the distributed sample sort
+/// (paper §IV-A): sampling, splitter selection and bucket construction are
+/// identical across all five implementations; only the communication code
+/// differs (and is what Table I counts).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <random>
+#include <vector>
+
+namespace apps::sortutil {
+
+/// Number of local samples used by the paper's sample sort (Fig. 7).
+inline std::size_t num_samples_for(std::size_t comm_size) {
+    return 16 * static_cast<std::size_t>(std::log2(static_cast<double>(comm_size))) + 1;
+}
+
+/// Draws `count` random local samples (deterministic per rank).
+template <typename T>
+std::vector<T> draw_samples(std::vector<T> const& data, std::size_t count, int rank) {
+    std::vector<T> samples;
+    samples.reserve(count);
+    std::mt19937_64 gen(1234567 + static_cast<unsigned>(rank));
+    if (data.empty()) return samples;
+    std::uniform_int_distribution<std::size_t> pick(0, data.size() - 1);
+    for (std::size_t i = 0; i < count; ++i) samples.push_back(data[pick(gen)]);
+    return samples;
+}
+
+/// Picks p-1 equidistant splitters from the (sorted) global sample.
+template <typename T>
+std::vector<T> pick_splitters(std::vector<T> const& sorted_samples, std::size_t comm_size) {
+    std::vector<T> splitters;
+    if (sorted_samples.empty()) return splitters;
+    splitters.reserve(comm_size - 1);
+    for (std::size_t i = 1; i < comm_size; ++i) {
+        splitters.push_back(
+            sorted_samples[std::min(sorted_samples.size() - 1,
+                                    i * sorted_samples.size() / comm_size)]);
+    }
+    return splitters;
+}
+
+/// Sorts `data` locally and computes per-bucket element counts with respect
+/// to the splitters; data afterwards is the bucket concatenation.
+template <typename T>
+std::vector<int> build_buckets(std::vector<T>& data, std::vector<T> const& splitters,
+                               std::size_t comm_size) {
+    std::sort(data.begin(), data.end());
+    std::vector<int> counts(comm_size, 0);
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i < splitters.size(); ++i) {
+        auto it = std::upper_bound(data.begin() + static_cast<std::ptrdiff_t>(begin), data.end(),
+                                   splitters[i]);
+        std::size_t const end = static_cast<std::size_t>(it - data.begin());
+        counts[i] = static_cast<int>(end - begin);
+        begin = end;
+    }
+    counts[comm_size - 1] = static_cast<int>(data.size() - begin);
+    return counts;
+}
+
+}  // namespace apps::sortutil

@@ -1,0 +1,41 @@
+/// @file sort_boost.hpp
+/// @brief Sample sort on the Boost.MPI-style bindings. Boost.MPI has no
+/// MPI_Alltoallv binding (paper §II), so the bucket exchange goes through
+/// all_to_all of vectors — with implicit per-vector serialization.
+#pragma once
+
+#include <vector>
+
+#include "apps/sample_sort/common.hpp"
+#include "baselines/boostmpi_like.hpp"
+
+namespace apps::boost_impl {
+
+// LOC-COUNT-BEGIN (Table I: sample sort, Boost.MPI)
+template <typename T>
+void sort(std::vector<T>& data, MPI_Comm comm_) {
+    boostmpi::communicator comm(comm_);
+    std::size_t const p = static_cast<std::size_t>(comm.size());
+    std::size_t const num_samples = sortutil::num_samples_for(p);
+    std::vector<T> lsamples = sortutil::draw_samples(data, num_samples, comm.rank());
+    std::vector<T> gsamples;
+    boostmpi::all_gatherv(comm, lsamples, gsamples);
+    std::sort(gsamples.begin(), gsamples.end());
+    std::vector<T> splitters = sortutil::pick_splitters(gsamples, p);
+    std::vector<int> scounts = sortutil::build_buckets(data, splitters, p);
+    std::vector<std::vector<T>> out_msgs(p);
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+        out_msgs[i].assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                           data.begin() + static_cast<std::ptrdiff_t>(offset) + scounts[i]);
+        offset += static_cast<std::size_t>(scounts[i]);
+    }
+    std::vector<std::vector<T>> in_msgs;
+    boostmpi::all_to_all(comm, out_msgs, in_msgs);
+    data.clear();
+    for (auto& msg : in_msgs) data.insert(data.end(), msg.begin(), msg.end());
+    std::sort(data.begin(), data.end());
+}
+// LOC-COUNT-END
+
+}  // namespace apps::boost_impl

@@ -1,0 +1,29 @@
+/// @file sort_kamping.hpp
+/// @brief Sample sort on KaMPIng (paper Fig. 7): the communication part is a
+/// handful of named-parameter one-liners.
+#pragma once
+
+#include <vector>
+
+#include "apps/sample_sort/common.hpp"
+#include "kamping/kamping.hpp"
+
+namespace apps::kamping_impl {
+
+// LOC-COUNT-BEGIN (Table I: sample sort, KaMPIng)
+template <typename T>
+void sort(std::vector<T>& data, MPI_Comm comm_) {
+    using namespace kamping;
+    Communicator comm(comm_);
+    std::size_t const num_samples = sortutil::num_samples_for(comm.size());
+    std::vector<T> lsamples = sortutil::draw_samples(data, num_samples, comm.rank_signed());
+    auto gsamples = comm.allgather(send_buf(lsamples));
+    std::sort(gsamples.begin(), gsamples.end());
+    std::vector<T> splitters = sortutil::pick_splitters(gsamples, comm.size());
+    std::vector<int> scounts = sortutil::build_buckets(data, splitters, comm.size());
+    data = comm.alltoallv(send_buf(std::move(data)), send_counts(scounts));
+    std::sort(data.begin(), data.end());
+}
+// LOC-COUNT-END
+
+}  // namespace apps::kamping_impl

@@ -1,0 +1,47 @@
+/// @file sort_mpi.hpp
+/// @brief Sample sort, communication written against the plain MPI C
+/// interface (the paper's baseline, 32 LoC of communication code).
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "apps/sample_sort/common.hpp"
+#include "kamping/mpi_datatype.hpp"
+#include "xmpi/mpi.h"
+
+namespace apps::mpi {
+
+// LOC-COUNT-BEGIN (Table I: sample sort, MPI)
+template <typename T>
+void sort(std::vector<T>& data, MPI_Comm comm) {
+    int size_i = 0, rank = 0;
+    MPI_Comm_size(comm, &size_i);
+    MPI_Comm_rank(comm, &rank);
+    std::size_t const p = static_cast<std::size_t>(size_i);
+    std::size_t const num_samples = sortutil::num_samples_for(p);
+    std::vector<T> lsamples = sortutil::draw_samples(data, num_samples, rank);
+    lsamples.resize(num_samples);
+    std::vector<T> gsamples(num_samples * p);
+    MPI_Allgather(lsamples.data(), static_cast<int>(num_samples), kamping::mpi_datatype<T>(),
+                  gsamples.data(), static_cast<int>(num_samples), kamping::mpi_datatype<T>(),
+                  comm);
+    std::sort(gsamples.begin(), gsamples.end());
+    std::vector<T> splitters = sortutil::pick_splitters(gsamples, p);
+    std::vector<int> scounts = sortutil::build_buckets(data, splitters, p);
+    std::vector<int> sdispls(p);
+    std::exclusive_scan(scounts.begin(), scounts.end(), sdispls.begin(), 0);
+    std::vector<int> rcounts(p);
+    MPI_Alltoall(scounts.data(), 1, MPI_INT, rcounts.data(), 1, MPI_INT, comm);
+    std::vector<int> rdispls(p);
+    std::exclusive_scan(rcounts.begin(), rcounts.end(), rdispls.begin(), 0);
+    std::vector<T> received(static_cast<std::size_t>(rdispls.back() + rcounts.back()));
+    MPI_Alltoallv(data.data(), scounts.data(), sdispls.data(), kamping::mpi_datatype<T>(),
+                  received.data(), rcounts.data(), rdispls.data(), kamping::mpi_datatype<T>(),
+                  comm);
+    data = std::move(received);
+    std::sort(data.begin(), data.end());
+}
+// LOC-COUNT-END
+
+}  // namespace apps::mpi

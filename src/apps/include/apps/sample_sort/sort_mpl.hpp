@@ -1,0 +1,49 @@
+/// @file sort_mpl.hpp
+/// @brief Sample sort on the MPL-style bindings: the layout system requires
+/// explicit per-rank layout and displacement construction for every
+/// v-collective (paper §II), and the exchange runs over MPI_Alltoallw.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "apps/sample_sort/common.hpp"
+#include "baselines/mpl_like.hpp"
+
+namespace apps::mpl_impl {
+
+// LOC-COUNT-BEGIN (Table I: sample sort, MPL)
+template <typename T>
+void sort(std::vector<T>& data, MPI_Comm comm_) {
+    mpl::communicator comm(comm_);
+    std::size_t const p = static_cast<std::size_t>(comm.size());
+    std::size_t const num_samples = sortutil::num_samples_for(p);
+    std::vector<T> lsamples = sortutil::draw_samples(data, num_samples, comm.rank());
+    lsamples.resize(num_samples);
+    std::vector<T> gsamples(num_samples * p);
+    mpl::contiguous_layout<T> sample_layout(static_cast<int>(num_samples));
+    comm.allgather(lsamples.data(), sample_layout, gsamples.data());
+    std::sort(gsamples.begin(), gsamples.end());
+    std::vector<T> splitters = sortutil::pick_splitters(gsamples, p);
+    std::vector<int> scounts = sortutil::build_buckets(data, splitters, p);
+    std::vector<int> rcounts(p);
+    comm.alltoall(scounts.data(), rcounts.data());
+    mpl::layouts<T> slayouts(static_cast<int>(p)), rlayouts(static_cast<int>(p));
+    mpl::displacements sdispls(p), rdispls(p);
+    MPI_Aint soff = 0, roff = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+        slayouts[static_cast<int>(i)] = mpl::contiguous_layout<T>(scounts[i]);
+        rlayouts[static_cast<int>(i)] = mpl::contiguous_layout<T>(rcounts[i]);
+        sdispls[i] = soff;
+        rdispls[i] = roff;
+        soff += scounts[i];
+        roff += rcounts[i];
+    }
+    std::vector<T> received(static_cast<std::size_t>(roff));
+    comm.alltoallv(data.data(), slayouts, sdispls, received.data(), rlayouts, rdispls);
+    data = std::move(received);
+    std::sort(data.begin(), data.end());
+}
+// LOC-COUNT-END
+
+}  // namespace apps::mpl_impl

@@ -1,0 +1,31 @@
+/// @file sort_rwth.hpp
+/// @brief Sample sort on the RWTH-MPI-style bindings: STL container
+/// overloads shorten the code, and the alltoallv overload computes receive
+/// counts internally (paper §II).
+#pragma once
+
+#include <vector>
+
+#include "apps/sample_sort/common.hpp"
+#include "baselines/rwth_like.hpp"
+
+namespace apps::rwth_impl {
+
+// LOC-COUNT-BEGIN (Table I: sample sort, RWTH-MPI)
+template <typename T>
+void sort(std::vector<T>& data, MPI_Comm comm_) {
+    rwth::communicator comm(comm_);
+    std::size_t const p = static_cast<std::size_t>(comm.size());
+    std::size_t const num_samples = sortutil::num_samples_for(p);
+    std::vector<T> lsamples = sortutil::draw_samples(data, num_samples, comm.rank());
+    lsamples.resize(num_samples);
+    std::vector<T> gsamples = comm.all_gather(lsamples);
+    std::sort(gsamples.begin(), gsamples.end());
+    std::vector<T> splitters = sortutil::pick_splitters(gsamples, p);
+    std::vector<int> scounts = sortutil::build_buckets(data, splitters, p);
+    data = comm.all_to_all_varying(data, scounts);
+    std::sort(data.begin(), data.end());
+}
+// LOC-COUNT-END
+
+}  // namespace apps::rwth_impl

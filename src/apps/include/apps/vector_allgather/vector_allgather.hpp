@@ -1,0 +1,104 @@
+/// @file vector_allgather.hpp
+/// @brief The paper's running example (Fig. 2 / Table I row 1): allgather a
+/// variable-size vector, once per binding. The LOC-COUNT markers delimit
+/// exactly the code Table I counts.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "baselines/boostmpi_like.hpp"
+#include "baselines/mpl_like.hpp"
+#include "baselines/rwth_like.hpp"
+#include "kamping/kamping.hpp"
+#include "kamping/mpi_datatype.hpp"
+#include "xmpi/mpi.h"
+
+namespace apps::vector_allgather {
+
+namespace mpi {
+// LOC-COUNT-BEGIN (Table I: vector allgather, MPI)
+template <typename T>
+std::vector<T> vector_allgather(std::vector<T> const& v, MPI_Comm comm) {
+    int size = 0, rank = 0;
+    MPI_Comm_size(comm, &size);
+    MPI_Comm_rank(comm, &rank);
+    std::vector<int> rc(static_cast<std::size_t>(size)), rd(static_cast<std::size_t>(size));
+    rc[static_cast<std::size_t>(rank)] = static_cast<int>(v.size());
+    MPI_Allgather(MPI_IN_PLACE, 0, MPI_DATATYPE_NULL, rc.data(), 1, MPI_INT, comm);
+    std::exclusive_scan(rc.begin(), rc.end(), rd.begin(), 0);
+    int const n_glob = rc.back() + rd.back();
+    std::vector<T> v_glob(static_cast<std::size_t>(n_glob));
+    MPI_Allgatherv(v.data(), static_cast<int>(v.size()), kamping::mpi_datatype<T>(), v_glob.data(),
+                   rc.data(), rd.data(), kamping::mpi_datatype<T>(), comm);
+    return v_glob;
+}
+// LOC-COUNT-END
+}  // namespace mpi
+
+namespace boost_impl {
+// LOC-COUNT-BEGIN (Table I: vector allgather, Boost.MPI)
+template <typename T>
+std::vector<T> vector_allgather(std::vector<T> const& v, MPI_Comm comm_) {
+    boostmpi::communicator comm(comm_);
+    std::vector<T> v_glob;
+    boostmpi::all_gatherv(comm, v, v_glob);
+    return v_glob;
+}
+// LOC-COUNT-END
+}  // namespace boost_impl
+
+namespace rwth_impl {
+// LOC-COUNT-BEGIN (Table I: vector allgather, RWTH-MPI)
+template <typename T>
+std::vector<T> vector_allgather(std::vector<T> const& v, MPI_Comm comm_) {
+    rwth::communicator comm(comm_);
+    // Only the in-place variant computes counts internally: the caller must
+    // first find its offset (an extra exclusive scan over exchanged counts).
+    int const mine = static_cast<int>(v.size());
+    std::vector<int> counts = comm.all_gather(mine);
+    std::vector<int> displs(counts.size());
+    std::exclusive_scan(counts.begin(), counts.end(), displs.begin(), 0);
+    std::vector<T> v_glob(static_cast<std::size_t>(displs.back() + counts.back()));
+    std::copy(v.begin(), v.end(),
+              v_glob.begin() + displs[static_cast<std::size_t>(comm.rank())]);
+    comm.all_gather_varying_in_place(v_glob, mine, displs[static_cast<std::size_t>(comm.rank())]);
+    return v_glob;
+}
+// LOC-COUNT-END
+}  // namespace rwth_impl
+
+namespace mpl_impl {
+// LOC-COUNT-BEGIN (Table I: vector allgather, MPL)
+template <typename T>
+std::vector<T> vector_allgather(std::vector<T> const& v, MPI_Comm comm_) {
+    mpl::communicator comm(comm_);
+    std::size_t const p = static_cast<std::size_t>(comm.size());
+    int const mine = static_cast<int>(v.size());
+    std::vector<int> counts(p);
+    comm.allgather(&mine, mpl::contiguous_layout<int>(1), counts.data());
+    mpl::layouts<T> rlayouts(static_cast<int>(p));
+    mpl::displacements rdispls(p);
+    MPI_Aint off = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+        rlayouts[static_cast<int>(i)] = mpl::contiguous_layout<T>(counts[i]);
+        rdispls[i] = off;
+        off += counts[i];
+    }
+    std::vector<T> v_glob(static_cast<std::size_t>(off));
+    comm.allgatherv(v.data(), mpl::contiguous_layout<T>(mine), v_glob.data(), rlayouts, rdispls);
+    return v_glob;
+}
+// LOC-COUNT-END
+}  // namespace mpl_impl
+
+namespace kamping_impl {
+// LOC-COUNT-BEGIN (Table I: vector allgather, KaMPIng)
+template <typename T>
+std::vector<T> vector_allgather(std::vector<T> const& v, MPI_Comm comm_) {
+    return kamping::Communicator(comm_).allgatherv(kamping::send_buf(v));
+}
+// LOC-COUNT-END
+}  // namespace kamping_impl
+
+}  // namespace apps::vector_allgather

@@ -1,0 +1,184 @@
+/// @file boostmpi_like.hpp
+/// @brief Miniature re-implementation of Boost.MPI's binding style (paper
+/// §II), faithful to its performance-relevant design decisions:
+///  - vectors are automatically resized to fit (hidden allocation);
+///  - variable-size collectives communicate sizes up front even when the
+///    caller could have known them;
+///  - non-MPI datatypes are serialized *implicitly* — costs are invisible at
+///    the call site (the design choice the paper argues against, §III-D3);
+///  - STL functors map to built-in MPI reduction constants;
+///  - there is no MPI_Alltoallv binding: all-to-all of vectors goes through
+///    per-element serialization.
+#pragma once
+
+#include <cstring>
+#include <numeric>
+#include <type_traits>
+#include <vector>
+
+#include "kamping/mpi_datatype.hpp"
+#include "kamping/operations.hpp"
+#include "kamping/serialization.hpp"
+#include "xmpi/mpi.h"
+
+namespace boostmpi {
+
+class communicator {
+public:
+    communicator() : comm_(MPI_COMM_WORLD) {}
+    explicit communicator(MPI_Comm comm) : comm_(comm) {}
+
+    int rank() const {
+        int r = 0;
+        MPI_Comm_rank(comm_, &r);
+        return r;
+    }
+    int size() const {
+        int s = 0;
+        MPI_Comm_size(comm_, &s);
+        return s;
+    }
+    MPI_Comm native() const { return comm_; }
+
+    void barrier() const { MPI_Barrier(comm_); }
+
+    /// Sends a vector; trivially copyable elements go as raw data, anything
+    /// else is implicitly serialized (Boost.MPI behaviour).
+    template <typename T>
+    void send(int dest, int tag, std::vector<T> const& values) const {
+        if constexpr (std::is_trivially_copyable_v<T>) {
+            // Boost.MPI sends size and payload separately.
+            unsigned long long n = values.size();
+            MPI_Send(&n, 1, MPI_UNSIGNED_LONG_LONG, dest, tag, comm_);
+            MPI_Send(values.data(), static_cast<int>(n), kamping::mpi_datatype<T>(), dest, tag,
+                     comm_);
+        } else {
+            auto bytes = kamping::serialize_to_bytes(values);
+            unsigned long long n = bytes.size();
+            MPI_Send(&n, 1, MPI_UNSIGNED_LONG_LONG, dest, tag, comm_);
+            MPI_Send(bytes.data(), static_cast<int>(n), MPI_CHAR, dest, tag, comm_);
+        }
+    }
+
+    /// Receives into a vector, resizing it to fit.
+    template <typename T>
+    void recv(int source, int tag, std::vector<T>& values) const {
+        unsigned long long n = 0;
+        MPI_Status st;
+        MPI_Recv(&n, 1, MPI_UNSIGNED_LONG_LONG, source, tag, comm_, &st);
+        if constexpr (std::is_trivially_copyable_v<T>) {
+            values.resize(static_cast<std::size_t>(n));
+            MPI_Recv(values.data(), static_cast<int>(n), kamping::mpi_datatype<T>(), st.MPI_SOURCE,
+                     tag, comm_, MPI_STATUS_IGNORE);
+        } else {
+            std::vector<char> bytes(static_cast<std::size_t>(n));
+            MPI_Recv(bytes.data(), static_cast<int>(n), MPI_CHAR, st.MPI_SOURCE, tag, comm_,
+                     MPI_STATUS_IGNORE);
+            values = kamping::deserialize_from_bytes<std::vector<T>>(bytes.data(), bytes.size());
+        }
+    }
+
+private:
+    MPI_Comm comm_;
+};
+
+/// broadcast(comm, value(s), root)
+template <typename T>
+void broadcast(communicator const& comm, T& value, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    MPI_Bcast(&value, 1, kamping::mpi_datatype<T>(), root, comm.native());
+}
+
+template <typename T>
+void broadcast(communicator const& comm, std::vector<T>& values, int root) {
+    unsigned long long n = values.size();
+    MPI_Bcast(&n, 1, MPI_UNSIGNED_LONG_LONG, root, comm.native());
+    values.resize(static_cast<std::size_t>(n));  // auto-resize (hidden allocation)
+    MPI_Bcast(values.data(), static_cast<int>(n), kamping::mpi_datatype<T>(), root, comm.native());
+}
+
+/// all_gather: every rank contributes the same number of elements.
+template <typename T>
+void all_gather(communicator const& comm, T const& value, std::vector<T>& out) {
+    out.resize(static_cast<std::size_t>(comm.size()));
+    MPI_Allgather(&value, 1, kamping::mpi_datatype<T>(), out.data(), 1, kamping::mpi_datatype<T>(),
+                  comm.native());
+}
+
+template <typename T>
+void all_gather(communicator const& comm, std::vector<T> const& values, std::vector<T>& out) {
+    out.resize(values.size() * static_cast<std::size_t>(comm.size()));
+    MPI_Allgather(values.data(), static_cast<int>(values.size()), kamping::mpi_datatype<T>(),
+                  out.data(), static_cast<int>(values.size()), kamping::mpi_datatype<T>(),
+                  comm.native());
+}
+
+/// all_gatherv: Boost.MPI requires communicating the sizes first — even
+/// though callers often already know them (paper §III-A).
+template <typename T>
+void all_gatherv(communicator const& comm, std::vector<T> const& values, std::vector<T>& out) {
+    int const p = comm.size();
+    std::vector<int> sizes(static_cast<std::size_t>(p));
+    int const mine = static_cast<int>(values.size());
+    MPI_Allgather(&mine, 1, MPI_INT, sizes.data(), 1, MPI_INT, comm.native());
+    std::vector<int> displs(static_cast<std::size_t>(p));
+    std::exclusive_scan(sizes.begin(), sizes.end(), displs.begin(), 0);
+    out.resize(static_cast<std::size_t>(displs.back() + sizes.back()));
+    MPI_Allgatherv(values.data(), mine, kamping::mpi_datatype<T>(), out.data(), sizes.data(),
+                   displs.data(), kamping::mpi_datatype<T>(), comm.native());
+}
+
+/// gather to root with auto-resized output.
+template <typename T>
+void gather(communicator const& comm, T const& value, std::vector<T>& out, int root) {
+    if (comm.rank() == root) out.resize(static_cast<std::size_t>(comm.size()));
+    MPI_Gather(&value, 1, kamping::mpi_datatype<T>(), out.data(), 1, kamping::mpi_datatype<T>(),
+               root, comm.native());
+}
+
+/// all_reduce with functor mapping (std::plus -> MPI_SUM, ...).
+template <typename T, typename Op>
+T all_reduce(communicator const& comm, T const& value, Op op) {
+    T out{};
+    auto scoped = kamping::internal::resolve_op<T>(op, /*commutative=*/true);
+    MPI_Allreduce(&value, &out, 1, kamping::mpi_datatype<T>(), scoped.op, comm.native());
+    return out;
+}
+
+template <typename T, typename Op>
+void reduce(communicator const& comm, T const& value, T& out, Op op, int root) {
+    auto scoped = kamping::internal::resolve_op<T>(op, /*commutative=*/true);
+    MPI_Reduce(&value, &out, 1, kamping::mpi_datatype<T>(), scoped.op, root, comm.native());
+}
+
+/// all_to_all of per-destination vectors. Boost.MPI has no MPI_Alltoallv
+/// binding; vectors are serialized element-wise and exchanged as opaque
+/// blobs — hidden cost the paper calls out.
+template <typename T>
+void all_to_all(communicator const& comm, std::vector<std::vector<T>> const& out_msgs,
+                std::vector<std::vector<T>>& in_msgs) {
+    int const p = comm.size();
+    std::vector<char> blob;
+    std::vector<int> scounts(static_cast<std::size_t>(p)), sdispls(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) {
+        sdispls[static_cast<std::size_t>(i)] = static_cast<int>(blob.size());
+        auto bytes = kamping::serialize_to_bytes(out_msgs[static_cast<std::size_t>(i)]);
+        blob.insert(blob.end(), bytes.begin(), bytes.end());
+        scounts[static_cast<std::size_t>(i)] =
+            static_cast<int>(blob.size()) - sdispls[static_cast<std::size_t>(i)];
+    }
+    std::vector<int> rcounts(static_cast<std::size_t>(p)), rdispls(static_cast<std::size_t>(p));
+    MPI_Alltoall(scounts.data(), 1, MPI_INT, rcounts.data(), 1, MPI_INT, comm.native());
+    std::exclusive_scan(rcounts.begin(), rcounts.end(), rdispls.begin(), 0);
+    std::vector<char> rblob(static_cast<std::size_t>(rdispls.back() + rcounts.back()));
+    MPI_Alltoallv(blob.data(), scounts.data(), sdispls.data(), MPI_CHAR, rblob.data(),
+                  rcounts.data(), rdispls.data(), MPI_CHAR, comm.native());
+    in_msgs.assign(static_cast<std::size_t>(p), {});
+    for (int i = 0; i < p; ++i) {
+        in_msgs[static_cast<std::size_t>(i)] = kamping::deserialize_from_bytes<std::vector<T>>(
+            rblob.data() + rdispls[static_cast<std::size_t>(i)],
+            static_cast<std::size_t>(rcounts[static_cast<std::size_t>(i)]));
+    }
+}
+
+}  // namespace boostmpi

@@ -1,0 +1,170 @@
+/// @file mpl_like.hpp
+/// @brief Miniature re-implementation of MPL's binding style (paper §II):
+/// a layout-based type system where every variable-size collective goes
+/// through explicitly constructed layouts. Faithful to MPL's documented
+/// performance characteristic [Ghosh et al., ExaMPI'21]: v-collectives are
+/// not mapped to the corresponding MPI call with counts/displacements but to
+/// MPI_Alltoallw with per-block derived datatypes — which is what makes MPL
+/// measurably slower on irregular exchanges (paper Fig. 8/10 discussion).
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "kamping/mpi_datatype.hpp"
+#include "kamping/operations.hpp"
+#include "xmpi/mpi.h"
+
+namespace mpl {
+
+/// A layout describes a typed view over contiguous memory.
+template <typename T>
+class contiguous_layout {
+public:
+    contiguous_layout() = default;
+    explicit contiguous_layout(int count) : count_(count) {}
+    int size() const { return count_; }
+
+private:
+    int count_ = 0;
+};
+
+/// Collection of per-rank layouts for v-collectives.
+template <typename T>
+class layouts {
+public:
+    layouts() = default;
+    explicit layouts(int n) : ls_(static_cast<std::size_t>(n)) {}
+    contiguous_layout<T>& operator[](int i) { return ls_[static_cast<std::size_t>(i)]; }
+    contiguous_layout<T> const& operator[](int i) const { return ls_[static_cast<std::size_t>(i)]; }
+    int size() const { return static_cast<int>(ls_.size()); }
+
+private:
+    std::vector<contiguous_layout<T>> ls_;
+};
+
+/// Displacement list accompanying layouts.
+using displacements = std::vector<MPI_Aint>;
+
+class communicator {
+public:
+    communicator() : comm_(MPI_COMM_WORLD) {}
+    explicit communicator(MPI_Comm comm) : comm_(comm) {}
+
+    int rank() const {
+        int r = 0;
+        MPI_Comm_rank(comm_, &r);
+        return r;
+    }
+    int size() const {
+        int s = 0;
+        MPI_Comm_size(comm_, &s);
+        return s;
+    }
+
+    void barrier() const { MPI_Barrier(comm_); }
+
+    template <typename T>
+    void send(T const* data, contiguous_layout<T> const& l, int dest, int tag = 0) const {
+        MPI_Send(data, l.size(), kamping::mpi_datatype<T>(), dest, tag, comm_);
+    }
+
+    template <typename T>
+    void recv(T* data, contiguous_layout<T> const& l, int source, int tag = 0) const {
+        MPI_Recv(data, l.size(), kamping::mpi_datatype<T>(), source, tag, comm_,
+                 MPI_STATUS_IGNORE);
+    }
+
+    template <typename T>
+    void bcast(int root, T* data, contiguous_layout<T> const& l) const {
+        MPI_Bcast(data, l.size(), kamping::mpi_datatype<T>(), root, comm_);
+    }
+
+    template <typename T>
+    void allgather(T const* send, contiguous_layout<T> const& l, T* recv) const {
+        MPI_Allgather(send, l.size(), kamping::mpi_datatype<T>(), recv, l.size(),
+                      kamping::mpi_datatype<T>(), comm_);
+    }
+
+    /// MPL's allgatherv: per-rank layouts + displacements, internally routed
+    /// through MPI_Alltoallw with derived displacement datatypes.
+    template <typename T>
+    void allgatherv(T const* send, contiguous_layout<T> const& sl, T* recv,
+                    layouts<T> const& rls, displacements const& rdispls) const {
+        int const p = size();
+        // Every rank sends its block to all peers and receives each peer's
+        // block at its displacement: expressed as alltoallw with one derived
+        // datatype per peer (this is the expensive MPL code path).
+        std::vector<int> scounts(static_cast<std::size_t>(p), 1);
+        std::vector<int> sdispls_b(static_cast<std::size_t>(p), 0);
+        std::vector<MPI_Datatype> stypes(static_cast<std::size_t>(p));
+        std::vector<int> rcounts(static_cast<std::size_t>(p), 1);
+        std::vector<int> rdispls_b(static_cast<std::size_t>(p), 0);
+        std::vector<MPI_Datatype> rtypes(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) {
+            MPI_Type_contiguous(sl.size(), kamping::mpi_datatype<T>(),
+                                &stypes[static_cast<std::size_t>(i)]);
+            MPI_Type_commit(&stypes[static_cast<std::size_t>(i)]);
+            // Receive type: block of rls[i] elements placed at rdispls[i].
+            MPI_Type_contiguous(rls[i].size(), kamping::mpi_datatype<T>(),
+                                &rtypes[static_cast<std::size_t>(i)]);
+            rdispls_b[static_cast<std::size_t>(i)] =
+                static_cast<int>(rdispls[static_cast<std::size_t>(i)] *
+                                 static_cast<MPI_Aint>(sizeof(T)));
+            MPI_Type_commit(&rtypes[static_cast<std::size_t>(i)]);
+        }
+        MPI_Alltoallw(send, scounts.data(), sdispls_b.data(), stypes.data(), recv, rcounts.data(),
+                      rdispls_b.data(), rtypes.data(), comm_);
+        for (int i = 0; i < p; ++i) {
+            MPI_Type_free(&stypes[static_cast<std::size_t>(i)]);
+            MPI_Type_free(&rtypes[static_cast<std::size_t>(i)]);
+        }
+    }
+
+    /// MPL's alltoallv, likewise expressed through MPI_Alltoallw.
+    template <typename T>
+    void alltoallv(T const* send, layouts<T> const& sls, displacements const& sdispls, T* recv,
+                   layouts<T> const& rls, displacements const& rdispls) const {
+        int const p = size();
+        std::vector<int> counts(static_cast<std::size_t>(p), 1);
+        std::vector<int> sdispls_b(static_cast<std::size_t>(p)), rdispls_b(static_cast<std::size_t>(p));
+        std::vector<MPI_Datatype> stypes(static_cast<std::size_t>(p)),
+            rtypes(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) {
+            MPI_Type_contiguous(sls[i].size(), kamping::mpi_datatype<T>(),
+                                &stypes[static_cast<std::size_t>(i)]);
+            MPI_Type_commit(&stypes[static_cast<std::size_t>(i)]);
+            MPI_Type_contiguous(rls[i].size(), kamping::mpi_datatype<T>(),
+                                &rtypes[static_cast<std::size_t>(i)]);
+            MPI_Type_commit(&rtypes[static_cast<std::size_t>(i)]);
+            sdispls_b[static_cast<std::size_t>(i)] = static_cast<int>(
+                sdispls[static_cast<std::size_t>(i)] * static_cast<MPI_Aint>(sizeof(T)));
+            rdispls_b[static_cast<std::size_t>(i)] = static_cast<int>(
+                rdispls[static_cast<std::size_t>(i)] * static_cast<MPI_Aint>(sizeof(T)));
+        }
+        MPI_Alltoallw(send, counts.data(), sdispls_b.data(), stypes.data(), recv, counts.data(),
+                      rdispls_b.data(), rtypes.data(), comm_);
+        for (int i = 0; i < p; ++i) {
+            MPI_Type_free(&stypes[static_cast<std::size_t>(i)]);
+            MPI_Type_free(&rtypes[static_cast<std::size_t>(i)]);
+        }
+    }
+
+    /// alltoall of uniform single elements.
+    template <typename T>
+    void alltoall(T const* send, T* recv) const {
+        MPI_Alltoall(send, 1, kamping::mpi_datatype<T>(), recv, 1, kamping::mpi_datatype<T>(),
+                     comm_);
+    }
+
+    template <typename T, typename Op>
+    void allreduce(Op op, T const& in, T& out) const {
+        auto scoped = kamping::internal::resolve_op<T>(op, true);
+        MPI_Allreduce(&in, &out, 1, kamping::mpi_datatype<T>(), scoped.op, comm_);
+    }
+
+private:
+    MPI_Comm comm_;
+};
+
+}  // namespace mpl

@@ -1,0 +1,141 @@
+/// @file rwth_like.hpp
+/// @brief Miniature re-implementation of the RWTH-MPI binding style
+/// (Demiralp et al., paper §II): full STL support for buffers and an
+/// overload set per operation at different abstraction levels. Faithful to
+/// its design points: receive counts can be omitted (computed with
+/// additional internal communication), some conveniences exist only for the
+/// MPI_IN_PLACE form, and large parts mirror the C interface directly.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "kamping/mpi_datatype.hpp"
+#include "kamping/operations.hpp"
+#include "xmpi/mpi.h"
+
+namespace rwth {
+
+class communicator {
+public:
+    communicator() : comm_(MPI_COMM_WORLD) {}
+    explicit communicator(MPI_Comm comm) : comm_(comm) {}
+
+    int rank() const {
+        int r = 0;
+        MPI_Comm_rank(comm_, &r);
+        return r;
+    }
+    int size() const {
+        int s = 0;
+        MPI_Comm_size(comm_, &s);
+        return s;
+    }
+    MPI_Comm native() const { return comm_; }
+
+    void barrier() const { MPI_Barrier(comm_); }
+
+    // -- point-to-point: container overloads --------------------------------
+
+    template <typename T>
+    void send(std::vector<T> const& values, int dest, int tag = 0) const {
+        MPI_Send(values.data(), static_cast<int>(values.size()), kamping::mpi_datatype<T>(), dest,
+                 tag, comm_);
+    }
+
+    template <typename T>
+    void recv(std::vector<T>& values, int source, int tag = 0) const {
+        MPI_Status st;
+        MPI_Probe(source, tag, comm_, &st);
+        int count = 0;
+        MPI_Get_count(&st, kamping::mpi_datatype<T>(), &count);
+        values.resize(static_cast<std::size_t>(count));  // automatic resizing
+        MPI_Recv(values.data(), count, kamping::mpi_datatype<T>(), st.MPI_SOURCE, st.MPI_TAG,
+                 comm_, MPI_STATUS_IGNORE);
+    }
+
+    // -- collectives: one overload per abstraction level --------------------
+
+    template <typename T>
+    void broadcast(std::vector<T>& values, int root) const {
+        unsigned long long n = values.size();
+        MPI_Bcast(&n, 1, MPI_UNSIGNED_LONG_LONG, root, comm_);
+        values.resize(static_cast<std::size_t>(n));
+        MPI_Bcast(values.data(), static_cast<int>(n), kamping::mpi_datatype<T>(), root, comm_);
+    }
+
+    template <typename T>
+    std::vector<T> all_gather(T const& value) const {
+        std::vector<T> out(static_cast<std::size_t>(size()));
+        MPI_Allgather(&value, 1, kamping::mpi_datatype<T>(), out.data(), 1,
+                      kamping::mpi_datatype<T>(), comm_);
+        return out;
+    }
+
+    template <typename T>
+    std::vector<T> all_gather(std::vector<T> const& values) const {
+        std::vector<T> out(values.size() * static_cast<std::size_t>(size()));
+        MPI_Allgather(values.data(), static_cast<int>(values.size()), kamping::mpi_datatype<T>(),
+                      out.data(), static_cast<int>(values.size()), kamping::mpi_datatype<T>(),
+                      comm_);
+        return out;
+    }
+
+    /// Varying all-gather: counts are gathered internally, but — mirroring
+    /// RWTH-MPI — only the MPI_IN_PLACE variant exists: the caller's data
+    /// must already sit at the correct offset of the full-size buffer, which
+    /// forces the caller to exchange counts up front anyway (paper §III-A).
+    template <typename T>
+    void all_gather_varying_in_place(std::vector<T>& buffer, int my_count, int my_offset) const {
+        int const p = size();
+        std::vector<int> counts(static_cast<std::size_t>(p));
+        MPI_Allgather(&my_count, 1, MPI_INT, counts.data(), 1, MPI_INT, comm_);
+        std::vector<int> displs(static_cast<std::size_t>(p));
+        std::exclusive_scan(counts.begin(), counts.end(), displs.begin(), 0);
+        (void)my_offset;
+        MPI_Allgatherv(MPI_IN_PLACE, 0, MPI_DATATYPE_NULL, buffer.data(), counts.data(),
+                       displs.data(), kamping::mpi_datatype<T>(), comm_);
+    }
+
+    /// alltoallv overload without receive counts: computed internally.
+    template <typename T>
+    std::vector<T> all_to_all_varying(std::vector<T> const& data,
+                                      std::vector<int> const& send_counts) const {
+        int const p = size();
+        std::vector<int> sdispls(static_cast<std::size_t>(p));
+        std::exclusive_scan(send_counts.begin(), send_counts.end(), sdispls.begin(), 0);
+        std::vector<int> rcounts(static_cast<std::size_t>(p));
+        MPI_Alltoall(send_counts.data(), 1, MPI_INT, rcounts.data(), 1, MPI_INT, comm_);
+        std::vector<int> rdispls(static_cast<std::size_t>(p));
+        std::exclusive_scan(rcounts.begin(), rcounts.end(), rdispls.begin(), 0);
+        std::vector<T> out(static_cast<std::size_t>(rdispls.back() + rcounts.back()));
+        MPI_Alltoallv(data.data(), send_counts.data(), sdispls.data(), kamping::mpi_datatype<T>(),
+                      out.data(), rcounts.data(), rdispls.data(), kamping::mpi_datatype<T>(),
+                      comm_);
+        return out;
+    }
+
+    /// alltoallv overload mirroring the C interface (all parameters).
+    template <typename T>
+    void all_to_all_varying(std::vector<T> const& data, std::vector<int> const& send_counts,
+                            std::vector<int> const& send_displs, std::vector<T>& out,
+                            std::vector<int> const& recv_counts,
+                            std::vector<int> const& recv_displs) const {
+        MPI_Alltoallv(data.data(), send_counts.data(), send_displs.data(),
+                      kamping::mpi_datatype<T>(), out.data(), recv_counts.data(),
+                      recv_displs.data(), kamping::mpi_datatype<T>(), comm_);
+    }
+
+    template <typename T, typename Op>
+    T all_reduce(T const& value, Op op) const {
+        T out{};
+        auto scoped = kamping::internal::resolve_op<T>(op, true);
+        MPI_Allreduce(&value, &out, 1, kamping::mpi_datatype<T>(), scoped.op, comm_);
+        return out;
+    }
+
+private:
+    MPI_Comm comm_;
+};
+
+}  // namespace rwth

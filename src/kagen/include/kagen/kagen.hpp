@@ -1,0 +1,265 @@
+/// @file kagen.hpp
+/// @brief Distributed graph generators in the spirit of KaGen [Funke et al.,
+/// JPDC'19], providing the three graph families of the paper's BFS
+/// evaluation (Fig. 10):
+///  - GNM (Erdős–Rényi G(n, m)): no locality, small diameter;
+///  - RGG-2D (random geometric graph): high locality, high diameter —
+///    generated communication-free from hashed coordinates;
+///  - PLG (power-law Chung–Lu): the stand-in for RHG (see DESIGN.md) —
+///    heavy-tailed degrees (hubs) and small diameter.
+/// Vertices are distributed in contiguous equal-size blocks; the local graph
+/// representation is an adjacency array (CSR) over global vertex ids.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "kamping/communicator.hpp"
+#include "kamping/named_parameters.hpp"
+
+namespace kagen {
+
+using VertexId = std::uint64_t;
+
+/// Distributed graph: each rank holds `local_n` consecutive vertices
+/// starting at `first_vertex`, with adjacency lists of global vertex ids.
+struct Graph {
+    VertexId first_vertex = 0;
+    VertexId global_n = 0;
+    std::uint64_t vertices_per_rank = 0;
+    std::vector<std::size_t> xadj;      ///< CSR offsets, size local_n + 1
+    std::vector<VertexId> adjncy;       ///< neighbor lists (global ids)
+
+    std::size_t local_n() const { return xadj.empty() ? 0 : xadj.size() - 1; }
+    bool is_local(VertexId v) const {
+        return v >= first_vertex && v < first_vertex + local_n();
+    }
+    std::size_t to_local(VertexId v) const { return static_cast<std::size_t>(v - first_vertex); }
+    int owner(VertexId v) const { return static_cast<int>(v / vertices_per_rank); }
+
+    std::size_t local_edges() const { return adjncy.size(); }
+
+    /// Neighbors of local vertex `lv`.
+    std::pair<VertexId const*, VertexId const*> neighbors(std::size_t lv) const {
+        return {adjncy.data() + xadj[lv], adjncy.data() + xadj[lv + 1]};
+    }
+};
+
+namespace detail {
+
+/// SplitMix64: deterministic hashing used for communication-free decisions.
+inline std::uint64_t hash64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+    return hash64(a * 0x100000001b3ull ^ hash64(b));
+}
+
+/// Uniform double in [0, 1) from a hash value.
+inline double to_unit(std::uint64_t h) {
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Builds a CSR graph from an edge list of (local vertex, global neighbor)
+/// pairs; sorts and deduplicates neighbor lists.
+inline Graph build_csr(std::vector<std::pair<VertexId, VertexId>>& edges, VertexId first,
+                       std::uint64_t local_n, VertexId global_n, std::uint64_t per_rank) {
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    Graph g;
+    g.first_vertex = first;
+    g.global_n = global_n;
+    g.vertices_per_rank = per_rank;
+    g.xadj.assign(local_n + 1, 0);
+    for (auto const& [u, v] : edges) {
+        (void)v;
+        ++g.xadj[static_cast<std::size_t>(u - first) + 1];
+    }
+    std::partial_sum(g.xadj.begin(), g.xadj.end(), g.xadj.begin());
+    g.adjncy.resize(edges.size());
+    std::vector<std::size_t> fill(g.xadj.begin(), g.xadj.end() - 1);
+    for (auto const& [u, v] : edges) {
+        g.adjncy[fill[static_cast<std::size_t>(u - first)]++] = v;
+    }
+    return g;
+}
+
+/// Symmetrizes a distributed directed edge list: every generated arc (u, v)
+/// is mirrored to v's owner so the final graph is undirected. One alltoallv.
+inline std::vector<std::pair<VertexId, VertexId>> symmetrize(
+    kamping::Communicator const& comm, std::vector<std::pair<VertexId, VertexId>> const& arcs,
+    std::uint64_t per_rank) {
+    using kamping::send_buf;
+    using kamping::send_counts;
+    int const p = comm.size_signed();
+    // Mirror each arc to both endpoints' owners.
+    std::vector<std::vector<VertexId>> outbox(static_cast<std::size_t>(p));
+    for (auto const& [u, v] : arcs) {
+        int const ou = static_cast<int>(u / per_rank);
+        int const ov = static_cast<int>(v / per_rank);
+        outbox[static_cast<std::size_t>(ou)].push_back(u);
+        outbox[static_cast<std::size_t>(ou)].push_back(v);
+        outbox[static_cast<std::size_t>(ov)].push_back(v);
+        outbox[static_cast<std::size_t>(ov)].push_back(u);
+    }
+    std::vector<VertexId> flat;
+    std::vector<int> counts(static_cast<std::size_t>(p), 0);
+    for (int i = 0; i < p; ++i) {
+        counts[static_cast<std::size_t>(i)] = static_cast<int>(outbox[static_cast<std::size_t>(i)].size());
+        flat.insert(flat.end(), outbox[static_cast<std::size_t>(i)].begin(),
+                    outbox[static_cast<std::size_t>(i)].end());
+    }
+    auto received = comm.alltoallv(send_buf(flat), send_counts(counts));
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    edges.reserve(received.size() / 2);
+    for (std::size_t i = 0; i + 1 < received.size(); i += 2) {
+        edges.emplace_back(received[i], received[i + 1]);
+    }
+    return edges;
+}
+
+}  // namespace detail
+
+/// G(n, m): each rank contributes `edges_per_rank` uniformly random arcs
+/// from its local vertices; the union is symmetrized. No locality, small
+/// diameter (the Erdős–Rényi regime of the paper's Fig. 10).
+inline Graph generate_gnm(kamping::Communicator const& comm, std::uint64_t vertices_per_rank,
+                          std::uint64_t edges_per_rank, std::uint64_t seed = 1) {
+    int const p = comm.size_signed();
+    int const r = comm.rank_signed();
+    VertexId const n = vertices_per_rank * static_cast<VertexId>(p);
+    VertexId const first = vertices_per_rank * static_cast<VertexId>(r);
+
+    std::vector<std::pair<VertexId, VertexId>> arcs;
+    arcs.reserve(edges_per_rank);
+    for (std::uint64_t e = 0; e < edges_per_rank; ++e) {
+        std::uint64_t const h = detail::hash_combine(seed * 1000003 + static_cast<unsigned>(r), e);
+        VertexId const u = first + h % vertices_per_rank;
+        VertexId const v = detail::hash64(h) % n;
+        if (u != v) arcs.emplace_back(u, v);
+    }
+    auto edges = detail::symmetrize(comm, arcs, vertices_per_rank);
+    return detail::build_csr(edges, first, vertices_per_rank, n, vertices_per_rank);
+}
+
+/// RGG-2D: points with hashed coordinates in the unit square, ranks own
+/// horizontal strips, edges connect points closer than `radius`
+/// (default: chosen for the target average degree). Communication-free:
+/// neighbor strips' points are re-derived from the hash. High locality,
+/// high diameter.
+inline Graph generate_rgg2d(kamping::Communicator const& comm, std::uint64_t vertices_per_rank,
+                            double target_avg_degree, std::uint64_t seed = 1) {
+    int const p = comm.size_signed();
+    int const r = comm.rank_signed();
+    VertexId const n = vertices_per_rank * static_cast<VertexId>(p);
+    VertexId const first = vertices_per_rank * static_cast<VertexId>(r);
+    double const strip_height = 1.0 / static_cast<double>(p);
+    double const radius =
+        std::sqrt(target_avg_degree / (M_PI * static_cast<double>(n)));
+
+    // Coordinates of any global vertex are hash-derived: x uniform in [0,1),
+    // y uniform within the owner's strip.
+    auto point = [&](VertexId v) {
+        double const x = detail::to_unit(detail::hash_combine(seed, v * 2));
+        int const owner = static_cast<int>(v / vertices_per_rank);
+        double const y = (static_cast<double>(owner) +
+                          detail::to_unit(detail::hash_combine(seed, v * 2 + 1))) *
+                         strip_height;
+        return std::pair<double, double>{x, y};
+    };
+
+    // Candidate vertices: own strip plus neighbor strips within the radius.
+    int const reach = std::max(1, static_cast<int>(std::ceil(radius / strip_height)));
+    std::vector<VertexId> candidates;
+    for (int dr = -reach; dr <= reach; ++dr) {
+        int const other = r + dr;
+        if (other < 0 || other >= p) continue;
+        VertexId const ofirst = vertices_per_rank * static_cast<VertexId>(other);
+        for (std::uint64_t i = 0; i < vertices_per_rank; ++i) candidates.push_back(ofirst + i);
+    }
+
+    // Grid bucketing over candidates for O(1) neighborhood queries.
+    int const cells = std::max<int>(1, static_cast<int>(1.0 / radius));
+    auto cell_of = [&](double x, double y) {
+        int const cx = std::min(cells - 1, static_cast<int>(x * cells));
+        int const cy = std::min(cells - 1, static_cast<int>(y * cells));
+        return static_cast<std::uint64_t>(cx) * static_cast<std::uint64_t>(cells) +
+               static_cast<std::uint64_t>(cy);
+    };
+    std::unordered_map<std::uint64_t, std::vector<VertexId>> buckets;
+    for (VertexId v : candidates) {
+        auto const [x, y] = point(v);
+        buckets[cell_of(x, y)].push_back(v);
+    }
+
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    for (std::uint64_t i = 0; i < vertices_per_rank; ++i) {
+        VertexId const u = first + i;
+        auto const [ux, uy] = point(u);
+        int const cx = std::min(cells - 1, static_cast<int>(ux * cells));
+        int const cy = std::min(cells - 1, static_cast<int>(uy * cells));
+        for (int dx = -1; dx <= 1; ++dx) {
+            for (int dy = -1; dy <= 1; ++dy) {
+                int const nx = cx + dx;
+                int const ny = cy + dy;
+                if (nx < 0 || nx >= cells || ny < 0 || ny >= cells) continue;
+                auto it = buckets.find(static_cast<std::uint64_t>(nx) *
+                                           static_cast<std::uint64_t>(cells) +
+                                       static_cast<std::uint64_t>(ny));
+                if (it == buckets.end()) continue;
+                for (VertexId v : it->second) {
+                    if (v == u) continue;
+                    auto const [vx, vy] = point(v);
+                    double const ddx = ux - vx;
+                    double const ddy = uy - vy;
+                    if (ddx * ddx + ddy * ddy <= radius * radius) edges.emplace_back(u, v);
+                }
+            }
+        }
+    }
+    return detail::build_csr(edges, first, vertices_per_rank, n, vertices_per_rank);
+}
+
+/// Power-law Chung–Lu graph — the RHG stand-in (see DESIGN.md): vertex
+/// weights w_v ∝ (v+1)^{-1/(gamma-1)} produce heavy-tailed degrees with
+/// high-degree hubs at low ids and small diameter.
+inline Graph generate_plg(kamping::Communicator const& comm, std::uint64_t vertices_per_rank,
+                          std::uint64_t edges_per_rank, double gamma = 2.8,
+                          std::uint64_t seed = 1) {
+    int const p = comm.size_signed();
+    int const r = comm.rank_signed();
+    VertexId const n = vertices_per_rank * static_cast<VertexId>(p);
+    VertexId const first = vertices_per_rank * static_cast<VertexId>(r);
+    double const exponent = -1.0 / (gamma - 1.0);
+
+    // Inverse-transform sampling of the weight distribution: P(V <= v) ~
+    // normalized prefix of v^{1+exponent}. Sampling v = floor(U^{1/(1+e)} * n)
+    // approximates Chung-Lu target selection for power-law weights.
+    double const inv_power = 1.0 / (1.0 + exponent);
+    auto sample_vertex = [&](std::uint64_t h) {
+        double const u = detail::to_unit(h);
+        auto v = static_cast<VertexId>(std::pow(u, inv_power) * static_cast<double>(n));
+        return std::min<VertexId>(v, n - 1);
+    };
+
+    std::vector<std::pair<VertexId, VertexId>> arcs;
+    arcs.reserve(edges_per_rank);
+    for (std::uint64_t e = 0; e < edges_per_rank; ++e) {
+        std::uint64_t const h = detail::hash_combine(seed * 7777777 + static_cast<unsigned>(r), e);
+        VertexId const u = first + h % vertices_per_rank;
+        VertexId const v = sample_vertex(detail::hash64(h ^ 0xabcdef));
+        if (u != v) arcs.emplace_back(u, v);
+    }
+    auto edges = detail::symmetrize(comm, arcs, vertices_per_rank);
+    return detail::build_csr(edges, first, vertices_per_rank, n, vertices_per_rank);
+}
+
+}  // namespace kagen

@@ -1,0 +1,877 @@
+/// @file communicator.hpp
+/// @brief The Communicator — KaMPIng's central class. Every MPI operation is
+/// a member function taking named parameters; omitted parameters are
+/// inferred or computed (possibly with extra communication) at the points
+/// the paper describes (§III-A/B). Template metaprogramming ensures only the
+/// code paths for the parameters actually passed are instantiated.
+///
+/// Plugins (paper §III-F) are CRTP mixins: `CommunicatorWith<GridPlugin>`
+/// augments the communicator with plugin member functions without touching
+/// the core.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "kamping/data_buffer.hpp"
+#include "kamping/error_handling.hpp"
+#include "kamping/mpi_datatype.hpp"
+#include "kamping/named_parameters.hpp"
+#include "kamping/operations.hpp"
+#include "kamping/parameter_selection.hpp"
+#include "kamping/request.hpp"
+#include "kamping/result.hpp"
+#include "kamping/serialization.hpp"
+#include "xmpi/mpi.h"
+
+namespace kamping {
+
+namespace internal {
+
+/// Library-allocated intermediate buffer (computed default that the user did
+/// not request): owning, resized to fit, not part of the result.
+template <ParameterType PT, typename T>
+auto lib_buffer() {
+    return DataBuffer<PT, BufferDirection::out, BufferOwnership::owning,
+                      ResizePolicy::resize_to_fit, /*Returned=*/false, std::vector<T>>();
+}
+
+/// Implicit receive buffer (always returned unless the caller provided one).
+template <ParameterType PT, typename T>
+auto implicit_recv_buffer() {
+    return DataBuffer<PT, BufferDirection::out, BufferOwnership::owning,
+                      ResizePolicy::resize_to_fit, /*Returned=*/true, std::vector<T>>();
+}
+
+/// Single-element implicit receive buffer, used when the send side is a
+/// single value (works for types like bool where std::vector is unusable).
+template <ParameterType PT, typename T>
+auto implicit_single_buffer() {
+    return DataBuffer<PT, BufferDirection::out, BufferOwnership::owning, ResizePolicy::no_resize,
+                      /*Returned=*/true, SingleElement<T>>(SingleElement<T>{});
+}
+
+/// Chooses the implicit receive buffer shape matching the send buffer: a
+/// single element when the send side was a scalar, a vector otherwise.
+template <ParameterType PT, typename SendBuf>
+auto matching_recv_buffer() {
+    using Send = std::remove_cvref_t<SendBuf>;
+    using T = typename Send::value_type;
+    if constexpr (std::is_same_v<typename Send::container_type, SingleElement<T>>) {
+        return implicit_single_buffer<PT, T>();
+    } else {
+        return implicit_recv_buffer<PT, T>();
+    }
+}
+
+/// Unwraps the single value from a *_single result (SingleElement or a
+/// one-element container).
+template <typename R>
+auto to_single(R&& r) {
+    if constexpr (requires { r.element; }) {
+        return std::move(r.element);
+    } else {
+        return std::move(r.front());
+    }
+}
+
+/// Takes the named parameter out of the pack (moving it — parameters are
+/// always materialized temporaries) or materializes the default.
+template <ParameterType PT, typename Make, typename... Args>
+auto take_or(Make make, Args&... args) {
+    if constexpr (has_parameter_v<PT, Args...>) {
+        return std::move(select_parameter<PT>(args...));
+    } else {
+        return make();
+    }
+}
+
+/// Computes exclusive-prefix displacements from counts.
+inline void exclusive_prefix(int const* counts, int* displs, int n) {
+    int acc = 0;
+    for (int i = 0; i < n; ++i) {
+        displs[i] = acc;
+        acc += counts[i];
+    }
+}
+
+template <typename Buffer>
+inline constexpr bool is_serialization_send_v =
+    is_serialization_adapter_v<typename std::remove_cvref_t<Buffer>::container_type>;
+
+template <typename Buffer>
+inline constexpr bool is_deserialization_recv_v =
+    is_deserialization_adapter_v<typename std::remove_cvref_t<Buffer>::container_type>;
+
+}  // namespace internal
+
+/// KaMPIng communicator wrapping a native MPI_Comm. Fully interoperable with
+/// native handles (paper §III-F): construct from any MPI_Comm and read the
+/// native handle back with mpi_communicator().
+template <template <typename> typename... Plugins>
+class BasicCommunicator
+    : public Plugins<BasicCommunicator<Plugins...>>... {
+public:
+    /// Wraps MPI_COMM_WORLD.
+    BasicCommunicator() : comm_(MPI_COMM_WORLD) {}
+
+    /// Wraps an existing native communicator (not owned).
+    explicit BasicCommunicator(MPI_Comm comm) : comm_(comm) {}
+
+    /// Wraps a native communicator and takes ownership (frees it on
+    /// destruction).
+    static BasicCommunicator adopt(MPI_Comm comm) {
+        BasicCommunicator c{comm};
+        c.owned_ = comm != MPI_COMM_NULL;
+        return c;
+    }
+
+    BasicCommunicator(BasicCommunicator&& other) noexcept
+        : comm_(std::exchange(other.comm_, MPI_COMM_NULL)),
+          owned_(std::exchange(other.owned_, false)) {}
+    BasicCommunicator(BasicCommunicator const&) = delete;
+    BasicCommunicator& operator=(BasicCommunicator const&) = delete;
+    BasicCommunicator& operator=(BasicCommunicator&& other) noexcept {
+        free_if_owned();
+        comm_ = std::exchange(other.comm_, MPI_COMM_NULL);
+        owned_ = std::exchange(other.owned_, false);
+        return *this;
+    }
+
+    ~BasicCommunicator() { free_if_owned(); }
+
+    // -- introspection ------------------------------------------------------
+
+    std::size_t size() const { return static_cast<std::size_t>(size_signed()); }
+    int size_signed() const {
+        int s = 0;
+        MPI_Comm_size(comm_, &s);
+        return s;
+    }
+    std::size_t rank() const { return static_cast<std::size_t>(rank_signed()); }
+    int rank_signed() const {
+        int r = -1;
+        MPI_Comm_rank(comm_, &r);
+        return r;
+    }
+    bool is_root(int root = 0) const { return rank_signed() == root; }
+
+    /// The underlying native handle — full interoperability with plain MPI.
+    MPI_Comm mpi_communicator() const { return comm_; }
+
+    // -- communicator management --------------------------------------------
+
+    /// Splits into sub-communicators by color; the result owns its handle.
+    BasicCommunicator split(int color, int key = 0) const {
+        MPI_Comm sub = MPI_COMM_NULL;
+        internal::throw_on_mpi_error(MPI_Comm_split(comm_, color, key, &sub), "split");
+        BasicCommunicator result{sub};
+        result.owned_ = sub != MPI_COMM_NULL;
+        return result;
+    }
+
+    /// Duplicates this communicator; the result owns its handle.
+    BasicCommunicator duplicate() const {
+        MPI_Comm dup = MPI_COMM_NULL;
+        internal::throw_on_mpi_error(MPI_Comm_dup(comm_, &dup), "duplicate");
+        BasicCommunicator result{dup};
+        result.owned_ = true;
+        return result;
+    }
+
+    // -- barrier --------------------------------------------------------------
+
+    void barrier() const { internal::throw_on_mpi_error(MPI_Barrier(comm_), "barrier"); }
+
+    // =========================================================================
+    // Collectives
+    // =========================================================================
+
+    /// Broadcast. `send_recv_buf` is required; the count is taken from the
+    /// root's buffer and distributed automatically unless `send_recv_count`
+    /// is given. Supports serialization adapters
+    /// (`bcast(send_recv_buf(as_serialized(obj)))`, paper Fig. 11).
+    template <typename... Args>
+    auto bcast(Args&&... args) const {
+        internal::ParameterCheck<ParameterType::send_recv_buf, ParameterType::root,
+                                            ParameterType::send_recv_count>::template check<Args...>();
+        internal::assert_required<ParameterType::send_recv_buf, Args...>();
+        int const root_rank = internal::select_value_or<ParameterType::root>(0, args...);
+        auto buf = std::move(internal::select_parameter<ParameterType::send_recv_buf>(args...));
+        using Buf = decltype(buf);
+
+        if constexpr (internal::is_serialization_send_v<Buf>) {
+            return bcast_serialized(std::move(buf), root_rank);
+        } else {
+            using T = typename std::remove_cvref_t<Buf>::value_type;
+            std::uint64_t n = 0;
+            if constexpr (internal::has_parameter_v<ParameterType::send_recv_count, Args...>) {
+                n = static_cast<std::uint64_t>(
+                    internal::select_parameter<ParameterType::send_recv_count>(args...).value);
+            } else {
+                n = is_root(root_rank) ? buf.size() : 0;
+                internal::throw_on_mpi_error(
+                    MPI_Bcast(&n, 1, MPI_UINT64_T, root_rank, comm_), "bcast");
+            }
+            if (!is_root(root_rank)) buf.resize_to(static_cast<std::size_t>(n));
+            internal::throw_on_mpi_error(MPI_Bcast(buf.data_mutable(), static_cast<int>(n),
+                                                   mpi_datatype<T>(), root_rank, comm_),
+                                         "bcast");
+            return internal::make_result(std::move(buf));
+        }
+    }
+
+    /// Broadcast of one value, returned by value on every rank.
+    template <typename... Args>
+    auto bcast_single(Args&&... args) const {
+        auto result = bcast(std::forward<Args>(args)...);
+        return internal::to_single(std::move(result));
+    }
+
+    /// Gather with uniform counts to `root` (default 0).
+    template <typename... Args>
+    auto gather(Args&&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
+                                            ParameterType::root>::template check<Args...>();
+        internal::assert_required<ParameterType::send_buf, Args...>();
+        auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
+        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+        int const root_rank = internal::select_value_or<ParameterType::root>(0, args...);
+        int const count = static_cast<int>(send.size());
+        auto recv = internal::take_or<ParameterType::recv_buf>(
+            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
+        if (is_root(root_rank)) recv.resize_to(static_cast<std::size_t>(count) * size());
+        internal::throw_on_mpi_error(
+            MPI_Gather(send.data(), count, mpi_datatype<T>(),
+                       is_root(root_rank) ? recv.data_mutable() : nullptr, count, mpi_datatype<T>(),
+                       root_rank, comm_),
+            "gather");
+        return internal::make_result(std::move(recv));
+    }
+
+    /// Gather with per-rank counts. Receive counts are gathered from the
+    /// send counts when not provided; displacements are computed on the root.
+    template <typename... Args>
+    auto gatherv(Args&&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
+                                            ParameterType::recv_counts, ParameterType::recv_displs,
+                                            ParameterType::root>::template check<Args...>();
+        internal::assert_required<ParameterType::send_buf, Args...>();
+        auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
+        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+        int const root_rank = internal::select_value_or<ParameterType::root>(0, args...);
+        int const scount = static_cast<int>(send.size());
+        int const p = size_signed();
+        bool const at_root = is_root(root_rank);
+
+        auto counts = internal::take_or<ParameterType::recv_counts>(
+            [] { return internal::lib_buffer<ParameterType::recv_counts, int>(); }, args...);
+        constexpr bool counts_provided =
+            internal::has_parameter_v<ParameterType::recv_counts, Args...> &&
+            std::remove_cvref_t<decltype(counts)>::direction == BufferDirection::in;
+        if constexpr (!counts_provided) {
+            if (at_root) counts.resize_to(static_cast<std::size_t>(p));
+            internal::throw_on_mpi_error(
+                MPI_Gather(&scount, 1, MPI_INT, at_root ? counts.data_mutable() : nullptr, 1,
+                           MPI_INT, root_rank, comm_),
+                "gatherv (count exchange)");
+        }
+        auto displs = internal::take_or<ParameterType::recv_displs>(
+            [] { return internal::lib_buffer<ParameterType::recv_displs, int>(); }, args...);
+        constexpr bool displs_provided =
+            internal::has_parameter_v<ParameterType::recv_displs, Args...> &&
+            std::remove_cvref_t<decltype(displs)>::direction == BufferDirection::in;
+        int total = 0;
+        if (at_root) {
+            if constexpr (!displs_provided) {
+                displs.resize_to(static_cast<std::size_t>(p));
+                internal::exclusive_prefix(counts.data(), displs.data_mutable(), p);
+            }
+            for (int i = 0; i < p; ++i) total += counts.data()[i];
+        }
+        auto recv = internal::take_or<ParameterType::recv_buf>(
+            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
+        if (at_root) recv.resize_to(static_cast<std::size_t>(total));
+        internal::throw_on_mpi_error(
+            MPI_Gatherv(send.data(), scount, mpi_datatype<T>(),
+                        at_root ? recv.data_mutable() : nullptr, at_root ? counts.data() : nullptr,
+                        at_root ? displs.data() : nullptr, mpi_datatype<T>(), root_rank, comm_),
+            "gatherv");
+        return internal::make_result(std::move(recv), std::move(counts), std::move(displs));
+    }
+
+    /// Scatter with uniform counts from `root`.
+    template <typename... Args>
+    auto scatter(Args&&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
+                                            ParameterType::recv_count, ParameterType::root>::template check<Args...>();
+        int const root_rank = internal::select_value_or<ParameterType::root>(0, args...);
+        bool const at_root = is_root(root_rank);
+        static_assert(internal::has_parameter_v<ParameterType::send_buf, Args...> ||
+                          internal::has_parameter_v<ParameterType::recv_count, Args...>,
+                      "KaMPIng: scatter requires send_buf on the root (and either send_buf or "
+                      "recv_count to infer the element type / count)");
+        return scatter_impl<Args...>(root_rank, at_root, args...);
+    }
+
+    /// Allgather with uniform counts; also supports the simplified in-place
+    /// form `allgather(send_recv_buf(data))` (paper §III-G).
+    template <typename... Args>
+    auto allgather(Args&&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
+                                            ParameterType::send_recv_buf>::template check<Args...>();
+        if constexpr (internal::has_parameter_v<ParameterType::send_recv_buf, Args...>) {
+            static_assert(!internal::has_parameter_v<ParameterType::send_buf, Args...>,
+                          "KaMPIng: pass either send_buf or send_recv_buf to allgather, not both "
+                          "(send_buf would be ignored by the in-place call)");
+            auto buf = std::move(internal::select_parameter<ParameterType::send_recv_buf>(args...));
+            using T = typename std::remove_cvref_t<decltype(buf)>::value_type;
+            KAMPING_ASSERT(buf.size() % size() == 0,
+                           "in-place allgather requires the buffer to hold size() blocks");
+            int const count = static_cast<int>(buf.size() / size());
+            internal::throw_on_mpi_error(
+                MPI_Allgather(MPI_IN_PLACE, 0, MPI_DATATYPE_NULL, buf.data_mutable(), count,
+                              mpi_datatype<T>(), comm_),
+                "allgather (in place)");
+            return internal::make_result(std::move(buf));
+        } else {
+            internal::assert_required<ParameterType::send_buf, Args...>();
+            auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
+            using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+            int const count = static_cast<int>(send.size());
+            auto recv = internal::take_or<ParameterType::recv_buf>(
+                [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); },
+                args...);
+            recv.resize_to(static_cast<std::size_t>(count) * size());
+            internal::throw_on_mpi_error(
+                MPI_Allgather(send.data(), count, mpi_datatype<T>(), recv.data_mutable(), count,
+                              mpi_datatype<T>(), comm_),
+                "allgather");
+            return internal::make_result(std::move(recv));
+        }
+    }
+
+    /// Allgather with varying counts — the paper's flagship example (Fig. 1):
+    /// receive counts are allgathered from the send count when omitted,
+    /// displacements computed locally, and the receive buffer sized to fit.
+    template <typename... Args>
+    auto allgatherv(Args&&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
+                                            ParameterType::recv_counts,
+                                            ParameterType::recv_displs>::template check<Args...>();
+        internal::assert_required<ParameterType::send_buf, Args...>();
+        auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
+        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+        int const p = size_signed();
+        int const scount = static_cast<int>(send.size());
+
+        auto counts = internal::take_or<ParameterType::recv_counts>(
+            [] { return internal::lib_buffer<ParameterType::recv_counts, int>(); }, args...);
+        constexpr bool counts_provided =
+            internal::has_parameter_v<ParameterType::recv_counts, Args...> &&
+            std::remove_cvref_t<decltype(counts)>::direction == BufferDirection::in;
+        if constexpr (!counts_provided) {
+            counts.resize_to(static_cast<std::size_t>(p));
+            internal::throw_on_mpi_error(
+                MPI_Allgather(&scount, 1, MPI_INT, counts.data_mutable(), 1, MPI_INT, comm_),
+                "allgatherv (count exchange)");
+        }
+        auto displs = internal::take_or<ParameterType::recv_displs>(
+            [] { return internal::lib_buffer<ParameterType::recv_displs, int>(); }, args...);
+        constexpr bool displs_provided =
+            internal::has_parameter_v<ParameterType::recv_displs, Args...> &&
+            std::remove_cvref_t<decltype(displs)>::direction == BufferDirection::in;
+        if constexpr (!displs_provided) {
+            displs.resize_to(static_cast<std::size_t>(p));
+            internal::exclusive_prefix(counts.data(), displs.data_mutable(), p);
+        }
+        int total = 0;
+        for (int i = 0; i < p; ++i) total += counts.data()[i];
+
+        auto recv = internal::take_or<ParameterType::recv_buf>(
+            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
+        recv.resize_to(static_cast<std::size_t>(total));
+        internal::throw_on_mpi_error(
+            MPI_Allgatherv(send.data(), scount, mpi_datatype<T>(), recv.data_mutable(),
+                           counts.data(), displs.data(), mpi_datatype<T>(), comm_),
+            "allgatherv");
+        return internal::make_result(std::move(recv), std::move(counts), std::move(displs));
+    }
+
+    /// Uniform all-to-all exchange: send buffer holds size() blocks.
+    template <typename... Args>
+    auto alltoall(Args&&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf>::template check<Args...>();
+        internal::assert_required<ParameterType::send_buf, Args...>();
+        auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
+        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+        KAMPING_ASSERT(send.size() % size() == 0,
+                       "alltoall requires send_buf to hold size() equally sized blocks");
+        int const count = static_cast<int>(send.size() / size());
+        auto recv = internal::take_or<ParameterType::recv_buf>(
+            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
+        recv.resize_to(send.size());
+        internal::throw_on_mpi_error(
+            MPI_Alltoall(send.data(), count, mpi_datatype<T>(), recv.data_mutable(), count,
+                         mpi_datatype<T>(), comm_),
+            "alltoall");
+        return internal::make_result(std::move(recv));
+    }
+
+    /// All-to-all with varying counts. `send_counts` is required; send
+    /// displacements default to the exclusive prefix sum, receive counts are
+    /// exchanged with an alltoall when omitted, receive displacements are
+    /// computed locally, and the receive buffer is sized to fit.
+    template <typename... Args>
+    auto alltoallv(Args&&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::send_counts,
+                                            ParameterType::send_displs, ParameterType::recv_buf,
+                                            ParameterType::recv_counts,
+                                            ParameterType::recv_displs>::template check<Args...>();
+        internal::assert_required<ParameterType::send_buf, Args...>();
+        internal::assert_required<ParameterType::send_counts, Args...>();
+        auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
+        auto scounts = std::move(internal::select_parameter<ParameterType::send_counts>(args...));
+        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+        int const p = size_signed();
+        KAMPING_ASSERT(static_cast<int>(scounts.size()) == p,
+                       "send_counts must contain one entry per rank");
+
+        auto sdispls = internal::take_or<ParameterType::send_displs>(
+            [] { return internal::lib_buffer<ParameterType::send_displs, int>(); }, args...);
+        constexpr bool sdispls_provided =
+            internal::has_parameter_v<ParameterType::send_displs, Args...> &&
+            std::remove_cvref_t<decltype(sdispls)>::direction == BufferDirection::in;
+        if constexpr (!sdispls_provided) {
+            sdispls.resize_to(static_cast<std::size_t>(p));
+            internal::exclusive_prefix(scounts.data(), sdispls.data_mutable(), p);
+        }
+        auto rcounts = internal::take_or<ParameterType::recv_counts>(
+            [] { return internal::lib_buffer<ParameterType::recv_counts, int>(); }, args...);
+        constexpr bool rcounts_provided =
+            internal::has_parameter_v<ParameterType::recv_counts, Args...> &&
+            std::remove_cvref_t<decltype(rcounts)>::direction == BufferDirection::in;
+        if constexpr (!rcounts_provided) {
+            rcounts.resize_to(static_cast<std::size_t>(p));
+            internal::throw_on_mpi_error(MPI_Alltoall(scounts.data(), 1, MPI_INT,
+                                                      rcounts.data_mutable(), 1, MPI_INT, comm_),
+                                         "alltoallv (count exchange)");
+        }
+        auto rdispls = internal::take_or<ParameterType::recv_displs>(
+            [] { return internal::lib_buffer<ParameterType::recv_displs, int>(); }, args...);
+        constexpr bool rdispls_provided =
+            internal::has_parameter_v<ParameterType::recv_displs, Args...> &&
+            std::remove_cvref_t<decltype(rdispls)>::direction == BufferDirection::in;
+        if constexpr (!rdispls_provided) {
+            rdispls.resize_to(static_cast<std::size_t>(p));
+            internal::exclusive_prefix(rcounts.data(), rdispls.data_mutable(), p);
+        }
+        int total = 0;
+        for (int i = 0; i < p; ++i) total += rcounts.data()[i];
+        auto recv = internal::take_or<ParameterType::recv_buf>(
+            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
+        recv.resize_to(static_cast<std::size_t>(total));
+        internal::throw_on_mpi_error(
+            MPI_Alltoallv(send.data(), scounts.data(), sdispls.data(), mpi_datatype<T>(),
+                          recv.data_mutable(), rcounts.data(), rdispls.data(), mpi_datatype<T>(),
+                          comm_),
+            "alltoallv");
+        return internal::make_result(std::move(recv), std::move(rcounts), std::move(rdispls),
+                                     std::move(scounts), std::move(sdispls));
+    }
+
+    /// Reduction to `root` (default 0) with `op` (required).
+    template <typename... Args>
+    auto reduce(Args&&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
+                                            ParameterType::op, ParameterType::root>::template check<Args...>();
+        internal::assert_required<ParameterType::send_buf, Args...>();
+        internal::assert_required<ParameterType::op, Args...>();
+        auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
+        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+        int const root_rank = internal::select_value_or<ParameterType::root>(0, args...);
+        auto const& op_param = internal::select_parameter<ParameterType::op>(args...);
+        auto scoped = op_param.template resolve<T>();
+        auto recv = internal::take_or<ParameterType::recv_buf>(
+            [] { return internal::matching_recv_buffer<ParameterType::recv_buf,
+                                                       decltype(send)>(); },
+            args...);
+        if (is_root(root_rank)) recv.resize_to(send.size());
+        internal::throw_on_mpi_error(
+            MPI_Reduce(send.data(), is_root(root_rank) ? recv.data_mutable() : nullptr,
+                       static_cast<int>(send.size()), mpi_datatype<T>(), scoped.op, root_rank,
+                       comm_),
+            "reduce");
+        return internal::make_result(std::move(recv));
+    }
+
+    /// Allreduce with `op` (required).
+    template <typename... Args>
+    auto allreduce(Args&&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
+                                            ParameterType::send_recv_buf, ParameterType::op>::template check<Args...>();
+        internal::assert_required<ParameterType::op, Args...>();
+        auto const& op_param = internal::select_parameter<ParameterType::op>(args...);
+        if constexpr (internal::has_parameter_v<ParameterType::send_recv_buf, Args...>) {
+            // In-place allreduce.
+            auto buf = std::move(internal::select_parameter<ParameterType::send_recv_buf>(args...));
+            using T = typename std::remove_cvref_t<decltype(buf)>::value_type;
+            auto scoped = op_param.template resolve<T>();
+            internal::throw_on_mpi_error(
+                MPI_Allreduce(MPI_IN_PLACE, buf.data_mutable(), static_cast<int>(buf.size()),
+                              mpi_datatype<T>(), scoped.op, comm_),
+                "allreduce (in place)");
+            return internal::make_result(std::move(buf));
+        } else {
+            internal::assert_required<ParameterType::send_buf, Args...>();
+            auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
+            using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+            auto scoped = op_param.template resolve<T>();
+            auto recv = internal::take_or<ParameterType::recv_buf>(
+                [] { return internal::matching_recv_buffer<ParameterType::recv_buf,
+                                                           decltype(send)>(); },
+                args...);
+            recv.resize_to(send.size());
+            internal::throw_on_mpi_error(
+                MPI_Allreduce(send.data(), recv.data_mutable(), static_cast<int>(send.size()),
+                              mpi_datatype<T>(), scoped.op, comm_),
+                "allreduce");
+            return internal::make_result(std::move(recv));
+        }
+    }
+
+    /// Allreduce of a single value, returned by value on every rank
+    /// (e.g. `allreduce_single(send_buf(frontier.empty()), op(std::logical_and<>{}))`).
+    template <typename... Args>
+    auto allreduce_single(Args&&... args) const {
+        auto result = allreduce(std::forward<Args>(args)...);
+        return internal::to_single(std::move(result));
+    }
+
+    /// Inclusive prefix reduction.
+    template <typename... Args>
+    auto scan(Args&&... args) const {
+        return scan_impl<false>(std::forward<Args>(args)...);
+    }
+
+    /// Exclusive prefix reduction (rank 0's result is value-initialized).
+    template <typename... Args>
+    auto exscan(Args&&... args) const {
+        return scan_impl<true>(std::forward<Args>(args)...);
+    }
+
+    /// Inclusive prefix reduction of a single value.
+    template <typename... Args>
+    auto scan_single(Args&&... args) const {
+        auto result = scan(std::forward<Args>(args)...);
+        return internal::to_single(std::move(result));
+    }
+
+    /// Exclusive prefix reduction of a single value.
+    template <typename... Args>
+    auto exscan_single(Args&&... args) const {
+        auto result = exscan(std::forward<Args>(args)...);
+        return internal::to_single(std::move(result));
+    }
+
+    // =========================================================================
+    // Point-to-point
+    // =========================================================================
+
+    /// Blocking send. Requires `send_buf` and `destination`. Supports
+    /// serialization adapters.
+    template <typename... Args>
+    void send(Args&&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::destination,
+                                            ParameterType::tag, ParameterType::send_count>::template check<Args...>();
+        internal::assert_required<ParameterType::send_buf, Args...>();
+        internal::assert_required<ParameterType::destination, Args...>();
+        auto const& send_param = internal::select_parameter<ParameterType::send_buf>(args...);
+        int const dest = internal::select_parameter<ParameterType::destination>(args...).value;
+        int const tag_value = internal::select_value_or<ParameterType::tag>(0, args...);
+        using Buf = decltype(send_param);
+        if constexpr (internal::is_serialization_send_v<Buf>) {
+            auto bytes = serialize_to_bytes(send_param.underlying().get());
+            internal::throw_on_mpi_error(MPI_Send(bytes.data(), static_cast<int>(bytes.size()),
+                                                  MPI_CHAR, dest, tag_value, comm_),
+                                         "send (serialized)");
+        } else {
+            using T = typename std::remove_cvref_t<Buf>::value_type;
+            int const count = internal::select_value_or<ParameterType::send_count>(
+                static_cast<int>(send_param.size()), args...);
+            internal::throw_on_mpi_error(
+                MPI_Send(send_param.data(), count, mpi_datatype<T>(), dest, tag_value, comm_),
+                "send");
+        }
+    }
+
+    /// Blocking receive. The element type is inferred from `recv_buf`; use
+    /// `recv<T>(...)` when no buffer is passed. When no `recv_count` is
+    /// given, the message is probed and the buffer sized to fit. Supports
+    /// `recv_buf(as_deserializable<T>())`.
+    template <typename T = void, typename... Args>
+    auto recv(Args&&... args) const {
+        internal::ParameterCheck<ParameterType::recv_buf, ParameterType::source,
+                                            ParameterType::tag, ParameterType::recv_count>::template check<Args...>();
+        int const src = internal::select_value_or<ParameterType::source>(MPI_ANY_SOURCE, args...);
+        int const tag_value = internal::select_value_or<ParameterType::tag>(MPI_ANY_TAG, args...);
+        if constexpr (internal::has_parameter_v<ParameterType::recv_buf, Args...>) {
+            auto buf = std::move(internal::select_parameter<ParameterType::recv_buf>(args...));
+            using Buf = decltype(buf);
+            if constexpr (internal::is_deserialization_recv_v<Buf>) {
+                using Object =
+                    typename std::remove_cvref_t<Buf>::container_type::object_type;
+                MPI_Status st;
+                internal::throw_on_mpi_error(MPI_Probe(src, tag_value, comm_, &st),
+                                             "recv (probe)");
+                int nbytes = 0;
+                MPI_Get_count(&st, MPI_CHAR, &nbytes);
+                std::vector<char> bytes(static_cast<std::size_t>(nbytes));
+                internal::throw_on_mpi_error(MPI_Recv(bytes.data(), nbytes, MPI_CHAR,
+                                                      st.MPI_SOURCE, st.MPI_TAG, comm_,
+                                                      MPI_STATUS_IGNORE),
+                                             "recv (serialized)");
+                return deserialize_from_bytes<Object>(bytes.data(), bytes.size());
+            } else {
+                using V = typename std::remove_cvref_t<Buf>::value_type;
+                recv_into<V>(buf, src, tag_value, args...);
+                return internal::make_result(std::move(buf));
+            }
+        } else {
+            static_assert(!std::is_void_v<T>,
+                          "KaMPIng: recv needs the element type — either pass recv_buf(...) or "
+                          "call recv<T>(...)");
+            auto buf = internal::implicit_recv_buffer<ParameterType::recv_buf, T>();
+            recv_into<T>(buf, src, tag_value, args...);
+            return internal::make_result(std::move(buf));
+        }
+    }
+
+    /// Non-blocking send (paper §III-E / Fig. 6). With
+    /// `send_buf_out(std::move(v))` the container's ownership transfers to
+    /// the returned NonBlockingResult and is handed back by `wait()` once
+    /// the operation completed — making use-during-flight unrepresentable.
+    template <typename... Args>
+    auto isend(Args&&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::destination,
+                                            ParameterType::tag>::template check<Args...>();
+        internal::assert_required<ParameterType::send_buf, Args...>();
+        internal::assert_required<ParameterType::destination, Args...>();
+        auto buf = std::move(internal::select_parameter<ParameterType::send_buf>(args...));
+        using Buf = decltype(buf);
+        using T = typename std::remove_cvref_t<Buf>::value_type;
+        int const dest = internal::select_parameter<ParameterType::destination>(args...).value;
+        int const tag_value = internal::select_value_or<ParameterType::tag>(0, args...);
+        MPI_Request req = MPI_REQUEST_NULL;
+        internal::throw_on_mpi_error(
+            MPI_Isend(buf.data(), static_cast<int>(buf.size()), mpi_datatype<T>(), dest, tag_value,
+                      comm_, &req),
+            "isend");
+        if constexpr (std::remove_cvref_t<Buf>::is_returned) {
+            return NonBlockingResult<typename std::remove_cvref_t<Buf>::container_type>(
+                req, std::move(buf).extract());
+        } else if constexpr (std::remove_cvref_t<Buf>::is_owning) {
+            // Moved-in send_buf: keep it alive inside the result, return it
+            // to the caller after completion.
+            return NonBlockingResult<typename std::remove_cvref_t<Buf>::container_type>(
+                req, std::move(buf).extract());
+        } else {
+            return NonBlockingResult<void>(req);
+        }
+    }
+
+    /// Non-blocking receive. Requires a sized buffer: either
+    /// `recv_buf(std::move(container))` (pre-sized) or `irecv<T>` with
+    /// `recv_count(n)`. Data is only accessible through the result's
+    /// `wait()`/`test()` (paper Fig. 6).
+    template <typename T = void, typename... Args>
+    auto irecv(Args&&... args) const {
+        internal::ParameterCheck<ParameterType::recv_buf, ParameterType::source,
+                                            ParameterType::tag, ParameterType::recv_count>::template check<Args...>();
+        int const src = internal::select_value_or<ParameterType::source>(MPI_ANY_SOURCE, args...);
+        int const tag_value = internal::select_value_or<ParameterType::tag>(MPI_ANY_TAG, args...);
+        static_assert(internal::has_parameter_v<ParameterType::recv_buf, Args...> ||
+                          !std::is_void_v<T>,
+                      "KaMPIng: irecv needs the element type — either pass recv_buf(...) or call "
+                      "irecv<T>(recv_count(n))");
+        auto buf = internal::take_or<ParameterType::recv_buf>(
+            [] {
+                using U = std::conditional_t<std::is_void_v<T>, int, T>;
+                return internal::implicit_recv_buffer<ParameterType::recv_buf, U>();
+            },
+            args...);
+        using V = typename std::remove_cvref_t<decltype(buf)>::value_type;
+        if constexpr (internal::has_parameter_v<ParameterType::recv_count, Args...>) {
+            buf.resize_to(static_cast<std::size_t>(
+                internal::select_parameter<ParameterType::recv_count>(args...).value));
+        }
+        KAMPING_ASSERT(
+            (buf.size() > 0 || internal::has_parameter_v<ParameterType::recv_count, Args...>),
+            "irecv requires a sized receive buffer or recv_count(n)");
+        MPI_Request req = MPI_REQUEST_NULL;
+        internal::throw_on_mpi_error(
+            MPI_Irecv(buf.data_mutable(), static_cast<int>(buf.size()), mpi_datatype<V>(), src,
+                      tag_value, comm_, &req),
+            "irecv");
+        static_assert(std::remove_cvref_t<decltype(buf)>::is_owning,
+                      "KaMPIng: irecv requires ownership of the receive buffer to guarantee "
+                      "non-blocking safety; pass the container with std::move or use irecv<T>");
+        return NonBlockingResult<typename std::remove_cvref_t<decltype(buf)>::container_type>(
+            req, std::move(buf).extract());
+    }
+
+    /// Blocking probe; returns the matched message's status.
+    template <typename... Args>
+    MPI_Status probe(Args&&... args) const {
+        internal::ParameterCheck<ParameterType::source, ParameterType::tag>::template check<Args...>();
+        int const src = internal::select_value_or<ParameterType::source>(MPI_ANY_SOURCE, args...);
+        int const tag_value = internal::select_value_or<ParameterType::tag>(MPI_ANY_TAG, args...);
+        MPI_Status st;
+        internal::throw_on_mpi_error(MPI_Probe(src, tag_value, comm_, &st), "probe");
+        return st;
+    }
+
+    /// Non-blocking probe.
+    template <typename... Args>
+    std::optional<MPI_Status> iprobe(Args&&... args) const {
+        internal::ParameterCheck<ParameterType::source, ParameterType::tag>::template check<Args...>();
+        int const src = internal::select_value_or<ParameterType::source>(MPI_ANY_SOURCE, args...);
+        int const tag_value = internal::select_value_or<ParameterType::tag>(MPI_ANY_TAG, args...);
+        MPI_Status st;
+        int flag = 0;
+        internal::throw_on_mpi_error(MPI_Iprobe(src, tag_value, comm_, &flag, &st), "iprobe");
+        if (flag == 0) return std::nullopt;
+        return st;
+    }
+
+private:
+    void free_if_owned() {
+        if (owned_ && comm_ != MPI_COMM_NULL) {
+            MPI_Comm_free(&comm_);
+        }
+        owned_ = false;
+    }
+
+    template <typename Buf>
+    auto bcast_serialized(Buf buf, int root_rank) const {
+        auto& adapter = buf.underlying_mutable();
+        std::vector<char> bytes;
+        std::uint64_t n = 0;
+        if (is_root(root_rank)) {
+            bytes = serialize_to_bytes(adapter.get());
+            n = bytes.size();
+        }
+        internal::throw_on_mpi_error(MPI_Bcast(&n, 1, MPI_UINT64_T, root_rank, comm_),
+                                     "bcast (serialized size)");
+        bytes.resize(static_cast<std::size_t>(n));
+        internal::throw_on_mpi_error(
+            MPI_Bcast(bytes.data(), static_cast<int>(n), MPI_CHAR, root_rank, comm_),
+            "bcast (serialized payload)");
+        if (!is_root(root_rank)) {
+            BinaryInputArchive ar{bytes.data(), bytes.size()};
+            ar(adapter.get());
+        }
+        using Adapter = std::remove_cvref_t<decltype(adapter)>;
+        if constexpr (std::remove_cvref_t<Buf>::is_owning &&
+                      !std::is_pointer_v<decltype(Adapter::object)>) {
+            return std::move(adapter.object);
+        } else {
+            return;
+        }
+    }
+
+    template <typename V, typename Buf, typename... Args>
+    void recv_into(Buf& buf, int src, int tag_value, Args&... args) const {
+        int count = 0;
+        MPI_Status st{MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_SUCCESS, 0};
+        int real_src = src;
+        int real_tag = tag_value;
+        if constexpr (internal::has_parameter_v<ParameterType::recv_count, Args...>) {
+            count = internal::select_parameter<ParameterType::recv_count>(args...).value;
+        } else {
+            internal::throw_on_mpi_error(MPI_Probe(src, tag_value, comm_, &st), "recv (probe)");
+            MPI_Get_count(&st, mpi_datatype<V>(), &count);
+            real_src = st.MPI_SOURCE;
+            real_tag = st.MPI_TAG;
+        }
+        buf.resize_to(static_cast<std::size_t>(count));
+        internal::throw_on_mpi_error(MPI_Recv(buf.data_mutable(), count, mpi_datatype<V>(),
+                                              real_src, real_tag, comm_, MPI_STATUS_IGNORE),
+                                     "recv");
+    }
+
+    template <typename... Args>
+    auto scatter_impl(int root_rank, bool at_root, Args&... args) const {
+        auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
+        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+        int count = 0;
+        if constexpr (internal::has_parameter_v<ParameterType::recv_count, Args...>) {
+            count = internal::select_parameter<ParameterType::recv_count>(args...).value;
+        } else {
+            // The root knows the per-rank count; broadcast it.
+            std::uint64_t n = at_root ? send.size() / size() : 0;
+            internal::throw_on_mpi_error(MPI_Bcast(&n, 1, MPI_UINT64_T, root_rank, comm_),
+                                         "scatter (count exchange)");
+            count = static_cast<int>(n);
+        }
+        auto recv = internal::take_or<ParameterType::recv_buf>(
+            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
+        recv.resize_to(static_cast<std::size_t>(count));
+        internal::throw_on_mpi_error(
+            MPI_Scatter(at_root ? send.data() : nullptr, count, mpi_datatype<T>(),
+                        recv.data_mutable(), count, mpi_datatype<T>(), root_rank, comm_),
+            "scatter");
+        return internal::make_result(std::move(recv));
+    }
+
+    template <bool Exclusive, typename... Args>
+    auto scan_impl(Args&&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
+                                            ParameterType::op>::template check<Args...>();
+        internal::assert_required<ParameterType::send_buf, Args...>();
+        internal::assert_required<ParameterType::op, Args...>();
+        auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
+        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+        auto const& op_param = internal::select_parameter<ParameterType::op>(args...);
+        auto scoped = op_param.template resolve<T>();
+        auto recv = internal::take_or<ParameterType::recv_buf>(
+            [] { return internal::matching_recv_buffer<ParameterType::recv_buf,
+                                                       decltype(send)>(); },
+            args...);
+        recv.resize_to(send.size());
+        if constexpr (Exclusive) {
+            // Rank 0's exscan result is undefined per MPI; KaMPIng defines it
+            // as value-initialized for convenience.
+            if (rank_signed() == 0) {
+                for (std::size_t i = 0; i < recv.size(); ++i) recv.data_mutable()[i] = T{};
+            }
+            internal::throw_on_mpi_error(
+                MPI_Exscan(send.data(), recv.data_mutable(), static_cast<int>(send.size()),
+                           mpi_datatype<T>(), scoped.op, comm_),
+                "exscan");
+        } else {
+            internal::throw_on_mpi_error(
+                MPI_Scan(send.data(), recv.data_mutable(), static_cast<int>(send.size()),
+                         mpi_datatype<T>(), scoped.op, comm_),
+                "scan");
+        }
+        return internal::make_result(std::move(recv));
+    }
+
+    MPI_Comm comm_ = MPI_COMM_NULL;
+    bool owned_ = false;
+};
+
+/// The default communicator without plugins.
+using Communicator = BasicCommunicator<>;
+
+/// Communicator extended with the given CRTP plugins (paper §III-F), e.g.
+/// `CommunicatorWith<plugin::SparseAlltoall, plugin::GridAlltoall>`.
+template <template <typename> typename... Plugins>
+using CommunicatorWith = BasicCommunicator<Plugins...>;
+
+}  // namespace kamping

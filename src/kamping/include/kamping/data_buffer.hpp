@@ -1,0 +1,158 @@
+/// @file data_buffer.hpp
+/// @brief DataBuffer — the uniform wrapper around every container/value
+/// passed to or produced by a wrapped MPI call. Encodes, at compile time,
+/// which MPI parameter it is, its dataflow direction, whether it owns its
+/// storage, its resize policy, and whether it is part of the returned result
+/// object (paper §III-B/H).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdlib>
+#include <type_traits>
+#include <utility>
+
+#include "kamping/parameter_types.hpp"
+
+namespace kamping {
+
+/// Single-element container used when a scalar is passed where a container
+/// is expected (e.g. `send_buf(42)`, `allreduce_single`).
+template <typename T>
+struct SingleElement {
+    using value_type = T;
+    T element{};
+
+    T* data() { return &element; }
+    T const* data() const { return &element; }
+    static constexpr std::size_t size() { return 1; }
+    void resize(std::size_t) {}
+};
+
+namespace internal {
+
+/// True for containers we may call `.resize()` on.
+template <typename C, typename = void>
+struct is_resizable : std::false_type {};
+template <typename C>
+struct is_resizable<C, std::void_t<decltype(std::declval<C&>().resize(std::size_t{}))>>
+    : std::true_type {};
+template <typename C>
+inline constexpr bool is_resizable_v = is_resizable<C>::value;
+
+template <typename C, typename = void>
+struct value_type_of {
+    using type = void;
+};
+template <typename C>
+struct value_type_of<C, std::void_t<typename C::value_type>> {
+    using type = typename C::value_type;
+};
+
+}  // namespace internal
+
+/// @tparam PT        which MPI parameter this buffer carries
+/// @tparam Dir       dataflow direction
+/// @tparam Own       owning (movable into the result) vs referencing
+/// @tparam RP        resize policy applied before the buffer is written
+/// @tparam Returned  whether the buffer is part of the returned result
+/// @tparam Container underlying container type (may be const-qualified for
+///                   referencing in-buffers)
+template <ParameterType PT, BufferDirection Dir, BufferOwnership Own, ResizePolicy RP,
+          bool Returned, typename Container>
+class DataBuffer {
+public:
+    static constexpr ParameterType parameter_type = PT;
+    static constexpr BufferDirection direction = Dir;
+    static constexpr BufferOwnership ownership = Own;
+    static constexpr ResizePolicy resize_policy = RP;
+    static constexpr bool is_returned = Returned;
+    static constexpr bool is_single_value = false;
+    static constexpr bool is_owning = Own == BufferOwnership::owning;
+
+    using container_type = std::remove_const_t<Container>;
+    // Non-container payloads (serialization adapters) have no value_type;
+    // the alias degrades to void and data()/size() are never instantiated.
+    using value_type = typename internal::value_type_of<container_type>::type;
+
+    // Owning: take the container by value (moved in by the factory).
+    explicit DataBuffer(container_type&& container)
+        requires(Own == BufferOwnership::owning)
+        : owned_(std::move(container)) {}
+
+    DataBuffer()
+        requires(Own == BufferOwnership::owning)
+        : owned_() {}
+
+    // Referencing: bind to caller storage.
+    explicit DataBuffer(Container& container)
+        requires(Own == BufferOwnership::referencing)
+        : ref_(&container) {}
+
+    /// Read access to the underlying container.
+    std::remove_const_t<Container> const& underlying() const {
+        if constexpr (is_owning) {
+            return owned_;
+        } else {
+            return *ref_;
+        }
+    }
+
+    /// Write access; only for modifiable buffers.
+    container_type& underlying_mutable() {
+        static_assert(Dir != BufferDirection::in || is_owning,
+                      "attempt to modify a read-only (in) referencing buffer");
+        if constexpr (is_owning) {
+            return owned_;
+        } else {
+            static_assert(!std::is_const_v<Container> || Dir == BufferDirection::in,
+                          "attempt to modify a const buffer");
+            if constexpr (!std::is_const_v<Container>) {
+                return *ref_;
+            } else {
+                // unreachable: guarded by the static_asserts above
+                std::abort();
+            }
+        }
+    }
+
+    value_type const* data() const { return std::data(underlying()); }
+    value_type* data_mutable() { return std::data(underlying_mutable()); }
+    std::size_t size() const { return std::size(underlying()); }
+
+    /// Applies the resize policy so the buffer can hold `n` elements.
+    /// With `no_resize`, the capacity is asserted instead (paper §III-C).
+    void resize_to(std::size_t n) {
+        if constexpr (RP == ResizePolicy::resize_to_fit) {
+            underlying_mutable().resize(n);
+        } else if constexpr (RP == ResizePolicy::grow_only) {
+            if (size() < n) underlying_mutable().resize(n);
+        } else {
+            assert(size() >= n && "buffer too small and resize policy is no_resize");
+        }
+    }
+
+    /// Moves the underlying container out (only owning buffers).
+    container_type extract() && {
+        static_assert(is_owning, "cannot extract a referencing buffer; it aliases user storage");
+        return std::move(owned_);
+    }
+
+private:
+    // Exactly one of these is active depending on ownership; we avoid
+    // std::variant to keep this a zero-overhead wrapper.
+    [[no_unique_address]] std::conditional_t<is_owning, container_type, char> owned_{};
+    std::conditional_t<is_owning, char*, Container*> ref_ = nullptr;
+};
+
+/// Scalar named parameter (root, tag, destination, a single count, ...).
+template <ParameterType PT, typename T>
+struct ValueParam {
+    static constexpr ParameterType parameter_type = PT;
+    static constexpr bool is_single_value = true;
+    static constexpr bool is_returned = false;
+    using value_type = T;
+    T value;
+};
+
+}  // namespace kamping

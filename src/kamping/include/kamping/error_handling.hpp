@@ -1,0 +1,82 @@
+/// @file error_handling.hpp
+/// @brief Error handling following the C++ core guidelines as the paper does
+/// (§III-G): exceptions for failures, compile-time checks for usage errors,
+/// and leveled runtime assertions that can be disabled level by level.
+#pragma once
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "xmpi/mpi.h"
+
+namespace kamping {
+
+/// Base class of all exceptions thrown for MPI failures.
+class MpiErrorException : public std::runtime_error {
+public:
+    MpiErrorException(int code, std::string const& what_arg)
+        : std::runtime_error(what_arg + " (MPI error code " + std::to_string(code) + ")"),
+          code_(code) {}
+    int mpi_error_code() const { return code_; }
+
+private:
+    int code_;
+};
+
+/// A peer process failed (ULFM); recoverable via revoke/shrink (paper Fig. 12).
+class MpiFailureDetected : public MpiErrorException {
+public:
+    explicit MpiFailureDetected(std::string const& where)
+        : MpiErrorException(MPIX_ERR_PROC_FAILED, "process failure detected in " + where) {}
+};
+
+/// The communicator has been revoked.
+class MpiRevokedException : public MpiErrorException {
+public:
+    explicit MpiRevokedException(std::string const& where)
+        : MpiErrorException(MPIX_ERR_REVOKED, "communicator revoked in " + where) {}
+};
+
+namespace internal {
+
+/// Translates a non-success MPI return code into the matching exception.
+inline void throw_on_mpi_error(int code, char const* where) {
+    if (code == MPI_SUCCESS) return;
+    if (code == MPIX_ERR_PROC_FAILED) throw MpiFailureDetected{where};
+    if (code == MPIX_ERR_REVOKED) throw MpiRevokedException{where};
+    throw MpiErrorException{code, std::string{"MPI call failed in "} + where};
+}
+
+}  // namespace internal
+}  // namespace kamping
+
+/// Assertion levels (paper §III-G): 0 disables all checks, 1 enables
+/// lightweight checks, 2 (default) normal invariant checks, 3 enables
+/// heavyweight checks that may involve additional communication.
+#ifndef KAMPING_ASSERTION_LEVEL
+#define KAMPING_ASSERTION_LEVEL 2
+#endif
+
+#define KAMPING_ASSERT_IMPL(cond, msg)                                              \
+    do {                                                                            \
+        if (!(cond)) throw ::kamping::MpiErrorException(MPI_ERR_ARG, msg);          \
+    } while (false)
+
+#if KAMPING_ASSERTION_LEVEL >= 1
+#define KAMPING_ASSERT_LIGHT(cond, msg) KAMPING_ASSERT_IMPL(cond, msg)
+#else
+#define KAMPING_ASSERT_LIGHT(cond, msg) ((void)0)
+#endif
+
+#if KAMPING_ASSERTION_LEVEL >= 2
+#define KAMPING_ASSERT(cond, msg) KAMPING_ASSERT_IMPL(cond, msg)
+#else
+#define KAMPING_ASSERT(cond, msg) ((void)0)
+#endif
+
+#if KAMPING_ASSERTION_LEVEL >= 3
+#define KAMPING_ASSERT_HEAVY(cond, msg) KAMPING_ASSERT_IMPL(cond, msg)
+#else
+#define KAMPING_ASSERT_HEAVY(cond, msg) ((void)0)
+#endif

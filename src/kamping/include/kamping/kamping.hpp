@@ -1,0 +1,19 @@
+/// @file kamping.hpp
+/// @brief Umbrella header: include this to get the complete KaMPIng-style
+/// binding library (communicator, named parameters, type system,
+/// serialization, non-blocking safety, utilities).
+#pragma once
+
+#include "kamping/communicator.hpp"
+#include "kamping/data_buffer.hpp"
+#include "kamping/error_handling.hpp"
+#include "kamping/mpi_datatype.hpp"
+#include "kamping/named_parameters.hpp"
+#include "kamping/operations.hpp"
+#include "kamping/parameter_selection.hpp"
+#include "kamping/parameter_types.hpp"
+#include "kamping/reflection.hpp"
+#include "kamping/request.hpp"
+#include "kamping/result.hpp"
+#include "kamping/serialization.hpp"
+#include "kamping/utils.hpp"

@@ -1,0 +1,112 @@
+/// @file measurements.hpp
+/// @brief Measurement utilities supporting the algorithm-engineering
+/// workflow the paper advertises (§III-C: "iterative refinement of
+/// implementations and analysis through experimentation"): a hierarchical
+/// timer whose entries can be aggregated across the communicator (max /
+/// min / mean over ranks), in the spirit of KaMPIng's measurement module.
+///
+/// Times are virtual (cost-model) times so measurements are meaningful on
+/// the thread-backed substrate; on real MPI the same interface would wrap
+/// MPI_Wtime.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kamping/communicator.hpp"
+#include "kamping/named_parameters.hpp"
+#include "kamping/operations.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace kamping::measurements {
+
+/// Aggregated statistics of one timer entry across all ranks.
+struct Aggregate {
+    double max = 0;
+    double min = 0;
+    double mean = 0;
+};
+
+/// Hierarchical phase timer: `start("phase")` ... `stop()` accumulates into
+/// the named entry; nesting produces dotted paths ("sort.exchange").
+class Timer {
+public:
+    /// Starts (or resumes) a nested phase.
+    void start(std::string const& name) {
+        stack_.push_back(stack_.empty() ? name : stack_.back() + "." + name);
+        starts_.push_back(xmpi::vtime_now());
+    }
+
+    /// Stops the innermost phase and accumulates its duration.
+    void stop() {
+        if (stack_.empty()) return;
+        entries_[stack_.back()] += xmpi::vtime_now() - starts_.back();
+        stack_.pop_back();
+        starts_.pop_back();
+    }
+
+    /// Convenience RAII scope.
+    class Scope {
+    public:
+        Scope(Timer& timer, std::string const& name) : timer_(timer) { timer_.start(name); }
+        ~Scope() { timer_.stop(); }
+        Scope(Scope const&) = delete;
+        Scope& operator=(Scope const&) = delete;
+
+    private:
+        Timer& timer_;
+    };
+    Scope scope(std::string const& name) { return Scope{*this, name}; }
+
+    /// Local (per-rank) accumulated seconds of an entry.
+    double local(std::string const& name) const {
+        auto it = entries_.find(name);
+        return it == entries_.end() ? 0.0 : it->second;
+    }
+
+    /// Entry names present on this rank, sorted.
+    std::vector<std::string> entries() const {
+        std::vector<std::string> names;
+        names.reserve(entries_.size());
+        for (auto const& [name, seconds] : entries_) {
+            (void)seconds;
+            names.push_back(name);
+        }
+        return names;
+    }
+
+    /// Aggregates one entry over all ranks of `comm` (collective). Ranks
+    /// must call with the same entry name; missing entries count as 0.
+    template <typename Comm>
+    Aggregate aggregate(Comm const& comm, std::string const& name) const {
+        double const mine = local(name);
+        Aggregate agg;
+        agg.max = comm.allreduce_single(send_buf(mine), op(ops::max{}));
+        agg.min = comm.allreduce_single(send_buf(mine), op(ops::min{}));
+        double const sum = comm.allreduce_single(send_buf(mine), op(std::plus<>{}));
+        agg.mean = sum / static_cast<double>(comm.size());
+        return agg;
+    }
+
+    /// Clears all entries.
+    void clear() {
+        entries_.clear();
+        stack_.clear();
+        starts_.clear();
+    }
+
+private:
+    std::map<std::string, double> entries_;
+    std::vector<std::string> stack_;
+    std::vector<double> starts_;
+};
+
+/// Process-wide timer instance (one per rank; the map is thread-local so
+/// concurrently running ranks do not interfere).
+inline Timer& timer() {
+    thread_local Timer t;
+    return t;
+}
+
+}  // namespace kamping::measurements

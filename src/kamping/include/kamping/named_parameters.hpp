@@ -1,0 +1,199 @@
+/// @file named_parameters.hpp
+/// @brief The named-parameter factory functions — the user-facing surface of
+/// the parameter engine (paper §III-A/B). Each factory produces a lightweight
+/// parameter object; the wrapped call checks presence at compile time and
+/// computes defaults only for omitted parameters.
+///
+/// Conventions:
+///  - passing an lvalue container *references* it (results written in place,
+///    not part of the returned result object);
+///  - passing an rvalue container *moves* it in; ownership is transferred
+///    and, for out-parameters, returned by value with the result;
+///  - `*_out()` without arguments asks the library to allocate and return
+///    the parameter by value.
+#pragma once
+
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+#include "kamping/data_buffer.hpp"
+#include "kamping/parameter_types.hpp"
+
+namespace kamping {
+
+namespace internal {
+
+/// True for the serialization adapters from serialization.hpp (which are
+/// valid buffer payloads despite not being contiguous containers).
+template <typename T>
+concept is_serialization_like = requires { T::is_serialization_adapter; } ||
+                                requires { T::is_deserialization_adapter; };
+
+/// Deduces the buffer type for an in-parameter from the value category.
+template <ParameterType PT, typename Container>
+auto make_in_buffer(Container&& c) {
+    using Decayed = std::remove_cvref_t<Container>;
+    if constexpr (std::is_rvalue_reference_v<Container&&>) {
+        return DataBuffer<PT, BufferDirection::in, BufferOwnership::owning,
+                          ResizePolicy::no_resize, /*Returned=*/false, Decayed>(std::move(c));
+    } else {
+        using Ref = std::remove_reference_t<Container> const;
+        return DataBuffer<PT, BufferDirection::in, BufferOwnership::referencing,
+                          ResizePolicy::no_resize, /*Returned=*/false, Ref>(c);
+    }
+}
+
+/// Deduces the buffer type for an out/in-out parameter.
+template <ParameterType PT, BufferDirection Dir, ResizePolicy RP, typename Container>
+auto make_out_buffer(Container&& c) {
+    using Decayed = std::remove_cvref_t<Container>;
+    if constexpr (std::is_rvalue_reference_v<Container&&>) {
+        return DataBuffer<PT, Dir, BufferOwnership::owning, RP, /*Returned=*/true, Decayed>(
+            std::move(c));
+    } else {
+        static_assert(!std::is_const_v<std::remove_reference_t<Container>>,
+                      "an out-parameter cannot reference a const container");
+        using Ref = std::remove_reference_t<Container>;
+        return DataBuffer<PT, Dir, BufferOwnership::referencing, RP, /*Returned=*/false, Ref>(c);
+    }
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Send buffers
+// ---------------------------------------------------------------------------
+
+/// The data to send. Accepts any contiguous container; lvalues are
+/// referenced, rvalues are moved in. Serialization adapters
+/// (`as_serialized(...)`) are accepted as well.
+template <typename Container>
+    requires requires(Container c) { std::data(c); } ||
+             internal::is_serialization_like<std::remove_cvref_t<Container>>
+auto send_buf(Container&& c) {
+    return internal::make_in_buffer<ParameterType::send_buf>(std::forward<Container>(c));
+}
+
+/// Single-value overload: `send_buf(42)`.
+template <typename T>
+    requires(std::is_trivially_copyable_v<std::remove_cvref_t<T>> &&
+             !requires(T c) { std::data(c); } &&
+             !internal::is_serialization_like<std::remove_cvref_t<T>>)
+auto send_buf(T value) {
+    return DataBuffer<ParameterType::send_buf, BufferDirection::in, BufferOwnership::owning,
+                      ResizePolicy::no_resize, false, SingleElement<T>>(SingleElement<T>{value});
+}
+
+template <typename T>
+auto send_buf(std::initializer_list<T> il) {
+    return internal::make_in_buffer<ParameterType::send_buf>(std::vector<T>(il));
+}
+
+/// Send buffer whose ownership is transferred into the call and re-returned
+/// with the (non-blocking) result once the operation completed — the
+/// non-blocking safety mechanism of paper §III-E.
+template <typename Container>
+auto send_buf_out(Container&& c) {
+    static_assert(std::is_rvalue_reference_v<Container&&>,
+                  "send_buf_out transfers ownership: pass the container with std::move");
+    using Decayed = std::remove_cvref_t<Container>;
+    return DataBuffer<ParameterType::send_buf, BufferDirection::in_out, BufferOwnership::owning,
+                      ResizePolicy::no_resize, /*Returned=*/true, Decayed>(std::move(c));
+}
+
+// ---------------------------------------------------------------------------
+// Receive buffers
+// ---------------------------------------------------------------------------
+
+/// Receive buffer provided by the caller. The resize policy (template
+/// argument) controls allocation behaviour; the default performs no resizing
+/// and asserts sufficient capacity.
+template <ResizePolicy RP = ResizePolicy::no_resize, typename Container>
+auto recv_buf(Container&& c) {
+    return internal::make_out_buffer<ParameterType::recv_buf, BufferDirection::out, RP>(
+        std::forward<Container>(c));
+}
+
+/// Library-allocated receive buffer of the given container type, returned by
+/// value with the result.
+template <typename Container>
+auto recv_buf_out() {
+    return DataBuffer<ParameterType::recv_buf, BufferDirection::out, BufferOwnership::owning,
+                      ResizePolicy::resize_to_fit, true, Container>();
+}
+
+/// Combined send+receive buffer: used for in-place collectives
+/// (`allgather`, `allreduce`, ...) and for `bcast` (paper §III-G).
+template <typename Container>
+    requires requires(Container c) { std::data(c); } ||
+             internal::is_serialization_like<std::remove_cvref_t<Container>>
+auto send_recv_buf(Container&& c) {
+    return internal::make_out_buffer<ParameterType::send_recv_buf, BufferDirection::in_out,
+                                     ResizePolicy::resize_to_fit>(std::forward<Container>(c));
+}
+
+/// Scalar in-place buffer, e.g. `bcast_single(send_recv_buf(x), root(0))`.
+template <typename T>
+    requires(std::is_trivially_copyable_v<std::remove_cvref_t<T>> &&
+             !requires(T c) { std::data(c); } &&
+             !internal::is_serialization_like<std::remove_cvref_t<T>>)
+auto send_recv_buf(T value) {
+    using U = std::remove_cvref_t<T>;
+    return DataBuffer<ParameterType::send_recv_buf, BufferDirection::in_out,
+                      BufferOwnership::owning, ResizePolicy::no_resize, true, SingleElement<U>>(
+        SingleElement<U>{value});
+}
+
+// ---------------------------------------------------------------------------
+// Counts and displacements (each available as in- and out-parameter)
+// ---------------------------------------------------------------------------
+
+#define KAMPING_COUNTLIKE_PARAMETER(name)                                                         \
+    template <typename Container>                                                                 \
+        requires requires(Container c) { std::data(c); }                                          \
+    auto name(Container&& c) {                                                                    \
+        return internal::make_in_buffer<ParameterType::name>(std::forward<Container>(c));         \
+    }                                                                                             \
+    template <typename T>                                                                         \
+    auto name(std::initializer_list<T> il) {                                                      \
+        return internal::make_in_buffer<ParameterType::name>(std::vector<T>(il));                 \
+    }                                                                                             \
+    template <ResizePolicy RP = ResizePolicy::resize_to_fit>                                      \
+    auto name##_out() {                                                                           \
+        return DataBuffer<ParameterType::name, BufferDirection::out, BufferOwnership::owning, RP, \
+                          true, std::vector<int>>();                                              \
+    }                                                                                             \
+    template <ResizePolicy RP = ResizePolicy::resize_to_fit, typename Container>                  \
+    auto name##_out(Container&& c) {                                                              \
+        return internal::make_out_buffer<ParameterType::name, BufferDirection::out, RP>(          \
+            std::forward<Container>(c));                                                          \
+    }
+
+KAMPING_COUNTLIKE_PARAMETER(send_counts)
+KAMPING_COUNTLIKE_PARAMETER(recv_counts)
+KAMPING_COUNTLIKE_PARAMETER(send_displs)
+KAMPING_COUNTLIKE_PARAMETER(recv_displs)
+
+#undef KAMPING_COUNTLIKE_PARAMETER
+
+// ---------------------------------------------------------------------------
+// Scalar parameters
+// ---------------------------------------------------------------------------
+
+inline auto root(int rank) { return ValueParam<ParameterType::root, int>{rank}; }
+inline auto destination(int rank) { return ValueParam<ParameterType::destination, int>{rank}; }
+inline auto source(int rank) { return ValueParam<ParameterType::source, int>{rank}; }
+inline auto tag(int value) { return ValueParam<ParameterType::tag, int>{value}; }
+inline auto send_count(int count) { return ValueParam<ParameterType::send_count, int>{count}; }
+inline auto recv_count(int count) { return ValueParam<ParameterType::recv_count, int>{count}; }
+inline auto send_recv_count(int count) {
+    return ValueParam<ParameterType::send_recv_count, int>{count};
+}
+
+/// Matches any source in `recv`/`probe`.
+struct AnySource {};
+inline constexpr AnySource any_source{};
+inline auto source(AnySource) { return ValueParam<ParameterType::source, int>{-2 /*MPI_ANY_SOURCE*/}; }
+
+}  // namespace kamping

@@ -1,0 +1,161 @@
+/// @file operations.hpp
+/// @brief Reduction operations: mapping of STL functors (std::plus, ...) to
+/// the built-in MPI constants — enabling MPI-level optimization — and
+/// wrapping of arbitrary callables (including capturing lambdas) as custom
+/// operations (paper §II "reduction via lambda", §III).
+#pragma once
+
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+#include "kamping/data_buffer.hpp"
+#include "kamping/mpi_datatype.hpp"
+#include "kamping/parameter_types.hpp"
+#include "xmpi/mpi.h"
+
+namespace kamping {
+
+namespace ops {
+
+/// Maximum/minimum functors (the STL lacks binary max/min function objects).
+struct max {
+    template <typename T>
+    T operator()(T const& a, T const& b) const {
+        return a < b ? b : a;
+    }
+};
+struct min {
+    template <typename T>
+    T operator()(T const& a, T const& b) const {
+        return b < a ? b : a;
+    }
+};
+
+/// Commutativity tags for user-provided operations. MPI may reorder operands
+/// of commutative operations; non-commutative ones are applied in rank order.
+struct commutative_tag {};
+struct non_commutative_tag {};
+inline constexpr commutative_tag commutative{};
+inline constexpr non_commutative_tag non_commutative{};
+
+}  // namespace ops
+
+namespace internal {
+
+template <typename Op, typename T>
+constexpr bool is_builtin_op() {
+    using O = std::remove_cvref_t<Op>;
+    return std::is_same_v<O, std::plus<>> || std::is_same_v<O, std::plus<T>> ||
+           std::is_same_v<O, std::multiplies<>> || std::is_same_v<O, std::multiplies<T>> ||
+           std::is_same_v<O, std::logical_and<>> || std::is_same_v<O, std::logical_and<T>> ||
+           std::is_same_v<O, std::logical_or<>> || std::is_same_v<O, std::logical_or<T>> ||
+           std::is_same_v<O, std::bit_and<>> || std::is_same_v<O, std::bit_and<T>> ||
+           std::is_same_v<O, std::bit_or<>> || std::is_same_v<O, std::bit_or<T>> ||
+           std::is_same_v<O, std::bit_xor<>> || std::is_same_v<O, std::bit_xor<T>> ||
+           std::is_same_v<O, ops::max> || std::is_same_v<O, ops::min>;
+}
+
+template <typename Op, typename T>
+MPI_Op builtin_mpi_op() {
+    using O = std::remove_cvref_t<Op>;
+    if constexpr (std::is_same_v<O, std::plus<>> || std::is_same_v<O, std::plus<T>>)
+        return MPI_SUM;
+    else if constexpr (std::is_same_v<O, std::multiplies<>> || std::is_same_v<O, std::multiplies<T>>)
+        return MPI_PROD;
+    else if constexpr (std::is_same_v<O, std::logical_and<>> ||
+                       std::is_same_v<O, std::logical_and<T>>)
+        return MPI_LAND;
+    else if constexpr (std::is_same_v<O, std::logical_or<>> ||
+                       std::is_same_v<O, std::logical_or<T>>)
+        return MPI_LOR;
+    else if constexpr (std::is_same_v<O, std::bit_and<>> || std::is_same_v<O, std::bit_and<T>>)
+        return MPI_BAND;
+    else if constexpr (std::is_same_v<O, std::bit_or<>> || std::is_same_v<O, std::bit_or<T>>)
+        return MPI_BOR;
+    else if constexpr (std::is_same_v<O, std::bit_xor<>> || std::is_same_v<O, std::bit_xor<T>>)
+        return MPI_BXOR;
+    else if constexpr (std::is_same_v<O, ops::max>)
+        return MPI_MAX;
+    else if constexpr (std::is_same_v<O, ops::min>)
+        return MPI_MIN;
+}
+
+/// Owns a created MPI_Op for the duration of one wrapped call; built-in
+/// constants are borrowed, not freed.
+struct ScopedOp {
+    MPI_Op op = MPI_OP_NULL;
+    bool owned = false;
+
+    ScopedOp() = default;
+    ScopedOp(MPI_Op o, bool own) : op(o), owned(own) {}
+    ScopedOp(ScopedOp&& other) noexcept : op(other.op), owned(other.owned) {
+        other.op = MPI_OP_NULL;
+        other.owned = false;
+    }
+    ScopedOp& operator=(ScopedOp&&) = delete;
+    ScopedOp(ScopedOp const&) = delete;
+    ~ScopedOp() {
+        if (owned && op != MPI_OP_NULL) MPI_Op_free(&op);
+    }
+};
+
+/// Resolves a user operation for value type `T` into an MPI_Op, mapping STL
+/// functors to MPI constants (enabling backend optimization) and wrapping
+/// anything else — lambdas included — via a type-erased trampoline.
+template <typename T, typename Func>
+ScopedOp resolve_op(Func&& func, bool commutative) {
+    if constexpr (is_builtin_op<Func, T>()) {
+        (void)commutative;
+        return ScopedOp{builtin_mpi_op<Func, T>(), /*own=*/false};
+    } else {
+        MPI_Op op = MPI_OP_NULL;
+        auto f = std::forward<Func>(func);
+        XMPI_Op_create_fn(
+            [f](void* in, void* inout, int* len, MPI_Datatype*) {
+                auto const* a = static_cast<T const*>(in);  // left (lower-rank) operand
+                auto* b = static_cast<T*>(inout);
+                for (int i = 0; i < *len; ++i) b[i] = f(a[i], b[i]);
+            },
+            commutative ? 1 : 0, &op);
+        return ScopedOp{op, /*own=*/true};
+    }
+}
+
+}  // namespace internal
+
+/// Named parameter carrying a reduction operation plus its commutativity.
+template <typename Func>
+struct OpParam {
+    static constexpr ParameterType parameter_type = ParameterType::op;
+    static constexpr bool is_single_value = true;
+    static constexpr bool is_returned = false;
+    Func func;
+    bool commutative;
+
+    template <typename T>
+    internal::ScopedOp resolve() const {
+        return internal::resolve_op<T>(func, commutative);
+    }
+};
+
+/// Reduction operation parameter. STL functors map to MPI built-ins; custom
+/// callables default to non-commutative unless tagged.
+template <typename Func>
+auto op(Func&& func) {
+    using F = std::remove_cvref_t<Func>;
+    // Built-in operations are commutative by definition.
+    return OpParam<F>{std::forward<Func>(func), internal::is_builtin_op<F, int>()};
+}
+
+template <typename Func>
+auto op(Func&& func, ops::commutative_tag) {
+    return OpParam<std::remove_cvref_t<Func>>{std::forward<Func>(func), true};
+}
+
+template <typename Func>
+auto op(Func&& func, ops::non_commutative_tag) {
+    return OpParam<std::remove_cvref_t<Func>>{std::forward<Func>(func), false};
+}
+
+}  // namespace kamping

@@ -1,0 +1,97 @@
+/// @file parameter_selection.hpp
+/// @brief Compile-time selection of named parameters from an argument pack:
+/// presence checks, duplicate detection, allowed-set validation with
+/// human-readable diagnostics, and default materialization (paper §III-A/H).
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "kamping/parameter_types.hpp"
+
+namespace kamping::internal {
+
+/// True if the (decayed) argument type carries the requested parameter type.
+template <ParameterType PT, typename Arg>
+inline constexpr bool is_parameter_v = std::remove_cvref_t<Arg>::parameter_type == PT;
+
+/// Number of arguments in the pack carrying the requested parameter type.
+template <ParameterType PT, typename... Args>
+inline constexpr std::size_t parameter_count_v = (0 + ... + (is_parameter_v<PT, Args> ? 1 : 0));
+
+/// Presence check.
+template <ParameterType PT, typename... Args>
+inline constexpr bool has_parameter_v = parameter_count_v<PT, Args...> > 0;
+
+/// Returns a reference to the (unique) argument carrying the requested
+/// parameter type. Compile error if absent.
+template <ParameterType PT, typename First, typename... Rest>
+constexpr decltype(auto) select_parameter(First&& first, Rest&&... rest) {
+    if constexpr (is_parameter_v<PT, First>) {
+        return std::forward<First>(first);
+    } else {
+        static_assert(sizeof...(Rest) > 0,
+                      "KaMPIng: a required named parameter is missing from this call");
+        return select_parameter<PT>(std::forward<Rest>(rest)...);
+    }
+}
+
+/// Selects the parameter if present, otherwise materializes a default by
+/// invoking `make_default`. The caller binds the result with `auto&&` — a
+/// reference in the first case, a value in the second (lifetime-extended).
+template <ParameterType PT, typename DefaultFactory, typename... Args>
+constexpr decltype(auto) select_parameter_or(DefaultFactory&& make_default, Args&&... args) {
+    if constexpr (has_parameter_v<PT, Args...>) {
+        return select_parameter<PT>(std::forward<Args>(args)...);
+    } else {
+        return std::forward<DefaultFactory>(make_default)();
+    }
+}
+
+/// Scalar convenience: the parameter's `.value` or `fallback`.
+template <ParameterType PT, typename T, typename... Args>
+constexpr T select_value_or(T fallback, Args&&... args) {
+    if constexpr (has_parameter_v<PT, Args...>) {
+        return static_cast<T>(select_parameter<PT>(args...).value);
+    } else {
+        return fallback;
+    }
+}
+
+/// Validates the argument pack of a wrapped MPI call:
+///  - every argument must be a named parameter (no positional arguments);
+///  - no parameter may be passed twice;
+///  - every parameter must be in the operation's allowed set.
+/// All violations produce readable static_assert messages at the call site.
+template <ParameterType... Allowed>
+struct ParameterCheck {
+    template <typename Arg>
+    static constexpr bool is_allowed() {
+        return ((std::remove_cvref_t<Arg>::parameter_type == Allowed) || ...);
+    }
+
+    template <typename... Args>
+    static constexpr void check() {
+        static_assert((is_named_parameter_v<Args> && ...),
+                      "KaMPIng: all arguments must be named parameters "
+                      "(e.g. send_buf(...), recv_counts_out(), root(0))");
+        static_assert(((parameter_count_v<Allowed, Args...> <= 1) && ...),
+                      "KaMPIng: the same named parameter was passed more than once");
+        // Each argument's parameter type must appear in the allowed list.
+        static_assert(
+            (is_allowed<Args>() && ...),
+            "KaMPIng: a named parameter passed to this call is not accepted by this operation "
+            "(e.g. passing send_count to an in-place operation that would ignore it)");
+    }
+};
+
+/// Required-parameter check with a readable message.
+template <ParameterType PT, typename... Args>
+constexpr void assert_required() {
+    static_assert(has_parameter_v<PT, Args...>,
+                  "KaMPIng: this operation requires a named parameter you did not provide "
+                  "(e.g. allgatherv requires send_buf(...), send requires destination(...))");
+}
+
+}  // namespace kamping::internal

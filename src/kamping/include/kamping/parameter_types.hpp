@@ -1,0 +1,62 @@
+/// @file parameter_types.hpp
+/// @brief Core vocabulary of the named-parameter engine: parameter kinds,
+/// buffer ownership/direction, and resize policies (paper §III-A–C).
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+namespace kamping {
+
+/// Identifies which MPI parameter a named-parameter object carries.
+enum class ParameterType {
+    send_buf,
+    recv_buf,
+    send_recv_buf,
+    send_counts,
+    recv_counts,
+    send_count,
+    recv_count,
+    send_recv_count,
+    send_displs,
+    recv_displs,
+    root,
+    destination,
+    source,
+    tag,
+    op,
+    request,
+    values_on_rank_0,
+};
+
+/// Whether a parameter object owns its storage (movable into the result) or
+/// references caller-owned storage (results are written in place and the
+/// parameter is not part of the returned result object).
+enum class BufferOwnership { owning, referencing };
+
+/// Dataflow direction of a parameter with respect to the wrapped MPI call.
+enum class BufferDirection { in, out, in_out };
+
+/// Controls memory management of output containers (paper §III-C):
+/// - `no_resize`: the container is assumed large enough (checked assertion);
+/// - `grow_only`: resized only if too small;
+/// - `resize_to_fit`: always resized to exactly the required size.
+enum class ResizePolicy { no_resize, grow_only, resize_to_fit };
+
+inline constexpr ResizePolicy no_resize = ResizePolicy::no_resize;
+inline constexpr ResizePolicy grow_only = ResizePolicy::grow_only;
+inline constexpr ResizePolicy resize_to_fit = ResizePolicy::resize_to_fit;
+
+namespace internal {
+
+/// Trait: is `T` a named-parameter object (has a `parameter_type` constant)?
+template <typename T, typename = void>
+struct is_named_parameter : std::false_type {};
+template <typename T>
+struct is_named_parameter<T, std::void_t<decltype(std::remove_cvref_t<T>::parameter_type)>>
+    : std::true_type {};
+template <typename T>
+inline constexpr bool is_named_parameter_v = is_named_parameter<T>::value;
+
+}  // namespace internal
+}  // namespace kamping

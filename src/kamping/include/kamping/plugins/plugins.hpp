@@ -1,0 +1,9 @@
+/// @file plugins.hpp
+/// @brief Umbrella header for all shipped plugins (paper §III-F, §V).
+#pragma once
+
+#include "kamping/plugins/grid_alltoall.hpp"
+#include "kamping/plugins/reproducible_reduce.hpp"
+#include "kamping/plugins/sorter.hpp"
+#include "kamping/plugins/sparse_alltoall.hpp"
+#include "kamping/plugins/ulfm.hpp"

@@ -1,0 +1,180 @@
+/// @file reproducible_reduce.hpp
+/// @brief Reproducible reduction plugin (paper §V-C, Fig. 13): fixes the
+/// floating-point reduction order independently of the number of processors
+/// by reducing over a conceptual binary tree on the *global element indices*
+/// [Villa et al., CUG'09; Stelz, KIT'22]. Faster than gather + local
+/// reduction + broadcast: only O(log p) messages of O(log n) partials.
+///
+/// Reproducibility argument: every transmitted partial is the sum of a
+/// *complete* subtree of the fixed global tree, computed with the same fixed
+/// bracketing regardless of which rank holds the leaves; partials are only
+/// ever combined with their exact siblings, and the final canonical
+/// decomposition of [0, n) is folded left-to-right. No step depends on p.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "kamping/error_handling.hpp"
+#include "kamping/mpi_datatype.hpp"
+#include "kamping/parameter_selection.hpp"
+#include "xmpi/mpi.h"
+
+namespace kamping::plugin {
+
+template <typename Comm>
+class ReproducibleReduce {
+public:
+    /// Reduces the distributed array (each rank holds a contiguous chunk, in
+    /// rank order) with `combine` (default: +). The result is bitwise
+    /// identical for any processor count and is returned on every rank.
+    template <typename T, typename Combine = std::plus<>>
+    T reproducible_reduce(std::vector<T> const& local, Combine combine = {}) const {
+        MPI_Comm comm = self().mpi_communicator();
+        int p = 0, r = 0;
+        MPI_Comm_size(comm, &p);
+        MPI_Comm_rank(comm, &r);
+
+        // Global index range of the local chunk.
+        std::uint64_t const local_n = local.size();
+        std::uint64_t start = 0;
+        MPI_Exscan(&local_n, &start, 1, MPI_UINT64_T, MPI_SUM, comm);
+        if (r == 0) start = 0;
+        std::uint64_t n = 0;
+        MPI_Allreduce(&local_n, &n, 1, MPI_UINT64_T, MPI_SUM, comm);
+        if (n == 0) return T{};
+
+        // Maximal complete subtrees covering [start, start + local_n), left
+        // to right. Each is identified by (level, index) with a fixed sum.
+        std::vector<Node<T>> nodes;
+        decompose(local.data(), start, start + local_n, combine, nodes);
+
+        // Merge partial lists up a binomial tree over ranks; only exact
+        // siblings are combined, preserving the fixed bracketing.
+        for (int mask = 1; mask < p; mask <<= 1) {
+            if ((r & mask) != 0) {
+                int const parent = r - mask;
+                send_nodes(comm, parent, nodes);
+                nodes.clear();
+                break;
+            }
+            int const child = r + mask;
+            if (child < p) {
+                auto incoming = recv_nodes<T>(comm, child);
+                // incoming covers the range right of ours: append + combine.
+                for (auto& node : incoming) nodes.push_back(node);
+                combine_siblings(nodes, combine);
+            }
+        }
+
+        T result{};
+        if (r == 0) {
+            // Fold the canonical decomposition of [0, n) left to right.
+            bool first = true;
+            for (auto const& node : nodes) {
+                result = first ? node.sum : combine(result, node.sum);
+                first = false;
+            }
+        }
+        internal::throw_on_mpi_error(MPI_Bcast(&result, 1, mpi_datatype<T>(), 0, comm),
+                                     "reproducible_reduce (bcast)");
+        return result;
+    }
+
+private:
+    template <typename T>
+    struct Node {
+        std::uint64_t level;  // 0 = leaf
+        std::uint64_t index;  // subtree index within its level
+        T sum;
+    };
+
+    Comm const& self() const { return static_cast<Comm const&>(*this); }
+
+    /// Sum of a complete subtree of `count` (a power of two) elements with
+    /// fixed pairwise bracketing: combine(left half, right half), recursively.
+    /// Merging two sibling nodes reproduces exactly this bracketing, which is
+    /// what makes the result independent of the processor count.
+    template <typename T, typename Combine>
+    static T subtree_sum(T const* data, std::uint64_t count, Combine combine) {
+        if (count == 1) return data[0];
+        std::uint64_t const half = count / 2;
+        T const left = subtree_sum(data, half, combine);
+        T const right = subtree_sum(data + half, half, combine);
+        return combine(left, right);
+    }
+
+    /// Decomposes [lo, hi) into maximal aligned complete subtrees of the
+    /// fixed global tree, appending (level, index, sum) nodes left to right.
+    template <typename T, typename Combine>
+    static void decompose(T const* data, std::uint64_t lo, std::uint64_t hi, Combine combine,
+                          std::vector<Node<T>>& out) {
+        std::uint64_t pos = lo;
+        while (pos < hi) {
+            // Largest power-of-two block starting at pos that fits in [pos, hi)
+            // and is aligned (a complete subtree starts at a multiple of its
+            // size).
+            std::uint64_t size = 1;
+            while (pos % (size * 2) == 0 && pos + size * 2 <= hi) size *= 2;
+            out.push_back(
+                Node<T>{levels_of(size), pos / size, subtree_sum(data + (pos - lo), size, combine)});
+            pos += size;
+        }
+    }
+
+    static std::uint64_t levels_of(std::uint64_t size) {
+        std::uint64_t l = 0;
+        while (size > 1) {
+            size /= 2;
+            ++l;
+        }
+        return l;
+    }
+
+    /// Repeatedly merges adjacent exact siblings (same level, even/odd index
+    /// pair) into their parent node.
+    template <typename T, typename Combine>
+    static void combine_siblings(std::vector<Node<T>>& nodes, Combine combine) {
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+                auto const& a = nodes[i];
+                auto const& b = nodes[i + 1];
+                if (a.level == b.level && a.index % 2 == 0 && b.index == a.index + 1) {
+                    nodes[i] = Node<T>{a.level + 1, a.index / 2, combine(a.sum, b.sum)};
+                    nodes.erase(nodes.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    template <typename T>
+    static void send_nodes(MPI_Comm comm, int dest, std::vector<Node<T>> const& nodes) {
+        internal::throw_on_mpi_error(
+            MPI_Send(nodes.data(), static_cast<int>(nodes.size() * sizeof(Node<T>)), MPI_BYTE,
+                     dest, kTag, comm),
+            "reproducible_reduce (send)");
+    }
+
+    template <typename T>
+    static std::vector<Node<T>> recv_nodes(MPI_Comm comm, int src) {
+        MPI_Status st;
+        internal::throw_on_mpi_error(MPI_Probe(src, kTag, comm, &st),
+                                     "reproducible_reduce (probe)");
+        int bytes = 0;
+        MPI_Get_count(&st, MPI_BYTE, &bytes);
+        std::vector<Node<T>> nodes(static_cast<std::size_t>(bytes) / sizeof(Node<T>));
+        internal::throw_on_mpi_error(
+            MPI_Recv(nodes.data(), bytes, MPI_BYTE, src, kTag, comm, MPI_STATUS_IGNORE),
+            "reproducible_reduce (recv)");
+        return nodes;
+    }
+
+    static constexpr int kTag = (1 << 20) + (1 << 12);
+};
+
+}  // namespace kamping::plugin

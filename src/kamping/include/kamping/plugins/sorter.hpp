@@ -1,0 +1,78 @@
+/// @file sorter.hpp
+/// @brief STL-like distributed sorter plugin (paper §IV-A/§V): sample sort
+/// with regular sampling over the communicator, exposed as
+/// `comm.sort(data)`. Part of the "algorithmic building blocks" the paper
+/// positions KaMPIng as a foundation for.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "kamping/named_parameters.hpp"
+#include "kamping/operations.hpp"
+
+namespace kamping::plugin {
+
+template <typename Comm>
+class DistributedSorter {
+public:
+    /// Sorts the distributed array globally: afterwards every rank's chunk
+    /// is locally sorted and all elements on rank i precede those on rank
+    /// i+1 (element counts per rank may change). Deterministic sampling.
+    template <typename T, typename Compare = std::less<>>
+    void sort(std::vector<T>& data, Compare comp = {}) const {
+        Comm const& comm = self();
+        std::size_t const p = comm.size();
+        if (p == 1) {
+            std::sort(data.begin(), data.end(), comp);
+            return;
+        }
+        std::size_t const num_samples =
+            16 * static_cast<std::size_t>(std::log2(static_cast<double>(p))) + 1;
+
+        // Local samples (seeded by rank for determinism).
+        std::vector<T> local_samples;
+        local_samples.reserve(num_samples);
+        std::mt19937 gen(4242 + static_cast<unsigned>(comm.rank()));
+        if (!data.empty()) {
+            std::uniform_int_distribution<std::size_t> pick(0, data.size() - 1);
+            for (std::size_t i = 0; i < num_samples; ++i) local_samples.push_back(data[pick(gen)]);
+        }
+        auto global_samples = comm.allgatherv(send_buf(local_samples));
+        std::sort(global_samples.begin(), global_samples.end(), comp);
+
+        // p-1 splitters at regular positions.
+        std::vector<T> splitters;
+        splitters.reserve(p - 1);
+        if (!global_samples.empty()) {
+            for (std::size_t i = 1; i < p; ++i) {
+                splitters.push_back(
+                    global_samples[std::min(global_samples.size() - 1,
+                                            i * global_samples.size() / p)]);
+            }
+        }
+
+        // Partition into buckets and exchange.
+        std::sort(data.begin(), data.end(), comp);
+        std::vector<int> send_count_vec(p, 0);
+        std::size_t begin = 0;
+        for (std::size_t i = 0; i < p - 1 && !splitters.empty(); ++i) {
+            auto it = std::upper_bound(data.begin() + static_cast<std::ptrdiff_t>(begin),
+                                       data.end(), splitters[i], comp);
+            std::size_t const end = static_cast<std::size_t>(it - data.begin());
+            send_count_vec[i] = static_cast<int>(end - begin);
+            begin = end;
+        }
+        send_count_vec[p - 1] = static_cast<int>(data.size() - begin);
+
+        data = comm.alltoallv(send_buf(std::move(data)), send_counts(std::move(send_count_vec)));
+        std::sort(data.begin(), data.end(), comp);
+    }
+
+private:
+    Comm const& self() const { return static_cast<Comm const&>(*this); }
+};
+
+}  // namespace kamping::plugin

@@ -1,0 +1,109 @@
+/// @file sparse_alltoall.hpp
+/// @brief SparseAlltoall plugin (paper §V-A): personalized all-to-all for
+/// sparse, dynamically changing communication patterns. Accepts a set of
+/// destination→message pairs and uses the NBX algorithm of Hoefler et al.
+/// [PPoPP'10] — synchronous sends, a probe-receive loop, and a non-blocking
+/// barrier — for latency O(log p + degree) instead of O(p).
+#pragma once
+
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "kamping/error_handling.hpp"
+#include "kamping/mpi_datatype.hpp"
+#include "xmpi/mpi.h"
+
+namespace kamping::plugin {
+
+template <typename Comm>
+class SparseAlltoall {
+public:
+    /// Sends each `messages[dest]` to `dest`; invokes
+    /// `on_message(source, std::vector<T>&&)` for every received message.
+    /// Collective over the communicator; the pattern may differ per call.
+    template <typename Map, typename OnMessage>
+    void alltoallv_sparse(Map const& messages, OnMessage&& on_message) const {
+        using Container = typename Map::mapped_type;
+        using T = typename Container::value_type;
+        MPI_Comm comm = self().mpi_communicator();
+        // Tag space: one tag per NBX round so a fast rank's next round cannot
+        // be confused with a slow rank's current one.
+        int const round_tag = kSparseTagBase + (sparse_round_++ % kSparseTagRounds);
+
+        std::vector<MPI_Request> send_requests;
+        send_requests.reserve(messages.size());
+        for (auto const& [dest, msg] : messages) {
+            MPI_Request req = MPI_REQUEST_NULL;
+            internal::throw_on_mpi_error(
+                MPI_Issend(msg.data(), static_cast<int>(msg.size()), mpi_datatype<T>(), dest,
+                           round_tag, comm, &req),
+                "alltoallv_sparse (issend)");
+            send_requests.push_back(req);
+        }
+
+        bool barrier_active = false;
+        MPI_Request barrier_request = MPI_REQUEST_NULL;
+        for (;;) {
+            // Drain arrived messages.
+            int flag = 0;
+            MPI_Status status;
+            internal::throw_on_mpi_error(
+                MPI_Iprobe(MPI_ANY_SOURCE, round_tag, comm, &flag, &status),
+                "alltoallv_sparse (iprobe)");
+            if (flag != 0) {
+                int count = 0;
+                MPI_Get_count(&status, mpi_datatype<T>(), &count);
+                std::vector<T> payload(static_cast<std::size_t>(count));
+                internal::throw_on_mpi_error(
+                    MPI_Recv(payload.data(), count, mpi_datatype<T>(), status.MPI_SOURCE,
+                             round_tag, comm, MPI_STATUS_IGNORE),
+                    "alltoallv_sparse (recv)");
+                on_message(status.MPI_SOURCE, std::move(payload));
+                continue;
+            }
+            if (!barrier_active) {
+                // All local synchronous sends matched? Then join the barrier.
+                int all_done = 1;
+                internal::throw_on_mpi_error(
+                    MPI_Testall(static_cast<int>(send_requests.size()), send_requests.data(),
+                                &all_done, MPI_STATUSES_IGNORE),
+                    "alltoallv_sparse (testall)");
+                if (all_done != 0) {
+                    internal::throw_on_mpi_error(MPI_Ibarrier(comm, &barrier_request),
+                                                 "alltoallv_sparse (ibarrier)");
+                    barrier_active = true;
+                }
+            } else {
+                int done = 0;
+                internal::throw_on_mpi_error(MPI_Test(&barrier_request, &done, MPI_STATUS_IGNORE),
+                                             "alltoallv_sparse (barrier test)");
+                if (done != 0) break;
+            }
+            // Be polite to co-scheduled ranks while polling (matters on
+            // oversubscribed hosts; a no-op on dedicated cores).
+            std::this_thread::yield();
+        }
+    }
+
+    /// Convenience form collecting all received messages into a map.
+    template <typename Map>
+    auto alltoallv_sparse_collect(Map const& messages) const {
+        using Container = typename Map::mapped_type;
+        using T = typename Container::value_type;
+        std::unordered_map<int, std::vector<T>> received;
+        alltoallv_sparse(messages, [&](int src, std::vector<T>&& payload) {
+            received[src] = std::move(payload);
+        });
+        return received;
+    }
+
+private:
+    static constexpr int kSparseTagBase = (1 << 20);
+    static constexpr int kSparseTagRounds = 1 << 10;
+
+    Comm const& self() const { return static_cast<Comm const&>(*this); }
+    mutable int sparse_round_ = 0;
+};
+
+}  // namespace kamping::plugin

@@ -1,0 +1,57 @@
+/// @file ulfm.hpp
+/// @brief User-Level Failure Mitigation plugin (paper §V-B, Fig. 12): an
+/// abstraction layer over the ULFM proposal that surfaces process failures
+/// as idiomatic C++ exceptions (thrown by every wrapped operation via
+/// kamping::MpiFailureDetected) and exposes revoke/shrink/agree for
+/// recovery.
+#pragma once
+
+#include "kamping/error_handling.hpp"
+#include "xmpi/mpi.h"
+
+namespace kamping::plugin {
+
+template <typename Comm>
+class UserLevelFailureMitigation {
+public:
+    /// Revokes the communicator: all pending and future operations on it
+    /// fail with MpiRevokedException on every rank.
+    void revoke() {
+        internal::throw_on_mpi_error(MPIX_Comm_revoke(self().mpi_communicator()), "revoke");
+    }
+
+    /// True once the communicator has been revoked (by any rank).
+    bool is_revoked() const {
+        int flag = 0;
+        MPIX_Comm_is_revoked(self().mpi_communicator(), &flag);
+        return flag != 0;
+    }
+
+    /// Builds a new communicator containing only the surviving processes.
+    Comm shrink() const {
+        MPI_Comm survivors = MPI_COMM_NULL;
+        internal::throw_on_mpi_error(MPIX_Comm_shrink(self().mpi_communicator(), &survivors),
+                                     "shrink");
+        return Comm::adopt(survivors);
+    }
+
+    /// Agreement across surviving processes: logical AND of `flag`.
+    bool agree(bool flag) const {
+        int value = flag ? 1 : 0;
+        internal::throw_on_mpi_error(MPIX_Comm_agree(self().mpi_communicator(), &value), "agree");
+        return value != 0;
+    }
+
+    /// Acknowledges currently known failures so MPI_ANY_SOURCE receives can
+    /// proceed despite them.
+    void ack_failures() {
+        internal::throw_on_mpi_error(MPIX_Comm_failure_ack(self().mpi_communicator()),
+                                     "ack_failures");
+    }
+
+private:
+    Comm const& self() const { return static_cast<Comm const&>(*this); }
+    Comm& self() { return static_cast<Comm&>(*this); }
+};
+
+}  // namespace kamping::plugin

@@ -1,0 +1,107 @@
+/// @file reflection.hpp
+/// @brief Minimal aggregate reflection in the spirit of Boost.PFR (the
+/// library the paper leverages): counts the members of an aggregate at
+/// compile time and visits them through structured bindings. Used to
+/// generate MPI struct datatypes automatically (paper §III-D1, Fig. 4).
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace kamping::reflection {
+
+namespace detail {
+
+/// Placeholder implicitly convertible to anything; used to probe how many
+/// initializers an aggregate accepts.
+struct AnyType {
+    template <typename T>
+    constexpr operator T() const noexcept;
+};
+
+template <typename T, std::size_t... I>
+constexpr bool constructible_with(std::index_sequence<I...>) {
+    return requires { T{(static_cast<void>(I), AnyType{})...}; };
+}
+
+template <typename T, std::size_t N = 0>
+constexpr std::size_t arity_from() {
+    if constexpr (!constructible_with<T>(std::make_index_sequence<N>{})) {
+        static_assert(N > 0, "type is not an aggregate constructible from braces");
+        return N - 1;
+    } else {
+        return arity_from<T, N + 1>();
+    }
+}
+
+}  // namespace detail
+
+/// Number of members of aggregate `T` (up to 16 supported by the visitor).
+template <typename T>
+constexpr std::size_t arity() {
+    static_assert(std::is_aggregate_v<T>, "reflection requires an aggregate type");
+    return detail::arity_from<T>();
+}
+
+/// Invokes `f(member)` for every member of `obj`, in declaration order.
+template <typename T, typename F>
+constexpr void for_each_member(T& obj, F&& f) {
+    constexpr std::size_t n = arity<std::remove_const_t<T>>();
+    static_assert(n <= 16, "reflection supports aggregates with at most 16 members");
+    if constexpr (n == 0) {
+        (void)obj;
+        (void)f;
+    } else if constexpr (n == 1) {
+        auto& [a] = obj;
+        f(a);
+    } else if constexpr (n == 2) {
+        auto& [a, b] = obj;
+        f(a), f(b);
+    } else if constexpr (n == 3) {
+        auto& [a, b, c] = obj;
+        f(a), f(b), f(c);
+    } else if constexpr (n == 4) {
+        auto& [a, b, c, d] = obj;
+        f(a), f(b), f(c), f(d);
+    } else if constexpr (n == 5) {
+        auto& [a, b, c, d, e] = obj;
+        f(a), f(b), f(c), f(d), f(e);
+    } else if constexpr (n == 6) {
+        auto& [a, b, c, d, e, g] = obj;
+        f(a), f(b), f(c), f(d), f(e), f(g);
+    } else if constexpr (n == 7) {
+        auto& [a, b, c, d, e, g, h] = obj;
+        f(a), f(b), f(c), f(d), f(e), f(g), f(h);
+    } else if constexpr (n == 8) {
+        auto& [a, b, c, d, e, g, h, i] = obj;
+        f(a), f(b), f(c), f(d), f(e), f(g), f(h), f(i);
+    } else if constexpr (n == 9) {
+        auto& [a, b, c, d, e, g, h, i, j] = obj;
+        f(a), f(b), f(c), f(d), f(e), f(g), f(h), f(i), f(j);
+    } else if constexpr (n == 10) {
+        auto& [a, b, c, d, e, g, h, i, j, k] = obj;
+        f(a), f(b), f(c), f(d), f(e), f(g), f(h), f(i), f(j), f(k);
+    } else if constexpr (n == 11) {
+        auto& [a, b, c, d, e, g, h, i, j, k, l] = obj;
+        f(a), f(b), f(c), f(d), f(e), f(g), f(h), f(i), f(j), f(k), f(l);
+    } else if constexpr (n == 12) {
+        auto& [a, b, c, d, e, g, h, i, j, k, l, m] = obj;
+        f(a), f(b), f(c), f(d), f(e), f(g), f(h), f(i), f(j), f(k), f(l), f(m);
+    } else if constexpr (n == 13) {
+        auto& [a, b, c, d, e, g, h, i, j, k, l, m, o] = obj;
+        f(a), f(b), f(c), f(d), f(e), f(g), f(h), f(i), f(j), f(k), f(l), f(m), f(o);
+    } else if constexpr (n == 14) {
+        auto& [a, b, c, d, e, g, h, i, j, k, l, m, o, p] = obj;
+        f(a), f(b), f(c), f(d), f(e), f(g), f(h), f(i), f(j), f(k), f(l), f(m), f(o), f(p);
+    } else if constexpr (n == 15) {
+        auto& [a, b, c, d, e, g, h, i, j, k, l, m, o, p, q] = obj;
+        f(a), f(b), f(c), f(d), f(e), f(g), f(h), f(i), f(j), f(k), f(l), f(m), f(o), f(p), f(q);
+    } else if constexpr (n == 16) {
+        auto& [a, b, c, d, e, g, h, i, j, k, l, m, o, p, q, r] = obj;
+        f(a), f(b), f(c), f(d), f(e), f(g), f(h), f(i), f(j), f(k), f(l), f(m), f(o), f(p), f(q),
+            f(r);
+    }
+}
+
+}  // namespace kamping::reflection

@@ -1,0 +1,149 @@
+/// @file request.hpp
+/// @brief Memory-safe non-blocking communication (paper §III-E): a
+/// NonBlockingResult owns the buffers taking part in an in-flight operation
+/// and releases the data only once the request completed — `wait()` returns
+/// it by value, `test()` yields std::nullopt until completion. Request pools
+/// collect requests of many operations for bulk completion.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "kamping/error_handling.hpp"
+#include "xmpi/mpi.h"
+
+namespace kamping {
+
+/// Result handle of a non-blocking operation that returns `Payload` (the
+/// moved-in send container or the receive buffer) on completion. The payload
+/// is inaccessible until the request completed, which makes invalid accesses
+/// to in-flight buffers unrepresentable.
+template <typename Payload>
+class NonBlockingResult {
+public:
+    NonBlockingResult(MPI_Request request, Payload&& payload)
+        : request_(request), payload_(std::move(payload)) {}
+
+    NonBlockingResult(NonBlockingResult&& other) noexcept
+        : request_(std::exchange(other.request_, MPI_REQUEST_NULL)),
+          payload_(std::move(other.payload_)),
+          consumed_(std::exchange(other.consumed_, true)) {}
+    NonBlockingResult(NonBlockingResult const&) = delete;
+    NonBlockingResult& operator=(NonBlockingResult const&) = delete;
+    NonBlockingResult& operator=(NonBlockingResult&&) = delete;
+
+    /// Blocks until the operation completed, then returns the payload.
+    Payload wait() {
+        KAMPING_ASSERT_LIGHT(!consumed_, "NonBlockingResult already consumed");
+        internal::throw_on_mpi_error(MPI_Wait(&request_, MPI_STATUS_IGNORE), "wait");
+        consumed_ = true;
+        return std::move(payload_);
+    }
+
+    /// Non-blocking completion check; the payload is only returned once the
+    /// operation finished.
+    std::optional<Payload> test() {
+        KAMPING_ASSERT_LIGHT(!consumed_, "NonBlockingResult already consumed");
+        int flag = 0;
+        internal::throw_on_mpi_error(MPI_Test(&request_, &flag, MPI_STATUS_IGNORE), "test");
+        if (flag == 0) return std::nullopt;
+        consumed_ = true;
+        return std::move(payload_);
+    }
+
+    /// Completes the request without waiting for the user if they abandoned
+    /// the handle: the owned buffers must stay alive until completion.
+    ~NonBlockingResult() {
+        if (!consumed_ && request_ != MPI_REQUEST_NULL) {
+            MPI_Wait(&request_, MPI_STATUS_IGNORE);
+        }
+    }
+
+private:
+    MPI_Request request_;
+    Payload payload_;
+    bool consumed_ = false;
+};
+
+/// Void specialization: operations on referencing buffers (nothing to
+/// return, but completion must still be awaited before touching them).
+template <>
+class NonBlockingResult<void> {
+public:
+    explicit NonBlockingResult(MPI_Request request) : request_(request) {}
+    NonBlockingResult(NonBlockingResult&& other) noexcept
+        : request_(std::exchange(other.request_, MPI_REQUEST_NULL)) {}
+    NonBlockingResult(NonBlockingResult const&) = delete;
+    NonBlockingResult& operator=(NonBlockingResult const&) = delete;
+    NonBlockingResult& operator=(NonBlockingResult&&) = delete;
+
+    void wait() {
+        internal::throw_on_mpi_error(MPI_Wait(&request_, MPI_STATUS_IGNORE), "wait");
+    }
+
+    bool test() {
+        int flag = 0;
+        internal::throw_on_mpi_error(MPI_Test(&request_, &flag, MPI_STATUS_IGNORE), "test");
+        return flag != 0;
+    }
+
+    ~NonBlockingResult() {
+        if (request_ != MPI_REQUEST_NULL) MPI_Wait(&request_, MPI_STATUS_IGNORE);
+    }
+
+private:
+    MPI_Request request_;
+};
+
+/// Collects requests from multiple non-blocking calls for bulk completion
+/// (paper §III-E, "request pools"). The current implementation stores them
+/// in an unbounded array; the interface is designed so bounded variants can
+/// be added without changing call sites.
+class RequestPool {
+public:
+    /// Registers a raw request with the pool (used by the communicator when
+    /// a call is passed `request(pool)`).
+    void add(MPI_Request request) { requests_.push_back(request); }
+
+    /// Moves a NonBlockingResult's buffers into the pool so they outlive the
+    /// caller's scope, and tracks its request.
+    template <typename Payload>
+    void add(NonBlockingResult<Payload>&& result) {
+        // Completing through the pool: keep the handle alive via type
+        // erasure; wait_all() destroys it (which waits) in order.
+        struct Holder : HolderBase {
+            explicit Holder(NonBlockingResult<Payload>&& r) : result(std::move(r)) {}
+            void wait() override { result.wait(); }
+            NonBlockingResult<Payload> result;
+        };
+        holders_.push_back(std::make_unique<Holder>(std::move(result)));
+    }
+
+    /// Waits for all collected requests.
+    void wait_all() {
+        if (!requests_.empty()) {
+            internal::throw_on_mpi_error(
+                MPI_Waitall(static_cast<int>(requests_.size()), requests_.data(),
+                            MPI_STATUSES_IGNORE),
+                "RequestPool::wait_all");
+            requests_.clear();
+        }
+        for (auto& h : holders_) h->wait();
+        holders_.clear();
+    }
+
+    std::size_t size() const { return requests_.size() + holders_.size(); }
+    bool empty() const { return size() == 0; }
+
+private:
+    struct HolderBase {
+        virtual ~HolderBase() = default;
+        virtual void wait() = 0;
+    };
+    std::vector<MPI_Request> requests_;
+    std::vector<std::unique_ptr<HolderBase>> holders_;
+};
+
+}  // namespace kamping

@@ -1,0 +1,128 @@
+/// @file result.hpp
+/// @brief Result objects of wrapped MPI calls (paper §III-B): owning out
+/// buffers are moved into an MPIResult which supports named extraction
+/// (`extract_recv_counts()`, ...) and C++ structured bindings. When the only
+/// thing to return is the receive buffer, the container itself is returned.
+#pragma once
+
+#include <cstddef>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "kamping/data_buffer.hpp"
+#include "kamping/parameter_types.hpp"
+
+namespace kamping {
+
+/// Holds the owning out-buffers of one wrapped MPI call, in canonical order:
+/// the receive buffer (if requested/implicit) first, then counts before
+/// displacements, send- before recv-side.
+template <typename... Buffers>
+class MPIResult {
+public:
+    explicit MPIResult(std::tuple<Buffers...>&& buffers) : buffers_(std::move(buffers)) {}
+
+    /// True if a buffer for `PT` is part of this result.
+    template <ParameterType PT>
+    static constexpr bool has = ((std::remove_cvref_t<Buffers>::parameter_type == PT) || ...);
+
+    auto extract_recv_buf() { return extract_by<ParameterType::recv_buf>(); }
+    auto extract_send_recv_buf() { return extract_by<ParameterType::send_recv_buf>(); }
+    auto extract_recv_counts() { return extract_by<ParameterType::recv_counts>(); }
+    auto extract_recv_displs() { return extract_by<ParameterType::recv_displs>(); }
+    auto extract_send_counts() { return extract_by<ParameterType::send_counts>(); }
+    auto extract_send_displs() { return extract_by<ParameterType::send_displs>(); }
+
+    /// Tuple-like access for structured bindings.
+    template <std::size_t I>
+    auto get() && {
+        return std::get<I>(std::move(buffers_)).extract();
+    }
+    template <std::size_t I>
+    auto& get() & {
+        return std::get<I>(buffers_);
+    }
+
+private:
+    template <ParameterType PT, std::size_t I = 0>
+    static constexpr std::size_t index_of() {
+        static_assert(I < sizeof...(Buffers),
+                      "KaMPIng: this result does not contain the requested parameter; pass the "
+                      "corresponding *_out() named parameter to the call to request it");
+        using Buf = std::tuple_element_t<I, std::tuple<Buffers...>>;
+        if constexpr (std::remove_cvref_t<Buf>::parameter_type == PT) {
+            return I;
+        } else {
+            return index_of<PT, I + 1>();
+        }
+    }
+
+    template <ParameterType PT>
+    auto extract_by() {
+        return std::get<index_of<PT>()>(std::move(buffers_)).extract();
+    }
+
+    std::tuple<Buffers...> buffers_;
+};
+
+namespace internal {
+
+/// Filters one prepared buffer into a tuple fragment: returned buffers pass
+/// through (moved), everything else vanishes at compile time.
+template <typename Buffer>
+auto result_fragment(Buffer&& buffer) {
+    if constexpr (std::remove_cvref_t<Buffer>::is_returned) {
+        return std::make_tuple(std::move(buffer));
+    } else {
+        (void)buffer;
+        return std::tuple<>{};
+    }
+}
+
+template <typename Tuple, std::size_t... I>
+auto to_mpi_result(Tuple&& tup, std::index_sequence<I...>) {
+    return MPIResult<std::tuple_element_t<I, std::remove_cvref_t<Tuple>>...>(
+        std::forward<Tuple>(tup));
+}
+
+/// Assembles the return value of a wrapped call from the prepared buffers
+/// (passed in canonical order):
+///  - no owning out buffers: returns void;
+///  - exactly the receive buffer: returns the container directly;
+///  - otherwise: an MPIResult supporting extraction/structured bindings.
+template <typename... Prepared>
+auto make_result(Prepared&&... prepared) {
+    auto tup = std::tuple_cat(result_fragment(std::forward<Prepared>(prepared))...);
+    using Tup = decltype(tup);
+    constexpr std::size_t n = std::tuple_size_v<Tup>;
+    if constexpr (n == 0) {
+        return;
+    } else if constexpr (n == 1) {
+        using Only = std::tuple_element_t<0, Tup>;
+        constexpr ParameterType pt = std::remove_cvref_t<Only>::parameter_type;
+        if constexpr (pt == ParameterType::recv_buf || pt == ParameterType::send_recv_buf) {
+            return std::get<0>(std::move(tup)).extract();
+        } else {
+            return to_mpi_result(std::move(tup), std::make_index_sequence<n>{});
+        }
+    } else {
+        return to_mpi_result(std::move(tup), std::make_index_sequence<n>{});
+    }
+}
+
+}  // namespace internal
+}  // namespace kamping
+
+// Structured-binding support.
+namespace std {
+template <typename... Buffers>
+struct tuple_size<kamping::MPIResult<Buffers...>>
+    : std::integral_constant<std::size_t, sizeof...(Buffers)> {};
+
+template <std::size_t I, typename... Buffers>
+struct tuple_element<I, kamping::MPIResult<Buffers...>> {
+    using type =
+        typename std::remove_cvref_t<std::tuple_element_t<I, std::tuple<Buffers...>>>::container_type;
+};
+}  // namespace std

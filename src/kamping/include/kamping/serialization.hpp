@@ -1,0 +1,341 @@
+/// @file serialization.hpp
+/// @brief Transparent — but always explicit — serialization support (paper
+/// §III-D3): a compact binary archive in the spirit of cereal with built-in
+/// support for STL containers and a member-`serialize(Archive&)`
+/// customization point, plus the `as_serialized` / `as_deserializable`
+/// adapters that plug serialization into send/recv/bcast buffers.
+///
+/// Serialization is never implicit: per the paper's position, hidden
+/// serialization would violate the zero-overhead principle, so the user must
+/// opt in at the call site.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "kamping/parameter_types.hpp"
+
+namespace kamping {
+
+class BinaryOutputArchive;
+class BinaryInputArchive;
+
+namespace internal {
+
+template <typename T, typename Ar>
+concept has_member_serialize = requires(T& t, Ar& ar) { t.serialize(ar); };
+
+template <typename T>
+concept trivially_serializable = std::is_trivially_copyable_v<T> && !requires(T& t) {
+    t.serialize(std::declval<BinaryOutputArchive&>());
+};
+
+}  // namespace internal
+
+/// Appends values to a byte buffer. Invocable like cereal archives:
+/// `ar(a, b, c)`.
+class BinaryOutputArchive {
+public:
+    template <typename... Ts>
+    void operator()(Ts const&... values) {
+        (write(values), ...);
+    }
+
+    std::vector<char>& buffer() { return buffer_; }
+    std::vector<char> const& buffer() const { return buffer_; }
+
+private:
+    void write_bytes(void const* p, std::size_t n) {
+        auto const old = buffer_.size();
+        buffer_.resize(old + n);
+        std::memcpy(buffer_.data() + old, p, n);
+    }
+
+    void write_size(std::size_t n) {
+        auto const v = static_cast<std::uint64_t>(n);
+        write_bytes(&v, sizeof(v));
+    }
+
+    template <typename T>
+    void write(T const& value) {
+        if constexpr (internal::has_member_serialize<T, BinaryOutputArchive>) {
+            const_cast<T&>(value).serialize(*this);
+        } else if constexpr (std::is_trivially_copyable_v<T>) {
+            write_bytes(&value, sizeof(T));
+        } else {
+            write_structured(value);
+        }
+    }
+
+    void write_structured(std::string const& s) {
+        write_size(s.size());
+        write_bytes(s.data(), s.size());
+    }
+    template <typename T>
+    void write_structured(std::vector<T> const& v) {
+        write_size(v.size());
+        if constexpr (internal::trivially_serializable<T>) {
+            write_bytes(v.data(), v.size() * sizeof(T));
+        } else {
+            for (auto const& e : v) write(e);
+        }
+    }
+    template <typename A, typename B>
+    void write_structured(std::pair<A, B> const& p) {
+        write(p.first);
+        write(p.second);
+    }
+    template <typename... Ts>
+    void write_structured(std::tuple<Ts...> const& t) {
+        std::apply([this](auto const&... e) { (write(e), ...); }, t);
+    }
+    template <typename T>
+    void write_structured(std::optional<T> const& o) {
+        write(o.has_value());
+        if (o) write(*o);
+    }
+    template <typename K, typename V, typename... R>
+    void write_structured(std::map<K, V, R...> const& m) {
+        write_assoc(m);
+    }
+    template <typename K, typename V, typename... R>
+    void write_structured(std::unordered_map<K, V, R...> const& m) {
+        write_assoc(m);
+    }
+    template <typename K, typename... R>
+    void write_structured(std::set<K, R...> const& s) {
+        write_assoc(s);
+    }
+    template <typename K, typename... R>
+    void write_structured(std::unordered_set<K, R...> const& s) {
+        write_assoc(s);
+    }
+    template <typename C>
+    void write_assoc(C const& c) {
+        write_size(c.size());
+        for (auto const& e : c) write(e);
+    }
+
+    std::vector<char> buffer_;
+};
+
+/// Reads values back in the order they were written.
+class BinaryInputArchive {
+public:
+    BinaryInputArchive(char const* data, std::size_t size) : data_(data), size_(size) {}
+
+    template <typename... Ts>
+    void operator()(Ts&... values) {
+        (read(values), ...);
+    }
+
+    std::size_t consumed() const { return pos_; }
+
+private:
+    void read_bytes(void* p, std::size_t n) {
+        std::memcpy(p, data_ + pos_, n);
+        pos_ += n;
+    }
+
+    std::size_t read_size() {
+        std::uint64_t v = 0;
+        read_bytes(&v, sizeof(v));
+        return static_cast<std::size_t>(v);
+    }
+
+    template <typename T>
+    void read(T& value) {
+        if constexpr (internal::has_member_serialize<T, BinaryInputArchive>) {
+            value.serialize(*this);
+        } else if constexpr (std::is_trivially_copyable_v<T>) {
+            read_bytes(&value, sizeof(T));
+        } else {
+            read_structured(value);
+        }
+    }
+
+    void read_structured(std::string& s) {
+        s.resize(read_size());
+        read_bytes(s.data(), s.size());
+    }
+    template <typename T>
+    void read_structured(std::vector<T>& v) {
+        v.resize(read_size());
+        if constexpr (internal::trivially_serializable<T>) {
+            read_bytes(v.data(), v.size() * sizeof(T));
+        } else {
+            for (auto& e : v) read(e);
+        }
+    }
+    template <typename A, typename B>
+    void read_structured(std::pair<A, B>& p) {
+        read(p.first);
+        read(p.second);
+    }
+    template <typename... Ts>
+    void read_structured(std::tuple<Ts...>& t) {
+        std::apply([this](auto&... e) { (read(e), ...); }, t);
+    }
+    template <typename T>
+    void read_structured(std::optional<T>& o) {
+        bool engaged = false;
+        read(engaged);
+        if (engaged) {
+            o.emplace();
+            read(*o);
+        } else {
+            o.reset();
+        }
+    }
+    template <typename K, typename V, typename... R>
+    void read_structured(std::map<K, V, R...>& m) {
+        read_map(m);
+    }
+    template <typename K, typename V, typename... R>
+    void read_structured(std::unordered_map<K, V, R...>& m) {
+        read_map(m);
+    }
+    template <typename K, typename... R>
+    void read_structured(std::set<K, R...>& s) {
+        read_set(s);
+    }
+    template <typename K, typename... R>
+    void read_structured(std::unordered_set<K, R...>& s) {
+        read_set(s);
+    }
+    template <typename M>
+    void read_map(M& m) {
+        m.clear();
+        std::size_t const n = read_size();
+        for (std::size_t i = 0; i < n; ++i) {
+            std::pair<typename M::key_type, typename M::mapped_type> e;
+            read(e);
+            m.insert(std::move(e));
+        }
+    }
+    template <typename S>
+    void read_set(S& s) {
+        s.clear();
+        std::size_t const n = read_size();
+        for (std::size_t i = 0; i < n; ++i) {
+            typename S::key_type k;
+            read(k);
+            s.insert(std::move(k));
+        }
+    }
+
+    char const* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/// Convenience: serialize any supported value into a byte vector.
+template <typename T>
+std::vector<char> serialize_to_bytes(T const& value) {
+    BinaryOutputArchive ar;
+    ar(value);
+    return std::move(ar.buffer());
+}
+
+/// Convenience: reconstruct a value from bytes produced by
+/// serialize_to_bytes.
+template <typename T>
+T deserialize_from_bytes(char const* data, std::size_t size) {
+    BinaryInputArchive ar{data, size};
+    T value{};
+    ar(value);
+    return value;
+}
+
+// ---------------------------------------------------------------------------
+// Buffer adapters
+// ---------------------------------------------------------------------------
+
+/// Marker wrapper: the wrapped object is serialized on the sending side and
+/// (for send_recv_buf usages such as bcast) deserialized back in place on
+/// the receiving side. `Owning` keeps moved-in objects alive.
+template <typename T, bool Owning>
+struct SerializationAdapter {
+    static constexpr bool is_serialization_adapter = true;
+    using object_type = T;
+
+    std::conditional_t<Owning, T, T*> object;
+
+    T& get() {
+        if constexpr (Owning) {
+            return object;
+        } else {
+            return *object;
+        }
+    }
+    T const& get() const {
+        if constexpr (Owning) {
+            return object;
+        } else {
+            return *object;
+        }
+    }
+};
+
+/// Marker wrapper for receives: deserialize the payload into a fresh `T`
+/// that is returned by value.
+template <typename T>
+struct DeserializationAdapter {
+    static constexpr bool is_deserialization_adapter = true;
+    using object_type = T;
+};
+
+namespace internal {
+
+template <typename T>
+concept serialization_adapter = std::remove_cvref_t<T>::is_serialization_adapter;
+template <typename T, typename = void>
+struct is_serialization_adapter : std::false_type {};
+template <typename T>
+struct is_serialization_adapter<T, std::enable_if_t<std::remove_cvref_t<T>::is_serialization_adapter>>
+    : std::true_type {};
+template <typename T>
+inline constexpr bool is_serialization_adapter_v = is_serialization_adapter<T>::value;
+
+template <typename T, typename = void>
+struct is_deserialization_adapter : std::false_type {};
+template <typename T>
+struct is_deserialization_adapter<T,
+                                  std::enable_if_t<std::remove_cvref_t<T>::is_deserialization_adapter>>
+    : std::true_type {};
+template <typename T>
+inline constexpr bool is_deserialization_adapter_v = is_deserialization_adapter<T>::value;
+
+}  // namespace internal
+
+/// Serializes `obj` when sending. Lvalues are referenced (and updated in
+/// place by in-out usages like `bcast(send_recv_buf(as_serialized(obj)))`),
+/// rvalues are moved in and re-returned with the result.
+template <typename T>
+auto as_serialized(T&& obj) {
+    using U = std::remove_cvref_t<T>;
+    if constexpr (std::is_rvalue_reference_v<T&&>) {
+        return SerializationAdapter<U, true>{std::move(obj)};
+    } else {
+        return SerializationAdapter<U, false>{&obj};
+    }
+}
+
+/// Requests deserialization of a received payload into a fresh `T`.
+template <typename T>
+auto as_deserializable() {
+    return DeserializationAdapter<T>{};
+}
+
+}  // namespace kamping

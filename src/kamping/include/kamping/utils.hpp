@@ -1,0 +1,56 @@
+/// @file utils.hpp
+/// @brief Utility building blocks. `with_flattened` turns a container of
+/// destination→message mappings into a contiguous send buffer plus send
+/// counts — the helper the paper's BFS example leans on (Fig. 9).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "kamping/named_parameters.hpp"
+
+namespace kamping {
+
+namespace internal {
+
+/// Result of flattening: holds the contiguous data and per-rank counts and
+/// invokes a callback with ready-made named parameters.
+template <typename T>
+struct Flattened {
+    std::vector<T> data;
+    std::vector<int> counts;
+
+    /// Calls `f(send_buf(...), send_counts(...))`; the typical use is
+    /// `with_flattened(m, p).call([&](auto... params) { return
+    /// comm.alltoallv(std::move(params)...); })`.
+    template <typename F>
+    decltype(auto) call(F&& f) && {
+        return std::forward<F>(f)(send_buf(std::move(data)), send_counts(std::move(counts)));
+    }
+};
+
+}  // namespace internal
+
+/// Flattens a map (or any range of `pair<int, Container>`) from destination
+/// ranks to message containers into one contiguous buffer ordered by rank,
+/// together with the matching per-rank send counts (paper §IV-B).
+template <typename Map>
+auto with_flattened(Map const& messages, std::size_t comm_size) {
+    using Container = typename Map::mapped_type;
+    using T = typename Container::value_type;
+    internal::Flattened<T> flat;
+    flat.counts.assign(comm_size, 0);
+    std::size_t total = 0;
+    for (auto const& [dest, msg] : messages) total += msg.size();
+    flat.data.reserve(total);
+    for (std::size_t r = 0; r < comm_size; ++r) {
+        auto it = messages.find(static_cast<int>(r));
+        if (it == messages.end()) continue;
+        flat.counts[r] = static_cast<int>(it->second.size());
+        flat.data.insert(flat.data.end(), it->second.begin(), it->second.end());
+    }
+    return flat;
+}
+
+}  // namespace kamping

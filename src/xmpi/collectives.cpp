@@ -1,0 +1,612 @@
+/// @file collectives.cpp
+/// @brief Collective operations built on the internal point-to-point engine,
+/// so the virtual-time cost model prices them by their true message patterns:
+/// dissemination barrier, binomial bcast/reduce, recursive-doubling
+/// allgather/allreduce (power-of-two) with composite fallbacks, ring
+/// allgatherv, pairwise alltoall(v/w), Hillis–Steele scans, and MPI_Ibarrier
+/// as a progressable generalized request.
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "internal.hpp"
+
+namespace xmpi::detail {
+namespace {
+
+int csend(MPI_Comm c, int dest, std::uint64_t seq, int step, void const* buf, int count,
+          MPI_Datatype t) {
+    return deposit(tls_rank(), c, c->context + 1, dest, coll_tag(seq, step), buf, count, t, nullptr,
+                   true);
+}
+
+int crecv(MPI_Comm c, int src, std::uint64_t seq, int step, void* buf, int count, MPI_Datatype t) {
+    return recv_blocking(tls_rank(), c, c->context + 1, src, coll_tag(seq, step), buf, count, t,
+                         true, MPI_STATUS_IGNORE);
+}
+
+int cirecv(MPI_Comm c, int src, std::uint64_t seq, int step, void* buf, int count, MPI_Datatype t,
+           xmpi_request_t** req) {
+    return post_recv(tls_rank(), c, c->context + 1, src, coll_tag(seq, step), buf, count, t, true,
+                     req);
+}
+
+/// Exchange with one partner: post receive first, then send, then wait.
+int csendrecv(MPI_Comm c, int partner_send, int partner_recv, std::uint64_t seq, int step,
+              void const* sbuf, int scount, void* rbuf, int rcount, MPI_Datatype t) {
+    xmpi_request_t* rreq = nullptr;
+    if (int rc = cirecv(c, partner_recv, seq, step, rbuf, rcount, t, &rreq); rc != MPI_SUCCESS)
+        return rc;
+    if (int rc = csend(c, partner_send, seq, step, sbuf, scount, t); rc != MPI_SUCCESS) {
+        wait_one(rreq, MPI_STATUS_IGNORE);
+        return rc;
+    }
+    return wait_one(rreq, MPI_STATUS_IGNORE);
+}
+
+int coll_entry(MPI_Comm& comm) {
+    comm = resolve(comm);
+    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
+    if (any_member_dead(comm)) return MPIX_ERR_PROC_FAILED;
+    return MPI_SUCCESS;
+}
+
+bool is_pow2(int p) { return (p & (p - 1)) == 0; }
+
+/// Copies `count` elements of `type` between (possibly differently typed but
+/// signature-compatible) user buffers via pack/unpack.
+void local_copy(void const* src, int scount, MPI_Datatype stype, void* dst, MPI_Datatype rtype) {
+    std::size_t const bytes =
+        static_cast<std::size_t>(scount) * static_cast<std::size_t>(stype->size);
+    std::vector<std::byte> tmp(bytes);
+    if (bytes == 0) return;
+    stype->pack(src, scount, tmp.data());
+    rtype->unpack(tmp.data(), rtype->size > 0 ? static_cast<int>(bytes / rtype->size) : 0, dst);
+}
+
+std::byte* at_offset(void* base, long long elements, MPI_Datatype t) {
+    return static_cast<std::byte*>(base) + elements * t->extent;
+}
+std::byte const* at_offset(void const* base, long long elements, MPI_Datatype t) {
+    return static_cast<std::byte const*>(base) + elements * t->extent;
+}
+
+}  // namespace
+}  // namespace xmpi::detail
+
+using namespace xmpi::detail;
+
+// ---------------------------------------------------------------------------
+// Barrier (dissemination) and Ibarrier (generalized request)
+// ---------------------------------------------------------------------------
+
+int MPI_Barrier(MPI_Comm comm) {
+    if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    if (p == 1) return MPI_SUCCESS;
+    std::uint64_t const seq = comm->coll_seq++;
+    char dummy = 0;
+    for (int k = 0, dist = 1; dist < p; ++k, dist <<= 1) {
+        int const dst = (r + dist) % p;
+        int const src = (r - dist % p + p) % p;
+        if (int rc = csend(comm, dst, seq, k, &dummy, 0, MPI_BYTE); rc != MPI_SUCCESS) return rc;
+        if (int rc = crecv(comm, src, seq, k, &dummy, 0, MPI_BYTE); rc != MPI_SUCCESS) return rc;
+    }
+    return MPI_SUCCESS;
+}
+
+namespace {
+
+struct IbarrierState {
+    MPI_Comm comm = nullptr;
+    std::uint64_t seq = 0;
+    int round = 0;
+    int nrounds = 0;
+    xmpi_request_t* pending = nullptr;
+    char dummy = 0;
+};
+
+}  // namespace
+
+int MPI_Ibarrier(MPI_Comm comm, MPI_Request* request) {
+    if (request == nullptr) return MPI_ERR_REQUEST;
+    if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    auto* req = new xmpi_request_t();
+    req->kind = xmpi_request_t::Kind::generalized;
+    req->owner = tls_rank();
+    req->comm = comm;
+    if (p == 1) {
+        req->completion_vtime = tls_rank()->vnow;
+        req->complete.store(true, std::memory_order_release);
+        *request = req;
+        return MPI_SUCCESS;
+    }
+    auto st = std::make_shared<IbarrierState>();
+    st->comm = comm;
+    st->seq = comm->coll_seq++;
+    while ((1 << st->nrounds) < p) ++st->nrounds;
+
+    auto launch_round = [st, p, r](xmpi_request_t* owner_req) -> int {
+        int const dist = 1 << st->round;
+        int const dst = (r + dist) % p;
+        int const src = (r - dist % p + p) % p;
+        if (int rc = cirecv(st->comm, src, st->seq, st->round, &st->dummy, 0, MPI_BYTE,
+                            &st->pending);
+            rc != MPI_SUCCESS)
+            return rc;
+        if (int rc = csend(st->comm, dst, st->seq, st->round, &st->dummy, 0, MPI_BYTE);
+            rc != MPI_SUCCESS)
+            return rc;
+        (void)owner_req;
+        return MPI_SUCCESS;
+    };
+    if (int rc = launch_round(req); rc != MPI_SUCCESS) {
+        req->error = rc;
+        req->complete.store(true, std::memory_order_release);
+        *request = req;
+        return MPI_SUCCESS;
+    }
+
+    req->progress = [st, launch_round](xmpi_request_t* rq) -> bool {
+        for (;;) {
+            int flag = 0;
+            int const rc = test_one(st->pending, &flag, MPI_STATUS_IGNORE);
+            if (flag == 0) return false;
+            st->pending = nullptr;
+            if (rc != MPI_SUCCESS) {
+                rq->error = rc;
+                rq->completion_vtime = tls_rank()->vnow;
+                rq->complete.store(true, std::memory_order_release);
+                return true;
+            }
+            ++st->round;
+            if (st->round >= st->nrounds) {
+                rq->completion_vtime = tls_rank()->vnow;
+                rq->complete.store(true, std::memory_order_release);
+                return true;
+            }
+            if (int rc2 = launch_round(rq); rc2 != MPI_SUCCESS) {
+                rq->error = rc2;
+                rq->completion_vtime = tls_rank()->vnow;
+                rq->complete.store(true, std::memory_order_release);
+                return true;
+            }
+        }
+    };
+    *request = req;
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Bcast (binomial tree)
+// ---------------------------------------------------------------------------
+
+int MPI_Bcast(void* buf, int count, MPI_Datatype type, int root, MPI_Comm comm) {
+    if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    if (root < 0 || root >= p) return MPI_ERR_ROOT;
+    if (p == 1) return MPI_SUCCESS;
+    std::uint64_t const seq = comm->coll_seq++;
+    int const vr = (r - root + p) % p;
+    auto real = [&](int v) { return (v + root) % p; };
+
+    int mask = 1;
+    while (mask < p) {
+        if ((vr & mask) != 0) {
+            if (int rc = crecv(comm, real(vr - mask), seq, 0, buf, count, type); rc != MPI_SUCCESS)
+                return rc;
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+        if (vr + mask < p) {
+            if (int rc = csend(comm, real(vr + mask), seq, 0, buf, count, type); rc != MPI_SUCCESS)
+                return rc;
+        }
+        mask >>= 1;
+    }
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Gather / Gatherv / Scatter / Scatterv (linear, as in typical v-collectives)
+// ---------------------------------------------------------------------------
+
+int MPI_Gatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                const int* recvcounts, const int* displs, MPI_Datatype recvtype, int root,
+                MPI_Comm comm) {
+    if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    std::uint64_t const seq = comm->coll_seq++;
+    if (r != root) {
+        return csend(comm, root, seq, 0, sendbuf, sendcount, sendtype);
+    }
+    if (sendbuf != MPI_IN_PLACE) {
+        local_copy(sendbuf, sendcount, sendtype, at_offset(recvbuf, displs[r], recvtype), recvtype);
+    }
+    for (int i = 0; i < p; ++i) {
+        if (i == r) continue;
+        if (int rc = crecv(comm, i, seq, 0, at_offset(recvbuf, displs[i], recvtype), recvcounts[i],
+                           recvtype);
+            rc != MPI_SUCCESS)
+            return rc;
+    }
+    return MPI_SUCCESS;
+}
+
+int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+               int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm) {
+    MPI_Comm const rcomm = resolve(comm);
+    if (rcomm == nullptr) return MPI_ERR_COMM;
+    int const p = rcomm->size();
+    std::vector<int> counts(static_cast<std::size_t>(p), recvcount);
+    std::vector<int> displs(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) displs[static_cast<std::size_t>(i)] = i * recvcount;
+    return MPI_Gatherv(sendbuf, sendcount, sendtype, recvbuf, counts.data(), displs.data(),
+                       recvtype, root, rcomm);
+}
+
+int MPI_Scatterv(const void* sendbuf, const int* sendcounts, const int* displs,
+                 MPI_Datatype sendtype, void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                 int root, MPI_Comm comm) {
+    if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    std::uint64_t const seq = comm->coll_seq++;
+    if (r == root) {
+        for (int i = 0; i < p; ++i) {
+            if (i == r) continue;
+            if (int rc = csend(comm, i, seq, 0, at_offset(sendbuf, displs[i], sendtype),
+                               sendcounts[i], sendtype);
+                rc != MPI_SUCCESS)
+                return rc;
+        }
+        if (recvbuf != MPI_IN_PLACE) {
+            local_copy(at_offset(sendbuf, displs[r], sendtype), sendcounts[r], sendtype, recvbuf,
+                       recvtype);
+        }
+        return MPI_SUCCESS;
+    }
+    return crecv(comm, root, seq, 0, recvbuf, recvcount, recvtype);
+}
+
+int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm) {
+    MPI_Comm const rcomm = resolve(comm);
+    if (rcomm == nullptr) return MPI_ERR_COMM;
+    int const p = rcomm->size();
+    std::vector<int> counts(static_cast<std::size_t>(p), sendcount);
+    std::vector<int> displs(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) displs[static_cast<std::size_t>(i)] = i * sendcount;
+    return MPI_Scatterv(sendbuf, counts.data(), displs.data(), sendtype, recvbuf, recvcount,
+                        recvtype, root, rcomm);
+}
+
+// ---------------------------------------------------------------------------
+// Allgather (recursive doubling for powers of two, gather+bcast otherwise)
+// and Allgatherv (ring)
+// ---------------------------------------------------------------------------
+
+int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                  int recvcount, MPI_Datatype recvtype, MPI_Comm comm) {
+    if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    // Own contribution into place.
+    if (sendbuf != MPI_IN_PLACE) {
+        local_copy(sendbuf, sendcount, sendtype,
+                   at_offset(recvbuf, static_cast<long long>(r) * recvcount, recvtype), recvtype);
+    }
+    if (p == 1) return MPI_SUCCESS;
+    if (is_pow2(p)) {
+        std::uint64_t const seq = comm->coll_seq++;
+        for (int bit = 1, k = 0; bit < p; bit <<= 1, ++k) {
+            int const partner = r ^ bit;
+            int const wstart = r & ~(2 * bit - 1) & ~(bit - 1);  // window before merge
+            int const mine = r & ~(bit - 1);
+            int const theirs = partner & ~(bit - 1);
+            (void)wstart;
+            if (int rc = csendrecv(
+                    comm, partner, partner, seq, k,
+                    at_offset(recvbuf, static_cast<long long>(mine) * recvcount, recvtype),
+                    bit * recvcount,
+                    at_offset(recvbuf, static_cast<long long>(theirs) * recvcount, recvtype),
+                    bit * recvcount, recvtype);
+                rc != MPI_SUCCESS)
+                return rc;
+        }
+        return MPI_SUCCESS;
+    }
+    // Composite fallback: gather to rank 0 then bcast.
+    void const* sb = at_offset(recvbuf, static_cast<long long>(r) * recvcount, recvtype);
+    if (int rc = MPI_Gather(r == 0 ? MPI_IN_PLACE : sb, recvcount, recvtype, recvbuf, recvcount,
+                            recvtype, 0, comm);
+        rc != MPI_SUCCESS)
+        return rc;
+    return MPI_Bcast(recvbuf, p * recvcount, recvtype, 0, comm);
+}
+
+int MPI_Allgatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                   const int* recvcounts, const int* displs, MPI_Datatype recvtype, MPI_Comm comm) {
+    if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    if (sendbuf != MPI_IN_PLACE) {
+        local_copy(sendbuf, sendcount, sendtype, at_offset(recvbuf, displs[r], recvtype), recvtype);
+    }
+    if (p == 1) return MPI_SUCCESS;
+    std::uint64_t const seq = comm->coll_seq++;
+    // Ring: in step k, forward block (r - k) to the right neighbor and
+    // receive block (r - k - 1) from the left neighbor.
+    int const right = (r + 1) % p;
+    int const left = (r - 1 + p) % p;
+    for (int k = 0; k < p - 1; ++k) {
+        int const sblock = (r - k + p) % p;
+        int const rblock = (r - k - 1 + 2 * p) % p;
+        if (int rc = csendrecv(comm, right, left, seq, k,
+                               at_offset(recvbuf, displs[sblock], recvtype), recvcounts[sblock],
+                               at_offset(recvbuf, displs[rblock], recvtype), recvcounts[rblock],
+                               recvtype);
+            rc != MPI_SUCCESS)
+            return rc;
+    }
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Alltoall family (pairwise exchange)
+// ---------------------------------------------------------------------------
+
+int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                 int recvcount, MPI_Datatype recvtype, MPI_Comm comm) {
+    if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    std::uint64_t const seq = comm->coll_seq++;
+    local_copy(at_offset(sendbuf, static_cast<long long>(r) * sendcount, sendtype), sendcount,
+               sendtype, at_offset(recvbuf, static_cast<long long>(r) * recvcount, recvtype),
+               recvtype);
+    for (int i = 1; i < p; ++i) {
+        int const dst = (r + i) % p;
+        int const src = (r - i + p) % p;
+        xmpi_request_t* rreq = nullptr;
+        if (int rc = cirecv(comm, src, seq, i,
+                            at_offset(recvbuf, static_cast<long long>(src) * recvcount, recvtype),
+                            recvcount, recvtype, &rreq);
+            rc != MPI_SUCCESS)
+            return rc;
+        if (int rc = csend(comm, dst, seq, i,
+                           at_offset(sendbuf, static_cast<long long>(dst) * sendcount, sendtype),
+                           sendcount, sendtype);
+            rc != MPI_SUCCESS) {
+            wait_one(rreq, MPI_STATUS_IGNORE);
+            return rc;
+        }
+        if (int rc = wait_one(rreq, MPI_STATUS_IGNORE); rc != MPI_SUCCESS) return rc;
+    }
+    return MPI_SUCCESS;
+}
+
+int MPI_Alltoallv(const void* sendbuf, const int* sendcounts, const int* sdispls,
+                  MPI_Datatype sendtype, void* recvbuf, const int* recvcounts, const int* rdispls,
+                  MPI_Datatype recvtype, MPI_Comm comm) {
+    if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    std::uint64_t const seq = comm->coll_seq++;
+    local_copy(at_offset(sendbuf, sdispls[r], sendtype), sendcounts[r], sendtype,
+               at_offset(recvbuf, rdispls[r], recvtype), recvtype);
+    for (int i = 1; i < p; ++i) {
+        int const dst = (r + i) % p;
+        int const src = (r - i + p) % p;
+        xmpi_request_t* rreq = nullptr;
+        if (int rc = cirecv(comm, src, seq, i, at_offset(recvbuf, rdispls[src], recvtype),
+                            recvcounts[src], recvtype, &rreq);
+            rc != MPI_SUCCESS)
+            return rc;
+        if (int rc = csend(comm, dst, seq, i, at_offset(sendbuf, sdispls[dst], sendtype),
+                           sendcounts[dst], sendtype);
+            rc != MPI_SUCCESS) {
+            wait_one(rreq, MPI_STATUS_IGNORE);
+            return rc;
+        }
+        if (int rc = wait_one(rreq, MPI_STATUS_IGNORE); rc != MPI_SUCCESS) return rc;
+    }
+    return MPI_SUCCESS;
+}
+
+int MPI_Alltoallw(const void* sendbuf, const int* sendcounts, const int* sdispls,
+                  const MPI_Datatype* sendtypes, void* recvbuf, const int* recvcounts,
+                  const int* rdispls, const MPI_Datatype* recvtypes, MPI_Comm comm) {
+    if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    std::uint64_t const seq = comm->coll_seq++;
+    // Alltoallw displacements are in *bytes*.
+    auto sat = [&](int i) { return static_cast<std::byte const*>(sendbuf) + sdispls[i]; };
+    auto rat = [&](int i) { return static_cast<std::byte*>(recvbuf) + rdispls[i]; };
+    local_copy(sat(r), sendcounts[r], sendtypes[r], rat(r), recvtypes[r]);
+    for (int i = 1; i < p; ++i) {
+        int const dst = (r + i) % p;
+        int const src = (r - i + p) % p;
+        xmpi_request_t* rreq = nullptr;
+        if (int rc = cirecv(comm, src, seq, i, rat(src), recvcounts[src], recvtypes[src], &rreq);
+            rc != MPI_SUCCESS)
+            return rc;
+        if (int rc = csend(comm, dst, seq, i, sat(dst), sendcounts[dst], sendtypes[dst]);
+            rc != MPI_SUCCESS) {
+            wait_one(rreq, MPI_STATUS_IGNORE);
+            return rc;
+        }
+        if (int rc = wait_one(rreq, MPI_STATUS_IGNORE); rc != MPI_SUCCESS) return rc;
+    }
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Binomial-tree reduce toward `root`. Combination order is rank order
+/// (left-to-right) when root == 0; other roots rotate the order, which is
+/// valid for commutative operations (the standard demands no more).
+int reduce_impl(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+                int root, MPI_Comm comm, std::uint64_t seq) {
+    int const p = comm->size();
+    int const r = comm->rank();
+    int const vr = (r - root + p) % p;
+    auto real = [&](int v) { return (v + root) % p; };
+    std::size_t const bytes = static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
+
+    std::vector<std::byte> acc(bytes);
+    std::vector<std::byte> tmp(bytes);
+    void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
+    if (bytes > 0) std::memcpy(acc.data(), input, bytes);
+
+    for (int mask = 1; mask < p; mask <<= 1) {
+        if ((vr & mask) != 0) {
+            return csend(comm, real(vr - mask), seq, 0, acc.data(), count, type);
+        }
+        if (vr + mask < p) {
+            if (int rc = crecv(comm, real(vr + mask), seq, 0, tmp.data(), count, type);
+                rc != MPI_SUCCESS)
+                return rc;
+            // acc covers lower ranks (left operand), tmp higher ranks.
+            apply_op(op, acc.data(), tmp.data(), count, type);
+            std::swap(acc, tmp);
+        }
+    }
+    if (r == root && bytes > 0) std::memcpy(recvbuf, acc.data(), bytes);
+    return MPI_SUCCESS;
+}
+
+}  // namespace
+
+int MPI_Reduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+               int root, MPI_Comm comm) {
+    if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
+    if (root < 0 || root >= comm->size()) return MPI_ERR_ROOT;
+    std::uint64_t const seq = comm->coll_seq++;
+    return reduce_impl(sendbuf, recvbuf, count, type, op, root, comm, seq);
+}
+
+int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+                  MPI_Comm comm) {
+    if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    std::size_t const bytes = static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
+    if (p == 1) {
+        if (sendbuf != MPI_IN_PLACE && bytes > 0) std::memcpy(recvbuf, sendbuf, bytes);
+        return MPI_SUCCESS;
+    }
+    if (is_pow2(p)) {
+        std::uint64_t const seq = comm->coll_seq++;
+        std::vector<std::byte> acc(bytes);
+        std::vector<std::byte> tmp(bytes);
+        void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
+        if (bytes > 0) std::memcpy(acc.data(), input, bytes);
+        for (int bit = 1, k = 0; bit < p; bit <<= 1, ++k) {
+            int const partner = r ^ bit;
+            if (int rc = csendrecv(comm, partner, partner, seq, k, acc.data(), count, tmp.data(),
+                                   count, type);
+                rc != MPI_SUCCESS)
+                return rc;
+            if ((r & bit) != 0) {
+                // Partner is the lower (left) half.
+                apply_op(op, tmp.data(), acc.data(), count, type);
+            } else {
+                apply_op(op, acc.data(), tmp.data(), count, type);
+                std::swap(acc, tmp);
+            }
+        }
+        if (bytes > 0) std::memcpy(recvbuf, acc.data(), bytes);
+        return MPI_SUCCESS;
+    }
+    // Composite fallback preserving rank order: reduce to 0 + bcast.
+    if (sendbuf == MPI_IN_PLACE && r != 0) sendbuf = recvbuf;
+    if (int rc = MPI_Reduce(r == 0 && sendbuf == MPI_IN_PLACE ? MPI_IN_PLACE : sendbuf, recvbuf,
+                            count, type, op, 0, comm);
+        rc != MPI_SUCCESS)
+        return rc;
+    return MPI_Bcast(recvbuf, count, type, 0, comm);
+}
+
+int MPI_Scan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+             MPI_Comm comm) {
+    if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    std::size_t const bytes = static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
+    void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
+    std::vector<std::byte> acc(bytes);
+    std::vector<std::byte> tmp(bytes);
+    if (bytes > 0) std::memcpy(acc.data(), input, bytes);
+    if (p > 1) {
+        std::uint64_t const seq = comm->coll_seq++;
+        for (int dist = 1, k = 0; dist < p; dist <<= 1, ++k) {
+            if (r + dist < p) {
+                if (int rc = csend(comm, r + dist, seq, k, acc.data(), count, type);
+                    rc != MPI_SUCCESS)
+                    return rc;
+            }
+            if (r - dist >= 0) {
+                if (int rc = crecv(comm, r - dist, seq, k, tmp.data(), count, type);
+                    rc != MPI_SUCCESS)
+                    return rc;
+                // tmp covers lower ranks: left operand.
+                apply_op(op, tmp.data(), acc.data(), count, type);
+            }
+        }
+    }
+    if (bytes > 0) std::memcpy(recvbuf, acc.data(), bytes);
+    return MPI_SUCCESS;
+}
+
+int MPI_Exscan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+               MPI_Comm comm) {
+    if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    std::size_t const bytes = static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
+    // Inclusive scan into a temporary, then shift right by one rank.
+    std::vector<std::byte> incl(bytes);
+    void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
+    if (int rc = MPI_Scan(input, incl.data(), count, type, op, comm); rc != MPI_SUCCESS)
+        return rc;
+    if (p == 1) return MPI_SUCCESS;  // rank 0's exscan result is undefined
+    std::uint64_t const seq = comm->coll_seq++;
+    if (r + 1 < p) {
+        if (int rc = csend(comm, r + 1, seq, 0, incl.data(), count, type); rc != MPI_SUCCESS)
+            return rc;
+    }
+    if (r > 0) {
+        if (int rc = crecv(comm, r - 1, seq, 0, recvbuf, count, type); rc != MPI_SUCCESS) return rc;
+    }
+    return MPI_SUCCESS;
+}
+
+int MPI_Reduce_scatter_block(const void* sendbuf, void* recvbuf, int recvcount, MPI_Datatype type,
+                             MPI_Op op, MPI_Comm comm) {
+    if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    std::vector<std::byte> full(static_cast<std::size_t>(recvcount) * static_cast<std::size_t>(p) *
+                                static_cast<std::size_t>(type->extent));
+    void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
+    if (int rc = MPI_Reduce(input, full.data(), recvcount * p, type, op, 0, comm);
+        rc != MPI_SUCCESS)
+        return rc;
+    (void)r;
+    return MPI_Scatter(full.data(), recvcount, type, recvbuf, recvcount, type, 0, comm);
+}

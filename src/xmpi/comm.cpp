@@ -1,0 +1,106 @@
+/// @file comm.cpp
+/// @brief Communicator creation: context agreement is message-based (an
+/// allreduce-max over the parent), group construction is an allgather of
+/// (color, key) tuples — every member ends up with its own identical copy of
+/// the new communicator (see internal.hpp for why copies are safe).
+#include <algorithm>
+#include <vector>
+
+#include "internal.hpp"
+
+namespace xmpi::detail {
+
+int agree_context(MPI_Comm comm) {
+    Universe* u = comm->universe;
+    int const cand = u->next_context.fetch_add(4);
+    int ctx = cand;
+    if (comm->size() > 1) {
+        if (MPI_Allreduce(&cand, &ctx, 1, MPI_INT, MPI_MAX, comm) != MPI_SUCCESS) return -1;
+    }
+    // Keep the global counter ahead of every agreed value.
+    int expected = u->next_context.load();
+    while (expected < ctx + 4 && !u->next_context.compare_exchange_weak(expected, ctx + 4)) {
+    }
+    return ctx;
+}
+
+}  // namespace xmpi::detail
+
+using namespace xmpi::detail;
+
+int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm) {
+    comm = resolve(comm);
+    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
+    if (newcomm == nullptr) return MPI_ERR_ARG;
+    int const ctx = agree_context(comm);
+    if (ctx < 0) return MPI_ERR_INTERN;
+    MPI_Comm c = make_comm(comm->universe, ctx, comm->group,
+                           comm->world_of(comm->rank()));
+    if (comm->topo != nullptr) c->topo = std::make_unique<TopoInfo>(*comm->topo);
+    *newcomm = c;
+    return MPI_SUCCESS;
+}
+
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm) {
+    comm = resolve(comm);
+    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
+    if (newcomm == nullptr) return MPI_ERR_ARG;
+    int const p = comm->size();
+    int const r = comm->rank();
+    int const ctx = agree_context(comm);
+    if (ctx < 0) return MPI_ERR_INTERN;
+
+    struct CK {
+        int color;
+        int key;
+        int rank;
+    };
+    std::vector<CK> all(static_cast<std::size_t>(p));
+    CK const mine{color, key, r};
+    if (int rc = MPI_Allgather(&mine, static_cast<int>(sizeof(CK)), MPI_BYTE, all.data(),
+                               static_cast<int>(sizeof(CK)), MPI_BYTE, comm);
+        rc != MPI_SUCCESS)
+        return rc;
+
+    if (color == MPI_UNDEFINED) {
+        *newcomm = MPI_COMM_NULL;
+        return MPI_SUCCESS;
+    }
+    std::vector<CK> members;
+    for (auto const& ck : all) {
+        if (ck.color == color) members.push_back(ck);
+    }
+    std::sort(members.begin(), members.end(),
+              [](CK const& a, CK const& b) { return a.key != b.key ? a.key < b.key : a.rank < b.rank; });
+    std::vector<int> group;
+    group.reserve(members.size());
+    for (auto const& ck : members) group.push_back(comm->world_of(ck.rank));
+    *newcomm = make_comm(comm->universe, ctx, std::move(group), comm->world_of(r));
+    return MPI_SUCCESS;
+}
+
+int MPI_Comm_free(MPI_Comm* comm) {
+    if (comm == nullptr || *comm == nullptr) return MPI_ERR_COMM;
+    if (*comm == MPI_COMM_WORLD || *comm == MPI_COMM_SELF) return MPI_ERR_COMM;
+    delete *comm;
+    *comm = MPI_COMM_NULL;
+    return MPI_SUCCESS;
+}
+
+int MPI_Comm_compare(MPI_Comm c1, MPI_Comm c2, int* result) {
+    c1 = resolve(c1);
+    c2 = resolve(c2);
+    if (c1 == nullptr || c2 == nullptr || result == nullptr) return MPI_ERR_COMM;
+    if (c1 == c2 || c1->context == c2->context) {
+        *result = MPI_IDENT;
+    } else if (c1->group == c2->group) {
+        *result = MPI_CONGRUENT;
+    } else {
+        std::vector<int> g1 = c1->group;
+        std::vector<int> g2 = c2->group;
+        std::sort(g1.begin(), g1.end());
+        std::sort(g2.begin(), g2.end());
+        *result = g1 == g2 ? MPI_SIMILAR : MPI_UNEQUAL;
+    }
+    return MPI_SUCCESS;
+}

@@ -1,0 +1,290 @@
+/// @file mpi.h
+/// @brief The classic MPI C API, implemented from scratch by the `xmpi`
+/// substrate (threads-as-ranks, in-memory matching transport, virtual-time
+/// cost model).
+///
+/// This header deliberately mirrors the signatures and semantics of the MPI
+/// standard's C bindings so that (a) the KaMPIng-style C++ bindings in
+/// `src/kamping/` sit on exactly the interface the paper targets and (b) the
+/// "plain MPI" baseline implementations look like real MPI code.
+///
+/// Supported feature set (see DESIGN.md §2/§3): blocking and non-blocking
+/// point-to-point communication including synchronous mode, probing, the full
+/// set of collectives used by the paper (incl. v/w variants and
+/// MPI_Ibarrier as a progressable request), derived datatypes with
+/// pack/unpack, communicator management, distributed-graph topologies with
+/// neighborhood collectives, user-defined reduction operations, and the ULFM
+/// fault-tolerance extensions (MPIX_*).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+// ---------------------------------------------------------------------------
+// Handles. All handles are pointers to substrate-internal objects; the
+// special constants below are sentinel values resolved at call time.
+// ---------------------------------------------------------------------------
+struct xmpi_comm_t;
+struct xmpi_datatype_t;
+struct xmpi_op_t;
+struct xmpi_request_t;
+
+using MPI_Comm = xmpi_comm_t*;
+using MPI_Datatype = xmpi_datatype_t*;
+using MPI_Op = xmpi_op_t*;
+using MPI_Request = xmpi_request_t*;
+using MPI_Aint = long long;
+
+/// Completion/metadata record for receives and probes. `_bytes` is
+/// substrate-internal (packed payload size) and consumed by MPI_Get_count.
+struct MPI_Status {
+    int MPI_SOURCE;
+    int MPI_TAG;
+    int MPI_ERROR;
+    int _bytes;
+};
+
+/// Signature of user-defined reduction functions (as in the MPI standard).
+using MPI_User_function = void(void* invec, void* inoutvec, int* len, MPI_Datatype* datatype);
+
+// ---------------------------------------------------------------------------
+// Special values
+// ---------------------------------------------------------------------------
+#define MPI_COMM_NULL ((MPI_Comm) nullptr)
+#define MPI_COMM_WORLD ((MPI_Comm)0x1)
+#define MPI_COMM_SELF ((MPI_Comm)0x2)
+
+#define MPI_REQUEST_NULL ((MPI_Request) nullptr)
+#define MPI_DATATYPE_NULL ((MPI_Datatype) nullptr)
+#define MPI_OP_NULL ((MPI_Op) nullptr)
+
+#define MPI_STATUS_IGNORE ((MPI_Status*) nullptr)
+#define MPI_STATUSES_IGNORE ((MPI_Status*) nullptr)
+
+#define MPI_IN_PLACE ((void*)-1)
+#define MPI_BOTTOM ((void*) nullptr)
+
+inline constexpr int MPI_ANY_SOURCE = -2;
+inline constexpr int MPI_ANY_TAG = -1;
+inline constexpr int MPI_PROC_NULL = -3;
+inline constexpr int MPI_ROOT = -4;
+inline constexpr int MPI_UNDEFINED = -32766;
+inline constexpr int MPI_TAG_UB = (1 << 24);
+
+// ---------------------------------------------------------------------------
+// Error codes. xmpi always uses the "errors return" model; the C++ layers
+// above translate non-success codes into exceptions.
+// ---------------------------------------------------------------------------
+inline constexpr int MPI_SUCCESS = 0;
+inline constexpr int MPI_ERR_BUFFER = 1;
+inline constexpr int MPI_ERR_COUNT = 2;
+inline constexpr int MPI_ERR_TYPE = 3;
+inline constexpr int MPI_ERR_TAG = 4;
+inline constexpr int MPI_ERR_COMM = 5;
+inline constexpr int MPI_ERR_RANK = 6;
+inline constexpr int MPI_ERR_REQUEST = 7;
+inline constexpr int MPI_ERR_ROOT = 8;
+inline constexpr int MPI_ERR_OP = 9;
+inline constexpr int MPI_ERR_ARG = 12;
+inline constexpr int MPI_ERR_TRUNCATE = 15;
+inline constexpr int MPI_ERR_OTHER = 16;
+inline constexpr int MPI_ERR_INTERN = 17;
+inline constexpr int MPI_ERR_PENDING = 18;
+inline constexpr int MPI_ERR_IN_STATUS = 19;
+// ULFM extension codes
+inline constexpr int MPIX_ERR_PROC_FAILED = 75;
+inline constexpr int MPIX_ERR_REVOKED = 76;
+
+// ---------------------------------------------------------------------------
+// Built-in datatypes (defined in datatype.cpp; immutable singletons).
+// ---------------------------------------------------------------------------
+extern MPI_Datatype MPI_CHAR;
+extern MPI_Datatype MPI_SIGNED_CHAR;
+extern MPI_Datatype MPI_UNSIGNED_CHAR;
+extern MPI_Datatype MPI_BYTE;
+extern MPI_Datatype MPI_SHORT;
+extern MPI_Datatype MPI_UNSIGNED_SHORT;
+extern MPI_Datatype MPI_INT;
+extern MPI_Datatype MPI_UNSIGNED;
+extern MPI_Datatype MPI_LONG;
+extern MPI_Datatype MPI_UNSIGNED_LONG;
+extern MPI_Datatype MPI_LONG_LONG;
+extern MPI_Datatype MPI_UNSIGNED_LONG_LONG;
+extern MPI_Datatype MPI_FLOAT;
+extern MPI_Datatype MPI_DOUBLE;
+extern MPI_Datatype MPI_LONG_DOUBLE;
+extern MPI_Datatype MPI_INT8_T;
+extern MPI_Datatype MPI_INT16_T;
+extern MPI_Datatype MPI_INT32_T;
+extern MPI_Datatype MPI_INT64_T;
+extern MPI_Datatype MPI_UINT8_T;
+extern MPI_Datatype MPI_UINT16_T;
+extern MPI_Datatype MPI_UINT32_T;
+extern MPI_Datatype MPI_UINT64_T;
+extern MPI_Datatype MPI_CXX_BOOL;
+extern MPI_Datatype MPI_AINT;
+
+// ---------------------------------------------------------------------------
+// Built-in reduction operations (defined in ops.cpp).
+// ---------------------------------------------------------------------------
+extern MPI_Op MPI_SUM;
+extern MPI_Op MPI_PROD;
+extern MPI_Op MPI_MAX;
+extern MPI_Op MPI_MIN;
+extern MPI_Op MPI_LAND;
+extern MPI_Op MPI_LOR;
+extern MPI_Op MPI_LXOR;
+extern MPI_Op MPI_BAND;
+extern MPI_Op MPI_BOR;
+extern MPI_Op MPI_BXOR;
+
+// ---------------------------------------------------------------------------
+// Environment
+// ---------------------------------------------------------------------------
+int MPI_Init(int* argc, char*** argv);
+int MPI_Finalize();
+int MPI_Initialized(int* flag);
+int MPI_Abort(MPI_Comm comm, int errorcode);
+/// Returns the calling rank's *virtual* time (seconds) under the cost model.
+double MPI_Wtime();
+
+// ---------------------------------------------------------------------------
+// Communicator management
+// ---------------------------------------------------------------------------
+int MPI_Comm_size(MPI_Comm comm, int* size);
+int MPI_Comm_rank(MPI_Comm comm, int* rank);
+int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm);
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm);
+int MPI_Comm_free(MPI_Comm* comm);
+int MPI_Comm_compare(MPI_Comm c1, MPI_Comm c2, int* result);
+inline constexpr int MPI_IDENT = 0;
+inline constexpr int MPI_CONGRUENT = 1;
+inline constexpr int MPI_SIMILAR = 2;
+inline constexpr int MPI_UNEQUAL = 3;
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+// ---------------------------------------------------------------------------
+int MPI_Send(const void* buf, int count, MPI_Datatype type, int dest, int tag, MPI_Comm comm);
+int MPI_Ssend(const void* buf, int count, MPI_Datatype type, int dest, int tag, MPI_Comm comm);
+int MPI_Recv(void* buf, int count, MPI_Datatype type, int source, int tag, MPI_Comm comm,
+             MPI_Status* status);
+int MPI_Isend(const void* buf, int count, MPI_Datatype type, int dest, int tag, MPI_Comm comm,
+              MPI_Request* request);
+int MPI_Issend(const void* buf, int count, MPI_Datatype type, int dest, int tag, MPI_Comm comm,
+               MPI_Request* request);
+int MPI_Irecv(void* buf, int count, MPI_Datatype type, int source, int tag, MPI_Comm comm,
+              MPI_Request* request);
+int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, int dest, int sendtag,
+                 void* recvbuf, int recvcount, MPI_Datatype recvtype, int source, int recvtag,
+                 MPI_Comm comm, MPI_Status* status);
+int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status);
+int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag, MPI_Status* status);
+int MPI_Get_count(const MPI_Status* status, MPI_Datatype type, int* count);
+
+// ---------------------------------------------------------------------------
+// Request completion
+// ---------------------------------------------------------------------------
+int MPI_Wait(MPI_Request* request, MPI_Status* status);
+int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status);
+int MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses);
+int MPI_Testall(int count, MPI_Request* requests, int* flag, MPI_Status* statuses);
+int MPI_Waitany(int count, MPI_Request* requests, int* index, MPI_Status* status);
+int MPI_Testany(int count, MPI_Request* requests, int* index, int* flag, MPI_Status* status);
+int MPI_Waitsome(int incount, MPI_Request* requests, int* outcount, int* indices,
+                 MPI_Status* statuses);
+int MPI_Request_free(MPI_Request* request);
+
+// ---------------------------------------------------------------------------
+// Collectives
+// ---------------------------------------------------------------------------
+int MPI_Barrier(MPI_Comm comm);
+int MPI_Ibarrier(MPI_Comm comm, MPI_Request* request);
+int MPI_Bcast(void* buf, int count, MPI_Datatype type, int root, MPI_Comm comm);
+int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+               int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm);
+int MPI_Gatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                const int* recvcounts, const int* displs, MPI_Datatype recvtype, int root,
+                MPI_Comm comm);
+int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm);
+int MPI_Scatterv(const void* sendbuf, const int* sendcounts, const int* displs,
+                 MPI_Datatype sendtype, void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                 int root, MPI_Comm comm);
+int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                  int recvcount, MPI_Datatype recvtype, MPI_Comm comm);
+int MPI_Allgatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                   const int* recvcounts, const int* displs, MPI_Datatype recvtype, MPI_Comm comm);
+int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                 int recvcount, MPI_Datatype recvtype, MPI_Comm comm);
+int MPI_Alltoallv(const void* sendbuf, const int* sendcounts, const int* sdispls,
+                  MPI_Datatype sendtype, void* recvbuf, const int* recvcounts, const int* rdispls,
+                  MPI_Datatype recvtype, MPI_Comm comm);
+int MPI_Alltoallw(const void* sendbuf, const int* sendcounts, const int* sdispls,
+                  const MPI_Datatype* sendtypes, void* recvbuf, const int* recvcounts,
+                  const int* rdispls, const MPI_Datatype* recvtypes, MPI_Comm comm);
+int MPI_Reduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+               int root, MPI_Comm comm);
+int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+                  MPI_Comm comm);
+int MPI_Scan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+             MPI_Comm comm);
+int MPI_Exscan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+               MPI_Comm comm);
+int MPI_Reduce_scatter_block(const void* sendbuf, void* recvbuf, int recvcount, MPI_Datatype type,
+                             MPI_Op op, MPI_Comm comm);
+
+// ---------------------------------------------------------------------------
+// Derived datatypes
+// ---------------------------------------------------------------------------
+int MPI_Type_contiguous(int count, MPI_Datatype oldtype, MPI_Datatype* newtype);
+int MPI_Type_vector(int count, int blocklength, int stride, MPI_Datatype oldtype,
+                    MPI_Datatype* newtype);
+int MPI_Type_indexed(int count, const int* blocklengths, const int* displacements,
+                     MPI_Datatype oldtype, MPI_Datatype* newtype);
+int MPI_Type_create_struct(int count, const int* blocklengths, const MPI_Aint* displacements,
+                           const MPI_Datatype* types, MPI_Datatype* newtype);
+int MPI_Type_create_resized(MPI_Datatype oldtype, MPI_Aint lb, MPI_Aint extent,
+                            MPI_Datatype* newtype);
+int MPI_Type_commit(MPI_Datatype* type);
+int MPI_Type_free(MPI_Datatype* type);
+int MPI_Type_size(MPI_Datatype type, int* size);
+int MPI_Type_get_extent(MPI_Datatype type, MPI_Aint* lb, MPI_Aint* extent);
+
+// ---------------------------------------------------------------------------
+// Reduction operations
+// ---------------------------------------------------------------------------
+int MPI_Op_create(MPI_User_function* fn, int commute, MPI_Op* op);
+int MPI_Op_free(MPI_Op* op);
+/// Substrate extension: reduction op backed by an arbitrary callable (used
+/// by the C++ bindings to support capturing lambdas as reduction operations).
+int XMPI_Op_create_fn(std::function<void(void*, void*, int*, MPI_Datatype*)> fn, int commute,
+                      MPI_Op* op);
+
+// ---------------------------------------------------------------------------
+// Distributed-graph topology and neighborhood collectives
+// ---------------------------------------------------------------------------
+int MPI_Dist_graph_create_adjacent(MPI_Comm comm, int indegree, const int* sources,
+                                   const int* sourceweights, int outdegree, const int* destinations,
+                                   const int* destweights, int info, int reorder, MPI_Comm* newcomm);
+int MPI_Dist_graph_neighbors_count(MPI_Comm comm, int* indegree, int* outdegree, int* weighted);
+int MPI_Dist_graph_neighbors(MPI_Comm comm, int maxindegree, int* sources, int* sourceweights,
+                             int maxoutdegree, int* destinations, int* destweights);
+int MPI_Neighbor_alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                          int recvcount, MPI_Datatype recvtype, MPI_Comm comm);
+int MPI_Neighbor_alltoallv(const void* sendbuf, const int* sendcounts, const int* sdispls,
+                           MPI_Datatype sendtype, void* recvbuf, const int* recvcounts,
+                           const int* rdispls, MPI_Datatype recvtype, MPI_Comm comm);
+inline constexpr int MPI_INFO_NULL = 0;
+
+// ---------------------------------------------------------------------------
+// ULFM fault-tolerance extensions (MPI 5.0 proposal / MPIX namespace)
+// ---------------------------------------------------------------------------
+int MPIX_Comm_revoke(MPI_Comm comm);
+int MPIX_Comm_is_revoked(MPI_Comm comm, int* flag);
+int MPIX_Comm_shrink(MPI_Comm comm, MPI_Comm* newcomm);
+int MPIX_Comm_agree(MPI_Comm comm, int* flag);
+int MPIX_Comm_failure_ack(MPI_Comm comm);
+/// Substrate extension: the calling rank fails (terminates) immediately.
+/// Peers observe MPIX_ERR_PROC_FAILED on operations involving this rank.
+[[noreturn]] void XMPI_Die();

@@ -1,0 +1,101 @@
+/// @file xmpi.hpp
+/// @brief C++ driver API for the xmpi substrate: spawn a "universe" of ranks
+/// (threads), configure the virtual-time cost model, and collect statistics.
+///
+/// Usage:
+/// @code
+///   auto result = xmpi::run(8, [](int rank) {
+///       // rank code; may call any MPI_* function from <xmpi/mpi.h>
+///   });
+///   std::cout << result.max_vtime; // modeled parallel makespan
+/// @endcode
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "xmpi/mpi.h"
+
+namespace xmpi {
+
+/// Parameters of the LogP-style communication cost model and of the runtime.
+///
+/// Every message between ranks advances the receiver's virtual clock to at
+/// least `sender_vtime + alpha + beta * bytes`; the sender pays `o` per
+/// message. Local computation advances a rank's clock by its *thread CPU
+/// time* multiplied by `compute_scale` (thread CPU time is immune to
+/// oversubscribed scheduling, so a single-core host still attributes each
+/// rank only its own work).
+struct Config {
+    /// Per-message latency in seconds (default calibrated to a 100 Gbit/s
+    /// OmniPath-class interconnect as used in the paper's evaluation).
+    double alpha = 2e-6;
+    /// Per-byte transfer cost in seconds (~1.25 GB/s effective per pair).
+    double beta = 8e-10;
+    /// Sender-side per-message overhead in seconds.
+    double o = 2e-7;
+    /// Multiplier applied to measured thread CPU time.
+    double compute_scale = 1.0;
+    /// Stack size per rank thread in bytes.
+    std::size_t stack_size = 1u << 20;
+};
+
+/// Per-rank communication counters, aggregated into RunResult.
+struct Counters {
+    std::uint64_t p2p_messages = 0;
+    std::uint64_t p2p_bytes = 0;
+    std::uint64_t coll_messages = 0;
+    std::uint64_t coll_bytes = 0;
+
+    Counters& operator+=(Counters const& other) {
+        p2p_messages += other.p2p_messages;
+        p2p_bytes += other.p2p_bytes;
+        coll_messages += other.coll_messages;
+        coll_bytes += other.coll_bytes;
+        return *this;
+    }
+};
+
+/// Outcome of one universe execution.
+struct RunResult {
+    /// Maximum over all ranks of the final virtual clock: the modeled
+    /// parallel makespan of the program under the cost model.
+    double max_vtime = 0.0;
+    /// Wall-clock seconds the universe took on the host.
+    double wall_time = 0.0;
+    /// Sum of all ranks' communication counters.
+    Counters total;
+    /// Per-rank final virtual times.
+    std::vector<double> rank_vtimes;
+};
+
+/// Runs `body(rank)` on `num_ranks` concurrently executing ranks backed by
+/// OS threads. Blocks until all ranks return. Exceptions thrown by rank
+/// bodies are captured; the first one (by rank order) is rethrown after all
+/// threads joined. Nested/repeated calls are allowed sequentially, not
+/// concurrently.
+RunResult run(int num_ranks, std::function<void(int)> const& body, Config const& config = {});
+
+/// Convenience overload for bodies that query their rank via MPI_Comm_rank.
+RunResult run(int num_ranks, std::function<void()> const& body, Config const& config = {});
+
+/// @name In-rank introspection (callable from inside a rank body)
+/// @{
+
+/// The calling rank's current virtual time in seconds.
+double vtime_now();
+/// Adds `seconds` of modeled local work to the calling rank's clock
+/// (used by benchmarks to model workload components not executed for real).
+void vtime_add(double seconds);
+/// The calling rank's communication counters so far.
+Counters counters_now();
+/// Monotonically increasing id of the current universe; used by layers above
+/// to invalidate per-universe caches (e.g. the datatype pool).
+std::uint64_t universe_id();
+/// True when called from inside a rank body.
+bool in_rank();
+/// @}
+
+}  // namespace xmpi

@@ -1,0 +1,319 @@
+/// @file internal.hpp
+/// @brief Substrate-internal data structures: universe, rank state, mailbox
+/// transport with MPI matching semantics, requests, communicators, datatypes
+/// and reduction ops. Shared across the xmpi translation units; not installed.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "xmpi/mpi.h"
+#include "xmpi/xmpi.hpp"
+
+namespace xmpi::detail {
+
+struct RankState;
+struct Universe;
+
+// ---------------------------------------------------------------------------
+// Datatypes
+// ---------------------------------------------------------------------------
+
+/// Internal representation of an MPI datatype. Builtins are immutable
+/// singletons; derived types form a DAG (children refcounted by ownership of
+/// the creating code: MPI requires the user keep constituent types alive
+/// until commit, we additionally snapshot what we need so frees are safe).
+struct DatatypeImpl {
+    enum class Kind { builtin, contiguous, vector, indexed, strct };
+
+    Kind kind = Kind::builtin;
+    /// Packed (true data) size of one element of this type, in bytes.
+    int size = 0;
+    /// Extent and lower bound in the caller's memory layout.
+    MPI_Aint extent = 0;
+    MPI_Aint lb = 0;
+    bool committed = false;
+    bool is_builtin = false;
+    /// Identifies builtin types for reduction dispatch (index into table).
+    int builtin_id = -1;
+
+    // contiguous/vector/indexed
+    int count = 0;
+    int blocklength = 0;
+    int stride = 0;  // in elements of child
+    std::vector<int> blocklengths;
+    std::vector<MPI_Aint> displacements;  // indexed: element displs; struct: byte displs
+    MPI_Datatype child = nullptr;
+    std::vector<MPI_Datatype> children;  // struct
+
+    /// Packs `count` elements starting at `src` into contiguous bytes at `dst`.
+    void pack(void const* src, int n, std::byte* dst) const;
+    /// Unpacks `n` elements from contiguous bytes at `src` into `dst`.
+    void unpack(std::byte const* src, int n, void* dst) const;
+};
+
+// ---------------------------------------------------------------------------
+// Reduction ops
+// ---------------------------------------------------------------------------
+
+struct OpImpl {
+    /// Applies `inout[i] = in[i] op inout[i]` reversed per MPI: the standard
+    /// computes inout = in op inout with `in` being the lower-rank operand?
+    /// We use the convention apply(in, inout, len): inout[i] = op(in[i],
+    /// inout[i]) where `in` holds the *left* (lower-rank) operand.
+    std::function<void(void*, void*, int*, MPI_Datatype*)> fn;
+    bool commutative = true;
+    bool builtin = false;
+    int builtin_id = -1;  // index into builtin op table for fast dispatch
+};
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+/// Completion backlink for synchronous-mode sends: the sender blocks (or its
+/// request stays incomplete) until a receiver matched the envelope.
+struct SsendToken {
+    std::atomic<bool> matched{false};
+    double match_vtime = 0.0;  // written before `matched` is released
+    RankState* sender = nullptr;
+};
+
+/// A message in flight (already "on the wire": xmpi is fully eager).
+struct Envelope {
+    int context = 0;
+    int src = 0;  // comm rank of the sender within `context`'s communicator
+    int tag = 0;
+    std::vector<std::byte> bytes;
+    double arrival = 0.0;  // virtual time at which the payload is available
+    std::shared_ptr<SsendToken> ssend;  // non-null for synchronous-mode sends
+};
+
+/// Request object backing MPI_Request. Lifetime: created by the initiating
+/// call, destroyed by MPI_Wait*/MPI_Test* completion or MPI_Request_free.
+struct xmpi_request_t_internal;
+
+// ---------------------------------------------------------------------------
+// Mailbox: per-rank matching engine. All state is guarded by `m`; waiters
+// block on `cv`. Completing a request owned by rank R requires holding R's
+// mailbox mutex (requests are completed either by R itself or by a sender
+// currently holding R's mutex).
+// ---------------------------------------------------------------------------
+struct Mailbox {
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<Envelope> unexpected;
+    std::vector<xmpi_request_t*> posted;  // posted receives, in post order
+};
+
+// ---------------------------------------------------------------------------
+// Rank state
+// ---------------------------------------------------------------------------
+struct RankState {
+    Universe* universe = nullptr;
+    int world_rank = 0;
+    Mailbox mbox;
+
+    // Virtual clock.
+    double vnow = 0.0;
+    double last_cpu = 0.0;  // last sampled thread CPU time
+
+    std::atomic<bool> dead{false};
+
+    Counters counters;
+
+    // Per-rank world/self communicator objects (sentinels resolve here).
+    MPI_Comm world = nullptr;
+    MPI_Comm self = nullptr;
+
+    std::exception_ptr error;
+};
+
+// ---------------------------------------------------------------------------
+// Universe
+// ---------------------------------------------------------------------------
+struct Universe {
+    Config cfg;
+    int size = 0;
+    std::uint64_t id = 0;
+    std::vector<std::unique_ptr<RankState>> ranks;
+    /// Next free context id; communicator creation agrees on a common value
+    /// via an internal allreduce-max.
+    std::atomic<int> next_context{16};
+    std::atomic<int> dead_count{0};
+};
+
+/// Thread-local pointer to the calling rank's state (null outside ranks).
+RankState*& tls_rank();
+
+/// Samples the calling thread's CPU clock in seconds.
+double thread_cpu_now();
+
+/// Advances the calling rank's virtual clock by the CPU time consumed since
+/// the last charge.
+void charge_compute(RankState* rs);
+
+/// Wakes every rank blocked on its mailbox (used on rank death / revoke so
+/// blocked operations re-evaluate their failure predicates).
+void wake_all(Universe* u);
+
+// ---------------------------------------------------------------------------
+// Communicators
+// ---------------------------------------------------------------------------
+
+struct TopoInfo {
+    std::vector<int> sources;
+    std::vector<int> destinations;
+};
+
+}  // namespace xmpi::detail
+
+/// Communicator object. xmpi gives every member rank its *own* copy of the
+/// communicator (same context id, identical group vector), which removes any
+/// need for cross-thread synchronization on communicator state: matching
+/// only ever consults the integer context id carried by messages.
+struct xmpi_comm_t {
+    xmpi::detail::Universe* universe = nullptr;
+    /// Point-to-point context id. Collective traffic uses `context + 1`.
+    int context = 0;
+    /// comm rank -> world rank.
+    std::vector<int> group;
+    /// world rank -> comm rank (-1 if not a member).
+    std::vector<int> world_to_comm;
+    /// This copy's owner rank (comm rank).
+    int my_rank = 0;
+    /// Per-copy collective sequence number; aligned across members because
+    /// collectives on a communicator are ordered.
+    std::uint64_t coll_seq = 0;
+    /// Revoke fast-path cache: re-checked against the global registry when
+    /// the revoke epoch moves (revokes are rare; the hot path is one load).
+    std::uint64_t seen_revoke_epoch = 0;
+    bool revoked_cached = false;
+    /// Acknowledged failures (ULFM): operations ignore acked dead ranks for
+    /// MPI_ANY_SOURCE receives.
+    std::vector<int> acked_failures;
+    std::unique_ptr<xmpi::detail::TopoInfo> topo;
+
+    int size() const { return static_cast<int>(group.size()); }
+    int rank() const { return my_rank; }
+    int world_of(int comm_rank) const { return group[static_cast<std::size_t>(comm_rank)]; }
+};
+
+struct xmpi_datatype_t : xmpi::detail::DatatypeImpl {};
+struct xmpi_op_t : xmpi::detail::OpImpl {};
+
+/// Request backing store; see detail::Mailbox for the locking discipline.
+struct xmpi_request_t {
+    enum class Kind { send, ssend, recv, generalized, null };
+    Kind kind = Kind::null;
+
+    std::atomic<bool> complete{false};
+    double completion_vtime = 0.0;
+    MPI_Status status{MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_SUCCESS, 0};
+    int error = MPI_SUCCESS;
+
+    xmpi::detail::RankState* owner = nullptr;
+
+    // --- receive matching spec (posted receives) ---
+    int context = 0;
+    int match_src = MPI_ANY_SOURCE;  // comm rank or wildcard
+    int match_tag = MPI_ANY_TAG;
+    void* buf = nullptr;
+    int count = 0;
+    MPI_Datatype type = nullptr;
+    MPI_Comm comm = nullptr;  // communicator the op runs on (for failure checks)
+    bool posted = false;      // still linked in owner's mailbox `posted` list
+
+    // --- synchronous send ---
+    std::shared_ptr<xmpi::detail::SsendToken> tok;
+
+    // --- generalized requests (MPI_Ibarrier): progress state machine.
+    // Invoked with the owner's mailbox *unlocked*; returns completion.
+    std::function<bool(xmpi_request_t*)> progress;
+};
+
+namespace xmpi::detail {
+
+// ---------------------------------------------------------------------------
+// Internal point-to-point engine (used by both the public p2p API and the
+// collective algorithms, which pass `context + 1` and synthesized tags).
+// ---------------------------------------------------------------------------
+
+/// Packs and deposits a message at `dest_world`'s mailbox; performs
+/// sender-side matching against posted receives. Returns an MPI error code.
+/// `sync != nullptr` requests synchronous-mode semantics via the token.
+int deposit(RankState* sender, MPI_Comm comm, int context, int dest_comm_rank, int tag,
+            void const* buf, int count, MPI_Datatype type,
+            std::shared_ptr<SsendToken> const& sync, bool collective);
+
+/// Creates and posts (or immediately satisfies from the unexpected queue) a
+/// receive request. The returned request is heap-allocated.
+int post_recv(RankState* self, MPI_Comm comm, int context, int src, int tag, void* buf, int count,
+              MPI_Datatype type, bool collective, xmpi_request_t** out);
+
+/// Blocks until `req` completes (runs `progress` state machines as needed).
+/// Consumes the request on success. Returns its error code.
+int wait_one(xmpi_request_t* req, MPI_Status* status);
+
+/// Non-blocking completion check; consumes the request when complete.
+int test_one(xmpi_request_t* req, int* flag, MPI_Status* status);
+
+/// Blocking receive convenience wrapper.
+int recv_blocking(RankState* self, MPI_Comm comm, int context, int src, int tag, void* buf,
+                  int count, MPI_Datatype type, bool collective, MPI_Status* status);
+
+/// True if world rank `w` has failed.
+bool rank_dead(Universe* u, int w);
+
+/// Resolves the public sentinel handles to the calling rank's comm objects.
+MPI_Comm resolve(MPI_Comm comm);
+
+/// Checks common preconditions (inside rank, live comm, not revoked).
+/// Returns MPI_SUCCESS or an error code.
+int check_comm(MPI_Comm comm);
+
+/// @name Revoked-context registry (ULFM); implemented in runtime.cpp
+/// @{
+void revoke_context(Universe* u, int context);
+bool context_revoked_slow(int context);
+std::uint64_t revoke_epoch();
+void clear_revoked_registry();
+/// True if `comm` (this rank's copy) refers to a revoked context.
+bool comm_revoked(MPI_Comm comm);
+/// @}
+
+/// True if any unacked member of `comm` has failed; used for fail-fast
+/// collective entry and MPI_ANY_SOURCE failure detection.
+bool any_member_dead(MPI_Comm comm);
+
+/// Returns an available fresh context id agreed by all members of `comm`
+/// (internal allreduce-max over the collective context).
+int agree_context(MPI_Comm comm);
+
+/// Internal building blocks reused across collectives and comm management.
+/// These run on the *collective* context of `comm` using its coll_seq.
+int coll_allgather_bytes(MPI_Comm comm, void const* send, int bytes_each, void* recv);
+int coll_allreduce_max_int(MPI_Comm comm, int value, int* out);
+int coll_barrier(MPI_Comm comm);
+
+/// Encodes collective step tags: (seq, step) -> tag.
+inline int coll_tag(std::uint64_t seq, int step) {
+    return static_cast<int>(((seq & 0x3FFFFu) << 10) | static_cast<unsigned>(step & 0x3FF));
+}
+
+/// Builds a fresh communicator copy for the calling rank.
+MPI_Comm make_comm(Universe* u, int context, std::vector<int> group, int my_world_rank);
+
+/// Reduction application: inout[i] = op(in[i], inout[i]) with `in` the
+/// left/lower-rank operand. `len` elements of `type`.
+void apply_op(MPI_Op op, void const* in, void* inout, int len, MPI_Datatype type);
+
+}  // namespace xmpi::detail

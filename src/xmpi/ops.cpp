@@ -1,0 +1,189 @@
+/// @file ops.cpp
+/// @brief Built-in and user-defined reduction operations with typed dispatch.
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "internal.hpp"
+
+namespace xmpi::detail {
+
+namespace {
+
+// Builtin op ids.
+inline constexpr int kSum = 0, kProd = 1, kMax = 2, kMin = 3, kLand = 4, kLor = 5, kLxor = 6,
+                     kBand = 7, kBor = 8, kBxor = 9;
+
+template <typename T, typename F>
+void apply_typed(void const* in, void* inout, int len, F f) {
+    auto const* a = static_cast<T const*>(in);
+    auto* b = static_cast<T*>(inout);
+    for (int i = 0; i < len; ++i) b[i] = f(a[i], b[i]);
+}
+
+/// Applies builtin op `op_id` elementwise: inout[i] = op(in[i], inout[i]).
+/// `in` is the canonically-left (lower-rank) operand.
+template <typename T>
+void apply_builtin_typed(int op_id, void const* in, void* inout, int len) {
+    switch (op_id) {
+        case kSum:
+            apply_typed<T>(in, inout, len, [](T x, T y) { return static_cast<T>(x + y); });
+            break;
+        case kProd:
+            apply_typed<T>(in, inout, len, [](T x, T y) { return static_cast<T>(x * y); });
+            break;
+        case kMax:
+            apply_typed<T>(in, inout, len, [](T x, T y) { return std::max(x, y); });
+            break;
+        case kMin:
+            apply_typed<T>(in, inout, len, [](T x, T y) { return std::min(x, y); });
+            break;
+        case kLand:
+            apply_typed<T>(in, inout, len, [](T x, T y) { return static_cast<T>(x && y); });
+            break;
+        case kLor:
+            apply_typed<T>(in, inout, len, [](T x, T y) { return static_cast<T>(x || y); });
+            break;
+        case kLxor:
+            apply_typed<T>(in, inout, len,
+                           [](T x, T y) { return static_cast<T>(!!x != !!y ? T{1} : T{0}); });
+            break;
+        default:
+            if constexpr (std::is_integral_v<T>) {
+                switch (op_id) {
+                    case kBand:
+                        apply_typed<T>(in, inout, len,
+                                       [](T x, T y) { return static_cast<T>(x & y); });
+                        break;
+                    case kBor:
+                        apply_typed<T>(in, inout, len,
+                                       [](T x, T y) { return static_cast<T>(x | y); });
+                        break;
+                    case kBxor:
+                        apply_typed<T>(in, inout, len,
+                                       [](T x, T y) { return static_cast<T>(x ^ y); });
+                        break;
+                    default:
+                        break;
+                }
+            }
+            break;
+    }
+}
+
+void apply_builtin(int op_id, void const* in, void* inout, int len, MPI_Datatype type) {
+    // builtin_id constants mirror datatype.cpp.
+    switch (type->builtin_id) {
+        case 0:
+            apply_builtin_typed<std::int8_t>(op_id, in, inout, len);
+            break;
+        case 1:
+            apply_builtin_typed<std::uint8_t>(op_id, in, inout, len);
+            break;
+        case 2:
+            apply_builtin_typed<std::int16_t>(op_id, in, inout, len);
+            break;
+        case 3:
+            apply_builtin_typed<std::uint16_t>(op_id, in, inout, len);
+            break;
+        case 4:
+            apply_builtin_typed<std::int32_t>(op_id, in, inout, len);
+            break;
+        case 5:
+            apply_builtin_typed<std::uint32_t>(op_id, in, inout, len);
+            break;
+        case 6:
+            apply_builtin_typed<std::int64_t>(op_id, in, inout, len);
+            break;
+        case 7:
+            apply_builtin_typed<std::uint64_t>(op_id, in, inout, len);
+            break;
+        case 8:
+            apply_builtin_typed<float>(op_id, in, inout, len);
+            break;
+        case 9:
+            apply_builtin_typed<double>(op_id, in, inout, len);
+            break;
+        case 10:
+            apply_builtin_typed<long double>(op_id, in, inout, len);
+            break;
+        case 11:
+            apply_builtin_typed<bool>(op_id, in, inout, len);
+            break;
+        case 12:  // MPI_BYTE: bitwise ops only
+            apply_builtin_typed<std::uint8_t>(op_id, in, inout, len);
+            break;
+        default:
+            break;
+    }
+}
+
+xmpi_op_t make_builtin_op(int op_id) {
+    xmpi_op_t op;
+    op.builtin = true;
+    op.commutative = true;
+    op.builtin_id = op_id;
+    return op;
+}
+
+xmpi_op_t g_sum = make_builtin_op(kSum);
+xmpi_op_t g_prod = make_builtin_op(kProd);
+xmpi_op_t g_max = make_builtin_op(kMax);
+xmpi_op_t g_min = make_builtin_op(kMin);
+xmpi_op_t g_land = make_builtin_op(kLand);
+xmpi_op_t g_lor = make_builtin_op(kLor);
+xmpi_op_t g_lxor = make_builtin_op(kLxor);
+xmpi_op_t g_band = make_builtin_op(kBand);
+xmpi_op_t g_bor = make_builtin_op(kBor);
+xmpi_op_t g_bxor = make_builtin_op(kBxor);
+
+}  // namespace
+
+void apply_op(MPI_Op op, void const* in, void* inout, int len, MPI_Datatype type) {
+    if (op->builtin) {
+        apply_builtin(op->builtin_id, in, inout, len, type);
+    } else {
+        op->fn(const_cast<void*>(in), inout, &len, &type);
+    }
+}
+
+}  // namespace xmpi::detail
+
+MPI_Op MPI_SUM = &xmpi::detail::g_sum;
+MPI_Op MPI_PROD = &xmpi::detail::g_prod;
+MPI_Op MPI_MAX = &xmpi::detail::g_max;
+MPI_Op MPI_MIN = &xmpi::detail::g_min;
+MPI_Op MPI_LAND = &xmpi::detail::g_land;
+MPI_Op MPI_LOR = &xmpi::detail::g_lor;
+MPI_Op MPI_LXOR = &xmpi::detail::g_lxor;
+MPI_Op MPI_BAND = &xmpi::detail::g_band;
+MPI_Op MPI_BOR = &xmpi::detail::g_bor;
+MPI_Op MPI_BXOR = &xmpi::detail::g_bxor;
+
+int MPI_Op_create(MPI_User_function* fn, int commute, MPI_Op* op) {
+    if (fn == nullptr || op == nullptr) return MPI_ERR_OP;
+    auto* o = new xmpi_op_t();
+    o->fn = [fn](void* in, void* inout, int* len, MPI_Datatype* type) { fn(in, inout, len, type); };
+    o->commutative = commute != 0;
+    *op = o;
+    return MPI_SUCCESS;
+}
+
+/// Substrate extension used by the C++ bindings: reduction operations backed
+/// by arbitrary callables (e.g. capturing lambdas).
+int XMPI_Op_create_fn(std::function<void(void*, void*, int*, MPI_Datatype*)> fn, int commute,
+                      MPI_Op* op) {
+    if (op == nullptr) return MPI_ERR_OP;
+    auto* o = new xmpi_op_t();
+    o->fn = std::move(fn);
+    o->commutative = commute != 0;
+    *op = o;
+    return MPI_SUCCESS;
+}
+
+int MPI_Op_free(MPI_Op* op) {
+    if (op == nullptr || *op == nullptr) return MPI_ERR_OP;
+    if (!(*op)->builtin) delete *op;
+    *op = MPI_OP_NULL;
+    return MPI_SUCCESS;
+}

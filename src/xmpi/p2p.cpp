@@ -1,0 +1,680 @@
+/// @file p2p.cpp
+/// @brief Point-to-point engine: eager deposit with sender-side matching,
+/// posted-receive queue, request completion (wait/test families) and probes.
+///
+/// Locking discipline: all matching state of rank R lives in R's mailbox and
+/// is guarded by its mutex. A thread holds at most one mailbox mutex at a
+/// time; cross-rank wakeups (synchronous-send completion) are issued after
+/// releasing the local mutex.
+#include <algorithm>
+#include <chrono>
+
+#include "internal.hpp"
+
+namespace xmpi::detail {
+
+namespace {
+
+bool match(int pctx, int psrc, int ptag, Envelope const& e) {
+    return e.context == pctx && (psrc == MPI_ANY_SOURCE || psrc == e.src) &&
+           (ptag == MPI_ANY_TAG || ptag == e.tag);
+}
+
+/// Completes a posted/created receive request from an envelope. The caller
+/// holds the owner's mailbox mutex.
+void fill_recv(xmpi_request_t* pr, Envelope& env) {
+    std::size_t const cap =
+        static_cast<std::size_t>(pr->count) * static_cast<std::size_t>(pr->type->size);
+    std::size_t take = env.bytes.size();
+    if (take > cap) {
+        pr->error = MPI_ERR_TRUNCATE;
+        take = cap;
+    }
+    if (pr->type->size > 0 && take > 0) {
+        pr->type->unpack(env.bytes.data(), static_cast<int>(take / pr->type->size), pr->buf);
+    }
+    pr->status.MPI_SOURCE = env.src;
+    pr->status.MPI_TAG = env.tag;
+    pr->status.MPI_ERROR = pr->error;
+    pr->status._bytes = static_cast<int>(env.bytes.size());
+    pr->completion_vtime = env.arrival;
+    pr->posted = false;
+    pr->complete.store(true, std::memory_order_release);
+}
+
+void unlink_posted(RankState* self, xmpi_request_t* req) {
+    auto& posted = self->mbox.posted;
+    posted.erase(std::remove(posted.begin(), posted.end(), req), posted.end());
+    req->posted = false;
+}
+
+/// Wakes a remote rank blocked on its own mailbox (lock-empty critical
+/// section avoids lost wakeups without holding two mailbox mutexes).
+void wake_rank(RankState* rs) {
+    { std::lock_guard<std::mutex> lock(rs->mbox.m); }
+    rs->mbox.cv.notify_all();
+}
+
+/// Failure/revocation predicate for a pending receive. Returns an MPI error
+/// code or MPI_SUCCESS when the operation may keep waiting.
+int recv_failure(Universe* u, xmpi_request_t* req) {
+    if (comm_revoked(req->comm)) return MPIX_ERR_REVOKED;
+    if (req->match_src != MPI_ANY_SOURCE) {
+        if (rank_dead(u, req->comm->world_of(req->match_src))) return MPIX_ERR_PROC_FAILED;
+    } else if (any_member_dead(req->comm)) {
+        return MPIX_ERR_PROC_FAILED;
+    }
+    return MPI_SUCCESS;
+}
+
+void fill_empty_status(MPI_Status* status) {
+    if (status != nullptr) *status = MPI_Status{MPI_PROC_NULL, MPI_ANY_TAG, MPI_SUCCESS, 0};
+}
+
+}  // namespace
+
+int deposit(RankState* sender, MPI_Comm comm, int context, int dest_comm_rank, int tag,
+            void const* buf, int count, MPI_Datatype type,
+            std::shared_ptr<SsendToken> const& sync, bool collective) {
+    Universe* u = sender->universe;
+    int const dest_w = comm->world_of(dest_comm_rank);
+    if (rank_dead(u, dest_w)) return MPIX_ERR_PROC_FAILED;
+
+    charge_compute(sender);
+    sender->vnow += u->cfg.o;
+
+    std::size_t const bytes = static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
+    Envelope env;
+    env.context = context;
+    env.src = comm->rank();
+    env.tag = tag;
+    env.bytes.resize(bytes);
+    if (bytes > 0) type->pack(buf, count, env.bytes.data());
+    env.arrival = sender->vnow + u->cfg.alpha + u->cfg.beta * static_cast<double>(bytes);
+    env.ssend = sync;
+
+    if (collective) {
+        sender->counters.coll_messages += 1;
+        sender->counters.coll_bytes += bytes;
+    } else {
+        sender->counters.p2p_messages += 1;
+        sender->counters.p2p_bytes += bytes;
+    }
+
+    RankState* dest = u->ranks[static_cast<std::size_t>(dest_w)].get();
+    {
+        std::lock_guard<std::mutex> lock(dest->mbox.m);
+        auto& posted = dest->mbox.posted;
+        for (auto it = posted.begin(); it != posted.end(); ++it) {
+            xmpi_request_t* pr = *it;
+            if (match(pr->context, pr->match_src, pr->match_tag, env)) {
+                posted.erase(it);
+                fill_recv(pr, env);
+                if (sync) {
+                    sync->match_vtime = env.arrival + u->cfg.alpha;
+                    sync->matched.store(true, std::memory_order_release);
+                }
+                dest->mbox.cv.notify_all();
+                return MPI_SUCCESS;
+            }
+        }
+        dest->mbox.unexpected.push_back(std::move(env));
+        dest->mbox.cv.notify_all();
+    }
+    return MPI_SUCCESS;
+}
+
+int post_recv(RankState* self, MPI_Comm comm, int context, int src, int tag, void* buf, int count,
+              MPI_Datatype type, bool /*collective*/, xmpi_request_t** out) {
+    auto* req = new xmpi_request_t();
+    req->kind = xmpi_request_t::Kind::recv;
+    req->owner = self;
+    req->context = context;
+    req->match_src = src;
+    req->match_tag = tag;
+    req->buf = buf;
+    req->count = count;
+    req->type = type;
+    req->comm = comm;
+
+    charge_compute(self);
+    std::shared_ptr<SsendToken> tok;
+    {
+        std::lock_guard<std::mutex> lock(self->mbox.m);
+        auto& ux = self->mbox.unexpected;
+        bool matched = false;
+        for (auto it = ux.begin(); it != ux.end(); ++it) {
+            if (match(context, src, tag, *it)) {
+                tok = it->ssend;
+                if (tok) tok->match_vtime =
+                             std::max(self->vnow, it->arrival) + self->universe->cfg.alpha;
+                fill_recv(req, *it);
+                ux.erase(it);
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            req->posted = true;
+            self->mbox.posted.push_back(req);
+        }
+    }
+    if (tok) {
+        tok->matched.store(true, std::memory_order_release);
+        wake_rank(tok->sender);
+    }
+    *out = req;
+    return MPI_SUCCESS;
+}
+
+int wait_one(xmpi_request_t* req, MPI_Status* status) {
+    if (req == nullptr) {
+        fill_empty_status(status);
+        return MPI_SUCCESS;
+    }
+    RankState* self = tls_rank();
+    Universe* u = self->universe;
+    charge_compute(self);
+
+    switch (req->kind) {
+        case xmpi_request_t::Kind::send: {
+            self->vnow = std::max(self->vnow, req->completion_vtime);
+            fill_empty_status(status);
+            int const err = req->error;
+            delete req;
+            return err;
+        }
+        case xmpi_request_t::Kind::recv: {
+            int err = MPI_SUCCESS;
+            {
+                std::unique_lock<std::mutex> lock(self->mbox.m);
+                while (!req->complete.load(std::memory_order_acquire)) {
+                    err = recv_failure(u, req);
+                    if (err != MPI_SUCCESS) {
+                        unlink_posted(self, req);
+                        break;
+                    }
+                    self->mbox.cv.wait(lock);
+                }
+            }
+            if (err != MPI_SUCCESS) {
+                delete req;
+                return err;
+            }
+            self->vnow = std::max(self->vnow, req->completion_vtime);
+            if (status != nullptr) *status = req->status;
+            err = req->error;
+            delete req;
+            return err;
+        }
+        case xmpi_request_t::Kind::ssend: {
+            int err = MPI_SUCCESS;
+            {
+                std::unique_lock<std::mutex> lock(self->mbox.m);
+                while (!req->tok->matched.load(std::memory_order_acquire)) {
+                    if (comm_revoked(req->comm)) {
+                        err = MPIX_ERR_REVOKED;
+                        break;
+                    }
+                    if (rank_dead(u, req->comm->world_of(req->match_src))) {
+                        err = MPIX_ERR_PROC_FAILED;
+                        break;
+                    }
+                    self->mbox.cv.wait(lock);
+                }
+            }
+            if (err == MPI_SUCCESS) self->vnow = std::max(self->vnow, req->tok->match_vtime);
+            fill_empty_status(status);
+            delete req;
+            return err;
+        }
+        case xmpi_request_t::Kind::generalized: {
+            using namespace std::chrono_literals;
+            while (!req->complete.load(std::memory_order_acquire)) {
+                if (req->progress(req)) break;
+                std::unique_lock<std::mutex> lock(self->mbox.m);
+                if (req->complete.load(std::memory_order_acquire)) break;
+                self->mbox.cv.wait_for(lock, 200us);
+            }
+            self->vnow = std::max(self->vnow, req->completion_vtime);
+            fill_empty_status(status);
+            int const err = req->error;
+            delete req;
+            return err;
+        }
+        case xmpi_request_t::Kind::null:
+            fill_empty_status(status);
+            delete req;
+            return MPI_SUCCESS;
+    }
+    return MPI_ERR_INTERN;
+}
+
+int test_one(xmpi_request_t* req, int* flag, MPI_Status* status) {
+    if (req == nullptr) {
+        *flag = 1;
+        fill_empty_status(status);
+        return MPI_SUCCESS;
+    }
+    RankState* self = tls_rank();
+    Universe* u = self->universe;
+    charge_compute(self);
+
+    auto consume_success = [&](double completion, MPI_Status const* st) {
+        self->vnow = std::max(self->vnow, completion);
+        if (status != nullptr) {
+            if (st != nullptr)
+                *status = *st;
+            else
+                fill_empty_status(status);
+        }
+        *flag = 1;
+    };
+
+    switch (req->kind) {
+        case xmpi_request_t::Kind::send: {
+            consume_success(req->completion_vtime, nullptr);
+            int const err = req->error;
+            delete req;
+            return err;
+        }
+        case xmpi_request_t::Kind::recv: {
+            if (req->complete.load(std::memory_order_acquire)) {
+                consume_success(req->completion_vtime, &req->status);
+                int const err = req->error;
+                delete req;
+                return err;
+            }
+            int err;
+            {
+                std::lock_guard<std::mutex> lock(self->mbox.m);
+                if (req->complete.load(std::memory_order_acquire)) {
+                    // raced with a sender; fall through below
+                    err = MPI_SUCCESS;
+                } else {
+                    err = recv_failure(u, req);
+                    if (err != MPI_SUCCESS) unlink_posted(self, req);
+                }
+            }
+            if (req->complete.load(std::memory_order_acquire)) {
+                consume_success(req->completion_vtime, &req->status);
+                int const e = req->error;
+                delete req;
+                return e;
+            }
+            if (err != MPI_SUCCESS) {
+                *flag = 1;  // completed in error
+                if (status != nullptr) fill_empty_status(status);
+                delete req;
+                return err;
+            }
+            *flag = 0;
+            return MPI_SUCCESS;
+        }
+        case xmpi_request_t::Kind::ssend: {
+            if (req->tok->matched.load(std::memory_order_acquire)) {
+                consume_success(req->tok->match_vtime, nullptr);
+                delete req;
+                return MPI_SUCCESS;
+            }
+            if (rank_dead(u, req->comm->world_of(req->match_src))) {
+                *flag = 1;
+                fill_empty_status(status);
+                delete req;
+                return MPIX_ERR_PROC_FAILED;
+            }
+            *flag = 0;
+            return MPI_SUCCESS;
+        }
+        case xmpi_request_t::Kind::generalized: {
+            if (req->complete.load(std::memory_order_acquire) || req->progress(req)) {
+                consume_success(req->completion_vtime, nullptr);
+                int const err = req->error;
+                delete req;
+                return err;
+            }
+            *flag = 0;
+            return MPI_SUCCESS;
+        }
+        case xmpi_request_t::Kind::null: {
+            *flag = 1;
+            fill_empty_status(status);
+            delete req;
+            return MPI_SUCCESS;
+        }
+    }
+    return MPI_ERR_INTERN;
+}
+
+int recv_blocking(RankState* self, MPI_Comm comm, int context, int src, int tag, void* buf,
+                  int count, MPI_Datatype type, bool collective, MPI_Status* status) {
+    xmpi_request_t* req = nullptr;
+    int rc = post_recv(self, comm, context, src, tag, buf, count, type, collective, &req);
+    if (rc != MPI_SUCCESS) return rc;
+    return wait_one(req, status);
+}
+
+bool any_member_dead(MPI_Comm comm) {
+    Universe* u = comm->universe;
+    if (u->dead_count.load(std::memory_order_acquire) == 0) return false;
+    for (int w : comm->group) {
+        if (!rank_dead(u, w)) continue;
+        bool acked = false;
+        for (int a : comm->acked_failures) {
+            if (a == w) {
+                acked = true;
+                break;
+            }
+        }
+        if (!acked) return true;
+    }
+    return false;
+}
+
+}  // namespace xmpi::detail
+
+// ---------------------------------------------------------------------------
+// Public point-to-point API
+// ---------------------------------------------------------------------------
+
+using namespace xmpi::detail;
+
+int MPI_Send(const void* buf, int count, MPI_Datatype type, int dest, int tag, MPI_Comm comm) {
+    comm = resolve(comm);
+    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
+    if (dest == MPI_PROC_NULL) return MPI_SUCCESS;
+    if (dest < 0 || dest >= comm->size()) return MPI_ERR_RANK;
+    return deposit(tls_rank(), comm, comm->context, dest, tag, buf, count, type, nullptr, false);
+}
+
+int MPI_Ssend(const void* buf, int count, MPI_Datatype type, int dest, int tag, MPI_Comm comm) {
+    MPI_Request req = MPI_REQUEST_NULL;
+    if (int rc = MPI_Issend(buf, count, type, dest, tag, comm, &req); rc != MPI_SUCCESS) return rc;
+    return wait_one(req, MPI_STATUS_IGNORE);
+}
+
+int MPI_Recv(void* buf, int count, MPI_Datatype type, int source, int tag, MPI_Comm comm,
+             MPI_Status* status) {
+    comm = resolve(comm);
+    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
+    if (source == MPI_PROC_NULL) {
+        if (status != nullptr) *status = MPI_Status{MPI_PROC_NULL, MPI_ANY_TAG, MPI_SUCCESS, 0};
+        return MPI_SUCCESS;
+    }
+    if (source != MPI_ANY_SOURCE && (source < 0 || source >= comm->size())) return MPI_ERR_RANK;
+    return recv_blocking(tls_rank(), comm, comm->context, source, tag, buf, count, type, false,
+                         status);
+}
+
+int MPI_Isend(const void* buf, int count, MPI_Datatype type, int dest, int tag, MPI_Comm comm,
+              MPI_Request* request) {
+    comm = resolve(comm);
+    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
+    if (request == nullptr) return MPI_ERR_REQUEST;
+    auto* req = new xmpi_request_t();
+    req->kind = xmpi_request_t::Kind::send;
+    req->owner = tls_rank();
+    req->comm = comm;
+    if (dest != MPI_PROC_NULL) {
+        req->error =
+            deposit(tls_rank(), comm, comm->context, dest, tag, buf, count, type, nullptr, false);
+    }
+    req->completion_vtime = tls_rank()->vnow;
+    req->complete.store(true, std::memory_order_release);
+    *request = req;
+    return req->error;
+}
+
+int MPI_Issend(const void* buf, int count, MPI_Datatype type, int dest, int tag, MPI_Comm comm,
+               MPI_Request* request) {
+    comm = resolve(comm);
+    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
+    if (request == nullptr) return MPI_ERR_REQUEST;
+    if (dest == MPI_PROC_NULL) return MPI_Isend(buf, count, type, dest, tag, comm, request);
+    if (dest < 0 || dest >= comm->size()) return MPI_ERR_RANK;
+    auto* req = new xmpi_request_t();
+    req->kind = xmpi_request_t::Kind::ssend;
+    req->owner = tls_rank();
+    req->comm = comm;
+    req->match_src = dest;  // reused as destination for failure checks
+    req->tok = std::make_shared<SsendToken>();
+    req->tok->sender = tls_rank();
+    int const rc = deposit(tls_rank(), comm, comm->context, dest, tag, buf, count, type, req->tok,
+                           false);
+    if (rc != MPI_SUCCESS) {
+        delete req;
+        return rc;
+    }
+    *request = req;
+    return MPI_SUCCESS;
+}
+
+int MPI_Irecv(void* buf, int count, MPI_Datatype type, int source, int tag, MPI_Comm comm,
+              MPI_Request* request) {
+    comm = resolve(comm);
+    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
+    if (request == nullptr) return MPI_ERR_REQUEST;
+    if (source == MPI_PROC_NULL) {
+        auto* req = new xmpi_request_t();
+        req->kind = xmpi_request_t::Kind::null;
+        req->owner = tls_rank();
+        *request = req;
+        return MPI_SUCCESS;
+    }
+    if (source != MPI_ANY_SOURCE && (source < 0 || source >= comm->size())) return MPI_ERR_RANK;
+    return post_recv(tls_rank(), comm, comm->context, source, tag, buf, count, type, false,
+                     request);
+}
+
+int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, int dest, int sendtag,
+                 void* recvbuf, int recvcount, MPI_Datatype recvtype, int source, int recvtag,
+                 MPI_Comm comm, MPI_Status* status) {
+    MPI_Request rreq = MPI_REQUEST_NULL;
+    if (int rc = MPI_Irecv(recvbuf, recvcount, recvtype, source, recvtag, comm, &rreq);
+        rc != MPI_SUCCESS)
+        return rc;
+    if (int rc = MPI_Send(sendbuf, sendcount, sendtype, dest, sendtag, comm); rc != MPI_SUCCESS) {
+        wait_one(rreq, MPI_STATUS_IGNORE);
+        return rc;
+    }
+    return wait_one(rreq, status);
+}
+
+int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status) {
+    int flag = 0;
+    // Blocking probe: loop on Iprobe with the mailbox condition variable.
+    comm = resolve(comm);
+    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
+    RankState* self = tls_rank();
+    Universe* u = self->universe;
+    charge_compute(self);
+    std::unique_lock<std::mutex> lock(self->mbox.m);
+    for (;;) {
+        for (auto& env : self->mbox.unexpected) {
+            if (match(comm->context, source, tag, env)) {
+                if (status != nullptr) {
+                    *status = MPI_Status{env.src, env.tag, MPI_SUCCESS,
+                                         static_cast<int>(env.bytes.size())};
+                }
+                self->vnow = std::max(self->vnow, env.arrival);
+                return MPI_SUCCESS;
+            }
+        }
+        if (comm_revoked(comm)) return MPIX_ERR_REVOKED;
+        if (source != MPI_ANY_SOURCE && rank_dead(u, comm->world_of(source)))
+            return MPIX_ERR_PROC_FAILED;
+        if (source == MPI_ANY_SOURCE && any_member_dead(comm)) return MPIX_ERR_PROC_FAILED;
+        self->mbox.cv.wait(lock);
+    }
+    (void)flag;
+}
+
+int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag, MPI_Status* status) {
+    comm = resolve(comm);
+    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
+    if (flag == nullptr) return MPI_ERR_ARG;
+    RankState* self = tls_rank();
+    charge_compute(self);
+    std::lock_guard<std::mutex> lock(self->mbox.m);
+    for (auto& env : self->mbox.unexpected) {
+        if (match(comm->context, source, tag, env)) {
+            // Only observable once virtually arrived; otherwise report absent
+            // and charge no time (callers poll).
+            *flag = 1;
+            if (status != nullptr) {
+                *status =
+                    MPI_Status{env.src, env.tag, MPI_SUCCESS, static_cast<int>(env.bytes.size())};
+            }
+            self->vnow = std::max(self->vnow, env.arrival);
+            return MPI_SUCCESS;
+        }
+    }
+    *flag = 0;
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Request completion families
+// ---------------------------------------------------------------------------
+
+int MPI_Wait(MPI_Request* request, MPI_Status* status) {
+    if (request == nullptr) return MPI_ERR_REQUEST;
+    int const rc = wait_one(*request, status);
+    *request = MPI_REQUEST_NULL;
+    return rc;
+}
+
+int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status) {
+    if (request == nullptr || flag == nullptr) return MPI_ERR_REQUEST;
+    if (*request == MPI_REQUEST_NULL) {
+        *flag = 1;
+        return MPI_SUCCESS;
+    }
+    int const rc = test_one(*request, flag, status);
+    if (*flag != 0) *request = MPI_REQUEST_NULL;
+    return rc;
+}
+
+int MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses) {
+    int first_error = MPI_SUCCESS;
+    for (int i = 0; i < count; ++i) {
+        MPI_Status* st = statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &statuses[i];
+        int const rc = wait_one(requests[i], st);
+        requests[i] = MPI_REQUEST_NULL;
+        if (rc != MPI_SUCCESS && first_error == MPI_SUCCESS) first_error = rc;
+    }
+    return first_error;
+}
+
+int MPI_Testall(int count, MPI_Request* requests, int* flag, MPI_Status* statuses) {
+    if (flag == nullptr) return MPI_ERR_ARG;
+    // All-or-nothing semantics would require non-consuming tests; xmpi
+    // implements the common pattern: report true only when every request is
+    // individually complete, consuming those that are.
+    int done = 0;
+    for (int i = 0; i < count; ++i) {
+        if (requests[i] == MPI_REQUEST_NULL) {
+            ++done;
+            continue;
+        }
+        int f = 0;
+        MPI_Status* st = statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &statuses[i];
+        int const rc = test_one(requests[i], &f, st);
+        if (f != 0) {
+            requests[i] = MPI_REQUEST_NULL;
+            ++done;
+        }
+        if (rc != MPI_SUCCESS) return rc;
+    }
+    *flag = done == count ? 1 : 0;
+    return MPI_SUCCESS;
+}
+
+int MPI_Waitany(int count, MPI_Request* requests, int* index, MPI_Status* status) {
+    using namespace std::chrono_literals;
+    if (index == nullptr) return MPI_ERR_ARG;
+    bool all_null = true;
+    for (int i = 0; i < count; ++i) all_null = all_null && requests[i] == MPI_REQUEST_NULL;
+    if (all_null) {
+        *index = MPI_UNDEFINED;
+        return MPI_SUCCESS;
+    }
+    RankState* self = tls_rank();
+    for (;;) {
+        for (int i = 0; i < count; ++i) {
+            if (requests[i] == MPI_REQUEST_NULL) continue;
+            int f = 0;
+            int const rc = test_one(requests[i], &f, status);
+            if (f != 0) {
+                requests[i] = MPI_REQUEST_NULL;
+                *index = i;
+                return rc;
+            }
+        }
+        std::unique_lock<std::mutex> lock(self->mbox.m);
+        self->mbox.cv.wait_for(lock, 200us);
+    }
+}
+
+int MPI_Testany(int count, MPI_Request* requests, int* index, int* flag, MPI_Status* status) {
+    if (index == nullptr || flag == nullptr) return MPI_ERR_ARG;
+    *flag = 0;
+    *index = MPI_UNDEFINED;
+    for (int i = 0; i < count; ++i) {
+        if (requests[i] == MPI_REQUEST_NULL) continue;
+        int f = 0;
+        int const rc = test_one(requests[i], &f, status);
+        if (f != 0) {
+            requests[i] = MPI_REQUEST_NULL;
+            *index = i;
+            *flag = 1;
+            return rc;
+        }
+    }
+    return MPI_SUCCESS;
+}
+
+int MPI_Waitsome(int incount, MPI_Request* requests, int* outcount, int* indices,
+                 MPI_Status* statuses) {
+    if (outcount == nullptr || indices == nullptr) return MPI_ERR_ARG;
+    int index = MPI_UNDEFINED;
+    MPI_Status st;
+    int rc = MPI_Waitany(incount, requests, &index,
+                         statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &st);
+    if (index == MPI_UNDEFINED) {
+        *outcount = MPI_UNDEFINED;
+        return rc;
+    }
+    int n = 0;
+    indices[n] = index;
+    if (statuses != MPI_STATUSES_IGNORE) statuses[n] = st;
+    ++n;
+    // Harvest everything else already complete.
+    for (int i = 0; i < incount; ++i) {
+        if (requests[i] == MPI_REQUEST_NULL) continue;
+        int f = 0;
+        MPI_Status* stp = statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &statuses[n];
+        int const rc2 = test_one(requests[i], &f, stp);
+        if (f != 0) {
+            requests[i] = MPI_REQUEST_NULL;
+            indices[n++] = i;
+        }
+        if (rc2 != MPI_SUCCESS && rc == MPI_SUCCESS) rc = rc2;
+    }
+    *outcount = n;
+    return rc;
+}
+
+int MPI_Request_free(MPI_Request* request) {
+    if (request == nullptr) return MPI_ERR_REQUEST;
+    xmpi_request_t* req = *request;
+    *request = MPI_REQUEST_NULL;
+    if (req == nullptr) return MPI_SUCCESS;
+    RankState* self = tls_rank();
+    if (req->kind == xmpi_request_t::Kind::recv && req->posted) {
+        std::lock_guard<std::mutex> lock(self->mbox.m);
+        unlink_posted(self, req);
+    }
+    delete req;
+    return MPI_SUCCESS;
+}

@@ -1,0 +1,120 @@
+/// @file topology.cpp
+/// @brief Distributed-graph topologies and neighborhood collectives. A graph
+/// communicator is a dup of the parent carrying each rank's local adjacency
+/// (sources it receives from, destinations it sends to).
+#include <vector>
+
+#include "internal.hpp"
+
+using namespace xmpi::detail;
+
+int MPI_Dist_graph_create_adjacent(MPI_Comm comm, int indegree, const int* sources,
+                                   const int* /*sourceweights*/, int outdegree,
+                                   const int* destinations, const int* /*destweights*/,
+                                   int /*info*/, int /*reorder*/, MPI_Comm* newcomm) {
+    comm = resolve(comm);
+    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
+    if (newcomm == nullptr || indegree < 0 || outdegree < 0) return MPI_ERR_ARG;
+    MPI_Comm c = MPI_COMM_NULL;
+    if (int rc = MPI_Comm_dup(comm, &c); rc != MPI_SUCCESS) return rc;
+    c->topo = std::make_unique<TopoInfo>();
+    c->topo->sources.assign(sources, sources + indegree);
+    c->topo->destinations.assign(destinations, destinations + outdegree);
+    // Creating a topology is a collective in real MPI; model its
+    // synchronization cost (the dup above already did an allreduce).
+    if (int rc = MPI_Barrier(c); rc != MPI_SUCCESS) return rc;
+    *newcomm = c;
+    return MPI_SUCCESS;
+}
+
+int MPI_Dist_graph_neighbors_count(MPI_Comm comm, int* indegree, int* outdegree, int* weighted) {
+    comm = resolve(comm);
+    if (comm == nullptr || comm->topo == nullptr) return MPI_ERR_COMM;
+    if (indegree != nullptr) *indegree = static_cast<int>(comm->topo->sources.size());
+    if (outdegree != nullptr) *outdegree = static_cast<int>(comm->topo->destinations.size());
+    if (weighted != nullptr) *weighted = 0;
+    return MPI_SUCCESS;
+}
+
+int MPI_Dist_graph_neighbors(MPI_Comm comm, int maxindegree, int* sources, int* /*sourceweights*/,
+                             int maxoutdegree, int* destinations, int* /*destweights*/) {
+    comm = resolve(comm);
+    if (comm == nullptr || comm->topo == nullptr) return MPI_ERR_COMM;
+    for (int i = 0; i < maxindegree && i < static_cast<int>(comm->topo->sources.size()); ++i) {
+        sources[i] = comm->topo->sources[static_cast<std::size_t>(i)];
+    }
+    for (int i = 0; i < maxoutdegree && i < static_cast<int>(comm->topo->destinations.size());
+         ++i) {
+        destinations[i] = comm->topo->destinations[static_cast<std::size_t>(i)];
+    }
+    return MPI_SUCCESS;
+}
+
+namespace {
+
+int neighbor_exchange(const void* sendbuf, const int* sendcounts, const int* sdispls,
+                      MPI_Datatype sendtype, void* recvbuf, const int* recvcounts,
+                      const int* rdispls, MPI_Datatype recvtype, MPI_Comm comm) {
+    if (comm->topo == nullptr) return MPI_ERR_COMM;
+    if (any_member_dead(comm)) return MPIX_ERR_PROC_FAILED;
+    std::uint64_t const seq = comm->coll_seq++;
+    auto const& topo = *comm->topo;
+
+    std::vector<xmpi_request_t*> rreqs;
+    rreqs.reserve(topo.sources.size());
+    for (std::size_t j = 0; j < topo.sources.size(); ++j) {
+        xmpi_request_t* req = nullptr;
+        auto* dst = static_cast<std::byte*>(recvbuf) +
+                    static_cast<long long>(rdispls[j]) * recvtype->extent;
+        if (int rc = post_recv(tls_rank(), comm, comm->context + 1,
+                               topo.sources[j], coll_tag(seq, 0), dst,
+                               recvcounts[j], recvtype, true, &req);
+            rc != MPI_SUCCESS)
+            return rc;
+        rreqs.push_back(req);
+    }
+    for (std::size_t i = 0; i < topo.destinations.size(); ++i) {
+        auto const* src = static_cast<std::byte const*>(sendbuf) +
+                          static_cast<long long>(sdispls[i]) * sendtype->extent;
+        if (int rc = deposit(tls_rank(), comm, comm->context + 1, topo.destinations[i],
+                             coll_tag(seq, 0), src, sendcounts[i], sendtype, nullptr, true);
+            rc != MPI_SUCCESS) {
+            for (auto* rq : rreqs) wait_one(rq, MPI_STATUS_IGNORE);
+            return rc;
+        }
+    }
+    int first_error = MPI_SUCCESS;
+    for (auto* rq : rreqs) {
+        int const rc = wait_one(rq, MPI_STATUS_IGNORE);
+        if (rc != MPI_SUCCESS && first_error == MPI_SUCCESS) first_error = rc;
+    }
+    return first_error;
+}
+
+}  // namespace
+
+int MPI_Neighbor_alltoallv(const void* sendbuf, const int* sendcounts, const int* sdispls,
+                           MPI_Datatype sendtype, void* recvbuf, const int* recvcounts,
+                           const int* rdispls, MPI_Datatype recvtype, MPI_Comm comm) {
+    comm = resolve(comm);
+    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
+    return neighbor_exchange(sendbuf, sendcounts, sdispls, sendtype, recvbuf, recvcounts, rdispls,
+                             recvtype, comm);
+}
+
+int MPI_Neighbor_alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                          int recvcount, MPI_Datatype recvtype, MPI_Comm comm) {
+    comm = resolve(comm);
+    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
+    if (comm->topo == nullptr) return MPI_ERR_COMM;
+    auto const out_n = static_cast<int>(comm->topo->destinations.size());
+    auto const in_n = static_cast<int>(comm->topo->sources.size());
+    std::vector<int> scounts(static_cast<std::size_t>(out_n), sendcount);
+    std::vector<int> rcounts(static_cast<std::size_t>(in_n), recvcount);
+    std::vector<int> sdispls(static_cast<std::size_t>(out_n));
+    std::vector<int> rdispls(static_cast<std::size_t>(in_n));
+    for (int i = 0; i < out_n; ++i) sdispls[static_cast<std::size_t>(i)] = i * sendcount;
+    for (int i = 0; i < in_n; ++i) rdispls[static_cast<std::size_t>(i)] = i * recvcount;
+    return neighbor_exchange(sendbuf, scounts.data(), sdispls.data(), sendtype, recvbuf,
+                             rcounts.data(), rdispls.data(), recvtype, comm);
+}

@@ -1,0 +1,89 @@
+/// @file ulfm.cpp
+/// @brief User-Level Failure Mitigation (MPI 5.0 proposal): revoke, shrink,
+/// agreement and failure acknowledgement, backed by the substrate's injected
+/// rank-death mechanism (XMPI_Die in runtime.cpp).
+#include <algorithm>
+#include <vector>
+
+#include "internal.hpp"
+
+namespace xmpi::detail {
+
+bool comm_revoked(MPI_Comm comm) {
+    std::uint64_t const epoch = revoke_epoch();
+    if (epoch != comm->seen_revoke_epoch) {
+        comm->revoked_cached = context_revoked_slow(comm->context);
+        comm->seen_revoke_epoch = epoch;
+    }
+    return comm->revoked_cached;
+}
+
+}  // namespace xmpi::detail
+
+using namespace xmpi::detail;
+
+int MPIX_Comm_revoke(MPI_Comm comm) {
+    comm = resolve(comm);
+    if (comm == nullptr) return MPI_ERR_COMM;
+    revoke_context(comm->universe, comm->context);
+    wake_all(comm->universe);
+    return MPI_SUCCESS;
+}
+
+int MPIX_Comm_is_revoked(MPI_Comm comm, int* flag) {
+    comm = resolve(comm);
+    if (comm == nullptr || flag == nullptr) return MPI_ERR_COMM;
+    *flag = comm_revoked(comm) ? 1 : 0;
+    return MPI_SUCCESS;
+}
+
+int MPIX_Comm_failure_ack(MPI_Comm comm) {
+    comm = resolve(comm);
+    if (comm == nullptr) return MPI_ERR_COMM;
+    comm->acked_failures.clear();
+    for (int w : comm->group) {
+        if (rank_dead(comm->universe, w)) comm->acked_failures.push_back(w);
+    }
+    return MPI_SUCCESS;
+}
+
+namespace {
+
+/// Builds a temporary communicator over the surviving members of `comm`,
+/// using the reserved context slots (+2 p2p, +3 collective) of the parent.
+/// All survivors compute the identical group from the dead flags; tests
+/// inject failures quiescently, which makes this deterministic.
+MPI_Comm survivor_comm(MPI_Comm comm) {
+    std::vector<int> alive;
+    for (int w : comm->group) {
+        if (!rank_dead(comm->universe, w)) alive.push_back(w);
+    }
+    return make_comm(comm->universe, comm->context + 2, std::move(alive),
+                     comm->world_of(comm->rank()));
+}
+
+}  // namespace
+
+int MPIX_Comm_shrink(MPI_Comm comm, MPI_Comm* newcomm) {
+    comm = resolve(comm);
+    if (comm == nullptr || newcomm == nullptr) return MPI_ERR_COMM;
+    MPI_Comm tmp = survivor_comm(comm);
+    int const ctx = agree_context(tmp);
+    if (ctx < 0) {
+        delete tmp;
+        return MPI_ERR_INTERN;
+    }
+    *newcomm = make_comm(comm->universe, ctx, tmp->group, comm->world_of(comm->rank()));
+    delete tmp;
+    return MPI_SUCCESS;
+}
+
+int MPIX_Comm_agree(MPI_Comm comm, int* flag) {
+    comm = resolve(comm);
+    if (comm == nullptr || flag == nullptr) return MPI_ERR_COMM;
+    MPI_Comm tmp = survivor_comm(comm);
+    int const mine = *flag;
+    int const rc = MPI_Allreduce(&mine, flag, 1, MPI_INT, MPI_BAND, tmp);
+    delete tmp;
+    return rc;
+}

@@ -1,0 +1,329 @@
+/// @file test_apps.cpp
+/// @brief Application correctness: every sample-sort and BFS binding variant
+/// against sequential oracles, graph-generator invariants, the suffix array
+/// against naive construction, label-propagation cross-binding equality and
+/// the RAxML-lite context equivalence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <random>
+#include <vector>
+
+#include "apps/bfs/bfs_kamping.hpp"
+#include "apps/bfs/bfs_mpi.hpp"
+#include "apps/bfs/bfs_variants.hpp"
+#include "apps/label_propagation/label_propagation.hpp"
+#include "apps/raxml_lite/raxml_lite.hpp"
+#include "apps/sample_sort/sort_boost.hpp"
+#include "apps/sample_sort/sort_kamping.hpp"
+#include "apps/sample_sort/sort_mpi.hpp"
+#include "apps/sample_sort/sort_mpl.hpp"
+#include "apps/sample_sort/sort_rwth.hpp"
+#include "apps/suffix_array/prefix_doubling.hpp"
+#include "apps/vector_allgather/vector_allgather.hpp"
+#include "kagen/kagen.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sample sort: each binding must globally sort and preserve the multiset.
+// ---------------------------------------------------------------------------
+
+template <typename SortFn>
+void check_sample_sort(SortFn sort_fn, int p) {
+    xmpi::run(p, [&](int rank) {
+        std::mt19937_64 gen(42 + static_cast<unsigned>(rank));
+        std::vector<std::uint64_t> data(1500);
+        for (auto& v : data) v = gen() % 100000;
+        std::uint64_t local_sum = 0;
+        for (auto v : data) local_sum += v;
+
+        sort_fn(data, MPI_COMM_WORLD);
+
+        EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+        // Global boundary order and multiset preservation.
+        kamping::Communicator comm;
+        using kamping::op;
+        using kamping::send_buf;
+        std::uint64_t const my_max = data.empty() ? 0 : data.back();
+        auto boundary = comm.allgather(send_buf(my_max));
+        std::uint64_t running = 0;
+        for (std::size_t i = 0; i < boundary.size(); ++i) {
+            EXPECT_GE(boundary[i], running);
+            if (!data.empty()) running = std::max(running, boundary[i]);
+        }
+        std::uint64_t after = 0;
+        for (auto v : data) after += v;
+        std::uint64_t const total_before =
+            comm.allreduce_single(send_buf(local_sum), op(std::plus<>{}));
+        std::uint64_t const total_after = comm.allreduce_single(send_buf(after), op(std::plus<>{}));
+        EXPECT_EQ(total_before, total_after);
+    });
+}
+
+using SortPtr = void (*)(std::vector<std::uint64_t>&, MPI_Comm);
+
+class SampleSortP : public ::testing::TestWithParam<std::pair<char const*, SortPtr>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Bindings, SampleSortP,
+    ::testing::Values(std::pair<char const*, SortPtr>{"mpi", &apps::mpi::sort<std::uint64_t>},
+                      std::pair<char const*, SortPtr>{"kamping",
+                                                      &apps::kamping_impl::sort<std::uint64_t>},
+                      std::pair<char const*, SortPtr>{"boost",
+                                                      &apps::boost_impl::sort<std::uint64_t>},
+                      std::pair<char const*, SortPtr>{"mpl", &apps::mpl_impl::sort<std::uint64_t>},
+                      std::pair<char const*, SortPtr>{"rwth",
+                                                      &apps::rwth_impl::sort<std::uint64_t>}),
+    [](auto const& info) { return info.param.first; });
+
+TEST_P(SampleSortP, SortsOn4Ranks) { check_sample_sort(GetParam().second, 4); }
+TEST_P(SampleSortP, SortsOn7Ranks) { check_sample_sort(GetParam().second, 7); }
+
+// ---------------------------------------------------------------------------
+// Vector allgather (Table I row 1): all five produce the same result.
+// ---------------------------------------------------------------------------
+
+TEST(VectorAllgather, AllBindingsAgree) {
+    xmpi::run(5, [](int rank) {
+        namespace va = apps::vector_allgather;
+        std::vector<int> v(static_cast<std::size_t>(rank % 3 + 1), rank);
+        auto const ref = va::mpi::vector_allgather(v, MPI_COMM_WORLD);
+        EXPECT_EQ(va::boost_impl::vector_allgather(v, MPI_COMM_WORLD), ref);
+        EXPECT_EQ(va::rwth_impl::vector_allgather(v, MPI_COMM_WORLD), ref);
+        EXPECT_EQ(va::mpl_impl::vector_allgather(v, MPI_COMM_WORLD), ref);
+        EXPECT_EQ(va::kamping_impl::vector_allgather(v, MPI_COMM_WORLD), ref);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Graph generators
+// ---------------------------------------------------------------------------
+
+/// Gathers the distributed graph into a global adjacency list on all ranks.
+std::vector<std::vector<std::uint64_t>> gather_graph(kagen::Graph const& g) {
+    using kamping::send_buf;
+    kamping::Communicator comm;
+    std::vector<std::uint64_t> edge_list;
+    for (std::size_t lv = 0; lv < g.local_n(); ++lv) {
+        auto const [begin, end] = g.neighbors(lv);
+        for (auto it = begin; it != end; ++it) {
+            edge_list.push_back(g.first_vertex + lv);
+            edge_list.push_back(*it);
+        }
+    }
+    auto all = comm.allgatherv(send_buf(edge_list));
+    std::vector<std::vector<std::uint64_t>> adj(g.global_n);
+    for (std::size_t i = 0; i + 1 < all.size(); i += 2) {
+        adj[all[i]].push_back(all[i + 1]);
+    }
+    return adj;
+}
+
+TEST(KaGen, GnmIsSymmetricAndConsistent) {
+    xmpi::run(4, [](int) {
+        kamping::Communicator comm;
+        auto g = kagen::generate_gnm(comm, 64, 256, 7);
+        EXPECT_EQ(g.local_n(), 64u);
+        auto adj = gather_graph(g);
+        for (std::uint64_t u = 0; u < adj.size(); ++u) {
+            for (std::uint64_t v : adj[u]) {
+                EXPECT_TRUE(std::find(adj[v].begin(), adj[v].end(), u) != adj[v].end())
+                    << "edge (" << u << "," << v << ") has no mirror";
+            }
+        }
+    });
+}
+
+TEST(KaGen, Rgg2dHasLocality) {
+    xmpi::run(4, [](int rank) {
+        kamping::Communicator comm;
+        auto g = kagen::generate_rgg2d(comm, 128, 8.0, 3);
+        // Most edges stay within the strip or go to adjacent strips.
+        std::size_t local_or_adjacent = 0, total = 0;
+        for (std::size_t lv = 0; lv < g.local_n(); ++lv) {
+            auto const [begin, end] = g.neighbors(lv);
+            for (auto it = begin; it != end; ++it) {
+                ++total;
+                if (std::abs(g.owner(*it) - rank) <= 1) ++local_or_adjacent;
+            }
+        }
+        if (total > 0) EXPECT_EQ(local_or_adjacent, total);
+    });
+}
+
+TEST(KaGen, PlgHasHeavyTail) {
+    xmpi::run(4, [](int) {
+        kamping::Communicator comm;
+        auto g = kagen::generate_plg(comm, 256, 1024, 2.8, 5);
+        auto adj = gather_graph(g);
+        std::size_t max_deg = 0, sum_deg = 0;
+        for (auto const& nbrs : adj) {
+            max_deg = std::max(max_deg, nbrs.size());
+            sum_deg += nbrs.size();
+        }
+        double const avg = static_cast<double>(sum_deg) / static_cast<double>(adj.size());
+        EXPECT_GT(static_cast<double>(max_deg), 5.0 * avg) << "no hub vertices";
+    });
+}
+
+// ---------------------------------------------------------------------------
+// BFS: all variants against a sequential oracle.
+// ---------------------------------------------------------------------------
+
+std::vector<std::size_t> sequential_bfs(std::vector<std::vector<std::uint64_t>> const& adj,
+                                        std::uint64_t s) {
+    std::vector<std::size_t> dist(adj.size(), apps::bfs::undef);
+    std::queue<std::uint64_t> queue;
+    dist[s] = 0;
+    queue.push(s);
+    while (!queue.empty()) {
+        auto const u = queue.front();
+        queue.pop();
+        for (auto v : adj[u]) {
+            if (dist[v] == apps::bfs::undef) {
+                dist[v] = dist[u] + 1;
+                queue.push(v);
+            }
+        }
+    }
+    return dist;
+}
+
+using BfsPtr = std::vector<std::size_t> (*)(apps::bfs::Graph const&, apps::bfs::VId, MPI_Comm);
+
+std::vector<std::size_t> bfs_neighbor_static(apps::bfs::Graph const& g, apps::bfs::VId s,
+                                             MPI_Comm c) {
+    return apps::bfs::mpi_neighbor::bfs(g, s, c, false);
+}
+std::vector<std::size_t> bfs_neighbor_rebuild(apps::bfs::Graph const& g, apps::bfs::VId s,
+                                              MPI_Comm c) {
+    return apps::bfs::mpi_neighbor::bfs(g, s, c, true);
+}
+
+class BfsP : public ::testing::TestWithParam<std::pair<char const*, BfsPtr>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, BfsP,
+    ::testing::Values(
+        std::pair<char const*, BfsPtr>{"mpi", &apps::bfs::mpi::bfs},
+        std::pair<char const*, BfsPtr>{"kamping", &apps::bfs::kamping_impl::bfs},
+        std::pair<char const*, BfsPtr>{"kamping_sparse", &apps::bfs::kamping_sparse::bfs},
+        std::pair<char const*, BfsPtr>{"kamping_grid", &apps::bfs::kamping_grid::bfs},
+        std::pair<char const*, BfsPtr>{"mpi_neighbor", &bfs_neighbor_static},
+        std::pair<char const*, BfsPtr>{"mpi_neighbor_rebuild", &bfs_neighbor_rebuild},
+        std::pair<char const*, BfsPtr>{"boost", &apps::bfs::boost_impl::bfs},
+        std::pair<char const*, BfsPtr>{"rwth", &apps::bfs::rwth_impl::bfs},
+        std::pair<char const*, BfsPtr>{"mpl", &apps::bfs::mpl_impl::bfs}),
+    [](auto const& info) { return info.param.first; });
+
+TEST_P(BfsP, MatchesSequentialOracleOnAllFamilies) {
+    auto const bfs_fn = GetParam().second;
+    xmpi::run(4, [bfs_fn](int rank) {
+        kamping::Communicator comm;
+        std::vector<kagen::Graph> graphs;
+        graphs.push_back(kagen::generate_gnm(comm, 32, 96, 11));
+        graphs.push_back(kagen::generate_rgg2d(comm, 32, 6.0, 12));
+        graphs.push_back(kagen::generate_plg(comm, 32, 128, 2.8, 13));
+        for (auto const& g : graphs) {
+            auto adj = gather_graph(g);
+            auto expected = sequential_bfs(adj, 0);
+            auto dist = bfs_fn(g, 0, MPI_COMM_WORLD);
+            ASSERT_EQ(dist.size(), g.local_n());
+            for (std::size_t lv = 0; lv < dist.size(); ++lv) {
+                EXPECT_EQ(dist[lv], expected[g.first_vertex + lv])
+                    << "vertex " << g.first_vertex + lv << " on rank " << rank;
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Suffix array
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint64_t> naive_suffix_array(std::vector<unsigned char> const& text) {
+    std::vector<std::uint64_t> sa(text.size());
+    std::iota(sa.begin(), sa.end(), 0);
+    std::sort(sa.begin(), sa.end(), [&](std::uint64_t a, std::uint64_t b) {
+        return std::lexicographical_compare(text.begin() + static_cast<std::ptrdiff_t>(a),
+                                            text.end(),
+                                            text.begin() + static_cast<std::ptrdiff_t>(b),
+                                            text.end());
+    });
+    return sa;
+}
+
+class SuffixP : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, SuffixP, ::testing::Values(1, 2, 4, 5));
+
+TEST_P(SuffixP, MatchesNaiveConstruction) {
+    int const p = GetParam();
+    // Global text: pseudo-random over a small alphabet (forces deep
+    // doubling rounds), length not divisible by p.
+    std::vector<unsigned char> text(403);
+    std::mt19937 gen(77);
+    for (auto& c : text) c = static_cast<unsigned char>('a' + gen() % 4);
+    auto const expected = naive_suffix_array(text);
+
+    xmpi::run(p, [&, p](int rank) {
+        std::size_t const chunk = (text.size() + static_cast<std::size_t>(p) - 1) /
+                                  static_cast<std::size_t>(p);
+        std::size_t const begin = std::min(text.size(), chunk * static_cast<std::size_t>(rank));
+        std::size_t const end = std::min(text.size(), begin + chunk);
+        std::vector<unsigned char> local(text.begin() + static_cast<std::ptrdiff_t>(begin),
+                                         text.begin() + static_cast<std::ptrdiff_t>(end));
+        auto sa_block = apps::suffix_array::prefix_doubling(local, MPI_COMM_WORLD);
+        for (std::size_t j = 0; j < sa_block.size(); ++j) {
+            EXPECT_EQ(sa_block[j], expected[begin + j]) << "SA position " << begin + j;
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Label propagation: both bindings compute identical clusterings.
+// ---------------------------------------------------------------------------
+
+TEST(LabelPropagation, BindingsAgreeAndConverge) {
+    xmpi::run(4, [](int) {
+        kamping::Communicator comm;
+        auto g = kagen::generate_rgg2d(comm, 64, 8.0, 21);
+        auto a = apps::label_propagation::mpi::cluster(g, 32, 10, MPI_COMM_WORLD);
+        auto b = apps::label_propagation::kamping_impl::cluster(g, 32, 10, MPI_COMM_WORLD);
+        EXPECT_EQ(a, b);
+        // Some clustering happened: fewer distinct labels than vertices.
+        std::vector<std::uint64_t> sorted = a;
+        std::sort(sorted.begin(), sorted.end());
+        sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+        EXPECT_LT(sorted.size(), g.local_n());
+    });
+}
+
+// ---------------------------------------------------------------------------
+// RAxML-lite: the custom layer and the KaMPIng layer are interchangeable.
+// ---------------------------------------------------------------------------
+
+TEST(RaxmlLite, ContextsProduceIdenticalLikelihoods) {
+    xmpi::run(3, [](int rank) {
+        using namespace apps::raxml_lite;
+        std::mt19937_64 gen(5 + static_cast<unsigned>(rank));
+        std::vector<std::uint64_t> sites(200);
+        for (auto& s : sites) s = gen();
+
+        custom::ParallelContext before(MPI_COMM_WORLD);
+        auto const [lh_before, calls_before] = run_search(before, Model{}, sites, 20);
+
+        kamping_ctx::ParallelContext after(MPI_COMM_WORLD);
+        auto const [lh_after, calls_after] = run_search(after, Model{}, sites, 20);
+
+        EXPECT_DOUBLE_EQ(lh_before, lh_after);
+        EXPECT_EQ(calls_before, calls_after);
+        // The broadcast model arrives intact including the heap members.
+    });
+}
+
+}  // namespace

@@ -1,0 +1,278 @@
+/// @file test_basics.cpp
+/// @brief First end-to-end tests of the KaMPIng bindings: the paper's
+/// flagship allgatherv forms (Fig. 1 and Fig. 3), result objects, structured
+/// bindings, and in-place operations.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "xmpi/xmpi.hpp"
+
+using namespace kamping;
+
+TEST(Basics, WorldSizeRank) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        EXPECT_EQ(comm.size(), 4u);
+        EXPECT_EQ(comm.rank_signed(), rank);
+    });
+}
+
+TEST(Basics, AllgathervOneLiner) {
+    // Fig. 1 (1): concise code with sensible defaults.
+    xmpi::run(4, [](int rank) {
+        std::vector<double> v(static_cast<std::size_t>(rank + 1), rank + 0.5);
+        Communicator comm;
+        auto v_global = comm.allgatherv(send_buf(v));
+        ASSERT_EQ(v_global.size(), 1u + 2 + 3 + 4);
+        std::size_t k = 0;
+        for (int r = 0; r < 4; ++r) {
+            for (int j = 0; j <= r; ++j) {
+                EXPECT_DOUBLE_EQ(v_global[k++], r + 0.5);
+            }
+        }
+    });
+}
+
+TEST(Basics, AllgathervDetailedTuning) {
+    // Fig. 1 (2): full control, with out-parameters and structured bindings.
+    xmpi::run(4, [](int rank) {
+        std::vector<int> v(static_cast<std::size_t>(rank + 1), rank);
+        std::vector<int> rc;
+        Communicator comm;
+        auto [v_global, rcounts, rdispls] =
+            comm.allgatherv(send_buf(v), recv_counts_out<resize_to_fit>(std::move(rc)),
+                            recv_displs_out());
+        ASSERT_EQ(rcounts.size(), 4u);
+        ASSERT_EQ(rdispls.size(), 4u);
+        int displ = 0;
+        for (int r = 0; r < 4; ++r) {
+            EXPECT_EQ(rcounts[static_cast<std::size_t>(r)], r + 1);
+            EXPECT_EQ(rdispls[static_cast<std::size_t>(r)], displ);
+            displ += r + 1;
+        }
+        EXPECT_EQ(v_global.size(), 10u);
+    });
+}
+
+TEST(Basics, AllgathervMigrationVersion1) {
+    // Fig. 3 Version 1: user provides everything; no hidden communication.
+    xmpi::run(3, [](int rank) {
+        Communicator comm;
+        std::vector<int> rc(comm.size()), rd(comm.size());
+        std::vector<int> v(static_cast<std::size_t>(rank + 1), rank);
+        rc[comm.rank()] = static_cast<int>(v.size());
+        comm.allgather(send_recv_buf(rc));
+        std::exclusive_scan(rc.begin(), rc.end(), rd.begin(), 0);
+        std::vector<int> v_glob(static_cast<std::size_t>(rc.back() + rd.back()));
+        comm.allgatherv(send_buf(v), recv_buf(v_glob), recv_counts(rc), recv_displs(rd));
+        ASSERT_EQ(v_glob.size(), 6u);
+        EXPECT_EQ(v_glob[0], 0);
+        EXPECT_EQ(v_glob[1], 1);
+        EXPECT_EQ(v_glob[5], 2);
+    });
+}
+
+TEST(Basics, AllgathervMigrationVersion2) {
+    // Fig. 3 Version 2: displacements computed implicitly.
+    xmpi::run(3, [](int rank) {
+        Communicator comm;
+        std::vector<int> rc(comm.size());
+        std::vector<int> v(static_cast<std::size_t>(rank + 1), rank);
+        rc[comm.rank()] = static_cast<int>(v.size());
+        comm.allgather(send_recv_buf(rc));
+        std::vector<int> v_glob;
+        comm.allgatherv(send_buf(v), recv_buf<resize_to_fit>(v_glob), recv_counts(rc));
+        ASSERT_EQ(v_glob.size(), 6u);
+    });
+}
+
+TEST(Basics, RecvBufferReuseViaMove) {
+    // §III-B: moving a preallocated container into the call reuses storage.
+    xmpi::run(2, [](int rank) {
+        Communicator comm;
+        std::vector<long> tmp;
+        tmp.reserve(64);
+        auto* old_data = tmp.data();
+        std::vector<long> v{rank + 1L};
+        auto recv_buffer = comm.allgatherv(send_buf(v), recv_buf<resize_to_fit>(std::move(tmp)));
+        ASSERT_EQ(recv_buffer.size(), 2u);
+        EXPECT_EQ(recv_buffer[0], 1);
+        EXPECT_EQ(recv_buffer[1], 2);
+        // Storage was reused (capacity was sufficient — no reallocation).
+        EXPECT_EQ(recv_buffer.data(), old_data);
+    });
+}
+
+TEST(Basics, RecvBufferByReference) {
+    // §III-B: writing into a caller-provided buffer, nothing returned.
+    xmpi::run(2, [](int rank) {
+        Communicator comm;
+        std::vector<int> recv_buffer(2, -1);
+        std::vector<int> v{rank};
+        comm.allgatherv(send_buf(v), recv_buf(recv_buffer));
+        EXPECT_EQ(recv_buffer[0], 0);
+        EXPECT_EQ(recv_buffer[1], 1);
+    });
+}
+
+TEST(Basics, ResultExtractInterface) {
+    xmpi::run(2, [](int rank) {
+        Communicator comm;
+        std::vector<int> v{rank, rank};
+        auto result = comm.allgatherv(send_buf(v), recv_counts_out());
+        auto counts = result.extract_recv_counts();
+        auto recv = result.extract_recv_buf();
+        EXPECT_EQ(counts, (std::vector<int>{2, 2}));
+        EXPECT_EQ(recv, (std::vector<int>{0, 0, 1, 1}));
+    });
+}
+
+TEST(Basics, InPlaceAllgatherWithMove) {
+    // §III-G: data = comm.allgather(send_recv_buf(std::move(data)));
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        std::vector<int> data(comm.size());
+        data[comm.rank()] = rank * 11;
+        data = comm.allgather(send_recv_buf(std::move(data)));
+        for (int r = 0; r < 4; ++r) EXPECT_EQ(data[static_cast<std::size_t>(r)], r * 11);
+    });
+}
+
+TEST(Basics, BcastDefaultsAndCount) {
+    xmpi::run(3, [](int rank) {
+        Communicator comm;
+        std::vector<int> data;
+        if (rank == 0) data = {3, 1, 4, 1, 5};
+        comm.bcast(send_recv_buf(data));
+        EXPECT_EQ(data, (std::vector<int>{3, 1, 4, 1, 5}));
+    });
+}
+
+TEST(Basics, BcastSingle) {
+    xmpi::run(3, [](int rank) {
+        Communicator comm;
+        int const value = rank == 1 ? 42 : -1;
+        int const got = comm.bcast_single(send_recv_buf(value), root(1));
+        EXPECT_EQ(got, 42);
+    });
+}
+
+TEST(Basics, AllreduceSingleWithStlFunctor) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        int const sum = comm.allreduce_single(send_buf(rank + 1), op(std::plus<>{}));
+        EXPECT_EQ(sum, 10);
+        bool const all = comm.allreduce_single(send_buf(rank < 10), op(std::logical_and<>{}));
+        EXPECT_TRUE(all);
+    });
+}
+
+TEST(Basics, AllreduceWithLambda) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        std::vector<int> v{rank, 10 * rank};
+        auto result = comm.allreduce(
+            send_buf(v), op([](int a, int b) { return a > b ? a : b; }, ops::commutative));
+        EXPECT_EQ(result[0], 3);
+        EXPECT_EQ(result[1], 30);
+    });
+}
+
+TEST(Basics, ReduceToRoot) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        std::vector<int> v{1, rank};
+        auto result = comm.reduce(send_buf(v), op(std::plus<>{}), root(2));
+        if (rank == 2) {
+            EXPECT_EQ(result[0], 4);
+            EXPECT_EQ(result[1], 6);
+        } else {
+            EXPECT_TRUE(result.empty());
+        }
+    });
+}
+
+TEST(Basics, ScanAndExscanSingle) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        EXPECT_EQ(comm.scan_single(send_buf(rank + 1), op(std::plus<>{})),
+                  (rank + 1) * (rank + 2) / 2);
+        EXPECT_EQ(comm.exscan_single(send_buf(rank + 1), op(std::plus<>{})),
+                  rank * (rank + 1) / 2);
+    });
+}
+
+TEST(Basics, AlltoallvWithSendCountsOnly) {
+    // The sample-sort pattern: recv counts inferred via internal exchange.
+    xmpi::run(3, [](int rank) {
+        Communicator comm;
+        // Rank r sends (i+1) copies of r to rank i.
+        std::vector<int> data;
+        std::vector<int> scounts;
+        for (int i = 0; i < 3; ++i) {
+            for (int j = 0; j <= i; ++j) data.push_back(rank);
+            scounts.push_back(i + 1);
+        }
+        auto received = comm.alltoallv(send_buf(data), send_counts(scounts));
+        ASSERT_EQ(received.size(), static_cast<std::size_t>(3 * (rank + 1)));
+        for (int i = 0; i < 3; ++i) {
+            for (int j = 0; j <= rank; ++j) {
+                EXPECT_EQ(received[static_cast<std::size_t>(i * (rank + 1) + j)], i);
+            }
+        }
+    });
+}
+
+TEST(Basics, GatherAndScatterRoundTrip) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        std::vector<int> mine{rank * 2, rank * 2 + 1};
+        auto gathered = comm.gather(send_buf(mine), root(0));
+        if (rank == 0) {
+            ASSERT_EQ(gathered.size(), 8u);
+            for (int i = 0; i < 8; ++i) EXPECT_EQ(gathered[static_cast<std::size_t>(i)], i);
+        }
+        auto scattered = comm.scatter(send_buf(gathered), root(0));
+        ASSERT_EQ(scattered.size(), 2u);
+        EXPECT_EQ(scattered[0], rank * 2);
+        EXPECT_EQ(scattered[1], rank * 2 + 1);
+    });
+}
+
+TEST(Basics, SendRecvWithProbeSizedBuffer) {
+    xmpi::run(2, [](int rank) {
+        Communicator comm;
+        if (rank == 0) {
+            std::vector<int> payload(13, 7);
+            comm.send(send_buf(payload), destination(1), tag(3));
+        } else {
+            auto data = comm.recv<int>(source(0), tag(3));
+            ASSERT_EQ(data.size(), 13u);
+            for (int v : data) EXPECT_EQ(v, 7);
+        }
+    });
+}
+
+TEST(Basics, SplitAndCollectiveOnSubcommunicator) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        auto sub = comm.split(rank % 2);
+        EXPECT_EQ(sub.size(), 2u);
+        int const sum = sub.allreduce_single(send_buf(rank), op(std::plus<>{}));
+        EXPECT_EQ(sum, rank % 2 == 0 ? 2 : 4);
+    });
+}
+
+TEST(Basics, NativeInterop) {
+    // §III-F: gradual migration — native handles in, native handles out.
+    xmpi::run(2, [](int rank) {
+        Communicator comm(MPI_COMM_WORLD);
+        int v = rank;
+        int sum = 0;
+        MPI_Allreduce(&v, &sum, 1, MPI_INT, MPI_SUM, comm.mpi_communicator());
+        EXPECT_EQ(sum, 1);
+    });
+}

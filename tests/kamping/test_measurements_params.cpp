@@ -1,0 +1,253 @@
+/// @file test_measurements_params.cpp
+/// @brief The measurement/timer module and property-style parameter sweeps:
+/// every (collective × parameter-combination) cell behaves identically to
+/// the fully explicit call — the compile-time dispatch must not change
+/// results, only who computes the defaults.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "kamping/measurements.hpp"
+#include "xmpi/xmpi.hpp"
+
+using namespace kamping;
+
+// ---------------------------------------------------------------------------
+// Timer
+// ---------------------------------------------------------------------------
+
+TEST(Measurements, AccumulatesAndAggregates) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        measurements::Timer timer;
+        timer.start("work");
+        xmpi::vtime_add(0.1 * (rank + 1));  // rank r works (r+1)*100 ms
+        timer.stop();
+        EXPECT_NEAR(timer.local("work"), 0.1 * (rank + 1), 0.02);
+        auto const agg = timer.aggregate(comm, "work");
+        EXPECT_NEAR(agg.max, 0.4, 0.02);
+        EXPECT_NEAR(agg.min, 0.1, 0.02);
+        EXPECT_NEAR(agg.mean, 0.25, 0.02);
+    });
+}
+
+TEST(Measurements, NestedScopesProduceDottedPaths) {
+    xmpi::run(1, [](int) {
+        measurements::Timer timer;
+        {
+            auto outer = timer.scope("sort");
+            xmpi::vtime_add(0.05);
+            {
+                auto inner = timer.scope("exchange");
+                xmpi::vtime_add(0.2);
+            }
+        }
+        EXPECT_NEAR(timer.local("sort.exchange"), 0.2, 0.01);
+        // Outer includes the inner phase.
+        EXPECT_NEAR(timer.local("sort"), 0.25, 0.02);
+        auto const names = timer.entries();
+        ASSERT_EQ(names.size(), 2u);
+        EXPECT_EQ(names[0], "sort");
+        EXPECT_EQ(names[1], "sort.exchange");
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Parameter-combination sweeps: allgatherv (the paper's flagship call).
+// Every combination of {counts: omitted | in | out} x {displs: omitted | in
+// | out} x {recv_buf: omitted | referenced | moved} must produce the same
+// bytes.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<int> expected_allgatherv(int p) {
+    std::vector<int> all;
+    for (int r = 0; r < p; ++r) {
+        for (int j = 0; j <= r; ++j) all.push_back(r * 100 + j);
+    }
+    return all;
+}
+
+std::vector<int> my_data(int rank) {
+    std::vector<int> v(static_cast<std::size_t>(rank + 1));
+    for (int j = 0; j <= rank; ++j) v[static_cast<std::size_t>(j)] = rank * 100 + j;
+    return v;
+}
+
+std::vector<int> known_counts(int p) {
+    std::vector<int> c(static_cast<std::size_t>(p));
+    std::iota(c.begin(), c.end(), 1);
+    return c;
+}
+
+std::vector<int> known_displs(int p) {
+    std::vector<int> d(static_cast<std::size_t>(p));
+    int acc = 0;
+    for (int i = 0; i < p; ++i) {
+        d[static_cast<std::size_t>(i)] = acc;
+        acc += i + 1;
+    }
+    return d;
+}
+
+}  // namespace
+
+class AllgathervCombos : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, AllgathervCombos, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST_P(AllgathervCombos, CountsOmittedDisplsOmitted) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        Communicator comm;
+        EXPECT_EQ(comm.allgatherv(send_buf(my_data(rank))), expected_allgatherv(p));
+    });
+}
+
+TEST_P(AllgathervCombos, CountsInDisplsOmitted) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        Communicator comm;
+        auto const rc = known_counts(p);
+        EXPECT_EQ(comm.allgatherv(send_buf(my_data(rank)), recv_counts(rc)),
+                  expected_allgatherv(p));
+    });
+}
+
+TEST_P(AllgathervCombos, CountsInDisplsIn) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        Communicator comm;
+        auto const rc = known_counts(p);
+        auto const rd = known_displs(p);
+        EXPECT_EQ(
+            comm.allgatherv(send_buf(my_data(rank)), recv_counts(rc), recv_displs(rd)),
+            expected_allgatherv(p));
+    });
+}
+
+TEST_P(AllgathervCombos, CountsOutDisplsOut) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        Communicator comm;
+        auto [recv, counts, displs] = comm.allgatherv(send_buf(my_data(rank)), recv_counts_out(),
+                                                      recv_displs_out());
+        EXPECT_EQ(recv, expected_allgatherv(p));
+        EXPECT_EQ(counts, known_counts(p));
+        EXPECT_EQ(displs, known_displs(p));
+    });
+}
+
+TEST_P(AllgathervCombos, RecvBufReferencedCountsOut) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        Communicator comm;
+        std::vector<int> out;
+        auto result =
+            comm.allgatherv(send_buf(my_data(rank)), recv_buf<resize_to_fit>(out),
+                            recv_counts_out());
+        EXPECT_EQ(out, expected_allgatherv(p));
+        EXPECT_EQ(result.extract_recv_counts(), known_counts(p));
+    });
+}
+
+TEST_P(AllgathervCombos, RecvBufMovedGrowOnly) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        Communicator comm;
+        std::vector<int> storage(64, -1);  // larger than needed
+        auto recv = comm.allgatherv(send_buf(my_data(rank)),
+                                    recv_buf<grow_only>(std::move(storage)));
+        // grow_only: size unchanged (64 >= needed); prefix holds the data.
+        ASSERT_GE(recv.size(), expected_allgatherv(p).size());
+        auto const expect = expected_allgatherv(p);
+        for (std::size_t i = 0; i < expect.size(); ++i) EXPECT_EQ(recv[i], expect[i]);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Gather/scatter root sweeps with out-buffers.
+// ---------------------------------------------------------------------------
+
+class RootSweep : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Roots, RootSweep, ::testing::Values(0, 1, 2, 3));
+
+TEST_P(RootSweep, GathervToEveryRoot) {
+    int const root_rank = GetParam();
+    xmpi::run(4, [root_rank](int rank) {
+        Communicator comm;
+        auto recv = comm.gatherv(send_buf(my_data(rank)), root(root_rank));
+        if (rank == root_rank) {
+            EXPECT_EQ(recv, expected_allgatherv(4));
+        } else {
+            EXPECT_TRUE(recv.empty());
+        }
+    });
+}
+
+TEST_P(RootSweep, BcastFromEveryRoot) {
+    int const root_rank = GetParam();
+    xmpi::run(4, [root_rank](int rank) {
+        Communicator comm;
+        std::vector<int> data;
+        if (rank == root_rank) data = {root_rank, root_rank + 1};
+        comm.bcast(send_recv_buf(data), root(root_rank));
+        EXPECT_EQ(data, (std::vector<int>{root_rank, root_rank + 1}));
+    });
+}
+
+TEST_P(RootSweep, ScatterFromEveryRoot) {
+    int const root_rank = GetParam();
+    xmpi::run(4, [root_rank](int rank) {
+        Communicator comm;
+        std::vector<int> send;
+        if (rank == root_rank) {
+            send.resize(8);
+            std::iota(send.begin(), send.end(), 0);
+        }
+        auto recv = comm.scatter(send_buf(send), root(root_rank));
+        ASSERT_EQ(recv.size(), 2u);
+        EXPECT_EQ(recv[0], rank * 2);
+        EXPECT_EQ(recv[1], rank * 2 + 1);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Reduction sweeps over operations and value types.
+// ---------------------------------------------------------------------------
+
+TEST(ReductionSweep, AllBuiltinFunctors) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        unsigned const v = static_cast<unsigned>(rank + 1);
+        EXPECT_EQ(comm.allreduce_single(send_buf(v), op(std::plus<>{})), 10u);
+        EXPECT_EQ(comm.allreduce_single(send_buf(v), op(std::multiplies<>{})), 24u);
+        EXPECT_EQ(comm.allreduce_single(send_buf(v), op(std::bit_and<>{})), (1u & 2u & 3u & 4u));
+        EXPECT_EQ(comm.allreduce_single(send_buf(v), op(std::bit_or<>{})), (1u | 2u | 3u | 4u));
+        EXPECT_EQ(comm.allreduce_single(send_buf(v), op(std::bit_xor<>{})), (1u ^ 2u ^ 3u ^ 4u));
+        EXPECT_EQ(comm.allreduce_single(send_buf(v), op(ops::max{})), 4u);
+        EXPECT_EQ(comm.allreduce_single(send_buf(v), op(ops::min{})), 1u);
+        EXPECT_TRUE(comm.allreduce_single(send_buf(v != 0), op(std::logical_and<>{})));
+        EXPECT_TRUE(comm.allreduce_single(send_buf(rank == 2), op(std::logical_or<>{})));
+    });
+}
+
+TEST(ReductionSweep, ScanMatchesSequentialPrefix) {
+    xmpi::run(8, [](int rank) {
+        Communicator comm;
+        std::vector<long> v{rank + 1L, (rank + 1L) * (rank + 1L)};
+        auto incl = comm.scan(send_buf(v), op(std::plus<>{}));
+        long s1 = 0, s2 = 0;
+        for (int r = 0; r <= rank; ++r) {
+            s1 += r + 1;
+            s2 += static_cast<long>(r + 1) * (r + 1);
+        }
+        EXPECT_EQ(incl[0], s1);
+        EXPECT_EQ(incl[1], s2);
+        auto excl = comm.exscan(send_buf(v), op(std::plus<>{}));
+        EXPECT_EQ(excl[0], s1 - (rank + 1));
+        EXPECT_EQ(excl[1], s2 - static_cast<long>(rank + 1) * (rank + 1));
+    });
+}

@@ -1,0 +1,189 @@
+/// @file test_nonblocking.cpp
+/// @brief Non-blocking safety (paper §III-E, Fig. 6): buffer ownership moves
+/// into the call, data is only accessible after completion (wait/test),
+/// moved buffers are handed back without copying, and request pools complete
+/// many operations at once.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "xmpi/xmpi.hpp"
+
+using namespace kamping;
+
+TEST(NonBlocking, PaperFig6SendAndRecv) {
+    xmpi::run(2, [](int rank) {
+        Communicator comm;
+        if (rank == 0) {
+            std::vector<int> v{1, 2, 3};
+            auto r1 = comm.isend(send_buf_out(std::move(v)), destination(1));
+            v = r1.wait();  // v is moved back to the caller after completion
+            EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+        } else {
+            auto r2 = comm.irecv<int>(recv_count(3), source(0));
+            std::vector<int> data = r2.wait();  // only returned after completion
+            EXPECT_EQ(data, (std::vector<int>{1, 2, 3}));
+        }
+    });
+}
+
+TEST(NonBlocking, MoveBackIsCopyFree) {
+    xmpi::run(2, [](int rank) {
+        Communicator comm;
+        if (rank == 0) {
+            std::vector<long> v(1000, 7);
+            auto const* storage = v.data();
+            auto r = comm.isend(send_buf_out(std::move(v)), destination(1));
+            v = r.wait();
+            // The identical heap allocation came back: no copies were made.
+            EXPECT_EQ(v.data(), storage);
+        } else {
+            auto r = comm.irecv<long>(recv_count(1000), source(0));
+            EXPECT_EQ(r.wait().size(), 1000u);
+        }
+    });
+}
+
+TEST(NonBlocking, TestReturnsNulloptUntilComplete) {
+    xmpi::run(2, [](int rank) {
+        Communicator comm;
+        if (rank == 0) {
+            // Nothing sent yet: test must yield nullopt.
+            auto r = comm.irecv<int>(recv_count(1), source(1), tag(5));
+            std::optional<std::vector<int>> maybe = r.test();
+            EXPECT_FALSE(maybe.has_value());
+            // Unblock the sender and drain.
+            comm.send(send_buf(1), destination(1), tag(6));
+            for (;;) {
+                auto polled = r.test();
+                if (polled.has_value()) {
+                    EXPECT_EQ(polled->at(0), 99);
+                    break;
+                }
+            }
+        } else {
+            auto go = comm.recv<int>(source(0), tag(6));
+            EXPECT_EQ(go[0], 1);
+            comm.send(send_buf(99), destination(0), tag(5));
+        }
+    });
+}
+
+TEST(NonBlocking, AbandonedResultStillCompletesSafely) {
+    // If the user drops the handle, the destructor must keep the buffers
+    // alive until completion instead of tearing them away mid-flight.
+    xmpi::run(2, [](int rank) {
+        Communicator comm;
+        if (rank == 0) {
+            std::vector<int> v(64, 3);
+            { auto r = comm.isend(send_buf_out(std::move(v)), destination(1)); }
+        } else {
+            auto data = comm.recv<int>(source(0));
+            EXPECT_EQ(data.size(), 64u);
+            for (int x : data) EXPECT_EQ(x, 3);
+        }
+    });
+}
+
+TEST(NonBlocking, IrecvWithMovedBuffer) {
+    xmpi::run(2, [](int rank) {
+        Communicator comm;
+        if (rank == 0) {
+            std::vector<double> buf(16);
+            buf.reserve(32);
+            auto r = comm.irecv(recv_buf(std::move(buf)), source(1), recv_count(16));
+            auto data = r.wait();
+            for (double v : data) EXPECT_DOUBLE_EQ(v, 1.25);
+        } else {
+            std::vector<double> payload(16, 1.25);
+            comm.send(send_buf(payload), destination(0));
+        }
+    });
+}
+
+TEST(NonBlocking, ManyConcurrentMessages) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        // Every rank sends to every other rank concurrently.
+        std::vector<NonBlockingResult<std::vector<int>>> sends;
+        std::vector<NonBlockingResult<std::vector<int>>> recvs;
+        for (int peer = 0; peer < 4; ++peer) {
+            if (peer == rank) continue;
+            recvs.push_back(comm.irecv<int>(recv_count(2), source(peer), tag(9)));
+        }
+        for (int peer = 0; peer < 4; ++peer) {
+            if (peer == rank) continue;
+            std::vector<int> payload{rank, peer};
+            sends.push_back(comm.isend(send_buf_out(std::move(payload)), destination(peer), tag(9)));
+        }
+        for (auto& r : recvs) {
+            auto data = r.wait();
+            EXPECT_EQ(data[1], rank);  // addressed to me
+        }
+        for (auto& s : sends) s.wait();
+    });
+}
+
+TEST(RequestPool, WaitAllCompletesEverything) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        RequestPool pool;
+        std::vector<std::vector<int>> recv_buffers(4, std::vector<int>(1, -1));
+        for (int peer = 0; peer < 4; ++peer) {
+            if (peer == rank) continue;
+            MPI_Request req = MPI_REQUEST_NULL;
+            MPI_Irecv(recv_buffers[static_cast<std::size_t>(peer)].data(), 1, MPI_INT, peer, 2,
+                      MPI_COMM_WORLD, &req);
+            pool.add(req);
+        }
+        for (int peer = 0; peer < 4; ++peer) {
+            if (peer == rank) continue;
+            int const v = rank * 100;
+            MPI_Send(&v, 1, MPI_INT, peer, 2, MPI_COMM_WORLD);
+        }
+        EXPECT_EQ(pool.size(), 3u);
+        pool.wait_all();
+        EXPECT_TRUE(pool.empty());
+        for (int peer = 0; peer < 4; ++peer) {
+            if (peer == rank) continue;
+            EXPECT_EQ(recv_buffers[static_cast<std::size_t>(peer)][0], peer * 100);
+        }
+    });
+}
+
+TEST(RequestPool, HoldsNonBlockingResults) {
+    xmpi::run(2, [](int rank) {
+        Communicator comm;
+        RequestPool pool;
+        if (rank == 0) {
+            for (int i = 0; i < 5; ++i) {
+                std::vector<int> payload{i};
+                pool.add(comm.isend(send_buf_out(std::move(payload)), destination(1), tag(i)));
+            }
+            pool.wait_all();
+        } else {
+            for (int i = 0; i < 5; ++i) {
+                auto data = comm.recv<int>(source(0), tag(i));
+                EXPECT_EQ(data[0], i);
+            }
+        }
+    });
+}
+
+TEST(NonBlocking, WithFlattenedUtility) {
+    // The with_flattened helper used by the BFS example (paper Fig. 9).
+    xmpi::run(3, [](int rank) {
+        Communicator comm;
+        std::unordered_map<int, std::vector<std::uint64_t>> messages;
+        messages[(rank + 1) % 3] = {static_cast<std::uint64_t>(rank)};
+        messages[(rank + 2) % 3] = {static_cast<std::uint64_t>(rank), 99};
+        auto received = with_flattened(messages, comm.size()).call([&](auto... flattened) {
+            return comm.alltoallv(std::move(flattened)...);
+        });
+        // From (rank-1): two elements; from (rank-2): one element.
+        EXPECT_EQ(received.size(), 3u);
+    });
+}

@@ -1,0 +1,378 @@
+/// @file test_collectives.cpp
+/// @brief Every xmpi collective against a sequential oracle, across a sweep
+/// of communicator sizes (powers of two and odd sizes exercise both the
+/// recursive-doubling and composite code paths).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "xmpi/mpi.h"
+#include "xmpi/xmpi.hpp"
+
+class CollectiveP : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveP, ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+TEST_P(CollectiveP, Barrier) {
+    xmpi::run(GetParam(), [](int) { ASSERT_EQ(MPI_Barrier(MPI_COMM_WORLD), MPI_SUCCESS); });
+}
+
+TEST_P(CollectiveP, BcastFromEveryRoot) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        for (int root = 0; root < p; ++root) {
+            std::vector<int> data(16, rank == root ? root + 1 : -1);
+            ASSERT_EQ(MPI_Bcast(data.data(), 16, MPI_INT, root, MPI_COMM_WORLD), MPI_SUCCESS);
+            for (int v : data) EXPECT_EQ(v, root + 1);
+        }
+    });
+}
+
+TEST_P(CollectiveP, GatherToEveryRoot) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        for (int root = 0; root < p; ++root) {
+            std::vector<int> send{rank * 2, rank * 2 + 1};
+            std::vector<int> recv(static_cast<std::size_t>(2 * p), -1);
+            ASSERT_EQ(MPI_Gather(send.data(), 2, MPI_INT, recv.data(), 2, MPI_INT, root,
+                                 MPI_COMM_WORLD),
+                      MPI_SUCCESS);
+            if (rank == root) {
+                for (int i = 0; i < 2 * p; ++i) EXPECT_EQ(recv[static_cast<std::size_t>(i)], i);
+            }
+        }
+    });
+}
+
+TEST_P(CollectiveP, GathervVaryingCounts) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        // Rank r contributes r+1 copies of r.
+        std::vector<int> send(static_cast<std::size_t>(rank + 1), rank);
+        std::vector<int> counts(static_cast<std::size_t>(p)), displs(static_cast<std::size_t>(p));
+        int total = 0;
+        for (int i = 0; i < p; ++i) {
+            counts[static_cast<std::size_t>(i)] = i + 1;
+            displs[static_cast<std::size_t>(i)] = total;
+            total += i + 1;
+        }
+        std::vector<int> recv(static_cast<std::size_t>(total), -1);
+        ASSERT_EQ(MPI_Gatherv(send.data(), rank + 1, MPI_INT, recv.data(), counts.data(),
+                              displs.data(), MPI_INT, 0, MPI_COMM_WORLD),
+                  MPI_SUCCESS);
+        if (rank == 0) {
+            std::size_t k = 0;
+            for (int i = 0; i < p; ++i) {
+                for (int j = 0; j <= i; ++j) {
+                    EXPECT_EQ(recv[k++], i);
+                }
+            }
+        }
+    });
+}
+
+TEST_P(CollectiveP, ScatterFromRoot) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        std::vector<int> send;
+        if (rank == 0) {
+            send.resize(static_cast<std::size_t>(3 * p));
+            std::iota(send.begin(), send.end(), 0);
+        }
+        std::vector<int> recv(3, -1);
+        ASSERT_EQ(MPI_Scatter(send.data(), 3, MPI_INT, recv.data(), 3, MPI_INT, 0, MPI_COMM_WORLD),
+                  MPI_SUCCESS);
+        for (int j = 0; j < 3; ++j) EXPECT_EQ(recv[static_cast<std::size_t>(j)], rank * 3 + j);
+    });
+}
+
+TEST_P(CollectiveP, ScattervVaryingCounts) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        std::vector<int> counts(static_cast<std::size_t>(p)), displs(static_cast<std::size_t>(p));
+        int total = 0;
+        for (int i = 0; i < p; ++i) {
+            counts[static_cast<std::size_t>(i)] = i % 3;
+            displs[static_cast<std::size_t>(i)] = total;
+            total += i % 3;
+        }
+        std::vector<int> send;
+        if (rank == 0) {
+            send.resize(static_cast<std::size_t>(total));
+            std::iota(send.begin(), send.end(), 100);
+        }
+        std::vector<int> recv(static_cast<std::size_t>(rank % 3), -1);
+        ASSERT_EQ(MPI_Scatterv(send.data(), counts.data(), displs.data(), MPI_INT, recv.data(),
+                               rank % 3, MPI_INT, 0, MPI_COMM_WORLD),
+                  MPI_SUCCESS);
+        for (int j = 0; j < rank % 3; ++j)
+            EXPECT_EQ(recv[static_cast<std::size_t>(j)], 100 + displs[static_cast<std::size_t>(rank)] + j);
+    });
+}
+
+TEST_P(CollectiveP, AllgatherUniform) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        std::vector<long> send{rank * 10L, rank * 10L + 1};
+        std::vector<long> recv(static_cast<std::size_t>(2 * p), -1);
+        ASSERT_EQ(
+            MPI_Allgather(send.data(), 2, MPI_LONG, recv.data(), 2, MPI_LONG, MPI_COMM_WORLD),
+            MPI_SUCCESS);
+        for (int i = 0; i < p; ++i) {
+            EXPECT_EQ(recv[static_cast<std::size_t>(2 * i)], i * 10L);
+            EXPECT_EQ(recv[static_cast<std::size_t>(2 * i + 1)], i * 10L + 1);
+        }
+    });
+}
+
+TEST_P(CollectiveP, AllgatherInPlace) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        std::vector<int> buf(static_cast<std::size_t>(p), -1);
+        buf[static_cast<std::size_t>(rank)] = rank + 7;
+        ASSERT_EQ(MPI_Allgather(MPI_IN_PLACE, 0, MPI_DATATYPE_NULL, buf.data(), 1, MPI_INT,
+                                MPI_COMM_WORLD),
+                  MPI_SUCCESS);
+        for (int i = 0; i < p; ++i) EXPECT_EQ(buf[static_cast<std::size_t>(i)], i + 7);
+    });
+}
+
+TEST_P(CollectiveP, AllgathervVaryingCounts) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        std::vector<int> send(static_cast<std::size_t>(rank % 4 + 1), rank);
+        std::vector<int> counts(static_cast<std::size_t>(p)), displs(static_cast<std::size_t>(p));
+        int total = 0;
+        for (int i = 0; i < p; ++i) {
+            counts[static_cast<std::size_t>(i)] = i % 4 + 1;
+            displs[static_cast<std::size_t>(i)] = total;
+            total += counts[static_cast<std::size_t>(i)];
+        }
+        std::vector<int> recv(static_cast<std::size_t>(total), -1);
+        ASSERT_EQ(MPI_Allgatherv(send.data(), static_cast<int>(send.size()), MPI_INT, recv.data(),
+                                 counts.data(), displs.data(), MPI_INT, MPI_COMM_WORLD),
+                  MPI_SUCCESS);
+        std::size_t k = 0;
+        for (int i = 0; i < p; ++i) {
+            for (int j = 0; j < i % 4 + 1; ++j) {
+                EXPECT_EQ(recv[k++], i);
+            }
+        }
+    });
+}
+
+TEST_P(CollectiveP, AlltoallUniform) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        std::vector<int> send(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) send[static_cast<std::size_t>(i)] = rank * 100 + i;
+        std::vector<int> recv(static_cast<std::size_t>(p), -1);
+        ASSERT_EQ(MPI_Alltoall(send.data(), 1, MPI_INT, recv.data(), 1, MPI_INT, MPI_COMM_WORLD),
+                  MPI_SUCCESS);
+        for (int i = 0; i < p; ++i) EXPECT_EQ(recv[static_cast<std::size_t>(i)], i * 100 + rank);
+    });
+}
+
+TEST_P(CollectiveP, AlltoallvTriangular) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        // Rank r sends i+1 copies of (r*1000 + i) to rank i.
+        std::vector<int> scounts(static_cast<std::size_t>(p)), sdispls(static_cast<std::size_t>(p));
+        int stotal = 0;
+        for (int i = 0; i < p; ++i) {
+            scounts[static_cast<std::size_t>(i)] = i + 1;
+            sdispls[static_cast<std::size_t>(i)] = stotal;
+            stotal += i + 1;
+        }
+        std::vector<int> send(static_cast<std::size_t>(stotal));
+        for (int i = 0; i < p; ++i)
+            for (int j = 0; j <= i; ++j)
+                send[static_cast<std::size_t>(sdispls[static_cast<std::size_t>(i)] + j)] =
+                    rank * 1000 + i;
+        std::vector<int> rcounts(static_cast<std::size_t>(p), rank + 1);
+        std::vector<int> rdispls(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) rdispls[static_cast<std::size_t>(i)] = i * (rank + 1);
+        std::vector<int> recv(static_cast<std::size_t>(p * (rank + 1)), -1);
+        ASSERT_EQ(MPI_Alltoallv(send.data(), scounts.data(), sdispls.data(), MPI_INT, recv.data(),
+                                rcounts.data(), rdispls.data(), MPI_INT, MPI_COMM_WORLD),
+                  MPI_SUCCESS);
+        for (int i = 0; i < p; ++i) {
+            for (int j = 0; j <= rank; ++j) {
+                EXPECT_EQ(recv[static_cast<std::size_t>(i * (rank + 1) + j)], i * 1000 + rank);
+            }
+        }
+    });
+}
+
+TEST_P(CollectiveP, ReduceSumToEveryRoot) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        for (int root = 0; root < p; ++root) {
+            std::vector<int> send(8);
+            for (int i = 0; i < 8; ++i) send[static_cast<std::size_t>(i)] = rank + i;
+            std::vector<int> recv(8, -1);
+            ASSERT_EQ(
+                MPI_Reduce(send.data(), recv.data(), 8, MPI_INT, MPI_SUM, root, MPI_COMM_WORLD),
+                MPI_SUCCESS);
+            if (rank == root) {
+                int const ranksum = p * (p - 1) / 2;
+                for (int i = 0; i < 8; ++i) {
+                    EXPECT_EQ(recv[static_cast<std::size_t>(i)], ranksum + p * i);
+                }
+            }
+        }
+    });
+}
+
+TEST_P(CollectiveP, AllreduceMinMax) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        double v = 100.0 - rank;
+        double mn = 0, mx = 0;
+        ASSERT_EQ(MPI_Allreduce(&v, &mn, 1, MPI_DOUBLE, MPI_MIN, MPI_COMM_WORLD), MPI_SUCCESS);
+        ASSERT_EQ(MPI_Allreduce(&v, &mx, 1, MPI_DOUBLE, MPI_MAX, MPI_COMM_WORLD), MPI_SUCCESS);
+        EXPECT_DOUBLE_EQ(mn, 100.0 - (p - 1));
+        EXPECT_DOUBLE_EQ(mx, 100.0);
+    });
+}
+
+TEST_P(CollectiveP, AllreduceInPlace) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        std::vector<int> buf(4, rank + 1);
+        ASSERT_EQ(MPI_Allreduce(MPI_IN_PLACE, buf.data(), 4, MPI_INT, MPI_SUM, MPI_COMM_WORLD),
+                  MPI_SUCCESS);
+        for (int v : buf) EXPECT_EQ(v, p * (p + 1) / 2);
+    });
+}
+
+namespace {
+/// 2x2 int64 matrix product c = a * b (associative, non-commutative).
+void matmul2(long long const* a, long long const* b, long long* c) {
+    c[0] = a[0] * b[0] + a[1] * b[2];
+    c[1] = a[0] * b[1] + a[1] * b[3];
+    c[2] = a[2] * b[0] + a[3] * b[2];
+    c[3] = a[2] * b[1] + a[3] * b[3];
+}
+}  // namespace
+
+TEST_P(CollectiveP, AllreduceUserOpNonCommutative) {
+    int const p = GetParam();
+    // Matrix multiplication is associative but not commutative; the result
+    // must equal the rank-ordered product M_0 * M_1 * ... * M_{p-1}.
+    xmpi::run(p, [p](int rank) {
+        MPI_Op op;
+        ASSERT_EQ(MPI_Op_create(
+                      [](void* in, void* inout, int* len, MPI_Datatype*) {
+                          auto* a = static_cast<long long*>(in);     // left operand
+                          auto* b = static_cast<long long*>(inout);  // right operand
+                          for (int i = 0; i + 3 < *len; i += 4) {
+                              long long c[4];
+                              matmul2(a + i, b + i, c);
+                              for (int j = 0; j < 4; ++j) b[i + j] = c[j];
+                          }
+                      },
+                      /*commute=*/0, &op),
+                  MPI_SUCCESS);
+        long long mine[4] = {rank + 1, 1, 0, 1};
+        long long out[4] = {0, 0, 0, 0};
+        ASSERT_EQ(MPI_Allreduce(mine, out, 4, MPI_INT64_T, op, MPI_COMM_WORLD), MPI_SUCCESS);
+        long long expect[4] = {1, 1, 0, 1};
+        for (int i = 1; i < p; ++i) {
+            long long m[4] = {i + 1, 1, 0, 1};
+            long long c[4];
+            matmul2(expect, m, c);
+            for (int j = 0; j < 4; ++j) expect[j] = c[j];
+        }
+        for (int j = 0; j < 4; ++j) EXPECT_EQ(out[j], expect[j]);
+        MPI_Op_free(&op);
+    });
+}
+
+TEST_P(CollectiveP, ScanPrefixSums) {
+    int const p = GetParam();
+    xmpi::run(p, [](int rank) {
+        int v = rank + 1;
+        int out = -1;
+        ASSERT_EQ(MPI_Scan(&v, &out, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD), MPI_SUCCESS);
+        EXPECT_EQ(out, (rank + 1) * (rank + 2) / 2);
+    });
+}
+
+TEST_P(CollectiveP, ExscanPrefixSums) {
+    int const p = GetParam();
+    xmpi::run(p, [](int rank) {
+        int v = rank + 1;
+        int out = -1;
+        ASSERT_EQ(MPI_Exscan(&v, &out, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD), MPI_SUCCESS);
+        if (rank > 0) {
+            EXPECT_EQ(out, rank * (rank + 1) / 2);
+        }
+    });
+}
+
+TEST_P(CollectiveP, ReduceScatterBlock) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        std::vector<int> send(static_cast<std::size_t>(2 * p));
+        for (int i = 0; i < 2 * p; ++i) send[static_cast<std::size_t>(i)] = rank + i;
+        std::vector<int> recv(2, -1);
+        ASSERT_EQ(MPI_Reduce_scatter_block(send.data(), recv.data(), 2, MPI_INT, MPI_SUM,
+                                           MPI_COMM_WORLD),
+                  MPI_SUCCESS);
+        int const ranksum = p * (p - 1) / 2;
+        EXPECT_EQ(recv[0], ranksum + p * (2 * rank));
+        EXPECT_EQ(recv[1], ranksum + p * (2 * rank + 1));
+    });
+}
+
+TEST_P(CollectiveP, IbarrierCompletes) {
+    int const p = GetParam();
+    xmpi::run(p, [](int) {
+        MPI_Request req;
+        ASSERT_EQ(MPI_Ibarrier(MPI_COMM_WORLD, &req), MPI_SUCCESS);
+        ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+    });
+}
+
+TEST_P(CollectiveP, IbarrierViaTestLoop) {
+    int const p = GetParam();
+    xmpi::run(p, [](int) {
+        MPI_Request req;
+        ASSERT_EQ(MPI_Ibarrier(MPI_COMM_WORLD, &req), MPI_SUCCESS);
+        int flag = 0;
+        while (flag == 0) {
+            ASSERT_EQ(MPI_Test(&req, &flag, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        }
+    });
+}
+
+TEST(Collective, ConcurrentCollectivesOnDifferentComms) {
+    xmpi::run(4, [](int rank) {
+        MPI_Comm half;
+        ASSERT_EQ(MPI_Comm_split(MPI_COMM_WORLD, rank % 2, rank, &half), MPI_SUCCESS);
+        int v = rank;
+        int sum_half = 0, sum_world = 0;
+        MPI_Allreduce(&v, &sum_half, 1, MPI_INT, MPI_SUM, half);
+        MPI_Allreduce(&v, &sum_world, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD);
+        EXPECT_EQ(sum_world, 6);
+        EXPECT_EQ(sum_half, rank % 2 == 0 ? 2 : 4);
+        MPI_Comm_free(&half);
+    });
+}
+
+TEST(Collective, BcastLatencyIsLogarithmic) {
+    // Under the cost model, a binomial bcast of 1 byte over p ranks costs
+    // ~ceil(log2 p) * alpha on the critical path, not p * alpha.
+    auto t8 = xmpi::run(8, [](int) {
+        char c = 1;
+        MPI_Bcast(&c, 1, MPI_CHAR, 0, MPI_COMM_WORLD);
+    });
+    auto t64 = xmpi::run(64, [](int) {
+        char c = 1;
+        MPI_Bcast(&c, 1, MPI_CHAR, 0, MPI_COMM_WORLD);
+    });
+    // log2 ratio is 2x, allow generous slack for compute noise.
+    EXPECT_LT(t64.max_vtime, t8.max_vtime * 4.0);
+}

@@ -1,0 +1,389 @@
+/// @file test_comm_types.cpp
+/// @brief Communicator management, derived datatypes (pack/unpack round
+/// trips), topology/neighborhood collectives and ULFM fault injection.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "xmpi/mpi.h"
+#include "xmpi/xmpi.hpp"
+
+// ---------------------------------------------------------------------------
+// Communicators
+// ---------------------------------------------------------------------------
+
+TEST(Comm, WorldSizeRank) {
+    xmpi::run(5, [](int rank) {
+        int size = 0, r = -1;
+        MPI_Comm_size(MPI_COMM_WORLD, &size);
+        MPI_Comm_rank(MPI_COMM_WORLD, &r);
+        EXPECT_EQ(size, 5);
+        EXPECT_EQ(r, rank);
+    });
+}
+
+TEST(Comm, DupIsIsolated) {
+    xmpi::run(3, [](int rank) {
+        MPI_Comm dup;
+        ASSERT_EQ(MPI_Comm_dup(MPI_COMM_WORLD, &dup), MPI_SUCCESS);
+        int size = 0;
+        MPI_Comm_size(dup, &size);
+        EXPECT_EQ(size, 3);
+        // A message on the dup must not match a receive on world.
+        if (rank == 0) {
+            int v = 1;
+            MPI_Send(&v, 1, MPI_INT, 1, 0, dup);
+            v = 2;
+            MPI_Send(&v, 1, MPI_INT, 1, 0, MPI_COMM_WORLD);
+        } else if (rank == 1) {
+            int w = 0;
+            MPI_Recv(&w, 1, MPI_INT, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+            EXPECT_EQ(w, 2);
+            MPI_Recv(&w, 1, MPI_INT, 0, 0, dup, MPI_STATUS_IGNORE);
+            EXPECT_EQ(w, 1);
+        }
+        int cmp = -1;
+        MPI_Comm_compare(MPI_COMM_WORLD, dup, &cmp);
+        EXPECT_EQ(cmp, MPI_CONGRUENT);
+        MPI_Comm_free(&dup);
+        EXPECT_EQ(dup, MPI_COMM_NULL);
+    });
+}
+
+TEST(Comm, SplitEvenOdd) {
+    xmpi::run(6, [](int rank) {
+        MPI_Comm sub;
+        ASSERT_EQ(MPI_Comm_split(MPI_COMM_WORLD, rank % 2, rank, &sub), MPI_SUCCESS);
+        int size = 0, r = -1;
+        MPI_Comm_size(sub, &size);
+        MPI_Comm_rank(sub, &r);
+        EXPECT_EQ(size, 3);
+        EXPECT_EQ(r, rank / 2);
+        MPI_Comm_free(&sub);
+    });
+}
+
+TEST(Comm, SplitWithKeyReversesOrder) {
+    xmpi::run(4, [](int rank) {
+        MPI_Comm sub;
+        ASSERT_EQ(MPI_Comm_split(MPI_COMM_WORLD, 0, -rank, &sub), MPI_SUCCESS);
+        int r = -1;
+        MPI_Comm_rank(sub, &r);
+        EXPECT_EQ(r, 3 - rank);
+        MPI_Comm_free(&sub);
+    });
+}
+
+TEST(Comm, SplitUndefinedYieldsNull) {
+    xmpi::run(4, [](int rank) {
+        MPI_Comm sub;
+        ASSERT_EQ(MPI_Comm_split(MPI_COMM_WORLD, rank == 0 ? MPI_UNDEFINED : 1, rank, &sub),
+                  MPI_SUCCESS);
+        if (rank == 0) {
+            EXPECT_EQ(sub, MPI_COMM_NULL);
+        } else {
+            int size = 0;
+            MPI_Comm_size(sub, &size);
+            EXPECT_EQ(size, 3);
+            MPI_Comm_free(&sub);
+        }
+    });
+}
+
+TEST(Comm, NestedSplits) {
+    xmpi::run(8, [](int rank) {
+        MPI_Comm half, quarter;
+        MPI_Comm_split(MPI_COMM_WORLD, rank / 4, rank, &half);
+        MPI_Comm_split(half, rank % 2, rank, &quarter);
+        int v = 1, sum = 0;
+        MPI_Allreduce(&v, &sum, 1, MPI_INT, MPI_SUM, quarter);
+        EXPECT_EQ(sum, 2);
+        MPI_Comm_free(&quarter);
+        MPI_Comm_free(&half);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Derived datatypes
+// ---------------------------------------------------------------------------
+
+TEST(Types, ContiguousRoundTrip) {
+    xmpi::run(2, [](int rank) {
+        MPI_Datatype triple;
+        MPI_Type_contiguous(3, MPI_INT, &triple);
+        MPI_Type_commit(&triple);
+        int sz = 0;
+        MPI_Type_size(triple, &sz);
+        EXPECT_EQ(sz, 12);
+        if (rank == 0) {
+            std::vector<int> data{1, 2, 3, 4, 5, 6};
+            MPI_Send(data.data(), 2, triple, 1, 0, MPI_COMM_WORLD);
+        } else {
+            std::vector<int> data(6, 0);
+            MPI_Status st;
+            MPI_Recv(data.data(), 2, triple, 0, 0, MPI_COMM_WORLD, &st);
+            int count = 0;
+            MPI_Get_count(&st, triple, &count);
+            EXPECT_EQ(count, 2);
+            for (int i = 0; i < 6; ++i) EXPECT_EQ(data[static_cast<std::size_t>(i)], i + 1);
+        }
+        MPI_Type_free(&triple);
+    });
+}
+
+TEST(Types, VectorStridedColumns) {
+    // Send a column of a 4x4 row-major matrix.
+    xmpi::run(2, [](int rank) {
+        MPI_Datatype col;
+        MPI_Type_vector(4, 1, 4, MPI_INT, &col);
+        MPI_Type_commit(&col);
+        if (rank == 0) {
+            std::array<int, 16> m{};
+            for (int i = 0; i < 16; ++i) m[static_cast<std::size_t>(i)] = i;
+            MPI_Send(m.data() + 1, 1, col, 1, 0, MPI_COMM_WORLD);  // column 1
+        } else {
+            std::array<int, 4> colvals{};
+            MPI_Recv(colvals.data(), 4, MPI_INT, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+            EXPECT_EQ(colvals[0], 1);
+            EXPECT_EQ(colvals[1], 5);
+            EXPECT_EQ(colvals[2], 9);
+            EXPECT_EQ(colvals[3], 13);
+        }
+        MPI_Type_free(&col);
+    });
+}
+
+TEST(Types, IndexedGapsSkipped) {
+    xmpi::run(2, [](int rank) {
+        int blocklens[] = {2, 1};
+        int displs[] = {0, 4};
+        MPI_Datatype ty;
+        MPI_Type_indexed(2, blocklens, displs, MPI_INT, &ty);
+        MPI_Type_commit(&ty);
+        if (rank == 0) {
+            std::array<int, 5> src{10, 11, 12, 13, 14};
+            MPI_Send(src.data(), 1, ty, 1, 0, MPI_COMM_WORLD);
+        } else {
+            std::array<int, 3> dst{};
+            MPI_Recv(dst.data(), 3, MPI_INT, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+            EXPECT_EQ(dst[0], 10);
+            EXPECT_EQ(dst[1], 11);
+            EXPECT_EQ(dst[2], 14);
+        }
+        MPI_Type_free(&ty);
+    });
+}
+
+namespace {
+struct Padded {
+    char c;
+    // 7 bytes padding
+    double d;
+    int i;
+};
+}  // namespace
+
+TEST(Types, StructWithPadding) {
+    xmpi::run(2, [](int rank) {
+        int blocklens[] = {1, 1, 1};
+        MPI_Aint displs[] = {offsetof(Padded, c), offsetof(Padded, d), offsetof(Padded, i)};
+        MPI_Datatype fields[] = {MPI_CHAR, MPI_DOUBLE, MPI_INT};
+        MPI_Datatype raw, ty;
+        MPI_Type_create_struct(3, blocklens, displs, fields, &raw);
+        MPI_Type_create_resized(raw, 0, sizeof(Padded), &ty);
+        MPI_Type_commit(&ty);
+        int sz = 0;
+        MPI_Type_size(ty, &sz);
+        EXPECT_EQ(sz, static_cast<int>(sizeof(char) + sizeof(double) + sizeof(int)));
+        MPI_Aint lb = 0, extent = 0;
+        MPI_Type_get_extent(ty, &lb, &extent);
+        EXPECT_EQ(extent, static_cast<MPI_Aint>(sizeof(Padded)));
+        if (rank == 0) {
+            std::array<Padded, 3> src{{{'a', 1.5, 10}, {'b', 2.5, 20}, {'c', 3.5, 30}}};
+            MPI_Send(src.data(), 3, ty, 1, 0, MPI_COMM_WORLD);
+        } else {
+            std::array<Padded, 3> dst{};
+            MPI_Recv(dst.data(), 3, ty, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+            EXPECT_EQ(dst[1].c, 'b');
+            EXPECT_DOUBLE_EQ(dst[2].d, 3.5);
+            EXPECT_EQ(dst[0].i, 10);
+        }
+        MPI_Type_free(&ty);
+        MPI_Type_free(&raw);
+    });
+}
+
+TEST(Types, ContiguousBytesForTriviallyCopyable) {
+    // The KaMPIng default for trivially copyable structs: contiguous bytes.
+    xmpi::run(2, [](int rank) {
+        MPI_Datatype bytes;
+        MPI_Type_contiguous(sizeof(Padded), MPI_BYTE, &bytes);
+        MPI_Type_commit(&bytes);
+        if (rank == 0) {
+            Padded v{'x', 9.25, 77};
+            MPI_Send(&v, 1, bytes, 1, 0, MPI_COMM_WORLD);
+        } else {
+            Padded v{};
+            MPI_Recv(&v, 1, bytes, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+            EXPECT_EQ(v.c, 'x');
+            EXPECT_DOUBLE_EQ(v.d, 9.25);
+            EXPECT_EQ(v.i, 77);
+        }
+        MPI_Type_free(&bytes);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Topology + neighborhood collectives
+// ---------------------------------------------------------------------------
+
+TEST(Topology, RingNeighborAlltoall) {
+    xmpi::run(4, [](int rank) {
+        int const left = (rank + 3) % 4;
+        int const right = (rank + 1) % 4;
+        int sources[] = {left, right};
+        int dests[] = {left, right};
+        MPI_Comm ring;
+        ASSERT_EQ(MPI_Dist_graph_create_adjacent(MPI_COMM_WORLD, 2, sources, nullptr, 2, dests,
+                                                 nullptr, MPI_INFO_NULL, 0, &ring),
+                  MPI_SUCCESS);
+        int in_deg = 0, out_deg = 0, weighted = -1;
+        MPI_Dist_graph_neighbors_count(ring, &in_deg, &out_deg, &weighted);
+        EXPECT_EQ(in_deg, 2);
+        EXPECT_EQ(out_deg, 2);
+        int send[] = {rank * 10, rank * 10 + 1};  // to left, to right
+        int recv[2] = {-1, -1};                   // from left, from right
+        ASSERT_EQ(MPI_Neighbor_alltoall(send, 1, MPI_INT, recv, 1, MPI_INT, ring), MPI_SUCCESS);
+        EXPECT_EQ(recv[0], left * 10 + 1);   // left neighbor sent "to right"
+        EXPECT_EQ(recv[1], right * 10);      // right neighbor sent "to left"
+        MPI_Comm_free(&ring);
+    });
+}
+
+TEST(Topology, NeighborAlltoallvVariableSizes) {
+    xmpi::run(3, [](int rank) {
+        // Complete graph; rank r sends r+1 ints to each neighbor.
+        std::vector<int> nbrs;
+        for (int i = 0; i < 3; ++i)
+            if (i != rank) nbrs.push_back(i);
+        MPI_Comm g;
+        ASSERT_EQ(MPI_Dist_graph_create_adjacent(MPI_COMM_WORLD, 2, nbrs.data(), nullptr, 2,
+                                                 nbrs.data(), nullptr, MPI_INFO_NULL, 0, &g),
+                  MPI_SUCCESS);
+        std::vector<int> send(static_cast<std::size_t>(2 * (rank + 1)), rank);
+        int scounts[] = {rank + 1, rank + 1};
+        int sdispls[] = {0, rank + 1};
+        int rcounts[2], rdispls[2];
+        int total = 0;
+        for (int j = 0; j < 2; ++j) {
+            rcounts[j] = nbrs[static_cast<std::size_t>(j)] + 1;
+            rdispls[j] = total;
+            total += rcounts[j];
+        }
+        std::vector<int> recv(static_cast<std::size_t>(total), -1);
+        ASSERT_EQ(MPI_Neighbor_alltoallv(send.data(), scounts, sdispls, MPI_INT, recv.data(),
+                                         rcounts, rdispls, MPI_INT, g),
+                  MPI_SUCCESS);
+        for (int j = 0; j < 2; ++j)
+            for (int k = 0; k < rcounts[j]; ++k)
+                EXPECT_EQ(recv[static_cast<std::size_t>(rdispls[j] + k)],
+                          nbrs[static_cast<std::size_t>(j)]);
+        MPI_Comm_free(&g);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// ULFM
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Canonical ULFM recovery pattern (paper Fig. 12): run collectives until a
+/// failure surfaces, revoke so blocked peers unblock, then the caller can
+/// shrink. Returns the error code that surfaced.
+int detect_failure_and_revoke(MPI_Comm comm) {
+    int rc;
+    int v = 1, sum = 0;
+    do {
+        rc = MPI_Allreduce(&v, &sum, 1, MPI_INT, MPI_SUM, comm);
+    } while (rc == MPI_SUCCESS);
+    int revoked = 0;
+    MPIX_Comm_is_revoked(comm, &revoked);
+    if (revoked == 0) MPIX_Comm_revoke(comm);
+    return rc;
+}
+
+}  // namespace
+
+TEST(Ulfm, DeadRankFailsSends) {
+    xmpi::run(3, [](int rank) {
+        if (rank == 2) XMPI_Die();
+        int v = 1;
+        int rc;
+        do {
+            rc = MPI_Send(&v, 1, MPI_INT, 2, 0, MPI_COMM_WORLD);
+        } while (rc == MPI_SUCCESS);
+        EXPECT_EQ(rc, MPIX_ERR_PROC_FAILED);
+    });
+}
+
+TEST(Ulfm, CollectiveReportsFailure) {
+    xmpi::run(4, [](int rank) {
+        if (rank == 3) XMPI_Die();
+        int const rc = detect_failure_and_revoke(MPI_COMM_WORLD);
+        EXPECT_TRUE(rc == MPIX_ERR_PROC_FAILED || rc == MPIX_ERR_REVOKED);
+    });
+}
+
+TEST(Ulfm, RevokeShrinkContinue) {
+    xmpi::run(4, [](int rank) {
+        if (rank == 1) XMPI_Die();
+        int const rc = detect_failure_and_revoke(MPI_COMM_WORLD);
+        EXPECT_TRUE(rc == MPIX_ERR_PROC_FAILED || rc == MPIX_ERR_REVOKED);
+        MPI_Comm survivors;
+        ASSERT_EQ(MPIX_Comm_shrink(MPI_COMM_WORLD, &survivors), MPI_SUCCESS);
+        int size = 0;
+        MPI_Comm_size(survivors, &size);
+        EXPECT_EQ(size, 3);
+        int v = 1, sum = 0;
+        ASSERT_EQ(MPI_Allreduce(&v, &sum, 1, MPI_INT, MPI_SUM, survivors), MPI_SUCCESS);
+        EXPECT_EQ(sum, 3);
+        MPI_Comm_free(&survivors);
+    });
+}
+
+TEST(Ulfm, RevokedCommRejectsOperations) {
+    xmpi::run(2, [](int rank) {
+        MPI_Comm dup;
+        MPI_Comm_dup(MPI_COMM_WORLD, &dup);
+        MPI_Barrier(dup);
+        if (rank == 0) MPIX_Comm_revoke(dup);
+        // Wait until the revoke is visible everywhere.
+        for (;;) {
+            int flag = 0;
+            MPIX_Comm_is_revoked(dup, &flag);
+            if (flag != 0) break;
+        }
+        int v = 0;
+        EXPECT_EQ(MPI_Send(&v, 1, MPI_INT, 1 - rank, 0, dup), MPIX_ERR_REVOKED);
+        // World still works.
+        int sum = 0;
+        v = 1;
+        EXPECT_EQ(MPI_Allreduce(&v, &sum, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD), MPI_SUCCESS);
+        EXPECT_EQ(sum, 2);
+        MPI_Comm_free(&dup);
+    });
+}
+
+TEST(Ulfm, AgreeAcrossSurvivors) {
+    xmpi::run(4, [](int rank) {
+        if (rank == 2) XMPI_Die();
+        detect_failure_and_revoke(MPI_COMM_WORLD);
+        int flag = rank == 0 ? 0 : 1;  // one dissenter
+        ASSERT_EQ(MPIX_Comm_agree(MPI_COMM_WORLD, &flag), MPI_SUCCESS);
+        EXPECT_EQ(flag, 0);
+    });
+}

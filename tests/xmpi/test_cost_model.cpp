@@ -1,0 +1,186 @@
+/// @file test_cost_model.cpp
+/// @brief Properties of the virtual-time cost model (DESIGN.md §2): latency
+/// and bandwidth terms scale with the configured α/β, clocks are monotonic,
+/// blocked time is not charged as compute, counters are exact, and
+/// collective latency matches the implemented message patterns.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "xmpi/mpi.h"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+double pingpong_vtime(xmpi::Config const& cfg, int rounds, int bytes) {
+    auto result = xmpi::run(
+        2,
+        [&](int rank) {
+            std::vector<char> buf(static_cast<std::size_t>(bytes));
+            for (int i = 0; i < rounds; ++i) {
+                if (rank == 0) {
+                    MPI_Send(buf.data(), bytes, MPI_CHAR, 1, 0, MPI_COMM_WORLD);
+                    MPI_Recv(buf.data(), bytes, MPI_CHAR, 1, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+                } else {
+                    MPI_Recv(buf.data(), bytes, MPI_CHAR, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+                    MPI_Send(buf.data(), bytes, MPI_CHAR, 0, 0, MPI_COMM_WORLD);
+                }
+            }
+        },
+        cfg);
+    return result.max_vtime;
+}
+
+}  // namespace
+
+TEST(CostModel, LatencyTermScalesWithAlpha) {
+    xmpi::Config low, high;
+    low.alpha = 1e-6;
+    high.alpha = 8e-6;
+    low.compute_scale = high.compute_scale = 0.0;  // isolate the network terms
+    double const t_low = pingpong_vtime(low, 200, 1);
+    double const t_high = pingpong_vtime(high, 200, 1);
+    // 400 messages: expect ~8x difference in the alpha-dominated regime.
+    EXPECT_GT(t_high / t_low, 6.0);
+    EXPECT_LT(t_high / t_low, 9.0);
+}
+
+TEST(CostModel, BandwidthTermScalesWithBeta) {
+    xmpi::Config low, high;
+    low.beta = 1e-10;
+    high.beta = 16e-10;
+    low.compute_scale = high.compute_scale = 0.0;
+    low.alpha = high.alpha = 0.0;
+    low.o = high.o = 0.0;
+    double const t_low = pingpong_vtime(low, 20, 1 << 20);
+    double const t_high = pingpong_vtime(high, 20, 1 << 20);
+    EXPECT_NEAR(t_high / t_low, 16.0, 2.0);
+}
+
+TEST(CostModel, BlockedTimeIsNotCharged) {
+    // Rank 1 waits a long (wall) time for rank 0's message; its virtual
+    // clock must reflect the message arrival, not the wall wait.
+    xmpi::Config cfg;
+    cfg.compute_scale = 0.0;
+    auto result = xmpi::run(
+        2,
+        [](int rank) {
+            if (rank == 0) {
+                // Busy work (real CPU time), then send.
+                volatile double x = 1.0;
+                for (int i = 0; i < 2000000; ++i) x = x * 1.0000001;
+                int v = 1;
+                MPI_Send(&v, 1, MPI_INT, 1, 0, MPI_COMM_WORLD);
+            } else {
+                int v = 0;
+                MPI_Recv(&v, 1, MPI_INT, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+            }
+        },
+        cfg);
+    // With compute disabled, total modeled time is just one message.
+    EXPECT_LT(result.max_vtime, 100e-6);
+}
+
+TEST(CostModel, ComputeScaleMultipliesLocalWork) {
+    auto work = [](int) {
+        volatile double x = 1.0;
+        for (int i = 0; i < 3000000; ++i) x = x * 1.0000001;
+        MPI_Barrier(MPI_COMM_WORLD);
+    };
+    xmpi::Config normal, doubled;
+    doubled.compute_scale = 2.0;
+    auto const t1 = xmpi::run(1, work, normal).max_vtime;
+    auto const t2 = xmpi::run(1, work, doubled).max_vtime;
+    EXPECT_NEAR(t2 / t1, 2.0, 0.6);
+}
+
+TEST(CostModel, VirtualClocksAreMonotonicPerRank) {
+    xmpi::run(4, [](int rank) {
+        double last = xmpi::vtime_now();
+        for (int i = 0; i < 10; ++i) {
+            MPI_Barrier(MPI_COMM_WORLD);
+            int v = rank, sum = 0;
+            MPI_Allreduce(&v, &sum, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD);
+            double const now = xmpi::vtime_now();
+            EXPECT_GE(now, last);
+            last = now;
+        }
+    });
+}
+
+TEST(CostModel, WtimeIsVirtualTime) {
+    xmpi::run(2, [](int) {
+        double const a = MPI_Wtime();
+        MPI_Barrier(MPI_COMM_WORLD);
+        double const b = MPI_Wtime();
+        EXPECT_GE(b, a);
+        EXPECT_GE(b, 2e-6);  // at least one message latency passed
+    });
+}
+
+TEST(CostModel, CountersAreExactForPointToPoint) {
+    auto result = xmpi::run(2, [](int rank) {
+        std::vector<char> buf(100);
+        for (int i = 0; i < 7; ++i) {
+            if (rank == 0) {
+                MPI_Send(buf.data(), 100, MPI_CHAR, 1, 0, MPI_COMM_WORLD);
+            } else {
+                MPI_Recv(buf.data(), 100, MPI_CHAR, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+            }
+        }
+    });
+    EXPECT_EQ(result.total.p2p_messages, 7u);
+    EXPECT_EQ(result.total.p2p_bytes, 700u);
+    EXPECT_EQ(result.total.coll_messages, 0u);
+}
+
+TEST(CostModel, CollectiveTrafficCountedSeparately) {
+    auto result = xmpi::run(4, [](int) { MPI_Barrier(MPI_COMM_WORLD); });
+    EXPECT_EQ(result.total.p2p_messages, 0u);
+    // Dissemination barrier: p * ceil(log2 p) messages = 4 * 2.
+    EXPECT_EQ(result.total.coll_messages, 8u);
+}
+
+TEST(CostModel, AlltoallLatencyLinearInP) {
+    auto run_p = [](int p) {
+        xmpi::Config cfg;
+        cfg.compute_scale = 0.0;
+        return xmpi::run(
+                   p,
+                   [p](int) {
+                       std::vector<int> send(static_cast<std::size_t>(p), 1);
+                       std::vector<int> recv(static_cast<std::size_t>(p));
+                       MPI_Alltoall(send.data(), 1, MPI_INT, recv.data(), 1, MPI_INT,
+                                    MPI_COMM_WORLD);
+                   },
+                   cfg)
+            .max_vtime;
+    };
+    double const t8 = run_p(8);
+    double const t32 = run_p(32);
+    // Pairwise exchange: (p-1) rounds -> ratio ~31/7 = 4.4.
+    EXPECT_NEAR(t32 / t8, 4.4, 1.5);
+}
+
+TEST(CostModel, RankVtimesReportedPerRank) {
+    auto result = xmpi::run(3, [](int rank) {
+        if (rank == 2) {
+            // Rank 2 does extra modeled work.
+            xmpi::vtime_add(1.0);
+        }
+        MPI_Barrier(MPI_COMM_WORLD);
+    });
+    ASSERT_EQ(result.rank_vtimes.size(), 3u);
+    EXPECT_GE(result.max_vtime, 1.0);
+}
+
+TEST(CostModel, BarrierPropagatesSlowestClock) {
+    // After a barrier, every rank's clock must be at least the straggler's
+    // pre-barrier time (the barrier's synchronization semantics).
+    auto result = xmpi::run(4, [](int rank) {
+        if (rank == 1) xmpi::vtime_add(0.5);
+        MPI_Barrier(MPI_COMM_WORLD);
+        EXPECT_GE(xmpi::vtime_now(), 0.5);
+    });
+    for (double t : result.rank_vtimes) EXPECT_GE(t, 0.5);
+}

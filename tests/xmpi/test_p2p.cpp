@@ -1,0 +1,245 @@
+/// @file test_p2p.cpp
+/// @brief Point-to-point semantics of the xmpi substrate: matching order,
+/// wildcards, non-blocking completion, synchronous mode, probes, statuses.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "xmpi/mpi.h"
+#include "xmpi/xmpi.hpp"
+
+TEST(P2P, SendRecvRoundTrip) {
+    xmpi::run(2, [](int rank) {
+        if (rank == 0) {
+            std::vector<int> data(100);
+            std::iota(data.begin(), data.end(), 0);
+            ASSERT_EQ(MPI_Send(data.data(), 100, MPI_INT, 1, 7, MPI_COMM_WORLD), MPI_SUCCESS);
+        } else {
+            std::vector<int> data(100, -1);
+            MPI_Status st;
+            ASSERT_EQ(MPI_Recv(data.data(), 100, MPI_INT, 0, 7, MPI_COMM_WORLD, &st), MPI_SUCCESS);
+            EXPECT_EQ(st.MPI_SOURCE, 0);
+            EXPECT_EQ(st.MPI_TAG, 7);
+            int count = 0;
+            MPI_Get_count(&st, MPI_INT, &count);
+            EXPECT_EQ(count, 100);
+            for (int i = 0; i < 100; ++i) EXPECT_EQ(data[static_cast<std::size_t>(i)], i);
+        }
+    });
+}
+
+TEST(P2P, NonOvertakingSameSourceTag) {
+    xmpi::run(2, [](int rank) {
+        if (rank == 0) {
+            int a = 1, b = 2;
+            MPI_Send(&a, 1, MPI_INT, 1, 0, MPI_COMM_WORLD);
+            MPI_Send(&b, 1, MPI_INT, 1, 0, MPI_COMM_WORLD);
+        } else {
+            int x = 0, y = 0;
+            MPI_Recv(&x, 1, MPI_INT, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+            MPI_Recv(&y, 1, MPI_INT, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+            EXPECT_EQ(x, 1);
+            EXPECT_EQ(y, 2);
+        }
+    });
+}
+
+TEST(P2P, AnySourceAnyTag) {
+    xmpi::run(4, [](int rank) {
+        if (rank == 0) {
+            int seen = 0;
+            for (int i = 1; i < 4; ++i) {
+                int v = 0;
+                MPI_Status st;
+                MPI_Recv(&v, 1, MPI_INT, MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_COMM_WORLD, &st);
+                EXPECT_EQ(v, st.MPI_SOURCE * 10);
+                EXPECT_EQ(st.MPI_TAG, st.MPI_SOURCE);
+                seen |= 1 << st.MPI_SOURCE;
+            }
+            EXPECT_EQ(seen, 0b1110);
+        } else {
+            int const v = rank * 10;
+            MPI_Send(&v, 1, MPI_INT, 0, rank, MPI_COMM_WORLD);
+        }
+    });
+}
+
+TEST(P2P, IsendIrecvWaitall) {
+    xmpi::run(2, [](int rank) {
+        int const peer = 1 - rank;
+        std::vector<double> out(64, rank + 0.5);
+        std::vector<double> in(64, -1);
+        MPI_Request reqs[2];
+        MPI_Irecv(in.data(), 64, MPI_DOUBLE, peer, 3, MPI_COMM_WORLD, &reqs[0]);
+        MPI_Isend(out.data(), 64, MPI_DOUBLE, peer, 3, MPI_COMM_WORLD, &reqs[1]);
+        ASSERT_EQ(MPI_Waitall(2, reqs, MPI_STATUSES_IGNORE), MPI_SUCCESS);
+        for (double v : in) EXPECT_DOUBLE_EQ(v, peer + 0.5);
+    });
+}
+
+TEST(P2P, SsendCompletesAfterMatch) {
+    xmpi::run(2, [](int rank) {
+        if (rank == 0) {
+            int v = 42;
+            ASSERT_EQ(MPI_Ssend(&v, 1, MPI_INT, 1, 0, MPI_COMM_WORLD), MPI_SUCCESS);
+        } else {
+            int v = 0;
+            MPI_Recv(&v, 1, MPI_INT, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+            EXPECT_EQ(v, 42);
+        }
+    });
+}
+
+TEST(P2P, IssendTestReflectsMatch) {
+    xmpi::run(2, [](int rank) {
+        if (rank == 0) {
+            int v = 9;
+            MPI_Request req;
+            MPI_Issend(&v, 1, MPI_INT, 1, 5, MPI_COMM_WORLD, &req);
+            // Signal readiness, then wait for the match.
+            int go = 1;
+            MPI_Send(&go, 1, MPI_INT, 1, 6, MPI_COMM_WORLD);
+            ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+            EXPECT_EQ(req, MPI_REQUEST_NULL);
+        } else {
+            int go = 0;
+            MPI_Recv(&go, 1, MPI_INT, 0, 6, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+            int v = 0;
+            MPI_Recv(&v, 1, MPI_INT, 0, 5, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+            EXPECT_EQ(v, 9);
+        }
+    });
+}
+
+TEST(P2P, ProbeThenRecvSizedBuffer) {
+    xmpi::run(2, [](int rank) {
+        if (rank == 0) {
+            std::vector<int> payload(37, 5);
+            MPI_Send(payload.data(), 37, MPI_INT, 1, 11, MPI_COMM_WORLD);
+        } else {
+            MPI_Status st;
+            ASSERT_EQ(MPI_Probe(0, 11, MPI_COMM_WORLD, &st), MPI_SUCCESS);
+            int count = 0;
+            MPI_Get_count(&st, MPI_INT, &count);
+            ASSERT_EQ(count, 37);
+            std::vector<int> data(static_cast<std::size_t>(count));
+            MPI_Recv(data.data(), count, MPI_INT, 0, 11, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+            for (int v : data) EXPECT_EQ(v, 5);
+        }
+    });
+}
+
+TEST(P2P, IprobeNoMessage) {
+    xmpi::run(2, [](int rank) {
+        if (rank == 0) {
+            int flag = 1;
+            MPI_Iprobe(1, 99, MPI_COMM_WORLD, &flag, MPI_STATUS_IGNORE);
+            EXPECT_EQ(flag, 0);
+        }
+        MPI_Barrier(MPI_COMM_WORLD);
+    });
+}
+
+TEST(P2P, TruncationReportsError) {
+    xmpi::run(2, [](int rank) {
+        if (rank == 0) {
+            std::vector<int> big(10, 1);
+            MPI_Send(big.data(), 10, MPI_INT, 1, 0, MPI_COMM_WORLD);
+        } else {
+            std::vector<int> small(4, 0);
+            MPI_Status st;
+            int const rc = MPI_Recv(small.data(), 4, MPI_INT, 0, 0, MPI_COMM_WORLD, &st);
+            EXPECT_EQ(rc, MPI_ERR_TRUNCATE);
+            // The first four elements are delivered.
+            for (int v : small) EXPECT_EQ(v, 1);
+        }
+    });
+}
+
+TEST(P2P, SendrecvExchange) {
+    xmpi::run(2, [](int rank) {
+        int const peer = 1 - rank;
+        int out = rank + 100;
+        int in = -1;
+        MPI_Sendrecv(&out, 1, MPI_INT, peer, 0, &in, 1, MPI_INT, peer, 0, MPI_COMM_WORLD,
+                     MPI_STATUS_IGNORE);
+        EXPECT_EQ(in, peer + 100);
+    });
+}
+
+TEST(P2P, ProcNullIsNoop) {
+    xmpi::run(1, [](int) {
+        int v = 3;
+        EXPECT_EQ(MPI_Send(&v, 1, MPI_INT, MPI_PROC_NULL, 0, MPI_COMM_WORLD), MPI_SUCCESS);
+        MPI_Status st;
+        EXPECT_EQ(MPI_Recv(&v, 1, MPI_INT, MPI_PROC_NULL, 0, MPI_COMM_WORLD, &st), MPI_SUCCESS);
+        EXPECT_EQ(st.MPI_SOURCE, MPI_PROC_NULL);
+        EXPECT_EQ(v, 3);  // untouched
+    });
+}
+
+TEST(P2P, SelfCommunication) {
+    xmpi::run(3, [](int rank) {
+        int out = rank;
+        int in = -1;
+        MPI_Request req;
+        MPI_Irecv(&in, 1, MPI_INT, 0, 0, MPI_COMM_SELF, &req);
+        MPI_Send(&out, 1, MPI_INT, 0, 0, MPI_COMM_SELF);
+        MPI_Wait(&req, MPI_STATUS_IGNORE);
+        EXPECT_EQ(in, rank);
+    });
+}
+
+TEST(P2P, WaitanyFindsCompleted) {
+    xmpi::run(3, [](int rank) {
+        if (rank == 0) {
+            MPI_Request reqs[2];
+            int a = -1, b = -1;
+            MPI_Irecv(&a, 1, MPI_INT, 1, 0, MPI_COMM_WORLD, &reqs[0]);
+            MPI_Irecv(&b, 1, MPI_INT, 2, 0, MPI_COMM_WORLD, &reqs[1]);
+            int idx1 = -1, idx2 = -1;
+            MPI_Waitany(2, reqs, &idx1, MPI_STATUS_IGNORE);
+            MPI_Waitany(2, reqs, &idx2, MPI_STATUS_IGNORE);
+            EXPECT_NE(idx1, idx2);
+            EXPECT_EQ(a, 10);
+            EXPECT_EQ(b, 20);
+            int idx3 = -1;
+            MPI_Waitany(2, reqs, &idx3, MPI_STATUS_IGNORE);
+            EXPECT_EQ(idx3, MPI_UNDEFINED);
+        } else {
+            int const v = rank * 10;
+            MPI_Send(&v, 1, MPI_INT, 0, 0, MPI_COMM_WORLD);
+        }
+    });
+}
+
+TEST(P2P, VirtualTimeAdvancesWithMessages) {
+    auto result = xmpi::run(2, [](int rank) {
+        for (int i = 0; i < 100; ++i) {
+            int v = i;
+            if (rank == 0) {
+                MPI_Send(&v, 1, MPI_INT, 1, 0, MPI_COMM_WORLD);
+                MPI_Recv(&v, 1, MPI_INT, 1, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+            } else {
+                MPI_Recv(&v, 1, MPI_INT, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+                MPI_Send(&v, 1, MPI_INT, 0, 0, MPI_COMM_WORLD);
+            }
+        }
+    });
+    // 200 messages in a ping-pong chain: at least 200 * alpha of modeled time.
+    EXPECT_GE(result.max_vtime, 200 * 2e-6);
+    EXPECT_EQ(result.total.p2p_messages, 200u);
+}
+
+TEST(P2P, CountersTrackBytes) {
+    auto result = xmpi::run(2, [](int rank) {
+        std::vector<char> buf(1024);
+        if (rank == 0) {
+            MPI_Send(buf.data(), 1024, MPI_CHAR, 1, 0, MPI_COMM_WORLD);
+        } else {
+            MPI_Recv(buf.data(), 1024, MPI_CHAR, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+        }
+    });
+    EXPECT_EQ(result.total.p2p_bytes, 1024u);
+}
