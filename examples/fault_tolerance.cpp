@@ -31,8 +31,14 @@ int main() {
                     comm.revoke();
                 }
                 // Create a new communicator containing only the survivors
-                // (paper Fig. 12) and redo the round.
+                // (paper Fig. 12) and redo the round. Survivors may observe
+                // the failure in *different* rounds (a lagging rank catches
+                // the revocation inside an earlier collective), so they must
+                // first agree on the earliest round to resume from — else
+                // their post-recovery collective sequences diverge and the
+                // last rounds deadlock.
                 comm = comm.shrink();
+                round = comm.allreduce_single(send_buf(round), op(ops::min{}));
                 total = comm.allreduce_single(send_buf(static_cast<long>(rank + round)),
                                               op(std::plus<>{}));
                 if (comm.is_root()) {

@@ -1,0 +1,65 @@
+/// @file nonblocking_overlap.cpp
+/// @brief Communication/computation overlap with the nonblocking collective
+/// i-variants: a pipeline of allreduce + independent local work, once with
+/// the blocking collective (communication and compute serialize) and once
+/// with `iallreduce` started before the work and harvested after it. The
+/// substrate's virtual-time cost model prices both schedules, so the printed
+/// makespans show the overlap win independent of host scheduling.
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+constexpr int kRanks = 8;
+constexpr int kIters = 20;
+constexpr std::size_t kElems = 1 << 14;
+/// Modeled independent work per iteration (virtual seconds).
+constexpr double kComputeSeconds = 500e-6;
+
+/// Commodity-ethernet-class interconnect: overlap pays off when the network
+/// latency/bandwidth terms dominate the local copy costs (on the default
+/// OmniPath-class parameters the packing CPU time does instead).
+xmpi::Config network() {
+    xmpi::Config cfg;
+    cfg.alpha = 50e-6;
+    cfg.beta = 1e-8;
+    return cfg;
+}
+
+double pipeline(bool overlap) {
+    auto result = xmpi::run(kRanks, [overlap](int rank) {
+        using namespace kamping;
+        Communicator comm;
+        std::vector<std::uint64_t> data(kElems, static_cast<std::uint64_t>(rank));
+        for (int it = 0; it < kIters; ++it) {
+            if (overlap) {
+                auto pending = comm.iallreduce(send_buf(data), op(std::plus<>{}));
+                xmpi::vtime_add(kComputeSeconds);  // work independent of the reduction
+                auto reduced = pending.wait();
+                data[0] = reduced[0] & 0xff;
+            } else {
+                auto reduced = comm.allreduce(send_buf(data), op(std::plus<>{}));
+                xmpi::vtime_add(kComputeSeconds);
+                data[0] = reduced[0] & 0xff;
+            }
+        }
+    }, network());
+    return result.max_vtime;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("nonblocking_overlap: %d ranks, %d iterations, %zu elements, %.0f us compute\n",
+                kRanks, kIters, kElems, kComputeSeconds * 1e6);
+    double const blocking = pipeline(false);
+    double const overlapped = pipeline(true);
+    std::printf("  blocking   allreduce + compute: %8.3f ms modeled makespan\n", blocking * 1e3);
+    std::printf("  iallreduce overlapped compute:  %8.3f ms modeled makespan\n", overlapped * 1e3);
+    std::printf("  overlap win: %.2fx\n", blocking / overlapped);
+    return 0;
+}

@@ -70,6 +70,37 @@ inline std::vector<std::size_t> bfs(Graph const& g, VId s, MPI_Comm comm_) {
 }  // namespace kamping_grid
 
 // ---------------------------------------------------------------------------
+// KaMPIng communication/computation overlap: the per-level termination vote
+// (an allreduce over frontier emptiness) is issued as a nonblocking
+// `iallreduce` and completes while the rank expands its local frontier — the
+// pattern the collectives dispatch engine's i-variants exist for.
+// ---------------------------------------------------------------------------
+namespace kamping_overlap {
+
+inline std::vector<std::size_t> bfs(Graph const& g, VId s, MPI_Comm comm_) {
+    using namespace kamping;
+    Communicator comm(comm_);
+    VBuf frontier;
+    if (g.is_local(s)) frontier.push_back(s);
+    std::vector<std::size_t> dist(g.local_n(), undef);
+    std::size_t level = 0;
+    for (;;) {
+        std::vector<int> vote{frontier.empty() ? 1 : 0};
+        auto pending = comm.iallreduce(send_buf(vote), op(std::logical_and<>{}));
+        // Expand while the emptiness vote is in flight; when the vote says
+        // "all empty", the expansion was a no-op on every rank.
+        auto next = expand_frontier(g, frontier, dist, level);
+        if (pending.wait().front() != 0) break;
+        auto [data, counts] = flatten(next, comm.size());
+        frontier = comm.alltoallv(send_buf(data), send_counts(counts));
+        ++level;
+    }
+    return dist;
+}
+
+}  // namespace kamping_overlap
+
+// ---------------------------------------------------------------------------
 // MPI neighborhood collectives. The communication graph contains every rank
 // that owns a neighbor of a local vertex. With `rebuild_each_level`, the
 // topology communicator is re-created before every exchange, modelling

@@ -1,0 +1,136 @@
+/// @file allgather.hpp
+/// @brief Allgather family: `allgather` (incl. the in-place
+/// `send_recv_buf` form, paper §III-G), `allgatherv` (the paper's flagship
+/// example, Fig. 1) and the nonblocking `iallgather`/`iallgatherv`, all
+/// instantiated from one parameter-processing path.
+#pragma once
+
+#include <utility>
+
+#include "kamping/collectives/detail/engine.hpp"
+#include "kamping/mpi_datatype.hpp"
+#include "kamping/named_parameters.hpp"
+#include "xmpi/mpi.h"
+
+namespace kamping {
+namespace collectives {
+
+/// CRTP interface mixin providing the allgather family on a communicator.
+template <typename Comm>
+class AllgatherInterface {
+public:
+    /// Allgather with uniform counts; also supports the simplified in-place
+    /// form `allgather(send_recv_buf(data))` (paper §III-G).
+    template <typename... Args>
+    auto allgather(Args&&... args) const {
+        return allgather_impl(internal::blocking_t{}, args...);
+    }
+
+    /// Nonblocking allgather (both regular and in-place forms); `wait()`
+    /// returns what `allgather` would have.
+    template <typename... Args>
+    auto iallgather(Args&&... args) const {
+        return allgather_impl(internal::nonblocking_t{}, args...);
+    }
+
+    /// Allgather with varying counts — receive counts are allgathered from
+    /// the send count when omitted, displacements computed locally, and the
+    /// receive buffer sized to fit.
+    template <typename... Args>
+    auto allgatherv(Args&&... args) const {
+        return allgatherv_impl(internal::blocking_t{}, args...);
+    }
+
+    /// Nonblocking allgatherv. The count derivation (when `recv_counts` is
+    /// omitted) stays blocking; the payload transfer overlaps.
+    template <typename... Args>
+    auto iallgatherv(Args&&... args) const {
+        return allgatherv_impl(internal::nonblocking_t{}, args...);
+    }
+
+private:
+    Comm const& self_() const { return static_cast<Comm const&>(*this); }
+
+    template <typename Mode, typename... Args>
+    auto allgather_impl(Mode mode, Args&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
+                                 ParameterType::send_recv_buf>::template check<Args...>();
+        MPI_Comm const comm = self_().mpi_communicator();
+        if constexpr (internal::has_parameter_v<ParameterType::send_recv_buf, Args...>) {
+            static_assert(!internal::has_parameter_v<ParameterType::send_buf, Args...>,
+                          "KaMPIng: pass either send_buf or send_recv_buf to allgather, not both "
+                          "(send_buf would be ignored by the in-place call)");
+            auto buf = std::move(internal::select_parameter<ParameterType::send_recv_buf>(args...));
+            using T = typename std::remove_cvref_t<decltype(buf)>::value_type;
+            KAMPING_ASSERT(buf.size() % self_().size() == 0,
+                           "in-place allgather requires the buffer to hold size() blocks");
+            int const count = static_cast<int>(buf.size() / self_().size());
+            auto launch = [comm, count](auto& b, MPI_Request* req) {
+                return req != nullptr
+                           ? MPI_Iallgather(MPI_IN_PLACE, 0, MPI_DATATYPE_NULL, b.data_mutable(),
+                                            count, mpi_datatype<T>(), comm, req)
+                           : MPI_Allgather(MPI_IN_PLACE, 0, MPI_DATATYPE_NULL, b.data_mutable(),
+                                           count, mpi_datatype<T>(), comm);
+            };
+            return internal::dispatch(mode, "allgather (in place)", nullptr, launch,
+                                      std::move(buf));
+        } else {
+            internal::assert_required<ParameterType::send_buf, Args...>();
+            auto send = std::move(internal::select_parameter<ParameterType::send_buf>(args...));
+            using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+            int const count = static_cast<int>(send.size());
+            auto recv = internal::take_or<ParameterType::recv_buf>(
+                [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); },
+                args...);
+            recv.resize_to(static_cast<std::size_t>(count) * self_().size());
+            auto launch = [comm, count](auto& r, auto& s, MPI_Request* req) {
+                return req != nullptr
+                           ? MPI_Iallgather(s.data(), count, mpi_datatype<T>(), r.data_mutable(),
+                                            count, mpi_datatype<T>(), comm, req)
+                           : MPI_Allgather(s.data(), count, mpi_datatype<T>(), r.data_mutable(),
+                                           count, mpi_datatype<T>(), comm);
+            };
+            return internal::dispatch(mode, "allgather", nullptr, launch, std::move(recv),
+                                      std::move(send));
+        }
+    }
+
+    template <typename Mode, typename... Args>
+    auto allgatherv_impl(Mode mode, Args&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
+                                 ParameterType::recv_counts,
+                                 ParameterType::recv_displs>::template check<Args...>();
+        internal::assert_required<ParameterType::send_buf, Args...>();
+        auto send = std::move(internal::select_parameter<ParameterType::send_buf>(args...));
+        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+        int const p = self_().size_signed();
+        int const scount = static_cast<int>(send.size());
+        MPI_Comm const comm = self_().mpi_communicator();
+
+        auto counts = internal::derive_counts<ParameterType::recv_counts>(
+            p, /*participate=*/true,
+            [&](int* out) {
+                internal::throw_on_mpi_error(
+                    MPI_Allgather(&scount, 1, MPI_INT, out, 1, MPI_INT, comm),
+                    "allgatherv (count exchange)");
+            },
+            args...);
+        auto displs = internal::derive_displs<ParameterType::recv_displs>(p, /*participate=*/true,
+                                                                          counts, args...);
+        auto recv = internal::take_or<ParameterType::recv_buf>(
+            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
+        recv.resize_to(static_cast<std::size_t>(internal::total_count(counts, p)));
+        auto launch = [comm, scount](auto& r, auto& c, auto& d, auto& s, MPI_Request* req) {
+            return req != nullptr
+                       ? MPI_Iallgatherv(s.data(), scount, mpi_datatype<T>(), r.data_mutable(),
+                                         c.data(), d.data(), mpi_datatype<T>(), comm, req)
+                       : MPI_Allgatherv(s.data(), scount, mpi_datatype<T>(), r.data_mutable(),
+                                        c.data(), d.data(), mpi_datatype<T>(), comm);
+        };
+        return internal::dispatch(mode, "allgatherv", nullptr, launch, std::move(recv),
+                                  std::move(counts), std::move(displs), std::move(send));
+    }
+};
+
+}  // namespace collectives
+}  // namespace kamping

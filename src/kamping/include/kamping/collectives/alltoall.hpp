@@ -1,0 +1,126 @@
+/// @file alltoall.hpp
+/// @brief All-to-all family: `alltoall`/`alltoallv` and the nonblocking
+/// `ialltoall`/`ialltoallv`. The v-variant derives send displacements, an
+/// omitted receive-count vector (one extra alltoall), and receive
+/// displacements through the shared engine helpers.
+#pragma once
+
+#include <utility>
+
+#include "kamping/collectives/detail/engine.hpp"
+#include "kamping/mpi_datatype.hpp"
+#include "kamping/named_parameters.hpp"
+#include "xmpi/mpi.h"
+
+namespace kamping {
+namespace collectives {
+
+/// CRTP interface mixin providing the all-to-all family on a communicator.
+template <typename Comm>
+class AlltoallInterface {
+public:
+    /// Uniform all-to-all exchange: send buffer holds size() blocks.
+    template <typename... Args>
+    auto alltoall(Args&&... args) const {
+        return alltoall_impl(internal::blocking_t{}, args...);
+    }
+
+    /// Nonblocking alltoall; `wait()` returns what `alltoall` would have.
+    template <typename... Args>
+    auto ialltoall(Args&&... args) const {
+        return alltoall_impl(internal::nonblocking_t{}, args...);
+    }
+
+    /// All-to-all with varying counts. `send_counts` is required; send
+    /// displacements default to the exclusive prefix sum, receive counts are
+    /// exchanged with an alltoall when omitted, receive displacements are
+    /// computed locally, and the receive buffer is sized to fit.
+    template <typename... Args>
+    auto alltoallv(Args&&... args) const {
+        return alltoallv_impl(internal::blocking_t{}, args...);
+    }
+
+    /// Nonblocking alltoallv. Count derivation stays blocking; the payload
+    /// transfer overlaps.
+    template <typename... Args>
+    auto ialltoallv(Args&&... args) const {
+        return alltoallv_impl(internal::nonblocking_t{}, args...);
+    }
+
+private:
+    Comm const& self_() const { return static_cast<Comm const&>(*this); }
+
+    template <typename Mode, typename... Args>
+    auto alltoall_impl(Mode mode, Args&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf,
+                                 ParameterType::recv_buf>::template check<Args...>();
+        internal::assert_required<ParameterType::send_buf, Args...>();
+        auto send = std::move(internal::select_parameter<ParameterType::send_buf>(args...));
+        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+        KAMPING_ASSERT(send.size() % self_().size() == 0,
+                       "alltoall requires send_buf to hold size() equally sized blocks");
+        int const count = static_cast<int>(send.size() / self_().size());
+        auto recv = internal::take_or<ParameterType::recv_buf>(
+            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
+        recv.resize_to(send.size());
+        MPI_Comm const comm = self_().mpi_communicator();
+        auto launch = [comm, count](auto& r, auto& s, MPI_Request* req) {
+            return req != nullptr
+                       ? MPI_Ialltoall(s.data(), count, mpi_datatype<T>(), r.data_mutable(), count,
+                                       mpi_datatype<T>(), comm, req)
+                       : MPI_Alltoall(s.data(), count, mpi_datatype<T>(), r.data_mutable(), count,
+                                      mpi_datatype<T>(), comm);
+        };
+        return internal::dispatch(mode, "alltoall", nullptr, launch, std::move(recv),
+                                  std::move(send));
+    }
+
+    template <typename Mode, typename... Args>
+    auto alltoallv_impl(Mode mode, Args&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::send_counts,
+                                 ParameterType::send_displs, ParameterType::recv_buf,
+                                 ParameterType::recv_counts,
+                                 ParameterType::recv_displs>::template check<Args...>();
+        internal::assert_required<ParameterType::send_buf, Args...>();
+        internal::assert_required<ParameterType::send_counts, Args...>();
+        auto send = std::move(internal::select_parameter<ParameterType::send_buf>(args...));
+        auto scounts = std::move(internal::select_parameter<ParameterType::send_counts>(args...));
+        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+        int const p = self_().size_signed();
+        KAMPING_ASSERT(static_cast<int>(scounts.size()) == p,
+                       "send_counts must contain one entry per rank");
+        MPI_Comm const comm = self_().mpi_communicator();
+
+        auto sdispls = internal::derive_displs<ParameterType::send_displs>(p, /*participate=*/true,
+                                                                           scounts, args...);
+        auto rcounts = internal::derive_counts<ParameterType::recv_counts>(
+            p, /*participate=*/true,
+            [&](int* out) {
+                internal::throw_on_mpi_error(
+                    MPI_Alltoall(scounts.data(), 1, MPI_INT, out, 1, MPI_INT, comm),
+                    "alltoallv (count exchange)");
+            },
+            args...);
+        auto rdispls = internal::derive_displs<ParameterType::recv_displs>(p, /*participate=*/true,
+                                                                           rcounts, args...);
+        auto recv = internal::take_or<ParameterType::recv_buf>(
+            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
+        recv.resize_to(static_cast<std::size_t>(internal::total_count(rcounts, p)));
+        auto launch = [comm](auto& r, auto& rc, auto& rd, auto& sc, auto& sd, auto& s,
+                             MPI_Request* req) {
+            return req != nullptr
+                       ? MPI_Ialltoallv(s.data(), sc.data(), sd.data(), mpi_datatype<T>(),
+                                        r.data_mutable(), rc.data(), rd.data(), mpi_datatype<T>(),
+                                        comm, req)
+                       : MPI_Alltoallv(s.data(), sc.data(), sd.data(), mpi_datatype<T>(),
+                                       r.data_mutable(), rc.data(), rd.data(), mpi_datatype<T>(),
+                                       comm);
+        };
+        return internal::dispatch(mode, "alltoallv", nullptr, launch, std::move(recv),
+                                  std::move(rcounts), std::move(rdispls), std::move(scounts),
+                                  std::move(sdispls), std::move(send));
+    }
+};
+
+}  // namespace collectives
+}  // namespace kamping

@@ -1,0 +1,37 @@
+/// @file barrier.hpp
+/// @brief Barrier synchronization: blocking `barrier()` and the nonblocking
+/// `ibarrier()` returning a NonBlockingResult<void> handle — the typed form
+/// of the progressable MPI_Ibarrier request used e.g. by the sparse
+/// all-to-all plugin's NBX termination detection.
+#pragma once
+
+#include "kamping/error_handling.hpp"
+#include "kamping/request.hpp"
+#include "xmpi/mpi.h"
+
+namespace kamping {
+namespace collectives {
+
+/// CRTP interface mixin providing the barrier family on a communicator.
+template <typename Comm>
+class BarrierInterface {
+public:
+    /// Blocks until every rank of the communicator entered the barrier.
+    void barrier() const {
+        internal::throw_on_mpi_error(MPI_Barrier(self_().mpi_communicator()), "barrier");
+    }
+
+    /// Starts a nonblocking barrier. The returned handle's `test()` turns
+    /// true once every rank entered; `wait()` blocks for that.
+    NonBlockingResult<void> ibarrier() const {
+        MPI_Request req = MPI_REQUEST_NULL;
+        internal::throw_on_mpi_error(MPI_Ibarrier(self_().mpi_communicator(), &req), "ibarrier");
+        return NonBlockingResult<void>(req);
+    }
+
+private:
+    Comm const& self_() const { return static_cast<Comm const&>(*this); }
+};
+
+}  // namespace collectives
+}  // namespace kamping

@@ -1,0 +1,120 @@
+/// @file bcast.hpp
+/// @brief Broadcast family: `bcast`/`bcast_single` and the nonblocking
+/// `ibcast`, all driven by the shared dispatch engine (one
+/// parameter-processing path for both modes).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "kamping/collectives/detail/engine.hpp"
+#include "kamping/mpi_datatype.hpp"
+#include "kamping/named_parameters.hpp"
+#include "xmpi/mpi.h"
+
+namespace kamping {
+namespace collectives {
+
+/// CRTP interface mixin providing the broadcast family on a communicator.
+template <typename Comm>
+class BcastInterface {
+public:
+    /// Broadcast. `send_recv_buf` is required; the count is taken from the
+    /// root's buffer and distributed automatically unless `send_recv_count`
+    /// is given. Supports serialization adapters
+    /// (`bcast(send_recv_buf(as_serialized(obj)))`, paper Fig. 11).
+    template <typename... Args>
+    auto bcast(Args&&... args) const {
+        return bcast_impl(internal::blocking_t{}, args...);
+    }
+
+    /// Nonblocking broadcast; the payload buffer is owned by the returned
+    /// handle until completion and handed back by `wait()`/`test()` exactly
+    /// as `bcast` would have returned it. The count exchange for an omitted
+    /// `send_recv_count` stays blocking; only the payload transfer overlaps.
+    template <typename... Args>
+    auto ibcast(Args&&... args) const {
+        return bcast_impl(internal::nonblocking_t{}, args...);
+    }
+
+    /// Broadcast of one value, returned by value on every rank.
+    template <typename... Args>
+    auto bcast_single(Args&&... args) const {
+        auto result = bcast(std::forward<Args>(args)...);
+        return internal::to_single(std::move(result));
+    }
+
+private:
+    Comm const& self_() const { return static_cast<Comm const&>(*this); }
+
+    template <typename Mode, typename... Args>
+    auto bcast_impl(Mode mode, Args&... args) const {
+        internal::ParameterCheck<ParameterType::send_recv_buf, ParameterType::root,
+                                 ParameterType::send_recv_count>::template check<Args...>();
+        internal::assert_required<ParameterType::send_recv_buf, Args...>();
+        int const root_rank = internal::select_value_or<ParameterType::root>(0, args...);
+        auto buf = std::move(internal::select_parameter<ParameterType::send_recv_buf>(args...));
+        using Buf = decltype(buf);
+
+        if constexpr (internal::is_serialization_send_v<Buf>) {
+            static_assert(!internal::is_nonblocking_v<Mode>,
+                          "KaMPIng: ibcast does not support serialization adapters; serialize "
+                          "into a byte buffer first and ibcast that");
+            return bcast_serialized(std::move(buf), root_rank);
+        } else {
+            using T = typename std::remove_cvref_t<Buf>::value_type;
+            MPI_Comm const comm = self_().mpi_communicator();
+            std::uint64_t n = 0;
+            if constexpr (internal::has_parameter_v<ParameterType::send_recv_count, Args...>) {
+                n = static_cast<std::uint64_t>(
+                    internal::select_parameter<ParameterType::send_recv_count>(args...).value);
+            } else {
+                n = self_().is_root(root_rank) ? buf.size() : 0;
+                internal::throw_on_mpi_error(MPI_Bcast(&n, 1, MPI_UINT64_T, root_rank, comm),
+                                             "bcast (count exchange)");
+            }
+            if (!self_().is_root(root_rank)) buf.resize_to(static_cast<std::size_t>(n));
+            auto launch = [comm, n, root_rank](auto& b, MPI_Request* req) {
+                return req != nullptr
+                           ? MPI_Ibcast(b.data_mutable(), static_cast<int>(n), mpi_datatype<T>(),
+                                        root_rank, comm, req)
+                           : MPI_Bcast(b.data_mutable(), static_cast<int>(n), mpi_datatype<T>(),
+                                       root_rank, comm);
+            };
+            return internal::dispatch(mode, "bcast", nullptr, launch, std::move(buf));
+        }
+    }
+
+    template <typename Buf>
+    auto bcast_serialized(Buf buf, int root_rank) const {
+        MPI_Comm const comm = self_().mpi_communicator();
+        auto& adapter = buf.underlying_mutable();
+        std::vector<char> bytes;
+        std::uint64_t n = 0;
+        if (self_().is_root(root_rank)) {
+            bytes = serialize_to_bytes(adapter.get());
+            n = bytes.size();
+        }
+        internal::throw_on_mpi_error(MPI_Bcast(&n, 1, MPI_UINT64_T, root_rank, comm),
+                                     "bcast (serialized size)");
+        bytes.resize(static_cast<std::size_t>(n));
+        internal::throw_on_mpi_error(
+            MPI_Bcast(bytes.data(), static_cast<int>(n), MPI_CHAR, root_rank, comm),
+            "bcast (serialized payload)");
+        if (!self_().is_root(root_rank)) {
+            BinaryInputArchive ar{bytes.data(), bytes.size()};
+            ar(adapter.get());
+        }
+        using Adapter = std::remove_cvref_t<decltype(adapter)>;
+        if constexpr (std::remove_cvref_t<Buf>::is_owning &&
+                      !std::is_pointer_v<decltype(Adapter::object)>) {
+            return std::move(adapter.object);
+        } else {
+            return;
+        }
+    }
+};
+
+}  // namespace collectives
+}  // namespace kamping

@@ -1,0 +1,206 @@
+/// @file engine.hpp
+/// @brief The shared parameter-processing/dispatch layer driving every
+/// collective (blocking and nonblocking alike).
+///
+/// Each collective family (bcast, gather, ...) implements exactly one
+/// parameter-processing path: select the buffers from the argument pack,
+/// derive omitted counts (possibly with helper communication), build
+/// displacements, and size the output buffers. The prepared buffers are then
+/// handed to `dispatch()` together with a launch callable that issues either
+/// the blocking MPI call (returning a Result as usual) or the `MPI_I*`
+/// call (returning a NonBlockingResult that owns every buffer for the flight
+/// time of the operation and produces the identical payloads on `wait()`).
+/// This is what guarantees that `ibcast(...).wait()` returns exactly what
+/// `bcast(...)` returns — both modes are instantiated from the same code.
+#pragma once
+
+#include <memory>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "kamping/data_buffer.hpp"
+#include "kamping/error_handling.hpp"
+#include "kamping/parameter_selection.hpp"
+#include "kamping/request.hpp"
+#include "kamping/result.hpp"
+#include "kamping/serialization.hpp"
+#include "xmpi/mpi.h"
+
+namespace kamping {
+namespace internal {
+
+/// Mode tags selecting which variant of a collective the dispatch emits.
+struct blocking_t {};
+struct nonblocking_t {};
+
+template <typename Mode>
+inline constexpr bool is_nonblocking_v = std::is_same_v<Mode, nonblocking_t>;
+
+// ---------------------------------------------------------------------------
+// Buffer materialization helpers (shared by all wrapped operations).
+// ---------------------------------------------------------------------------
+
+/// Library-allocated intermediate buffer (computed default that the user did
+/// not request): owning, resized to fit, not part of the result.
+template <ParameterType PT, typename T>
+auto lib_buffer() {
+    return DataBuffer<PT, BufferDirection::out, BufferOwnership::owning,
+                      ResizePolicy::resize_to_fit, /*Returned=*/false, std::vector<T>>();
+}
+
+/// Implicit receive buffer (always returned unless the caller provided one).
+template <ParameterType PT, typename T>
+auto implicit_recv_buffer() {
+    return DataBuffer<PT, BufferDirection::out, BufferOwnership::owning,
+                      ResizePolicy::resize_to_fit, /*Returned=*/true, std::vector<T>>();
+}
+
+/// Single-element implicit receive buffer, used when the send side is a
+/// single value (works for types like bool where std::vector is unusable).
+template <ParameterType PT, typename T>
+auto implicit_single_buffer() {
+    return DataBuffer<PT, BufferDirection::out, BufferOwnership::owning, ResizePolicy::no_resize,
+                      /*Returned=*/true, SingleElement<T>>(SingleElement<T>{});
+}
+
+/// Chooses the implicit receive buffer shape matching the send buffer: a
+/// single element when the send side was a scalar, a vector otherwise.
+template <ParameterType PT, typename SendBuf>
+auto matching_recv_buffer() {
+    using Send = std::remove_cvref_t<SendBuf>;
+    using T = typename Send::value_type;
+    if constexpr (std::is_same_v<typename Send::container_type, SingleElement<T>>) {
+        return implicit_single_buffer<PT, T>();
+    } else {
+        return implicit_recv_buffer<PT, T>();
+    }
+}
+
+/// Unwraps the single value from a *_single result (SingleElement or a
+/// one-element container).
+template <typename R>
+auto to_single(R&& r) {
+    if constexpr (requires { r.element; }) {
+        return std::move(r.element);
+    } else {
+        return std::move(r.front());
+    }
+}
+
+/// Takes the named parameter out of the pack (moving it — parameters are
+/// always materialized temporaries) or materializes the default.
+template <ParameterType PT, typename Make, typename... Args>
+auto take_or(Make make, Args&... args) {
+    if constexpr (has_parameter_v<PT, Args...>) {
+        return std::move(select_parameter<PT>(args...));
+    } else {
+        return make();
+    }
+}
+
+/// Computes exclusive-prefix displacements from counts.
+inline void exclusive_prefix(int const* counts, int* displs, int n) {
+    int acc = 0;
+    for (int i = 0; i < n; ++i) {
+        displs[i] = acc;
+        acc += counts[i];
+    }
+}
+
+template <typename Buffer>
+inline constexpr bool is_serialization_send_v =
+    is_serialization_adapter_v<typename std::remove_cvref_t<Buffer>::container_type>;
+
+template <typename Buffer>
+inline constexpr bool is_deserialization_recv_v =
+    is_deserialization_adapter_v<typename std::remove_cvref_t<Buffer>::container_type>;
+
+// ---------------------------------------------------------------------------
+// Derivation helpers: counts and displacements.
+// ---------------------------------------------------------------------------
+
+/// True when the caller passed `PT` as an *input* (so its values are to be
+/// used, not computed). `*_out()` parameters land here with direction `out`
+/// and are filled by the library instead.
+template <ParameterType PT, typename CountsBuf, typename... Args>
+inline constexpr bool provided_as_input_v =
+    has_parameter_v<PT, Args...> &&
+    std::remove_cvref_t<CountsBuf>::direction == BufferDirection::in;
+
+/// Materializes the count-like parameter `PT`: taken from the pack when
+/// passed as input, otherwise derived by invoking `exchange(int* out)`
+/// (helper communication such as an allgather of the local send count).
+/// `participate` gates the derivation to the ranks that need the values
+/// (e.g. only the root holds receive counts in gatherv).
+template <ParameterType PT, typename Exchange, typename... Args>
+auto derive_counts(int p, bool participate, Exchange&& exchange, Args&... args) {
+    auto counts = take_or<PT>([] { return lib_buffer<PT, int>(); }, args...);
+    if constexpr (!provided_as_input_v<PT, decltype(counts), Args...>) {
+        if (participate) counts.resize_to(static_cast<std::size_t>(p));
+        exchange(participate ? counts.data_mutable() : nullptr);
+    }
+    return counts;
+}
+
+/// Materializes the displacement parameter `PT`: taken from the pack when
+/// passed as input, otherwise computed as the exclusive prefix sum of
+/// `counts` on the participating ranks.
+template <ParameterType PT, typename CountsBuf, typename... Args>
+auto derive_displs(int p, bool participate, CountsBuf const& counts, Args&... args) {
+    auto displs = take_or<PT>([] { return lib_buffer<PT, int>(); }, args...);
+    if constexpr (!provided_as_input_v<PT, decltype(displs), Args...>) {
+        if (participate) {
+            displs.resize_to(static_cast<std::size_t>(p));
+            exclusive_prefix(counts.data(), displs.data_mutable(), p);
+        }
+    }
+    return displs;
+}
+
+/// Sum of the first `p` entries of a counts buffer.
+template <typename CountsBuf>
+int total_count(CountsBuf const& counts, int p) {
+    int total = 0;
+    for (int i = 0; i < p; ++i) total += counts.data()[i];
+    return total;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch: one launch callable, two instantiation modes.
+// ---------------------------------------------------------------------------
+
+/// Issues the collective described by `launch` in the requested mode over the
+/// prepared buffers.
+///
+/// `launch` is invoked as `launch(buffers..., MPI_Request*)` and must issue
+/// the blocking MPI call when the request pointer is null and the matching
+/// `MPI_I*` call otherwise, returning the MPI error code. In blocking mode
+/// the prepared buffers are assembled into the usual result object right
+/// away; in nonblocking mode every buffer first moves into a heap-stable
+/// CollectivePayload (so in-flight addresses survive moves of the handle)
+/// and the launch runs against the buffers' final resting places.
+/// `keep_alive` optionally extends auxiliary state (custom reduction ops) to
+/// request completion.
+template <typename Mode, typename Launch, typename... Prepared>
+auto dispatch(Mode, char const* name, std::shared_ptr<void> keep_alive, Launch&& launch,
+              Prepared&&... prepared) {
+    if constexpr (is_nonblocking_v<Mode>) {
+        using Tuple = std::tuple<std::remove_cvref_t<Prepared>...>;
+        using Payload = CollectivePayload<std::remove_cvref_t<Prepared>...>;
+        Payload payload{std::make_unique<Tuple>(std::move(prepared)...)};
+        MPI_Request req = MPI_REQUEST_NULL;
+        int const rc = std::apply([&](auto&... bufs) { return launch(bufs..., &req); },
+                                  *payload.buffers);
+        throw_on_mpi_error(rc, name);
+        return NonBlockingResult<Payload>(req, std::move(payload), std::move(keep_alive));
+    } else {
+        (void)keep_alive;  // blocking: auxiliary state outlives the call anyway
+        throw_on_mpi_error(launch(prepared..., static_cast<MPI_Request*>(nullptr)), name);
+        return make_result(std::move(prepared)...);
+    }
+}
+
+}  // namespace internal
+}  // namespace kamping

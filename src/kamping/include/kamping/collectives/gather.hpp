@@ -1,0 +1,121 @@
+/// @file gather.hpp
+/// @brief Gather family: `gather`/`gatherv` and the nonblocking
+/// `igather`/`igatherv`, sharing one parameter-processing path through the
+/// dispatch engine (select buffers, derive receive counts by gathering the
+/// send counts, build displacements on the root, size the receive buffer).
+#pragma once
+
+#include <utility>
+
+#include "kamping/collectives/detail/engine.hpp"
+#include "kamping/mpi_datatype.hpp"
+#include "kamping/named_parameters.hpp"
+#include "xmpi/mpi.h"
+
+namespace kamping {
+namespace collectives {
+
+/// CRTP interface mixin providing the gather family on a communicator.
+template <typename Comm>
+class GatherInterface {
+public:
+    /// Gather with uniform counts to `root` (default 0).
+    template <typename... Args>
+    auto gather(Args&&... args) const {
+        return gather_impl(internal::blocking_t{}, args...);
+    }
+
+    /// Nonblocking gather; `wait()` returns what `gather` would have.
+    template <typename... Args>
+    auto igather(Args&&... args) const {
+        return gather_impl(internal::nonblocking_t{}, args...);
+    }
+
+    /// Gather with per-rank counts. Receive counts are gathered from the
+    /// send counts when not provided; displacements are computed on the root.
+    template <typename... Args>
+    auto gatherv(Args&&... args) const {
+        return gatherv_impl(internal::blocking_t{}, args...);
+    }
+
+    /// Nonblocking gatherv. The count derivation (when `recv_counts` is
+    /// omitted) stays blocking; the payload transfer overlaps.
+    template <typename... Args>
+    auto igatherv(Args&&... args) const {
+        return gatherv_impl(internal::nonblocking_t{}, args...);
+    }
+
+private:
+    Comm const& self_() const { return static_cast<Comm const&>(*this); }
+
+    template <typename Mode, typename... Args>
+    auto gather_impl(Mode mode, Args&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
+                                 ParameterType::root>::template check<Args...>();
+        internal::assert_required<ParameterType::send_buf, Args...>();
+        auto send = std::move(internal::select_parameter<ParameterType::send_buf>(args...));
+        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+        int const root_rank = internal::select_value_or<ParameterType::root>(0, args...);
+        bool const at_root = self_().is_root(root_rank);
+        int const count = static_cast<int>(send.size());
+        auto recv = internal::take_or<ParameterType::recv_buf>(
+            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
+        if (at_root) recv.resize_to(static_cast<std::size_t>(count) * self_().size());
+        MPI_Comm const comm = self_().mpi_communicator();
+        auto launch = [comm, count, root_rank, at_root](auto& r, auto& s, MPI_Request* req) {
+            void* rbuf = at_root ? r.data_mutable() : nullptr;
+            return req != nullptr
+                       ? MPI_Igather(s.data(), count, mpi_datatype<T>(), rbuf, count,
+                                     mpi_datatype<T>(), root_rank, comm, req)
+                       : MPI_Gather(s.data(), count, mpi_datatype<T>(), rbuf, count,
+                                    mpi_datatype<T>(), root_rank, comm);
+        };
+        return internal::dispatch(mode, "gather", nullptr, launch, std::move(recv),
+                                  std::move(send));
+    }
+
+    template <typename Mode, typename... Args>
+    auto gatherv_impl(Mode mode, Args&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
+                                 ParameterType::recv_counts, ParameterType::recv_displs,
+                                 ParameterType::root>::template check<Args...>();
+        internal::assert_required<ParameterType::send_buf, Args...>();
+        auto send = std::move(internal::select_parameter<ParameterType::send_buf>(args...));
+        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+        int const root_rank = internal::select_value_or<ParameterType::root>(0, args...);
+        int const scount = static_cast<int>(send.size());
+        int const p = self_().size_signed();
+        bool const at_root = self_().is_root(root_rank);
+        MPI_Comm const comm = self_().mpi_communicator();
+
+        auto counts = internal::derive_counts<ParameterType::recv_counts>(
+            p, at_root,
+            [&](int* out) {
+                internal::throw_on_mpi_error(
+                    MPI_Gather(&scount, 1, MPI_INT, out, 1, MPI_INT, root_rank, comm),
+                    "gatherv (count exchange)");
+            },
+            args...);
+        auto displs = internal::derive_displs<ParameterType::recv_displs>(p, at_root, counts,
+                                                                          args...);
+        auto recv = internal::take_or<ParameterType::recv_buf>(
+            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
+        if (at_root) recv.resize_to(static_cast<std::size_t>(internal::total_count(counts, p)));
+        auto launch = [comm, scount, root_rank, at_root](auto& r, auto& c, auto& d, auto& s,
+                                                         MPI_Request* req) {
+            void* rbuf = at_root ? r.data_mutable() : nullptr;
+            int const* rcounts = at_root ? c.data() : nullptr;
+            int const* rdispls = at_root ? d.data() : nullptr;
+            return req != nullptr
+                       ? MPI_Igatherv(s.data(), scount, mpi_datatype<T>(), rbuf, rcounts, rdispls,
+                                      mpi_datatype<T>(), root_rank, comm, req)
+                       : MPI_Gatherv(s.data(), scount, mpi_datatype<T>(), rbuf, rcounts, rdispls,
+                                     mpi_datatype<T>(), root_rank, comm);
+        };
+        return internal::dispatch(mode, "gatherv", nullptr, launch, std::move(recv),
+                                  std::move(counts), std::move(displs), std::move(send));
+    }
+};
+
+}  // namespace collectives
+}  // namespace kamping

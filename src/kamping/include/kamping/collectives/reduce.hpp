@@ -1,0 +1,162 @@
+/// @file reduce.hpp
+/// @brief Reduction family: `reduce`, `allreduce`/`allreduce_single` and the
+/// nonblocking `ireduce`/`iallreduce`. Custom reduction operations (lambdas
+/// wrapped into an MPI_Op) are kept alive inside the nonblocking handle
+/// until the request completed, since the substrate applies them during
+/// request progress.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "kamping/collectives/detail/engine.hpp"
+#include "kamping/mpi_datatype.hpp"
+#include "kamping/named_parameters.hpp"
+#include "kamping/operations.hpp"
+#include "xmpi/mpi.h"
+
+namespace kamping {
+namespace collectives {
+
+/// CRTP interface mixin providing the reduction family on a communicator.
+template <typename Comm>
+class ReduceInterface {
+public:
+    /// Reduction to `root` (default 0) with `op` (required).
+    template <typename... Args>
+    auto reduce(Args&&... args) const {
+        return reduce_impl(internal::blocking_t{}, args...);
+    }
+
+    /// Nonblocking reduce; `wait()` returns what `reduce` would have.
+    template <typename... Args>
+    auto ireduce(Args&&... args) const {
+        return reduce_impl(internal::nonblocking_t{}, args...);
+    }
+
+    /// Allreduce with `op` (required); supports the in-place
+    /// `send_recv_buf` form.
+    template <typename... Args>
+    auto allreduce(Args&&... args) const {
+        return allreduce_impl(internal::blocking_t{}, args...);
+    }
+
+    /// Nonblocking allreduce; `wait()` returns what `allreduce` would have.
+    template <typename... Args>
+    auto iallreduce(Args&&... args) const {
+        return allreduce_impl(internal::nonblocking_t{}, args...);
+    }
+
+    /// Allreduce of a single value, returned by value on every rank
+    /// (e.g. `allreduce_single(send_buf(frontier.empty()), op(std::logical_and<>{}))`).
+    template <typename... Args>
+    auto allreduce_single(Args&&... args) const {
+        auto result = allreduce(std::forward<Args>(args)...);
+        return internal::to_single(std::move(result));
+    }
+
+private:
+    Comm const& self_() const { return static_cast<Comm const&>(*this); }
+
+    template <typename Mode, typename... Args>
+    auto reduce_impl(Mode mode, Args&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
+                                 ParameterType::op,
+                                 ParameterType::root>::template check<Args...>();
+        internal::assert_required<ParameterType::send_buf, Args...>();
+        internal::assert_required<ParameterType::op, Args...>();
+        auto send = std::move(internal::select_parameter<ParameterType::send_buf>(args...));
+        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+        int const root_rank = internal::select_value_or<ParameterType::root>(0, args...);
+        bool const at_root = self_().is_root(root_rank);
+        auto const& op_param = internal::select_parameter<ParameterType::op>(args...);
+        internal::ScopedOp scoped = op_param.template resolve<T>();
+        MPI_Op const mpi_op = scoped.op;
+        std::shared_ptr<void> keep;
+        if constexpr (internal::is_nonblocking_v<Mode>) {
+            // The substrate applies the op during request progress; extend
+            // a created op's lifetime to request completion.
+            keep = std::make_shared<internal::ScopedOp>(std::move(scoped));
+        }
+        auto recv = internal::take_or<ParameterType::recv_buf>(
+            [] {
+                return internal::matching_recv_buffer<ParameterType::recv_buf, decltype(send)>();
+            },
+            args...);
+        if (at_root) recv.resize_to(send.size());
+        int const count = static_cast<int>(send.size());
+        MPI_Comm const comm = self_().mpi_communicator();
+        auto launch = [comm, count, root_rank, at_root, mpi_op](auto& r, auto& s,
+                                                                MPI_Request* req) {
+            void* rbuf = at_root ? r.data_mutable() : nullptr;
+            return req != nullptr
+                       ? MPI_Ireduce(s.data(), rbuf, count, mpi_datatype<T>(), mpi_op, root_rank,
+                                     comm, req)
+                       : MPI_Reduce(s.data(), rbuf, count, mpi_datatype<T>(), mpi_op, root_rank,
+                                    comm);
+        };
+        return internal::dispatch(mode, "reduce", std::move(keep), launch, std::move(recv),
+                                  std::move(send));
+    }
+
+    template <typename Mode, typename... Args>
+    auto allreduce_impl(Mode mode, Args&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
+                                 ParameterType::send_recv_buf,
+                                 ParameterType::op>::template check<Args...>();
+        internal::assert_required<ParameterType::op, Args...>();
+        auto const& op_param = internal::select_parameter<ParameterType::op>(args...);
+        MPI_Comm const comm = self_().mpi_communicator();
+        if constexpr (internal::has_parameter_v<ParameterType::send_recv_buf, Args...>) {
+            // In-place allreduce.
+            auto buf = std::move(internal::select_parameter<ParameterType::send_recv_buf>(args...));
+            using T = typename std::remove_cvref_t<decltype(buf)>::value_type;
+            internal::ScopedOp scoped = op_param.template resolve<T>();
+            MPI_Op const mpi_op = scoped.op;
+            std::shared_ptr<void> keep;
+            if constexpr (internal::is_nonblocking_v<Mode>) {
+                keep = std::make_shared<internal::ScopedOp>(std::move(scoped));
+            }
+            int const count = static_cast<int>(buf.size());
+            auto launch = [comm, count, mpi_op](auto& b, MPI_Request* req) {
+                return req != nullptr
+                           ? MPI_Iallreduce(MPI_IN_PLACE, b.data_mutable(), count,
+                                            mpi_datatype<T>(), mpi_op, comm, req)
+                           : MPI_Allreduce(MPI_IN_PLACE, b.data_mutable(), count,
+                                           mpi_datatype<T>(), mpi_op, comm);
+            };
+            return internal::dispatch(mode, "allreduce (in place)", std::move(keep), launch,
+                                      std::move(buf));
+        } else {
+            internal::assert_required<ParameterType::send_buf, Args...>();
+            auto send = std::move(internal::select_parameter<ParameterType::send_buf>(args...));
+            using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+            internal::ScopedOp scoped = op_param.template resolve<T>();
+            MPI_Op const mpi_op = scoped.op;
+            std::shared_ptr<void> keep;
+            if constexpr (internal::is_nonblocking_v<Mode>) {
+                keep = std::make_shared<internal::ScopedOp>(std::move(scoped));
+            }
+            auto recv = internal::take_or<ParameterType::recv_buf>(
+                [] {
+                    return internal::matching_recv_buffer<ParameterType::recv_buf,
+                                                          decltype(send)>();
+                },
+                args...);
+            recv.resize_to(send.size());
+            int const count = static_cast<int>(send.size());
+            auto launch = [comm, count, mpi_op](auto& r, auto& s, MPI_Request* req) {
+                return req != nullptr
+                           ? MPI_Iallreduce(s.data(), r.data_mutable(), count, mpi_datatype<T>(),
+                                            mpi_op, comm, req)
+                           : MPI_Allreduce(s.data(), r.data_mutable(), count, mpi_datatype<T>(),
+                                           mpi_op, comm);
+            };
+            return internal::dispatch(mode, "allreduce", std::move(keep), launch, std::move(recv),
+                                      std::move(send));
+        }
+    }
+};
+
+}  // namespace collectives
+}  // namespace kamping

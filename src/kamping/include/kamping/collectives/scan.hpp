@@ -1,0 +1,118 @@
+/// @file scan.hpp
+/// @brief Prefix-reduction family: `scan`/`exscan` (plus the `*_single`
+/// conveniences) and the nonblocking `iscan`/`iexscan`, driven by one shared
+/// parameter-processing path. KaMPIng defines rank 0's exscan result as
+/// value-initialized (the standard leaves it undefined).
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "kamping/collectives/detail/engine.hpp"
+#include "kamping/mpi_datatype.hpp"
+#include "kamping/named_parameters.hpp"
+#include "kamping/operations.hpp"
+#include "xmpi/mpi.h"
+
+namespace kamping {
+namespace collectives {
+
+/// CRTP interface mixin providing the prefix-reduction family.
+template <typename Comm>
+class ScanInterface {
+public:
+    /// Inclusive prefix reduction.
+    template <typename... Args>
+    auto scan(Args&&... args) const {
+        return scan_impl<false>(internal::blocking_t{}, args...);
+    }
+
+    /// Nonblocking inclusive prefix reduction.
+    template <typename... Args>
+    auto iscan(Args&&... args) const {
+        return scan_impl<false>(internal::nonblocking_t{}, args...);
+    }
+
+    /// Exclusive prefix reduction (rank 0's result is value-initialized).
+    template <typename... Args>
+    auto exscan(Args&&... args) const {
+        return scan_impl<true>(internal::blocking_t{}, args...);
+    }
+
+    /// Nonblocking exclusive prefix reduction.
+    template <typename... Args>
+    auto iexscan(Args&&... args) const {
+        return scan_impl<true>(internal::nonblocking_t{}, args...);
+    }
+
+    /// Inclusive prefix reduction of a single value.
+    template <typename... Args>
+    auto scan_single(Args&&... args) const {
+        auto result = scan(std::forward<Args>(args)...);
+        return internal::to_single(std::move(result));
+    }
+
+    /// Exclusive prefix reduction of a single value.
+    template <typename... Args>
+    auto exscan_single(Args&&... args) const {
+        auto result = exscan(std::forward<Args>(args)...);
+        return internal::to_single(std::move(result));
+    }
+
+private:
+    Comm const& self_() const { return static_cast<Comm const&>(*this); }
+
+    template <bool Exclusive, typename Mode, typename... Args>
+    auto scan_impl(Mode mode, Args&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
+                                 ParameterType::op>::template check<Args...>();
+        internal::assert_required<ParameterType::send_buf, Args...>();
+        internal::assert_required<ParameterType::op, Args...>();
+        auto send = std::move(internal::select_parameter<ParameterType::send_buf>(args...));
+        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+        auto const& op_param = internal::select_parameter<ParameterType::op>(args...);
+        internal::ScopedOp scoped = op_param.template resolve<T>();
+        MPI_Op const mpi_op = scoped.op;
+        std::shared_ptr<void> keep;
+        if constexpr (internal::is_nonblocking_v<Mode>) {
+            keep = std::make_shared<internal::ScopedOp>(std::move(scoped));
+        }
+        auto recv = internal::take_or<ParameterType::recv_buf>(
+            [] {
+                return internal::matching_recv_buffer<ParameterType::recv_buf, decltype(send)>();
+            },
+            args...);
+        recv.resize_to(send.size());
+        if constexpr (Exclusive) {
+            // Rank 0's exscan result is undefined per MPI; KaMPIng defines it
+            // as value-initialized for convenience. The substrate never
+            // touches rank 0's receive buffer, so prefilling works for the
+            // blocking and nonblocking variant alike.
+            if (self_().rank_signed() == 0) {
+                for (std::size_t i = 0; i < recv.size(); ++i) recv.data_mutable()[i] = T{};
+            }
+        }
+        int const count = static_cast<int>(send.size());
+        MPI_Comm const comm = self_().mpi_communicator();
+        auto launch = [comm, count, mpi_op](auto& r, auto& s, MPI_Request* req) {
+            if constexpr (Exclusive) {
+                return req != nullptr
+                           ? MPI_Iexscan(s.data(), r.data_mutable(), count, mpi_datatype<T>(),
+                                         mpi_op, comm, req)
+                           : MPI_Exscan(s.data(), r.data_mutable(), count, mpi_datatype<T>(),
+                                        mpi_op, comm);
+            } else {
+                return req != nullptr
+                           ? MPI_Iscan(s.data(), r.data_mutable(), count, mpi_datatype<T>(),
+                                       mpi_op, comm, req)
+                           : MPI_Scan(s.data(), r.data_mutable(), count, mpi_datatype<T>(), mpi_op,
+                                      comm);
+            }
+        };
+        return internal::dispatch(mode, Exclusive ? "exscan" : "scan", std::move(keep), launch,
+                                  std::move(recv), std::move(send));
+    }
+};
+
+}  // namespace collectives
+}  // namespace kamping

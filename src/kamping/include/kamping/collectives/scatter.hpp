@@ -1,0 +1,144 @@
+/// @file scatter.hpp
+/// @brief Scatter family: `scatter`/`scatterv` and the nonblocking
+/// `iscatter`/`iscatterv`. `scatterv` is the counterpart of `gatherv`: send
+/// displacements default to the exclusive prefix sum of the send counts on
+/// the root, and the per-rank receive count is derived by scattering the
+/// send counts when omitted.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "kamping/collectives/detail/engine.hpp"
+#include "kamping/mpi_datatype.hpp"
+#include "kamping/named_parameters.hpp"
+#include "xmpi/mpi.h"
+
+namespace kamping {
+namespace collectives {
+
+/// CRTP interface mixin providing the scatter family on a communicator.
+template <typename Comm>
+class ScatterInterface {
+public:
+    /// Scatter with uniform counts from `root`.
+    template <typename... Args>
+    auto scatter(Args&&... args) const {
+        return scatter_impl(internal::blocking_t{}, args...);
+    }
+
+    /// Nonblocking scatter; `wait()` returns what `scatter` would have.
+    template <typename... Args>
+    auto iscatter(Args&&... args) const {
+        return scatter_impl(internal::nonblocking_t{}, args...);
+    }
+
+    /// Scatter with per-rank counts from `root`. `send_counts` is required;
+    /// send displacements default to the exclusive prefix sum on the root
+    /// and the local receive count is scattered from the send counts when
+    /// `recv_count` is omitted.
+    template <typename... Args>
+    auto scatterv(Args&&... args) const {
+        return scatterv_impl(internal::blocking_t{}, args...);
+    }
+
+    /// Nonblocking scatterv. Count derivation stays blocking; the payload
+    /// transfer overlaps.
+    template <typename... Args>
+    auto iscatterv(Args&&... args) const {
+        return scatterv_impl(internal::nonblocking_t{}, args...);
+    }
+
+private:
+    Comm const& self_() const { return static_cast<Comm const&>(*this); }
+
+    template <typename Mode, typename... Args>
+    auto scatter_impl(Mode mode, Args&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
+                                 ParameterType::recv_count,
+                                 ParameterType::root>::template check<Args...>();
+        static_assert(internal::has_parameter_v<ParameterType::send_buf, Args...> ||
+                          internal::has_parameter_v<ParameterType::recv_count, Args...>,
+                      "KaMPIng: scatter requires send_buf on the root (and either send_buf or "
+                      "recv_count to infer the element type / count)");
+        int const root_rank = internal::select_value_or<ParameterType::root>(0, args...);
+        bool const at_root = self_().is_root(root_rank);
+        MPI_Comm const comm = self_().mpi_communicator();
+        auto send = std::move(internal::select_parameter<ParameterType::send_buf>(args...));
+        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+        int count = 0;
+        if constexpr (internal::has_parameter_v<ParameterType::recv_count, Args...>) {
+            count = internal::select_parameter<ParameterType::recv_count>(args...).value;
+        } else {
+            // The root knows the per-rank count; broadcast it.
+            std::uint64_t n = at_root ? send.size() / self_().size() : 0;
+            internal::throw_on_mpi_error(MPI_Bcast(&n, 1, MPI_UINT64_T, root_rank, comm),
+                                         "scatter (count exchange)");
+            count = static_cast<int>(n);
+        }
+        auto recv = internal::take_or<ParameterType::recv_buf>(
+            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
+        recv.resize_to(static_cast<std::size_t>(count));
+        auto launch = [comm, count, root_rank, at_root](auto& r, auto& s, MPI_Request* req) {
+            void const* sbuf = at_root ? s.data() : nullptr;
+            return req != nullptr
+                       ? MPI_Iscatter(sbuf, count, mpi_datatype<T>(), r.data_mutable(), count,
+                                      mpi_datatype<T>(), root_rank, comm, req)
+                       : MPI_Scatter(sbuf, count, mpi_datatype<T>(), r.data_mutable(), count,
+                                     mpi_datatype<T>(), root_rank, comm);
+        };
+        return internal::dispatch(mode, "scatter", nullptr, launch, std::move(recv),
+                                  std::move(send));
+    }
+
+    template <typename Mode, typename... Args>
+    auto scatterv_impl(Mode mode, Args&... args) const {
+        internal::ParameterCheck<ParameterType::send_buf, ParameterType::send_counts,
+                                 ParameterType::send_displs, ParameterType::recv_buf,
+                                 ParameterType::recv_count,
+                                 ParameterType::root>::template check<Args...>();
+        internal::assert_required<ParameterType::send_buf, Args...>();
+        internal::assert_required<ParameterType::send_counts, Args...>();
+        int const root_rank = internal::select_value_or<ParameterType::root>(0, args...);
+        bool const at_root = self_().is_root(root_rank);
+        int const p = self_().size_signed();
+        MPI_Comm const comm = self_().mpi_communicator();
+        auto send = std::move(internal::select_parameter<ParameterType::send_buf>(args...));
+        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
+        auto counts = std::move(internal::select_parameter<ParameterType::send_counts>(args...));
+        KAMPING_ASSERT(!at_root || static_cast<int>(counts.size()) == p,
+                       "scatterv requires one send count per rank on the root");
+        auto displs = internal::derive_displs<ParameterType::send_displs>(p, at_root, counts,
+                                                                          args...);
+        int rcount = 0;
+        if constexpr (internal::has_parameter_v<ParameterType::recv_count, Args...>) {
+            rcount = internal::select_parameter<ParameterType::recv_count>(args...).value;
+        } else {
+            // Each rank learns its slice size from the root's send counts.
+            internal::throw_on_mpi_error(
+                MPI_Scatter(at_root ? counts.data() : nullptr, 1, MPI_INT, &rcount, 1, MPI_INT,
+                            root_rank, comm),
+                "scatterv (count exchange)");
+        }
+        auto recv = internal::take_or<ParameterType::recv_buf>(
+            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
+        recv.resize_to(static_cast<std::size_t>(rcount));
+        auto launch = [comm, rcount, root_rank, at_root](auto& r, auto& c, auto& d, auto& s,
+                                                         MPI_Request* req) {
+            void const* sbuf = at_root ? s.data() : nullptr;
+            int const* scounts = at_root ? c.data() : nullptr;
+            int const* sdispls = at_root ? d.data() : nullptr;
+            return req != nullptr
+                       ? MPI_Iscatterv(sbuf, scounts, sdispls, mpi_datatype<T>(),
+                                       r.data_mutable(), rcount, mpi_datatype<T>(), root_rank,
+                                       comm, req)
+                       : MPI_Scatterv(sbuf, scounts, sdispls, mpi_datatype<T>(), r.data_mutable(),
+                                      rcount, mpi_datatype<T>(), root_rank, comm);
+        };
+        return internal::dispatch(mode, "scatterv", nullptr, launch, std::move(recv),
+                                  std::move(counts), std::move(displs), std::move(send));
+    }
+};
+
+}  // namespace collectives
+}  // namespace kamping

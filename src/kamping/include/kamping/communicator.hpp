@@ -1,22 +1,37 @@
 /// @file communicator.hpp
-/// @brief The Communicator — KaMPIng's central class. Every MPI operation is
-/// a member function taking named parameters; omitted parameters are
-/// inferred or computed (possibly with extra communication) at the points
-/// the paper describes (§III-A/B). Template metaprogramming ensures only the
-/// code paths for the parameters actually passed are instantiated.
+/// @brief The Communicator — KaMPIng's central class: communicator
+/// lifecycle, introspection and point-to-point operations. Every MPI
+/// operation is a member function taking named parameters; omitted
+/// parameters are inferred or computed (possibly with extra communication)
+/// at the points the paper describes (§III-A/B). Template metaprogramming
+/// ensures only the code paths for the parameters actually passed are
+/// instantiated.
 ///
-/// Plugins (paper §III-F) are CRTP mixins: `CommunicatorWith<GridPlugin>`
-/// augments the communicator with plugin member functions without touching
-/// the core.
+/// The collective operations live in `kamping/collectives/*.hpp` (one header
+/// per family) as CRTP interface mixins, all driven by the shared dispatch
+/// engine in `kamping/collectives/detail/engine.hpp` which instantiates each
+/// collective in a blocking and a nonblocking (`i*`) variant from one
+/// parameter-processing path.
+///
+/// Plugins (paper §III-F) are CRTP mixins as well:
+/// `CommunicatorWith<GridPlugin>` augments the communicator with plugin
+/// member functions without touching the core.
 #pragma once
 
-#include <cstdint>
-#include <limits>
-#include <numeric>
+#include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "kamping/collectives/allgather.hpp"
+#include "kamping/collectives/alltoall.hpp"
+#include "kamping/collectives/barrier.hpp"
+#include "kamping/collectives/bcast.hpp"
+#include "kamping/collectives/detail/engine.hpp"
+#include "kamping/collectives/gather.hpp"
+#include "kamping/collectives/reduce.hpp"
+#include "kamping/collectives/scan.hpp"
+#include "kamping/collectives/scatter.hpp"
 #include "kamping/data_buffer.hpp"
 #include "kamping/error_handling.hpp"
 #include "kamping/mpi_datatype.hpp"
@@ -30,91 +45,21 @@
 
 namespace kamping {
 
-namespace internal {
-
-/// Library-allocated intermediate buffer (computed default that the user did
-/// not request): owning, resized to fit, not part of the result.
-template <ParameterType PT, typename T>
-auto lib_buffer() {
-    return DataBuffer<PT, BufferDirection::out, BufferOwnership::owning,
-                      ResizePolicy::resize_to_fit, /*Returned=*/false, std::vector<T>>();
-}
-
-/// Implicit receive buffer (always returned unless the caller provided one).
-template <ParameterType PT, typename T>
-auto implicit_recv_buffer() {
-    return DataBuffer<PT, BufferDirection::out, BufferOwnership::owning,
-                      ResizePolicy::resize_to_fit, /*Returned=*/true, std::vector<T>>();
-}
-
-/// Single-element implicit receive buffer, used when the send side is a
-/// single value (works for types like bool where std::vector is unusable).
-template <ParameterType PT, typename T>
-auto implicit_single_buffer() {
-    return DataBuffer<PT, BufferDirection::out, BufferOwnership::owning, ResizePolicy::no_resize,
-                      /*Returned=*/true, SingleElement<T>>(SingleElement<T>{});
-}
-
-/// Chooses the implicit receive buffer shape matching the send buffer: a
-/// single element when the send side was a scalar, a vector otherwise.
-template <ParameterType PT, typename SendBuf>
-auto matching_recv_buffer() {
-    using Send = std::remove_cvref_t<SendBuf>;
-    using T = typename Send::value_type;
-    if constexpr (std::is_same_v<typename Send::container_type, SingleElement<T>>) {
-        return implicit_single_buffer<PT, T>();
-    } else {
-        return implicit_recv_buffer<PT, T>();
-    }
-}
-
-/// Unwraps the single value from a *_single result (SingleElement or a
-/// one-element container).
-template <typename R>
-auto to_single(R&& r) {
-    if constexpr (requires { r.element; }) {
-        return std::move(r.element);
-    } else {
-        return std::move(r.front());
-    }
-}
-
-/// Takes the named parameter out of the pack (moving it — parameters are
-/// always materialized temporaries) or materializes the default.
-template <ParameterType PT, typename Make, typename... Args>
-auto take_or(Make make, Args&... args) {
-    if constexpr (has_parameter_v<PT, Args...>) {
-        return std::move(select_parameter<PT>(args...));
-    } else {
-        return make();
-    }
-}
-
-/// Computes exclusive-prefix displacements from counts.
-inline void exclusive_prefix(int const* counts, int* displs, int n) {
-    int acc = 0;
-    for (int i = 0; i < n; ++i) {
-        displs[i] = acc;
-        acc += counts[i];
-    }
-}
-
-template <typename Buffer>
-inline constexpr bool is_serialization_send_v =
-    is_serialization_adapter_v<typename std::remove_cvref_t<Buffer>::container_type>;
-
-template <typename Buffer>
-inline constexpr bool is_deserialization_recv_v =
-    is_deserialization_adapter_v<typename std::remove_cvref_t<Buffer>::container_type>;
-
-}  // namespace internal
-
 /// KaMPIng communicator wrapping a native MPI_Comm. Fully interoperable with
 /// native handles (paper §III-F): construct from any MPI_Comm and read the
-/// native handle back with mpi_communicator().
+/// native handle back with mpi_communicator(). The collective API surface is
+/// composed from the per-family interface mixins in collectives/.
 template <template <typename> typename... Plugins>
 class BasicCommunicator
-    : public Plugins<BasicCommunicator<Plugins...>>... {
+    : public collectives::BarrierInterface<BasicCommunicator<Plugins...>>,
+      public collectives::BcastInterface<BasicCommunicator<Plugins...>>,
+      public collectives::GatherInterface<BasicCommunicator<Plugins...>>,
+      public collectives::ScatterInterface<BasicCommunicator<Plugins...>>,
+      public collectives::AllgatherInterface<BasicCommunicator<Plugins...>>,
+      public collectives::AlltoallInterface<BasicCommunicator<Plugins...>>,
+      public collectives::ReduceInterface<BasicCommunicator<Plugins...>>,
+      public collectives::ScanInterface<BasicCommunicator<Plugins...>>,
+      public Plugins<BasicCommunicator<Plugins...>>... {
 public:
     /// Wraps MPI_COMM_WORLD.
     BasicCommunicator() : comm_(MPI_COMM_WORLD) {}
@@ -183,401 +128,6 @@ public:
         return result;
     }
 
-    // -- barrier --------------------------------------------------------------
-
-    void barrier() const { internal::throw_on_mpi_error(MPI_Barrier(comm_), "barrier"); }
-
-    // =========================================================================
-    // Collectives
-    // =========================================================================
-
-    /// Broadcast. `send_recv_buf` is required; the count is taken from the
-    /// root's buffer and distributed automatically unless `send_recv_count`
-    /// is given. Supports serialization adapters
-    /// (`bcast(send_recv_buf(as_serialized(obj)))`, paper Fig. 11).
-    template <typename... Args>
-    auto bcast(Args&&... args) const {
-        internal::ParameterCheck<ParameterType::send_recv_buf, ParameterType::root,
-                                            ParameterType::send_recv_count>::template check<Args...>();
-        internal::assert_required<ParameterType::send_recv_buf, Args...>();
-        int const root_rank = internal::select_value_or<ParameterType::root>(0, args...);
-        auto buf = std::move(internal::select_parameter<ParameterType::send_recv_buf>(args...));
-        using Buf = decltype(buf);
-
-        if constexpr (internal::is_serialization_send_v<Buf>) {
-            return bcast_serialized(std::move(buf), root_rank);
-        } else {
-            using T = typename std::remove_cvref_t<Buf>::value_type;
-            std::uint64_t n = 0;
-            if constexpr (internal::has_parameter_v<ParameterType::send_recv_count, Args...>) {
-                n = static_cast<std::uint64_t>(
-                    internal::select_parameter<ParameterType::send_recv_count>(args...).value);
-            } else {
-                n = is_root(root_rank) ? buf.size() : 0;
-                internal::throw_on_mpi_error(
-                    MPI_Bcast(&n, 1, MPI_UINT64_T, root_rank, comm_), "bcast");
-            }
-            if (!is_root(root_rank)) buf.resize_to(static_cast<std::size_t>(n));
-            internal::throw_on_mpi_error(MPI_Bcast(buf.data_mutable(), static_cast<int>(n),
-                                                   mpi_datatype<T>(), root_rank, comm_),
-                                         "bcast");
-            return internal::make_result(std::move(buf));
-        }
-    }
-
-    /// Broadcast of one value, returned by value on every rank.
-    template <typename... Args>
-    auto bcast_single(Args&&... args) const {
-        auto result = bcast(std::forward<Args>(args)...);
-        return internal::to_single(std::move(result));
-    }
-
-    /// Gather with uniform counts to `root` (default 0).
-    template <typename... Args>
-    auto gather(Args&&... args) const {
-        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
-                                            ParameterType::root>::template check<Args...>();
-        internal::assert_required<ParameterType::send_buf, Args...>();
-        auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
-        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
-        int const root_rank = internal::select_value_or<ParameterType::root>(0, args...);
-        int const count = static_cast<int>(send.size());
-        auto recv = internal::take_or<ParameterType::recv_buf>(
-            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
-        if (is_root(root_rank)) recv.resize_to(static_cast<std::size_t>(count) * size());
-        internal::throw_on_mpi_error(
-            MPI_Gather(send.data(), count, mpi_datatype<T>(),
-                       is_root(root_rank) ? recv.data_mutable() : nullptr, count, mpi_datatype<T>(),
-                       root_rank, comm_),
-            "gather");
-        return internal::make_result(std::move(recv));
-    }
-
-    /// Gather with per-rank counts. Receive counts are gathered from the
-    /// send counts when not provided; displacements are computed on the root.
-    template <typename... Args>
-    auto gatherv(Args&&... args) const {
-        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
-                                            ParameterType::recv_counts, ParameterType::recv_displs,
-                                            ParameterType::root>::template check<Args...>();
-        internal::assert_required<ParameterType::send_buf, Args...>();
-        auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
-        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
-        int const root_rank = internal::select_value_or<ParameterType::root>(0, args...);
-        int const scount = static_cast<int>(send.size());
-        int const p = size_signed();
-        bool const at_root = is_root(root_rank);
-
-        auto counts = internal::take_or<ParameterType::recv_counts>(
-            [] { return internal::lib_buffer<ParameterType::recv_counts, int>(); }, args...);
-        constexpr bool counts_provided =
-            internal::has_parameter_v<ParameterType::recv_counts, Args...> &&
-            std::remove_cvref_t<decltype(counts)>::direction == BufferDirection::in;
-        if constexpr (!counts_provided) {
-            if (at_root) counts.resize_to(static_cast<std::size_t>(p));
-            internal::throw_on_mpi_error(
-                MPI_Gather(&scount, 1, MPI_INT, at_root ? counts.data_mutable() : nullptr, 1,
-                           MPI_INT, root_rank, comm_),
-                "gatherv (count exchange)");
-        }
-        auto displs = internal::take_or<ParameterType::recv_displs>(
-            [] { return internal::lib_buffer<ParameterType::recv_displs, int>(); }, args...);
-        constexpr bool displs_provided =
-            internal::has_parameter_v<ParameterType::recv_displs, Args...> &&
-            std::remove_cvref_t<decltype(displs)>::direction == BufferDirection::in;
-        int total = 0;
-        if (at_root) {
-            if constexpr (!displs_provided) {
-                displs.resize_to(static_cast<std::size_t>(p));
-                internal::exclusive_prefix(counts.data(), displs.data_mutable(), p);
-            }
-            for (int i = 0; i < p; ++i) total += counts.data()[i];
-        }
-        auto recv = internal::take_or<ParameterType::recv_buf>(
-            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
-        if (at_root) recv.resize_to(static_cast<std::size_t>(total));
-        internal::throw_on_mpi_error(
-            MPI_Gatherv(send.data(), scount, mpi_datatype<T>(),
-                        at_root ? recv.data_mutable() : nullptr, at_root ? counts.data() : nullptr,
-                        at_root ? displs.data() : nullptr, mpi_datatype<T>(), root_rank, comm_),
-            "gatherv");
-        return internal::make_result(std::move(recv), std::move(counts), std::move(displs));
-    }
-
-    /// Scatter with uniform counts from `root`.
-    template <typename... Args>
-    auto scatter(Args&&... args) const {
-        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
-                                            ParameterType::recv_count, ParameterType::root>::template check<Args...>();
-        int const root_rank = internal::select_value_or<ParameterType::root>(0, args...);
-        bool const at_root = is_root(root_rank);
-        static_assert(internal::has_parameter_v<ParameterType::send_buf, Args...> ||
-                          internal::has_parameter_v<ParameterType::recv_count, Args...>,
-                      "KaMPIng: scatter requires send_buf on the root (and either send_buf or "
-                      "recv_count to infer the element type / count)");
-        return scatter_impl<Args...>(root_rank, at_root, args...);
-    }
-
-    /// Allgather with uniform counts; also supports the simplified in-place
-    /// form `allgather(send_recv_buf(data))` (paper §III-G).
-    template <typename... Args>
-    auto allgather(Args&&... args) const {
-        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
-                                            ParameterType::send_recv_buf>::template check<Args...>();
-        if constexpr (internal::has_parameter_v<ParameterType::send_recv_buf, Args...>) {
-            static_assert(!internal::has_parameter_v<ParameterType::send_buf, Args...>,
-                          "KaMPIng: pass either send_buf or send_recv_buf to allgather, not both "
-                          "(send_buf would be ignored by the in-place call)");
-            auto buf = std::move(internal::select_parameter<ParameterType::send_recv_buf>(args...));
-            using T = typename std::remove_cvref_t<decltype(buf)>::value_type;
-            KAMPING_ASSERT(buf.size() % size() == 0,
-                           "in-place allgather requires the buffer to hold size() blocks");
-            int const count = static_cast<int>(buf.size() / size());
-            internal::throw_on_mpi_error(
-                MPI_Allgather(MPI_IN_PLACE, 0, MPI_DATATYPE_NULL, buf.data_mutable(), count,
-                              mpi_datatype<T>(), comm_),
-                "allgather (in place)");
-            return internal::make_result(std::move(buf));
-        } else {
-            internal::assert_required<ParameterType::send_buf, Args...>();
-            auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
-            using T = typename std::remove_cvref_t<decltype(send)>::value_type;
-            int const count = static_cast<int>(send.size());
-            auto recv = internal::take_or<ParameterType::recv_buf>(
-                [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); },
-                args...);
-            recv.resize_to(static_cast<std::size_t>(count) * size());
-            internal::throw_on_mpi_error(
-                MPI_Allgather(send.data(), count, mpi_datatype<T>(), recv.data_mutable(), count,
-                              mpi_datatype<T>(), comm_),
-                "allgather");
-            return internal::make_result(std::move(recv));
-        }
-    }
-
-    /// Allgather with varying counts — the paper's flagship example (Fig. 1):
-    /// receive counts are allgathered from the send count when omitted,
-    /// displacements computed locally, and the receive buffer sized to fit.
-    template <typename... Args>
-    auto allgatherv(Args&&... args) const {
-        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
-                                            ParameterType::recv_counts,
-                                            ParameterType::recv_displs>::template check<Args...>();
-        internal::assert_required<ParameterType::send_buf, Args...>();
-        auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
-        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
-        int const p = size_signed();
-        int const scount = static_cast<int>(send.size());
-
-        auto counts = internal::take_or<ParameterType::recv_counts>(
-            [] { return internal::lib_buffer<ParameterType::recv_counts, int>(); }, args...);
-        constexpr bool counts_provided =
-            internal::has_parameter_v<ParameterType::recv_counts, Args...> &&
-            std::remove_cvref_t<decltype(counts)>::direction == BufferDirection::in;
-        if constexpr (!counts_provided) {
-            counts.resize_to(static_cast<std::size_t>(p));
-            internal::throw_on_mpi_error(
-                MPI_Allgather(&scount, 1, MPI_INT, counts.data_mutable(), 1, MPI_INT, comm_),
-                "allgatherv (count exchange)");
-        }
-        auto displs = internal::take_or<ParameterType::recv_displs>(
-            [] { return internal::lib_buffer<ParameterType::recv_displs, int>(); }, args...);
-        constexpr bool displs_provided =
-            internal::has_parameter_v<ParameterType::recv_displs, Args...> &&
-            std::remove_cvref_t<decltype(displs)>::direction == BufferDirection::in;
-        if constexpr (!displs_provided) {
-            displs.resize_to(static_cast<std::size_t>(p));
-            internal::exclusive_prefix(counts.data(), displs.data_mutable(), p);
-        }
-        int total = 0;
-        for (int i = 0; i < p; ++i) total += counts.data()[i];
-
-        auto recv = internal::take_or<ParameterType::recv_buf>(
-            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
-        recv.resize_to(static_cast<std::size_t>(total));
-        internal::throw_on_mpi_error(
-            MPI_Allgatherv(send.data(), scount, mpi_datatype<T>(), recv.data_mutable(),
-                           counts.data(), displs.data(), mpi_datatype<T>(), comm_),
-            "allgatherv");
-        return internal::make_result(std::move(recv), std::move(counts), std::move(displs));
-    }
-
-    /// Uniform all-to-all exchange: send buffer holds size() blocks.
-    template <typename... Args>
-    auto alltoall(Args&&... args) const {
-        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf>::template check<Args...>();
-        internal::assert_required<ParameterType::send_buf, Args...>();
-        auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
-        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
-        KAMPING_ASSERT(send.size() % size() == 0,
-                       "alltoall requires send_buf to hold size() equally sized blocks");
-        int const count = static_cast<int>(send.size() / size());
-        auto recv = internal::take_or<ParameterType::recv_buf>(
-            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
-        recv.resize_to(send.size());
-        internal::throw_on_mpi_error(
-            MPI_Alltoall(send.data(), count, mpi_datatype<T>(), recv.data_mutable(), count,
-                         mpi_datatype<T>(), comm_),
-            "alltoall");
-        return internal::make_result(std::move(recv));
-    }
-
-    /// All-to-all with varying counts. `send_counts` is required; send
-    /// displacements default to the exclusive prefix sum, receive counts are
-    /// exchanged with an alltoall when omitted, receive displacements are
-    /// computed locally, and the receive buffer is sized to fit.
-    template <typename... Args>
-    auto alltoallv(Args&&... args) const {
-        internal::ParameterCheck<ParameterType::send_buf, ParameterType::send_counts,
-                                            ParameterType::send_displs, ParameterType::recv_buf,
-                                            ParameterType::recv_counts,
-                                            ParameterType::recv_displs>::template check<Args...>();
-        internal::assert_required<ParameterType::send_buf, Args...>();
-        internal::assert_required<ParameterType::send_counts, Args...>();
-        auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
-        auto scounts = std::move(internal::select_parameter<ParameterType::send_counts>(args...));
-        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
-        int const p = size_signed();
-        KAMPING_ASSERT(static_cast<int>(scounts.size()) == p,
-                       "send_counts must contain one entry per rank");
-
-        auto sdispls = internal::take_or<ParameterType::send_displs>(
-            [] { return internal::lib_buffer<ParameterType::send_displs, int>(); }, args...);
-        constexpr bool sdispls_provided =
-            internal::has_parameter_v<ParameterType::send_displs, Args...> &&
-            std::remove_cvref_t<decltype(sdispls)>::direction == BufferDirection::in;
-        if constexpr (!sdispls_provided) {
-            sdispls.resize_to(static_cast<std::size_t>(p));
-            internal::exclusive_prefix(scounts.data(), sdispls.data_mutable(), p);
-        }
-        auto rcounts = internal::take_or<ParameterType::recv_counts>(
-            [] { return internal::lib_buffer<ParameterType::recv_counts, int>(); }, args...);
-        constexpr bool rcounts_provided =
-            internal::has_parameter_v<ParameterType::recv_counts, Args...> &&
-            std::remove_cvref_t<decltype(rcounts)>::direction == BufferDirection::in;
-        if constexpr (!rcounts_provided) {
-            rcounts.resize_to(static_cast<std::size_t>(p));
-            internal::throw_on_mpi_error(MPI_Alltoall(scounts.data(), 1, MPI_INT,
-                                                      rcounts.data_mutable(), 1, MPI_INT, comm_),
-                                         "alltoallv (count exchange)");
-        }
-        auto rdispls = internal::take_or<ParameterType::recv_displs>(
-            [] { return internal::lib_buffer<ParameterType::recv_displs, int>(); }, args...);
-        constexpr bool rdispls_provided =
-            internal::has_parameter_v<ParameterType::recv_displs, Args...> &&
-            std::remove_cvref_t<decltype(rdispls)>::direction == BufferDirection::in;
-        if constexpr (!rdispls_provided) {
-            rdispls.resize_to(static_cast<std::size_t>(p));
-            internal::exclusive_prefix(rcounts.data(), rdispls.data_mutable(), p);
-        }
-        int total = 0;
-        for (int i = 0; i < p; ++i) total += rcounts.data()[i];
-        auto recv = internal::take_or<ParameterType::recv_buf>(
-            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
-        recv.resize_to(static_cast<std::size_t>(total));
-        internal::throw_on_mpi_error(
-            MPI_Alltoallv(send.data(), scounts.data(), sdispls.data(), mpi_datatype<T>(),
-                          recv.data_mutable(), rcounts.data(), rdispls.data(), mpi_datatype<T>(),
-                          comm_),
-            "alltoallv");
-        return internal::make_result(std::move(recv), std::move(rcounts), std::move(rdispls),
-                                     std::move(scounts), std::move(sdispls));
-    }
-
-    /// Reduction to `root` (default 0) with `op` (required).
-    template <typename... Args>
-    auto reduce(Args&&... args) const {
-        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
-                                            ParameterType::op, ParameterType::root>::template check<Args...>();
-        internal::assert_required<ParameterType::send_buf, Args...>();
-        internal::assert_required<ParameterType::op, Args...>();
-        auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
-        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
-        int const root_rank = internal::select_value_or<ParameterType::root>(0, args...);
-        auto const& op_param = internal::select_parameter<ParameterType::op>(args...);
-        auto scoped = op_param.template resolve<T>();
-        auto recv = internal::take_or<ParameterType::recv_buf>(
-            [] { return internal::matching_recv_buffer<ParameterType::recv_buf,
-                                                       decltype(send)>(); },
-            args...);
-        if (is_root(root_rank)) recv.resize_to(send.size());
-        internal::throw_on_mpi_error(
-            MPI_Reduce(send.data(), is_root(root_rank) ? recv.data_mutable() : nullptr,
-                       static_cast<int>(send.size()), mpi_datatype<T>(), scoped.op, root_rank,
-                       comm_),
-            "reduce");
-        return internal::make_result(std::move(recv));
-    }
-
-    /// Allreduce with `op` (required).
-    template <typename... Args>
-    auto allreduce(Args&&... args) const {
-        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
-                                            ParameterType::send_recv_buf, ParameterType::op>::template check<Args...>();
-        internal::assert_required<ParameterType::op, Args...>();
-        auto const& op_param = internal::select_parameter<ParameterType::op>(args...);
-        if constexpr (internal::has_parameter_v<ParameterType::send_recv_buf, Args...>) {
-            // In-place allreduce.
-            auto buf = std::move(internal::select_parameter<ParameterType::send_recv_buf>(args...));
-            using T = typename std::remove_cvref_t<decltype(buf)>::value_type;
-            auto scoped = op_param.template resolve<T>();
-            internal::throw_on_mpi_error(
-                MPI_Allreduce(MPI_IN_PLACE, buf.data_mutable(), static_cast<int>(buf.size()),
-                              mpi_datatype<T>(), scoped.op, comm_),
-                "allreduce (in place)");
-            return internal::make_result(std::move(buf));
-        } else {
-            internal::assert_required<ParameterType::send_buf, Args...>();
-            auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
-            using T = typename std::remove_cvref_t<decltype(send)>::value_type;
-            auto scoped = op_param.template resolve<T>();
-            auto recv = internal::take_or<ParameterType::recv_buf>(
-                [] { return internal::matching_recv_buffer<ParameterType::recv_buf,
-                                                           decltype(send)>(); },
-                args...);
-            recv.resize_to(send.size());
-            internal::throw_on_mpi_error(
-                MPI_Allreduce(send.data(), recv.data_mutable(), static_cast<int>(send.size()),
-                              mpi_datatype<T>(), scoped.op, comm_),
-                "allreduce");
-            return internal::make_result(std::move(recv));
-        }
-    }
-
-    /// Allreduce of a single value, returned by value on every rank
-    /// (e.g. `allreduce_single(send_buf(frontier.empty()), op(std::logical_and<>{}))`).
-    template <typename... Args>
-    auto allreduce_single(Args&&... args) const {
-        auto result = allreduce(std::forward<Args>(args)...);
-        return internal::to_single(std::move(result));
-    }
-
-    /// Inclusive prefix reduction.
-    template <typename... Args>
-    auto scan(Args&&... args) const {
-        return scan_impl<false>(std::forward<Args>(args)...);
-    }
-
-    /// Exclusive prefix reduction (rank 0's result is value-initialized).
-    template <typename... Args>
-    auto exscan(Args&&... args) const {
-        return scan_impl<true>(std::forward<Args>(args)...);
-    }
-
-    /// Inclusive prefix reduction of a single value.
-    template <typename... Args>
-    auto scan_single(Args&&... args) const {
-        auto result = scan(std::forward<Args>(args)...);
-        return internal::to_single(std::move(result));
-    }
-
-    /// Exclusive prefix reduction of a single value.
-    template <typename... Args>
-    auto exscan_single(Args&&... args) const {
-        auto result = exscan(std::forward<Args>(args)...);
-        return internal::to_single(std::move(result));
-    }
-
     // =========================================================================
     // Point-to-point
     // =========================================================================
@@ -587,7 +137,8 @@ public:
     template <typename... Args>
     void send(Args&&... args) const {
         internal::ParameterCheck<ParameterType::send_buf, ParameterType::destination,
-                                            ParameterType::tag, ParameterType::send_count>::template check<Args...>();
+                                 ParameterType::tag,
+                                 ParameterType::send_count>::template check<Args...>();
         internal::assert_required<ParameterType::send_buf, Args...>();
         internal::assert_required<ParameterType::destination, Args...>();
         auto const& send_param = internal::select_parameter<ParameterType::send_buf>(args...);
@@ -616,15 +167,15 @@ public:
     template <typename T = void, typename... Args>
     auto recv(Args&&... args) const {
         internal::ParameterCheck<ParameterType::recv_buf, ParameterType::source,
-                                            ParameterType::tag, ParameterType::recv_count>::template check<Args...>();
+                                 ParameterType::tag,
+                                 ParameterType::recv_count>::template check<Args...>();
         int const src = internal::select_value_or<ParameterType::source>(MPI_ANY_SOURCE, args...);
         int const tag_value = internal::select_value_or<ParameterType::tag>(MPI_ANY_TAG, args...);
         if constexpr (internal::has_parameter_v<ParameterType::recv_buf, Args...>) {
             auto buf = std::move(internal::select_parameter<ParameterType::recv_buf>(args...));
             using Buf = decltype(buf);
             if constexpr (internal::is_deserialization_recv_v<Buf>) {
-                using Object =
-                    typename std::remove_cvref_t<Buf>::container_type::object_type;
+                using Object = typename std::remove_cvref_t<Buf>::container_type::object_type;
                 MPI_Status st;
                 internal::throw_on_mpi_error(MPI_Probe(src, tag_value, comm_, &st),
                                              "recv (probe)");
@@ -658,7 +209,7 @@ public:
     template <typename... Args>
     auto isend(Args&&... args) const {
         internal::ParameterCheck<ParameterType::send_buf, ParameterType::destination,
-                                            ParameterType::tag>::template check<Args...>();
+                                 ParameterType::tag>::template check<Args...>();
         internal::assert_required<ParameterType::send_buf, Args...>();
         internal::assert_required<ParameterType::destination, Args...>();
         auto buf = std::move(internal::select_parameter<ParameterType::send_buf>(args...));
@@ -671,10 +222,7 @@ public:
             MPI_Isend(buf.data(), static_cast<int>(buf.size()), mpi_datatype<T>(), dest, tag_value,
                       comm_, &req),
             "isend");
-        if constexpr (std::remove_cvref_t<Buf>::is_returned) {
-            return NonBlockingResult<typename std::remove_cvref_t<Buf>::container_type>(
-                req, std::move(buf).extract());
-        } else if constexpr (std::remove_cvref_t<Buf>::is_owning) {
+        if constexpr (std::remove_cvref_t<Buf>::is_owning) {
             // Moved-in send_buf: keep it alive inside the result, return it
             // to the caller after completion.
             return NonBlockingResult<typename std::remove_cvref_t<Buf>::container_type>(
@@ -691,7 +239,8 @@ public:
     template <typename T = void, typename... Args>
     auto irecv(Args&&... args) const {
         internal::ParameterCheck<ParameterType::recv_buf, ParameterType::source,
-                                            ParameterType::tag, ParameterType::recv_count>::template check<Args...>();
+                                 ParameterType::tag,
+                                 ParameterType::recv_count>::template check<Args...>();
         int const src = internal::select_value_or<ParameterType::source>(MPI_ANY_SOURCE, args...);
         int const tag_value = internal::select_value_or<ParameterType::tag>(MPI_ANY_TAG, args...);
         static_assert(internal::has_parameter_v<ParameterType::recv_buf, Args...> ||
@@ -727,7 +276,8 @@ public:
     /// Blocking probe; returns the matched message's status.
     template <typename... Args>
     MPI_Status probe(Args&&... args) const {
-        internal::ParameterCheck<ParameterType::source, ParameterType::tag>::template check<Args...>();
+        internal::ParameterCheck<ParameterType::source,
+                                 ParameterType::tag>::template check<Args...>();
         int const src = internal::select_value_or<ParameterType::source>(MPI_ANY_SOURCE, args...);
         int const tag_value = internal::select_value_or<ParameterType::tag>(MPI_ANY_TAG, args...);
         MPI_Status st;
@@ -738,7 +288,8 @@ public:
     /// Non-blocking probe.
     template <typename... Args>
     std::optional<MPI_Status> iprobe(Args&&... args) const {
-        internal::ParameterCheck<ParameterType::source, ParameterType::tag>::template check<Args...>();
+        internal::ParameterCheck<ParameterType::source,
+                                 ParameterType::tag>::template check<Args...>();
         int const src = internal::select_value_or<ParameterType::source>(MPI_ANY_SOURCE, args...);
         int const tag_value = internal::select_value_or<ParameterType::tag>(MPI_ANY_TAG, args...);
         MPI_Status st;
@@ -754,34 +305,6 @@ private:
             MPI_Comm_free(&comm_);
         }
         owned_ = false;
-    }
-
-    template <typename Buf>
-    auto bcast_serialized(Buf buf, int root_rank) const {
-        auto& adapter = buf.underlying_mutable();
-        std::vector<char> bytes;
-        std::uint64_t n = 0;
-        if (is_root(root_rank)) {
-            bytes = serialize_to_bytes(adapter.get());
-            n = bytes.size();
-        }
-        internal::throw_on_mpi_error(MPI_Bcast(&n, 1, MPI_UINT64_T, root_rank, comm_),
-                                     "bcast (serialized size)");
-        bytes.resize(static_cast<std::size_t>(n));
-        internal::throw_on_mpi_error(
-            MPI_Bcast(bytes.data(), static_cast<int>(n), MPI_CHAR, root_rank, comm_),
-            "bcast (serialized payload)");
-        if (!is_root(root_rank)) {
-            BinaryInputArchive ar{bytes.data(), bytes.size()};
-            ar(adapter.get());
-        }
-        using Adapter = std::remove_cvref_t<decltype(adapter)>;
-        if constexpr (std::remove_cvref_t<Buf>::is_owning &&
-                      !std::is_pointer_v<decltype(Adapter::object)>) {
-            return std::move(adapter.object);
-        } else {
-            return;
-        }
     }
 
     template <typename V, typename Buf, typename... Args>
@@ -802,64 +325,6 @@ private:
         internal::throw_on_mpi_error(MPI_Recv(buf.data_mutable(), count, mpi_datatype<V>(),
                                               real_src, real_tag, comm_, MPI_STATUS_IGNORE),
                                      "recv");
-    }
-
-    template <typename... Args>
-    auto scatter_impl(int root_rank, bool at_root, Args&... args) const {
-        auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
-        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
-        int count = 0;
-        if constexpr (internal::has_parameter_v<ParameterType::recv_count, Args...>) {
-            count = internal::select_parameter<ParameterType::recv_count>(args...).value;
-        } else {
-            // The root knows the per-rank count; broadcast it.
-            std::uint64_t n = at_root ? send.size() / size() : 0;
-            internal::throw_on_mpi_error(MPI_Bcast(&n, 1, MPI_UINT64_T, root_rank, comm_),
-                                         "scatter (count exchange)");
-            count = static_cast<int>(n);
-        }
-        auto recv = internal::take_or<ParameterType::recv_buf>(
-            [] { return internal::implicit_recv_buffer<ParameterType::recv_buf, T>(); }, args...);
-        recv.resize_to(static_cast<std::size_t>(count));
-        internal::throw_on_mpi_error(
-            MPI_Scatter(at_root ? send.data() : nullptr, count, mpi_datatype<T>(),
-                        recv.data_mutable(), count, mpi_datatype<T>(), root_rank, comm_),
-            "scatter");
-        return internal::make_result(std::move(recv));
-    }
-
-    template <bool Exclusive, typename... Args>
-    auto scan_impl(Args&&... args) const {
-        internal::ParameterCheck<ParameterType::send_buf, ParameterType::recv_buf,
-                                            ParameterType::op>::template check<Args...>();
-        internal::assert_required<ParameterType::send_buf, Args...>();
-        internal::assert_required<ParameterType::op, Args...>();
-        auto const& send = internal::select_parameter<ParameterType::send_buf>(args...);
-        using T = typename std::remove_cvref_t<decltype(send)>::value_type;
-        auto const& op_param = internal::select_parameter<ParameterType::op>(args...);
-        auto scoped = op_param.template resolve<T>();
-        auto recv = internal::take_or<ParameterType::recv_buf>(
-            [] { return internal::matching_recv_buffer<ParameterType::recv_buf,
-                                                       decltype(send)>(); },
-            args...);
-        recv.resize_to(send.size());
-        if constexpr (Exclusive) {
-            // Rank 0's exscan result is undefined per MPI; KaMPIng defines it
-            // as value-initialized for convenience.
-            if (rank_signed() == 0) {
-                for (std::size_t i = 0; i < recv.size(); ++i) recv.data_mutable()[i] = T{};
-            }
-            internal::throw_on_mpi_error(
-                MPI_Exscan(send.data(), recv.data_mutable(), static_cast<int>(send.size()),
-                           mpi_datatype<T>(), scoped.op, comm_),
-                "exscan");
-        } else {
-            internal::throw_on_mpi_error(
-                MPI_Scan(send.data(), recv.data_mutable(), static_cast<int>(send.size()),
-                         mpi_datatype<T>(), scoped.op, comm_),
-                "scan");
-        }
-        return internal::make_result(std::move(recv));
     }
 
     MPI_Comm comm_ = MPI_COMM_NULL;

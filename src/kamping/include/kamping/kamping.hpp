@@ -4,6 +4,15 @@
 /// serialization, non-blocking safety, utilities).
 #pragma once
 
+#include "kamping/collectives/allgather.hpp"
+#include "kamping/collectives/alltoall.hpp"
+#include "kamping/collectives/barrier.hpp"
+#include "kamping/collectives/bcast.hpp"
+#include "kamping/collectives/detail/engine.hpp"
+#include "kamping/collectives/gather.hpp"
+#include "kamping/collectives/reduce.hpp"
+#include "kamping/collectives/scan.hpp"
+#include "kamping/collectives/scatter.hpp"
 #include "kamping/communicator.hpp"
 #include "kamping/data_buffer.hpp"
 #include "kamping/error_handling.hpp"

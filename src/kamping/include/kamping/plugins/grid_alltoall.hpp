@@ -175,6 +175,7 @@ private:
         }
         std::vector<char> send(static_cast<std::size_t>(total));
         for (int i = 0; i < psub; ++i) {
+            if (blobs[static_cast<std::size_t>(i)].empty()) continue;
             std::memcpy(send.data() + sdispls[static_cast<std::size_t>(i)],
                         blobs[static_cast<std::size_t>(i)].data(),
                         blobs[static_cast<std::size_t>(i)].size());

@@ -6,12 +6,14 @@
 /// barrier — for latency O(log p + degree) instead of O(p).
 #pragma once
 
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "kamping/error_handling.hpp"
 #include "kamping/mpi_datatype.hpp"
+#include "kamping/request.hpp"
 #include "xmpi/mpi.h"
 
 namespace kamping::plugin {
@@ -42,8 +44,10 @@ public:
             send_requests.push_back(req);
         }
 
-        bool barrier_active = false;
-        MPI_Request barrier_request = MPI_REQUEST_NULL;
+        // NBX termination: once all local synchronous sends matched, join the
+        // nonblocking barrier through the typed ownership handle of the
+        // collectives API; everyone left the loop when it completes.
+        std::optional<NonBlockingResult<void>> barrier;
         for (;;) {
             // Drain arrived messages.
             int flag = 0;
@@ -62,23 +66,16 @@ public:
                 on_message(status.MPI_SOURCE, std::move(payload));
                 continue;
             }
-            if (!barrier_active) {
+            if (!barrier.has_value()) {
                 // All local synchronous sends matched? Then join the barrier.
                 int all_done = 1;
                 internal::throw_on_mpi_error(
                     MPI_Testall(static_cast<int>(send_requests.size()), send_requests.data(),
                                 &all_done, MPI_STATUSES_IGNORE),
                     "alltoallv_sparse (testall)");
-                if (all_done != 0) {
-                    internal::throw_on_mpi_error(MPI_Ibarrier(comm, &barrier_request),
-                                                 "alltoallv_sparse (ibarrier)");
-                    barrier_active = true;
-                }
-            } else {
-                int done = 0;
-                internal::throw_on_mpi_error(MPI_Test(&barrier_request, &done, MPI_STATUS_IGNORE),
-                                             "alltoallv_sparse (barrier test)");
-                if (done != 0) break;
+                if (all_done != 0) barrier.emplace(self().ibarrier());
+            } else if (barrier->test()) {
+                break;
             }
             // Be polite to co-scheduled ranks while polling (matters on
             // oversubscribed hosts; a no-op on dedicated cores).

@@ -4,17 +4,47 @@
 /// and releases the data only once the request completed — `wait()` returns
 /// it by value, `test()` yields std::nullopt until completion. Request pools
 /// collect requests of many operations for bulk completion.
+///
+/// Non-blocking *collectives* (the i-variants emitted by the collectives
+/// dispatch engine, see collectives/detail/engine.hpp) use the same handle
+/// with a CollectivePayload: every buffer taking part in the operation —
+/// including library-allocated counts/displacements that are not part of the
+/// returned result — is kept alive inside the handle, and `wait()`/`test()`
+/// assemble exactly the result object the blocking variant would have
+/// returned.
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <tuple>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "kamping/error_handling.hpp"
+#include "kamping/result.hpp"
 #include "xmpi/mpi.h"
 
 namespace kamping {
+
+namespace internal {
+
+/// Payload of a non-blocking collective: owns every prepared buffer of the
+/// operation for its full flight time. The buffers live behind a unique_ptr
+/// so their addresses stay stable while the handle itself is moved around
+/// (into a RequestPool, out of a factory function, ...).
+template <typename... Buffers>
+struct CollectivePayload {
+    std::unique_ptr<std::tuple<Buffers...>> buffers;
+
+    /// Assembles the same result object the blocking variant returns.
+    auto finalize() && {
+        return std::apply(
+            [](Buffers&... bufs) { return internal::make_result(std::move(bufs)...); }, *buffers);
+    }
+};
+
+}  // namespace internal
 
 /// Result handle of a non-blocking operation that returns `Payload` (the
 /// moved-in send container or the receive buffer) on completion. The payload
@@ -97,10 +127,76 @@ private:
     MPI_Request request_;
 };
 
+/// Collective specialization (the handle returned by `ibcast`, `iallreduce`,
+/// ...): owns every buffer of the operation; `wait()` returns exactly what
+/// the blocking variant would have returned (a container, an MPIResult, or
+/// nothing for purely referencing calls), `test()` the std::optional thereof
+/// (plain bool when there is nothing to return). An extra type-erased
+/// keep-alive slot extends the lifetime of auxiliary operation state (e.g. a
+/// custom reduction MPI_Op) to the completion of the request.
+template <typename... Buffers>
+class NonBlockingResult<internal::CollectivePayload<Buffers...>> {
+public:
+    using Payload = internal::CollectivePayload<Buffers...>;
+    using ResultType = decltype(std::declval<Payload&&>().finalize());
+
+    NonBlockingResult(MPI_Request request, Payload&& payload,
+                      std::shared_ptr<void> keep_alive = nullptr)
+        : request_(request), payload_(std::move(payload)), keep_alive_(std::move(keep_alive)) {}
+
+    NonBlockingResult(NonBlockingResult&& other) noexcept
+        : request_(std::exchange(other.request_, MPI_REQUEST_NULL)),
+          payload_(std::move(other.payload_)),
+          keep_alive_(std::move(other.keep_alive_)),
+          consumed_(std::exchange(other.consumed_, true)) {}
+    NonBlockingResult(NonBlockingResult const&) = delete;
+    NonBlockingResult& operator=(NonBlockingResult const&) = delete;
+    NonBlockingResult& operator=(NonBlockingResult&&) = delete;
+
+    /// Blocks until the collective completed, then returns the payloads the
+    /// blocking variant would have produced.
+    ResultType wait() {
+        KAMPING_ASSERT_LIGHT(!consumed_, "NonBlockingResult already consumed");
+        internal::throw_on_mpi_error(MPI_Wait(&request_, MPI_STATUS_IGNORE), "wait");
+        consumed_ = true;
+        return std::move(payload_).finalize();
+    }
+
+    /// Non-blocking completion check. Returns std::nullopt (or false when
+    /// the operation has no result payload) until completion.
+    auto test() {
+        KAMPING_ASSERT_LIGHT(!consumed_, "NonBlockingResult already consumed");
+        int flag = 0;
+        internal::throw_on_mpi_error(MPI_Test(&request_, &flag, MPI_STATUS_IGNORE), "test");
+        if constexpr (std::is_void_v<ResultType>) {
+            if (flag == 0) return false;
+            consumed_ = true;
+            std::move(payload_).finalize();
+            return true;
+        } else {
+            if (flag == 0) return std::optional<ResultType>{};
+            consumed_ = true;
+            return std::optional<ResultType>{std::move(payload_).finalize()};
+        }
+    }
+
+    ~NonBlockingResult() {
+        if (!consumed_ && request_ != MPI_REQUEST_NULL) {
+            MPI_Wait(&request_, MPI_STATUS_IGNORE);
+        }
+    }
+
+private:
+    MPI_Request request_;
+    Payload payload_;
+    std::shared_ptr<void> keep_alive_;
+    bool consumed_ = false;
+};
+
 /// Collects requests from multiple non-blocking calls for bulk completion
-/// (paper §III-E, "request pools"). The current implementation stores them
-/// in an unbounded array; the interface is designed so bounded variants can
-/// be added without changing call sites.
+/// (paper §III-E, "request pools"). Holds raw MPI requests as well as
+/// NonBlockingResult handles of heterogeneous payload types (point-to-point
+/// and collective alike); `wait_all` completes handles in insertion order.
 class RequestPool {
 public:
     /// Registers a raw request with the pool (used by the communicator when
@@ -112,10 +208,22 @@ public:
     template <typename Payload>
     void add(NonBlockingResult<Payload>&& result) {
         // Completing through the pool: keep the handle alive via type
-        // erasure; wait_all() destroys it (which waits) in order.
+        // erasure; wait_all() completes the handles in insertion order.
         struct Holder : HolderBase {
             explicit Holder(NonBlockingResult<Payload>&& r) : result(std::move(r)) {}
             void wait() override { result.wait(); }
+            bool test() override {
+                if constexpr (std::is_same_v<Payload, void>) {
+                    return result.test();
+                } else {
+                    auto outcome = result.test();
+                    if constexpr (std::is_same_v<decltype(outcome), bool>) {
+                        return outcome;
+                    } else {
+                        return outcome.has_value();
+                    }
+                }
+            }
             NonBlockingResult<Payload> result;
         };
         holders_.push_back(std::make_unique<Holder>(std::move(result)));
@@ -130,8 +238,34 @@ public:
                 "RequestPool::wait_all");
             requests_.clear();
         }
-        for (auto& h : holders_) h->wait();
+        for (auto& h : holders_) {
+            if (!h->done) h->wait();
+        }
         holders_.clear();
+    }
+
+    /// Tests all collected requests without blocking. Returns true (and
+    /// empties the pool) once every operation completed; already completed
+    /// operations are consumed so repeated calls make monotone progress.
+    bool test_all() {
+        if (!requests_.empty()) {
+            int flag = 0;
+            internal::throw_on_mpi_error(
+                MPI_Testall(static_cast<int>(requests_.size()), requests_.data(), &flag,
+                            MPI_STATUSES_IGNORE),
+                "RequestPool::test_all");
+            if (flag != 0) requests_.clear();
+        }
+        bool all_holders_done = true;
+        for (auto& h : holders_) {
+            if (!h->done) h->done = h->test();
+            all_holders_done = all_holders_done && h->done;
+        }
+        if (requests_.empty() && all_holders_done) {
+            holders_.clear();
+            return true;
+        }
+        return false;
     }
 
     std::size_t size() const { return requests_.size() + holders_.size(); }
@@ -141,6 +275,8 @@ private:
     struct HolderBase {
         virtual ~HolderBase() = default;
         virtual void wait() = 0;
+        virtual bool test() = 0;
+        bool done = false;
     };
     std::vector<MPI_Request> requests_;
     std::vector<std::unique_ptr<HolderBase>> holders_;

@@ -57,6 +57,7 @@ public:
 
 private:
     void write_bytes(void const* p, std::size_t n) {
+        if (n == 0) return;  // empty containers pass a null data pointer
         auto const old = buffer_.size();
         buffer_.resize(old + n);
         std::memcpy(buffer_.data() + old, p, n);
@@ -144,6 +145,7 @@ public:
 
 private:
     void read_bytes(void* p, std::size_t n) {
+        if (n == 0) return;  // empty payloads may come with a null target
         std::memcpy(p, data_ + pos_, n);
         pos_ += n;
     }

@@ -610,3 +610,463 @@ int MPI_Reduce_scatter_block(const void* sendbuf, void* recvbuf, int recvcount, 
     (void)r;
     return MPI_Scatter(full.data(), recvcount, type, recvbuf, recvcount, type, 0, comm);
 }
+
+// ---------------------------------------------------------------------------
+// Non-blocking collectives (generalized requests, flat algorithms).
+//
+// Every MPI_I* below follows one shape: at initiation all outgoing messages
+// are deposited eagerly (the transport is fully eager, so sends complete
+// immediately) and all expected receives are posted. The request's progress
+// state machine then drains the posted receives *in a fixed order* (ascending
+// source rank), running a per-receive combine action (reductions) and a final
+// action (e.g. copying the accumulator into the user buffer) once the last
+// receive completed. Fixed-order draining is what makes non-commutative
+// reductions correct: operands are always folded in rank order, exactly like
+// the blocking algorithms.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// State shared between initiation and the progress state machine of one
+/// flat non-blocking collective.
+struct NbColl {
+    std::vector<xmpi_request_t*> pending;  // posted receives, drain order
+    std::size_t next = 0;                  // next receive to complete
+    /// Combine action for pending[i]; runs after that receive completed.
+    std::function<int(std::size_t)> on_recv;
+    /// Final action once every receive was drained (runs exactly once).
+    std::function<int()> on_done;
+
+    // Scratch storage owned by the operation (outlives the caller's scope).
+    std::vector<std::vector<std::byte>> slots;  // one per pending receive
+    std::vector<std::byte> acc;                 // reduction accumulator
+    std::vector<std::byte> own;                 // copy of the local contribution
+    bool own_applied = false;
+};
+
+/// Folds `contrib` (count elements of `type`, living in `slot` which may be
+/// clobbered) into st->acc in rank order: acc = op(acc, contrib).
+int nb_fold(NbColl* st, MPI_Op op, std::vector<std::byte>& slot, int count, MPI_Datatype type) {
+    if (st->acc.empty()) {
+        st->acc = std::move(slot);
+        slot.clear();
+        return MPI_SUCCESS;
+    }
+    apply_op(op, st->acc.data(), slot.data(), count, type);
+    std::swap(st->acc, slot);
+    return MPI_SUCCESS;
+}
+
+/// Completes `rq` with `error`, stamping the owner's current virtual time.
+void nb_complete(xmpi_request_t* rq, int error) {
+    if (error != MPI_SUCCESS) rq->error = error;
+    rq->completion_vtime = tls_rank()->vnow;
+    rq->complete.store(true, std::memory_order_release);
+}
+
+/// Wraps a fully initiated NbColl state into a generalized request and runs
+/// one progress step so operations with no (or already satisfied) receives
+/// complete immediately.
+int nb_launch(MPI_Comm comm, std::shared_ptr<NbColl> st, int init_error, MPI_Request* request) {
+    auto* req = new xmpi_request_t();
+    req->kind = xmpi_request_t::Kind::generalized;
+    req->owner = tls_rank();
+    req->comm = comm;
+    if (init_error != MPI_SUCCESS) {
+        nb_complete(req, init_error);
+        *request = req;
+        return MPI_SUCCESS;
+    }
+    req->progress = [st](xmpi_request_t* rq) -> bool {
+        while (st->next < st->pending.size()) {
+            int flag = 0;
+            int const rc = test_one(st->pending[st->next], &flag, MPI_STATUS_IGNORE);
+            if (flag == 0) return false;
+            st->pending[st->next] = nullptr;
+            int combined = rc;
+            if (combined == MPI_SUCCESS && st->on_recv) combined = st->on_recv(st->next);
+            if (combined != MPI_SUCCESS) {
+                nb_complete(rq, combined);
+                return true;
+            }
+            ++st->next;
+        }
+        int rc = MPI_SUCCESS;
+        if (st->on_done) {
+            rc = st->on_done();
+            st->on_done = nullptr;
+        }
+        nb_complete(rq, rc);
+        return true;
+    };
+    req->progress(req);
+    *request = req;
+    return MPI_SUCCESS;
+}
+
+/// Common entry validation for the MPI_I* collectives.
+int nb_entry(MPI_Comm& comm, MPI_Request* request) {
+    if (request == nullptr) return MPI_ERR_REQUEST;
+    return coll_entry(comm);
+}
+
+}  // namespace
+
+int MPI_Ibcast(void* buf, int count, MPI_Datatype type, int root, MPI_Comm comm,
+               MPI_Request* request) {
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    if (root < 0 || root >= p) return MPI_ERR_ROOT;
+    std::uint64_t const seq = comm->coll_seq++;
+    auto st = std::make_shared<NbColl>();
+    int err = MPI_SUCCESS;
+    if (r == root) {
+        for (int i = 0; i < p && err == MPI_SUCCESS; ++i) {
+            if (i == root) continue;
+            err = csend(comm, i, seq, 0, buf, count, type);
+        }
+    } else {
+        xmpi_request_t* rr = nullptr;
+        err = cirecv(comm, root, seq, 0, buf, count, type, &rr);
+        if (err == MPI_SUCCESS) st->pending.push_back(rr);
+    }
+    return nb_launch(comm, std::move(st), err, request);
+}
+
+int MPI_Igatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                 const int* recvcounts, const int* displs, MPI_Datatype recvtype, int root,
+                 MPI_Comm comm, MPI_Request* request) {
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    if (root < 0 || root >= p) return MPI_ERR_ROOT;
+    std::uint64_t const seq = comm->coll_seq++;
+    auto st = std::make_shared<NbColl>();
+    int err = MPI_SUCCESS;
+    if (r != root) {
+        err = csend(comm, root, seq, 0, sendbuf, sendcount, sendtype);
+    } else {
+        if (sendbuf != MPI_IN_PLACE) {
+            local_copy(sendbuf, sendcount, sendtype, at_offset(recvbuf, displs[r], recvtype),
+                       recvtype);
+        }
+        for (int i = 0; i < p && err == MPI_SUCCESS; ++i) {
+            if (i == r) continue;
+            xmpi_request_t* rr = nullptr;
+            err = cirecv(comm, i, seq, 0, at_offset(recvbuf, displs[i], recvtype), recvcounts[i],
+                         recvtype, &rr);
+            if (err == MPI_SUCCESS) st->pending.push_back(rr);
+        }
+    }
+    return nb_launch(comm, std::move(st), err, request);
+}
+
+int MPI_Igather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm,
+                MPI_Request* request) {
+    MPI_Comm const rcomm = resolve(comm);
+    if (rcomm == nullptr) return MPI_ERR_COMM;
+    int const p = rcomm->size();
+    std::vector<int> counts(static_cast<std::size_t>(p), recvcount);
+    std::vector<int> displs(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) displs[static_cast<std::size_t>(i)] = i * recvcount;
+    // counts/displs are only read during initiation, so stack copies suffice.
+    return MPI_Igatherv(sendbuf, sendcount, sendtype, recvbuf, counts.data(), displs.data(),
+                        recvtype, root, rcomm, request);
+}
+
+int MPI_Iscatterv(const void* sendbuf, const int* sendcounts, const int* displs,
+                  MPI_Datatype sendtype, void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                  int root, MPI_Comm comm, MPI_Request* request) {
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    if (root < 0 || root >= p) return MPI_ERR_ROOT;
+    std::uint64_t const seq = comm->coll_seq++;
+    auto st = std::make_shared<NbColl>();
+    int err = MPI_SUCCESS;
+    if (r == root) {
+        for (int i = 0; i < p && err == MPI_SUCCESS; ++i) {
+            if (i == r) continue;
+            err = csend(comm, i, seq, 0, at_offset(sendbuf, displs[i], sendtype), sendcounts[i],
+                        sendtype);
+        }
+        if (err == MPI_SUCCESS && recvbuf != MPI_IN_PLACE) {
+            local_copy(at_offset(sendbuf, displs[r], sendtype), sendcounts[r], sendtype, recvbuf,
+                       recvtype);
+        }
+    } else {
+        xmpi_request_t* rr = nullptr;
+        err = cirecv(comm, root, seq, 0, recvbuf, recvcount, recvtype, &rr);
+        if (err == MPI_SUCCESS) st->pending.push_back(rr);
+    }
+    return nb_launch(comm, std::move(st), err, request);
+}
+
+int MPI_Iscatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                 int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm,
+                 MPI_Request* request) {
+    MPI_Comm const rcomm = resolve(comm);
+    if (rcomm == nullptr) return MPI_ERR_COMM;
+    int const p = rcomm->size();
+    std::vector<int> counts(static_cast<std::size_t>(p), sendcount);
+    std::vector<int> displs(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) displs[static_cast<std::size_t>(i)] = i * sendcount;
+    return MPI_Iscatterv(sendbuf, counts.data(), displs.data(), sendtype, recvbuf, recvcount,
+                         recvtype, root, rcomm, request);
+}
+
+int MPI_Iallgatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                    const int* recvcounts, const int* displs, MPI_Datatype recvtype, MPI_Comm comm,
+                    MPI_Request* request) {
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    std::uint64_t const seq = comm->coll_seq++;
+    if (sendbuf != MPI_IN_PLACE) {
+        local_copy(sendbuf, sendcount, sendtype, at_offset(recvbuf, displs[r], recvtype), recvtype);
+    }
+    auto st = std::make_shared<NbColl>();
+    int err = MPI_SUCCESS;
+    for (int i = 0; i < p && err == MPI_SUCCESS; ++i) {
+        if (i == r) continue;
+        err = csend(comm, i, seq, 0, at_offset(recvbuf, displs[r], recvtype), recvcounts[r],
+                    recvtype);
+    }
+    for (int i = 0; i < p && err == MPI_SUCCESS; ++i) {
+        if (i == r) continue;
+        xmpi_request_t* rr = nullptr;
+        err = cirecv(comm, i, seq, 0, at_offset(recvbuf, displs[i], recvtype), recvcounts[i],
+                     recvtype, &rr);
+        if (err == MPI_SUCCESS) st->pending.push_back(rr);
+    }
+    return nb_launch(comm, std::move(st), err, request);
+}
+
+int MPI_Iallgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                   int recvcount, MPI_Datatype recvtype, MPI_Comm comm, MPI_Request* request) {
+    MPI_Comm const rcomm = resolve(comm);
+    if (rcomm == nullptr) return MPI_ERR_COMM;
+    int const p = rcomm->size();
+    std::vector<int> counts(static_cast<std::size_t>(p), recvcount);
+    std::vector<int> displs(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) displs[static_cast<std::size_t>(i)] = i * recvcount;
+    return MPI_Iallgatherv(sendbuf, sendcount, sendtype, recvbuf, counts.data(), displs.data(),
+                           recvtype, rcomm, request);
+}
+
+int MPI_Ialltoallv(const void* sendbuf, const int* sendcounts, const int* sdispls,
+                   MPI_Datatype sendtype, void* recvbuf, const int* recvcounts, const int* rdispls,
+                   MPI_Datatype recvtype, MPI_Comm comm, MPI_Request* request) {
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    std::uint64_t const seq = comm->coll_seq++;
+    local_copy(at_offset(sendbuf, sdispls[r], sendtype), sendcounts[r], sendtype,
+               at_offset(recvbuf, rdispls[r], recvtype), recvtype);
+    auto st = std::make_shared<NbColl>();
+    int err = MPI_SUCCESS;
+    for (int i = 0; i < p && err == MPI_SUCCESS; ++i) {
+        if (i == r) continue;
+        err = csend(comm, i, seq, 0, at_offset(sendbuf, sdispls[i], sendtype), sendcounts[i],
+                    sendtype);
+    }
+    for (int i = 0; i < p && err == MPI_SUCCESS; ++i) {
+        if (i == r) continue;
+        xmpi_request_t* rr = nullptr;
+        err = cirecv(comm, i, seq, 0, at_offset(recvbuf, rdispls[i], recvtype), recvcounts[i],
+                     recvtype, &rr);
+        if (err == MPI_SUCCESS) st->pending.push_back(rr);
+    }
+    return nb_launch(comm, std::move(st), err, request);
+}
+
+int MPI_Ialltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                  int recvcount, MPI_Datatype recvtype, MPI_Comm comm, MPI_Request* request) {
+    MPI_Comm const rcomm = resolve(comm);
+    if (rcomm == nullptr) return MPI_ERR_COMM;
+    int const p = rcomm->size();
+    std::vector<int> scounts(static_cast<std::size_t>(p), sendcount);
+    std::vector<int> rcounts(static_cast<std::size_t>(p), recvcount);
+    std::vector<int> sdispls(static_cast<std::size_t>(p)), rdispls(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) {
+        sdispls[static_cast<std::size_t>(i)] = i * sendcount;
+        rdispls[static_cast<std::size_t>(i)] = i * recvcount;
+    }
+    return MPI_Ialltoallv(sendbuf, scounts.data(), sdispls.data(), sendtype, recvbuf,
+                          rcounts.data(), rdispls.data(), recvtype, rcomm, request);
+}
+
+namespace {
+
+/// Shared initiation of the non-blocking reduction family. Receives the
+/// contributions of `sources` (ascending rank order) into scratch slots and
+/// folds them — interleaving the local contribution at its rank position —
+/// so operands combine in rank order (valid for non-commutative operations).
+/// `on_done(acc)` consumes the final accumulator.
+int nb_reduction(MPI_Comm comm, std::uint64_t seq, std::vector<int> sources, const void* input,
+                 int count, MPI_Datatype type, MPI_Op op, bool include_own,
+                 std::function<int(NbColl*)> on_done, std::shared_ptr<NbColl>& st_out,
+                 int my_rank) {
+    auto st = std::make_shared<NbColl>();
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
+    st->own.resize(bytes);
+    if (bytes > 0) std::memcpy(st->own.data(), input, bytes);
+    st->own_applied = !include_own;
+    st->slots.resize(sources.size());
+    int err = MPI_SUCCESS;
+    for (std::size_t i = 0; i < sources.size() && err == MPI_SUCCESS; ++i) {
+        st->slots[i].resize(bytes);
+        xmpi_request_t* rr = nullptr;
+        err = cirecv(comm, sources[i], seq, 0, st->slots[i].data(), count, type, &rr);
+        if (err == MPI_SUCCESS) st->pending.push_back(rr);
+    }
+    NbColl* stp = st.get();
+    auto fold_own_before = [stp, op, count, type, my_rank](int src) {
+        if (!stp->own_applied && my_rank < src) {
+            // own is consumed exactly once; nb_fold may clobber it.
+            nb_fold(stp, op, stp->own, count, type);
+            stp->own_applied = true;
+        }
+        return MPI_SUCCESS;
+    };
+    st->on_recv = [stp, op, count, type, sources, fold_own_before](std::size_t i) {
+        fold_own_before(sources[i]);
+        return nb_fold(stp, op, stp->slots[i], count, type);
+    };
+    st->on_done = [stp, op, count, type, on_done = std::move(on_done)]() {
+        if (!stp->own_applied) {
+            nb_fold(stp, op, stp->own, count, type);
+            stp->own_applied = true;
+        }
+        return on_done(stp);
+    };
+    st_out = std::move(st);
+    return err;
+}
+
+}  // namespace
+
+int MPI_Ireduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+                int root, MPI_Comm comm, MPI_Request* request) {
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    if (root < 0 || root >= p) return MPI_ERR_ROOT;
+    std::uint64_t const seq = comm->coll_seq++;
+    void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
+    if (r != root) {
+        auto st = std::make_shared<NbColl>();
+        int const err = csend(comm, root, seq, 0, input, count, type);
+        return nb_launch(comm, std::move(st), err, request);
+    }
+    std::vector<int> sources;
+    for (int i = 0; i < p; ++i)
+        if (i != r) sources.push_back(i);
+    std::shared_ptr<NbColl> st;
+    int const err = nb_reduction(
+        comm, seq, std::move(sources), input, count, type, op, /*include_own=*/true,
+        [recvbuf, bytes](NbColl* s) {
+            if (bytes > 0) std::memcpy(recvbuf, s->acc.data(), bytes);
+            return MPI_SUCCESS;
+        },
+        st, r);
+    return nb_launch(comm, std::move(st), err, request);
+}
+
+int MPI_Iallreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+                   MPI_Comm comm, MPI_Request* request) {
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    std::uint64_t const seq = comm->coll_seq++;
+    void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
+    int err = MPI_SUCCESS;
+    for (int i = 0; i < p && err == MPI_SUCCESS; ++i) {
+        if (i == r) continue;
+        err = csend(comm, i, seq, 0, input, count, type);
+    }
+    std::vector<int> sources;
+    for (int i = 0; i < p; ++i)
+        if (i != r) sources.push_back(i);
+    std::shared_ptr<NbColl> st;
+    if (err == MPI_SUCCESS) {
+        err = nb_reduction(
+            comm, seq, std::move(sources), input, count, type, op, /*include_own=*/true,
+            [recvbuf, bytes](NbColl* s) {
+                if (bytes > 0) std::memcpy(recvbuf, s->acc.data(), bytes);
+                return MPI_SUCCESS;
+            },
+            st, r);
+    } else {
+        st = std::make_shared<NbColl>();
+    }
+    return nb_launch(comm, std::move(st), err, request);
+}
+
+int MPI_Iscan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+              MPI_Comm comm, MPI_Request* request) {
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    std::uint64_t const seq = comm->coll_seq++;
+    void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
+    int err = MPI_SUCCESS;
+    for (int i = r + 1; i < p && err == MPI_SUCCESS; ++i) {
+        err = csend(comm, i, seq, 0, input, count, type);
+    }
+    std::vector<int> sources;
+    for (int i = 0; i < r; ++i) sources.push_back(i);
+    std::shared_ptr<NbColl> st;
+    if (err == MPI_SUCCESS) {
+        err = nb_reduction(
+            comm, seq, std::move(sources), input, count, type, op, /*include_own=*/true,
+            [recvbuf, bytes](NbColl* s) {
+                if (bytes > 0) std::memcpy(recvbuf, s->acc.data(), bytes);
+                return MPI_SUCCESS;
+            },
+            st, r);
+    } else {
+        st = std::make_shared<NbColl>();
+    }
+    return nb_launch(comm, std::move(st), err, request);
+}
+
+int MPI_Iexscan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+                MPI_Comm comm, MPI_Request* request) {
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    std::uint64_t const seq = comm->coll_seq++;
+    void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
+    int err = MPI_SUCCESS;
+    for (int i = r + 1; i < p && err == MPI_SUCCESS; ++i) {
+        err = csend(comm, i, seq, 0, input, count, type);
+    }
+    std::vector<int> sources;
+    for (int i = 0; i < r; ++i) sources.push_back(i);
+    std::shared_ptr<NbColl> st;
+    if (err == MPI_SUCCESS && r > 0) {
+        err = nb_reduction(
+            comm, seq, std::move(sources), input, count, type, op, /*include_own=*/false,
+            [recvbuf, bytes](NbColl* s) {
+                if (bytes > 0) std::memcpy(recvbuf, s->acc.data(), bytes);
+                return MPI_SUCCESS;
+            },
+            st, r);
+    } else {
+        // Rank 0's exscan result is undefined per the standard; nothing to do.
+        st = std::make_shared<NbColl>();
+    }
+    return nb_launch(comm, std::move(st), err, request);
+}

@@ -201,6 +201,8 @@ int MPI_Request_free(MPI_Request* request);
 int MPI_Barrier(MPI_Comm comm);
 int MPI_Ibarrier(MPI_Comm comm, MPI_Request* request);
 int MPI_Bcast(void* buf, int count, MPI_Datatype type, int root, MPI_Comm comm);
+int MPI_Ibcast(void* buf, int count, MPI_Datatype type, int root, MPI_Comm comm,
+               MPI_Request* request);
 int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
                int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm);
 int MPI_Gatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
@@ -233,6 +235,45 @@ int MPI_Exscan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type,
                MPI_Comm comm);
 int MPI_Reduce_scatter_block(const void* sendbuf, void* recvbuf, int recvcount, MPI_Datatype type,
                              MPI_Op op, MPI_Comm comm);
+
+// Non-blocking collectives. Implemented as progressable generalized requests
+// on the same internal point-to-point engine as their blocking counterparts
+// (the MPI_Ibarrier pattern): all sends are deposited eagerly at initiation,
+// receives complete incrementally as MPI_Wait*/MPI_Test* drive the request's
+// progress state machine. Completion order across multiple outstanding
+// collective requests is unconstrained (wait in any order, or use
+// MPI_Waitall). The algorithms are flat (linear) trees, the standard shape
+// for nonblocking fallback implementations (cf. libNBC).
+int MPI_Igather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm,
+                MPI_Request* request);
+int MPI_Igatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                 const int* recvcounts, const int* displs, MPI_Datatype recvtype, int root,
+                 MPI_Comm comm, MPI_Request* request);
+int MPI_Iscatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                 int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm,
+                 MPI_Request* request);
+int MPI_Iscatterv(const void* sendbuf, const int* sendcounts, const int* displs,
+                  MPI_Datatype sendtype, void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                  int root, MPI_Comm comm, MPI_Request* request);
+int MPI_Iallgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                   int recvcount, MPI_Datatype recvtype, MPI_Comm comm, MPI_Request* request);
+int MPI_Iallgatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                    const int* recvcounts, const int* displs, MPI_Datatype recvtype, MPI_Comm comm,
+                    MPI_Request* request);
+int MPI_Ialltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                  int recvcount, MPI_Datatype recvtype, MPI_Comm comm, MPI_Request* request);
+int MPI_Ialltoallv(const void* sendbuf, const int* sendcounts, const int* sdispls,
+                   MPI_Datatype sendtype, void* recvbuf, const int* recvcounts, const int* rdispls,
+                   MPI_Datatype recvtype, MPI_Comm comm, MPI_Request* request);
+int MPI_Ireduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+                int root, MPI_Comm comm, MPI_Request* request);
+int MPI_Iallreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+                   MPI_Comm comm, MPI_Request* request);
+int MPI_Iscan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+              MPI_Comm comm, MPI_Request* request);
+int MPI_Iexscan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+                MPI_Comm comm, MPI_Request* request);
 
 // ---------------------------------------------------------------------------
 // Derived datatypes

@@ -1,0 +1,310 @@
+/// @file test_collectives_engine.cpp
+/// @brief The unified collectives dispatch engine: every blocking collective
+/// and its `i*` variant are instantiated from one shared
+/// parameter-processing path, so `wait()`/`test()` must hand back the
+/// identical payloads the blocking call produces — for implicit receive
+/// buffers, derived counts/displacements, requested `*_out` parameters and
+/// custom reduction operations alike. Also covers the new `scatterv`.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "xmpi/xmpi.hpp"
+
+using namespace kamping;
+
+namespace {
+
+/// Per-rank payload: rank+1 copies of (rank*10).
+std::vector<int> ragged_data(int rank) {
+    return std::vector<int>(static_cast<std::size_t>(rank + 1), rank * 10);
+}
+
+}  // namespace
+
+TEST(CollectivesEngine, IbcastMatchesBcast) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        std::vector<int> blocking_buf = rank == 1 ? std::vector<int>{3, 5, 7} : std::vector<int>{};
+        auto blocking = comm.bcast(send_recv_buf(std::move(blocking_buf)), root(1));
+
+        std::vector<int> nb_buf = rank == 1 ? std::vector<int>{3, 5, 7} : std::vector<int>{};
+        auto handle = comm.ibcast(send_recv_buf(std::move(nb_buf)), root(1));
+        auto nonblocking = handle.wait();
+        EXPECT_EQ(blocking, nonblocking);
+        EXPECT_EQ(nonblocking, (std::vector<int>{3, 5, 7}));
+    });
+}
+
+TEST(CollectivesEngine, IgatherMatchesGather) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        std::vector<int> mine{rank, rank + 100};
+        auto blocking = comm.gather(send_buf(mine), root(2));
+        auto nonblocking = comm.igather(send_buf(mine), root(2)).wait();
+        EXPECT_EQ(blocking, nonblocking);
+        if (rank == 2) EXPECT_EQ(nonblocking.size(), 8u);
+    });
+}
+
+TEST(CollectivesEngine, IgathervMatchesGathervIncludingOutParameters) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        auto mine = ragged_data(rank);
+        auto b = comm.gatherv(send_buf(mine), recv_counts_out(), recv_displs_out());
+        auto nb = comm.igatherv(send_buf(mine), recv_counts_out(), recv_displs_out()).wait();
+        EXPECT_EQ(b.extract_recv_buf(), nb.extract_recv_buf());
+        EXPECT_EQ(b.extract_recv_counts(), nb.extract_recv_counts());
+        EXPECT_EQ(b.extract_recv_displs(), nb.extract_recv_displs());
+    });
+}
+
+TEST(CollectivesEngine, IscatterMatchesScatter) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        std::vector<int> send;
+        if (rank == 0) {
+            send.resize(8);
+            std::iota(send.begin(), send.end(), 0);
+        }
+        auto blocking = comm.scatter(send_buf(send), root(0));
+        auto nonblocking = comm.iscatter(send_buf(send), root(0)).wait();
+        EXPECT_EQ(blocking, nonblocking);
+        EXPECT_EQ(nonblocking, (std::vector<int>{2 * rank, 2 * rank + 1}));
+    });
+}
+
+TEST(CollectivesEngine, ScattervDistributesVaryingCounts) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        // Root holds blocks of size i+1 with value i*10.
+        std::vector<int> send;
+        std::vector<int> counts;
+        for (int i = 0; i < 4; ++i) {
+            counts.push_back(i + 1);
+            for (int j = 0; j <= i; ++j) send.push_back(i * 10);
+        }
+        auto received = comm.scatterv(send_buf(send), send_counts(counts), root(0));
+        EXPECT_EQ(received, ragged_data(rank));
+    });
+}
+
+TEST(CollectivesEngine, ScattervWithExplicitRecvCountAndDispls) {
+    xmpi::run(3, [](int rank) {
+        Communicator comm;
+        std::vector<int> send{7, 8, 8, 9, 9, 9};
+        std::vector<int> counts{1, 2, 3};
+        std::vector<int> displs{0, 1, 3};
+        auto received = comm.scatterv(send_buf(send), send_counts(counts), send_displs(displs),
+                                      recv_count(rank + 1), root(0));
+        EXPECT_EQ(received, std::vector<int>(static_cast<std::size_t>(rank + 1), 7 + rank));
+    });
+}
+
+TEST(CollectivesEngine, IscattervMatchesScatterv) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        std::vector<int> send;
+        std::vector<int> counts;
+        for (int i = 0; i < 4; ++i) {
+            counts.push_back(i + 1);
+            for (int j = 0; j <= i; ++j) send.push_back(i * 10);
+        }
+        auto blocking = comm.scatterv(send_buf(send), send_counts(counts), root(0));
+        auto nonblocking = comm.iscatterv(send_buf(send), send_counts(counts), root(0)).wait();
+        EXPECT_EQ(blocking, nonblocking);
+        (void)rank;
+    });
+}
+
+TEST(CollectivesEngine, IallgatherMatchesAllgather) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        std::vector<int> mine{rank, -rank};
+        auto blocking = comm.allgather(send_buf(mine));
+        auto nonblocking = comm.iallgather(send_buf(mine)).wait();
+        EXPECT_EQ(blocking, nonblocking);
+        EXPECT_EQ(nonblocking.size(), 8u);
+    });
+}
+
+TEST(CollectivesEngine, IallgatherInPlaceMatchesAllgather) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        std::vector<int> blocking_in(4, 0);
+        blocking_in[static_cast<std::size_t>(rank)] = rank + 1;
+        auto blocking = comm.allgather(send_recv_buf(std::move(blocking_in)));
+        // In-place form: buffer holds size() blocks, own block prefilled.
+        std::vector<int> nb_in(4, 0);
+        nb_in[static_cast<std::size_t>(rank)] = rank + 1;
+        auto nonblocking = comm.iallgather(send_recv_buf(std::move(nb_in))).wait();
+        EXPECT_EQ(blocking, nonblocking);
+        EXPECT_EQ(nonblocking, (std::vector<int>{1, 2, 3, 4}));
+    });
+}
+
+TEST(CollectivesEngine, IallgathervMatchesAllgathervIncludingOutParameters) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        auto mine = ragged_data(rank);
+        auto b = comm.allgatherv(send_buf(mine), recv_counts_out(), recv_displs_out());
+        auto nb = comm.iallgatherv(send_buf(mine), recv_counts_out(), recv_displs_out()).wait();
+        EXPECT_EQ(b.extract_recv_buf(), nb.extract_recv_buf());
+        EXPECT_EQ(b.extract_recv_counts(), nb.extract_recv_counts());
+        EXPECT_EQ(b.extract_recv_displs(), nb.extract_recv_displs());
+    });
+}
+
+TEST(CollectivesEngine, IalltoallMatchesAlltoall) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        std::vector<int> send(4);
+        for (int i = 0; i < 4; ++i) send[static_cast<std::size_t>(i)] = rank * 10 + i;
+        auto blocking = comm.alltoall(send_buf(send));
+        auto nonblocking = comm.ialltoall(send_buf(send)).wait();
+        EXPECT_EQ(blocking, nonblocking);
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_EQ(nonblocking[static_cast<std::size_t>(i)], i * 10 + rank);
+        }
+    });
+}
+
+TEST(CollectivesEngine, IalltoallvMatchesAlltoallvWithDerivedCounts) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        // Rank r sends (i+1) copies of r to rank i; receive counts must be
+        // derived by the engine via the extra count exchange.
+        std::vector<int> send;
+        std::vector<int> counts;
+        for (int i = 0; i < 4; ++i) {
+            counts.push_back(i + 1);
+            for (int j = 0; j <= i; ++j) send.push_back(rank);
+        }
+        auto blocking = comm.alltoallv(send_buf(send), send_counts(counts));
+        auto nonblocking = comm.ialltoallv(send_buf(send), send_counts(counts)).wait();
+        EXPECT_EQ(blocking, nonblocking);
+        EXPECT_EQ(nonblocking.size(), static_cast<std::size_t>(4 * (rank + 1)));
+    });
+}
+
+namespace {
+
+/// Affine map x -> scale*x + shift. Composition is associative but not
+/// commutative — the legal way to observe reduction operand order (MPI
+/// demands associativity even of non-commutative ops).
+struct Affine {
+    long scale;
+    long shift;
+    bool operator==(Affine const&) const = default;
+};
+
+/// Applies `l` first, then `r`: (r ∘ l)(x) = r.scale*(l.scale*x + l.shift) + r.shift.
+Affine compose(Affine const& l, Affine const& r) {
+    return Affine{l.scale * r.scale, l.shift * r.scale + r.shift};
+}
+
+}  // namespace
+
+TEST(CollectivesEngine, IreduceMatchesReduceForNonCommutativeOp) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        // Non-commutative: operands must fold in rank order in both modes.
+        auto compose_op = [](Affine const& a, Affine const& b) { return compose(a, b); };
+        std::vector<Affine> mine{Affine{2, rank}};
+        auto blocking = comm.reduce(send_buf(mine), op(compose_op, ops::non_commutative), root(0));
+        auto nonblocking =
+            comm.ireduce(send_buf(mine), op(compose_op, ops::non_commutative), root(0)).wait();
+        EXPECT_EQ(blocking, nonblocking);
+        if (rank == 0) {
+            Affine expect{1, 0};
+            for (int r = 0; r < 4; ++r) expect = compose(expect, Affine{2, r});
+            EXPECT_EQ(nonblocking, (std::vector<Affine>{expect}));
+        }
+    });
+}
+
+TEST(CollectivesEngine, IallreduceMatchesAllreduceWithCustomLambdaOp) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        // A wrapped lambda op exercises the keep-alive: the created MPI_Op
+        // must survive until the request completes.
+        std::vector<long> mine{static_cast<long>(rank), static_cast<long>(rank) * 2};
+        auto blocking = comm.allreduce(
+            send_buf(mine), op([](long a, long b) { return a + b; }, ops::commutative));
+        auto nonblocking =
+            comm.iallreduce(send_buf(mine),
+                            op([](long a, long b) { return a + b; }, ops::commutative))
+                .wait();
+        EXPECT_EQ(blocking, nonblocking);
+        EXPECT_EQ(nonblocking, (std::vector<long>{6, 12}));
+    });
+}
+
+TEST(CollectivesEngine, IallreduceInPlaceMatches) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        std::vector<int> b1{rank + 1};
+        auto blocking = comm.allreduce(send_recv_buf(std::move(b1)), op(std::plus<>{}));
+        std::vector<int> b2{rank + 1};
+        auto nonblocking = comm.iallreduce(send_recv_buf(std::move(b2)), op(std::plus<>{})).wait();
+        EXPECT_EQ(blocking, nonblocking);
+        EXPECT_EQ(nonblocking, (std::vector<int>{10}));
+    });
+}
+
+TEST(CollectivesEngine, IscanAndIexscanMatchBlocking) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        std::vector<int> mine{rank + 1};
+        auto bscan = comm.scan(send_buf(mine), op(std::plus<>{}));
+        auto nbscan = comm.iscan(send_buf(mine), op(std::plus<>{})).wait();
+        EXPECT_EQ(bscan, nbscan);
+        EXPECT_EQ(nbscan, (std::vector<int>{(rank + 1) * (rank + 2) / 2}));
+
+        auto bex = comm.exscan(send_buf(mine), op(std::plus<>{}));
+        auto nbex = comm.iexscan(send_buf(mine), op(std::plus<>{})).wait();
+        EXPECT_EQ(bex, nbex);
+        EXPECT_EQ(nbex, (std::vector<int>{rank * (rank + 1) / 2}));
+    });
+}
+
+TEST(CollectivesEngine, IbarrierCompletesOnEveryRank) {
+    xmpi::run(4, [](int) {
+        Communicator comm;
+        auto handle = comm.ibarrier();
+        handle.wait();
+        comm.barrier();
+    });
+}
+
+TEST(CollectivesEngine, SingleValueVariantsUnaffectedByRefactor) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        EXPECT_EQ(comm.allreduce_single(send_buf(1), op(std::plus<>{})), 4);
+        EXPECT_EQ(comm.scan_single(send_buf(rank + 1), op(std::plus<>{})),
+                  (rank + 1) * (rank + 2) / 2);
+        EXPECT_EQ(comm.exscan_single(send_buf(rank + 1), op(std::plus<>{})),
+                  rank * (rank + 1) / 2);
+        int value = rank == 1 ? 77 : 0;
+        EXPECT_EQ(comm.bcast_single(send_recv_buf(value), root(1)), 77);
+    });
+}
+
+TEST(CollectivesEngine, OutOfOrderWaitAcrossTwoCollectives) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        std::vector<int> a{rank};
+        std::vector<int> b{rank * 100};
+        auto first = comm.iallreduce(send_buf(a), op(std::plus<>{}));
+        auto second = comm.iallgather(send_buf(b));
+        // Completing in reverse initiation order must work.
+        auto gathered = second.wait();
+        auto reduced = first.wait();
+        EXPECT_EQ(reduced, (std::vector<int>{6}));
+        EXPECT_EQ(gathered, (std::vector<int>{0, 100, 200, 300}));
+    });
+}

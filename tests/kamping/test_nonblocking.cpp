@@ -187,3 +187,146 @@ TEST(NonBlocking, WithFlattenedUtility) {
         EXPECT_EQ(received.size(), 3u);
     });
 }
+
+// ---------------------------------------------------------------------------
+// Non-blocking collectives (i-variants emitted by the collectives dispatch
+// engine): wait/test semantics, moved-buffer ownership and request pools
+// over heterogeneous payloads.
+// ---------------------------------------------------------------------------
+
+TEST(NonBlockingCollectives, TestReturnsNulloptUntilPeersJoin) {
+    xmpi::run(2, [](int rank) {
+        Communicator comm;
+        if (rank == 0) {
+            std::vector<int> mine{1};
+            auto handle = comm.iallreduce(send_buf(mine), op(std::plus<>{}));
+            // Rank 1 has not joined the collective yet (it waits for our
+            // go-message), so the first poll cannot succeed.
+            auto first_poll = handle.test();
+            EXPECT_FALSE(first_poll.has_value());
+            comm.send(send_buf(1), destination(1), tag(42));
+            for (;;) {
+                auto polled = handle.test();
+                if (polled.has_value()) {
+                    EXPECT_EQ(*polled, (std::vector<int>{3}));
+                    break;
+                }
+            }
+        } else {
+            auto go = comm.recv<int>(source(0), tag(42));
+            EXPECT_EQ(go[0], 1);
+            std::vector<int> mine{2};
+            auto handle = comm.iallreduce(send_buf(mine), op(std::plus<>{}));
+            EXPECT_EQ(handle.wait(), (std::vector<int>{3}));
+        }
+    });
+}
+
+TEST(NonBlockingCollectives, MovedRecvBufferComesBackCopyFree) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        std::vector<long> recv_storage(4096);
+        auto const* storage = recv_storage.data();
+        std::vector<long> mine(1024, rank);
+        auto handle = comm.iallgather(send_buf(mine), recv_buf(std::move(recv_storage)));
+        auto gathered = handle.wait();
+        // The pre-sized heap allocation travelled through the in-flight
+        // handle and back without copies.
+        EXPECT_EQ(gathered.data(), storage);
+        for (int r = 0; r < 4; ++r) {
+            EXPECT_EQ(gathered[static_cast<std::size_t>(r) * 1024], r);
+        }
+    });
+}
+
+TEST(NonBlockingCollectives, AbandonedHandleCompletesSafely) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        {
+            // Dropping the handle must keep the buffers alive until the
+            // collective completed on this rank.
+            std::vector<int> mine{rank};
+            auto handle = comm.iallreduce(send_buf_out(std::move(mine)), op(std::plus<>{}));
+        }
+        EXPECT_EQ(comm.allreduce_single(send_buf(1), op(std::plus<>{})), 4);
+    });
+}
+
+TEST(RequestPool, WaitAllOverHeterogeneousPayloads) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        RequestPool pool;
+        // One p2p send per peer, one collective, one barrier — all pooled.
+        for (int peer = 0; peer < 4; ++peer) {
+            if (peer == rank) continue;
+            std::vector<int> payload{rank};
+            pool.add(comm.isend(send_buf_out(std::move(payload)), destination(peer), tag(3)));
+        }
+        std::vector<int> mine{rank + 1};
+        pool.add(comm.iallreduce(send_buf(mine), op(std::plus<>{})));
+        pool.add(comm.ibarrier());
+        EXPECT_EQ(pool.size(), 5u);
+        for (int peer = 0; peer < 4; ++peer) {
+            if (peer == rank) continue;
+            auto data = comm.recv<int>(source(peer), tag(3));
+            EXPECT_EQ(data[0], peer);
+        }
+        pool.wait_all();
+        EXPECT_TRUE(pool.empty());
+    });
+}
+
+TEST(RequestPool, WaitAllCompletesInInsertionOrder) {
+    xmpi::run(2, [](int rank) {
+        Communicator comm;
+        RequestPool pool;
+        // Collectives must be initiated in the same order on every rank;
+        // wait_all drains the pool front to back, which completes them even
+        // though the first pooled handle was added after later traffic.
+        std::vector<int> a{rank}, b{rank * 10};
+        pool.add(comm.iallreduce(send_buf(a), op(std::plus<>{})));
+        pool.add(comm.iallgather(send_buf(b)));
+        pool.add(comm.ibarrier());
+        pool.wait_all();
+        EXPECT_TRUE(pool.empty());
+    });
+}
+
+TEST(RequestPool, TestAllMakesMonotoneProgress) {
+    xmpi::run(2, [](int rank) {
+        Communicator comm;
+        RequestPool pool;
+        if (rank == 0) {
+            pool.add(comm.irecv<int>(recv_count(1), source(1), tag(8)));
+            pool.add(comm.ibarrier());
+            // Nothing sent yet and rank 1 did not enter the barrier: not done.
+            EXPECT_FALSE(pool.test_all());
+            comm.send(send_buf(1), destination(1), tag(9));
+            while (!pool.test_all()) {
+            }
+            EXPECT_TRUE(pool.empty());
+        } else {
+            auto go = comm.recv<int>(source(0), tag(9));
+            EXPECT_EQ(go[0], 1);
+            comm.send(send_buf(5), destination(0), tag(8));
+            comm.ibarrier().wait();
+        }
+    });
+}
+
+TEST(NonBlockingCollectives, OverlapSmokeTest) {
+    // The communication/computation-overlap pattern the i-variants exist
+    // for: start the collective, compute, then harvest.
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        std::vector<std::uint64_t> contribution(1 << 12, static_cast<std::uint64_t>(rank));
+        auto pending = comm.iallreduce(send_buf(contribution), op(std::plus<>{}));
+        // "Compute" while the reduction is in flight.
+        std::uint64_t local = 0;
+        for (std::uint64_t i = 0; i < (1u << 14); ++i) local += i * i;
+        auto reduced = pending.wait();
+        EXPECT_GT(local, 0u);
+        ASSERT_EQ(reduced.size(), contribution.size());
+        for (auto v : reduced) EXPECT_EQ(v, 6u);  // 0+1+2+3
+    });
+}

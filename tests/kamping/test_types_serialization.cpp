@@ -8,6 +8,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <numeric>
 #include <optional>
 #include <set>
 #include <string>

@@ -376,3 +376,160 @@ TEST(Collective, BcastLatencyIsLogarithmic) {
     // log2 ratio is 2x, allow generous slack for compute noise.
     EXPECT_LT(t64.max_vtime, t8.max_vtime * 4.0);
 }
+
+// ---------------------------------------------------------------------------
+// Non-blocking collectives: every MPI_I* against the same oracles as its
+// blocking counterpart, plus completion-order robustness.
+// ---------------------------------------------------------------------------
+
+TEST_P(CollectiveP, IbcastFromEveryRoot) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        for (int root = 0; root < p; ++root) {
+            std::vector<int> data(16, rank == root ? root + 1 : -1);
+            MPI_Request req = MPI_REQUEST_NULL;
+            ASSERT_EQ(MPI_Ibcast(data.data(), 16, MPI_INT, root, MPI_COMM_WORLD, &req),
+                      MPI_SUCCESS);
+            ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+            for (int v : data) EXPECT_EQ(v, root + 1);
+        }
+    });
+}
+
+TEST_P(CollectiveP, IgatherMatchesOracle) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        std::vector<int> send{rank * 2, rank * 2 + 1};
+        std::vector<int> recv(static_cast<std::size_t>(2 * p), -1);
+        MPI_Request req = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Igather(send.data(), 2, MPI_INT, recv.data(), 2, MPI_INT, 0, MPI_COMM_WORLD,
+                              &req),
+                  MPI_SUCCESS);
+        ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        if (rank == 0) {
+            for (int i = 0; i < 2 * p; ++i) EXPECT_EQ(recv[static_cast<std::size_t>(i)], i);
+        }
+    });
+}
+
+TEST_P(CollectiveP, IscattervVaryingCounts) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        std::vector<int> send, counts(static_cast<std::size_t>(p)),
+            displs(static_cast<std::size_t>(p));
+        if (rank == 0) {
+            int off = 0;
+            for (int i = 0; i < p; ++i) {
+                counts[static_cast<std::size_t>(i)] = i + 1;
+                displs[static_cast<std::size_t>(i)] = off;
+                for (int j = 0; j <= i; ++j) send.push_back(i);
+                off += i + 1;
+            }
+        }
+        std::vector<int> recv(static_cast<std::size_t>(rank + 1), -1);
+        MPI_Request req = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Iscatterv(send.data(), counts.data(), displs.data(), MPI_INT, recv.data(),
+                                rank + 1, MPI_INT, 0, MPI_COMM_WORLD, &req),
+                  MPI_SUCCESS);
+        ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        for (int v : recv) EXPECT_EQ(v, rank);
+    });
+}
+
+TEST_P(CollectiveP, IallgatherMatchesOracle) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        int const mine = rank + 7;
+        std::vector<int> recv(static_cast<std::size_t>(p), -1);
+        MPI_Request req = MPI_REQUEST_NULL;
+        ASSERT_EQ(
+            MPI_Iallgather(&mine, 1, MPI_INT, recv.data(), 1, MPI_INT, MPI_COMM_WORLD, &req),
+            MPI_SUCCESS);
+        ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        for (int i = 0; i < p; ++i) EXPECT_EQ(recv[static_cast<std::size_t>(i)], i + 7);
+    });
+}
+
+TEST_P(CollectiveP, IalltoallvMatchesOracle) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        // Rank r sends one element (r*p + dest) to every destination.
+        std::vector<int> send(static_cast<std::size_t>(p)), recv(static_cast<std::size_t>(p), -1);
+        std::vector<int> counts(static_cast<std::size_t>(p), 1), displs(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) {
+            send[static_cast<std::size_t>(i)] = rank * p + i;
+            displs[static_cast<std::size_t>(i)] = i;
+        }
+        MPI_Request req = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Ialltoallv(send.data(), counts.data(), displs.data(), MPI_INT, recv.data(),
+                                 counts.data(), displs.data(), MPI_INT, MPI_COMM_WORLD, &req),
+                  MPI_SUCCESS);
+        ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        for (int i = 0; i < p; ++i) EXPECT_EQ(recv[static_cast<std::size_t>(i)], i * p + rank);
+    });
+}
+
+TEST_P(CollectiveP, IreduceAndIallreduceMatchOracle) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        int const mine = rank + 1;
+        int reduced = -1, allreduced = -1;
+        MPI_Request r1 = MPI_REQUEST_NULL, r2 = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Ireduce(&mine, &reduced, 1, MPI_INT, MPI_SUM, 0, MPI_COMM_WORLD, &r1),
+                  MPI_SUCCESS);
+        ASSERT_EQ(MPI_Iallreduce(&mine, &allreduced, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD, &r2),
+                  MPI_SUCCESS);
+        MPI_Request reqs[2] = {r1, r2};
+        ASSERT_EQ(MPI_Waitall(2, reqs, MPI_STATUSES_IGNORE), MPI_SUCCESS);
+        int const expect = p * (p + 1) / 2;
+        if (rank == 0) EXPECT_EQ(reduced, expect);
+        EXPECT_EQ(allreduced, expect);
+    });
+}
+
+TEST_P(CollectiveP, IscanAndIexscanMatchOracle) {
+    int const p = GetParam();
+    xmpi::run(p, [](int rank) {
+        int const mine = rank + 1;
+        int incl = -1, excl = -1;
+        MPI_Request r1 = MPI_REQUEST_NULL, r2 = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Iscan(&mine, &incl, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD, &r1), MPI_SUCCESS);
+        ASSERT_EQ(MPI_Iexscan(&mine, &excl, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD, &r2),
+                  MPI_SUCCESS);
+        ASSERT_EQ(MPI_Wait(&r1, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        ASSERT_EQ(MPI_Wait(&r2, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        EXPECT_EQ(incl, (rank + 1) * (rank + 2) / 2);
+        if (rank > 0) EXPECT_EQ(excl, rank * (rank + 1) / 2);
+    });
+}
+
+TEST_P(CollectiveP, NonblockingCollectivesCompleteOutOfOrder) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        // Initiate two collectives, wait for the second before the first.
+        std::vector<int> a(static_cast<std::size_t>(p), -1);
+        int const mine = rank;
+        int sum = -1;
+        MPI_Request r1 = MPI_REQUEST_NULL, r2 = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Iallgather(&mine, 1, MPI_INT, a.data(), 1, MPI_INT, MPI_COMM_WORLD, &r1),
+                  MPI_SUCCESS);
+        ASSERT_EQ(MPI_Iallreduce(&mine, &sum, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD, &r2),
+                  MPI_SUCCESS);
+        ASSERT_EQ(MPI_Wait(&r2, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        ASSERT_EQ(MPI_Wait(&r1, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        EXPECT_EQ(sum, p * (p - 1) / 2);
+        for (int i = 0; i < p; ++i) EXPECT_EQ(a[static_cast<std::size_t>(i)], i);
+    });
+}
+
+TEST_P(CollectiveP, IallreduceInPlace) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        int value = rank + 1;
+        MPI_Request req = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Iallreduce(MPI_IN_PLACE, &value, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD, &req),
+                  MPI_SUCCESS);
+        ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        EXPECT_EQ(value, p * (p + 1) / 2);
+    });
+}
