@@ -247,6 +247,71 @@ void BM_allreduce_compute_overlap(benchmark::State& state) {
 }
 BENCHMARK(BM_allreduce_compute_overlap)->Arg(1024)->Arg(16384)->UseManualTime()->MinTime(0.05);
 
+// ---------------------------------------------------------------------------
+// Collective algorithm comparison: the same operation under each pinned
+// algorithm (XMPI_T_alg_set), reported as *virtual* makespan per operation
+// under the default OmniPath-class cost model — the metric the algorithm
+// selection layer optimizes. "flat" is the PR-1 reference; the cost-model
+// default ("auto") picks per message size and must match the best column.
+// ---------------------------------------------------------------------------
+
+template <typename Op>
+void drive_vtime_pinned(benchmark::State& state, char const* family, char const* alg, Op&& op) {
+    if (XMPI_T_alg_set(family, alg) != MPI_SUCCESS) {
+        state.SkipWithError("unknown algorithm");
+        return;
+    }
+    for (auto _ : state) {
+        auto result = xmpi::run(kRanks, [&](int rank) {
+            for (int i = 0; i < kInner; ++i) op(rank, i);
+        });
+        state.SetIterationTime(result.max_vtime / kInner);
+    }
+    XMPI_T_alg_set(family, "auto");
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) *
+                            static_cast<std::int64_t>(sizeof(std::uint64_t)));
+}
+
+void allreduce_alg_bench(benchmark::State& state, char const* alg) {
+    auto const n = static_cast<std::size_t>(state.range(0));
+    drive_vtime_pinned(state, "allreduce", alg, [n](int, int) {
+        std::vector<std::uint64_t> send(n, 1), recv(n);
+        MPI_Allreduce(send.data(), recv.data(), static_cast<int>(n), MPI_UINT64_T, MPI_SUM,
+                      MPI_COMM_WORLD);
+        benchmark::DoNotOptimize(recv.data());
+    });
+}
+
+void BM_allreduce_alg_flat(benchmark::State& state) { allreduce_alg_bench(state, "flat"); }
+void BM_allreduce_alg_binomial(benchmark::State& state) { allreduce_alg_bench(state, "binomial"); }
+void BM_allreduce_alg_rdoubling(benchmark::State& state) { allreduce_alg_bench(state, "rdoubling"); }
+void BM_allreduce_alg_rabenseifner(benchmark::State& state) {
+    allreduce_alg_bench(state, "rabenseifner");
+}
+void BM_allreduce_alg_auto(benchmark::State& state) { allreduce_alg_bench(state, "auto"); }
+BENCHMARK(BM_allreduce_alg_flat)->Arg(1)->Arg(4096)->Arg(262144)->UseManualTime()->MinTime(0.05);
+BENCHMARK(BM_allreduce_alg_binomial)->Arg(1)->Arg(4096)->Arg(262144)->UseManualTime()->MinTime(0.05);
+BENCHMARK(BM_allreduce_alg_rdoubling)->Arg(1)->Arg(4096)->Arg(262144)->UseManualTime()->MinTime(0.05);
+BENCHMARK(BM_allreduce_alg_rabenseifner)->Arg(1)->Arg(4096)->Arg(262144)->UseManualTime()->MinTime(0.05);
+BENCHMARK(BM_allreduce_alg_auto)->Arg(1)->Arg(4096)->Arg(262144)->UseManualTime()->MinTime(0.05);
+
+void alltoall_alg_bench(benchmark::State& state, char const* alg) {
+    auto const n = static_cast<std::size_t>(state.range(0));
+    drive_vtime_pinned(state, "alltoall", alg, [n](int, int) {
+        std::vector<std::uint64_t> send(n * kRanks, 3), recv(n * kRanks);
+        MPI_Alltoall(send.data(), static_cast<int>(n), MPI_UINT64_T, recv.data(),
+                     static_cast<int>(n), MPI_UINT64_T, MPI_COMM_WORLD);
+        benchmark::DoNotOptimize(recv.data());
+    });
+}
+
+void BM_alltoall_alg_flat(benchmark::State& state) { alltoall_alg_bench(state, "flat"); }
+void BM_alltoall_alg_bruck(benchmark::State& state) { alltoall_alg_bench(state, "bruck"); }
+void BM_alltoall_alg_auto(benchmark::State& state) { alltoall_alg_bench(state, "auto"); }
+BENCHMARK(BM_alltoall_alg_flat)->Arg(1)->Arg(64)->Arg(4096)->UseManualTime()->MinTime(0.05);
+BENCHMARK(BM_alltoall_alg_bruck)->Arg(1)->Arg(64)->Arg(4096)->UseManualTime()->MinTime(0.05);
+BENCHMARK(BM_alltoall_alg_auto)->Arg(1)->Arg(64)->Arg(4096)->UseManualTime()->MinTime(0.05);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -53,6 +53,80 @@ inline double neighbor_alltoallv(Machine const& m, double k, double bytes) {
     return 2 * k * (m.alpha + m.o) + m.beta * bytes;
 }
 
+// ---------------------------------------------------------------------------
+// Per-algorithm collective costs. These price the exact schedules built in
+// src/xmpi/algorithms/ and are what the substrate's automatic algorithm
+// selection minimizes (same formulas, machine parameters taken from the
+// universe's Config), so modeled measurements, the selection crossovers and
+// these analytic curves all line up. `bytes` is the family's characteristic
+// per-rank message size: the full payload for bcast/reduce/allreduce, one
+// rank's contribution for allgather, one per-destination block for alltoall.
+// ---------------------------------------------------------------------------
+
+inline double ceil_log2(double p) { return std::ceil(log2d(p < 2 ? 2 : p)); }
+
+/// Segments the pipelined ring bcast splits `bytes` into (64 KiB target,
+/// capped; mirrored by xmpi::detail::alg::ring_segments).
+inline double ring_pipeline_segments(double bytes) {
+    double const s = std::ceil(bytes / (64.0 * 1024.0));
+    return s < 1 ? 1 : (s > 64 ? 64 : s);
+}
+
+inline double bcast_flat(Machine const& m, double p, double bytes) {
+    return (p - 1) * (m.alpha + m.o + m.beta * bytes);
+}
+inline double bcast_binomial(Machine const& m, double p, double bytes) {
+    return ceil_log2(p) * (m.alpha + m.o + m.beta * bytes);
+}
+inline double bcast_ring_pipelined(Machine const& m, double p, double bytes) {
+    double const s = ring_pipeline_segments(bytes);
+    return (p - 2 + s) * (m.alpha + m.o + m.beta * bytes / s);
+}
+
+inline double reduce_flat(Machine const& m, double p, double bytes) {
+    return (p - 1) * (m.alpha + m.o + m.beta * bytes);
+}
+inline double reduce_binomial(Machine const& m, double p, double bytes) {
+    return ceil_log2(p) * (m.alpha + m.o + m.beta * bytes);
+}
+
+inline double allgather_flat(Machine const& m, double p, double bytes) {
+    return (p - 1) * (m.alpha + m.o) + (p - 1) * m.beta * bytes;
+}
+inline double allgather_rdoubling(Machine const& m, double p, double bytes) {
+    return ceil_log2(p) * (m.alpha + m.o) + (p - 1) * m.beta * bytes;
+}
+inline double allgather_ring(Machine const& m, double p, double bytes) {
+    return (p - 1) * (m.alpha + m.o + m.beta * bytes);
+}
+
+inline double allreduce_flat(Machine const& m, double p, double bytes) {
+    return (p - 1) * (m.alpha + m.o) + (p - 1) * m.beta * bytes;
+}
+inline double allreduce_rdoubling(Machine const& m, double p, double bytes) {
+    return ceil_log2(p) * (m.alpha + m.o + m.beta * bytes);
+}
+/// Binomial reduce to rank 0 followed by a binomial bcast.
+inline double allreduce_binomial(Machine const& m, double p, double bytes) {
+    return 2 * ceil_log2(p) * (m.alpha + m.o + m.beta * bytes);
+}
+/// Recursive-halving reduce-scatter + recursive-doubling allgather.
+inline double allreduce_rabenseifner(Machine const& m, double p, double bytes) {
+    return 2 * ceil_log2(p) * (m.alpha + m.o) + 2 * m.beta * bytes * (p - 1) / p;
+}
+/// Ring reduce-scatter + ring allgather (commutative ops only).
+inline double allreduce_ring(Machine const& m, double p, double bytes) {
+    return 2 * (p - 1) * (m.alpha + m.o) + 2 * m.beta * bytes * (p - 1) / p;
+}
+
+inline double alltoall_flat(Machine const& m, double p, double block_bytes) {
+    return (p - 1) * (m.alpha + m.o + m.beta * block_bytes);
+}
+/// Bruck: ceil(log2 p) rounds, each moving ~p/2 blocks.
+inline double alltoall_bruck(Machine const& m, double p, double block_bytes) {
+    return ceil_log2(p) * (m.alpha + m.o + m.beta * block_bytes * p / 2);
+}
+
 /// Fig. 8: sample sort of n elements/rank of `elem_bytes` each.
 /// Phases: local sample + allgatherv of samples, local sort, pairwise
 /// alltoallv of all data, final merge/sort.

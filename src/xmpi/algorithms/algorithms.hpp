@@ -1,0 +1,117 @@
+/// @file algorithms.hpp
+/// @brief The pluggable collective-algorithm layer: per-family registries of
+/// selectable algorithms (flat reference plus tree/ring/recursive-doubling/
+/// Bruck/Rabenseifner variants), and the selection logic that picks one per
+/// invocation from the analytic α-β cost model — overridable per family via
+/// the XMPI_ALG_<FAMILY> environment variables and the XMPI_T_alg_* control
+/// API in <xmpi/mpi.h>.
+///
+/// Every algorithm is expressed as a Schedule builder (see schedule.hpp), so
+/// each one serves both the blocking collective and its generalized-request
+/// i-variant. Non-commutative reductions keep rank-order (bracketing-only)
+/// combine semantics in every tree variant; algorithms that cannot (ring
+/// allreduce) declare needs_commutative and are skipped for such ops.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "schedule.hpp"
+
+namespace xmpi::detail::alg {
+
+enum class Family : int { bcast = 0, reduce, allgather, allreduce, alltoall };
+inline constexpr int kFamilies = 5;
+
+/// Registry entry for one algorithm of one collective family.
+struct AlgInfo {
+    char const* name;
+    bool needs_pow2 = false;         ///< valid only for power-of-two comm sizes
+    bool needs_commutative = false;  ///< combine order is not a rank-order bracketing
+    /// Splits the element vector across ranks (reduce-scatter shapes).
+    /// Builtin operations are element-wise by construction; user-defined
+    /// operations may treat element groups as one logical unit (PR-1's
+    /// rank-order matrix folds do), so such algorithms only apply to
+    /// builtin ops.
+    bool needs_elementwise = false;
+    /// Modeled completion time under LogP-style parameters (alpha, beta,
+    /// sender overhead o); `bytes` is the family's characteristic per-rank
+    /// message size. Used for automatic selection.
+    double (*cost)(double alpha, double beta, double o, double p, double bytes);
+};
+
+/// The registered algorithms of `f`; index into this table identifies the
+/// algorithm everywhere below. Index 0 is always the flat reference.
+std::vector<AlgInfo> const& algorithms(Family f);
+
+/// Lower-case family name as used by the control API ("bcast", ...).
+char const* family_name(Family f);
+
+/// Selects the algorithm index for one invocation on `comm`: an XMPI_T_alg
+/// forced choice wins, then the XMPI_ALG_<FAMILY> environment variable, then
+/// the cheapest valid algorithm under the communicator universe's configured
+/// α-β machine parameters. A forced/env choice that is invalid for this
+/// (p, op) combination falls back to cost-based selection among the valid
+/// ones, so pinning an algorithm never breaks correctness. `elementwise`
+/// is true for data movement and builtin reduction operations.
+int select(Family f, MPI_Comm comm, std::size_t bytes, bool commutative, bool elementwise = true);
+
+// ---------------------------------------------------------------------------
+// Builders. Each appends the selected algorithm's step program to `s`.
+// Wrapper-level normalization has already happened: `input` has MPI_IN_PLACE
+// resolved, and for allgather the caller's own block is already in recvbuf.
+// Returns an MPI error code (building never communicates; errors are
+// argument-shaped only).
+// ---------------------------------------------------------------------------
+
+int build_bcast(int alg, Schedule& s, void* buf, int count, MPI_Datatype type, int root);
+int build_reduce(int alg, Schedule& s, void const* input, void* recvbuf, int count,
+                 MPI_Datatype type, MPI_Op op, int root);
+int build_allgather(int alg, Schedule& s, void* recvbuf, int recvcount, MPI_Datatype recvtype);
+int build_allreduce(int alg, Schedule& s, void const* input, void* recvbuf, int count,
+                    MPI_Datatype type, MPI_Op op);
+int build_alltoall(int alg, Schedule& s, void const* sendbuf, int sendcount, MPI_Datatype sendtype,
+                   void* recvbuf, int recvcount, MPI_Datatype recvtype);
+
+// Append-style building blocks shared between families (composites). The
+// `tag_base` offsets the step tags so composed phases cannot match each
+// other's messages within one collective sequence number.
+void append_binomial_bcast(Schedule& s, void* buf, int count, MPI_Datatype type, int root,
+                           int tag_base);
+/// Rank-order-preserving binomial reduce toward rank 0 (true rank space),
+/// then a transfer 0 -> root when root != 0. Uses tags [tag_base, tag_base+1].
+void append_binomial_reduce(Schedule& s, void const* input, void* recvbuf, int count,
+                            MPI_Datatype type, MPI_Op op, int root, int tag_base);
+
+// ---------------------------------------------------------------------------
+// Shared datatype helpers (also used by collectives.cpp).
+// ---------------------------------------------------------------------------
+
+inline std::byte* at_offset(void* base, long long elements, MPI_Datatype t) {
+    return static_cast<std::byte*>(base) + elements * t->extent;
+}
+inline std::byte const* at_offset(void const* base, long long elements, MPI_Datatype t) {
+    return static_cast<std::byte const*>(base) + elements * t->extent;
+}
+
+/// Copies `scount` elements of `stype` between (possibly differently typed
+/// but signature-compatible) user buffers via pack/unpack.
+inline void local_copy(void const* src, int scount, MPI_Datatype stype, void* dst,
+                       MPI_Datatype rtype) {
+    std::size_t const bytes =
+        static_cast<std::size_t>(scount) * static_cast<std::size_t>(stype->size);
+    if (bytes == 0) return;
+    std::vector<std::byte> tmp(bytes);
+    stype->pack(src, scount, tmp.data());
+    rtype->unpack(tmp.data(), rtype->size > 0 ? static_cast<int>(bytes / rtype->size) : 0, dst);
+}
+
+/// Number of pipeline segments the ring bcast splits `bytes` into (kept in
+/// sync with bench::model::bcast_ring_pipelined's segment formula).
+inline int ring_segments(std::size_t bytes) {
+    std::size_t const target = 64 * 1024;
+    std::size_t const s = (bytes + target - 1) / target;
+    return static_cast<int>(s < 1 ? 1 : (s > 64 ? 64 : s));
+}
+
+}  // namespace xmpi::detail::alg

@@ -1,0 +1,84 @@
+/// @file allgather.cpp
+/// @brief Allgather algorithms over `recvbuf` (the caller's own block is
+/// already in place): flat (everyone sends to everyone), recursive doubling
+/// (power-of-two comm sizes, log2 p rounds of doubling windows), and a ring
+/// (p-1 rounds, each forwarding the newest block to the right neighbor).
+#include "algorithms.hpp"
+
+namespace xmpi::detail::alg {
+namespace {
+
+void build_flat(Schedule& s, void* recvbuf, int recvcount, MPI_Datatype recvtype) {
+    MPI_Comm const c = s.comm();
+    int const p = c->size();
+    int const r = c->rank();
+    std::byte* const own = at_offset(recvbuf, static_cast<long long>(r) * recvcount, recvtype);
+    std::vector<int> slots(static_cast<std::size_t>(p), -1);
+    // Post every receive up front, deposit the sends, then drain in
+    // ascending source order (the PR-1 i-variant shape).
+    for (int i = 0; i < p; ++i) {
+        if (i == r) continue;
+        slots[static_cast<std::size_t>(i)] =
+            s.post(i, 0, at_offset(recvbuf, static_cast<long long>(i) * recvcount, recvtype),
+                   recvcount, recvtype);
+    }
+    for (int i = 0; i < p; ++i) {
+        if (i == r) continue;
+        s.send(i, 0, own, recvcount, recvtype);
+    }
+    for (int i = 0; i < p; ++i) {
+        if (i == r) continue;
+        s.wait(slots[static_cast<std::size_t>(i)]);
+    }
+}
+
+void build_rdoubling(Schedule& s, void* recvbuf, int recvcount, MPI_Datatype recvtype) {
+    MPI_Comm const c = s.comm();
+    int const p = c->size();
+    int const r = c->rank();
+    for (int bit = 1, k = 0; bit < p; bit <<= 1, ++k) {
+        int const partner = r ^ bit;
+        int const mine = r & ~(bit - 1);
+        int const theirs = partner & ~(bit - 1);
+        int const slot =
+            s.post(partner, k,
+                   at_offset(recvbuf, static_cast<long long>(theirs) * recvcount, recvtype),
+                   bit * recvcount, recvtype);
+        s.send(partner, k, at_offset(recvbuf, static_cast<long long>(mine) * recvcount, recvtype),
+               bit * recvcount, recvtype);
+        s.wait(slot);
+    }
+}
+
+void build_ring(Schedule& s, void* recvbuf, int recvcount, MPI_Datatype recvtype) {
+    MPI_Comm const c = s.comm();
+    int const p = c->size();
+    int const r = c->rank();
+    int const right = (r + 1) % p;
+    int const left = (r - 1 + p) % p;
+    for (int k = 0; k < p - 1; ++k) {
+        int const sblock = (r - k + p) % p;
+        int const rblock = (r - k - 1 + p) % p;
+        int const slot =
+            s.post(left, k, at_offset(recvbuf, static_cast<long long>(rblock) * recvcount, recvtype),
+                   recvcount, recvtype);
+        s.send(right, k, at_offset(recvbuf, static_cast<long long>(sblock) * recvcount, recvtype),
+               recvcount, recvtype);
+        s.wait(slot);
+    }
+}
+
+}  // namespace
+
+int build_allgather(int alg, Schedule& s, void* recvbuf, int recvcount, MPI_Datatype recvtype) {
+    if (s.comm()->size() == 1) return MPI_SUCCESS;
+    switch (alg) {
+        case 0: build_flat(s, recvbuf, recvcount, recvtype); break;
+        case 1: build_rdoubling(s, recvbuf, recvcount, recvtype); break;
+        case 2: build_ring(s, recvbuf, recvcount, recvtype); break;
+        default: return MPI_ERR_ARG;
+    }
+    return MPI_SUCCESS;
+}
+
+}  // namespace xmpi::detail::alg

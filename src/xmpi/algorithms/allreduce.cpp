@@ -1,0 +1,267 @@
+/// @file allreduce.cpp
+/// @brief Allreduce algorithms:
+///  - flat: every rank broadcasts its operand and folds all p contributions
+///    in ascending rank order (the PR-1 i-variant shape);
+///  - binomial: rank-order binomial reduce to rank 0 + binomial bcast;
+///  - rdoubling: recursive doubling (power-of-two p), left/right operand
+///    roles chosen by partner rank so the combine is a rank-order bracketing
+///    (associativity suffices, non-commutative ops are exact);
+///  - rabenseifner: recursive-halving reduce-scatter + recursive-doubling
+///    allgather over a near-even block partition (power-of-two p, any count
+///    including counts < p); halving pairs distant ranks first, so the
+///    combine order is an interleave — commutative ops only (registry);
+///  - ring: ring reduce-scatter + ring allgather; the rotated fold order
+///    requires commutativity, declared in the registry.
+#include <cstring>
+#include <numeric>
+
+#include "algorithms.hpp"
+#include "fold.hpp"
+
+namespace xmpi::detail::alg {
+namespace {
+
+/// Near-even partition of `count` into p blocks (earlier blocks get the
+/// remainder). Returns the p+1 exclusive prefix sums.
+std::vector<long long> block_offsets(int count, int p) {
+    std::vector<long long> off(static_cast<std::size_t>(p) + 1, 0);
+    int const base = count / p;
+    int const rem = count % p;
+    for (int i = 0; i < p; ++i)
+        off[static_cast<std::size_t>(i) + 1] =
+            off[static_cast<std::size_t>(i)] + base + (i < rem ? 1 : 0);
+    return off;
+}
+
+void build_flat(Schedule& s, void const* input, void* recvbuf, int count, MPI_Datatype type,
+                MPI_Op op) {
+    MPI_Comm const c = s.comm();
+    int const p = c->size();
+    int const r = c->rank();
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
+    std::byte* const own = s.alloc(bytes);
+    if (bytes > 0) std::memcpy(own, input, bytes);
+    for (int i = 0; i < p; ++i) {
+        if (i == r) continue;
+        s.send(i, 0, own, count, type);
+    }
+    FoldChain chain{s, op, count, type};
+    chain.free = {s.alloc(bytes), s.alloc(bytes)};
+    for (int i = 0; i < p; ++i) {
+        if (i == r) {
+            chain.fold_right(own);
+            continue;
+        }
+        std::byte* const target = chain.take();
+        s.recv(i, 0, target, count, type);
+        chain.fold_right(target);
+    }
+    chain.emit_copy_out(recvbuf, bytes);
+}
+
+void build_rdoubling(Schedule& s, void const* input, void* recvbuf, int count, MPI_Datatype type,
+                     MPI_Op op) {
+    MPI_Comm const c = s.comm();
+    int const p = c->size();
+    int const r = c->rank();
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
+    std::byte* cur = s.alloc(bytes);
+    std::byte* other = s.alloc(bytes);
+    if (bytes > 0) std::memcpy(cur, input, bytes);
+    for (int bit = 1, k = 0; bit < p; bit <<= 1, ++k) {
+        int const partner = r ^ bit;
+        int const slot = s.post(partner, k, other, count, type);
+        s.send(partner, k, cur, count, type);
+        s.wait(slot);
+        if (count == 0) continue;
+        if ((r & bit) != 0) {
+            // Partner covers the lower rank range: received data is the left
+            // operand, result stays in our accumulator.
+            s.local([op, in = other, inout = cur, count, type]() {
+                apply_op(op, in, inout, count, type);
+                return MPI_SUCCESS;
+            });
+        } else {
+            s.local([op, in = cur, inout = other, count, type]() {
+                apply_op(op, in, inout, count, type);
+                return MPI_SUCCESS;
+            });
+            std::swap(cur, other);
+        }
+    }
+    if (bytes > 0) {
+        s.local([recvbuf, cur, bytes]() {
+            std::memcpy(recvbuf, cur, bytes);
+            return MPI_SUCCESS;
+        });
+    }
+}
+
+void build_rabenseifner(Schedule& s, void const* input, void* recvbuf, int count,
+                        MPI_Datatype type, MPI_Op op) {
+    MPI_Comm const c = s.comm();
+    int const p = c->size();
+    int const r = c->rank();
+    std::size_t const extent = static_cast<std::size_t>(type->extent);
+    std::size_t const bytes = static_cast<std::size_t>(count) * extent;
+    auto const off = block_offsets(count, p);
+    std::byte* const acc = s.alloc(bytes);
+    std::byte* const tmp = s.alloc(bytes);
+    if (bytes > 0) std::memcpy(acc, input, bytes);
+
+    // Phase 1: recursive-halving reduce-scatter. The kept half is always the
+    // one containing our own block index, so after log2(p) steps rank r owns
+    // the fully reduced block r. Pairs at distance p/2 combine first, so the
+    // overall order is an interleave (commutative ops only); operand sides
+    // still follow partner rank for deterministic results.
+    int k = 0;
+    int lo = 0, hi = p;
+    for (int bit = p / 2; bit >= 1; bit >>= 1, ++k) {
+        int const partner = r ^ bit;
+        int const mid = lo + bit;
+        int keep_lo, keep_hi, send_lo, send_hi;
+        if ((r & bit) == 0) {
+            keep_lo = lo, keep_hi = mid, send_lo = mid, send_hi = hi;
+        } else {
+            keep_lo = mid, keep_hi = hi, send_lo = lo, send_hi = mid;
+        }
+        int const keep_elems = static_cast<int>(off[static_cast<std::size_t>(keep_hi)] -
+                                                off[static_cast<std::size_t>(keep_lo)]);
+        int const send_elems = static_cast<int>(off[static_cast<std::size_t>(send_hi)] -
+                                                off[static_cast<std::size_t>(send_lo)]);
+        int const slot = s.post(partner, k, tmp, keep_elems, type);
+        s.send(partner, k, acc + static_cast<std::size_t>(off[static_cast<std::size_t>(send_lo)]) * extent,
+               send_elems, type);
+        s.wait(slot);
+        std::byte* const keep_ptr =
+            acc + static_cast<std::size_t>(off[static_cast<std::size_t>(keep_lo)]) * extent;
+        if (keep_elems > 0) {
+            if (partner < r) {
+                // Received contribution covers lower ranks: left operand.
+                s.local([op, tmp, keep_ptr, keep_elems, type]() {
+                    apply_op(op, tmp, keep_ptr, keep_elems, type);
+                    return MPI_SUCCESS;
+                });
+            } else {
+                s.local([op, tmp, keep_ptr, keep_elems, type, extent]() {
+                    apply_op(op, keep_ptr, tmp, keep_elems, type);
+                    std::memcpy(keep_ptr, tmp, static_cast<std::size_t>(keep_elems) * extent);
+                    return MPI_SUCCESS;
+                });
+            }
+        }
+        lo = keep_lo;
+        hi = keep_hi;
+    }
+
+    // Phase 2: recursive-doubling allgather of the reduced blocks.
+    for (int bit = 1; bit < p; bit <<= 1, ++k) {
+        int const partner = r ^ bit;
+        int const my_lo = r & ~(bit - 1);
+        int const their_lo = partner & ~(bit - 1);
+        int const my_elems = static_cast<int>(off[static_cast<std::size_t>(my_lo + bit)] -
+                                              off[static_cast<std::size_t>(my_lo)]);
+        int const their_elems = static_cast<int>(off[static_cast<std::size_t>(their_lo + bit)] -
+                                                 off[static_cast<std::size_t>(their_lo)]);
+        int const slot = s.post(
+            partner, k,
+            acc + static_cast<std::size_t>(off[static_cast<std::size_t>(their_lo)]) * extent,
+            their_elems, type);
+        s.send(partner, k,
+               acc + static_cast<std::size_t>(off[static_cast<std::size_t>(my_lo)]) * extent,
+               my_elems, type);
+        s.wait(slot);
+    }
+    if (bytes > 0) {
+        s.local([recvbuf, acc, bytes]() {
+            std::memcpy(recvbuf, acc, bytes);
+            return MPI_SUCCESS;
+        });
+    }
+}
+
+void build_ring(Schedule& s, void const* input, void* recvbuf, int count, MPI_Datatype type,
+                MPI_Op op) {
+    MPI_Comm const c = s.comm();
+    int const p = c->size();
+    int const r = c->rank();
+    std::size_t const extent = static_cast<std::size_t>(type->extent);
+    std::size_t const bytes = static_cast<std::size_t>(count) * extent;
+    auto const off = block_offsets(count, p);
+    auto cnt = [&](int b) {
+        return static_cast<int>(off[static_cast<std::size_t>(b) + 1] -
+                                off[static_cast<std::size_t>(b)]);
+    };
+    auto at = [&](int b) {
+        return static_cast<std::size_t>(off[static_cast<std::size_t>(b)]) * extent;
+    };
+    std::byte* const acc = s.alloc(bytes);
+    std::byte* const tmp = s.alloc(bytes > 0 ? (static_cast<std::size_t>(cnt(0)) * extent) : 0);
+    if (bytes > 0) std::memcpy(acc, input, bytes);
+    int const right = (r + 1) % p;
+    int const left = (r - 1 + p) % p;
+
+    // Phase 1: ring reduce-scatter — after p-1 steps rank r holds the fully
+    // reduced block (r+1) % p. Fold order is rotated, hence commutative-only.
+    int k = 0;
+    for (int j = 0; j < p - 1; ++j, ++k) {
+        int const sblock = (r - j + p) % p;
+        int const rblock = (r - j - 1 + p) % p;
+        int const slot = s.post(left, k, tmp, cnt(rblock), type);
+        s.send(right, k, acc + at(sblock), cnt(sblock), type);
+        s.wait(slot);
+        if (cnt(rblock) > 0) {
+            s.local([op, tmp, dst = acc + at(rblock), n = cnt(rblock), type]() {
+                apply_op(op, tmp, dst, n, type);
+                return MPI_SUCCESS;
+            });
+        }
+    }
+    // Phase 2: ring allgather of the reduced blocks.
+    for (int j = 0; j < p - 1; ++j, ++k) {
+        int const sblock = (r + 1 - j + 2 * p) % p;
+        int const rblock = (r - j + 2 * p) % p;
+        int const slot = s.post(left, k, acc + at(rblock), cnt(rblock), type);
+        s.send(right, k, acc + at(sblock), cnt(sblock), type);
+        s.wait(slot);
+    }
+    if (bytes > 0) {
+        s.local([recvbuf, acc, bytes]() {
+            std::memcpy(recvbuf, acc, bytes);
+            return MPI_SUCCESS;
+        });
+    }
+}
+
+}  // namespace
+
+int build_allreduce(int alg, Schedule& s, void const* input, void* recvbuf, int count,
+                    MPI_Datatype type, MPI_Op op) {
+    if (s.comm()->size() == 1) {
+        std::size_t const bytes =
+            static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
+        if (bytes > 0 && input != recvbuf) {
+            s.local([input, recvbuf, bytes]() {
+                std::memcpy(recvbuf, input, bytes);
+                return MPI_SUCCESS;
+            });
+        }
+        return MPI_SUCCESS;
+    }
+    switch (alg) {
+        case 0: build_flat(s, input, recvbuf, count, type, op); break;
+        case 1:
+            append_binomial_reduce(s, input, recvbuf, count, type, op, /*root=*/0, /*tag_base=*/0);
+            append_binomial_bcast(s, recvbuf, count, type, /*root=*/0, /*tag_base=*/2);
+            break;
+        case 2: build_rdoubling(s, input, recvbuf, count, type, op); break;
+        case 3: build_rabenseifner(s, input, recvbuf, count, type, op); break;
+        case 4: build_ring(s, input, recvbuf, count, type, op); break;
+        default: return MPI_ERR_ARG;
+    }
+    return MPI_SUCCESS;
+}
+
+}  // namespace xmpi::detail::alg

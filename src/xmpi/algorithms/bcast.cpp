@@ -1,0 +1,85 @@
+/// @file bcast.cpp
+/// @brief Bcast algorithms: flat (root sends to everyone), binomial tree,
+/// and a segmented pipelined ring (large messages: every link is busy once
+/// the pipeline fills, so the modeled time approaches one traversal of the
+/// payload instead of log2(p) of them).
+#include "algorithms.hpp"
+
+namespace xmpi::detail::alg {
+namespace {
+
+void build_flat(Schedule& s, void* buf, int count, MPI_Datatype type, int root) {
+    MPI_Comm const c = s.comm();
+    int const p = c->size();
+    int const r = c->rank();
+    if (r == root) {
+        for (int i = 0; i < p; ++i) {
+            if (i == root) continue;
+            s.send(i, 0, buf, count, type);
+        }
+    } else {
+        s.recv(root, 0, buf, count, type);
+    }
+}
+
+void build_ring(Schedule& s, void* buf, int count, MPI_Datatype type, int root) {
+    MPI_Comm const c = s.comm();
+    int const p = c->size();
+    int const r = c->rank();
+    int const vr = (r - root + p) % p;
+    auto real = [&](int v) { return (v + root) % p; };
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
+    int nseg = ring_segments(bytes);
+    if (nseg > count && count > 0) nseg = count;
+    if (count == 0) nseg = 1;
+    int const base = count / nseg;
+    int const rem = count % nseg;
+    // Segment k covers [off_k, off_k + len_k); earlier segments get the
+    // remainder so offsets are a prefix sum.
+    long long off = 0;
+    for (int k = 0; k < nseg; ++k) {
+        int const len = base + (k < rem ? 1 : 0);
+        std::byte* const seg = at_offset(buf, off, type);
+        if (vr != 0) s.recv(real(vr - 1), k, seg, len, type);
+        if (vr != p - 1) s.send(real(vr + 1), k, seg, len, type);
+        off += len;
+    }
+}
+
+}  // namespace
+
+void append_binomial_bcast(Schedule& s, void* buf, int count, MPI_Datatype type, int root,
+                           int tag_base) {
+    MPI_Comm const c = s.comm();
+    int const p = c->size();
+    int const r = c->rank();
+    int const vr = (r - root + p) % p;
+    auto real = [&](int v) { return (v + root) % p; };
+    int mask = 1;
+    while (mask < p) {
+        if ((vr & mask) != 0) {
+            s.recv(real(vr - mask), tag_base, buf, count, type);
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+        if (vr + mask < p) s.send(real(vr + mask), tag_base, buf, count, type);
+        mask >>= 1;
+    }
+}
+
+int build_bcast(int alg, Schedule& s, void* buf, int count, MPI_Datatype type, int root) {
+    if (s.comm()->size() == 1) return MPI_SUCCESS;
+    switch (alg) {
+        case 0: build_flat(s, buf, count, type, root); break;
+        case 1: append_binomial_bcast(s, buf, count, type, root, 0); break;
+        case 2: build_ring(s, buf, count, type, root); break;
+        default: return MPI_ERR_ARG;
+    }
+    return MPI_SUCCESS;
+}
+
+}  // namespace xmpi::detail::alg

@@ -1,0 +1,64 @@
+/// @file fold.hpp
+/// @brief Build-time bookkeeping for rank-order reduction folds shared by
+/// the reduce and allreduce schedule builders.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "schedule.hpp"
+
+namespace xmpi::detail::alg {
+
+/// Build-time fold bookkeeping: `cur` tracks the buffer holding the
+/// accumulated prefix. Folding a new right operand emits an apply_op step
+/// whose result lands in the operand's buffer (apply_op stores into
+/// `inout`), so the accumulator migrates and the vacated buffer returns to
+/// the free list for the next receive.
+struct FoldChain {
+    FoldChain(Schedule& sched, MPI_Op o, int c, MPI_Datatype t)
+        : s(sched), op(o), count(c), type(t) {}
+
+    Schedule& s;
+    MPI_Op op;
+    int count;
+    MPI_Datatype type;
+    std::byte* cur = nullptr;
+    std::vector<std::byte*> free;
+
+    /// Zero-count reductions have no payload (every scratch allocation is
+    /// null): the message steps still run for matching hygiene, but no
+    /// local fold/copy steps are needed or emitted.
+    bool empty() const { return count == 0; }
+
+    std::byte* take() {
+        if (empty()) return nullptr;
+        std::byte* const t = free.back();
+        free.pop_back();
+        return t;
+    }
+
+    void fold_right(std::byte* operand) {
+        if (empty()) return;
+        if (cur != nullptr) {
+            std::byte* const left = cur;
+            s.local([op = op, left, operand, count = count, type = type]() {
+                apply_op(op, left, operand, count, type);
+                return MPI_SUCCESS;
+            });
+            free.push_back(cur);
+        }
+        cur = operand;
+    }
+
+    void emit_copy_out(void* dst, std::size_t bytes) {
+        if (empty() || bytes == 0) return;
+        std::byte* const result = cur;
+        s.local([dst, result, bytes]() {
+            std::memcpy(dst, result, bytes);
+            return MPI_SUCCESS;
+        });
+    }
+};
+
+}  // namespace xmpi::detail::alg

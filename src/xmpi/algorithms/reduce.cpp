@@ -1,0 +1,95 @@
+/// @file reduce.cpp
+/// @brief Reduce algorithms. Both preserve rank-order combine semantics so
+/// non-commutative (associative-only) operations are exact:
+///  - flat: root drains contributions in ascending rank order, interleaving
+///    its own operand at its rank position (the PR-1 i-variant fold);
+///  - binomial: tree over true ranks toward rank 0 — every internal node
+///    combines contiguous, adjacent rank ranges (a bracketing of
+///    0 op 1 op ... op p-1) — followed by a single transfer 0 -> root.
+#include <cstring>
+
+#include "algorithms.hpp"
+#include "fold.hpp"
+
+namespace xmpi::detail::alg {
+namespace {
+
+void build_flat(Schedule& s, void const* input, void* recvbuf, int count, MPI_Datatype type,
+                MPI_Op op, int root) {
+    MPI_Comm const c = s.comm();
+    int const p = c->size();
+    int const r = c->rank();
+    if (r != root) {
+        s.send(root, 0, input, count, type);
+        return;
+    }
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
+    std::byte* const own = s.alloc(bytes);
+    if (bytes > 0) std::memcpy(own, input, bytes);
+    FoldChain chain{s, op, count, type};
+    // Two spare buffers suffice: one holds the accumulator, the other
+    // receives the next contribution; folds swap their roles.
+    chain.free = {s.alloc(bytes), s.alloc(bytes)};
+    for (int i = 0; i < p; ++i) {
+        if (i == r) {
+            chain.fold_right(own);
+            continue;
+        }
+        std::byte* const target = chain.take();
+        s.recv(i, 0, target, count, type);
+        chain.fold_right(target);
+    }
+    chain.emit_copy_out(recvbuf, bytes);
+}
+
+}  // namespace
+
+void append_binomial_reduce(Schedule& s, void const* input, void* recvbuf, int count,
+                            MPI_Datatype type, MPI_Op op, int root, int tag_base) {
+    MPI_Comm const c = s.comm();
+    int const p = c->size();
+    int const r = c->rank();
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
+    std::byte* const acc = s.alloc(bytes);
+    if (bytes > 0) std::memcpy(acc, input, bytes);
+    FoldChain chain{s, op, count, type};
+    chain.cur = acc;
+    chain.free = {s.alloc(bytes)};
+    for (int mask = 1; mask < p; mask <<= 1) {
+        if ((r & mask) != 0) {
+            // Parent covers the adjacent rank range below ours; our
+            // accumulator is its right operand.
+            s.send(r - mask, tag_base, chain.cur, count, type);
+            return;
+        }
+        if (r + mask < p) {
+            std::byte* const target = chain.take();
+            s.recv(r + mask, tag_base, target, count, type);
+            chain.fold_right(target);
+        }
+    }
+    // Only rank 0 reaches this point, holding the full rank-order result.
+    if (root == 0) {
+        chain.emit_copy_out(recvbuf, bytes);
+    } else {
+        s.send(root, tag_base + 1, chain.cur, count, type);
+    }
+}
+
+int build_reduce(int alg, Schedule& s, void const* input, void* recvbuf, int count,
+                 MPI_Datatype type, MPI_Op op, int root) {
+    switch (alg) {
+        case 0: build_flat(s, input, recvbuf, count, type, op, root); break;
+        case 1: {
+            append_binomial_reduce(s, input, recvbuf, count, type, op, root, 0);
+            if (root != 0 && s.comm()->rank() == root) s.recv(0, 1, recvbuf, count, type);
+            break;
+        }
+        default: return MPI_ERR_ARG;
+    }
+    return MPI_SUCCESS;
+}
+
+}  // namespace xmpi::detail::alg

@@ -1,0 +1,199 @@
+/// @file registry.cpp
+/// @brief Algorithm registry and selection: per-family tables, the α-β
+/// cost-model automatic choice, and the two override channels (the
+/// XMPI_ALG_<FAMILY> environment variables and the XMPI_T_alg_* control
+/// calls, the latter taking precedence so harnesses can pin algorithms
+/// programmatically).
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "algorithms.hpp"
+#include "bench/model/analytic.hpp"
+
+namespace xmpi::detail::alg {
+namespace {
+
+/// Adapts a bench::model cost formula to the registry's flat signature so
+/// selection prices schedules with the universe's configured machine terms.
+template <double (*F)(bench::model::Machine const&, double, double)>
+double adapt(double alpha, double beta, double o, double p, double bytes) {
+    bench::model::Machine m;
+    m.alpha = alpha;
+    m.beta = beta;
+    m.o = o;
+    return F(m, p, static_cast<double>(bytes));
+}
+
+std::vector<AlgInfo> const& table(Family f) {
+    // Index 0 is the flat reference of each family (the PR-1 behavior).
+    static std::vector<AlgInfo> const bcast_t = {
+        {"flat", false, false, false, adapt<bench::model::bcast_flat>},
+        {"binomial", false, false, false, adapt<bench::model::bcast_binomial>},
+        {"ring", false, false, false, adapt<bench::model::bcast_ring_pipelined>},
+    };
+    static std::vector<AlgInfo> const reduce_t = {
+        {"flat", false, false, false, adapt<bench::model::reduce_flat>},
+        {"binomial", false, false, false, adapt<bench::model::reduce_binomial>},
+    };
+    static std::vector<AlgInfo> const allgather_t = {
+        {"flat", false, false, false, adapt<bench::model::allgather_flat>},
+        {"rdoubling", true, false, false, adapt<bench::model::allgather_rdoubling>},
+        {"ring", false, false, false, adapt<bench::model::allgather_ring>},
+    };
+    static std::vector<AlgInfo> const allreduce_t = {
+        {"flat", false, false, false, adapt<bench::model::allreduce_flat>},
+        {"binomial", false, false, false, adapt<bench::model::allreduce_binomial>},
+        {"rdoubling", true, false, false, adapt<bench::model::allreduce_rdoubling>},
+        // Recursive halving pairs ranks at distance p/2 first, so an
+        // element combines as e.g. (v0 op v2) op (v1 op v3) — an interleave,
+        // not a rank-order bracketing: commutative ops only.
+        {"rabenseifner", true, true, true, adapt<bench::model::allreduce_rabenseifner>},
+        {"ring", false, true, true, adapt<bench::model::allreduce_ring>},
+    };
+    static std::vector<AlgInfo> const alltoall_t = {
+        {"flat", false, false, false, adapt<bench::model::alltoall_flat>},
+        {"bruck", false, false, false, adapt<bench::model::alltoall_bruck>},
+    };
+    switch (f) {
+        case Family::bcast: return bcast_t;
+        case Family::reduce: return reduce_t;
+        case Family::allgather: return allgather_t;
+        case Family::allreduce: return allreduce_t;
+        case Family::alltoall: return alltoall_t;
+    }
+    return bcast_t;  // unreachable
+}
+
+char const* const kFamilyNames[kFamilies] = {"bcast", "reduce", "allgather", "allreduce",
+                                             "alltoall"};
+char const* const kEnvNames[kFamilies] = {"XMPI_ALG_BCAST", "XMPI_ALG_REDUCE",
+                                          "XMPI_ALG_ALLGATHER", "XMPI_ALG_ALLREDUCE",
+                                          "XMPI_ALG_ALLTOALL"};
+
+/// Control-API forced algorithm index per family; -1 means automatic.
+std::atomic<int> g_forced[kFamilies] = {-1, -1, -1, -1, -1};
+
+bool iequals(char const* a, char const* b) {
+    for (; *a != '\0' && *b != '\0'; ++a, ++b) {
+        if (std::tolower(static_cast<unsigned char>(*a)) !=
+            std::tolower(static_cast<unsigned char>(*b)))
+            return false;
+    }
+    return *a == '\0' && *b == '\0';
+}
+
+int family_index(char const* name) {
+    if (name == nullptr) return -1;
+    for (int i = 0; i < kFamilies; ++i) {
+        if (iequals(name, kFamilyNames[i])) return i;
+    }
+    return -1;
+}
+
+int name_index(std::vector<AlgInfo> const& t, char const* name) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (iequals(name, t[i].name)) return static_cast<int>(i);
+    }
+    return -1;
+}
+
+bool is_pow2(int p) { return (p & (p - 1)) == 0; }
+
+}  // namespace
+
+std::vector<AlgInfo> const& algorithms(Family f) { return table(f); }
+
+char const* family_name(Family f) { return kFamilyNames[static_cast<int>(f)]; }
+
+int select(Family f, MPI_Comm comm, std::size_t bytes, bool commutative, bool elementwise) {
+    auto const& t = table(f);
+    int const p = comm->size();
+    auto valid = [&](AlgInfo const& a) {
+        if (a.needs_pow2 && !is_pow2(p)) return false;
+        if (a.needs_commutative && !commutative) return false;
+        if (a.needs_elementwise && !elementwise) return false;
+        return true;
+    };
+
+    int const forced = g_forced[static_cast<int>(f)].load(std::memory_order_relaxed);
+    if (forced >= 0 && forced < static_cast<int>(t.size()) &&
+        valid(t[static_cast<std::size_t>(forced)]))
+        return forced;
+    if (forced < 0) {
+        // The environment cannot change meaningfully mid-process (the CI
+        // matrix sets it at launch); resolve each XMPI_ALG_* variable once
+        // so the hot path pays no environ scan per collective call.
+        static std::atomic<int> env_cache[kFamilies] = {-2, -2, -2, -2, -2};
+        int idx = env_cache[static_cast<int>(f)].load(std::memory_order_relaxed);
+        if (idx == -2) {
+            char const* env = std::getenv(kEnvNames[static_cast<int>(f)]);
+            idx = env != nullptr ? name_index(t, env) : -1;
+            env_cache[static_cast<int>(f)].store(idx, std::memory_order_relaxed);
+        }
+        if (idx >= 0 && valid(t[static_cast<std::size_t>(idx)])) return idx;
+    }
+
+    auto const& cfg = comm->universe->cfg;
+    int best = 0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!valid(t[i])) continue;
+        double const c = t[i].cost(cfg.alpha, cfg.beta, cfg.o, static_cast<double>(p),
+                                   static_cast<double>(bytes));
+        if (c < best_cost) {
+            best_cost = c;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+}  // namespace xmpi::detail::alg
+
+// ---------------------------------------------------------------------------
+// MPI_T-style control API (declared in <xmpi/mpi.h>).
+// ---------------------------------------------------------------------------
+
+using namespace xmpi::detail::alg;
+
+int XMPI_T_alg_set(const char* family, const char* algorithm) {
+    int const fi = family_index(family);
+    if (fi < 0) return MPI_ERR_ARG;
+    if (algorithm == nullptr || *algorithm == '\0' || iequals(algorithm, "auto")) {
+        g_forced[fi].store(-1, std::memory_order_relaxed);
+        return MPI_SUCCESS;
+    }
+    int const ai = name_index(table(static_cast<Family>(fi)), algorithm);
+    if (ai < 0) return MPI_ERR_ARG;
+    g_forced[fi].store(ai, std::memory_order_relaxed);
+    return MPI_SUCCESS;
+}
+
+int XMPI_T_alg_get(const char* family, const char** algorithm) {
+    int const fi = family_index(family);
+    if (fi < 0 || algorithm == nullptr) return MPI_ERR_ARG;
+    int const forced = g_forced[fi].load(std::memory_order_relaxed);
+    *algorithm = forced < 0
+                     ? "auto"
+                     : table(static_cast<Family>(fi))[static_cast<std::size_t>(forced)].name;
+    return MPI_SUCCESS;
+}
+
+int XMPI_T_alg_list(const char* family, char* buf, int buflen) {
+    int const fi = family_index(family);
+    if (fi < 0 || buf == nullptr || buflen <= 0) return MPI_ERR_ARG;
+    auto const& t = table(static_cast<Family>(fi));
+    int pos = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        int const need = static_cast<int>(std::strlen(t[i].name)) + (i > 0 ? 1 : 0);
+        if (pos + need >= buflen) return MPI_ERR_ARG;  // buffer too small
+        if (i > 0) buf[pos++] = ',';
+        std::memcpy(buf + pos, t[i].name, std::strlen(t[i].name));
+        pos += static_cast<int>(std::strlen(t[i].name));
+    }
+    buf[pos] = '\0';
+    return MPI_SUCCESS;
+}

@@ -1,0 +1,97 @@
+/// @file schedule.cpp
+/// @brief Schedule executor: one code path drives every collective algorithm
+/// both blockingly and as a generalized request (see schedule.hpp).
+#include "schedule.hpp"
+
+namespace xmpi::detail::alg {
+
+bool Schedule::advance(bool blocking, int* err) {
+    while (pos_ < steps_.size()) {
+        Step& st = steps_[pos_];
+        int rc = MPI_SUCCESS;
+        switch (st.kind) {
+            case Step::Kind::send:
+                rc = deposit(tls_rank(), comm_, comm_->context + 1, st.peer,
+                             coll_tag(seq_, st.tag_step), st.sbuf, st.count, st.type, nullptr,
+                             true);
+                break;
+            case Step::Kind::post_recv:
+                rc = xmpi::detail::post_recv(tls_rank(), comm_, comm_->context + 1, st.peer,
+                                             coll_tag(seq_, st.tag_step), st.rbuf, st.count,
+                                             st.type, true, &reqs_[static_cast<std::size_t>(st.slot)]);
+                break;
+            case Step::Kind::wait_recv: {
+                xmpi_request_t*& req = reqs_[static_cast<std::size_t>(st.slot)];
+                if (blocking) {
+                    rc = wait_one(req, MPI_STATUS_IGNORE);
+                    req = nullptr;
+                } else {
+                    int flag = 0;
+                    rc = test_one(req, &flag, MPI_STATUS_IGNORE);
+                    if (flag == 0) return false;
+                    req = nullptr;
+                }
+                break;
+            }
+            case Step::Kind::local:
+                rc = st.local_fn();
+                break;
+        }
+        if (rc != MPI_SUCCESS) {
+            // Abandon the remainder of the program (error paths here mean a
+            // dead rank or revoked communicator). Outstanding posted
+            // receives are unlinked immediately: a straggling live peer must
+            // not be able to match them later and write into freed scratch.
+            error_ = rc;
+            pos_ = steps_.size();
+            release_pending();
+            *err = error_;
+            return true;
+        }
+        ++pos_;
+    }
+    *err = error_;
+    return true;
+}
+
+void Schedule::release_pending() {
+    if (tls_rank() == nullptr) return;  // universe already torn down
+    for (auto& req : reqs_) {
+        if (req == nullptr) continue;
+        MPI_Request_free(&req);  // unlinks from the mailbox posted list
+    }
+}
+
+int run_blocking(Schedule& s) {
+    int err = MPI_SUCCESS;
+    s.advance(/*blocking=*/true, &err);
+    return err;
+}
+
+int launch_nonblocking(MPI_Comm comm, std::shared_ptr<Schedule> s, int init_error,
+                       MPI_Request* request) {
+    auto* req = new xmpi_request_t();
+    req->kind = xmpi_request_t::Kind::generalized;
+    req->owner = tls_rank();
+    req->comm = comm;
+    if (init_error != MPI_SUCCESS) {
+        req->error = init_error;
+        req->completion_vtime = tls_rank()->vnow;
+        req->complete.store(true, std::memory_order_release);
+        *request = req;
+        return MPI_SUCCESS;
+    }
+    req->progress = [s](xmpi_request_t* rq) -> bool {
+        int err = MPI_SUCCESS;
+        if (!s->advance(/*blocking=*/false, &err)) return false;
+        if (err != MPI_SUCCESS) rq->error = err;
+        rq->completion_vtime = tls_rank()->vnow;
+        rq->complete.store(true, std::memory_order_release);
+        return true;
+    };
+    req->progress(req);
+    *request = req;
+    return MPI_SUCCESS;
+}
+
+}  // namespace xmpi::detail::alg

@@ -1,0 +1,143 @@
+/// @file schedule.hpp
+/// @brief Collective communication schedules: an algorithm instance is
+/// materialized once (at initiation) into a linear program of send /
+/// post-receive / wait-receive / local-compute steps over scratch buffers
+/// owned by the schedule. The same program is then executed either to
+/// completion on the calling thread (blocking collectives) or incrementally
+/// from a generalized request's progress function (the MPI_I* variants), so
+/// every algorithm in src/xmpi/algorithms/ is automatically available in
+/// both flavors with identical semantics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "../internal.hpp"
+
+namespace xmpi::detail::alg {
+
+/// One step of a collective schedule. Sends complete at execution time (the
+/// transport is fully eager); `wait_recv` is the only step that can stall.
+struct Step {
+    enum class Kind { send, post_recv, wait_recv, local };
+    Kind kind = Kind::local;
+    int peer = 0;      ///< send / post_recv: partner comm rank
+    int tag_step = 0;  ///< step component of the collective tag
+    void const* sbuf = nullptr;
+    void* rbuf = nullptr;
+    int count = 0;
+    MPI_Datatype type = nullptr;
+    int slot = -1;  ///< post_recv / wait_recv: request slot
+    std::function<int()> local_fn;
+};
+
+/// A fully materialized collective algorithm instance: the step program plus
+/// the scratch storage it references. Builders allocate scratch through
+/// alloc() (pointers stay stable) and append steps; pointers captured in
+/// steps are resolved at build time, so ping-pong accumulator schemes are
+/// expressed by tracking the current buffer while building.
+class Schedule {
+public:
+    Schedule(MPI_Comm comm, std::uint64_t seq) : comm_(comm), seq_(seq) {}
+    /// Frees any still-posted receives so the mailbox never holds requests
+    /// pointing into scratch that is about to be destroyed.
+    ~Schedule() { release_pending(); }
+
+    Schedule(Schedule const&) = delete;
+    Schedule& operator=(Schedule const&) = delete;
+
+    // --- build API -----------------------------------------------------
+
+    /// Stable scratch allocation (zero-initialized); valid for the
+    /// schedule's lifetime. Returns nullptr for size 0.
+    std::byte* alloc(std::size_t bytes) {
+        scratch_.emplace_back(bytes);
+        return bytes > 0 ? scratch_.back().data() : nullptr;
+    }
+
+    void send(int peer, int tag_step, void const* buf, int count, MPI_Datatype t) {
+        Step s;
+        s.kind = Step::Kind::send;
+        s.peer = peer;
+        s.tag_step = tag_step;
+        s.sbuf = buf;
+        s.count = count;
+        s.type = t;
+        steps_.push_back(std::move(s));
+    }
+
+    /// Posts a receive into a fresh slot; pair with wait(slot).
+    int post(int peer, int tag_step, void* buf, int count, MPI_Datatype t) {
+        int const slot = static_cast<int>(reqs_.size());
+        reqs_.push_back(nullptr);
+        Step s;
+        s.kind = Step::Kind::post_recv;
+        s.peer = peer;
+        s.tag_step = tag_step;
+        s.rbuf = buf;
+        s.count = count;
+        s.type = t;
+        s.slot = slot;
+        steps_.push_back(std::move(s));
+        return slot;
+    }
+
+    void wait(int slot) {
+        Step s;
+        s.kind = Step::Kind::wait_recv;
+        s.slot = slot;
+        steps_.push_back(std::move(s));
+    }
+
+    /// Post + wait in one go (a blocking receive within the program order).
+    void recv(int peer, int tag_step, void* buf, int count, MPI_Datatype t) {
+        wait(post(peer, tag_step, buf, count, t));
+    }
+
+    /// Local computation; `fn` returns an MPI error code.
+    void local(std::function<int()> fn) {
+        Step s;
+        s.kind = Step::Kind::local;
+        s.local_fn = std::move(fn);
+        steps_.push_back(std::move(s));
+    }
+
+    // --- execution -----------------------------------------------------
+
+    /// Executes remaining steps in program order. With `blocking` set, stalls
+    /// are waited out and the call always returns true. Otherwise the first
+    /// incomplete receive returns false (call again later). On true, *err
+    /// holds the first error encountered (steps after an error are skipped).
+    bool advance(bool blocking, int* err);
+
+    MPI_Comm comm() const { return comm_; }
+
+private:
+    /// Unlinks and frees every outstanding posted receive (error paths and
+    /// destruction); safe to call only from the owning rank's thread.
+    void release_pending();
+
+    MPI_Comm comm_;
+    std::uint64_t seq_;
+    std::vector<Step> steps_;
+    std::size_t pos_ = 0;
+    int error_ = MPI_SUCCESS;
+    /// Inner buffers are stable under outer growth (moves keep heap data).
+    std::vector<std::vector<std::byte>> scratch_;
+    std::vector<xmpi_request_t*> reqs_;
+};
+
+/// Runs the whole schedule to completion on the calling rank.
+int run_blocking(Schedule& s);
+
+/// Wraps a built schedule into a progressable generalized request (the
+/// engine behind the MPI_I* collectives) and runs one progress pass so
+/// trivial schedules complete immediately. `init_error` short-circuits the
+/// request into immediate errored completion.
+int launch_nonblocking(MPI_Comm comm, std::shared_ptr<Schedule> s, int init_error,
+                       MPI_Request* request);
+
+}  // namespace xmpi::detail::alg

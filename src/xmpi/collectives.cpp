@@ -1,15 +1,20 @@
 /// @file collectives.cpp
 /// @brief Collective operations built on the internal point-to-point engine,
-/// so the virtual-time cost model prices them by their true message patterns:
-/// dissemination barrier, binomial bcast/reduce, recursive-doubling
-/// allgather/allreduce (power-of-two) with composite fallbacks, ring
-/// allgatherv, pairwise alltoall(v/w), Hillis–Steele scans, and MPI_Ibarrier
-/// as a progressable generalized request.
+/// so the virtual-time cost model prices them by their true message patterns.
+/// Bcast, reduce, allgather, allreduce and alltoall (blocking and i-variant)
+/// dispatch into the selectable algorithm layer in algorithms/ (binomial
+/// trees, pipelined rings, recursive doubling, Rabenseifner, Bruck — chosen
+/// per call by the analytic cost model, overridable via XMPI_ALG_* /
+/// XMPI_T_alg_set). The remaining collectives keep their fixed shapes:
+/// dissemination barrier, linear gather(v)/scatter(v), ring allgatherv,
+/// pairwise alltoallv/w, Hillis–Steele scans, and MPI_Ibarrier plus the
+/// other MPI_I* as progressable generalized requests.
 #include <algorithm>
 #include <cstring>
 #include <memory>
 #include <vector>
 
+#include "algorithms/algorithms.hpp"
 #include "internal.hpp"
 
 namespace xmpi::detail {
@@ -52,30 +57,12 @@ int coll_entry(MPI_Comm& comm) {
     return MPI_SUCCESS;
 }
 
-bool is_pow2(int p) { return (p & (p - 1)) == 0; }
-
-/// Copies `count` elements of `type` between (possibly differently typed but
-/// signature-compatible) user buffers via pack/unpack.
-void local_copy(void const* src, int scount, MPI_Datatype stype, void* dst, MPI_Datatype rtype) {
-    std::size_t const bytes =
-        static_cast<std::size_t>(scount) * static_cast<std::size_t>(stype->size);
-    std::vector<std::byte> tmp(bytes);
-    if (bytes == 0) return;
-    stype->pack(src, scount, tmp.data());
-    rtype->unpack(tmp.data(), rtype->size > 0 ? static_cast<int>(bytes / rtype->size) : 0, dst);
-}
-
-std::byte* at_offset(void* base, long long elements, MPI_Datatype t) {
-    return static_cast<std::byte*>(base) + elements * t->extent;
-}
-std::byte const* at_offset(void const* base, long long elements, MPI_Datatype t) {
-    return static_cast<std::byte const*>(base) + elements * t->extent;
-}
-
 }  // namespace
 }  // namespace xmpi::detail
 
 using namespace xmpi::detail;
+using xmpi::detail::alg::at_offset;
+using xmpi::detail::alg::local_copy;
 
 // ---------------------------------------------------------------------------
 // Barrier (dissemination) and Ibarrier (generalized request)
@@ -182,37 +169,21 @@ int MPI_Ibarrier(MPI_Comm comm, MPI_Request* request) {
 }
 
 // ---------------------------------------------------------------------------
-// Bcast (binomial tree)
+// Bcast (algorithm layer: flat / binomial / pipelined ring)
 // ---------------------------------------------------------------------------
 
 int MPI_Bcast(void* buf, int count, MPI_Datatype type, int root, MPI_Comm comm) {
     if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
     int const p = comm->size();
-    int const r = comm->rank();
     if (root < 0 || root >= p) return MPI_ERR_ROOT;
     if (p == 1) return MPI_SUCCESS;
     std::uint64_t const seq = comm->coll_seq++;
-    int const vr = (r - root + p) % p;
-    auto real = [&](int v) { return (v + root) % p; };
-
-    int mask = 1;
-    while (mask < p) {
-        if ((vr & mask) != 0) {
-            if (int rc = crecv(comm, real(vr - mask), seq, 0, buf, count, type); rc != MPI_SUCCESS)
-                return rc;
-            break;
-        }
-        mask <<= 1;
-    }
-    mask >>= 1;
-    while (mask > 0) {
-        if (vr + mask < p) {
-            if (int rc = csend(comm, real(vr + mask), seq, 0, buf, count, type); rc != MPI_SUCCESS)
-                return rc;
-        }
-        mask >>= 1;
-    }
-    return MPI_SUCCESS;
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
+    alg::Schedule s(comm, seq);
+    int const idx = alg::select(alg::Family::bcast, comm, bytes, true);
+    if (int rc = alg::build_bcast(idx, s, buf, count, type, root); rc != MPI_SUCCESS) return rc;
+    return alg::run_blocking(s);
 }
 
 // ---------------------------------------------------------------------------
@@ -291,7 +262,7 @@ int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void*
 }
 
 // ---------------------------------------------------------------------------
-// Allgather (recursive doubling for powers of two, gather+bcast otherwise)
+// Allgather (algorithm layer: flat / recursive doubling / ring)
 // and Allgatherv (ring)
 // ---------------------------------------------------------------------------
 
@@ -306,32 +277,14 @@ int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, voi
                    at_offset(recvbuf, static_cast<long long>(r) * recvcount, recvtype), recvtype);
     }
     if (p == 1) return MPI_SUCCESS;
-    if (is_pow2(p)) {
-        std::uint64_t const seq = comm->coll_seq++;
-        for (int bit = 1, k = 0; bit < p; bit <<= 1, ++k) {
-            int const partner = r ^ bit;
-            int const wstart = r & ~(2 * bit - 1) & ~(bit - 1);  // window before merge
-            int const mine = r & ~(bit - 1);
-            int const theirs = partner & ~(bit - 1);
-            (void)wstart;
-            if (int rc = csendrecv(
-                    comm, partner, partner, seq, k,
-                    at_offset(recvbuf, static_cast<long long>(mine) * recvcount, recvtype),
-                    bit * recvcount,
-                    at_offset(recvbuf, static_cast<long long>(theirs) * recvcount, recvtype),
-                    bit * recvcount, recvtype);
-                rc != MPI_SUCCESS)
-                return rc;
-        }
-        return MPI_SUCCESS;
-    }
-    // Composite fallback: gather to rank 0 then bcast.
-    void const* sb = at_offset(recvbuf, static_cast<long long>(r) * recvcount, recvtype);
-    if (int rc = MPI_Gather(r == 0 ? MPI_IN_PLACE : sb, recvcount, recvtype, recvbuf, recvcount,
-                            recvtype, 0, comm);
-        rc != MPI_SUCCESS)
+    std::uint64_t const seq = comm->coll_seq++;
+    std::size_t const bytes =
+        static_cast<std::size_t>(recvcount) * static_cast<std::size_t>(recvtype->size);
+    alg::Schedule s(comm, seq);
+    int const idx = alg::select(alg::Family::allgather, comm, bytes, true);
+    if (int rc = alg::build_allgather(idx, s, recvbuf, recvcount, recvtype); rc != MPI_SUCCESS)
         return rc;
-    return MPI_Bcast(recvbuf, p * recvcount, recvtype, 0, comm);
+    return alg::run_blocking(s);
 }
 
 int MPI_Allgatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
@@ -362,37 +315,23 @@ int MPI_Allgatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, vo
 }
 
 // ---------------------------------------------------------------------------
-// Alltoall family (pairwise exchange)
+// Alltoall family (alltoall: algorithm layer pairwise / Bruck; the v/w
+// variants keep the pairwise exchange)
 // ---------------------------------------------------------------------------
 
 int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
                  int recvcount, MPI_Datatype recvtype, MPI_Comm comm) {
     if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
-    int const p = comm->size();
-    int const r = comm->rank();
     std::uint64_t const seq = comm->coll_seq++;
-    local_copy(at_offset(sendbuf, static_cast<long long>(r) * sendcount, sendtype), sendcount,
-               sendtype, at_offset(recvbuf, static_cast<long long>(r) * recvcount, recvtype),
-               recvtype);
-    for (int i = 1; i < p; ++i) {
-        int const dst = (r + i) % p;
-        int const src = (r - i + p) % p;
-        xmpi_request_t* rreq = nullptr;
-        if (int rc = cirecv(comm, src, seq, i,
-                            at_offset(recvbuf, static_cast<long long>(src) * recvcount, recvtype),
-                            recvcount, recvtype, &rreq);
-            rc != MPI_SUCCESS)
-            return rc;
-        if (int rc = csend(comm, dst, seq, i,
-                           at_offset(sendbuf, static_cast<long long>(dst) * sendcount, sendtype),
-                           sendcount, sendtype);
-            rc != MPI_SUCCESS) {
-            wait_one(rreq, MPI_STATUS_IGNORE);
-            return rc;
-        }
-        if (int rc = wait_one(rreq, MPI_STATUS_IGNORE); rc != MPI_SUCCESS) return rc;
-    }
-    return MPI_SUCCESS;
+    std::size_t const bytes =
+        static_cast<std::size_t>(sendcount) * static_cast<std::size_t>(sendtype->size);
+    alg::Schedule s(comm, seq);
+    int const idx = alg::select(alg::Family::alltoall, comm, bytes, true);
+    if (int rc = alg::build_alltoall(idx, s, sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                                     recvtype);
+        rc != MPI_SUCCESS)
+        return rc;
+    return alg::run_blocking(s);
 }
 
 int MPI_Alltoallv(const void* sendbuf, const int* sendcounts, const int* sdispls,
@@ -452,94 +391,39 @@ int MPI_Alltoallw(const void* sendbuf, const int* sendcounts, const int* sdispls
 }
 
 // ---------------------------------------------------------------------------
-// Reductions
+// Reductions (algorithm layer: reduce flat / binomial; allreduce flat /
+// binomial / recursive doubling / Rabenseifner / ring). All rank-order
+// bracketings except the ring, which the registry gates on commutativity.
 // ---------------------------------------------------------------------------
-
-namespace {
-
-/// Binomial-tree reduce toward `root`. Combination order is rank order
-/// (left-to-right) when root == 0; other roots rotate the order, which is
-/// valid for commutative operations (the standard demands no more).
-int reduce_impl(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
-                int root, MPI_Comm comm, std::uint64_t seq) {
-    int const p = comm->size();
-    int const r = comm->rank();
-    int const vr = (r - root + p) % p;
-    auto real = [&](int v) { return (v + root) % p; };
-    std::size_t const bytes = static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
-
-    std::vector<std::byte> acc(bytes);
-    std::vector<std::byte> tmp(bytes);
-    void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
-    if (bytes > 0) std::memcpy(acc.data(), input, bytes);
-
-    for (int mask = 1; mask < p; mask <<= 1) {
-        if ((vr & mask) != 0) {
-            return csend(comm, real(vr - mask), seq, 0, acc.data(), count, type);
-        }
-        if (vr + mask < p) {
-            if (int rc = crecv(comm, real(vr + mask), seq, 0, tmp.data(), count, type);
-                rc != MPI_SUCCESS)
-                return rc;
-            // acc covers lower ranks (left operand), tmp higher ranks.
-            apply_op(op, acc.data(), tmp.data(), count, type);
-            std::swap(acc, tmp);
-        }
-    }
-    if (r == root && bytes > 0) std::memcpy(recvbuf, acc.data(), bytes);
-    return MPI_SUCCESS;
-}
-
-}  // namespace
 
 int MPI_Reduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
                int root, MPI_Comm comm) {
     if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
     if (root < 0 || root >= comm->size()) return MPI_ERR_ROOT;
     std::uint64_t const seq = comm->coll_seq++;
-    return reduce_impl(sendbuf, recvbuf, count, type, op, root, comm, seq);
+    void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
+    alg::Schedule s(comm, seq);
+    int const idx = alg::select(alg::Family::reduce, comm, bytes, op->commutative, op->builtin);
+    if (int rc = alg::build_reduce(idx, s, input, recvbuf, count, type, op, root);
+        rc != MPI_SUCCESS)
+        return rc;
+    return alg::run_blocking(s);
 }
 
 int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
                   MPI_Comm comm) {
     if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
-    int const p = comm->size();
-    int const r = comm->rank();
-    std::size_t const bytes = static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
-    if (p == 1) {
-        if (sendbuf != MPI_IN_PLACE && bytes > 0) std::memcpy(recvbuf, sendbuf, bytes);
-        return MPI_SUCCESS;
-    }
-    if (is_pow2(p)) {
-        std::uint64_t const seq = comm->coll_seq++;
-        std::vector<std::byte> acc(bytes);
-        std::vector<std::byte> tmp(bytes);
-        void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
-        if (bytes > 0) std::memcpy(acc.data(), input, bytes);
-        for (int bit = 1, k = 0; bit < p; bit <<= 1, ++k) {
-            int const partner = r ^ bit;
-            if (int rc = csendrecv(comm, partner, partner, seq, k, acc.data(), count, tmp.data(),
-                                   count, type);
-                rc != MPI_SUCCESS)
-                return rc;
-            if ((r & bit) != 0) {
-                // Partner is the lower (left) half.
-                apply_op(op, tmp.data(), acc.data(), count, type);
-            } else {
-                apply_op(op, acc.data(), tmp.data(), count, type);
-                std::swap(acc, tmp);
-            }
-        }
-        if (bytes > 0) std::memcpy(recvbuf, acc.data(), bytes);
-        return MPI_SUCCESS;
-    }
-    // Composite fallback preserving rank order: reduce to 0 + bcast.
-    if (sendbuf == MPI_IN_PLACE && r != 0) sendbuf = recvbuf;
-    if (int rc = MPI_Reduce(r == 0 && sendbuf == MPI_IN_PLACE ? MPI_IN_PLACE : sendbuf, recvbuf,
-                            count, type, op, 0, comm);
-        rc != MPI_SUCCESS)
+    std::uint64_t const seq = comm->coll_seq++;
+    void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
+    alg::Schedule s(comm, seq);
+    int const idx = alg::select(alg::Family::allreduce, comm, bytes, op->commutative, op->builtin);
+    if (int rc = alg::build_allreduce(idx, s, input, recvbuf, count, type, op); rc != MPI_SUCCESS)
         return rc;
-    return MPI_Bcast(recvbuf, count, type, 0, comm);
+    return alg::run_blocking(s);
 }
 
 int MPI_Scan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
@@ -715,23 +599,14 @@ int nb_entry(MPI_Comm& comm, MPI_Request* request) {
 int MPI_Ibcast(void* buf, int count, MPI_Datatype type, int root, MPI_Comm comm,
                MPI_Request* request) {
     if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
-    int const p = comm->size();
-    int const r = comm->rank();
-    if (root < 0 || root >= p) return MPI_ERR_ROOT;
+    if (root < 0 || root >= comm->size()) return MPI_ERR_ROOT;
     std::uint64_t const seq = comm->coll_seq++;
-    auto st = std::make_shared<NbColl>();
-    int err = MPI_SUCCESS;
-    if (r == root) {
-        for (int i = 0; i < p && err == MPI_SUCCESS; ++i) {
-            if (i == root) continue;
-            err = csend(comm, i, seq, 0, buf, count, type);
-        }
-    } else {
-        xmpi_request_t* rr = nullptr;
-        err = cirecv(comm, root, seq, 0, buf, count, type, &rr);
-        if (err == MPI_SUCCESS) st->pending.push_back(rr);
-    }
-    return nb_launch(comm, std::move(st), err, request);
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
+    auto s = std::make_shared<alg::Schedule>(comm, seq);
+    int const idx = alg::select(alg::Family::bcast, comm, bytes, true);
+    int const err = alg::build_bcast(idx, *s, buf, count, type, root);
+    return alg::launch_nonblocking(comm, std::move(s), err, request);
 }
 
 int MPI_Igatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
@@ -846,14 +721,19 @@ int MPI_Iallgatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, v
 
 int MPI_Iallgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
                    int recvcount, MPI_Datatype recvtype, MPI_Comm comm, MPI_Request* request) {
-    MPI_Comm const rcomm = resolve(comm);
-    if (rcomm == nullptr) return MPI_ERR_COMM;
-    int const p = rcomm->size();
-    std::vector<int> counts(static_cast<std::size_t>(p), recvcount);
-    std::vector<int> displs(static_cast<std::size_t>(p));
-    for (int i = 0; i < p; ++i) displs[static_cast<std::size_t>(i)] = i * recvcount;
-    return MPI_Iallgatherv(sendbuf, sendcount, sendtype, recvbuf, counts.data(), displs.data(),
-                           recvtype, rcomm, request);
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    int const r = comm->rank();
+    std::uint64_t const seq = comm->coll_seq++;
+    if (sendbuf != MPI_IN_PLACE) {
+        local_copy(sendbuf, sendcount, sendtype,
+                   at_offset(recvbuf, static_cast<long long>(r) * recvcount, recvtype), recvtype);
+    }
+    std::size_t const bytes =
+        static_cast<std::size_t>(recvcount) * static_cast<std::size_t>(recvtype->size);
+    auto s = std::make_shared<alg::Schedule>(comm, seq);
+    int const idx = alg::select(alg::Family::allgather, comm, bytes, true);
+    int const err = alg::build_allgather(idx, *s, recvbuf, recvcount, recvtype);
+    return alg::launch_nonblocking(comm, std::move(s), err, request);
 }
 
 int MPI_Ialltoallv(const void* sendbuf, const int* sendcounts, const int* sdispls,
@@ -884,18 +764,15 @@ int MPI_Ialltoallv(const void* sendbuf, const int* sendcounts, const int* sdispl
 
 int MPI_Ialltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
                   int recvcount, MPI_Datatype recvtype, MPI_Comm comm, MPI_Request* request) {
-    MPI_Comm const rcomm = resolve(comm);
-    if (rcomm == nullptr) return MPI_ERR_COMM;
-    int const p = rcomm->size();
-    std::vector<int> scounts(static_cast<std::size_t>(p), sendcount);
-    std::vector<int> rcounts(static_cast<std::size_t>(p), recvcount);
-    std::vector<int> sdispls(static_cast<std::size_t>(p)), rdispls(static_cast<std::size_t>(p));
-    for (int i = 0; i < p; ++i) {
-        sdispls[static_cast<std::size_t>(i)] = i * sendcount;
-        rdispls[static_cast<std::size_t>(i)] = i * recvcount;
-    }
-    return MPI_Ialltoallv(sendbuf, scounts.data(), sdispls.data(), sendtype, recvbuf,
-                          rcounts.data(), rdispls.data(), recvtype, rcomm, request);
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    std::uint64_t const seq = comm->coll_seq++;
+    std::size_t const bytes =
+        static_cast<std::size_t>(sendcount) * static_cast<std::size_t>(sendtype->size);
+    auto s = std::make_shared<alg::Schedule>(comm, seq);
+    int const idx = alg::select(alg::Family::alltoall, comm, bytes, true);
+    int const err =
+        alg::build_alltoall(idx, *s, sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype);
+    return alg::launch_nonblocking(comm, std::move(s), err, request);
 }
 
 namespace {
@@ -952,62 +829,28 @@ int nb_reduction(MPI_Comm comm, std::uint64_t seq, std::vector<int> sources, con
 int MPI_Ireduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
                 int root, MPI_Comm comm, MPI_Request* request) {
     if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
-    int const p = comm->size();
-    int const r = comm->rank();
-    if (root < 0 || root >= p) return MPI_ERR_ROOT;
+    if (root < 0 || root >= comm->size()) return MPI_ERR_ROOT;
     std::uint64_t const seq = comm->coll_seq++;
     void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
     std::size_t const bytes =
-        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
-    if (r != root) {
-        auto st = std::make_shared<NbColl>();
-        int const err = csend(comm, root, seq, 0, input, count, type);
-        return nb_launch(comm, std::move(st), err, request);
-    }
-    std::vector<int> sources;
-    for (int i = 0; i < p; ++i)
-        if (i != r) sources.push_back(i);
-    std::shared_ptr<NbColl> st;
-    int const err = nb_reduction(
-        comm, seq, std::move(sources), input, count, type, op, /*include_own=*/true,
-        [recvbuf, bytes](NbColl* s) {
-            if (bytes > 0) std::memcpy(recvbuf, s->acc.data(), bytes);
-            return MPI_SUCCESS;
-        },
-        st, r);
-    return nb_launch(comm, std::move(st), err, request);
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
+    auto s = std::make_shared<alg::Schedule>(comm, seq);
+    int const idx = alg::select(alg::Family::reduce, comm, bytes, op->commutative, op->builtin);
+    int const err = alg::build_reduce(idx, *s, input, recvbuf, count, type, op, root);
+    return alg::launch_nonblocking(comm, std::move(s), err, request);
 }
 
 int MPI_Iallreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
                    MPI_Comm comm, MPI_Request* request) {
     if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
-    int const p = comm->size();
-    int const r = comm->rank();
     std::uint64_t const seq = comm->coll_seq++;
     void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
     std::size_t const bytes =
-        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
-    int err = MPI_SUCCESS;
-    for (int i = 0; i < p && err == MPI_SUCCESS; ++i) {
-        if (i == r) continue;
-        err = csend(comm, i, seq, 0, input, count, type);
-    }
-    std::vector<int> sources;
-    for (int i = 0; i < p; ++i)
-        if (i != r) sources.push_back(i);
-    std::shared_ptr<NbColl> st;
-    if (err == MPI_SUCCESS) {
-        err = nb_reduction(
-            comm, seq, std::move(sources), input, count, type, op, /*include_own=*/true,
-            [recvbuf, bytes](NbColl* s) {
-                if (bytes > 0) std::memcpy(recvbuf, s->acc.data(), bytes);
-                return MPI_SUCCESS;
-            },
-            st, r);
-    } else {
-        st = std::make_shared<NbColl>();
-    }
-    return nb_launch(comm, std::move(st), err, request);
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
+    auto s = std::make_shared<alg::Schedule>(comm, seq);
+    int const idx = alg::select(alg::Family::allreduce, comm, bytes, op->commutative, op->builtin);
+    int const err = alg::build_allreduce(idx, *s, input, recvbuf, count, type, op);
+    return alg::launch_nonblocking(comm, std::move(s), err, request);
 }
 
 int MPI_Iscan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,

@@ -238,12 +238,15 @@ int MPI_Reduce_scatter_block(const void* sendbuf, void* recvbuf, int recvcount, 
 
 // Non-blocking collectives. Implemented as progressable generalized requests
 // on the same internal point-to-point engine as their blocking counterparts
-// (the MPI_Ibarrier pattern): all sends are deposited eagerly at initiation,
-// receives complete incrementally as MPI_Wait*/MPI_Test* drive the request's
-// progress state machine. Completion order across multiple outstanding
-// collective requests is unconstrained (wait in any order, or use
-// MPI_Waitall). The algorithms are flat (linear) trees, the standard shape
-// for nonblocking fallback implementations (cf. libNBC).
+// (the MPI_Ibarrier pattern): the operation's communication schedule is
+// materialized at initiation and executed incrementally as
+// MPI_Wait*/MPI_Test* drive the request's progress state machine.
+// Completion order across multiple outstanding collective requests is
+// unconstrained (wait in any order, or use MPI_Waitall). Ibcast, Ireduce,
+// Iallreduce, Iallgather and Ialltoall run the same selectable algorithms
+// as the blocking calls (see XMPI_T_alg_* below); the remaining i-variants
+// use flat (linear) schedules, the standard shape for nonblocking fallback
+// implementations (cf. libNBC).
 int MPI_Igather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
                 int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm,
                 MPI_Request* request);
@@ -274,6 +277,37 @@ int MPI_Iscan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, 
               MPI_Comm comm, MPI_Request* request);
 int MPI_Iexscan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
                 MPI_Comm comm, MPI_Request* request);
+
+// ---------------------------------------------------------------------------
+// Collective algorithm control (MPI_T-style substrate extension).
+//
+// Bcast, reduce, allgather, allreduce and alltoall each have multiple
+// registered algorithms (a flat reference plus binomial-tree, pipelined-
+// ring, recursive-doubling, Rabenseifner and Bruck variants as applicable).
+// By default every invocation picks the cheapest valid algorithm under the
+// analytic α-β cost model for the universe's configured machine parameters.
+// Two override channels exist:
+//  - the XMPI_ALG_<FAMILY> environment variables (e.g. XMPI_ALG_ALLREDUCE=
+//    rabenseifner), resolved once per process;
+//  - XMPI_T_alg_set below, which takes precedence over the environment so
+//    harnesses and benchmarks can pin algorithms programmatically.
+// A pinned algorithm that is invalid for a given invocation (non-power-of-
+// two communicator for recursive doubling/Rabenseifner, non-commutative or
+// user-defined operations for the ring/Rabenseifner allreduce) falls back
+// to cost-based selection
+// among the valid ones, so pinning never breaks correctness.
+// ---------------------------------------------------------------------------
+
+/// Pins `algorithm` ("flat", "binomial", ...) for `family` ("bcast",
+/// "reduce", "allgather", "allreduce", "alltoall"); NULL, "" or "auto"
+/// restores cost-model selection. Unknown names return MPI_ERR_ARG.
+int XMPI_T_alg_set(const char* family, const char* algorithm);
+/// Reports the currently pinned algorithm for `family` ("auto" when
+/// selection is automatic). The returned pointer is static storage.
+int XMPI_T_alg_get(const char* family, const char** algorithm);
+/// Writes the comma-separated names of `family`'s registered algorithms
+/// into `buf` (MPI_ERR_ARG if `buflen` is too small).
+int XMPI_T_alg_list(const char* family, char* buf, int buflen);
 
 // ---------------------------------------------------------------------------
 // Derived datatypes

@@ -235,8 +235,10 @@ struct xmpi_request_t {
     // --- synchronous send ---
     std::shared_ptr<xmpi::detail::SsendToken> tok;
 
-    // --- generalized requests (MPI_Ibarrier): progress state machine.
-    // Invoked with the owner's mailbox *unlocked*; returns completion.
+    // --- generalized requests (MPI_Ibarrier and the MPI_I* collectives,
+    // whose algorithm schedules — see algorithms/schedule.hpp — are advanced
+    // from here): progress state machine. Invoked with the owner's mailbox
+    // *unlocked*; returns completion.
     std::function<bool(xmpi_request_t*)> progress;
 };
 

@@ -308,3 +308,25 @@ TEST(CollectivesEngine, OutOfOrderWaitAcrossTwoCollectives) {
         EXPECT_EQ(gathered, (std::vector<int>{0, 100, 200, 300}));
     });
 }
+
+TEST(CollectivesEngine, EngineResultsInvariantUnderPinnedSubstrateAlgorithms) {
+    // The kamping engine sits above the substrate's selectable algorithm
+    // layer; pinning any algorithm must not change what wait()/test() hand
+    // back — including multi-round tree/ring schedules driven purely by the
+    // generalized-request progress machinery underneath the i-variants.
+    for (char const* alg : {"flat", "binomial", "ring"}) {
+        ASSERT_EQ(XMPI_T_alg_set("bcast", alg), MPI_SUCCESS);
+        ASSERT_EQ(XMPI_T_alg_set("allreduce", alg), MPI_SUCCESS);
+        xmpi::run(4, [](int rank) {
+            Communicator comm;
+            std::vector<int> data = rank == 0 ? std::vector<int>{1, 2, 3} : std::vector<int>{};
+            auto bcasted = comm.ibcast(send_recv_buf(std::move(data)), root(0)).wait();
+            EXPECT_EQ(bcasted, (std::vector<int>{1, 2, 3}));
+            std::vector<int> v{rank + 1};
+            auto reduced = comm.iallreduce(send_buf(v), op(std::plus<>{})).wait();
+            EXPECT_EQ(reduced, (std::vector<int>{10}));
+        });
+    }
+    ASSERT_EQ(XMPI_T_alg_set("bcast", "auto"), MPI_SUCCESS);
+    ASSERT_EQ(XMPI_T_alg_set("allreduce", "auto"), MPI_SUCCESS);
+}

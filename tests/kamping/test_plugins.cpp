@@ -4,6 +4,8 @@
 /// recovery via exceptions (paper Fig. 12), and the distributed sorter.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include <algorithm>
 #include <bit>
 #include <cstdint>
@@ -142,6 +144,18 @@ TEST_P(GridP, MatchesDenseAlltoallv) {
 
 TEST(Grid, UsesFewerMessagesThanDense) {
     int const p = 16;
+    // The message-count comparison assumes the substrate's default tree
+    // algorithms for the internal count exchanges; pin them so a forced
+    // XMPI_ALG_* environment (the CI algorithm matrix) cannot skew either
+    // side of the comparison.
+    for (char const* family : {"bcast", "reduce", "allgather", "allreduce", "alltoall"}) {
+        ASSERT_EQ(XMPI_T_alg_set(family, family == std::string("allgather") ||
+                                                 family == std::string("allreduce")
+                                             ? "rdoubling"
+                                             : (family == std::string("alltoall") ? "flat"
+                                                                                  : "binomial")),
+                  MPI_SUCCESS);
+    }
     // Count messages for a dense exchange where every rank sends one element
     // to every other rank.
     auto run_variant = [p](bool use_grid) {
@@ -169,6 +183,9 @@ TEST(Grid, UsesFewerMessagesThanDense) {
     // needs ~2*sqrt(p). With p=16: 15 vs ~8 (plus one-time setup).
     EXPECT_LT(grid.total.p2p_messages + grid.total.coll_messages,
               dense.total.p2p_messages + dense.total.coll_messages);
+    for (char const* family : {"bcast", "reduce", "allgather", "allreduce", "alltoall"}) {
+        ASSERT_EQ(XMPI_T_alg_set(family, "auto"), MPI_SUCCESS);
+    }
 }
 
 // ---------------------------------------------------------------------------

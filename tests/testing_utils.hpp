@@ -1,0 +1,53 @@
+/// @file testing_utils.hpp
+/// @brief Shared helpers for randomized tests: a seeded RNG that announces
+/// its seed in the test log (and as a gtest property) so any failure can be
+/// replayed deterministically with XMPI_TEST_SEED=<seed>.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <random>
+
+namespace testing_utils {
+
+/// The seed for this test's randomness: XMPI_TEST_SEED if set (replay),
+/// otherwise a fresh nondeterministic one.
+inline std::uint64_t pick_seed() {
+    if (char const* env = std::getenv("XMPI_TEST_SEED")) {
+        return std::strtoull(env, nullptr, 10);
+    }
+    return std::random_device{}();
+}
+
+/// Construct one per randomized test body. Logs the seed up front so a
+/// failing run's output always contains the replay command.
+class SeededRng {
+public:
+    SeededRng() : seed_(pick_seed()), engine_(seed_) {
+        std::cerr << "[   SEED   ] replay with XMPI_TEST_SEED=" << seed_ << "\n";
+        ::testing::Test::RecordProperty("xmpi_test_seed", std::to_string(seed_));
+    }
+
+    std::uint64_t seed() const { return seed_; }
+    std::mt19937_64& engine() { return engine_; }
+
+    /// Uniform integer in [lo, hi].
+    int uniform(int lo, int hi) {
+        return std::uniform_int_distribution<int>(lo, hi)(engine_);
+    }
+
+    /// One element of a fixed candidate list.
+    template <typename T, std::size_t N>
+    T const& pick(T const (&candidates)[N]) {
+        return candidates[static_cast<std::size_t>(uniform(0, static_cast<int>(N) - 1))];
+    }
+
+private:
+    std::uint64_t seed_;
+    std::mt19937_64 engine_;
+};
+
+}  // namespace testing_utils

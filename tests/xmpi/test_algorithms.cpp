@@ -1,0 +1,393 @@
+/// @file test_algorithms.cpp
+/// @brief Property-based cross-algorithm equivalence: for randomized
+/// communicator sizes (power-of-two and not), message lengths (including 0
+/// and lengths not divisible by p), datatypes and roots, every registered
+/// algorithm of every collective family must produce byte-identical results
+/// to the flat reference — blocking and i-variant (driven to completion via
+/// kamping::RequestPool::test_all()), commutative and non-commutative
+/// reductions included. Failures log the seed; replay with XMPI_TEST_SEED.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "../testing_utils.hpp"
+#include "kamping/request.hpp"
+#include "xmpi/mpi.h"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using testing_utils::SeededRng;
+
+std::vector<std::string> list_algorithms(char const* family) {
+    char buf[256];
+    EXPECT_EQ(XMPI_T_alg_list(family, buf, sizeof buf), MPI_SUCCESS);
+    std::vector<std::string> names;
+    std::string cur;
+    for (char const* c = buf;; ++c) {
+        if (*c == ',' || *c == '\0') {
+            names.push_back(cur);
+            cur.clear();
+            if (*c == '\0') break;
+        } else {
+            cur.push_back(*c);
+        }
+    }
+    return names;
+}
+
+/// Pins `alg` for `family` around `fn` and restores automatic selection.
+template <typename Fn>
+auto with_alg(char const* family, std::string const& alg, Fn&& fn) {
+    EXPECT_EQ(XMPI_T_alg_set(family, alg.c_str()), MPI_SUCCESS);
+    auto result = fn();
+    EXPECT_EQ(XMPI_T_alg_set(family, "auto"), MPI_SUCCESS);
+    return result;
+}
+
+/// Completes `req` through a kamping request pool's test_all() loop — the
+/// i-variants must make progress purely from repeated non-blocking tests.
+void drive(MPI_Request req) {
+    kamping::RequestPool pool;
+    pool.add(req);
+    while (!pool.test_all()) {
+    }
+}
+
+template <typename T>
+using PerRank = std::vector<std::vector<T>>;
+
+// Each case runs one collective on a fresh universe and returns every
+// rank's result buffer. Inputs are deterministic in (salt, rank, index) so
+// repeated runs under different algorithms see identical operands.
+
+template <typename T>
+PerRank<T> bcast_case(int p, int count, MPI_Datatype dt, int root, bool nb, unsigned salt) {
+    PerRank<T> out(static_cast<std::size_t>(p));
+    xmpi::run(p, [&](int r) {
+        std::vector<T> buf(static_cast<std::size_t>(count));
+        if (r == root)
+            for (int i = 0; i < count; ++i)
+                buf[static_cast<std::size_t>(i)] = static_cast<T>(salt + 3u * static_cast<unsigned>(i) + 1u);
+        if (nb) {
+            MPI_Request req = MPI_REQUEST_NULL;
+            ASSERT_EQ(MPI_Ibcast(buf.data(), count, dt, root, MPI_COMM_WORLD, &req), MPI_SUCCESS);
+            drive(req);
+        } else {
+            ASSERT_EQ(MPI_Bcast(buf.data(), count, dt, root, MPI_COMM_WORLD), MPI_SUCCESS);
+        }
+        out[static_cast<std::size_t>(r)] = buf;
+    });
+    return out;
+}
+
+template <typename T>
+PerRank<T> allgather_case(int p, int count, MPI_Datatype dt, bool nb, unsigned salt) {
+    PerRank<T> out(static_cast<std::size_t>(p));
+    xmpi::run(p, [&](int r) {
+        std::vector<T> send(static_cast<std::size_t>(count));
+        for (int i = 0; i < count; ++i)
+            send[static_cast<std::size_t>(i)] =
+                static_cast<T>(salt + 100u * static_cast<unsigned>(r) + static_cast<unsigned>(i));
+        std::vector<T> recv(static_cast<std::size_t>(count) * static_cast<std::size_t>(p));
+        if (nb) {
+            MPI_Request req = MPI_REQUEST_NULL;
+            ASSERT_EQ(MPI_Iallgather(send.data(), count, dt, recv.data(), count, dt,
+                                     MPI_COMM_WORLD, &req),
+                      MPI_SUCCESS);
+            drive(req);
+        } else {
+            ASSERT_EQ(MPI_Allgather(send.data(), count, dt, recv.data(), count, dt,
+                                    MPI_COMM_WORLD),
+                      MPI_SUCCESS);
+        }
+        out[static_cast<std::size_t>(r)] = recv;
+    });
+    return out;
+}
+
+template <typename T>
+PerRank<T> alltoall_case(int p, int count, MPI_Datatype dt, bool nb, unsigned salt) {
+    PerRank<T> out(static_cast<std::size_t>(p));
+    xmpi::run(p, [&](int r) {
+        std::vector<T> send(static_cast<std::size_t>(count) * static_cast<std::size_t>(p));
+        for (std::size_t i = 0; i < send.size(); ++i)
+            send[i] = static_cast<T>(salt + 1000u * static_cast<unsigned>(r) +
+                                     static_cast<unsigned>(i));
+        std::vector<T> recv(send.size());
+        if (nb) {
+            MPI_Request req = MPI_REQUEST_NULL;
+            ASSERT_EQ(MPI_Ialltoall(send.data(), count, dt, recv.data(), count, dt,
+                                    MPI_COMM_WORLD, &req),
+                      MPI_SUCCESS);
+            drive(req);
+        } else {
+            ASSERT_EQ(
+                MPI_Alltoall(send.data(), count, dt, recv.data(), count, dt, MPI_COMM_WORLD),
+                MPI_SUCCESS);
+        }
+        out[static_cast<std::size_t>(r)] = recv;
+    });
+    return out;
+}
+
+/// 2x2 int64 matrix product c = a * b (associative, non-commutative).
+void matmul2(long long const* a, long long const* b, long long* c) {
+    c[0] = a[0] * b[0] + a[1] * b[2];
+    c[1] = a[0] * b[1] + a[1] * b[3];
+    c[2] = a[2] * b[0] + a[3] * b[2];
+    c[3] = a[2] * b[1] + a[3] * b[3];
+}
+
+void matmul_op(void* in, void* inout, int* len, MPI_Datatype*) {
+    auto* a = static_cast<long long*>(in);     // left operand
+    auto* b = static_cast<long long*>(inout);  // right operand
+    for (int i = 0; i + 3 < *len; i += 4) {
+        long long c[4];
+        matmul2(a + i, b + i, c);
+        for (int j = 0; j < 4; ++j) b[i + j] = c[j];
+    }
+}
+
+enum class Red { sum, bxor, matmul };
+
+template <typename T>
+PerRank<T> reduce_case(int p, int count, MPI_Datatype dt, Red red, int root, bool all, bool nb,
+                       unsigned salt) {
+    PerRank<T> out(static_cast<std::size_t>(p));
+    xmpi::run(p, [&](int r) {
+        MPI_Op op = MPI_SUM;
+        MPI_Op user_op = MPI_OP_NULL;
+        if (red == Red::bxor) op = MPI_BXOR;
+        if (red == Red::matmul) {
+            ASSERT_EQ(MPI_Op_create(&matmul_op, /*commute=*/0, &user_op), MPI_SUCCESS);
+            op = user_op;
+        }
+        std::vector<T> send(static_cast<std::size_t>(count));
+        for (int i = 0; i < count; ++i) {
+            if (red == Red::matmul) {
+                // Block i/4 is the matrix {{r+i+1, 1}, {0, 1}}-ish: keep
+                // entries small to avoid overflow while staying
+                // order-sensitive.
+                int const pos = i % 4;
+                send[static_cast<std::size_t>(i)] = static_cast<T>(
+                    pos == 0 ? (r % 3) + 1 : (pos == 3 ? 1 : (pos == 1 ? (r + i) % 2 : 0)));
+            } else {
+                send[static_cast<std::size_t>(i)] =
+                    static_cast<T>(salt + 17u * static_cast<unsigned>(r) +
+                                   static_cast<unsigned>(i));
+            }
+        }
+        std::vector<T> recv(static_cast<std::size_t>(count), T{});
+        int rc;
+        MPI_Request req = MPI_REQUEST_NULL;
+        if (all) {
+            rc = nb ? MPI_Iallreduce(send.data(), recv.data(), count, dt, op, MPI_COMM_WORLD, &req)
+                    : MPI_Allreduce(send.data(), recv.data(), count, dt, op, MPI_COMM_WORLD);
+        } else {
+            rc = nb ? MPI_Ireduce(send.data(), recv.data(), count, dt, op, root, MPI_COMM_WORLD,
+                                  &req)
+                    : MPI_Reduce(send.data(), recv.data(), count, dt, op, root, MPI_COMM_WORLD);
+        }
+        ASSERT_EQ(rc, MPI_SUCCESS);
+        if (nb) drive(req);
+        if (all || r == root) out[static_cast<std::size_t>(r)] = recv;
+        if (user_op != MPI_OP_NULL) MPI_Op_free(&user_op);
+    });
+    return out;
+}
+
+int const kSizes[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 16};
+int const kCounts[] = {0, 1, 3, 7, 16, 33};
+int const kMatmulCounts[] = {0, 4, 8, 20};
+
+}  // namespace
+
+TEST(Algorithms, ControlApiRoundTrip) {
+    char const* cur = nullptr;
+    ASSERT_EQ(XMPI_T_alg_get("allreduce", &cur), MPI_SUCCESS);
+    EXPECT_STREQ(cur, "auto");
+    ASSERT_EQ(XMPI_T_alg_set("allreduce", "rabenseifner"), MPI_SUCCESS);
+    ASSERT_EQ(XMPI_T_alg_get("allreduce", &cur), MPI_SUCCESS);
+    EXPECT_STREQ(cur, "rabenseifner");
+    ASSERT_EQ(XMPI_T_alg_set("allreduce", "auto"), MPI_SUCCESS);
+    EXPECT_EQ(XMPI_T_alg_set("allreduce", "nonexistent"), MPI_ERR_ARG);
+    EXPECT_EQ(XMPI_T_alg_set("notafamily", "flat"), MPI_ERR_ARG);
+    char buf[8];
+    EXPECT_EQ(XMPI_T_alg_list("allreduce", buf, sizeof buf), MPI_ERR_ARG);  // too small
+}
+
+TEST(Algorithms, EveryFamilyHasAtLeastTwoAlgorithms) {
+    for (char const* family : {"bcast", "reduce", "allgather", "allreduce", "alltoall"}) {
+        auto const names = list_algorithms(family);
+        EXPECT_GE(names.size(), 2u) << family;
+        EXPECT_EQ(names.front(), "flat") << family;
+    }
+}
+
+TEST(Algorithms, BcastEquivalence) {
+    SeededRng rng;
+    auto const algs = list_algorithms("bcast");
+    for (int trial = 0; trial < 6; ++trial) {
+        int const p = rng.pick(kSizes);
+        int const count = rng.pick(kCounts);
+        int const root = rng.uniform(0, p - 1);
+        auto const salt = static_cast<unsigned>(rng.uniform(1, 1 << 20));
+        bool const use_char = rng.uniform(0, 1) == 1;
+        auto check = [&](auto tag, MPI_Datatype dt) {
+            using T = decltype(tag);
+            auto const ref = with_alg("bcast", "flat",
+                                      [&] { return bcast_case<T>(p, count, dt, root, false, salt); });
+            for (auto const& alg : algs) {
+                for (bool nb : {false, true}) {
+                    auto const got = with_alg(
+                        "bcast", alg, [&] { return bcast_case<T>(p, count, dt, root, nb, salt); });
+                    EXPECT_EQ(got, ref) << "alg=" << alg << " nb=" << nb << " p=" << p
+                                        << " count=" << count << " root=" << root;
+                }
+            }
+        };
+        if (use_char)
+            check(static_cast<unsigned char>(0), MPI_UNSIGNED_CHAR);
+        else
+            check(static_cast<int>(0), MPI_INT);
+    }
+}
+
+TEST(Algorithms, AllgatherEquivalence) {
+    SeededRng rng;
+    auto const algs = list_algorithms("allgather");
+    for (int trial = 0; trial < 6; ++trial) {
+        int const p = rng.pick(kSizes);
+        int const count = rng.pick(kCounts);
+        auto const salt = static_cast<unsigned>(rng.uniform(1, 1 << 20));
+        auto const ref =
+            with_alg("allgather", "flat", [&] { return allgather_case<int>(p, count, MPI_INT, false, salt); });
+        for (auto const& alg : algs) {
+            for (bool nb : {false, true}) {
+                auto const got = with_alg("allgather", alg, [&] {
+                    return allgather_case<int>(p, count, MPI_INT, nb, salt);
+                });
+                EXPECT_EQ(got, ref)
+                    << "alg=" << alg << " nb=" << nb << " p=" << p << " count=" << count;
+            }
+        }
+    }
+}
+
+TEST(Algorithms, AlltoallEquivalence) {
+    SeededRng rng;
+    auto const algs = list_algorithms("alltoall");
+    for (int trial = 0; trial < 6; ++trial) {
+        int const p = rng.pick(kSizes);
+        int const count = rng.pick(kCounts);
+        auto const salt = static_cast<unsigned>(rng.uniform(1, 1 << 20));
+        bool const use_char = rng.uniform(0, 1) == 1;
+        auto check = [&](auto tag, MPI_Datatype dt) {
+            using T = decltype(tag);
+            auto const ref = with_alg("alltoall", "flat",
+                                      [&] { return alltoall_case<T>(p, count, dt, false, salt); });
+            for (auto const& alg : algs) {
+                for (bool nb : {false, true}) {
+                    auto const got = with_alg(
+                        "alltoall", alg, [&] { return alltoall_case<T>(p, count, dt, nb, salt); });
+                    EXPECT_EQ(got, ref)
+                        << "alg=" << alg << " nb=" << nb << " p=" << p << " count=" << count;
+                }
+            }
+        };
+        if (use_char)
+            check(static_cast<unsigned char>(0), MPI_UNSIGNED_CHAR);
+        else
+            check(static_cast<int>(0), MPI_INT);
+    }
+}
+
+namespace {
+
+void reduction_equivalence(char const* family, bool all, SeededRng& rng) {
+    auto const algs = list_algorithms(family);
+    for (int trial = 0; trial < 6; ++trial) {
+        int const p = rng.pick(kSizes);
+        Red const red = trial % 3 == 2 ? Red::matmul : (trial % 3 == 1 ? Red::bxor : Red::sum);
+        int const count = red == Red::matmul ? rng.pick(kMatmulCounts) : rng.pick(kCounts);
+        int const root = rng.uniform(0, p - 1);
+        auto const salt = static_cast<unsigned>(rng.uniform(1, 1 << 20));
+        auto check = [&](auto tag, MPI_Datatype dt) {
+            using T = decltype(tag);
+            auto const ref = with_alg(
+                family, "flat", [&] { return reduce_case<T>(p, count, dt, red, root, all, false, salt); });
+            for (auto const& alg : algs) {
+                for (bool nb : {false, true}) {
+                    auto const got = with_alg(family, alg, [&] {
+                        return reduce_case<T>(p, count, dt, red, root, all, nb, salt);
+                    });
+                    EXPECT_EQ(got, ref)
+                        << family << " alg=" << alg << " nb=" << nb << " p=" << p
+                        << " count=" << count << " root=" << root
+                        << " op=" << (red == Red::sum ? "sum" : red == Red::bxor ? "bxor" : "matmul");
+                }
+            }
+        };
+        if (red == Red::matmul)
+            check(static_cast<long long>(0), MPI_INT64_T);
+        else
+            check(static_cast<int>(0), MPI_INT);
+    }
+}
+
+}  // namespace
+
+TEST(Algorithms, ReduceEquivalence) {
+    SeededRng rng;
+    reduction_equivalence("reduce", /*all=*/false, rng);
+}
+
+TEST(Algorithms, AllreduceEquivalence) {
+    SeededRng rng;
+    reduction_equivalence("allreduce", /*all=*/true, rng);
+}
+
+TEST(Algorithms, AllreduceInPlaceEquivalentAcrossAlgorithms) {
+    // MPI_IN_PLACE must behave identically under every algorithm.
+    SeededRng rng;
+    auto const algs = list_algorithms("allreduce");
+    for (int trial = 0; trial < 3; ++trial) {
+        int const p = rng.pick(kSizes);
+        int const count = rng.pick(kCounts);
+        auto const salt = static_cast<unsigned>(rng.uniform(1, 1 << 20));
+        auto run_inplace = [&](std::string const& alg, bool nb) {
+            return with_alg("allreduce", alg, [&] {
+                PerRank<int> out(static_cast<std::size_t>(p));
+                xmpi::run(p, [&](int r) {
+                    std::vector<int> buf(static_cast<std::size_t>(count));
+                    for (int i = 0; i < count; ++i)
+                        buf[static_cast<std::size_t>(i)] =
+                            static_cast<int>(salt + 17u * static_cast<unsigned>(r)) + i;
+                    if (nb) {
+                        MPI_Request req = MPI_REQUEST_NULL;
+                        ASSERT_EQ(MPI_Iallreduce(MPI_IN_PLACE, buf.data(), count, MPI_INT,
+                                                 MPI_SUM, MPI_COMM_WORLD, &req),
+                                  MPI_SUCCESS);
+                        drive(req);
+                    } else {
+                        ASSERT_EQ(MPI_Allreduce(MPI_IN_PLACE, buf.data(), count, MPI_INT, MPI_SUM,
+                                                MPI_COMM_WORLD),
+                                  MPI_SUCCESS);
+                    }
+                    out[static_cast<std::size_t>(r)] = buf;
+                });
+                return out;
+            });
+        };
+        auto const ref = run_inplace("flat", false);
+        for (auto const& alg : algs) {
+            for (bool nb : {false, true}) {
+                EXPECT_EQ(run_inplace(alg, nb), ref)
+                    << "alg=" << alg << " nb=" << nb << " p=" << p << " count=" << count;
+            }
+        }
+    }
+}

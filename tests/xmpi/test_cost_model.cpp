@@ -5,6 +5,8 @@
 /// collective latency matches the implemented message patterns.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include <vector>
 
 #include "xmpi/mpi.h"
@@ -141,25 +143,56 @@ TEST(CostModel, CollectiveTrafficCountedSeparately) {
     EXPECT_EQ(result.total.coll_messages, 8u);
 }
 
-TEST(CostModel, AlltoallLatencyLinearInP) {
-    auto run_p = [](int p) {
-        xmpi::Config cfg;
-        cfg.compute_scale = 0.0;
-        return xmpi::run(
-                   p,
-                   [p](int) {
-                       std::vector<int> send(static_cast<std::size_t>(p), 1);
-                       std::vector<int> recv(static_cast<std::size_t>(p));
-                       MPI_Alltoall(send.data(), 1, MPI_INT, recv.data(), 1, MPI_INT,
-                                    MPI_COMM_WORLD);
-                   },
-                   cfg)
-            .max_vtime;
-    };
-    double const t8 = run_p(8);
-    double const t32 = run_p(32);
+namespace {
+
+double alltoall_vtime(int p) {
+    xmpi::Config cfg;
+    cfg.compute_scale = 0.0;
+    return xmpi::run(
+               p,
+               [p](int) {
+                   std::vector<int> send(static_cast<std::size_t>(p), 1);
+                   std::vector<int> recv(static_cast<std::size_t>(p));
+                   MPI_Alltoall(send.data(), 1, MPI_INT, recv.data(), 1, MPI_INT, MPI_COMM_WORLD);
+               },
+               cfg)
+        .max_vtime;
+}
+
+}  // namespace
+
+TEST(CostModel, AlltoallPairwiseLatencyLinearInP) {
+    // Pin the pairwise algorithm: this test asserts the cost model prices
+    // its (p-1)-round message pattern, independent of automatic selection.
+    ASSERT_EQ(XMPI_T_alg_set("alltoall", "flat"), MPI_SUCCESS);
+    double const t8 = alltoall_vtime(8);
+    double const t32 = alltoall_vtime(32);
+    ASSERT_EQ(XMPI_T_alg_set("alltoall", "auto"), MPI_SUCCESS);
     // Pairwise exchange: (p-1) rounds -> ratio ~31/7 = 4.4.
     EXPECT_NEAR(t32 / t8, 4.4, 1.5);
+}
+
+TEST(CostModel, AlltoallBruckLatencyLogarithmicInP) {
+    ASSERT_EQ(XMPI_T_alg_set("alltoall", "bruck"), MPI_SUCCESS);
+    double const t8 = alltoall_vtime(8);
+    double const t32 = alltoall_vtime(32);
+    ASSERT_EQ(XMPI_T_alg_set("alltoall", "auto"), MPI_SUCCESS);
+    // Bruck: ceil(log2 p) rounds -> ratio ~5/3 for tiny (latency-bound)
+    // blocks; far below the pairwise 4.4.
+    EXPECT_LT(t32 / t8, 3.0);
+}
+
+TEST(CostModel, AlltoallAutoSelectionBeatsPinnedFlatOnSmallMessages) {
+    // The point of cost-model selection: for latency-bound alltoalls the
+    // default must not be worse than the flat reference.
+    if (std::getenv("XMPI_ALG_ALLTOALL") != nullptr) {
+        GTEST_SKIP() << "XMPI_ALG_ALLTOALL pins the algorithm; automatic selection is disabled";
+    }
+    ASSERT_EQ(XMPI_T_alg_set("alltoall", "flat"), MPI_SUCCESS);
+    double const t_flat = alltoall_vtime(32);
+    ASSERT_EQ(XMPI_T_alg_set("alltoall", "auto"), MPI_SUCCESS);
+    double const t_auto = alltoall_vtime(32);
+    EXPECT_LT(t_auto, t_flat);
 }
 
 TEST(CostModel, RankVtimesReportedPerRank) {
