@@ -312,6 +312,110 @@ BENCHMARK(BM_alltoall_alg_flat)->Arg(1)->Arg(64)->Arg(4096)->UseManualTime()->Mi
 BENCHMARK(BM_alltoall_alg_bruck)->Arg(1)->Arg(64)->Arg(4096)->UseManualTime()->MinTime(0.05);
 BENCHMARK(BM_alltoall_alg_auto)->Arg(1)->Arg(64)->Arg(4096)->UseManualTime()->MinTime(0.05);
 
+// ---------------------------------------------------------------------------
+// Hierarchical topology (BENCH_hierarchy.json): virtual makespan on a
+// modeled 5 nodes x 4 ranks machine, per pinned algorithm and for the
+// topology-aware automatic selection. compute_scale=0 isolates the two-tier
+// network model (the acceptance comparison); "auto" must track the best
+// column, picking the hierarchical composition where the topology makes it
+// win and falling back to the flat registry elsewhere.
+// ---------------------------------------------------------------------------
+
+constexpr int kHierRanks = 20;
+constexpr int kHierRanksPerNode = 4;
+
+template <typename Op>
+void drive_vtime_hier(benchmark::State& state, char const* family, char const* alg, Op&& op) {
+    if (XMPI_T_alg_set(family, alg) != MPI_SUCCESS) {
+        state.SkipWithError("unknown algorithm");
+        return;
+    }
+    XMPI_T_topo_set(kHierRanksPerNode);
+    xmpi::Config cfg;
+    cfg.compute_scale = 0.0;
+    for (auto _ : state) {
+        // One operation per universe: the reported makespan is the cost of a
+        // single collective, the quantity the analytic model prices
+        // (back-to-back repetitions would pipeline across instances and
+        // amortize every algorithm's fill latency away).
+        auto result = xmpi::run(
+            kHierRanks, [&](int rank) { op(rank, 0); }, cfg);
+        state.SetIterationTime(result.max_vtime);
+    }
+    XMPI_T_topo_set(0);
+    XMPI_T_alg_set(family, "auto");
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) *
+                            static_cast<std::int64_t>(sizeof(std::uint64_t)));
+}
+
+void allreduce_hier_bench(benchmark::State& state, char const* alg) {
+    auto const n = static_cast<std::size_t>(state.range(0));
+    drive_vtime_hier(state, "allreduce", alg, [n](int, int) {
+        std::vector<std::uint64_t> send(n, 1), recv(n);
+        MPI_Allreduce(send.data(), recv.data(), static_cast<int>(n), MPI_UINT64_T, MPI_SUM,
+                      MPI_COMM_WORLD);
+        benchmark::DoNotOptimize(recv.data());
+    });
+}
+
+void BM_allreduce_hier_flat(benchmark::State& state) { allreduce_hier_bench(state, "flat"); }
+void BM_allreduce_hier_binomial(benchmark::State& state) {
+    allreduce_hier_bench(state, "binomial");
+}
+void BM_allreduce_hier_ring(benchmark::State& state) { allreduce_hier_bench(state, "ring"); }
+void BM_allreduce_hier_hierarchical(benchmark::State& state) {
+    allreduce_hier_bench(state, "hierarchical");
+}
+void BM_allreduce_hier_auto(benchmark::State& state) { allreduce_hier_bench(state, "auto"); }
+BENCHMARK(BM_allreduce_hier_flat)->Arg(1)->Arg(4096)->Arg(262144)->UseManualTime()->Iterations(3);
+BENCHMARK(BM_allreduce_hier_binomial)->Arg(1)->Arg(4096)->Arg(262144)->UseManualTime()->Iterations(3);
+BENCHMARK(BM_allreduce_hier_ring)->Arg(1)->Arg(4096)->Arg(262144)->UseManualTime()->Iterations(3);
+BENCHMARK(BM_allreduce_hier_hierarchical)->Arg(1)->Arg(4096)->Arg(262144)->UseManualTime()->Iterations(3);
+BENCHMARK(BM_allreduce_hier_auto)->Arg(1)->Arg(4096)->Arg(262144)->UseManualTime()->Iterations(3);
+
+void bcast_hier_bench(benchmark::State& state, char const* alg) {
+    auto const n = static_cast<std::size_t>(state.range(0));
+    drive_vtime_hier(state, "bcast", alg, [n](int, int) {
+        std::vector<std::uint64_t> buf(n, 5);
+        MPI_Bcast(buf.data(), static_cast<int>(n), MPI_UINT64_T, 0, MPI_COMM_WORLD);
+        benchmark::DoNotOptimize(buf.data());
+    });
+}
+
+void BM_bcast_hier_flat(benchmark::State& state) { bcast_hier_bench(state, "flat"); }
+void BM_bcast_hier_binomial(benchmark::State& state) { bcast_hier_bench(state, "binomial"); }
+void BM_bcast_hier_ring(benchmark::State& state) { bcast_hier_bench(state, "ring"); }
+void BM_bcast_hier_hierarchical(benchmark::State& state) {
+    bcast_hier_bench(state, "hierarchical");
+}
+void BM_bcast_hier_auto(benchmark::State& state) { bcast_hier_bench(state, "auto"); }
+BENCHMARK(BM_bcast_hier_flat)->Arg(1)->Arg(4096)->Arg(262144)->UseManualTime()->Iterations(3);
+BENCHMARK(BM_bcast_hier_binomial)->Arg(1)->Arg(4096)->Arg(262144)->UseManualTime()->Iterations(3);
+BENCHMARK(BM_bcast_hier_ring)->Arg(1)->Arg(4096)->Arg(262144)->UseManualTime()->Iterations(3);
+BENCHMARK(BM_bcast_hier_hierarchical)->Arg(1)->Arg(4096)->Arg(262144)->UseManualTime()->Iterations(3);
+BENCHMARK(BM_bcast_hier_auto)->Arg(1)->Arg(4096)->Arg(262144)->UseManualTime()->Iterations(3);
+
+void alltoall_hier_bench(benchmark::State& state, char const* alg) {
+    auto const n = static_cast<std::size_t>(state.range(0));
+    drive_vtime_hier(state, "alltoall", alg, [n](int, int) {
+        std::vector<std::uint64_t> send(n * kHierRanks, 3), recv(n * kHierRanks);
+        MPI_Alltoall(send.data(), static_cast<int>(n), MPI_UINT64_T, recv.data(),
+                     static_cast<int>(n), MPI_UINT64_T, MPI_COMM_WORLD);
+        benchmark::DoNotOptimize(recv.data());
+    });
+}
+
+void BM_alltoall_hier_flat(benchmark::State& state) { alltoall_hier_bench(state, "flat"); }
+void BM_alltoall_hier_bruck(benchmark::State& state) { alltoall_hier_bench(state, "bruck"); }
+void BM_alltoall_hier_hierarchical(benchmark::State& state) {
+    alltoall_hier_bench(state, "hierarchical");
+}
+void BM_alltoall_hier_auto(benchmark::State& state) { alltoall_hier_bench(state, "auto"); }
+BENCHMARK(BM_alltoall_hier_flat)->Arg(1)->Arg(64)->Arg(4096)->UseManualTime()->Iterations(3);
+BENCHMARK(BM_alltoall_hier_bruck)->Arg(1)->Arg(64)->Arg(4096)->UseManualTime()->Iterations(3);
+BENCHMARK(BM_alltoall_hier_hierarchical)->Arg(1)->Arg(64)->Arg(4096)->UseManualTime()->Iterations(3);
+BENCHMARK(BM_alltoall_hier_auto)->Arg(1)->Arg(64)->Arg(4096)->UseManualTime()->Iterations(3);
+
 }  // namespace
 
 BENCHMARK_MAIN();

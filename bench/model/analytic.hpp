@@ -6,16 +6,35 @@
 /// small-p modeled measurements and the analytic curves line up.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 
 namespace bench::model {
 
-/// LogP-style machine parameters; defaults match xmpi::Config.
+/// LogP-style machine parameters; defaults match xmpi::Config. On a
+/// hierarchical topology one Machine describes one tier (inter-node or
+/// intra-node); see TwoTier below.
 struct Machine {
     double alpha = 2e-6;   ///< per-message latency [s]
     double beta = 8e-10;   ///< per-byte cost [s/B]
     double o = 2e-7;       ///< sender overhead per message [s]
     double compute_rate = 2.5e8;  ///< elements/s for local sort-like work
+};
+
+/// Node shape of a hierarchical (two-tier) topology: how a communicator's p
+/// ranks are spread over nodes. nodes <= 1 or max_ppn <= 1 degenerates to
+/// the flat single-tier network.
+struct NodeShape {
+    double nodes = 1;    ///< number of distinct nodes
+    double max_ppn = 1;  ///< ranks on the largest node
+    double min_ppn = 1;  ///< ranks on the smallest node
+};
+
+/// The two-tier machine: inter-node network plus intra-node shared memory.
+/// Defaults mirror xmpi::Config's inter/intra parameter pairs.
+struct TwoTier {
+    Machine inter{};
+    Machine intra{2e-7, 5e-11, 5e-8, 2.5e8};
 };
 
 inline double log2d(double x) { return std::log2(x); }
@@ -125,6 +144,130 @@ inline double alltoall_flat(Machine const& m, double p, double block_bytes) {
 /// Bruck: ceil(log2 p) rounds, each moving ~p/2 blocks.
 inline double alltoall_bruck(Machine const& m, double p, double block_bytes) {
     return ceil_log2(p) * (m.alpha + m.o + m.beta * block_bytes * p / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical (two-tier) collective costs. Each composition mirrors the
+// leader-based schedules built in src/xmpi/algorithms/hierarchical.cpp:
+// an intra-node phase priced with the shared-memory tier, an inter-node
+// phase among node leaders (or slice peer groups) priced with the network
+// tier, and an intra-node redistribution. The `best flat` helpers below take
+// the same minimum over single-tier candidates the substrate's registry
+// would, so builder choices, selection crossovers and these curves line up.
+// ---------------------------------------------------------------------------
+
+inline bool is_pow2_p(double p) {
+    double r = std::round(p);
+    return r >= 1 && (static_cast<unsigned long long>(r) &
+                      (static_cast<unsigned long long>(r) - 1)) == 0;
+}
+
+inline double bcast_best_flat(Machine const& m, double p, double bytes) {
+    return std::min({bcast_flat(m, p, bytes), bcast_binomial(m, p, bytes),
+                     bcast_ring_pipelined(m, p, bytes)});
+}
+
+inline double reduce_best_flat(Machine const& m, double p, double bytes) {
+    return std::min(reduce_flat(m, p, bytes), reduce_binomial(m, p, bytes));
+}
+
+inline double allgather_best_flat(Machine const& m, double p, double bytes) {
+    double c = std::min(allgather_flat(m, p, bytes), allgather_ring(m, p, bytes));
+    if (is_pow2_p(p)) c = std::min(c, allgather_rdoubling(m, p, bytes));
+    return c;
+}
+
+inline double allreduce_best_flat(Machine const& m, double p, double bytes, bool commutative,
+                                  bool elementwise) {
+    double c = std::min(allreduce_flat(m, p, bytes), allreduce_binomial(m, p, bytes));
+    if (is_pow2_p(p)) c = std::min(c, allreduce_rdoubling(m, p, bytes));
+    if (commutative && elementwise) {
+        c = std::min(c, allreduce_ring(m, p, bytes));
+        if (is_pow2_p(p)) c = std::min(c, allreduce_rabenseifner(m, p, bytes));
+    }
+    return c;
+}
+
+inline double alltoall_best_flat(Machine const& m, double p, double block_bytes) {
+    return std::min(alltoall_flat(m, p, block_bytes), alltoall_bruck(m, p, block_bytes));
+}
+
+/// Hierarchical bcast, pipelined variant: a segment-pipelined ring over the
+/// node leaders with per-segment binomial relay into each node.
+inline double bcast_hier_ring(TwoTier const& t, NodeShape const& s, double bytes) {
+    double const n = s.nodes < 1 ? 1 : s.nodes;
+    double const m = s.max_ppn < 1 ? 1 : s.max_ppn;
+    double const nseg = ring_pipeline_segments(bytes);
+    double const seg = bytes / nseg;
+    return (n - 2 + nseg) * (t.inter.alpha + t.inter.o + t.inter.beta * seg) +
+           ceil_log2(m) * (t.intra.alpha + t.intra.o + t.intra.beta * seg);
+}
+
+/// Hierarchical bcast, latency variant: a binomial tree among leaders
+/// followed by intra-node binomial trees on the full payload.
+inline double bcast_hier_tree(TwoTier const& t, NodeShape const& s, double bytes) {
+    double const n = s.nodes < 1 ? 1 : s.nodes;
+    double const m = s.max_ppn < 1 ? 1 : s.max_ppn;
+    return ceil_log2(n) * (t.inter.alpha + t.inter.o + t.inter.beta * bytes) +
+           ceil_log2(m) * (t.intra.alpha + t.intra.o + t.intra.beta * bytes);
+}
+
+/// Hierarchical bcast: the builder picks whichever variant is cheaper.
+inline double bcast_hier(TwoTier const& t, NodeShape const& s, double /*p*/, double bytes) {
+    return std::min(bcast_hier_ring(t, s, bytes), bcast_hier_tree(t, s, bytes));
+}
+
+/// Hierarchical reduce: intra-node binomial reduce to the node leader, a
+/// binomial reduce among leaders, and (worst case) one intra-node transfer
+/// from the root node's leader to the root.
+inline double reduce_hier(TwoTier const& t, NodeShape const& s, double /*p*/, double bytes) {
+    return (ceil_log2(s.max_ppn) + 1) * (t.intra.alpha + t.intra.o + t.intra.beta * bytes) +
+           ceil_log2(s.nodes) * (t.inter.alpha + t.inter.o + t.inter.beta * bytes);
+}
+
+/// Hierarchical allreduce, element-wise path ("2D"): a flat intra-node
+/// reduce-scatter over S = min_ppn slices, S parallel inter-node allreduces
+/// (slice peer groups, one member per node, best flat algorithm among n
+/// ranks on bytes/S), and a flat intra-node share-back of the slices.
+/// Non-element-wise operations fall back to the leader composition:
+/// intra-node binomial reduce, best valid flat allreduce among leaders on
+/// the full payload, intra-node binomial bcast.
+inline double allreduce_hier(TwoTier const& t, NodeShape const& s, double /*p*/, double bytes,
+                             bool commutative, bool elementwise) {
+    double const m = s.max_ppn < 1 ? 1 : s.max_ppn;
+    if (elementwise) {
+        double const S = s.min_ppn < 1 ? 1 : s.min_ppn;
+        double const slice = bytes / S;
+        double const intra_phase =
+            (m - 1) * (t.intra.alpha + t.intra.o) + t.intra.beta * bytes;
+        return 2 * intra_phase + allreduce_best_flat(t.inter, s.nodes, slice, true, true);
+    }
+    return ceil_log2(m) * (t.intra.alpha + t.intra.o + t.intra.beta * bytes) +
+           allreduce_best_flat(t.inter, s.nodes, bytes, commutative, false) +
+           ceil_log2(m) * (t.intra.alpha + t.intra.o + t.intra.beta * bytes);
+}
+
+/// Hierarchical allgather (`bytes` = one rank's block): intra-node gather to
+/// the leader, a leader ring forwarding whole node bundles, and an
+/// intra-node binomial bcast of the assembled result.
+inline double allgather_hier(TwoTier const& t, NodeShape const& s, double p, double bytes) {
+    double const m = s.max_ppn < 1 ? 1 : s.max_ppn;
+    return (m - 1) * (t.intra.alpha + t.intra.o + t.intra.beta * bytes) +
+           (s.nodes - 1) * (t.inter.alpha + t.inter.o + t.inter.beta * bytes * m) +
+           ceil_log2(m) * (t.intra.alpha + t.intra.o + t.intra.beta * bytes * p);
+}
+
+/// Hierarchical alltoall (`bytes` = one per-destination block): members ship
+/// their full row to the leader, leaders exchange per-node-pair bundles
+/// pairwise, leaders ship reassembled rows back. Aggregation trades
+/// bandwidth (the leader carries its node's whole traffic) for messages
+/// (n-1 network messages instead of p-ppn), so this wins in the
+/// latency-bound regime.
+inline double alltoall_hier(TwoTier const& t, NodeShape const& s, double p, double bytes) {
+    double const m = s.max_ppn < 1 ? 1 : s.max_ppn;
+    double const row = bytes * p;
+    return 2 * ((m - 1) * (t.intra.alpha + t.intra.o) + t.intra.beta * row * m) +
+           (s.nodes - 1) * (t.inter.alpha + t.inter.o) + t.inter.beta * m * (p - m) * bytes;
 }
 
 /// Fig. 8: sample sort of n elements/rank of `elem_bytes` each.

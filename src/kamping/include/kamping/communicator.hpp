@@ -128,6 +128,24 @@ public:
         return result;
     }
 
+    /// Splits into the sub-communicators of ranks that can share memory
+    /// (MPI_Comm_split_type with MPI_COMM_TYPE_SHARED): one communicator per
+    /// node of the configured hierarchical topology, member order following
+    /// this communicator's rank order. On a flat topology every rank ends up
+    /// alone. The result owns its handle.
+    BasicCommunicator split_to_shared_memory() const {
+        MPI_Comm sub = MPI_COMM_NULL;
+        internal::throw_on_mpi_error(MPI_Comm_split_type(comm_, MPI_COMM_TYPE_SHARED,
+                                                         rank_signed(), MPI_INFO_NULL, &sub),
+                                     "split_to_shared_memory");
+        BasicCommunicator result{sub};
+        result.owned_ = sub != MPI_COMM_NULL;
+        return result;
+    }
+
+    /// Alias for split_to_shared_memory(): the node-local sub-communicator.
+    BasicCommunicator split_by_node() const { return split_to_shared_memory(); }
+
     // =========================================================================
     // Point-to-point
     // =========================================================================

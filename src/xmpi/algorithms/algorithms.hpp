@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "bench/model/analytic.hpp"
 #include "schedule.hpp"
 
 namespace xmpi::detail::alg {
@@ -34,10 +35,21 @@ struct AlgInfo {
     /// rank-order matrix folds do), so such algorithms only apply to
     /// builtin ops.
     bool needs_elementwise = false;
-    /// Modeled completion time under LogP-style parameters (alpha, beta,
-    /// sender overhead o); `bytes` is the family's characteristic per-rank
-    /// message size. Used for automatic selection.
-    double (*cost)(double alpha, double beta, double o, double p, double bytes);
+    /// Modeled completion time under the two-tier machine model; `bytes` is
+    /// the family's characteristic per-rank message size. Used for automatic
+    /// selection. Single-tier algorithms read only the inter tier (exactly
+    /// the PR-2 pricing, so selection on a flat topology is unchanged);
+    /// null for hierarchical entries, whose cost depends on the operation's
+    /// properties and is computed by select() via the bench::model
+    /// *_hier compositions.
+    double (*cost)(bench::model::TwoTier const& machine, bench::model::NodeShape const& shape,
+                   double p, double bytes);
+    /// Leader-based hierarchical composition: valid only when the
+    /// communicator spans >= 2 nodes with >= 2 ranks on some node; for
+    /// reductions with non-commutative operations additionally requires
+    /// every node's members to be a contiguous comm-rank range (so the
+    /// intra-then-inter fold stays a rank-order bracketing).
+    bool hier = false;
 };
 
 /// The registered algorithms of `f`; index into this table identifies the
@@ -56,6 +68,19 @@ char const* family_name(Family f);
 /// is true for data movement and builtin reduction operations.
 int select(Family f, MPI_Comm comm, std::size_t bytes, bool commutative, bool elementwise = true);
 
+/// Pure cost minimization over the *single-tier* algorithms of `f` for a
+/// subgroup of `p` ranks whose links all use machine `m` — how the
+/// hierarchical builders choose their inter-node (and intra-node) phase
+/// algorithms. Ignores the override channels: pinning applies to the
+/// user-visible collective, not to phases of a composition.
+int select_flat(Family f, int p, std::size_t bytes, bool commutative, bool elementwise,
+                bench::model::Machine const& m);
+
+/// Testing hook: forgets the cached XMPI_ALG_* environment resolutions (and
+/// re-arms the one-time unknown-name warning) so tests can exercise the env
+/// channel after mutating the environment.
+void reset_env_cache_for_testing();
+
 // ---------------------------------------------------------------------------
 // Builders. Each appends the selected algorithm's step program to `s`.
 // Wrapper-level normalization has already happened: `input` has MPI_IN_PLACE
@@ -72,6 +97,20 @@ int build_allreduce(int alg, Schedule& s, void const* input, void* recvbuf, int 
                     MPI_Datatype type, MPI_Op op);
 int build_alltoall(int alg, Schedule& s, void const* sendbuf, int sendcount, MPI_Datatype sendtype,
                    void* recvbuf, int recvcount, MPI_Datatype recvtype);
+
+// Hierarchical (leader-based) builders, defined in hierarchical.cpp. Each
+// composes existing builders as sub-schedules over group scopes: an
+// intra-node phase, an inter-node phase among node leaders (or slice peer
+// groups), and an intra-node redistribution. Dispatched from the build_*
+// functions above when the registry's "hierarchical" entry is selected.
+int build_hier_bcast(Schedule& s, void* buf, int count, MPI_Datatype type, int root);
+int build_hier_reduce(Schedule& s, void const* input, void* recvbuf, int count, MPI_Datatype type,
+                      MPI_Op op, int root);
+int build_hier_allreduce(Schedule& s, void const* input, void* recvbuf, int count,
+                         MPI_Datatype type, MPI_Op op);
+int build_hier_allgather(Schedule& s, void* recvbuf, int recvcount, MPI_Datatype recvtype);
+int build_hier_alltoall(Schedule& s, void const* sendbuf, int sendcount, MPI_Datatype sendtype,
+                        void* recvbuf, int recvcount, MPI_Datatype recvtype);
 
 // Append-style building blocks shared between families (composites). The
 // `tag_base` offsets the step tags so composed phases cannot match each
@@ -104,6 +143,35 @@ inline void local_copy(void const* src, int scount, MPI_Datatype stype, void* ds
     std::vector<std::byte> tmp(bytes);
     stype->pack(src, scount, tmp.data());
     rtype->unpack(tmp.data(), rtype->size > 0 ? static_cast<int>(bytes / rtype->size) : 0, dst);
+}
+
+/// The communicator universe's Config as a two-tier bench machine. Shared
+/// by the registry's selection and the hierarchical builders' inner-phase
+/// choices, so their cost decisions cannot drift.
+inline bench::model::TwoTier machine_of(MPI_Comm comm) {
+    auto const& cfg = comm->universe->cfg;
+    bench::model::TwoTier t;
+    t.inter.alpha = cfg.alpha;
+    t.inter.beta = cfg.beta;
+    t.inter.o = cfg.o;
+    t.intra.alpha = cfg.alpha_intra;
+    t.intra.beta = cfg.beta_intra;
+    t.intra.o = cfg.o_intra;
+    return t;
+}
+
+/// Near-even partition of `count` elements into `k` blocks (earlier blocks
+/// get the remainder); returns the k+1 exclusive prefix sums. Shared by the
+/// vector-splitting allreduce builders and the hierarchical 2D composition,
+/// which must agree on the block layout.
+inline std::vector<long long> block_offsets(int count, int k) {
+    std::vector<long long> off(static_cast<std::size_t>(k) + 1, 0);
+    int const base = count / k;
+    int const rem = count % k;
+    for (int i = 0; i < k; ++i)
+        off[static_cast<std::size_t>(i) + 1] =
+            off[static_cast<std::size_t>(i)] + base + (i < rem ? 1 : 0);
+    return off;
 }
 
 /// Number of pipeline segments the ring bcast splits `bytes` into (kept in

@@ -9,9 +9,8 @@ namespace xmpi::detail::alg {
 namespace {
 
 void build_flat(Schedule& s, void* recvbuf, int recvcount, MPI_Datatype recvtype) {
-    MPI_Comm const c = s.comm();
-    int const p = c->size();
-    int const r = c->rank();
+    int const p = s.size();
+    int const r = s.rank();
     std::byte* const own = at_offset(recvbuf, static_cast<long long>(r) * recvcount, recvtype);
     std::vector<int> slots(static_cast<std::size_t>(p), -1);
     // Post every receive up front, deposit the sends, then drain in
@@ -33,9 +32,8 @@ void build_flat(Schedule& s, void* recvbuf, int recvcount, MPI_Datatype recvtype
 }
 
 void build_rdoubling(Schedule& s, void* recvbuf, int recvcount, MPI_Datatype recvtype) {
-    MPI_Comm const c = s.comm();
-    int const p = c->size();
-    int const r = c->rank();
+    int const p = s.size();
+    int const r = s.rank();
     for (int bit = 1, k = 0; bit < p; bit <<= 1, ++k) {
         int const partner = r ^ bit;
         int const mine = r & ~(bit - 1);
@@ -51,9 +49,8 @@ void build_rdoubling(Schedule& s, void* recvbuf, int recvcount, MPI_Datatype rec
 }
 
 void build_ring(Schedule& s, void* recvbuf, int recvcount, MPI_Datatype recvtype) {
-    MPI_Comm const c = s.comm();
-    int const p = c->size();
-    int const r = c->rank();
+    int const p = s.size();
+    int const r = s.rank();
     int const right = (r + 1) % p;
     int const left = (r - 1 + p) % p;
     for (int k = 0; k < p - 1; ++k) {
@@ -71,11 +68,12 @@ void build_ring(Schedule& s, void* recvbuf, int recvcount, MPI_Datatype recvtype
 }  // namespace
 
 int build_allgather(int alg, Schedule& s, void* recvbuf, int recvcount, MPI_Datatype recvtype) {
-    if (s.comm()->size() == 1) return MPI_SUCCESS;
+    if (s.size() == 1) return MPI_SUCCESS;
     switch (alg) {
         case 0: build_flat(s, recvbuf, recvcount, recvtype); break;
         case 1: build_rdoubling(s, recvbuf, recvcount, recvtype); break;
         case 2: build_ring(s, recvbuf, recvcount, recvtype); break;
+        case 3: return build_hier_allgather(s, recvbuf, recvcount, recvtype);
         default: return MPI_ERR_ARG;
     }
     return MPI_SUCCESS;

@@ -21,27 +21,22 @@
 namespace xmpi::detail::alg {
 namespace {
 
-/// Near-even partition of `count` into p blocks (earlier blocks get the
-/// remainder). Returns the p+1 exclusive prefix sums.
-std::vector<long long> block_offsets(int count, int p) {
-    std::vector<long long> off(static_cast<std::size_t>(p) + 1, 0);
-    int const base = count / p;
-    int const rem = count % p;
-    for (int i = 0; i < p; ++i)
-        off[static_cast<std::size_t>(i) + 1] =
-            off[static_cast<std::size_t>(i)] + base + (i < rem ? 1 : 0);
-    return off;
-}
-
 void build_flat(Schedule& s, void const* input, void* recvbuf, int count, MPI_Datatype type,
                 MPI_Op op) {
-    MPI_Comm const c = s.comm();
-    int const p = c->size();
-    int const r = c->rank();
+    int const p = s.size();
+    int const r = s.rank();
     std::size_t const bytes =
         static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
     std::byte* const own = s.alloc(bytes);
-    if (bytes > 0) std::memcpy(own, input, bytes);
+    // Input is snapshotted as a schedule step (not at build time) so the
+    // builder stays composable: a hierarchical phase may feed it a buffer
+    // that an earlier phase only produces during execution.
+    if (bytes > 0) {
+        s.local([own, input, bytes]() {
+            std::memcpy(own, input, bytes);
+            return MPI_SUCCESS;
+        });
+    }
     for (int i = 0; i < p; ++i) {
         if (i == r) continue;
         s.send(i, 0, own, count, type);
@@ -62,14 +57,19 @@ void build_flat(Schedule& s, void const* input, void* recvbuf, int count, MPI_Da
 
 void build_rdoubling(Schedule& s, void const* input, void* recvbuf, int count, MPI_Datatype type,
                      MPI_Op op) {
-    MPI_Comm const c = s.comm();
-    int const p = c->size();
-    int const r = c->rank();
+    int const p = s.size();
+    int const r = s.rank();
     std::size_t const bytes =
         static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
     std::byte* cur = s.alloc(bytes);
     std::byte* other = s.alloc(bytes);
-    if (bytes > 0) std::memcpy(cur, input, bytes);
+    if (bytes > 0) {
+        std::byte* const dst = cur;
+        s.local([dst, input, bytes]() {
+            std::memcpy(dst, input, bytes);
+            return MPI_SUCCESS;
+        });
+    }
     for (int bit = 1, k = 0; bit < p; bit <<= 1, ++k) {
         int const partner = r ^ bit;
         int const slot = s.post(partner, k, other, count, type);
@@ -101,15 +101,19 @@ void build_rdoubling(Schedule& s, void const* input, void* recvbuf, int count, M
 
 void build_rabenseifner(Schedule& s, void const* input, void* recvbuf, int count,
                         MPI_Datatype type, MPI_Op op) {
-    MPI_Comm const c = s.comm();
-    int const p = c->size();
-    int const r = c->rank();
+    int const p = s.size();
+    int const r = s.rank();
     std::size_t const extent = static_cast<std::size_t>(type->extent);
     std::size_t const bytes = static_cast<std::size_t>(count) * extent;
     auto const off = block_offsets(count, p);
     std::byte* const acc = s.alloc(bytes);
     std::byte* const tmp = s.alloc(bytes);
-    if (bytes > 0) std::memcpy(acc, input, bytes);
+    if (bytes > 0) {
+        s.local([acc, input, bytes]() {
+            std::memcpy(acc, input, bytes);
+            return MPI_SUCCESS;
+        });
+    }
 
     // Phase 1: recursive-halving reduce-scatter. The kept half is always the
     // one containing our own block index, so after log2(p) steps rank r owns
@@ -184,9 +188,8 @@ void build_rabenseifner(Schedule& s, void const* input, void* recvbuf, int count
 
 void build_ring(Schedule& s, void const* input, void* recvbuf, int count, MPI_Datatype type,
                 MPI_Op op) {
-    MPI_Comm const c = s.comm();
-    int const p = c->size();
-    int const r = c->rank();
+    int const p = s.size();
+    int const r = s.rank();
     std::size_t const extent = static_cast<std::size_t>(type->extent);
     std::size_t const bytes = static_cast<std::size_t>(count) * extent;
     auto const off = block_offsets(count, p);
@@ -199,7 +202,12 @@ void build_ring(Schedule& s, void const* input, void* recvbuf, int count, MPI_Da
     };
     std::byte* const acc = s.alloc(bytes);
     std::byte* const tmp = s.alloc(bytes > 0 ? (static_cast<std::size_t>(cnt(0)) * extent) : 0);
-    if (bytes > 0) std::memcpy(acc, input, bytes);
+    if (bytes > 0) {
+        s.local([acc, input, bytes]() {
+            std::memcpy(acc, input, bytes);
+            return MPI_SUCCESS;
+        });
+    }
     int const right = (r + 1) % p;
     int const left = (r - 1 + p) % p;
 
@@ -239,7 +247,7 @@ void build_ring(Schedule& s, void const* input, void* recvbuf, int count, MPI_Da
 
 int build_allreduce(int alg, Schedule& s, void const* input, void* recvbuf, int count,
                     MPI_Datatype type, MPI_Op op) {
-    if (s.comm()->size() == 1) {
+    if (s.size() == 1) {
         std::size_t const bytes =
             static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
         if (bytes > 0 && input != recvbuf) {
@@ -259,6 +267,7 @@ int build_allreduce(int alg, Schedule& s, void const* input, void* recvbuf, int 
         case 2: build_rdoubling(s, input, recvbuf, count, type, op); break;
         case 3: build_rabenseifner(s, input, recvbuf, count, type, op); break;
         case 4: build_ring(s, input, recvbuf, count, type, op); break;
+        case 5: return build_hier_allreduce(s, input, recvbuf, count, type, op);
         default: return MPI_ERR_ARG;
     }
     return MPI_SUCCESS;

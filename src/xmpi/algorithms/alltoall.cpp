@@ -14,9 +14,8 @@ namespace {
 
 void build_pairwise(Schedule& s, void const* sendbuf, int sendcount, MPI_Datatype sendtype,
                     void* recvbuf, int recvcount, MPI_Datatype recvtype) {
-    MPI_Comm const c = s.comm();
-    int const p = c->size();
-    int const r = c->rank();
+    int const p = s.size();
+    int const r = s.rank();
     local_copy(at_offset(sendbuf, static_cast<long long>(r) * sendcount, sendtype), sendcount,
                sendtype, at_offset(recvbuf, static_cast<long long>(r) * recvcount, recvtype),
                recvtype);
@@ -34,9 +33,8 @@ void build_pairwise(Schedule& s, void const* sendbuf, int sendcount, MPI_Datatyp
 
 void build_bruck(Schedule& s, void const* sendbuf, int sendcount, MPI_Datatype sendtype,
                  void* recvbuf, int recvcount, MPI_Datatype recvtype) {
-    MPI_Comm const c = s.comm();
-    int const p = c->size();
-    int const r = c->rank();
+    int const p = s.size();
+    int const r = s.rank();
     std::size_t const bb =
         static_cast<std::size_t>(sendcount) * static_cast<std::size_t>(sendtype->size);
     std::byte* const tmp = s.alloc(static_cast<std::size_t>(p) * bb);
@@ -102,7 +100,7 @@ void build_bruck(Schedule& s, void const* sendbuf, int sendcount, MPI_Datatype s
 
 int build_alltoall(int alg, Schedule& s, void const* sendbuf, int sendcount, MPI_Datatype sendtype,
                    void* recvbuf, int recvcount, MPI_Datatype recvtype) {
-    if (s.comm()->size() == 1) {
+    if (s.size() == 1) {
         s.local([sendbuf, sendcount, sendtype, recvbuf, recvtype]() {
             local_copy(sendbuf, sendcount, sendtype, recvbuf, recvtype);
             return MPI_SUCCESS;
@@ -112,6 +110,7 @@ int build_alltoall(int alg, Schedule& s, void const* sendbuf, int sendcount, MPI
     switch (alg) {
         case 0: build_pairwise(s, sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype); break;
         case 1: build_bruck(s, sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype); break;
+        case 2: return build_hier_alltoall(s, sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype);
         default: return MPI_ERR_ARG;
     }
     return MPI_SUCCESS;

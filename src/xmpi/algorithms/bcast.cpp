@@ -9,9 +9,8 @@ namespace xmpi::detail::alg {
 namespace {
 
 void build_flat(Schedule& s, void* buf, int count, MPI_Datatype type, int root) {
-    MPI_Comm const c = s.comm();
-    int const p = c->size();
-    int const r = c->rank();
+    int const p = s.size();
+    int const r = s.rank();
     if (r == root) {
         for (int i = 0; i < p; ++i) {
             if (i == root) continue;
@@ -23,9 +22,8 @@ void build_flat(Schedule& s, void* buf, int count, MPI_Datatype type, int root) 
 }
 
 void build_ring(Schedule& s, void* buf, int count, MPI_Datatype type, int root) {
-    MPI_Comm const c = s.comm();
-    int const p = c->size();
-    int const r = c->rank();
+    int const p = s.size();
+    int const r = s.rank();
     int const vr = (r - root + p) % p;
     auto real = [&](int v) { return (v + root) % p; };
     std::size_t const bytes =
@@ -51,9 +49,8 @@ void build_ring(Schedule& s, void* buf, int count, MPI_Datatype type, int root) 
 
 void append_binomial_bcast(Schedule& s, void* buf, int count, MPI_Datatype type, int root,
                            int tag_base) {
-    MPI_Comm const c = s.comm();
-    int const p = c->size();
-    int const r = c->rank();
+    int const p = s.size();
+    int const r = s.rank();
     int const vr = (r - root + p) % p;
     auto real = [&](int v) { return (v + root) % p; };
     int mask = 1;
@@ -72,11 +69,12 @@ void append_binomial_bcast(Schedule& s, void* buf, int count, MPI_Datatype type,
 }
 
 int build_bcast(int alg, Schedule& s, void* buf, int count, MPI_Datatype type, int root) {
-    if (s.comm()->size() == 1) return MPI_SUCCESS;
+    if (s.size() == 1) return MPI_SUCCESS;
     switch (alg) {
         case 0: build_flat(s, buf, count, type, root); break;
         case 1: append_binomial_bcast(s, buf, count, type, root, 0); break;
         case 2: build_ring(s, buf, count, type, root); break;
+        case 3: return build_hier_bcast(s, buf, count, type, root);
         default: return MPI_ERR_ARG;
     }
     return MPI_SUCCESS;

@@ -1,0 +1,620 @@
+/// @file hierarchical.cpp
+/// @brief Leader-based hierarchical collective algorithms. Every builder
+/// composes existing schedule builders as sub-schedules over group scopes
+/// (see Schedule::push_group): an intra-node phase priced on the cheap
+/// shared-memory tier, an inter-node phase among node leaders (or slice peer
+/// groups), and an intra-node redistribution. Inner-phase algorithms are
+/// chosen by the same cost formulas the registry uses (select_flat /
+/// bench::model::*_hier), so the selection crossovers, the builders and the
+/// analytic curves stay consistent.
+///
+/// Tag layout within one collective sequence number: intra-node phases use
+/// tag bases 0 (up) and 512 (down), inter-node phases use 256. Phases can
+/// never match each other's messages (distinct bases), and concurrent
+/// subgroups of one phase are disjoint rank sets.
+///
+/// Fold-order discipline: intra-node reductions fold members in comm-rank
+/// order and inter-node phases fold nodes in dense node order (ascending
+/// first member), so when every node's members are a contiguous comm-rank
+/// range the whole composition is a rank-order bracketing and
+/// non-commutative operations stay exact; the registry only selects
+/// hierarchical reductions for non-commutative operations in that case.
+#include <cstring>
+#include <vector>
+
+#include "../topo/topo.hpp"
+#include "algorithms.hpp"
+#include "fold.hpp"
+
+namespace xmpi::detail::alg {
+namespace {
+
+using topo::NodeInfo;
+
+int const kIntraUp = 0;     ///< tag base: intra-node gather/reduce phase
+int const kInter = 256;     ///< tag base: inter-node phase
+int const kIntraDown = 512; ///< tag base: intra-node bcast/scatter phase
+
+bench::model::NodeShape shape_of(NodeInfo const& ni) {
+    return {static_cast<double>(ni.num_nodes()), static_cast<double>(ni.max_ppn),
+            static_cast<double>(ni.min_ppn)};
+}
+
+/// The calling rank's index within its node's member list.
+int my_member_index(NodeInfo const& ni, int r) {
+    auto const& mem = ni.members[static_cast<std::size_t>(ni.my_node)];
+    for (std::size_t i = 0; i < mem.size(); ++i) {
+        if (mem[i] == r) return static_cast<int>(i);
+    }
+    return 0;  // unreachable: r is always a member of its own node
+}
+
+/// Node-leader comm ranks in dense node order (the inter-phase group map).
+std::vector<int> leader_map(NodeInfo const& ni) {
+    std::vector<int> leaders;
+    leaders.reserve(static_cast<std::size_t>(ni.num_nodes()));
+    for (int g = 0; g < ni.num_nodes(); ++g) leaders.push_back(ni.leader(g));
+    return leaders;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Bcast: root -> node leaders (segment-pipelined ring or binomial tree among
+// leaders, whichever the cost model prefers) with per-segment binomial relay
+// into each node. The root acts as its own node's leader so the payload
+// never takes a detour.
+// ---------------------------------------------------------------------------
+
+int build_hier_bcast(Schedule& s, void* buf, int count, MPI_Datatype type, int root) {
+    MPI_Comm const c = s.comm();
+    NodeInfo const& ni = topo::node_info(c);
+    int const n = ni.num_nodes();
+    int const r = s.rank();
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
+
+    // Leaders in ring order starting at the root's node, with the root
+    // standing in as its node's leader.
+    int const root_node = ni.node_of[static_cast<std::size_t>(root)];
+    std::vector<int> leaders(static_cast<std::size_t>(n));
+    int my_lrank = -1;
+    for (int j = 0; j < n; ++j) {
+        int const g = (root_node + j) % n;
+        leaders[static_cast<std::size_t>(j)] = g == root_node ? root : ni.leader(g);
+        if (leaders[static_cast<std::size_t>(j)] == r) my_lrank = j;
+    }
+
+    auto const t = machine_of(c);
+    auto const shape = shape_of(ni);
+    bool const use_ring =
+        bench::model::bcast_hier_ring(t, shape, static_cast<double>(bytes)) <=
+        bench::model::bcast_hier_tree(t, shape, static_cast<double>(bytes));
+    int nseg = 1;
+    if (use_ring) {
+        nseg = ring_segments(bytes);
+        if (nseg > count && count > 0) nseg = count;
+        if (count == 0) nseg = 1;
+    }
+    int const base = count / nseg;
+    int const rem = count % nseg;
+
+    auto const& mem = ni.members[static_cast<std::size_t>(ni.my_node)];
+    int const m = static_cast<int>(mem.size());
+    int const node_leader = ni.my_node == root_node ? root : ni.leader(ni.my_node);
+    int my_mrank = 0, leader_mrank = 0;
+    for (int i = 0; i < m; ++i) {
+        if (mem[static_cast<std::size_t>(i)] == r) my_mrank = i;
+        if (mem[static_cast<std::size_t>(i)] == node_leader) leader_mrank = i;
+    }
+
+    long long off = 0;
+    for (int k = 0; k < nseg; ++k) {
+        int const len = base + (k < rem ? 1 : 0);
+        std::byte* const seg = at_offset(buf, off, type);
+        if (my_lrank >= 0 && n > 1) {
+            GroupScope scope(s, leaders, my_lrank, kInter);
+            if (use_ring) {
+                if (my_lrank != 0) s.recv(my_lrank - 1, k, seg, len, type);
+                if (my_lrank != n - 1) s.send(my_lrank + 1, k, seg, len, type);
+            } else {
+                append_binomial_bcast(s, seg, len, type, /*root=*/0, /*tag_base=*/k);
+            }
+        }
+        if (m > 1) {
+            GroupScope scope(s, mem, my_mrank, kIntraUp);
+            append_binomial_bcast(s, seg, len, type, leader_mrank, /*tag_base=*/k);
+        }
+        off += len;
+    }
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Reduce: intra-node binomial reduce to each node's first member, binomial
+// reduce among leaders in dense node order (a rank-order bracketing on
+// node-contiguous communicators), then one intra-node hop to the root when
+// the root is not its node's leader.
+// ---------------------------------------------------------------------------
+
+int build_hier_reduce(Schedule& s, void const* input, void* recvbuf, int count, MPI_Datatype type,
+                      MPI_Op op, int root) {
+    MPI_Comm const c = s.comm();
+    NodeInfo const& ni = topo::node_info(c);
+    int const n = ni.num_nodes();
+    int const r = s.rank();
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
+
+    auto const& mem = ni.members[static_cast<std::size_t>(ni.my_node)];
+    int const m = static_cast<int>(mem.size());
+    int const my_mrank = my_member_index(ni, r);
+    bool const node_leader = mem.front() == r;
+
+    int const root_node = ni.node_of[static_cast<std::size_t>(root)];
+    int const root_leader = ni.leader(root_node);
+
+    // Phase A: reduce this node's contributions to its leader.
+    std::byte* node_acc = s.alloc(bytes);
+    if (m > 1) {
+        GroupScope scope(s, mem, my_mrank, kIntraUp);
+        append_binomial_reduce(s, input, node_acc, count, type, op, /*root=*/0, /*tag_base=*/0);
+    } else if (bytes > 0) {
+        // Snapshot as a schedule step (not at build time): keeps this
+        // builder composable with execution-produced inputs, like the flat
+        // reduction builders.
+        s.local([node_acc, input, bytes]() {
+            std::memcpy(node_acc, input, bytes);
+            return MPI_SUCCESS;
+        });
+    }
+
+    // Phase B: reduce the node results among leaders toward the root node's
+    // leader (dense node order keeps the fold a bracketing). Phase C hands
+    // the result from that leader to the root when they differ.
+    if (n > 1) {
+        if (node_leader) {
+            void* const out = r == root ? recvbuf
+                                        : (ni.my_node == root_node
+                                               ? static_cast<void*>(s.alloc(bytes))
+                                               : nullptr);  // never dereferenced elsewhere
+            {
+                GroupScope scope(s, leader_map(ni), ni.my_node, kInter);
+                append_binomial_reduce(s, node_acc, out, count, type, op, root_node,
+                                       /*tag_base=*/0);
+                if (root_node != 0 && s.rank() == root_node) s.recv(0, 1, out, count, type);
+            }
+            if (ni.my_node == root_node && r != root) s.send(root, kIntraDown, out, count, type);
+        }
+        if (r == root && root_leader != root) s.recv(root_leader, kIntraDown, recvbuf, count, type);
+    } else {
+        // Degenerate single-node topology (never auto-selected): the node
+        // result is already final at the leader.
+        if (node_leader && r != root) s.send(root, kIntraDown, node_acc, count, type);
+        if (r == root) {
+            if (root_leader != root) {
+                s.recv(root_leader, kIntraDown, recvbuf, count, type);
+            } else if (bytes > 0) {
+                std::byte* const acc = node_acc;
+                s.local([recvbuf, acc, bytes]() {
+                    std::memcpy(recvbuf, acc, bytes);
+                    return MPI_SUCCESS;
+                });
+            }
+        }
+    }
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Allreduce. Element-wise (builtin) operations use the "2D" composition:
+// a flat intra-node reduce-scatter over S = min_ppn slices, S *parallel*
+// inter-node allreduces (slice peer groups: the j-th member of every node),
+// and a flat intra-node share-back. Splitting the inter-node work across the
+// node's members divides the expensive-tier traffic per critical path by S,
+// which is where hierarchy genuinely beats the best flat algorithm at scale.
+// Non-element-wise user operations fall back to the leader composition
+// (intra reduce, allreduce among leaders, intra bcast), which keeps whole
+// vectors intact and rank-order bracketings exact.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void build_hier_allreduce_2d(Schedule& s, void const* input, void* recvbuf, int count,
+                             MPI_Datatype type, MPI_Op op) {
+    MPI_Comm const c = s.comm();
+    NodeInfo const& ni = topo::node_info(c);
+    int const n = ni.num_nodes();
+    int const r = s.rank();
+    std::size_t const extent = static_cast<std::size_t>(type->extent);
+
+    auto const& mem = ni.members[static_cast<std::size_t>(ni.my_node)];
+    int const m = static_cast<int>(mem.size());
+    int const my_mrank = my_member_index(ni, r);
+
+    int const S = ni.min_ppn;
+    auto const off = block_offsets(count, S);
+    auto slice_count = [&](int j) {
+        return static_cast<int>(off[static_cast<std::size_t>(j) + 1] -
+                                off[static_cast<std::size_t>(j)]);
+    };
+    bool const owner = my_mrank < S;
+    int const my_slice = my_mrank;  // meaningful only when owner
+
+    // Phase A: flat intra-node reduce-scatter. All sends first (the
+    // transport is eager, so no emission order can deadlock), then each
+    // slice owner drains contributions in member order.
+    for (int j = 0; j < S; ++j) {
+        if (mem[static_cast<std::size_t>(j)] == r) continue;
+        s.send(mem[static_cast<std::size_t>(j)], kIntraUp + j,
+               at_offset(input, off[static_cast<std::size_t>(j)], type), slice_count(j), type);
+    }
+    FoldChain chain{s, op, owner ? slice_count(my_slice) : 0, type};
+    if (owner) {
+        std::size_t const sbytes = static_cast<std::size_t>(slice_count(my_slice)) * extent;
+        std::byte* const own = s.alloc(sbytes);
+        if (sbytes > 0) {
+            std::byte const* const src =
+                at_offset(input, off[static_cast<std::size_t>(my_slice)], type);
+            s.local([own, src, sbytes]() {
+                std::memcpy(own, src, sbytes);
+                return MPI_SUCCESS;
+            });
+        }
+        chain.free = {s.alloc(sbytes), s.alloc(sbytes)};
+        for (int i = 0; i < m; ++i) {
+            if (i == my_mrank) {
+                chain.fold_right(own);
+                continue;
+            }
+            std::byte* const target = chain.take();
+            s.recv(mem[static_cast<std::size_t>(i)], kIntraUp + my_slice, target,
+                   slice_count(my_slice), type);
+            chain.fold_right(target);
+        }
+    }
+
+    // Phase B: inter-node allreduce of each slice within its peer group
+    // (the j-th member of every node; S groups run concurrently on disjoint
+    // ranks). The inner algorithm is the cost model's best single-tier
+    // choice for n ranks on a slice.
+    std::byte* result = nullptr;
+    if (owner) {
+        int const cnt = slice_count(my_slice);
+        std::size_t const sbytes = static_cast<std::size_t>(cnt) * extent;
+        result = s.alloc(sbytes);
+        if (n > 1) {
+            std::vector<int> peers;
+            peers.reserve(static_cast<std::size_t>(n));
+            for (int g = 0; g < n; ++g)
+                peers.push_back(ni.members[static_cast<std::size_t>(g)]
+                                          [static_cast<std::size_t>(my_slice)]);
+            int const inner = select_flat(Family::allreduce, n,
+                                          static_cast<std::size_t>(cnt) *
+                                              static_cast<std::size_t>(type->size),
+                                          /*commutative=*/true, /*elementwise=*/true,
+                                          machine_of(c).inter);
+            GroupScope scope(s, std::move(peers), ni.my_node, kInter);
+            build_allreduce(inner, s, chain.cur, result, cnt, type, op);
+        } else if (sbytes > 0) {
+            std::byte* const acc = chain.cur;
+            s.local([result, acc, sbytes]() {
+                std::memcpy(result, acc, sbytes);
+                return MPI_SUCCESS;
+            });
+        }
+    }
+
+    // Phase C: flat intra-node share-back of the reduced slices.
+    if (owner) {
+        int const cnt = slice_count(my_slice);
+        for (int i = 0; i < m; ++i) {
+            if (i == my_mrank) continue;
+            s.send(mem[static_cast<std::size_t>(i)], kIntraDown + my_slice, result, cnt, type);
+        }
+        std::size_t const sbytes = static_cast<std::size_t>(cnt) * extent;
+        if (sbytes > 0) {
+            std::byte* const dst =
+                at_offset(recvbuf, off[static_cast<std::size_t>(my_slice)], type);
+            s.local([dst, result, sbytes]() {
+                std::memcpy(dst, result, sbytes);
+                return MPI_SUCCESS;
+            });
+        }
+    }
+    for (int j = 0; j < S; ++j) {
+        if (owner && j == my_slice) continue;
+        s.recv(mem[static_cast<std::size_t>(j)], kIntraDown + j,
+               at_offset(recvbuf, off[static_cast<std::size_t>(j)], type), slice_count(j), type);
+    }
+}
+
+void build_hier_allreduce_leader(Schedule& s, void const* input, void* recvbuf, int count,
+                                 MPI_Datatype type, MPI_Op op) {
+    MPI_Comm const c = s.comm();
+    NodeInfo const& ni = topo::node_info(c);
+    int const n = ni.num_nodes();
+    int const r = s.rank();
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
+
+    auto const& mem = ni.members[static_cast<std::size_t>(ni.my_node)];
+    int const m = static_cast<int>(mem.size());
+    int const my_mrank = my_member_index(ni, r);
+    bool const node_leader = mem.front() == r;
+
+    // Phase A: intra-node binomial reduce to the leader.
+    std::byte* const node_acc = s.alloc(bytes);
+    if (m > 1) {
+        GroupScope scope(s, mem, my_mrank, kIntraUp);
+        append_binomial_reduce(s, input, node_acc, count, type, op, /*root=*/0, /*tag_base=*/0);
+    } else if (bytes > 0) {
+        s.local([node_acc, input, bytes]() {
+            std::memcpy(node_acc, input, bytes);
+            return MPI_SUCCESS;
+        });
+    }
+
+    // Phase B: allreduce among leaders (rank-order-safe inner algorithm for
+    // non-commutative operations; select_flat filters by the flags).
+    if (node_leader) {
+        if (n > 1) {
+            int const inner = select_flat(Family::allreduce, n,
+                                          static_cast<std::size_t>(count) *
+                                              static_cast<std::size_t>(type->size),
+                                          op->commutative, /*elementwise=*/false,
+                                          machine_of(c).inter);
+            GroupScope scope(s, leader_map(ni), ni.my_node, kInter);
+            build_allreduce(inner, s, node_acc, recvbuf, count, type, op);
+        } else if (bytes > 0) {
+            s.local([recvbuf, node_acc, bytes]() {
+                std::memcpy(recvbuf, node_acc, bytes);
+                return MPI_SUCCESS;
+            });
+        }
+    }
+
+    // Phase C: intra-node bcast of the final vector from the leader.
+    if (m > 1) {
+        GroupScope scope(s, mem, my_mrank, kIntraDown);
+        append_binomial_bcast(s, recvbuf, count, type, /*root=*/0, /*tag_base=*/0);
+    }
+}
+
+}  // namespace
+
+int build_hier_allreduce(Schedule& s, void const* input, void* recvbuf, int count,
+                         MPI_Datatype type, MPI_Op op) {
+    // Builtin operations are element-wise (and commutative) by construction,
+    // which is what makes slicing the vector across node members legal.
+    if (op->builtin) {
+        build_hier_allreduce_2d(s, input, recvbuf, count, type, op);
+    } else {
+        build_hier_allreduce_leader(s, input, recvbuf, count, type, op);
+    }
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Allgather: intra-node gather to the leader (blocks land directly at their
+// comm-rank offsets), a leader ring forwarding packed per-node bundles, and
+// an intra-node binomial bcast of the assembled result.
+// ---------------------------------------------------------------------------
+
+int build_hier_allgather(Schedule& s, void* recvbuf, int recvcount, MPI_Datatype recvtype) {
+    MPI_Comm const c = s.comm();
+    NodeInfo const& ni = topo::node_info(c);
+    int const n = ni.num_nodes();
+    int const p = s.size();
+    int const r = s.rank();
+    std::size_t const bb =
+        static_cast<std::size_t>(recvcount) * static_cast<std::size_t>(recvtype->size);
+
+    auto const& mem = ni.members[static_cast<std::size_t>(ni.my_node)];
+    int const m = static_cast<int>(mem.size());
+    int const my_mrank = my_member_index(ni, r);
+    bool const node_leader = mem.front() == r;
+
+    // Phase A: members deposit their block at the leader, directly at its
+    // final comm-rank offset in the leader's recvbuf.
+    if (!node_leader) {
+        s.send(mem.front(), kIntraUp,
+               at_offset(recvbuf, static_cast<long long>(r) * recvcount, recvtype), recvcount,
+               recvtype);
+    } else {
+        for (int i = 1; i < m; ++i) {
+            int const w = mem[static_cast<std::size_t>(i)];
+            s.recv(w, kIntraUp, at_offset(recvbuf, static_cast<long long>(w) * recvcount, recvtype),
+                   recvcount, recvtype);
+        }
+    }
+
+    // Phase B: leader ring. Round k forwards the bundle of node
+    // (my_node - k) to the next leader; bundles are packed because a node's
+    // blocks need not be contiguous in recvbuf.
+    if (node_leader && n > 1) {
+        auto node_size = [&](int g) {
+            return static_cast<int>(ni.members[static_cast<std::size_t>(g)].size());
+        };
+        std::size_t const max_bundle = static_cast<std::size_t>(ni.max_ppn) * bb;
+        std::byte* cur = s.alloc(max_bundle);
+        std::byte* next = s.alloc(max_bundle);
+        // Pack this node's bundle (a local step: phase A receives must have
+        // landed first, and step order guarantees that).
+        if (bb > 0) {
+            auto const* members = &ni.members[static_cast<std::size_t>(ni.my_node)];
+            s.local([cur, members, recvbuf, recvcount, recvtype, bb]() {
+                for (std::size_t i = 0; i < members->size(); ++i) {
+                    recvtype->pack(
+                        at_offset(recvbuf,
+                                  static_cast<long long>((*members)[i]) * recvcount, recvtype),
+                        recvcount, cur + i * bb);
+                }
+                return MPI_SUCCESS;
+            });
+        }
+        int const right = (ni.my_node + 1) % n;
+        int const left = (ni.my_node - 1 + n) % n;
+        std::vector<int> const leaders = leader_map(ni);
+        for (int k = 0; k < n - 1; ++k) {
+            int const send_node = (ni.my_node - k + n) % n;
+            int const recv_node = (ni.my_node - k - 1 + n) % n;
+            int const slot = s.post(leaders[static_cast<std::size_t>(left)], kInter + k, next,
+                                    static_cast<int>(static_cast<std::size_t>(node_size(recv_node)) * bb),
+                                    MPI_BYTE);
+            s.send(leaders[static_cast<std::size_t>(right)], kInter + k, cur,
+                   static_cast<int>(static_cast<std::size_t>(node_size(send_node)) * bb),
+                   MPI_BYTE);
+            s.wait(slot);
+            if (bb > 0) {
+                auto const* members = &ni.members[static_cast<std::size_t>(recv_node)];
+                s.local([next, members, recvbuf, recvcount, recvtype, bb]() {
+                    for (std::size_t i = 0; i < members->size(); ++i) {
+                        recvtype->unpack(
+                            next + i * bb, recvcount,
+                            at_offset(recvbuf,
+                                      static_cast<long long>((*members)[i]) * recvcount,
+                                      recvtype));
+                    }
+                    return MPI_SUCCESS;
+                });
+            }
+            std::swap(cur, next);
+        }
+    }
+
+    // Phase C: the leader broadcasts the assembled result into its node.
+    if (m > 1) {
+        GroupScope scope(s, mem, my_mrank, kIntraDown);
+        append_binomial_bcast(s, recvbuf, p * recvcount, recvtype, /*root=*/0, /*tag_base=*/0);
+    }
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Alltoall: members ship their whole send row to the leader, leaders
+// exchange one packed bundle per node pair (pairwise order), and leaders
+// ship each member its reassembled result row. Aggregation trades bandwidth
+// on the leader for an (n-1)-message network phase, so the cost model picks
+// this in the latency-bound regime.
+// ---------------------------------------------------------------------------
+
+int build_hier_alltoall(Schedule& s, void const* sendbuf, int sendcount, MPI_Datatype sendtype,
+                        void* recvbuf, int recvcount, MPI_Datatype recvtype) {
+    MPI_Comm const c = s.comm();
+    NodeInfo const& ni = topo::node_info(c);
+    int const n = ni.num_nodes();
+    int const p = s.size();
+    int const r = s.rank();
+    std::size_t const bb =
+        static_cast<std::size_t>(sendcount) * static_cast<std::size_t>(sendtype->size);
+    std::size_t const row = static_cast<std::size_t>(p) * bb;
+
+    auto const& mem = ni.members[static_cast<std::size_t>(ni.my_node)];
+    int const m = static_cast<int>(mem.size());
+    int const my_mrank = my_member_index(ni, r);
+    bool const node_leader = mem.front() == r;
+
+    if (!node_leader) {
+        // Send the full row up, receive the reassembled result row back.
+        s.send(mem.front(), kIntraUp, sendbuf, p * sendcount, sendtype);
+        s.recv(mem.front(), kIntraDown, recvbuf, p * recvcount, recvtype);
+        return MPI_SUCCESS;
+    }
+
+    // rows[i]: member i's packed send row (blocks by destination comm rank).
+    std::byte* const rows = s.alloc(static_cast<std::size_t>(m) * row);
+    if (bb > 0) {
+        // Own row (member 0), packed as a schedule step for composability.
+        s.local([rows, sendbuf, sendcount, sendtype, p]() {
+            sendtype->pack(sendbuf, p * sendcount, rows);
+            return MPI_SUCCESS;
+        });
+    }
+    for (int i = 1; i < m; ++i) {
+        s.recv(mem[static_cast<std::size_t>(i)], kIntraUp,
+               rows + static_cast<std::size_t>(i) * row, static_cast<int>(row), MPI_BYTE);
+    }
+
+    // Inter phase: pairwise bundle exchange. The bundle for node d holds
+    // blocks (sender member i, destination member w) in that order.
+    std::vector<int> const leaders = leader_map(ni);
+    std::vector<std::byte*> inbound(static_cast<std::size_t>(n), nullptr);
+    for (int i = 1; i < n; ++i) {
+        int const dst = (ni.my_node + i) % n;
+        int const src = (ni.my_node - i + n) % n;
+        auto const& dmem = ni.members[static_cast<std::size_t>(dst)];
+        auto const& smem = ni.members[static_cast<std::size_t>(src)];
+        std::size_t const out_bytes = static_cast<std::size_t>(m) * dmem.size() * bb;
+        std::size_t const in_bytes = smem.size() * static_cast<std::size_t>(m) * bb;
+        std::byte* const out = s.alloc(out_bytes);
+        std::byte* const in = s.alloc(in_bytes);
+        inbound[static_cast<std::size_t>(src)] = in;
+        int const slot = s.post(leaders[static_cast<std::size_t>(src)], kInter + i, in,
+                                static_cast<int>(in_bytes), MPI_BYTE);
+        if (bb > 0) {
+            auto const* dptr = &dmem;
+            s.local([out, rows, dptr, row, bb, m]() {
+                std::size_t pos = 0;
+                for (int i2 = 0; i2 < m; ++i2) {
+                    for (int w : *dptr) {
+                        std::memcpy(out + pos,
+                                    rows + static_cast<std::size_t>(i2) * row +
+                                        static_cast<std::size_t>(w) * bb,
+                                    bb);
+                        pos += bb;
+                    }
+                }
+                return MPI_SUCCESS;
+            });
+        }
+        s.send(leaders[static_cast<std::size_t>(dst)], kInter + i, out,
+               static_cast<int>(out_bytes), MPI_BYTE);
+        s.wait(slot);
+    }
+
+    // Reassemble one result row per member (blocks ordered by source comm
+    // rank, exactly the alltoall receive layout), ship it down, and unpack
+    // our own. Runs after every phase B wait by program order.
+    NodeInfo const* const nip = &ni;
+    for (int w = 0; w < m; ++w) {
+        std::byte* const out_row = s.alloc(row);
+        int const dest_comm_rank = mem[static_cast<std::size_t>(w)];
+        if (bb > 0) {
+            s.local([out_row, nip, inbound, rows, row, bb, w, p, m, dest_comm_rank]() {
+                for (int q = 0; q < p; ++q) {
+                    int const g = nip->node_of[static_cast<std::size_t>(q)];
+                    auto const& gm = nip->members[static_cast<std::size_t>(g)];
+                    std::size_t j = 0;
+                    while (gm[j] != q) ++j;  // q's index within its node
+                    std::byte const* const src =
+                        g == nip->my_node
+                            // Member j's row, block destined to comm rank
+                            // `dest_comm_rank` (rows are indexed by
+                            // destination comm rank).
+                            ? rows + j * row + static_cast<std::size_t>(dest_comm_rank) * bb
+                            // Remote bundle order: (sender member j,
+                            // destination member index w).
+                            : inbound[static_cast<std::size_t>(g)] +
+                                  (j * static_cast<std::size_t>(m) + static_cast<std::size_t>(w)) *
+                                      bb;
+                    std::memcpy(out_row + static_cast<std::size_t>(q) * bb, src, bb);
+                }
+                return MPI_SUCCESS;
+            });
+        }
+        if (w == my_mrank) {
+            if (bb > 0) {
+                s.local([out_row, recvbuf, recvcount, recvtype, p]() {
+                    recvtype->unpack(out_row, p * recvcount, recvbuf);
+                    return MPI_SUCCESS;
+                });
+            }
+        } else {
+            s.send(dest_comm_rank, kIntraDown, out_row, static_cast<int>(row), MPI_BYTE);
+        }
+    }
+    return MPI_SUCCESS;
+}
+
+}  // namespace xmpi::detail::alg

@@ -16,9 +16,8 @@ namespace {
 
 void build_flat(Schedule& s, void const* input, void* recvbuf, int count, MPI_Datatype type,
                 MPI_Op op, int root) {
-    MPI_Comm const c = s.comm();
-    int const p = c->size();
-    int const r = c->rank();
+    int const p = s.size();
+    int const r = s.rank();
     if (r != root) {
         s.send(root, 0, input, count, type);
         return;
@@ -26,7 +25,14 @@ void build_flat(Schedule& s, void const* input, void* recvbuf, int count, MPI_Da
     std::size_t const bytes =
         static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
     std::byte* const own = s.alloc(bytes);
-    if (bytes > 0) std::memcpy(own, input, bytes);
+    // Snapshot as a schedule step (not at build time) so composed phases
+    // can feed execution-produced buffers; see build_flat in allreduce.cpp.
+    if (bytes > 0) {
+        s.local([own, input, bytes]() {
+            std::memcpy(own, input, bytes);
+            return MPI_SUCCESS;
+        });
+    }
     FoldChain chain{s, op, count, type};
     // Two spare buffers suffice: one holds the accumulator, the other
     // receives the next contribution; folds swap their roles.
@@ -47,13 +53,17 @@ void build_flat(Schedule& s, void const* input, void* recvbuf, int count, MPI_Da
 
 void append_binomial_reduce(Schedule& s, void const* input, void* recvbuf, int count,
                             MPI_Datatype type, MPI_Op op, int root, int tag_base) {
-    MPI_Comm const c = s.comm();
-    int const p = c->size();
-    int const r = c->rank();
+    int const p = s.size();
+    int const r = s.rank();
     std::size_t const bytes =
         static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
     std::byte* const acc = s.alloc(bytes);
-    if (bytes > 0) std::memcpy(acc, input, bytes);
+    if (bytes > 0) {
+        s.local([acc, input, bytes]() {
+            std::memcpy(acc, input, bytes);
+            return MPI_SUCCESS;
+        });
+    }
     FoldChain chain{s, op, count, type};
     chain.cur = acc;
     chain.free = {s.alloc(bytes)};
@@ -84,9 +94,10 @@ int build_reduce(int alg, Schedule& s, void const* input, void* recvbuf, int cou
         case 0: build_flat(s, input, recvbuf, count, type, op, root); break;
         case 1: {
             append_binomial_reduce(s, input, recvbuf, count, type, op, root, 0);
-            if (root != 0 && s.comm()->rank() == root) s.recv(0, 1, recvbuf, count, type);
+            if (root != 0 && s.rank() == root) s.recv(0, 1, recvbuf, count, type);
             break;
         }
+        case 2: return build_hier_reduce(s, input, recvbuf, count, type, op, root);
         default: return MPI_ERR_ARG;
     }
     return MPI_SUCCESS;

@@ -1,47 +1,56 @@
 /// @file registry.cpp
-/// @brief Algorithm registry and selection: per-family tables, the α-β
+/// @brief Algorithm registry and selection: per-family tables (single-tier
+/// algorithms plus the leader-based hierarchical composition), the two-tier
 /// cost-model automatic choice, and the two override channels (the
 /// XMPI_ALG_<FAMILY> environment variables and the XMPI_T_alg_* control
 /// calls, the latter taking precedence so harnesses can pin algorithms
 /// programmatically).
+#include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <mutex>
+#include <string>
 
+#include "../topo/topo.hpp"
 #include "algorithms.hpp"
-#include "bench/model/analytic.hpp"
 
 namespace xmpi::detail::alg {
 namespace {
 
-/// Adapts a bench::model cost formula to the registry's flat signature so
-/// selection prices schedules with the universe's configured machine terms.
+/// Adapts a single-tier bench::model cost formula to the registry signature.
+/// Single-tier algorithms are always priced with the inter-node machine —
+/// exactly the PR-2 pricing — so their relative order (and therefore
+/// selection on any non-hierarchical topology) is unchanged by the topology
+/// subsystem.
 template <double (*F)(bench::model::Machine const&, double, double)>
-double adapt(double alpha, double beta, double o, double p, double bytes) {
-    bench::model::Machine m;
-    m.alpha = alpha;
-    m.beta = beta;
-    m.o = o;
-    return F(m, p, static_cast<double>(bytes));
+double adapt(bench::model::TwoTier const& t, bench::model::NodeShape const&, double p,
+             double bytes) {
+    return F(t.inter, p, bytes);
 }
 
 std::vector<AlgInfo> const& table(Family f) {
-    // Index 0 is the flat reference of each family (the PR-1 behavior).
+    // Index 0 is always the flat reference of each family (the PR-1
+    // behavior); the hierarchical composition is always last.
     static std::vector<AlgInfo> const bcast_t = {
         {"flat", false, false, false, adapt<bench::model::bcast_flat>},
         {"binomial", false, false, false, adapt<bench::model::bcast_binomial>},
         {"ring", false, false, false, adapt<bench::model::bcast_ring_pipelined>},
+        {"hierarchical", false, false, false, nullptr, true},
     };
     static std::vector<AlgInfo> const reduce_t = {
         {"flat", false, false, false, adapt<bench::model::reduce_flat>},
         {"binomial", false, false, false, adapt<bench::model::reduce_binomial>},
+        {"hierarchical", false, false, false, nullptr, true},
     };
     static std::vector<AlgInfo> const allgather_t = {
         {"flat", false, false, false, adapt<bench::model::allgather_flat>},
         {"rdoubling", true, false, false, adapt<bench::model::allgather_rdoubling>},
         {"ring", false, false, false, adapt<bench::model::allgather_ring>},
+        {"hierarchical", false, false, false, nullptr, true},
     };
     static std::vector<AlgInfo> const allreduce_t = {
         {"flat", false, false, false, adapt<bench::model::allreduce_flat>},
@@ -52,10 +61,12 @@ std::vector<AlgInfo> const& table(Family f) {
         // not a rank-order bracketing: commutative ops only.
         {"rabenseifner", true, true, true, adapt<bench::model::allreduce_rabenseifner>},
         {"ring", false, true, true, adapt<bench::model::allreduce_ring>},
+        {"hierarchical", false, false, false, nullptr, true},
     };
     static std::vector<AlgInfo> const alltoall_t = {
         {"flat", false, false, false, adapt<bench::model::alltoall_flat>},
         {"bruck", false, false, false, adapt<bench::model::alltoall_bruck>},
+        {"hierarchical", false, false, false, nullptr, true},
     };
     switch (f) {
         case Family::bcast: return bcast_t;
@@ -75,6 +86,16 @@ char const* const kEnvNames[kFamilies] = {"XMPI_ALG_BCAST", "XMPI_ALG_REDUCE",
 
 /// Control-API forced algorithm index per family; -1 means automatic.
 std::atomic<int> g_forced[kFamilies] = {-1, -1, -1, -1, -1};
+
+/// Index the calling process most recently selected per family (-1 before
+/// the first invocation); reported by XMPI_T_alg_selected.
+std::atomic<int> g_selected[kFamilies] = {-1, -1, -1, -1, -1};
+
+/// Cached XMPI_ALG_* resolution per family (-2 = not yet resolved, -1 =
+/// unset or unknown name). The environment cannot change meaningfully
+/// mid-process (the CI matrix sets it at launch), so the hot path pays no
+/// environ scan per collective call.
+std::atomic<int> g_env_cache[kFamilies] = {-2, -2, -2, -2, -2};
 
 bool iequals(char const* a, char const* b) {
     for (; *a != '\0' && *b != '\0'; ++a, ++b) {
@@ -102,6 +123,71 @@ int name_index(std::vector<AlgInfo> const& t, char const* name) {
 
 bool is_pow2(int p) { return (p & (p - 1)) == 0; }
 
+/// Per-entry operation/shape validity shared by select() and select_flat()
+/// (select() layers the topology-dependent hierarchical checks on top).
+bool flags_valid(AlgInfo const& a, int p, bool commutative, bool elementwise) {
+    if (a.needs_pow2 && !is_pow2(p)) return false;
+    if (a.needs_commutative && !commutative) return false;
+    if (a.needs_elementwise && !elementwise) return false;
+    return true;
+}
+
+std::string joined_names(std::vector<AlgInfo> const& t) {
+    std::string out;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += t[i].name;
+    }
+    return out;
+}
+
+/// Resolves XMPI_ALG_<FAMILY> once, emitting a one-time stderr warning that
+/// names the valid choices when the variable holds an unknown name (silent
+/// fallback used to make such typos indistinguishable from a deliberate
+/// "auto").
+std::mutex g_env_mutex;
+
+int resolve_env(Family f) {
+    int const fi = static_cast<int>(f);
+    int idx = g_env_cache[fi].load(std::memory_order_relaxed);
+    if (idx != -2) return idx;
+    // Serialize the slow path: ranks hit their first collective
+    // concurrently and the warning must be emitted exactly once.
+    std::lock_guard<std::mutex> lock(g_env_mutex);
+    idx = g_env_cache[fi].load(std::memory_order_relaxed);
+    if (idx != -2) return idx;
+    char const* env = std::getenv(kEnvNames[fi]);
+    idx = -1;
+    // "auto" is an explicit request for automatic selection, not a typo.
+    if (env != nullptr && *env != '\0' && !iequals(env, "auto")) {
+        idx = name_index(table(f), env);
+        if (idx < 0) {
+            std::fprintf(stderr,
+                         "xmpi: %s=\"%s\" does not name a registered %s algorithm "
+                         "(valid: %s, auto); falling back to automatic selection\n",
+                         kEnvNames[fi], env, kFamilyNames[fi], joined_names(table(f)).c_str());
+        }
+    }
+    g_env_cache[fi].store(idx, std::memory_order_relaxed);
+    return idx;
+}
+
+/// Cost of a hierarchical entry; needs the operation's properties because
+/// the allreduce composition differs between element-wise (2D slice) and
+/// leader-based shapes.
+double hier_cost(Family f, bench::model::TwoTier const& t, bench::model::NodeShape const& shape,
+                 double p, double bytes, bool commutative, bool elementwise) {
+    switch (f) {
+        case Family::bcast: return bench::model::bcast_hier(t, shape, p, bytes);
+        case Family::reduce: return bench::model::reduce_hier(t, shape, p, bytes);
+        case Family::allgather: return bench::model::allgather_hier(t, shape, p, bytes);
+        case Family::allreduce:
+            return bench::model::allreduce_hier(t, shape, p, bytes, commutative, elementwise);
+        case Family::alltoall: return bench::model::alltoall_hier(t, shape, p, bytes);
+    }
+    return std::numeric_limits<double>::infinity();  // unreachable
+}
+
 }  // namespace
 
 std::vector<AlgInfo> const& algorithms(Family f) { return table(f); }
@@ -111,44 +197,93 @@ char const* family_name(Family f) { return kFamilyNames[static_cast<int>(f)]; }
 int select(Family f, MPI_Comm comm, std::size_t bytes, bool commutative, bool elementwise) {
     auto const& t = table(f);
     int const p = comm->size();
+    topo::NodeInfo const& ni = topo::node_info(comm);
     auto valid = [&](AlgInfo const& a) {
-        if (a.needs_pow2 && !is_pow2(p)) return false;
-        if (a.needs_commutative && !commutative) return false;
-        if (a.needs_elementwise && !elementwise) return false;
+        if (!flags_valid(a, p, commutative, elementwise)) return false;
+        if (a.hier) {
+            if (!ni.is_hierarchical()) return false;
+            // The leader-based fold is a rank-order bracketing only when
+            // node membership is comm-rank contiguous.
+            if ((f == Family::reduce || f == Family::allreduce) && !commutative &&
+                !ni.contiguous)
+                return false;
+            // Leader aggregation ships multi-block messages whose counts
+            // must stay within MPI's int-count limit (the per-block flat
+            // algorithms are not subject to it): allgather's largest is the
+            // p-block phase-C bcast, alltoall additionally exchanges
+            // per-node-pair bundles of up to ppn^2 blocks.
+            if (f == Family::alltoall || f == Family::allgather) {
+                double blocks = static_cast<double>(p);
+                if (f == Family::alltoall) {
+                    blocks = std::max(blocks, static_cast<double>(ni.max_ppn) *
+                                                  static_cast<double>(ni.max_ppn));
+                }
+                if (static_cast<double>(bytes) * blocks >
+                    static_cast<double>(std::numeric_limits<int>::max()))
+                    return false;
+            }
+        }
         return true;
+    };
+    auto chosen = [&](int idx) {
+        g_selected[static_cast<int>(f)].store(idx, std::memory_order_relaxed);
+        return idx;
     };
 
     int const forced = g_forced[static_cast<int>(f)].load(std::memory_order_relaxed);
     if (forced >= 0 && forced < static_cast<int>(t.size()) &&
         valid(t[static_cast<std::size_t>(forced)]))
-        return forced;
+        return chosen(forced);
     if (forced < 0) {
-        // The environment cannot change meaningfully mid-process (the CI
-        // matrix sets it at launch); resolve each XMPI_ALG_* variable once
-        // so the hot path pays no environ scan per collective call.
-        static std::atomic<int> env_cache[kFamilies] = {-2, -2, -2, -2, -2};
-        int idx = env_cache[static_cast<int>(f)].load(std::memory_order_relaxed);
-        if (idx == -2) {
-            char const* env = std::getenv(kEnvNames[static_cast<int>(f)]);
-            idx = env != nullptr ? name_index(t, env) : -1;
-            env_cache[static_cast<int>(f)].store(idx, std::memory_order_relaxed);
-        }
-        if (idx >= 0 && valid(t[static_cast<std::size_t>(idx)])) return idx;
+        int const idx = resolve_env(f);
+        if (idx >= 0 && valid(t[static_cast<std::size_t>(idx)])) return chosen(idx);
     }
 
-    auto const& cfg = comm->universe->cfg;
+    bench::model::TwoTier const machine = machine_of(comm);
+    bench::model::NodeShape const shape{static_cast<double>(ni.num_nodes()),
+                                        static_cast<double>(ni.max_ppn),
+                                        static_cast<double>(ni.min_ppn)};
     int best = 0;
     double best_cost = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < t.size(); ++i) {
         if (!valid(t[i])) continue;
-        double const c = t[i].cost(cfg.alpha, cfg.beta, cfg.o, static_cast<double>(p),
-                                   static_cast<double>(bytes));
+        double const c =
+            t[i].hier
+                ? hier_cost(f, machine, shape, static_cast<double>(p),
+                            static_cast<double>(bytes), commutative, elementwise)
+                : t[i].cost(machine, shape, static_cast<double>(p), static_cast<double>(bytes));
+        if (c < best_cost) {
+            best_cost = c;
+            best = static_cast<int>(i);
+        }
+    }
+    return chosen(best);
+}
+
+int select_flat(Family f, int p, std::size_t bytes, bool commutative, bool elementwise,
+                bench::model::Machine const& m) {
+    auto const& t = table(f);
+    bench::model::TwoTier machine;
+    machine.inter = m;
+    bench::model::NodeShape const flat_shape{1, 1, 1};
+    int best = 0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        AlgInfo const& a = t[i];
+        if (a.hier) continue;
+        if (!flags_valid(a, p, commutative, elementwise)) continue;
+        double const c =
+            a.cost(machine, flat_shape, static_cast<double>(p), static_cast<double>(bytes));
         if (c < best_cost) {
             best_cost = c;
             best = static_cast<int>(i);
         }
     }
     return best;
+}
+
+void reset_env_cache_for_testing() {
+    for (auto& c : g_env_cache) c.store(-2, std::memory_order_relaxed);
 }
 
 }  // namespace xmpi::detail::alg
@@ -179,6 +314,20 @@ int XMPI_T_alg_get(const char* family, const char** algorithm) {
     *algorithm = forced < 0
                      ? "auto"
                      : table(static_cast<Family>(fi))[static_cast<std::size_t>(forced)].name;
+    return MPI_SUCCESS;
+}
+
+int XMPI_T_alg_env_refresh(void) {
+    reset_env_cache_for_testing();
+    return MPI_SUCCESS;
+}
+
+int XMPI_T_alg_selected(const char* family, const char** algorithm) {
+    int const fi = family_index(family);
+    if (fi < 0 || algorithm == nullptr) return MPI_ERR_ARG;
+    int const sel = g_selected[fi].load(std::memory_order_relaxed);
+    *algorithm = sel < 0 ? "none"
+                         : table(static_cast<Family>(fi))[static_cast<std::size_t>(sel)].name;
     return MPI_SUCCESS;
 }
 

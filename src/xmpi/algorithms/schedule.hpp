@@ -58,11 +58,35 @@ public:
         return bytes > 0 ? scratch_.back().data() : nullptr;
     }
 
+    // --- sub-schedule (group) scopes ------------------------------------
+    //
+    // While a group scope is active, builders see the subgroup as the whole
+    // world: size()/rank() report the subgroup shape, peers passed to
+    // send()/post()/recv() are subgroup ranks (translated to communicator
+    // ranks through the scope's map at append time), and step tags are
+    // offset by the scope's tag base so composed phases cannot match each
+    // other's messages. This is what lets the hierarchical algorithms reuse
+    // every existing builder unchanged as an intra-node or inter-node phase.
+
+    /// Enters a subgroup: `map` lists the subgroup's members as ranks of the
+    /// *enclosing* scope (ascending or any order; index = subgroup rank),
+    /// `my_sub_rank` is the calling rank's position in `map`.
+    void push_group(std::vector<int> map, int my_sub_rank, int tag_base) {
+        scopes_.push_back(Scope{std::move(map), my_sub_rank, tag_base});
+    }
+    void pop_group() { scopes_.pop_back(); }
+
+    /// Subgroup-aware communicator shape (whole communicator without scope).
+    int size() const {
+        return scopes_.empty() ? comm_->size() : static_cast<int>(scopes_.back().map.size());
+    }
+    int rank() const { return scopes_.empty() ? comm_->rank() : scopes_.back().rank; }
+
     void send(int peer, int tag_step, void const* buf, int count, MPI_Datatype t) {
         Step s;
         s.kind = Step::Kind::send;
-        s.peer = peer;
-        s.tag_step = tag_step;
+        s.peer = translate(peer);
+        s.tag_step = tag_offset() + tag_step;
         s.sbuf = buf;
         s.count = count;
         s.type = t;
@@ -75,8 +99,8 @@ public:
         reqs_.push_back(nullptr);
         Step s;
         s.kind = Step::Kind::post_recv;
-        s.peer = peer;
-        s.tag_step = tag_step;
+        s.peer = translate(peer);
+        s.tag_step = tag_offset() + tag_step;
         s.rbuf = buf;
         s.count = count;
         s.type = t;
@@ -120,6 +144,27 @@ private:
     /// destruction); safe to call only from the owning rank's thread.
     void release_pending();
 
+    struct Scope {
+        std::vector<int> map;  ///< subgroup rank -> enclosing-scope rank
+        int rank = 0;          ///< my subgroup rank
+        int tag_base = 0;
+    };
+
+    /// Resolves a subgroup rank to a communicator rank through the scope
+    /// stack (innermost maps into the next scope out, and so on).
+    int translate(int peer) const {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            peer = it->map[static_cast<std::size_t>(peer)];
+        }
+        return peer;
+    }
+    int tag_offset() const {
+        int off = 0;
+        for (auto const& sc : scopes_) off += sc.tag_base;
+        return off;
+    }
+
+    std::vector<Scope> scopes_;
     MPI_Comm comm_;
     std::uint64_t seq_;
     std::vector<Step> steps_;
@@ -128,6 +173,21 @@ private:
     /// Inner buffers are stable under outer growth (moves keep heap data).
     std::vector<std::vector<std::byte>> scratch_;
     std::vector<xmpi_request_t*> reqs_;
+};
+
+/// RAII group scope: the hierarchical builders compose existing builders as
+/// sub-schedules by entering a scope around each phase.
+class GroupScope {
+public:
+    GroupScope(Schedule& s, std::vector<int> map, int my_sub_rank, int tag_base) : s_(s) {
+        s_.push_group(std::move(map), my_sub_rank, tag_base);
+    }
+    ~GroupScope() { s_.pop_group(); }
+    GroupScope(GroupScope const&) = delete;
+    GroupScope& operator=(GroupScope const&) = delete;
+
+private:
+    Schedule& s_;
 };
 
 /// Runs the whole schedule to completion on the calling rank.

@@ -79,6 +79,21 @@ int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm) {
     return MPI_SUCCESS;
 }
 
+int MPI_Comm_split_type(MPI_Comm comm, int split_type, int key, int /*info*/, MPI_Comm* newcomm) {
+    comm = resolve(comm);
+    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
+    if (newcomm == nullptr) return MPI_ERR_ARG;
+    if (split_type == MPI_UNDEFINED) {
+        // Still a collective: peers must not block in the allgather below.
+        return MPI_Comm_split(comm, MPI_UNDEFINED, key, newcomm);
+    }
+    if (split_type != MPI_COMM_TYPE_SHARED) return MPI_ERR_ARG;
+    // Color by the node this rank lives on; on a flat topology every rank is
+    // its own node, i.e. the result is congruent with MPI_COMM_SELF.
+    int const color = topo::node_info(comm).my_node;
+    return MPI_Comm_split(comm, color, key, newcomm);
+}
+
 int MPI_Comm_free(MPI_Comm* comm) {
     if (comm == nullptr || *comm == nullptr) return MPI_ERR_COMM;
     if (*comm == MPI_COMM_WORLD || *comm == MPI_COMM_SELF) return MPI_ERR_COMM;

@@ -155,6 +155,13 @@ int MPI_Comm_size(MPI_Comm comm, int* size);
 int MPI_Comm_rank(MPI_Comm comm, int* rank);
 int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm);
 int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm);
+/// Splits by locality. MPI_COMM_TYPE_SHARED groups the ranks that share a
+/// node of the configured hierarchical topology (every member of the result
+/// can "share memory"); on a flat topology each rank ends up alone, as on a
+/// machine with one process per node. `info` is accepted for signature
+/// compatibility (pass MPI_INFO_NULL).
+int MPI_Comm_split_type(MPI_Comm comm, int split_type, int key, int info, MPI_Comm* newcomm);
+inline constexpr int MPI_COMM_TYPE_SHARED = 1;
 int MPI_Comm_free(MPI_Comm* comm);
 int MPI_Comm_compare(MPI_Comm c1, MPI_Comm c2, int* result);
 inline constexpr int MPI_IDENT = 0;
@@ -308,6 +315,34 @@ int XMPI_T_alg_get(const char* family, const char** algorithm);
 /// Writes the comma-separated names of `family`'s registered algorithms
 /// into `buf` (MPI_ERR_ARG if `buflen` is too small).
 int XMPI_T_alg_list(const char* family, char* buf, int buflen);
+/// Reports the algorithm the cost model chose for the calling process's
+/// most recent invocation of `family` (introspection for tests/benchmarks;
+/// "none" before the first invocation). The pointer is static storage.
+int XMPI_T_alg_selected(const char* family, const char** algorithm);
+/// Discards the cached XMPI_ALG_* environment resolutions so the variables
+/// are re-read (and an unknown name warns again) on the next selection.
+/// Mainly for harnesses that mutate the environment mid-process.
+int XMPI_T_alg_env_refresh(void);
+
+// ---------------------------------------------------------------------------
+// Hierarchical topology control (MPI_T-style substrate extension).
+//
+// The topology subsystem (src/xmpi/topo/) maps world ranks onto nodes with a
+// block mapping node = world_rank / ranks_per_node. Messages between ranks
+// on the same node are priced with the intra-node machine parameters
+// (Config::{alpha,beta,o}_intra); everything else uses the inter-node tier.
+// Resolution order at universe creation: XMPI_T_topo_set() control value,
+// then the XMPI_RANKS_PER_NODE environment variable, then XMPI_NODES
+// (ceil(p / nodes) ranks per node), then Config::ranks_per_node. A value of
+// 1 (or nothing configured) is the flat single-tier network.
+// ---------------------------------------------------------------------------
+
+/// Pins `ranks_per_node` for subsequently created universes; 0 restores
+/// automatic resolution (environment, then Config). Negative values are
+/// rejected with MPI_ERR_ARG.
+int XMPI_T_topo_set(int ranks_per_node);
+/// Reports the pinned ranks-per-node (0 when resolution is automatic).
+int XMPI_T_topo_get(int* ranks_per_node);
 
 // ---------------------------------------------------------------------------
 // Derived datatypes
@@ -350,6 +385,18 @@ int MPI_Neighbor_alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendt
 int MPI_Neighbor_alltoallv(const void* sendbuf, const int* sendcounts, const int* sdispls,
                            MPI_Datatype sendtype, void* recvbuf, const int* recvcounts,
                            const int* rdispls, MPI_Datatype recvtype, MPI_Comm comm);
+/// Each rank sends the same `sendcount` elements to every destination and
+/// receives one block per source into `recvbuf` (source order).
+int MPI_Neighbor_allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                           void* recvbuf, int recvcount, MPI_Datatype recvtype, MPI_Comm comm);
+// Non-blocking neighborhood collectives: progressable generalized requests
+// over the same schedules as the blocking calls.
+int MPI_Ineighbor_allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                            void* recvbuf, int recvcount, MPI_Datatype recvtype, MPI_Comm comm,
+                            MPI_Request* request);
+int MPI_Ineighbor_alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                           void* recvbuf, int recvcount, MPI_Datatype recvtype, MPI_Comm comm,
+                           MPI_Request* request);
 inline constexpr int MPI_INFO_NULL = 0;
 
 // ---------------------------------------------------------------------------

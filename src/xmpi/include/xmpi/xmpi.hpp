@@ -31,11 +31,26 @@ namespace xmpi {
 struct Config {
     /// Per-message latency in seconds (default calibrated to a 100 Gbit/s
     /// OmniPath-class interconnect as used in the paper's evaluation).
+    /// On a hierarchical topology these three are the *inter-node* tier.
     double alpha = 2e-6;
     /// Per-byte transfer cost in seconds (~1.25 GB/s effective per pair).
     double beta = 8e-10;
     /// Sender-side per-message overhead in seconds.
     double o = 2e-7;
+    /// @name Intra-node (shared-memory) tier, used for messages between
+    /// ranks mapped to the same node by the topology subsystem. Defaults
+    /// model a ~20 GB/s shared-memory transport with sub-microsecond
+    /// latency. Ignored on a flat (single-tier) topology.
+    /// @{
+    double alpha_intra = 2e-7;
+    double beta_intra = 5e-11;
+    double o_intra = 5e-8;
+    /// @}
+    /// Block rank->node mapping: node = world_rank / ranks_per_node (the
+    /// last node may hold fewer ranks). <= 1 means a flat single-tier
+    /// network. Overridable per process by XMPI_RANKS_PER_NODE / XMPI_NODES
+    /// and the XMPI_T_topo_set() control call (which takes precedence).
+    int ranks_per_node = 0;
     /// Multiplier applied to measured thread CPU time.
     double compute_scale = 1.0;
     /// Stack size per rank thread in bytes.
@@ -48,12 +63,19 @@ struct Counters {
     std::uint64_t p2p_bytes = 0;
     std::uint64_t coll_messages = 0;
     std::uint64_t coll_bytes = 0;
+    /// Messages/bytes between ranks on the same node of the configured
+    /// topology (always 0 on a flat topology). p2p and collective combined;
+    /// the inter-node share is the total minus these.
+    std::uint64_t intra_node_messages = 0;
+    std::uint64_t intra_node_bytes = 0;
 
     Counters& operator+=(Counters const& other) {
         p2p_messages += other.p2p_messages;
         p2p_bytes += other.p2p_bytes;
         coll_messages += other.coll_messages;
         coll_bytes += other.coll_bytes;
+        intra_node_messages += other.intra_node_messages;
+        intra_node_bytes += other.intra_node_bytes;
         return *this;
     }
 };

@@ -15,6 +15,7 @@
 #include <mutex>
 #include <vector>
 
+#include "topo/topo.hpp"
 #include "xmpi/mpi.h"
 #include "xmpi/xmpi.hpp"
 
@@ -94,6 +95,9 @@ struct Envelope {
     int tag = 0;
     std::vector<std::byte> bytes;
     double arrival = 0.0;  // virtual time at which the payload is available
+    /// Latency of the link this message traveled (intra- or inter-node);
+    /// prices the synchronous-mode acknowledgement hop.
+    double ack_alpha = 0.0;
     std::shared_ptr<SsendToken> ssend;  // non-null for synchronous-mode sends
 };
 
@@ -144,6 +148,10 @@ struct Universe {
     Config cfg;
     int size = 0;
     std::uint64_t id = 0;
+    /// world rank -> node id of the hierarchical topology; empty on a flat
+    /// (single-tier) network. Resolved once at universe creation
+    /// (see topo/topo.hpp) and immutable afterwards.
+    std::vector<int> node_of_world;
     std::vector<std::unique_ptr<RankState>> ranks;
     /// Next free context id; communicator creation agrees on a common value
     /// via an internal allreduce-max.
@@ -201,6 +209,9 @@ struct xmpi_comm_t {
     /// MPI_ANY_SOURCE receives.
     std::vector<int> acked_failures;
     std::unique_ptr<xmpi::detail::TopoInfo> topo;
+    /// Lazily built node structure of this communicator under the
+    /// universe's topology (see topo::node_info); owned per-copy.
+    std::unique_ptr<xmpi::detail::topo::NodeInfo> node_cache;
 
     int size() const { return static_cast<int>(group.size()); }
     int rank() const { return my_rank; }

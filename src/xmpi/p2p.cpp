@@ -80,8 +80,15 @@ int deposit(RankState* sender, MPI_Comm comm, int context, int dest_comm_rank, i
     int const dest_w = comm->world_of(dest_comm_rank);
     if (rank_dead(u, dest_w)) return MPIX_ERR_PROC_FAILED;
 
+    // Two-tier accounting: messages between ranks on the same node use the
+    // intra-node (shared-memory) machine parameters.
+    bool const intra = topo::same_node(u, sender->world_rank, dest_w);
+    double const alpha = intra ? u->cfg.alpha_intra : u->cfg.alpha;
+    double const beta = intra ? u->cfg.beta_intra : u->cfg.beta;
+    double const o = intra ? u->cfg.o_intra : u->cfg.o;
+
     charge_compute(sender);
-    sender->vnow += u->cfg.o;
+    sender->vnow += o;
 
     std::size_t const bytes = static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
     Envelope env;
@@ -90,7 +97,8 @@ int deposit(RankState* sender, MPI_Comm comm, int context, int dest_comm_rank, i
     env.tag = tag;
     env.bytes.resize(bytes);
     if (bytes > 0) type->pack(buf, count, env.bytes.data());
-    env.arrival = sender->vnow + u->cfg.alpha + u->cfg.beta * static_cast<double>(bytes);
+    env.arrival = sender->vnow + alpha + beta * static_cast<double>(bytes);
+    env.ack_alpha = alpha;
     env.ssend = sync;
 
     if (collective) {
@@ -99,6 +107,10 @@ int deposit(RankState* sender, MPI_Comm comm, int context, int dest_comm_rank, i
     } else {
         sender->counters.p2p_messages += 1;
         sender->counters.p2p_bytes += bytes;
+    }
+    if (intra) {
+        sender->counters.intra_node_messages += 1;
+        sender->counters.intra_node_bytes += bytes;
     }
 
     RankState* dest = u->ranks[static_cast<std::size_t>(dest_w)].get();
@@ -111,7 +123,7 @@ int deposit(RankState* sender, MPI_Comm comm, int context, int dest_comm_rank, i
                 posted.erase(it);
                 fill_recv(pr, env);
                 if (sync) {
-                    sync->match_vtime = env.arrival + u->cfg.alpha;
+                    sync->match_vtime = env.arrival + env.ack_alpha;
                     sync->matched.store(true, std::memory_order_release);
                 }
                 dest->mbox.cv.notify_all();
@@ -146,8 +158,7 @@ int post_recv(RankState* self, MPI_Comm comm, int context, int src, int tag, voi
         for (auto it = ux.begin(); it != ux.end(); ++it) {
             if (match(context, src, tag, *it)) {
                 tok = it->ssend;
-                if (tok) tok->match_vtime =
-                             std::max(self->vnow, it->arrival) + self->universe->cfg.alpha;
+                if (tok) tok->match_vtime = std::max(self->vnow, it->arrival) + it->ack_alpha;
                 fill_recv(req, *it);
                 ux.erase(it);
                 matched = true;

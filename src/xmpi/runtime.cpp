@@ -152,6 +152,7 @@ RunResult run(int num_ranks, std::function<void(int)> const& body, Config const&
     universe->cfg = config;
     universe->size = num_ranks;
     universe->id = detail::g_universe_counter.fetch_add(1);
+    universe->node_of_world = detail::topo::build_node_map(num_ranks, config);
     universe->ranks.reserve(static_cast<std::size_t>(num_ranks));
     for (int r = 0; r < num_ranks; ++r) {
         auto rs = std::make_unique<RankState>();

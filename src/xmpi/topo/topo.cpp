@@ -1,0 +1,128 @@
+/// @file topo.cpp
+/// @brief Topology resolution (control > env > config), the per-communicator
+/// node structure cache, and the XMPI_T_topo_* control API.
+#include "topo.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "../internal.hpp"
+
+namespace xmpi::detail::topo {
+namespace {
+
+/// Control-API override: >0 pins a block mapping, 0 means automatic
+/// (environment, then Config).
+std::atomic<int> g_forced_ranks_per_node{0};
+
+/// Parses a positive integer environment variable; 0 when unset/invalid.
+int env_int(char const* name) {
+    char const* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') return 0;
+    char* end = nullptr;
+    long const n = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || n <= 0) return 0;
+    return static_cast<int>(n);
+}
+
+}  // namespace
+
+int resolve_ranks_per_node(int world_size, Config const& cfg) {
+    int rpn = g_forced_ranks_per_node.load(std::memory_order_relaxed);
+    if (rpn <= 0) rpn = env_int("XMPI_RANKS_PER_NODE");
+    if (rpn <= 0) {
+        if (int const nodes = env_int("XMPI_NODES"); nodes > 0) {
+            rpn = (world_size + nodes - 1) / nodes;
+        }
+    }
+    if (rpn <= 0) rpn = cfg.ranks_per_node;
+    return rpn <= 0 ? 1 : rpn;
+}
+
+std::vector<int> build_node_map(int world_size, Config const& cfg) {
+    int const rpn = resolve_ranks_per_node(world_size, cfg);
+    if (rpn <= 1) return {};  // flat: every rank its own node
+    std::vector<int> map(static_cast<std::size_t>(world_size));
+    for (int r = 0; r < world_size; ++r) map[static_cast<std::size_t>(r)] = r / rpn;
+    return map;
+}
+
+bool same_node(Universe const* u, int wa, int wb) {
+    if (u->node_of_world.empty()) return false;
+    return u->node_of_world[static_cast<std::size_t>(wa)] ==
+           u->node_of_world[static_cast<std::size_t>(wb)];
+}
+
+NodeInfo const& node_info(MPI_Comm comm) {
+    if (comm->node_cache != nullptr) return *comm->node_cache;
+    auto ni = std::make_unique<NodeInfo>();
+    int const p = comm->size();
+    ni->node_of.assign(static_cast<std::size_t>(p), 0);
+    auto const& world_map = comm->universe->node_of_world;
+    if (world_map.empty()) {
+        // Flat topology: every rank is its own node. Short-circuit the
+        // dense-id scan below, which would be O(p^2) in this case.
+        ni->members.reserve(static_cast<std::size_t>(p));
+        for (int r = 0; r < p; ++r) {
+            ni->node_of[static_cast<std::size_t>(r)] = r;
+            ni->members.push_back({r});
+        }
+        ni->my_node = comm->rank();
+        ni->max_ppn = 1;
+        ni->min_ppn = 1;
+        ni->contiguous = true;
+        comm->node_cache = std::move(ni);
+        return *comm->node_cache;
+    }
+    // Dense node ids in order of first appearance over ascending comm ranks.
+    std::vector<int> seen_world_node;  // dense node -> universe node id
+    for (int r = 0; r < p; ++r) {
+        int const wn = world_map[static_cast<std::size_t>(comm->world_of(r))];
+        int dense = -1;
+        for (std::size_t i = 0; i < seen_world_node.size(); ++i) {
+            if (seen_world_node[i] == wn) {
+                dense = static_cast<int>(i);
+                break;
+            }
+        }
+        if (dense < 0) {
+            dense = static_cast<int>(seen_world_node.size());
+            seen_world_node.push_back(wn);
+            ni->members.emplace_back();
+        }
+        ni->node_of[static_cast<std::size_t>(r)] = dense;
+        ni->members[static_cast<std::size_t>(dense)].push_back(r);
+    }
+    ni->my_node = ni->node_of[static_cast<std::size_t>(comm->rank())];
+    ni->max_ppn = 1;
+    ni->min_ppn = p;
+    ni->contiguous = true;
+    for (auto const& m : ni->members) {
+        int const sz = static_cast<int>(m.size());
+        if (sz > ni->max_ppn) ni->max_ppn = sz;
+        if (sz < ni->min_ppn) ni->min_ppn = sz;
+        if (m.back() - m.front() + 1 != sz) ni->contiguous = false;
+    }
+    comm->node_cache = std::move(ni);
+    return *comm->node_cache;
+}
+
+}  // namespace xmpi::detail::topo
+
+// ---------------------------------------------------------------------------
+// Control API (declared in <xmpi/mpi.h>). Takes effect for universes created
+// after the call; a running universe's topology is immutable.
+// ---------------------------------------------------------------------------
+
+int XMPI_T_topo_set(int ranks_per_node) {
+    if (ranks_per_node < 0) return MPI_ERR_ARG;
+    xmpi::detail::topo::g_forced_ranks_per_node.store(ranks_per_node, std::memory_order_relaxed);
+    return MPI_SUCCESS;
+}
+
+int XMPI_T_topo_get(int* ranks_per_node) {
+    if (ranks_per_node == nullptr) return MPI_ERR_ARG;
+    *ranks_per_node =
+        xmpi::detail::topo::g_forced_ranks_per_node.load(std::memory_order_relaxed);
+    return MPI_SUCCESS;
+}

@@ -1,9 +1,13 @@
 /// @file topology.cpp
 /// @brief Distributed-graph topologies and neighborhood collectives. A graph
 /// communicator is a dup of the parent carrying each rank's local adjacency
-/// (sources it receives from, destinations it sends to).
+/// (sources it receives from, destinations it sends to). The exchanges are
+/// built as schedules (algorithms/schedule.hpp), so each one runs both
+/// blockingly and as a progressable generalized request (the MPI_Ineighbor_*
+/// variants) from one code path.
 #include <vector>
 
+#include "algorithms/algorithms.hpp"
 #include "internal.hpp"
 
 using namespace xmpi::detail;
@@ -52,69 +56,109 @@ int MPI_Dist_graph_neighbors(MPI_Comm comm, int maxindegree, int* sources, int* 
 
 namespace {
 
-int neighbor_exchange(const void* sendbuf, const int* sendcounts, const int* sdispls,
-                      MPI_Datatype sendtype, void* recvbuf, const int* recvcounts,
-                      const int* rdispls, MPI_Datatype recvtype, MPI_Comm comm) {
+/// Validation shared by every neighborhood collective.
+int neighbor_entry(MPI_Comm& comm) {
+    comm = resolve(comm);
+    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
     if (comm->topo == nullptr) return MPI_ERR_COMM;
     if (any_member_dead(comm)) return MPIX_ERR_PROC_FAILED;
-    std::uint64_t const seq = comm->coll_seq++;
-    auto const& topo = *comm->topo;
+    return MPI_SUCCESS;
+}
 
-    std::vector<xmpi_request_t*> rreqs;
-    rreqs.reserve(topo.sources.size());
+/// Appends the neighborhood exchange step program: post one receive per
+/// source, deposit one send per destination, then drain the receives.
+/// Self-loops work because the receives are posted before the sends run.
+void build_neighbor_exchange(alg::Schedule& s, const void* sendbuf, const int* sendcounts,
+                             const int* sdispls, MPI_Datatype sendtype, void* recvbuf,
+                             const int* recvcounts, const int* rdispls, MPI_Datatype recvtype) {
+    auto const& topo = *s.comm()->topo;
+    std::vector<int> slots;
+    slots.reserve(topo.sources.size());
     for (std::size_t j = 0; j < topo.sources.size(); ++j) {
-        xmpi_request_t* req = nullptr;
         auto* dst = static_cast<std::byte*>(recvbuf) +
                     static_cast<long long>(rdispls[j]) * recvtype->extent;
-        if (int rc = post_recv(tls_rank(), comm, comm->context + 1,
-                               topo.sources[j], coll_tag(seq, 0), dst,
-                               recvcounts[j], recvtype, true, &req);
-            rc != MPI_SUCCESS)
-            return rc;
-        rreqs.push_back(req);
+        slots.push_back(s.post(topo.sources[j], 0, dst, recvcounts[j], recvtype));
     }
     for (std::size_t i = 0; i < topo.destinations.size(); ++i) {
         auto const* src = static_cast<std::byte const*>(sendbuf) +
                           static_cast<long long>(sdispls[i]) * sendtype->extent;
-        if (int rc = deposit(tls_rank(), comm, comm->context + 1, topo.destinations[i],
-                             coll_tag(seq, 0), src, sendcounts[i], sendtype, nullptr, true);
-            rc != MPI_SUCCESS) {
-            for (auto* rq : rreqs) wait_one(rq, MPI_STATUS_IGNORE);
-            return rc;
-        }
+        s.send(topo.destinations[i], 0, src, sendcounts[i], sendtype);
     }
-    int first_error = MPI_SUCCESS;
-    for (auto* rq : rreqs) {
-        int const rc = wait_one(rq, MPI_STATUS_IGNORE);
-        if (rc != MPI_SUCCESS && first_error == MPI_SUCCESS) first_error = rc;
-    }
-    return first_error;
+    for (int slot : slots) s.wait(slot);
 }
+
+/// Uniform-count displacements for the non-v neighborhood collectives.
+/// `uniform_send` keeps every send at displacement 0 (allgather semantics:
+/// the same block goes to every destination).
+struct NeighborCounts {
+    std::vector<int> scounts, rcounts, sdispls, rdispls;
+
+    NeighborCounts(MPI_Comm comm, int sendcount, int recvcount, bool uniform_send) {
+        auto const out_n = static_cast<int>(comm->topo->destinations.size());
+        auto const in_n = static_cast<int>(comm->topo->sources.size());
+        scounts.assign(static_cast<std::size_t>(out_n), sendcount);
+        rcounts.assign(static_cast<std::size_t>(in_n), recvcount);
+        sdispls.assign(static_cast<std::size_t>(out_n), 0);
+        rdispls.assign(static_cast<std::size_t>(in_n), 0);
+        if (!uniform_send) {
+            for (int i = 0; i < out_n; ++i) sdispls[static_cast<std::size_t>(i)] = i * sendcount;
+        }
+        for (int i = 0; i < in_n; ++i) rdispls[static_cast<std::size_t>(i)] = i * recvcount;
+    }
+};
 
 }  // namespace
 
 int MPI_Neighbor_alltoallv(const void* sendbuf, const int* sendcounts, const int* sdispls,
                            MPI_Datatype sendtype, void* recvbuf, const int* recvcounts,
                            const int* rdispls, MPI_Datatype recvtype, MPI_Comm comm) {
-    comm = resolve(comm);
-    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
-    return neighbor_exchange(sendbuf, sendcounts, sdispls, sendtype, recvbuf, recvcounts, rdispls,
-                             recvtype, comm);
+    if (int rc = neighbor_entry(comm); rc != MPI_SUCCESS) return rc;
+    alg::Schedule s(comm, comm->coll_seq++);
+    build_neighbor_exchange(s, sendbuf, sendcounts, sdispls, sendtype, recvbuf, recvcounts,
+                            rdispls, recvtype);
+    return alg::run_blocking(s);
 }
 
 int MPI_Neighbor_alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
                           int recvcount, MPI_Datatype recvtype, MPI_Comm comm) {
-    comm = resolve(comm);
-    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
-    if (comm->topo == nullptr) return MPI_ERR_COMM;
-    auto const out_n = static_cast<int>(comm->topo->destinations.size());
-    auto const in_n = static_cast<int>(comm->topo->sources.size());
-    std::vector<int> scounts(static_cast<std::size_t>(out_n), sendcount);
-    std::vector<int> rcounts(static_cast<std::size_t>(in_n), recvcount);
-    std::vector<int> sdispls(static_cast<std::size_t>(out_n));
-    std::vector<int> rdispls(static_cast<std::size_t>(in_n));
-    for (int i = 0; i < out_n; ++i) sdispls[static_cast<std::size_t>(i)] = i * sendcount;
-    for (int i = 0; i < in_n; ++i) rdispls[static_cast<std::size_t>(i)] = i * recvcount;
-    return neighbor_exchange(sendbuf, scounts.data(), sdispls.data(), sendtype, recvbuf,
-                             rcounts.data(), rdispls.data(), recvtype, comm);
+    if (int rc = neighbor_entry(comm); rc != MPI_SUCCESS) return rc;
+    NeighborCounts const nc(comm, sendcount, recvcount, /*uniform_send=*/false);
+    alg::Schedule s(comm, comm->coll_seq++);
+    build_neighbor_exchange(s, sendbuf, nc.scounts.data(), nc.sdispls.data(), sendtype, recvbuf,
+                            nc.rcounts.data(), nc.rdispls.data(), recvtype);
+    return alg::run_blocking(s);
+}
+
+int MPI_Neighbor_allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                           void* recvbuf, int recvcount, MPI_Datatype recvtype, MPI_Comm comm) {
+    if (int rc = neighbor_entry(comm); rc != MPI_SUCCESS) return rc;
+    NeighborCounts const nc(comm, sendcount, recvcount, /*uniform_send=*/true);
+    alg::Schedule s(comm, comm->coll_seq++);
+    build_neighbor_exchange(s, sendbuf, nc.scounts.data(), nc.sdispls.data(), sendtype, recvbuf,
+                            nc.rcounts.data(), nc.rdispls.data(), recvtype);
+    return alg::run_blocking(s);
+}
+
+int MPI_Ineighbor_alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                           void* recvbuf, int recvcount, MPI_Datatype recvtype, MPI_Comm comm,
+                           MPI_Request* request) {
+    if (request == nullptr) return MPI_ERR_REQUEST;
+    if (int rc = neighbor_entry(comm); rc != MPI_SUCCESS) return rc;
+    NeighborCounts const nc(comm, sendcount, recvcount, /*uniform_send=*/false);
+    auto s = std::make_shared<alg::Schedule>(comm, comm->coll_seq++);
+    build_neighbor_exchange(*s, sendbuf, nc.scounts.data(), nc.sdispls.data(), sendtype, recvbuf,
+                            nc.rcounts.data(), nc.rdispls.data(), recvtype);
+    return alg::launch_nonblocking(comm, std::move(s), MPI_SUCCESS, request);
+}
+
+int MPI_Ineighbor_allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                            void* recvbuf, int recvcount, MPI_Datatype recvtype, MPI_Comm comm,
+                            MPI_Request* request) {
+    if (request == nullptr) return MPI_ERR_REQUEST;
+    if (int rc = neighbor_entry(comm); rc != MPI_SUCCESS) return rc;
+    NeighborCounts const nc(comm, sendcount, recvcount, /*uniform_send=*/true);
+    auto s = std::make_shared<alg::Schedule>(comm, comm->coll_seq++);
+    build_neighbor_exchange(*s, sendbuf, nc.scounts.data(), nc.sdispls.data(), sendtype, recvbuf,
+                            nc.rcounts.data(), nc.rdispls.data(), recvtype);
+    return alg::launch_nonblocking(comm, std::move(s), MPI_SUCCESS, request);
 }

@@ -11,7 +11,20 @@
 #include <iostream>
 #include <random>
 
+#include "xmpi/mpi.h"
+
 namespace testing_utils {
+
+/// Pins ranks-per-node for the scope via the XMPI_T_topo_set control
+/// channel (which beats the environment, so tests behave identically under
+/// the forced-topology CI matrix). TopoPin(1) forces the flat single-tier
+/// network; the destructor restores automatic resolution.
+struct TopoPin {
+    explicit TopoPin(int rpn) { XMPI_T_topo_set(rpn); }
+    ~TopoPin() { XMPI_T_topo_set(0); }
+    TopoPin(TopoPin const&) = delete;
+    TopoPin& operator=(TopoPin const&) = delete;
+};
 
 /// The seed for this test's randomness: XMPI_TEST_SEED if set (replay),
 /// otherwise a fresh nondeterministic one.

@@ -47,6 +47,13 @@ auto with_alg(char const* family, std::string const& alg, Fn&& fn) {
     return result;
 }
 
+using testing_utils::TopoPin;
+
+/// Node shapes the equivalence trials randomize over: flat, several block
+/// widths (ragged last node whenever p % rpn != 0), and everything-on-one-
+/// node. Results must be byte-identical under every one of them.
+int const kNodeShapes[] = {1, 2, 3, 4, 64};
+
 /// Completes `req` through a kamping request pool's test_all() loop — the
 /// i-variants must make progress purely from repeated non-blocking tests.
 void drive(MPI_Request req) {
@@ -231,6 +238,7 @@ TEST(Algorithms, BcastEquivalence) {
     SeededRng rng;
     auto const algs = list_algorithms("bcast");
     for (int trial = 0; trial < 6; ++trial) {
+        TopoPin const topo(rng.pick(kNodeShapes));
         int const p = rng.pick(kSizes);
         int const count = rng.pick(kCounts);
         int const root = rng.uniform(0, p - 1);
@@ -260,6 +268,7 @@ TEST(Algorithms, AllgatherEquivalence) {
     SeededRng rng;
     auto const algs = list_algorithms("allgather");
     for (int trial = 0; trial < 6; ++trial) {
+        TopoPin const topo(rng.pick(kNodeShapes));
         int const p = rng.pick(kSizes);
         int const count = rng.pick(kCounts);
         auto const salt = static_cast<unsigned>(rng.uniform(1, 1 << 20));
@@ -281,6 +290,7 @@ TEST(Algorithms, AlltoallEquivalence) {
     SeededRng rng;
     auto const algs = list_algorithms("alltoall");
     for (int trial = 0; trial < 6; ++trial) {
+        TopoPin const topo(rng.pick(kNodeShapes));
         int const p = rng.pick(kSizes);
         int const count = rng.pick(kCounts);
         auto const salt = static_cast<unsigned>(rng.uniform(1, 1 << 20));
@@ -310,6 +320,7 @@ namespace {
 void reduction_equivalence(char const* family, bool all, SeededRng& rng) {
     auto const algs = list_algorithms(family);
     for (int trial = 0; trial < 6; ++trial) {
+        TopoPin const topo(rng.pick(kNodeShapes));
         int const p = rng.pick(kSizes);
         Red const red = trial % 3 == 2 ? Red::matmul : (trial % 3 == 1 ? Red::bxor : Red::sum);
         int const count = red == Red::matmul ? rng.pick(kMatmulCounts) : rng.pick(kCounts);
@@ -355,6 +366,7 @@ TEST(Algorithms, AllreduceInPlaceEquivalentAcrossAlgorithms) {
     SeededRng rng;
     auto const algs = list_algorithms("allreduce");
     for (int trial = 0; trial < 3; ++trial) {
+        TopoPin const topo(rng.pick(kNodeShapes));
         int const p = rng.pick(kSizes);
         int const count = rng.pick(kCounts);
         auto const salt = static_cast<unsigned>(rng.uniform(1, 1 << 20));
@@ -390,4 +402,108 @@ TEST(Algorithms, AllreduceInPlaceEquivalentAcrossAlgorithms) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical algorithms across node shapes (topology subsystem). Every
+// family's "hierarchical" entry must be byte-identical to the flat
+// reference under 1-node, equal-node and ragged-last-node shapes — blocking
+// and i-variant, commutative and non-commutative reductions. On shapes
+// without a hierarchy the pin is invalid and falls back, which must also be
+// byte-identical.
+// ---------------------------------------------------------------------------
+
+TEST(Algorithms, HierarchicalByteIdenticalAcrossNodeShapes) {
+    SeededRng rng;
+    struct Shape {
+        int p;
+        int rpn;
+    };
+    Shape const shapes[] = {
+        {16, 4},   // equal nodes
+        {11, 4},   // ragged last node (4, 4, 3)
+        {9, 3},    // equal, non-power-of-two p
+        {5, 2},    // ragged (2, 2, 1)
+        {8, 64},   // one node holds everything
+        {6, 1},    // flat: hierarchical invalid, falls back
+    };
+    for (auto const& sh : shapes) {
+        TopoPin const topo(sh.rpn);
+        auto const salt = static_cast<unsigned>(rng.uniform(1, 1 << 20));
+        int const count = rng.pick(kCounts);
+        int const mcount = rng.pick(kMatmulCounts);
+        int const root = rng.uniform(0, sh.p - 1);
+        for (bool nb : {false, true}) {
+            auto const tag = [&](char const* fam) {
+                return std::string(fam) + " p=" + std::to_string(sh.p) +
+                       " rpn=" + std::to_string(sh.rpn) + " nb=" + (nb ? "1" : "0") +
+                       " count=" + std::to_string(count);
+            };
+            EXPECT_EQ(with_alg("bcast", "hierarchical",
+                               [&] { return bcast_case<int>(sh.p, count, MPI_INT, root, nb, salt); }),
+                      with_alg("bcast", "flat",
+                               [&] { return bcast_case<int>(sh.p, count, MPI_INT, root, false, salt); }))
+                << tag("bcast");
+            EXPECT_EQ(with_alg("allgather", "hierarchical",
+                               [&] { return allgather_case<int>(sh.p, count, MPI_INT, nb, salt); }),
+                      with_alg("allgather", "flat",
+                               [&] { return allgather_case<int>(sh.p, count, MPI_INT, false, salt); }))
+                << tag("allgather");
+            EXPECT_EQ(with_alg("alltoall", "hierarchical",
+                               [&] { return alltoall_case<int>(sh.p, count, MPI_INT, nb, salt); }),
+                      with_alg("alltoall", "flat",
+                               [&] { return alltoall_case<int>(sh.p, count, MPI_INT, false, salt); }))
+                << tag("alltoall");
+            // Builtin (element-wise 2D path) and non-commutative user op
+            // (leader path; node-contiguous block mapping keeps it exact).
+            for (Red red : {Red::sum, Red::matmul}) {
+                int const c = red == Red::matmul ? mcount : count;
+                auto run_red = [&](char const* fam, std::string const& alg, bool all, bool nbi) {
+                    return with_alg(fam, alg, [&] {
+                        return reduce_case<long long>(sh.p, c, MPI_INT64_T, red, root, all, nbi,
+                                                      salt);
+                    });
+                };
+                EXPECT_EQ(run_red("reduce", "hierarchical", false, nb),
+                          run_red("reduce", "flat", false, false))
+                    << tag("reduce") << " op=" << (red == Red::sum ? "sum" : "matmul");
+                EXPECT_EQ(run_red("allreduce", "hierarchical", true, nb),
+                          run_red("allreduce", "flat", true, false))
+                    << tag("allreduce") << " op=" << (red == Red::sum ? "sum" : "matmul");
+            }
+        }
+    }
+}
+
+TEST(Algorithms, UnknownEnvAlgorithmWarnsOnceAndFallsBack) {
+    // The XMPI_ALG_* channel must not silently ignore typos: an unknown
+    // name warns once on stderr (naming the valid choices) and falls back
+    // to automatic selection.
+    char const* const saved = std::getenv("XMPI_ALG_REDUCE");
+    std::string const saved_value = saved != nullptr ? saved : "";
+    setenv("XMPI_ALG_REDUCE", "warpspeed", 1);
+    ASSERT_EQ(XMPI_T_alg_env_refresh(), MPI_SUCCESS);
+    ::testing::internal::CaptureStderr();
+    for (int repeat = 0; repeat < 2; ++repeat) {
+        xmpi::run(4, [](int rank) {
+            int v = rank + 1, sum = 0;
+            ASSERT_EQ(MPI_Reduce(&v, &sum, 1, MPI_INT, MPI_SUM, 0, MPI_COMM_WORLD), MPI_SUCCESS);
+            if (rank == 0) {
+                EXPECT_EQ(sum, 10);
+            }
+        });
+    }
+    std::string const err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("XMPI_ALG_REDUCE"), std::string::npos) << err;
+    EXPECT_NE(err.find("warpspeed"), std::string::npos) << err;
+    EXPECT_NE(err.find("binomial"), std::string::npos) << err;  // names the valid choices
+    // One-time: the second run must not warn again.
+    EXPECT_EQ(err.find("XMPI_ALG_REDUCE", err.find("XMPI_ALG_REDUCE") + 1), std::string::npos)
+        << err;
+    if (saved != nullptr) {
+        setenv("XMPI_ALG_REDUCE", saved_value.c_str(), 1);
+    } else {
+        unsetenv("XMPI_ALG_REDUCE");
+    }
+    ASSERT_EQ(XMPI_T_alg_env_refresh(), MPI_SUCCESS);
 }

@@ -512,6 +512,7 @@ TEST(Collective, BcastLatencyIsLogarithmic) {
     // binomial algorithm: the property being asserted is its tree shape,
     // independent of a forced XMPI_ALG_BCAST environment.
     ASSERT_EQ(XMPI_T_alg_set("bcast", "binomial"), MPI_SUCCESS);
+    ASSERT_EQ(XMPI_T_topo_set(1), MPI_SUCCESS);  // flat: single-tier latency
     xmpi::Config cfg;
     cfg.compute_scale = 0.0;  // isolate the network terms from CPU noise
     auto t8 = xmpi::run(
@@ -529,6 +530,7 @@ TEST(Collective, BcastLatencyIsLogarithmic) {
         },
         cfg);
     ASSERT_EQ(XMPI_T_alg_set("bcast", "auto"), MPI_SUCCESS);
+    ASSERT_EQ(XMPI_T_topo_set(0), MPI_SUCCESS);
     // log2 ratio is 2x, allow generous slack for compute noise.
     EXPECT_LT(t64.max_vtime, t8.max_vtime * 4.0);
 }

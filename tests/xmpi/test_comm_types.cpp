@@ -295,6 +295,158 @@ TEST(Topology, NeighborAlltoallvVariableSizes) {
     });
 }
 
+TEST(Topology, EmptyAdjacencyListsAreValid) {
+    // A rank with no sources and no destinations participates in the
+    // collective without sending or receiving anything.
+    xmpi::run(4, [](int rank) {
+        MPI_Comm g;
+        ASSERT_EQ(MPI_Dist_graph_create_adjacent(MPI_COMM_WORLD, 0, nullptr, nullptr, 0, nullptr,
+                                                 nullptr, MPI_INFO_NULL, 0, &g),
+                  MPI_SUCCESS);
+        int in_deg = -1, out_deg = -1;
+        MPI_Dist_graph_neighbors_count(g, &in_deg, &out_deg, nullptr);
+        EXPECT_EQ(in_deg, 0);
+        EXPECT_EQ(out_deg, 0);
+        int sentinel = 0xBEEF + rank;
+        EXPECT_EQ(MPI_Neighbor_alltoall(nullptr, 1, MPI_INT, &sentinel, 1, MPI_INT, g),
+                  MPI_SUCCESS);
+        EXPECT_EQ(sentinel, 0xBEEF + rank);  // untouched
+        EXPECT_EQ(MPI_Neighbor_allgather(nullptr, 1, MPI_INT, &sentinel, 1, MPI_INT, g),
+                  MPI_SUCCESS);
+        EXPECT_EQ(sentinel, 0xBEEF + rank);
+        MPI_Comm_free(&g);
+    });
+}
+
+TEST(Topology, SelfLoopDeliversOwnBlock) {
+    xmpi::run(3, [](int rank) {
+        int self = rank;
+        MPI_Comm g;
+        ASSERT_EQ(MPI_Dist_graph_create_adjacent(MPI_COMM_WORLD, 1, &self, nullptr, 1, &self,
+                                                 nullptr, MPI_INFO_NULL, 0, &g),
+                  MPI_SUCCESS);
+        int const send = rank * 7 + 1;
+        int recv = -1;
+        ASSERT_EQ(MPI_Neighbor_alltoall(&send, 1, MPI_INT, &recv, 1, MPI_INT, g), MPI_SUCCESS);
+        EXPECT_EQ(recv, send);
+        MPI_Comm_free(&g);
+    });
+}
+
+TEST(Topology, AsymmetricInOutDegrees) {
+    // 0 -> {1, 2}, 1 -> {2}: rank 0 only sends, rank 2 only receives, and
+    // in/out degrees differ on every rank.
+    xmpi::run(3, [](int rank) {
+        std::vector<int> sources, dests;
+        if (rank == 1) sources = {0};
+        if (rank == 2) sources = {0, 1};
+        if (rank == 0) dests = {1, 2};
+        if (rank == 1) dests = {2};
+        MPI_Comm g;
+        ASSERT_EQ(MPI_Dist_graph_create_adjacent(
+                      MPI_COMM_WORLD, static_cast<int>(sources.size()), sources.data(), nullptr,
+                      static_cast<int>(dests.size()), dests.data(), nullptr, MPI_INFO_NULL, 0, &g),
+                  MPI_SUCCESS);
+        // Variable counts: rank r sends r+1 ints to each destination.
+        std::vector<int> send(static_cast<std::size_t>(2 * (rank + 1)), rank + 100);
+        std::vector<int> scounts(dests.size(), rank + 1), sdispls(dests.size());
+        for (std::size_t i = 0; i < dests.size(); ++i)
+            sdispls[i] = static_cast<int>(i) * (rank + 1);
+        std::vector<int> rcounts(sources.size()), rdispls(sources.size());
+        int total = 0;
+        for (std::size_t j = 0; j < sources.size(); ++j) {
+            rcounts[j] = sources[j] + 1;
+            rdispls[j] = total;
+            total += rcounts[j];
+        }
+        std::vector<int> recv(static_cast<std::size_t>(total), -1);
+        ASSERT_EQ(MPI_Neighbor_alltoallv(send.data(), scounts.data(), sdispls.data(), MPI_INT,
+                                         recv.data(), rcounts.data(), rdispls.data(), MPI_INT, g),
+                  MPI_SUCCESS);
+        for (std::size_t j = 0; j < sources.size(); ++j)
+            for (int k = 0; k < rcounts[j]; ++k)
+                EXPECT_EQ(recv[static_cast<std::size_t>(rdispls[j] + k)], sources[j] + 100);
+        MPI_Comm_free(&g);
+    });
+}
+
+TEST(Topology, NeighborAllgatherRing) {
+    // Every rank contributes one block; each rank collects its two ring
+    // neighbors' blocks in source order.
+    xmpi::run(4, [](int rank) {
+        int const left = (rank + 3) % 4;
+        int const right = (rank + 1) % 4;
+        int nbrs[] = {left, right};
+        MPI_Comm ring;
+        ASSERT_EQ(MPI_Dist_graph_create_adjacent(MPI_COMM_WORLD, 2, nbrs, nullptr, 2, nbrs,
+                                                 nullptr, MPI_INFO_NULL, 0, &ring),
+                  MPI_SUCCESS);
+        int const mine[2] = {rank * 10, rank * 10 + 1};
+        int got[4] = {-1, -1, -1, -1};
+        ASSERT_EQ(MPI_Neighbor_allgather(mine, 2, MPI_INT, got, 2, MPI_INT, ring), MPI_SUCCESS);
+        EXPECT_EQ(got[0], left * 10);
+        EXPECT_EQ(got[1], left * 10 + 1);
+        EXPECT_EQ(got[2], right * 10);
+        EXPECT_EQ(got[3], right * 10 + 1);
+        MPI_Comm_free(&ring);
+    });
+}
+
+namespace {
+
+/// Drives a generalized request to completion with non-blocking tests only.
+void drive_request(MPI_Request req) {
+    int flag = 0;
+    while (flag == 0) ASSERT_EQ(MPI_Test(&req, &flag, MPI_STATUS_IGNORE), MPI_SUCCESS);
+}
+
+}  // namespace
+
+TEST(Topology, IneighborAlltoallMatchesBlocking) {
+    xmpi::run(4, [](int rank) {
+        int const left = (rank + 3) % 4;
+        int const right = (rank + 1) % 4;
+        int nbrs[] = {left, right};
+        MPI_Comm ring;
+        ASSERT_EQ(MPI_Dist_graph_create_adjacent(MPI_COMM_WORLD, 2, nbrs, nullptr, 2, nbrs,
+                                                 nullptr, MPI_INFO_NULL, 0, &ring),
+                  MPI_SUCCESS);
+        int send[] = {rank * 10, rank * 10 + 1};  // to left, to right
+        int recv[2] = {-1, -1};
+        MPI_Request req = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Ineighbor_alltoall(send, 1, MPI_INT, recv, 1, MPI_INT, ring, &req),
+                  MPI_SUCCESS);
+        drive_request(req);
+        EXPECT_EQ(recv[0], left * 10 + 1);
+        EXPECT_EQ(recv[1], right * 10);
+        MPI_Comm_free(&ring);
+    });
+}
+
+TEST(Topology, IneighborAllgatherOverlapsCompute) {
+    xmpi::run(4, [](int rank) {
+        int const left = (rank + 3) % 4;
+        int const right = (rank + 1) % 4;
+        int nbrs[] = {left, right};
+        MPI_Comm ring;
+        ASSERT_EQ(MPI_Dist_graph_create_adjacent(MPI_COMM_WORLD, 2, nbrs, nullptr, 2, nbrs,
+                                                 nullptr, MPI_INFO_NULL, 0, &ring),
+                  MPI_SUCCESS);
+        int const mine = rank + 1;
+        int got[2] = {-1, -1};
+        MPI_Request req = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Ineighbor_allgather(&mine, 1, MPI_INT, got, 1, MPI_INT, ring, &req),
+                  MPI_SUCCESS);
+        // Arbitrary local work between initiation and completion.
+        volatile int work = 0;
+        for (int i = 0; i < 1000; ++i) work = work + i;
+        ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        EXPECT_EQ(got[0], left + 1);
+        EXPECT_EQ(got[1], right + 1);
+        MPI_Comm_free(&ring);
+    });
+}
+
 // ---------------------------------------------------------------------------
 // ULFM
 // ---------------------------------------------------------------------------

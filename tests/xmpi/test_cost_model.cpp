@@ -9,10 +9,18 @@
 
 #include <vector>
 
+#include "../testing_utils.hpp"
 #include "xmpi/mpi.h"
 #include "xmpi/xmpi.hpp"
 
 namespace {
+
+/// Pins the flat single-tier topology for the scope: these tests assert the
+/// inter-node alpha/beta pricing, which a forced XMPI_RANKS_PER_NODE >= 2
+/// would replace with the intra-node tier for co-located ranks.
+struct FlatTopo : testing_utils::TopoPin {
+    FlatTopo() : TopoPin(1) {}
+};
 
 double pingpong_vtime(xmpi::Config const& cfg, int rounds, int bytes) {
     auto result = xmpi::run(
@@ -36,6 +44,7 @@ double pingpong_vtime(xmpi::Config const& cfg, int rounds, int bytes) {
 }  // namespace
 
 TEST(CostModel, LatencyTermScalesWithAlpha) {
+    FlatTopo const flat;
     xmpi::Config low, high;
     low.alpha = 1e-6;
     high.alpha = 8e-6;
@@ -48,6 +57,7 @@ TEST(CostModel, LatencyTermScalesWithAlpha) {
 }
 
 TEST(CostModel, BandwidthTermScalesWithBeta) {
+    FlatTopo const flat;
     xmpi::Config low, high;
     low.beta = 1e-10;
     high.beta = 16e-10;
@@ -111,6 +121,7 @@ TEST(CostModel, VirtualClocksAreMonotonicPerRank) {
 }
 
 TEST(CostModel, WtimeIsVirtualTime) {
+    FlatTopo const flat;
     xmpi::run(2, [](int) {
         double const a = MPI_Wtime();
         MPI_Barrier(MPI_COMM_WORLD);
@@ -162,6 +173,7 @@ double alltoall_vtime(int p) {
 }  // namespace
 
 TEST(CostModel, AlltoallPairwiseLatencyLinearInP) {
+    FlatTopo const flat;
     // Pin the pairwise algorithm: this test asserts the cost model prices
     // its (p-1)-round message pattern, independent of automatic selection.
     ASSERT_EQ(XMPI_T_alg_set("alltoall", "flat"), MPI_SUCCESS);
@@ -173,6 +185,7 @@ TEST(CostModel, AlltoallPairwiseLatencyLinearInP) {
 }
 
 TEST(CostModel, AlltoallBruckLatencyLogarithmicInP) {
+    FlatTopo const flat;
     ASSERT_EQ(XMPI_T_alg_set("alltoall", "bruck"), MPI_SUCCESS);
     double const t8 = alltoall_vtime(8);
     double const t32 = alltoall_vtime(32);
@@ -183,6 +196,7 @@ TEST(CostModel, AlltoallBruckLatencyLogarithmicInP) {
 }
 
 TEST(CostModel, AlltoallAutoSelectionBeatsPinnedFlatOnSmallMessages) {
+    FlatTopo const flat;
     // The point of cost-model selection: for latency-bound alltoalls the
     // default must not be worse than the flat reference.
     if (std::getenv("XMPI_ALG_ALLTOALL") != nullptr) {

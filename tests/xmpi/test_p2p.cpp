@@ -215,6 +215,10 @@ TEST(P2P, WaitanyFindsCompleted) {
 }
 
 TEST(P2P, VirtualTimeAdvancesWithMessages) {
+    // Pin the flat single-tier topology: the asserted latency is alpha per
+    // hop, which a forced XMPI_RANKS_PER_NODE >= 2 would replace with the
+    // cheaper intra-node tier.
+    XMPI_T_topo_set(1);
     auto result = xmpi::run(2, [](int rank) {
         for (int i = 0; i < 100; ++i) {
             int v = i;
@@ -227,6 +231,7 @@ TEST(P2P, VirtualTimeAdvancesWithMessages) {
             }
         }
     });
+    XMPI_T_topo_set(0);
     // 200 messages in a ping-pong chain: at least 200 * alpha of modeled time.
     EXPECT_GE(result.max_vtime, 200 * 2e-6);
     EXPECT_EQ(result.total.p2p_messages, 200u);
