@@ -248,6 +248,70 @@ void BM_allreduce_compute_overlap(benchmark::State& state) {
 BENCHMARK(BM_allreduce_compute_overlap)->Arg(1024)->Arg(16384)->UseManualTime()->MinTime(0.05);
 
 // ---------------------------------------------------------------------------
+// Persistent vs re-issued nonblocking (BENCH_persistent.json): the same
+// small-message allreduce iteration loop, once re-initiating an iallreduce
+// every iteration (algorithm selection + schedule construction + scratch
+// allocation per call) and once through a persistent allreduce_init handle
+// started per iteration (selection and construction paid once, before the
+// loop). Both run the identical communication schedule, so the wall-time
+// difference is exactly the amortized initiation cost — the persistent
+// collectives' raison d'être on small messages, where initiation rivals the
+// transfer itself.
+// ---------------------------------------------------------------------------
+
+void BM_allreduce_iallreduce_reissued(benchmark::State& state) {
+    auto const n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        double elapsed = 0;
+        xmpi::run(kRanks, [&](int rank) {
+            using namespace kamping;
+            Communicator comm;
+            std::vector<std::uint64_t> send(n, 1);
+            comm.iallreduce(send_buf(send), op(std::plus<>{})).wait();  // warmup
+            auto const t0 = std::chrono::steady_clock::now();
+            for (int i = 0; i < kInner; ++i) {
+                auto pending = comm.iallreduce(send_buf(send), op(std::plus<>{}));
+                auto reduced = pending.wait();
+                benchmark::DoNotOptimize(reduced.data());
+            }
+            auto const t1 = std::chrono::steady_clock::now();
+            if (rank == 0) elapsed = std::chrono::duration<double>(t1 - t0).count() / kInner;
+        });
+        state.SetIterationTime(elapsed);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) *
+                            static_cast<std::int64_t>(sizeof(std::uint64_t)));
+}
+BENCHMARK(BM_allreduce_iallreduce_reissued)->Arg(1)->Arg(64)->Arg(4096)->UseManualTime()->MinTime(0.05);
+
+void BM_allreduce_persistent(benchmark::State& state) {
+    auto const n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        double elapsed = 0;
+        xmpi::run(kRanks, [&](int rank) {
+            using namespace kamping;
+            Communicator comm;
+            std::vector<std::uint64_t> send(n, 1);
+            auto handle = comm.allreduce_init(send_buf(send), op(std::plus<>{}));
+            handle.start();
+            handle.wait();  // warmup
+            auto const t0 = std::chrono::steady_clock::now();
+            for (int i = 0; i < kInner; ++i) {
+                handle.start();
+                auto const& reduced = handle.wait();
+                benchmark::DoNotOptimize(reduced.data());
+            }
+            auto const t1 = std::chrono::steady_clock::now();
+            if (rank == 0) elapsed = std::chrono::duration<double>(t1 - t0).count() / kInner;
+        });
+        state.SetIterationTime(elapsed);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) *
+                            static_cast<std::int64_t>(sizeof(std::uint64_t)));
+}
+BENCHMARK(BM_allreduce_persistent)->Arg(1)->Arg(64)->Arg(4096)->UseManualTime()->MinTime(0.05);
+
+// ---------------------------------------------------------------------------
 // Collective algorithm comparison: the same operation under each pinned
 // algorithm (XMPI_T_alg_set), reported as *virtual* makespan per operation
 // under the default OmniPath-class cost model — the metric the algorithm

@@ -48,6 +48,7 @@ int main() {
         run_bfs(graph, "kamping", &apps::bfs::kamping_impl::bfs, p);
         run_bfs(graph, "sparse(nbx)", &apps::bfs::kamping_sparse::bfs, p);
         run_bfs(graph, "overlap", &apps::bfs::kamping_overlap::bfs, p);
+        run_bfs(graph, "persist", &apps::bfs::kamping_persistent::bfs, p);
         run_bfs(graph, "grid", &apps::bfs::kamping_grid::bfs, p);
         run_bfs(graph, "neighbor", [](auto const& g, auto s, MPI_Comm c) {
             return apps::bfs::mpi_neighbor::bfs(g, s, c, false);

@@ -33,6 +33,15 @@ public:
         return allgather_impl(internal::nonblocking_t{}, args...);
     }
 
+    /// Persistent allgather (both regular and in-place forms): buffers
+    /// bound once, algorithm frozen at init; every `start()` re-reads the
+    /// bound send storage, `wait()` returns a view of the gathered vector.
+    /// Persistent allgatherv is a ROADMAP follow-up.
+    template <typename... Args>
+    auto allgather_init(Args&&... args) const {
+        return allgather_impl(internal::persistent_t{}, args...);
+    }
+
     /// Allgather with varying counts — receive counts are allgathered from
     /// the send count when omitted, displacements computed locally, and the
     /// receive buffer sized to fit.
@@ -66,11 +75,18 @@ private:
                            "in-place allgather requires the buffer to hold size() blocks");
             int const count = static_cast<int>(buf.size() / self_().size());
             auto launch = [comm, count](auto& b, MPI_Request* req) {
-                return req != nullptr
-                           ? MPI_Iallgather(MPI_IN_PLACE, 0, MPI_DATATYPE_NULL, b.data_mutable(),
-                                            count, mpi_datatype<T>(), comm, req)
-                           : MPI_Allgather(MPI_IN_PLACE, 0, MPI_DATATYPE_NULL, b.data_mutable(),
-                                           count, mpi_datatype<T>(), comm);
+                if constexpr (internal::is_persistent_v<Mode>) {
+                    return MPI_Allgather_init(MPI_IN_PLACE, 0, MPI_DATATYPE_NULL,
+                                              b.data_mutable(), count, mpi_datatype<T>(), comm,
+                                              MPI_INFO_NULL, req);
+                } else {
+                    return req != nullptr
+                               ? MPI_Iallgather(MPI_IN_PLACE, 0, MPI_DATATYPE_NULL,
+                                                b.data_mutable(), count, mpi_datatype<T>(), comm,
+                                                req)
+                               : MPI_Allgather(MPI_IN_PLACE, 0, MPI_DATATYPE_NULL,
+                                               b.data_mutable(), count, mpi_datatype<T>(), comm);
+                }
             };
             return internal::dispatch(mode, "allgather (in place)", nullptr, launch,
                                       std::move(buf));
@@ -84,11 +100,18 @@ private:
                 args...);
             recv.resize_to(static_cast<std::size_t>(count) * self_().size());
             auto launch = [comm, count](auto& r, auto& s, MPI_Request* req) {
-                return req != nullptr
-                           ? MPI_Iallgather(s.data(), count, mpi_datatype<T>(), r.data_mutable(),
-                                            count, mpi_datatype<T>(), comm, req)
-                           : MPI_Allgather(s.data(), count, mpi_datatype<T>(), r.data_mutable(),
-                                           count, mpi_datatype<T>(), comm);
+                if constexpr (internal::is_persistent_v<Mode>) {
+                    return MPI_Allgather_init(s.data(), count, mpi_datatype<T>(),
+                                              r.data_mutable(), count, mpi_datatype<T>(), comm,
+                                              MPI_INFO_NULL, req);
+                } else {
+                    return req != nullptr
+                               ? MPI_Iallgather(s.data(), count, mpi_datatype<T>(),
+                                                r.data_mutable(), count, mpi_datatype<T>(), comm,
+                                                req)
+                               : MPI_Allgather(s.data(), count, mpi_datatype<T>(),
+                                               r.data_mutable(), count, mpi_datatype<T>(), comm);
+                }
             };
             return internal::dispatch(mode, "allgather", nullptr, launch, std::move(recv),
                                       std::move(send));

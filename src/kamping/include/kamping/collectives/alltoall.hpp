@@ -31,6 +31,17 @@ public:
         return alltoall_impl(internal::nonblocking_t{}, args...);
     }
 
+    /// Persistent alltoall: buffers bound once, algorithm frozen at init;
+    /// every `start()` re-reads the bound send storage, `wait()` returns a
+    /// view of the exchanged blocks. The exchange pattern of iteration-loop
+    /// apps (sample sort partitioning, label propagation) amortizes the
+    /// per-call schedule construction this way. Persistent alltoallv is a
+    /// ROADMAP follow-up.
+    template <typename... Args>
+    auto alltoall_init(Args&&... args) const {
+        return alltoall_impl(internal::persistent_t{}, args...);
+    }
+
     /// All-to-all with varying counts. `send_counts` is required; send
     /// displacements default to the exclusive prefix sum, receive counts are
     /// exchanged with an alltoall when omitted, receive displacements are
@@ -65,11 +76,16 @@ private:
         recv.resize_to(send.size());
         MPI_Comm const comm = self_().mpi_communicator();
         auto launch = [comm, count](auto& r, auto& s, MPI_Request* req) {
-            return req != nullptr
-                       ? MPI_Ialltoall(s.data(), count, mpi_datatype<T>(), r.data_mutable(), count,
-                                       mpi_datatype<T>(), comm, req)
-                       : MPI_Alltoall(s.data(), count, mpi_datatype<T>(), r.data_mutable(), count,
-                                      mpi_datatype<T>(), comm);
+            if constexpr (internal::is_persistent_v<Mode>) {
+                return MPI_Alltoall_init(s.data(), count, mpi_datatype<T>(), r.data_mutable(),
+                                         count, mpi_datatype<T>(), comm, MPI_INFO_NULL, req);
+            } else {
+                return req != nullptr
+                           ? MPI_Ialltoall(s.data(), count, mpi_datatype<T>(), r.data_mutable(),
+                                           count, mpi_datatype<T>(), comm, req)
+                           : MPI_Alltoall(s.data(), count, mpi_datatype<T>(), r.data_mutable(),
+                                          count, mpi_datatype<T>(), comm);
+            }
         };
         return internal::dispatch(mode, "alltoall", nullptr, launch, std::move(recv),
                                   std::move(send));

@@ -1,9 +1,13 @@
 /// @file barrier.hpp
-/// @brief Barrier synchronization: blocking `barrier()` and the nonblocking
+/// @brief Barrier synchronization: blocking `barrier()`, the nonblocking
 /// `ibarrier()` returning a NonBlockingResult<void> handle — the typed form
 /// of the progressable MPI_Ibarrier request used e.g. by the sparse
-/// all-to-all plugin's NBX termination detection.
+/// all-to-all plugin's NBX termination detection — and the persistent
+/// `barrier_init()` whose handle replays the barrier on every `start()`.
 #pragma once
+
+#include <memory>
+#include <tuple>
 
 #include "kamping/error_handling.hpp"
 #include "kamping/request.hpp"
@@ -27,6 +31,18 @@ public:
         MPI_Request req = MPI_REQUEST_NULL;
         internal::throw_on_mpi_error(MPI_Ibarrier(self_().mpi_communicator(), &req), "ibarrier");
         return NonBlockingResult<void>(req);
+    }
+
+    /// Creates a persistent barrier: the dissemination schedule is built
+    /// once and replayed on every `start()` of the returned handle —
+    /// `wait()`/`test()` complete one occurrence and leave the handle ready
+    /// to be started again.
+    PersistentResult<> barrier_init() const {
+        MPI_Request req = MPI_REQUEST_NULL;
+        internal::throw_on_mpi_error(
+            MPI_Barrier_init(self_().mpi_communicator(), MPI_INFO_NULL, &req), "barrier_init");
+        return PersistentResult<>(
+            req, internal::CollectivePayload<>{std::make_unique<std::tuple<>>()});
     }
 
 private:

@@ -1,7 +1,7 @@
 /// @file bcast.hpp
-/// @brief Broadcast family: `bcast`/`bcast_single` and the nonblocking
-/// `ibcast`, all driven by the shared dispatch engine (one
-/// parameter-processing path for both modes).
+/// @brief Broadcast family: `bcast`/`bcast_single`, the nonblocking
+/// `ibcast` and the persistent `bcast_init`, all driven by the shared
+/// dispatch engine (one parameter-processing path for all three modes).
 #pragma once
 
 #include <cstdint>
@@ -45,6 +45,17 @@ public:
         return internal::to_single(std::move(result));
     }
 
+    /// Persistent broadcast: binds the buffer once and freezes algorithm
+    /// selection and the communication schedule; the returned
+    /// PersistentResult replays the operation on every `start()`, re-reading
+    /// the bound buffer's contents. Pass `send_recv_count` explicitly (or
+    /// accept the count frozen from the init-time buffer size) — the count
+    /// cannot change between starts.
+    template <typename... Args>
+    auto bcast_init(Args&&... args) const {
+        return bcast_impl(internal::persistent_t{}, args...);
+    }
+
 private:
     Comm const& self_() const { return static_cast<Comm const&>(*this); }
 
@@ -58,9 +69,9 @@ private:
         using Buf = decltype(buf);
 
         if constexpr (internal::is_serialization_send_v<Buf>) {
-            static_assert(!internal::is_nonblocking_v<Mode>,
-                          "KaMPIng: ibcast does not support serialization adapters; serialize "
-                          "into a byte buffer first and ibcast that");
+            static_assert(!internal::owns_buffers_v<Mode>,
+                          "KaMPIng: ibcast/bcast_init do not support serialization adapters; "
+                          "serialize into a byte buffer first and broadcast that");
             return bcast_serialized(std::move(buf), root_rank);
         } else {
             using T = typename std::remove_cvref_t<Buf>::value_type;
@@ -76,11 +87,16 @@ private:
             }
             if (!self_().is_root(root_rank)) buf.resize_to(static_cast<std::size_t>(n));
             auto launch = [comm, n, root_rank](auto& b, MPI_Request* req) {
-                return req != nullptr
-                           ? MPI_Ibcast(b.data_mutable(), static_cast<int>(n), mpi_datatype<T>(),
-                                        root_rank, comm, req)
-                           : MPI_Bcast(b.data_mutable(), static_cast<int>(n), mpi_datatype<T>(),
-                                       root_rank, comm);
+                if constexpr (internal::is_persistent_v<Mode>) {
+                    return MPI_Bcast_init(b.data_mutable(), static_cast<int>(n),
+                                          mpi_datatype<T>(), root_rank, comm, MPI_INFO_NULL, req);
+                } else {
+                    return req != nullptr
+                               ? MPI_Ibcast(b.data_mutable(), static_cast<int>(n),
+                                            mpi_datatype<T>(), root_rank, comm, req)
+                               : MPI_Bcast(b.data_mutable(), static_cast<int>(n),
+                                           mpi_datatype<T>(), root_rank, comm);
+                }
             };
             return internal::dispatch(mode, "bcast", nullptr, launch, std::move(buf));
         }

@@ -31,12 +31,19 @@
 namespace kamping {
 namespace internal {
 
-/// Mode tags selecting which variant of a collective the dispatch emits.
+/// Mode tags selecting which variant of a collective the dispatch emits:
+/// blocking (`bcast`), nonblocking (`ibcast`) or persistent (`bcast_init`).
 struct blocking_t {};
 struct nonblocking_t {};
+struct persistent_t {};
 
 template <typename Mode>
 inline constexpr bool is_nonblocking_v = std::is_same_v<Mode, nonblocking_t>;
+template <typename Mode>
+inline constexpr bool is_persistent_v = std::is_same_v<Mode, persistent_t>;
+/// Modes whose handle owns the prepared buffers beyond the initiating call.
+template <typename Mode>
+inline constexpr bool owns_buffers_v = is_nonblocking_v<Mode> || is_persistent_v<Mode>;
 
 // ---------------------------------------------------------------------------
 // Buffer materialization helpers (shared by all wrapped operations).
@@ -174,19 +181,20 @@ int total_count(CountsBuf const& counts, int p) {
 /// Issues the collective described by `launch` in the requested mode over the
 /// prepared buffers.
 ///
-/// `launch` is invoked as `launch(buffers..., MPI_Request*)` and must issue
-/// the blocking MPI call when the request pointer is null and the matching
-/// `MPI_I*` call otherwise, returning the MPI error code. In blocking mode
-/// the prepared buffers are assembled into the usual result object right
-/// away; in nonblocking mode every buffer first moves into a heap-stable
-/// CollectivePayload (so in-flight addresses survive moves of the handle)
-/// and the launch runs against the buffers' final resting places.
-/// `keep_alive` optionally extends auxiliary state (custom reduction ops) to
-/// request completion.
+/// `launch` is invoked as `launch(buffers..., MPI_Request*)`. In blocking
+/// mode the request pointer is null and `launch` must issue the blocking MPI
+/// call; the prepared buffers are assembled into the usual result object
+/// right away. In nonblocking and persistent mode every buffer first moves
+/// into a heap-stable CollectivePayload (so in-flight addresses survive
+/// moves of the handle) and the launch runs against the buffers' final
+/// resting places — issuing the matching `MPI_I*` call (nonblocking) or
+/// `MPI_*_init` call (persistent; the returned request is inactive until
+/// the handle's start()). `keep_alive` optionally extends auxiliary state
+/// (custom reduction ops) to request completion / handle destruction.
 template <typename Mode, typename Launch, typename... Prepared>
 auto dispatch(Mode, char const* name, std::shared_ptr<void> keep_alive, Launch&& launch,
               Prepared&&... prepared) {
-    if constexpr (is_nonblocking_v<Mode>) {
+    if constexpr (owns_buffers_v<Mode>) {
         using Tuple = std::tuple<std::remove_cvref_t<Prepared>...>;
         using Payload = CollectivePayload<std::remove_cvref_t<Prepared>...>;
         Payload payload{std::make_unique<Tuple>(std::move(prepared)...)};
@@ -194,7 +202,12 @@ auto dispatch(Mode, char const* name, std::shared_ptr<void> keep_alive, Launch&&
         int const rc = std::apply([&](auto&... bufs) { return launch(bufs..., &req); },
                                   *payload.buffers);
         throw_on_mpi_error(rc, name);
-        return NonBlockingResult<Payload>(req, std::move(payload), std::move(keep_alive));
+        if constexpr (is_persistent_v<Mode>) {
+            return PersistentResult<std::remove_cvref_t<Prepared>...>(req, std::move(payload),
+                                                                      std::move(keep_alive));
+        } else {
+            return NonBlockingResult<Payload>(req, std::move(payload), std::move(keep_alive));
+        }
     } else {
         (void)keep_alive;  // blocking: auxiliary state outlives the call anyway
         throw_on_mpi_error(launch(prepared..., static_cast<MPI_Request*>(nullptr)), name);

@@ -3,6 +3,11 @@
 /// `igather`/`igatherv`, sharing one parameter-processing path through the
 /// dispatch engine (select buffers, derive receive counts by gathering the
 /// send counts, build displacements on the root, size the receive buffer).
+///
+/// No persistent `gather_init`/`gatherv_init` yet: the substrate's
+/// persistent surface (MPI_*_init + PersistentResult) covers
+/// barrier/bcast/reduce/allreduce/allgather/alltoall; schedule-backed
+/// persistent gather/scatter(v) are a ROADMAP follow-up.
 #pragma once
 
 #include <utility>

@@ -1,9 +1,10 @@
 /// @file reduce.hpp
-/// @brief Reduction family: `reduce`, `allreduce`/`allreduce_single` and the
-/// nonblocking `ireduce`/`iallreduce`. Custom reduction operations (lambdas
-/// wrapped into an MPI_Op) are kept alive inside the nonblocking handle
-/// until the request completed, since the substrate applies them during
-/// request progress.
+/// @brief Reduction family: `reduce`, `allreduce`/`allreduce_single`, the
+/// nonblocking `ireduce`/`iallreduce` and the persistent
+/// `reduce_init`/`allreduce_init`. Custom reduction operations (lambdas
+/// wrapped into an MPI_Op) are kept alive inside the nonblocking or
+/// persistent handle until the request completed / the handle is destroyed,
+/// since the substrate applies them during request progress.
 #pragma once
 
 #include <memory>
@@ -34,6 +35,14 @@ public:
         return reduce_impl(internal::nonblocking_t{}, args...);
     }
 
+    /// Persistent reduce: buffers bound once, algorithm frozen at init; the
+    /// handle's `start()` replays the reduction over the send buffer's
+    /// current contents, `wait()` returns a view of the root's result.
+    template <typename... Args>
+    auto reduce_init(Args&&... args) const {
+        return reduce_impl(internal::persistent_t{}, args...);
+    }
+
     /// Allreduce with `op` (required); supports the in-place
     /// `send_recv_buf` form.
     template <typename... Args>
@@ -55,6 +64,17 @@ public:
         return internal::to_single(std::move(result));
     }
 
+    /// Persistent allreduce: buffers bound once, algorithm frozen at init.
+    /// Bind the send side to user storage (pass an lvalue container to
+    /// `send_buf`) and update that storage between `start()`s; `wait()`
+    /// returns a view of the bound receive buffer that stays valid across
+    /// rounds. The iteration-loop counterpart of `iallreduce` with the
+    /// per-call selection and schedule construction paid exactly once.
+    template <typename... Args>
+    auto allreduce_init(Args&&... args) const {
+        return allreduce_impl(internal::persistent_t{}, args...);
+    }
+
 private:
     Comm const& self_() const { return static_cast<Comm const&>(*this); }
 
@@ -73,9 +93,10 @@ private:
         internal::ScopedOp scoped = op_param.template resolve<T>();
         MPI_Op const mpi_op = scoped.op;
         std::shared_ptr<void> keep;
-        if constexpr (internal::is_nonblocking_v<Mode>) {
+        if constexpr (internal::owns_buffers_v<Mode>) {
             // The substrate applies the op during request progress; extend
-            // a created op's lifetime to request completion.
+            // a created op's lifetime to request completion (nonblocking)
+            // or handle destruction (persistent).
             keep = std::make_shared<internal::ScopedOp>(std::move(scoped));
         }
         auto recv = internal::take_or<ParameterType::recv_buf>(
@@ -89,11 +110,16 @@ private:
         auto launch = [comm, count, root_rank, at_root, mpi_op](auto& r, auto& s,
                                                                 MPI_Request* req) {
             void* rbuf = at_root ? r.data_mutable() : nullptr;
-            return req != nullptr
-                       ? MPI_Ireduce(s.data(), rbuf, count, mpi_datatype<T>(), mpi_op, root_rank,
-                                     comm, req)
-                       : MPI_Reduce(s.data(), rbuf, count, mpi_datatype<T>(), mpi_op, root_rank,
-                                    comm);
+            if constexpr (internal::is_persistent_v<Mode>) {
+                return MPI_Reduce_init(s.data(), rbuf, count, mpi_datatype<T>(), mpi_op,
+                                       root_rank, comm, MPI_INFO_NULL, req);
+            } else {
+                return req != nullptr
+                           ? MPI_Ireduce(s.data(), rbuf, count, mpi_datatype<T>(), mpi_op,
+                                         root_rank, comm, req)
+                           : MPI_Reduce(s.data(), rbuf, count, mpi_datatype<T>(), mpi_op,
+                                        root_rank, comm);
+            }
         };
         return internal::dispatch(mode, "reduce", std::move(keep), launch, std::move(recv),
                                   std::move(send));
@@ -114,16 +140,22 @@ private:
             internal::ScopedOp scoped = op_param.template resolve<T>();
             MPI_Op const mpi_op = scoped.op;
             std::shared_ptr<void> keep;
-            if constexpr (internal::is_nonblocking_v<Mode>) {
+            if constexpr (internal::owns_buffers_v<Mode>) {
                 keep = std::make_shared<internal::ScopedOp>(std::move(scoped));
             }
             int const count = static_cast<int>(buf.size());
             auto launch = [comm, count, mpi_op](auto& b, MPI_Request* req) {
-                return req != nullptr
-                           ? MPI_Iallreduce(MPI_IN_PLACE, b.data_mutable(), count,
-                                            mpi_datatype<T>(), mpi_op, comm, req)
-                           : MPI_Allreduce(MPI_IN_PLACE, b.data_mutable(), count,
-                                           mpi_datatype<T>(), mpi_op, comm);
+                if constexpr (internal::is_persistent_v<Mode>) {
+                    return MPI_Allreduce_init(MPI_IN_PLACE, b.data_mutable(), count,
+                                              mpi_datatype<T>(), mpi_op, comm, MPI_INFO_NULL,
+                                              req);
+                } else {
+                    return req != nullptr
+                               ? MPI_Iallreduce(MPI_IN_PLACE, b.data_mutable(), count,
+                                                mpi_datatype<T>(), mpi_op, comm, req)
+                               : MPI_Allreduce(MPI_IN_PLACE, b.data_mutable(), count,
+                                               mpi_datatype<T>(), mpi_op, comm);
+                }
             };
             return internal::dispatch(mode, "allreduce (in place)", std::move(keep), launch,
                                       std::move(buf));
@@ -134,7 +166,7 @@ private:
             internal::ScopedOp scoped = op_param.template resolve<T>();
             MPI_Op const mpi_op = scoped.op;
             std::shared_ptr<void> keep;
-            if constexpr (internal::is_nonblocking_v<Mode>) {
+            if constexpr (internal::owns_buffers_v<Mode>) {
                 keep = std::make_shared<internal::ScopedOp>(std::move(scoped));
             }
             auto recv = internal::take_or<ParameterType::recv_buf>(
@@ -146,11 +178,17 @@ private:
             recv.resize_to(send.size());
             int const count = static_cast<int>(send.size());
             auto launch = [comm, count, mpi_op](auto& r, auto& s, MPI_Request* req) {
-                return req != nullptr
-                           ? MPI_Iallreduce(s.data(), r.data_mutable(), count, mpi_datatype<T>(),
-                                            mpi_op, comm, req)
-                           : MPI_Allreduce(s.data(), r.data_mutable(), count, mpi_datatype<T>(),
-                                           mpi_op, comm);
+                if constexpr (internal::is_persistent_v<Mode>) {
+                    return MPI_Allreduce_init(s.data(), r.data_mutable(), count,
+                                              mpi_datatype<T>(), mpi_op, comm, MPI_INFO_NULL,
+                                              req);
+                } else {
+                    return req != nullptr
+                               ? MPI_Iallreduce(s.data(), r.data_mutable(), count,
+                                                mpi_datatype<T>(), mpi_op, comm, req)
+                               : MPI_Allreduce(s.data(), r.data_mutable(), count,
+                                               mpi_datatype<T>(), mpi_op, comm);
+                }
             };
             return internal::dispatch(mode, "allreduce", std::move(keep), launch, std::move(recv),
                                       std::move(send));

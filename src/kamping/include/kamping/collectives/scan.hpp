@@ -3,6 +3,10 @@
 /// conveniences) and the nonblocking `iscan`/`iexscan`, driven by one shared
 /// parameter-processing path. KaMPIng defines rank 0's exscan result as
 /// value-initialized (the standard leaves it undefined).
+///
+/// No persistent `scan_init`/`exscan_init` yet: the Hillis–Steele shape is
+/// expressible as a re-armable schedule, but the substrate has no
+/// MPI_Scan_init so far — a ROADMAP follow-up.
 #pragma once
 
 #include <memory>

@@ -4,6 +4,9 @@
 /// displacements default to the exclusive prefix sum of the send counts on
 /// the root, and the per-rank receive count is derived by scattering the
 /// send counts when omitted.
+///
+/// No persistent `scatter_init`/`scatterv_init` yet — a ROADMAP follow-up
+/// alongside persistent gather(v) (see gather.hpp).
 #pragma once
 
 #include <cstdint>

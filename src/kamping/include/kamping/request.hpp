@@ -12,6 +12,12 @@
 /// returned result — is kept alive inside the handle, and `wait()`/`test()`
 /// assemble exactly the result object the blocking variant would have
 /// returned.
+///
+/// *Persistent* collectives (the `*_init` variants) use PersistentResult:
+/// the same CollectivePayload machinery, but the buffers stay bound for the
+/// handle's whole lifetime so the operation can be started again and again —
+/// `wait()` therefore returns a *view* into the bound buffers instead of
+/// moving them out.
 #pragma once
 
 #include <memory>
@@ -191,6 +197,90 @@ private:
     Payload payload_;
     std::shared_ptr<void> keep_alive_;
     bool consumed_ = false;
+};
+
+/// Handle of a *persistent* collective (returned by `bcast_init`,
+/// `allreduce_init`, ...; paper-adjacent MPI-4 `MPI_*_init` semantics). The
+/// handle owns the operation's buffers for its whole lifetime — they are
+/// bound exactly once at init and cannot be rebound, which is what lets the
+/// substrate freeze algorithm selection and the full communication schedule.
+/// Lifecycle: `start()` begins one occurrence (re-reading the bound buffer
+/// contents current at that start), `wait()` completes it and returns a
+/// *view* of the result buffers (they stay bound, ready for the next
+/// `start()`), `test()` polls. Completion leaves the underlying persistent
+/// request inactive-but-allocated; the destructor completes a still-running
+/// occurrence and frees the request. Referencing buffers (lvalue arguments
+/// to the named-parameter layer) alias user storage, so inputs are updated
+/// by writing that storage between starts.
+template <typename... Buffers>
+class PersistentResult {
+public:
+    using Payload = internal::CollectivePayload<Buffers...>;
+
+    PersistentResult(MPI_Request request, Payload&& payload,
+                     std::shared_ptr<void> keep_alive = nullptr)
+        : request_(request), payload_(std::move(payload)), keep_alive_(std::move(keep_alive)) {}
+
+    PersistentResult(PersistentResult&& other) noexcept
+        : request_(std::exchange(other.request_, MPI_REQUEST_NULL)),
+          payload_(std::move(other.payload_)),
+          keep_alive_(std::move(other.keep_alive_)) {}
+    PersistentResult(PersistentResult const&) = delete;
+    PersistentResult& operator=(PersistentResult const&) = delete;
+    PersistentResult& operator=(PersistentResult&&) = delete;
+
+    /// Starts one occurrence of the operation. Starting while the previous
+    /// occurrence is still in flight is an error (throws); complete it with
+    /// wait()/test() first.
+    void start() {
+        KAMPING_ASSERT_LIGHT(request_ != MPI_REQUEST_NULL,
+                             "PersistentResult: start() on a moved-from handle");
+        internal::throw_on_mpi_error(MPI_Start(&request_), "start (persistent)");
+    }
+
+    /// Completes the running occurrence (immediately a no-op when none is in
+    /// flight) and returns a view of the bound result buffers: a const
+    /// reference for a single returned buffer, a tuple of const references
+    /// for several, nothing for purely referencing operations. The
+    /// references stay valid across subsequent start()/wait() rounds.
+    decltype(auto) wait() {
+        internal::throw_on_mpi_error(MPI_Wait(&request_, MPI_STATUS_IGNORE),
+                                     "wait (persistent)");
+        return view();
+    }
+
+    /// Non-blocking completion poll; true once the running occurrence
+    /// finished (or none was in flight). Read results through view()/wait().
+    bool test() {
+        int flag = 0;
+        internal::throw_on_mpi_error(MPI_Test(&request_, &flag, MPI_STATUS_IGNORE),
+                                     "test (persistent)");
+        return flag != 0;
+    }
+
+    /// View of the bound result buffers; only meaningful while no occurrence
+    /// is in flight (after wait(), or after test() returned true).
+    decltype(auto) view() {
+        return std::apply(
+            [](Buffers&... bufs) -> decltype(auto) {
+                return internal::make_view_result(bufs...);
+            },
+            *payload_.buffers);
+    }
+
+    /// Completes a still-running occurrence (the buffers must stay alive
+    /// until then) and releases the persistent request.
+    ~PersistentResult() {
+        if (request_ != MPI_REQUEST_NULL) {
+            MPI_Wait(&request_, MPI_STATUS_IGNORE);  // no-op when inactive
+            MPI_Request_free(&request_);
+        }
+    }
+
+private:
+    MPI_Request request_;
+    Payload payload_;
+    std::shared_ptr<void> keep_alive_;
 };
 
 /// Collects requests from multiple non-blocking calls for bulk completion

@@ -111,6 +111,39 @@ auto make_result(Prepared&&... prepared) {
     }
 }
 
+/// View fragment: returned buffers contribute a const reference to their
+/// underlying container, everything else vanishes at compile time.
+template <typename Buffer>
+auto view_fragment(Buffer& buffer) {
+    if constexpr (std::remove_cvref_t<Buffer>::is_returned) {
+        return std::forward_as_tuple(buffer.underlying());
+    } else {
+        (void)buffer;
+        return std::tuple<>{};
+    }
+}
+
+/// View counterpart of make_result, used by persistent handles: the buffers
+/// stay bound to (and owned by) the handle so the operation can be started
+/// again, so completion hands back *references* into them instead of moving
+/// them out:
+///  - no returned buffers: void;
+///  - exactly one: `container const&`;
+///  - otherwise: a tuple of const references (canonical order).
+template <typename... Prepared>
+decltype(auto) make_view_result(Prepared&... prepared) {
+    auto refs = std::tuple_cat(view_fragment(prepared)...);
+    using Refs = decltype(refs);
+    constexpr std::size_t n = std::tuple_size_v<Refs>;
+    if constexpr (n == 0) {
+        return;
+    } else if constexpr (n == 1) {
+        return std::get<0>(refs);  // a reference into the bound buffer
+    } else {
+        return refs;
+    }
+}
+
 }  // namespace internal
 }  // namespace kamping
 

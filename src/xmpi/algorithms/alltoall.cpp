@@ -16,9 +16,14 @@ void build_pairwise(Schedule& s, void const* sendbuf, int sendcount, MPI_Datatyp
                     void* recvbuf, int recvcount, MPI_Datatype recvtype) {
     int const p = s.size();
     int const r = s.rank();
-    local_copy(at_offset(sendbuf, static_cast<long long>(r) * sendcount, sendtype), sendcount,
-               sendtype, at_offset(recvbuf, static_cast<long long>(r) * recvcount, recvtype),
-               recvtype);
+    // Own block as an execution-time step (not at build time) so a restarted
+    // schedule re-reads the send buffer contents current at that start.
+    s.local([sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, r]() {
+        local_copy(at_offset(sendbuf, static_cast<long long>(r) * sendcount, sendtype), sendcount,
+                   sendtype, at_offset(recvbuf, static_cast<long long>(r) * recvcount, recvtype),
+                   recvtype);
+        return MPI_SUCCESS;
+    });
     for (int i = 1; i < p; ++i) {
         int const dst = (r + i) % p;
         int const src = (r - i + p) % p;
@@ -39,14 +44,17 @@ void build_bruck(Schedule& s, void const* sendbuf, int sendcount, MPI_Datatype s
         static_cast<std::size_t>(sendcount) * static_cast<std::size_t>(sendtype->size);
     std::byte* const tmp = s.alloc(static_cast<std::size_t>(p) * bb);
 
-    // Phase 1 (at initiation, like the flat variant's input snapshot):
-    // rotate so tmp[j] holds the packed block destined for rank (r+j) % p.
+    // Phase 1 (an input-snapshot step, re-run on every start): rotate so
+    // tmp[j] holds the packed block destined for rank (r+j) % p.
     if (bb > 0) {
-        for (int j = 0; j < p; ++j) {
-            sendtype->pack(
-                at_offset(sendbuf, static_cast<long long>((r + j) % p) * sendcount, sendtype),
-                sendcount, tmp + static_cast<std::size_t>(j) * bb);
-        }
+        s.local([tmp, sendbuf, sendcount, sendtype, bb, p, r]() {
+            for (int j = 0; j < p; ++j) {
+                sendtype->pack(
+                    at_offset(sendbuf, static_cast<long long>((r + j) % p) * sendcount, sendtype),
+                    sendcount, tmp + static_cast<std::size_t>(j) * bb);
+            }
+            return MPI_SUCCESS;
+        });
     }
 
     // Phase 2: for each bit, forward the blocks whose index has that bit set

@@ -194,6 +194,10 @@ std::vector<AlgInfo> const& algorithms(Family f) { return table(f); }
 
 char const* family_name(Family f) { return kFamilyNames[static_cast<int>(f)]; }
 
+// select() runs once per *invocation* for the one-shot collectives and once
+// per *initialization* for the persistent ones (MPI_*_init): a persistent
+// schedule keeps the algorithm chosen at init for its whole lifetime, so
+// later XMPI_T_alg_set / environment refreshes only affect future inits.
 int select(Family f, MPI_Comm comm, std::size_t bytes, bool commutative, bool elementwise) {
     auto const& t = table(f);
     int const p = comm->size();

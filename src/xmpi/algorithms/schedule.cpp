@@ -1,6 +1,7 @@
 /// @file schedule.cpp
 /// @brief Schedule executor: one code path drives every collective algorithm
-/// both blockingly and as a generalized request (see schedule.hpp).
+/// blockingly, as a one-shot generalized request, and as a re-armable
+/// persistent request (see schedule.hpp).
 #include "schedule.hpp"
 
 namespace xmpi::detail::alg {
@@ -62,11 +63,43 @@ void Schedule::release_pending() {
     }
 }
 
+void Schedule::reset() {
+    release_pending();
+    for (auto& req : reqs_) req = nullptr;
+    pos_ = 0;
+    error_ = MPI_SUCCESS;
+    // Scratch is deliberately NOT re-zeroed: every builder writes each
+    // scratch region (via an input-snapshot `local` step or a received
+    // message) before reading it, so a restarted schedule cannot observe a
+    // previous round's bytes — and zeroing per start would charge exactly
+    // the per-iteration cost persistent collectives exist to amortize. The
+    // equivalence harness's persistent flavor (restart with fresh inputs,
+    // byte-compared per round) enforces this write-before-read invariant
+    // for every registered builder.
+}
+
 int run_blocking(Schedule& s) {
     int err = MPI_SUCCESS;
     s.advance(/*blocking=*/true, &err);
     return err;
 }
+
+namespace {
+
+/// The progress state machine shared by the one-shot and persistent launch
+/// paths: advances the schedule until it stalls or completes.
+std::function<bool(xmpi_request_t*)> schedule_progress(std::shared_ptr<Schedule> s) {
+    return [s = std::move(s)](xmpi_request_t* rq) -> bool {
+        int err = MPI_SUCCESS;
+        if (!s->advance(/*blocking=*/false, &err)) return false;
+        if (err != MPI_SUCCESS) rq->error = err;
+        rq->completion_vtime = tls_rank()->vnow;
+        rq->complete.store(true, std::memory_order_release);
+        return true;
+    };
+}
+
+}  // namespace
 
 int launch_nonblocking(MPI_Comm comm, std::shared_ptr<Schedule> s, int init_error,
                        MPI_Request* request) {
@@ -81,15 +114,27 @@ int launch_nonblocking(MPI_Comm comm, std::shared_ptr<Schedule> s, int init_erro
         *request = req;
         return MPI_SUCCESS;
     }
-    req->progress = [s](xmpi_request_t* rq) -> bool {
-        int err = MPI_SUCCESS;
-        if (!s->advance(/*blocking=*/false, &err)) return false;
-        if (err != MPI_SUCCESS) rq->error = err;
-        rq->completion_vtime = tls_rank()->vnow;
-        rq->complete.store(true, std::memory_order_release);
-        return true;
-    };
+    req->progress = schedule_progress(std::move(s));
     req->progress(req);
+    *request = req;
+    return MPI_SUCCESS;
+}
+
+int launch_persistent(MPI_Comm comm, std::shared_ptr<Schedule> s, MPI_Request* request) {
+    auto* req = new xmpi_request_t();
+    req->kind = xmpi_request_t::Kind::generalized;
+    req->owner = tls_rank();
+    req->comm = comm;
+    req->persistent = true;
+    req->active = false;
+    req->progress = schedule_progress(s);
+    req->start_fn = [s = std::move(s)](xmpi_request_t* rq) -> int {
+        s->reset();
+        rq->error = MPI_SUCCESS;
+        rq->complete.store(false, std::memory_order_release);
+        rq->progress(rq);  // one pass so trivial schedules complete at start
+        return MPI_SUCCESS;
+    };
     *request = req;
     return MPI_SUCCESS;
 }

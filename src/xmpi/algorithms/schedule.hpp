@@ -39,6 +39,18 @@ struct Step {
 /// alloc() (pointers stay stable) and append steps; pointers captured in
 /// steps are resolved at build time, so ping-pong accumulator schemes are
 /// expressed by tracking the current buffer while building.
+///
+/// Schedules are *re-armable*: reset() rewinds the program to step 0 and
+/// restores the scratch to its freshly allocated (zeroed) state, so the same
+/// instance can be executed again — the engine behind the persistent
+/// collectives (MPI_*_init + MPI_Start). Restart correctness relies on two
+/// invariants every builder upholds: (a) user input is only ever read by
+/// execution-time steps (send steps read the user buffer when they run;
+/// snapshots into scratch are emitted as `local` steps, never performed at
+/// build time), so each start observes the buffer contents current at that
+/// start; (b) message tags are deterministic per step, and the transport
+/// matches equal (source, tag) pairs FIFO, so messages of restart round k+1
+/// can never overtake round k's matching.
 class Schedule {
 public:
     Schedule(MPI_Comm comm, std::uint64_t seq) : comm_(comm), seq_(seq) {}
@@ -137,6 +149,16 @@ public:
     /// holds the first error encountered (steps after an error are skipped).
     bool advance(bool blocking, int* err);
 
+    /// Re-arms the schedule for another execution from step 0: frees any
+    /// still-posted receives, clears every request slot and forgets a
+    /// previous error. Scratch is left as-is — builders write every scratch
+    /// region (snapshot step or received message) before reading it, so the
+    /// replay cannot observe stale bytes. Input-snapshot `local` steps
+    /// re-run on the next advance(), re-reading the bound user buffers —
+    /// that is what makes MPI_Start pick up buffer contents written between
+    /// starts.
+    void reset();
+
     MPI_Comm comm() const { return comm_; }
 
 private:
@@ -199,5 +221,13 @@ int run_blocking(Schedule& s);
 /// request into immediate errored completion.
 int launch_nonblocking(MPI_Comm comm, std::shared_ptr<Schedule> s, int init_error,
                        MPI_Request* request);
+
+/// Wraps a built schedule into an *inactive* persistent request (the engine
+/// behind the MPI_*_init collectives): MPI_Start resets the schedule and
+/// kicks off one progress pass, MPI_Wait/MPI_Test completion returns the
+/// request to the inactive-but-allocated state, and MPI_Request_free
+/// releases it. Algorithm and topology selection happened when the schedule
+/// was built, i.e. they are frozen for the request's lifetime.
+int launch_persistent(MPI_Comm comm, std::shared_ptr<Schedule> s, MPI_Request* request);
 
 }  // namespace xmpi::detail::alg

@@ -883,6 +883,121 @@ int MPI_Iscan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, 
     return nb_launch(comm, std::move(st), err, request);
 }
 
+// ---------------------------------------------------------------------------
+// Persistent collectives (MPI-4 *_init + MPI_Start). Initialization freezes
+// everything the blocking call decides per invocation — algorithm selection
+// (cost model / XMPI_ALG_* / XMPI_T_alg_set), topology composition and the
+// collective sequence number — and materializes the schedule exactly once.
+// MPI_Start re-arms the schedule (Schedule::reset) and replays it: bound
+// user buffers are re-read by the execution-time steps, so each start
+// observes the buffer contents current at that start. Rounds of one
+// persistent request match each other FIFO per (source, tag); interleaved
+// one-shot collectives use fresh sequence numbers and cannot interfere.
+// ---------------------------------------------------------------------------
+
+int MPI_Barrier_init(MPI_Comm comm, int /*info*/, MPI_Request* request) {
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    std::uint64_t const seq = comm->coll_seq++;
+    auto s = std::make_shared<alg::Schedule>(comm, seq);
+    // Dissemination barrier as a schedule so it is re-armable like every
+    // other persistent collective.
+    std::byte* const dummy = s->alloc(1);
+    for (int k = 0, dist = 1; dist < p; ++k, dist <<= 1) {
+        int const dst = (r + dist) % p;
+        int const src = (r - dist % p + p) % p;
+        s->send(dst, k, dummy, 0, MPI_BYTE);
+        s->recv(src, k, dummy, 0, MPI_BYTE);
+    }
+    return alg::launch_persistent(comm, std::move(s), request);
+}
+
+int MPI_Bcast_init(void* buf, int count, MPI_Datatype type, int root, MPI_Comm comm, int /*info*/,
+                   MPI_Request* request) {
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    if (root < 0 || root >= comm->size()) return MPI_ERR_ROOT;
+    std::uint64_t const seq = comm->coll_seq++;
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
+    auto s = std::make_shared<alg::Schedule>(comm, seq);
+    int const idx = alg::select(alg::Family::bcast, comm, bytes, true);
+    if (int rc = alg::build_bcast(idx, *s, buf, count, type, root); rc != MPI_SUCCESS) return rc;
+    return alg::launch_persistent(comm, std::move(s), request);
+}
+
+int MPI_Reduce_init(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+                    int root, MPI_Comm comm, int /*info*/, MPI_Request* request) {
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    if (root < 0 || root >= comm->size()) return MPI_ERR_ROOT;
+    std::uint64_t const seq = comm->coll_seq++;
+    void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
+    auto s = std::make_shared<alg::Schedule>(comm, seq);
+    int const idx = alg::select(alg::Family::reduce, comm, bytes, op->commutative, op->builtin);
+    if (int rc = alg::build_reduce(idx, *s, input, recvbuf, count, type, op, root);
+        rc != MPI_SUCCESS)
+        return rc;
+    return alg::launch_persistent(comm, std::move(s), request);
+}
+
+int MPI_Allreduce_init(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+                       MPI_Comm comm, int /*info*/, MPI_Request* request) {
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    std::uint64_t const seq = comm->coll_seq++;
+    void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
+    auto s = std::make_shared<alg::Schedule>(comm, seq);
+    int const idx = alg::select(alg::Family::allreduce, comm, bytes, op->commutative, op->builtin);
+    if (int rc = alg::build_allreduce(idx, *s, input, recvbuf, count, type, op); rc != MPI_SUCCESS)
+        return rc;
+    return alg::launch_persistent(comm, std::move(s), request);
+}
+
+int MPI_Allgather_init(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                       int recvcount, MPI_Datatype recvtype, MPI_Comm comm, int /*info*/,
+                       MPI_Request* request) {
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    int const r = comm->rank();
+    std::uint64_t const seq = comm->coll_seq++;
+    std::size_t const bytes =
+        static_cast<std::size_t>(recvcount) * static_cast<std::size_t>(recvtype->size);
+    auto s = std::make_shared<alg::Schedule>(comm, seq);
+    // The blocking wrapper copies the caller's own block into place before
+    // running the algorithm; for a restartable schedule that copy must be an
+    // execution-time step so every start re-reads the send buffer.
+    if (sendbuf != MPI_IN_PLACE) {
+        s->local([sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, r]() {
+            local_copy(sendbuf, sendcount, sendtype,
+                       at_offset(recvbuf, static_cast<long long>(r) * recvcount, recvtype),
+                       recvtype);
+            return MPI_SUCCESS;
+        });
+    }
+    int const idx = alg::select(alg::Family::allgather, comm, bytes, true);
+    if (int rc = alg::build_allgather(idx, *s, recvbuf, recvcount, recvtype); rc != MPI_SUCCESS)
+        return rc;
+    return alg::launch_persistent(comm, std::move(s), request);
+}
+
+int MPI_Alltoall_init(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                      int recvcount, MPI_Datatype recvtype, MPI_Comm comm, int /*info*/,
+                      MPI_Request* request) {
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    std::uint64_t const seq = comm->coll_seq++;
+    std::size_t const bytes =
+        static_cast<std::size_t>(sendcount) * static_cast<std::size_t>(sendtype->size);
+    auto s = std::make_shared<alg::Schedule>(comm, seq);
+    int const idx = alg::select(alg::Family::alltoall, comm, bytes, true);
+    if (int rc = alg::build_alltoall(idx, *s, sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                                     recvtype);
+        rc != MPI_SUCCESS)
+        return rc;
+    return alg::launch_persistent(comm, std::move(s), request);
+}
+
 int MPI_Iexscan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
                 MPI_Comm comm, MPI_Request* request) {
     if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;

@@ -200,7 +200,29 @@ int MPI_Waitany(int count, MPI_Request* requests, int* index, MPI_Status* status
 int MPI_Testany(int count, MPI_Request* requests, int* index, int* flag, MPI_Status* status);
 int MPI_Waitsome(int incount, MPI_Request* requests, int* outcount, int* indices,
                  MPI_Status* statuses);
+/// Releases a request. Freeing MPI_REQUEST_NULL is erroneous and returns
+/// MPI_ERR_REQUEST (so a double free is well-defined: the first call nulls
+/// the handle, the second reports the error). Freeing a persistent receive
+/// whose current start has not matched yet cancels it; freeing a started
+/// persistent collective first drives it to completion.
 int MPI_Request_free(MPI_Request* request);
+
+// ---------------------------------------------------------------------------
+// Persistent communication. *_init calls create *inactive* persistent
+// requests with a frozen communication spec; MPI_Start (or MPI_Startall)
+// begins one occurrence of the operation, re-reading the bound user buffers.
+// Completing a started persistent request through MPI_Wait*/MPI_Test*
+// returns it to the inactive-but-allocated state (the handle stays valid and
+// is NOT reset to MPI_REQUEST_NULL) so it can be started again;
+// MPI_Request_free releases it. Waiting on or testing an inactive persistent
+// request succeeds immediately with an empty status.
+// ---------------------------------------------------------------------------
+int MPI_Start(MPI_Request* request);
+int MPI_Startall(int count, MPI_Request* requests);
+int MPI_Send_init(const void* buf, int count, MPI_Datatype type, int dest, int tag, MPI_Comm comm,
+                  MPI_Request* request);
+int MPI_Recv_init(void* buf, int count, MPI_Datatype type, int source, int tag, MPI_Comm comm,
+                  MPI_Request* request);
 
 // ---------------------------------------------------------------------------
 // Collectives
@@ -285,6 +307,32 @@ int MPI_Iscan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, 
 int MPI_Iexscan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
                 MPI_Comm comm, MPI_Request* request);
 
+// Persistent collectives (MPI-4 *_init). Each call materializes the
+// operation's full schedule ONCE — algorithm selection (cost model /
+// XMPI_ALG_* / XMPI_T_alg_set) and topology composition are frozen at init
+// time; later XMPI_T_alg_set / XMPI_T_alg_env_refresh calls do NOT affect a
+// live persistent operation — and returns an inactive persistent request.
+// Every MPI_Start replays the frozen step program: bound input buffers are
+// re-read (input snapshots are execution-time steps, re-run per start) and
+// scratch is re-armed, so starting with updated buffer contents yields the
+// updated result. All ranks of the communicator must create their persistent
+// collectives in the same order and start each one the same number of times
+// (the operations of one request match each other round by round, FIFO).
+// `info` is accepted for signature compatibility (pass MPI_INFO_NULL).
+int MPI_Barrier_init(MPI_Comm comm, int info, MPI_Request* request);
+int MPI_Bcast_init(void* buf, int count, MPI_Datatype type, int root, MPI_Comm comm, int info,
+                   MPI_Request* request);
+int MPI_Reduce_init(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+                    int root, MPI_Comm comm, int info, MPI_Request* request);
+int MPI_Allreduce_init(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
+                       MPI_Comm comm, int info, MPI_Request* request);
+int MPI_Allgather_init(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                       int recvcount, MPI_Datatype recvtype, MPI_Comm comm, int info,
+                       MPI_Request* request);
+int MPI_Alltoall_init(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                      int recvcount, MPI_Datatype recvtype, MPI_Comm comm, int info,
+                      MPI_Request* request);
+
 // ---------------------------------------------------------------------------
 // Collective algorithm control (MPI_T-style substrate extension).
 //
@@ -321,7 +369,9 @@ int XMPI_T_alg_list(const char* family, char* buf, int buflen);
 int XMPI_T_alg_selected(const char* family, const char** algorithm);
 /// Discards the cached XMPI_ALG_* environment resolutions so the variables
 /// are re-read (and an unknown name warns again) on the next selection.
-/// Mainly for harnesses that mutate the environment mid-process.
+/// Mainly for harnesses that mutate the environment mid-process. Affects
+/// only *future* selections: live persistent operations (MPI_*_init) froze
+/// their algorithm at init time and are not re-selected by a refresh.
 int XMPI_T_alg_env_refresh(void);
 
 // ---------------------------------------------------------------------------

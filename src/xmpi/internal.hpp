@@ -231,6 +231,18 @@ struct xmpi_request_t {
     MPI_Status status{MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_SUCCESS, 0};
     int error = MPI_SUCCESS;
 
+    // --- persistent requests (MPI_Send_init/MPI_Recv_init and the
+    // MPI_*_init collectives). A persistent request cycles between
+    // *inactive* (allocated, not running an operation) and *active*
+    // (started). MPI_Start flips inactive -> active through `start_fn`;
+    // wait/test completion flips active -> inactive *without* deallocating,
+    // so the request can be started again. Only MPI_Request_free releases
+    // it. Non-persistent requests are born active and are consumed by
+    // completion, exactly as before.
+    bool persistent = false;
+    bool active = true;
+    std::function<int(xmpi_request_t*)> start_fn;
+
     xmpi::detail::RankState* owner = nullptr;
 
     // --- receive matching spec (posted receives) ---

@@ -71,6 +71,56 @@ void fill_empty_status(MPI_Status* status) {
     if (status != nullptr) *status = MPI_Status{MPI_PROC_NULL, MPI_ANY_TAG, MPI_SUCCESS, 0};
 }
 
+/// Consumes a completed (or errored) request: a persistent request returns
+/// to the inactive-but-allocated state so it can be started again; a
+/// one-shot request is destroyed.
+void retire(xmpi_request_t* req) {
+    if (req->persistent) {
+        req->active = false;
+    } else {
+        delete req;
+    }
+}
+
+/// True when wait/test on `req` must return immediately because the
+/// persistent request has no operation in flight (MPI semantics: completion
+/// calls on inactive requests succeed with an empty status).
+bool inactive_persistent(xmpi_request_t const* req) {
+    return req->persistent && !req->active;
+}
+
+/// Arms a receive request whose matching spec is already filled in: matches
+/// the unexpected queue or links the request into the posted list. Shared
+/// between post_recv (fresh one-shot receives) and MPI_Start on a
+/// persistent receive (re-arming the same request object).
+void attach_recv(RankState* self, xmpi_request_t* req) {
+    charge_compute(self);
+    std::shared_ptr<SsendToken> tok;
+    {
+        std::lock_guard<std::mutex> lock(self->mbox.m);
+        auto& ux = self->mbox.unexpected;
+        bool matched = false;
+        for (auto it = ux.begin(); it != ux.end(); ++it) {
+            if (match(req->context, req->match_src, req->match_tag, *it)) {
+                tok = it->ssend;
+                if (tok) tok->match_vtime = std::max(self->vnow, it->arrival) + it->ack_alpha;
+                fill_recv(req, *it);
+                ux.erase(it);
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            req->posted = true;
+            self->mbox.posted.push_back(req);
+        }
+    }
+    if (tok) {
+        tok->matched.store(true, std::memory_order_release);
+        wake_rank(tok->sender);
+    }
+}
+
 }  // namespace
 
 int deposit(RankState* sender, MPI_Comm comm, int context, int dest_comm_rank, int tag,
@@ -148,38 +198,19 @@ int post_recv(RankState* self, MPI_Comm comm, int context, int src, int tag, voi
     req->count = count;
     req->type = type;
     req->comm = comm;
-
-    charge_compute(self);
-    std::shared_ptr<SsendToken> tok;
-    {
-        std::lock_guard<std::mutex> lock(self->mbox.m);
-        auto& ux = self->mbox.unexpected;
-        bool matched = false;
-        for (auto it = ux.begin(); it != ux.end(); ++it) {
-            if (match(context, src, tag, *it)) {
-                tok = it->ssend;
-                if (tok) tok->match_vtime = std::max(self->vnow, it->arrival) + it->ack_alpha;
-                fill_recv(req, *it);
-                ux.erase(it);
-                matched = true;
-                break;
-            }
-        }
-        if (!matched) {
-            req->posted = true;
-            self->mbox.posted.push_back(req);
-        }
-    }
-    if (tok) {
-        tok->matched.store(true, std::memory_order_release);
-        wake_rank(tok->sender);
-    }
+    attach_recv(self, req);
     *out = req;
     return MPI_SUCCESS;
 }
 
 int wait_one(xmpi_request_t* req, MPI_Status* status) {
     if (req == nullptr) {
+        fill_empty_status(status);
+        return MPI_SUCCESS;
+    }
+    if (inactive_persistent(req)) {
+        // Waiting on an inactive persistent request returns immediately
+        // with an empty status; the request stays allocated.
         fill_empty_status(status);
         return MPI_SUCCESS;
     }
@@ -192,7 +223,7 @@ int wait_one(xmpi_request_t* req, MPI_Status* status) {
             self->vnow = std::max(self->vnow, req->completion_vtime);
             fill_empty_status(status);
             int const err = req->error;
-            delete req;
+            retire(req);
             return err;
         }
         case xmpi_request_t::Kind::recv: {
@@ -209,13 +240,13 @@ int wait_one(xmpi_request_t* req, MPI_Status* status) {
                 }
             }
             if (err != MPI_SUCCESS) {
-                delete req;
+                retire(req);
                 return err;
             }
             self->vnow = std::max(self->vnow, req->completion_vtime);
             if (status != nullptr) *status = req->status;
             err = req->error;
-            delete req;
+            retire(req);
             return err;
         }
         case xmpi_request_t::Kind::ssend: {
@@ -236,7 +267,7 @@ int wait_one(xmpi_request_t* req, MPI_Status* status) {
             }
             if (err == MPI_SUCCESS) self->vnow = std::max(self->vnow, req->tok->match_vtime);
             fill_empty_status(status);
-            delete req;
+            retire(req);
             return err;
         }
         case xmpi_request_t::Kind::generalized: {
@@ -250,12 +281,12 @@ int wait_one(xmpi_request_t* req, MPI_Status* status) {
             self->vnow = std::max(self->vnow, req->completion_vtime);
             fill_empty_status(status);
             int const err = req->error;
-            delete req;
+            retire(req);
             return err;
         }
         case xmpi_request_t::Kind::null:
             fill_empty_status(status);
-            delete req;
+            retire(req);
             return MPI_SUCCESS;
     }
     return MPI_ERR_INTERN;
@@ -263,6 +294,11 @@ int wait_one(xmpi_request_t* req, MPI_Status* status) {
 
 int test_one(xmpi_request_t* req, int* flag, MPI_Status* status) {
     if (req == nullptr) {
+        *flag = 1;
+        fill_empty_status(status);
+        return MPI_SUCCESS;
+    }
+    if (inactive_persistent(req)) {
         *flag = 1;
         fill_empty_status(status);
         return MPI_SUCCESS;
@@ -286,14 +322,14 @@ int test_one(xmpi_request_t* req, int* flag, MPI_Status* status) {
         case xmpi_request_t::Kind::send: {
             consume_success(req->completion_vtime, nullptr);
             int const err = req->error;
-            delete req;
+            retire(req);
             return err;
         }
         case xmpi_request_t::Kind::recv: {
             if (req->complete.load(std::memory_order_acquire)) {
                 consume_success(req->completion_vtime, &req->status);
                 int const err = req->error;
-                delete req;
+                retire(req);
                 return err;
             }
             int err;
@@ -310,13 +346,13 @@ int test_one(xmpi_request_t* req, int* flag, MPI_Status* status) {
             if (req->complete.load(std::memory_order_acquire)) {
                 consume_success(req->completion_vtime, &req->status);
                 int const e = req->error;
-                delete req;
+                retire(req);
                 return e;
             }
             if (err != MPI_SUCCESS) {
                 *flag = 1;  // completed in error
                 if (status != nullptr) fill_empty_status(status);
-                delete req;
+                retire(req);
                 return err;
             }
             *flag = 0;
@@ -325,13 +361,13 @@ int test_one(xmpi_request_t* req, int* flag, MPI_Status* status) {
         case xmpi_request_t::Kind::ssend: {
             if (req->tok->matched.load(std::memory_order_acquire)) {
                 consume_success(req->tok->match_vtime, nullptr);
-                delete req;
+                retire(req);
                 return MPI_SUCCESS;
             }
             if (rank_dead(u, req->comm->world_of(req->match_src))) {
                 *flag = 1;
                 fill_empty_status(status);
-                delete req;
+                retire(req);
                 return MPIX_ERR_PROC_FAILED;
             }
             *flag = 0;
@@ -341,7 +377,7 @@ int test_one(xmpi_request_t* req, int* flag, MPI_Status* status) {
             if (req->complete.load(std::memory_order_acquire) || req->progress(req)) {
                 consume_success(req->completion_vtime, nullptr);
                 int const err = req->error;
-                delete req;
+                retire(req);
                 return err;
             }
             *flag = 0;
@@ -350,7 +386,7 @@ int test_one(xmpi_request_t* req, int* flag, MPI_Status* status) {
         case xmpi_request_t::Kind::null: {
             *flag = 1;
             fill_empty_status(status);
-            delete req;
+            retire(req);
             return MPI_SUCCESS;
         }
     }
@@ -548,10 +584,19 @@ int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag, MPI_Status* status
 // Request completion families
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Completion keeps persistent handles valid (they merely turn inactive);
+/// one-shot handles are consumed and reset to MPI_REQUEST_NULL.
+bool keeps_handle(MPI_Request req) { return req != MPI_REQUEST_NULL && req->persistent; }
+
+}  // namespace
+
 int MPI_Wait(MPI_Request* request, MPI_Status* status) {
     if (request == nullptr) return MPI_ERR_REQUEST;
+    bool const keep = keeps_handle(*request);
     int const rc = wait_one(*request, status);
-    *request = MPI_REQUEST_NULL;
+    if (!keep) *request = MPI_REQUEST_NULL;
     return rc;
 }
 
@@ -561,8 +606,9 @@ int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status) {
         *flag = 1;
         return MPI_SUCCESS;
     }
+    bool const keep = keeps_handle(*request);
     int const rc = test_one(*request, flag, status);
-    if (*flag != 0) *request = MPI_REQUEST_NULL;
+    if (*flag != 0 && !keep) *request = MPI_REQUEST_NULL;
     return rc;
 }
 
@@ -570,8 +616,9 @@ int MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses) {
     int first_error = MPI_SUCCESS;
     for (int i = 0; i < count; ++i) {
         MPI_Status* st = statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &statuses[i];
+        bool const keep = keeps_handle(requests[i]);
         int const rc = wait_one(requests[i], st);
-        requests[i] = MPI_REQUEST_NULL;
+        if (!keep) requests[i] = MPI_REQUEST_NULL;
         if (rc != MPI_SUCCESS && first_error == MPI_SUCCESS) first_error = rc;
     }
     return first_error;
@@ -590,9 +637,10 @@ int MPI_Testall(int count, MPI_Request* requests, int* flag, MPI_Status* statuse
         }
         int f = 0;
         MPI_Status* st = statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &statuses[i];
+        bool const keep = keeps_handle(requests[i]);
         int const rc = test_one(requests[i], &f, st);
         if (f != 0) {
-            requests[i] = MPI_REQUEST_NULL;
+            if (!keep) requests[i] = MPI_REQUEST_NULL;
             ++done;
         }
         if (rc != MPI_SUCCESS) return rc;
@@ -604,20 +652,25 @@ int MPI_Testall(int count, MPI_Request* requests, int* flag, MPI_Status* statuse
 int MPI_Waitany(int count, MPI_Request* requests, int* index, MPI_Status* status) {
     using namespace std::chrono_literals;
     if (index == nullptr) return MPI_ERR_ARG;
-    bool all_null = true;
-    for (int i = 0; i < count; ++i) all_null = all_null && requests[i] == MPI_REQUEST_NULL;
-    if (all_null) {
+    // Null and inactive persistent requests are ignored (MPI semantics);
+    // with nothing active there is nothing to wait for.
+    bool all_inert = true;
+    for (int i = 0; i < count; ++i)
+        all_inert = all_inert &&
+                    (requests[i] == MPI_REQUEST_NULL || inactive_persistent(requests[i]));
+    if (all_inert) {
         *index = MPI_UNDEFINED;
         return MPI_SUCCESS;
     }
     RankState* self = tls_rank();
     for (;;) {
         for (int i = 0; i < count; ++i) {
-            if (requests[i] == MPI_REQUEST_NULL) continue;
+            if (requests[i] == MPI_REQUEST_NULL || inactive_persistent(requests[i])) continue;
             int f = 0;
+            bool const keep = keeps_handle(requests[i]);
             int const rc = test_one(requests[i], &f, status);
             if (f != 0) {
-                requests[i] = MPI_REQUEST_NULL;
+                if (!keep) requests[i] = MPI_REQUEST_NULL;
                 *index = i;
                 return rc;
             }
@@ -631,17 +684,24 @@ int MPI_Testany(int count, MPI_Request* requests, int* index, int* flag, MPI_Sta
     if (index == nullptr || flag == nullptr) return MPI_ERR_ARG;
     *flag = 0;
     *index = MPI_UNDEFINED;
+    bool any_active = false;
     for (int i = 0; i < count; ++i) {
-        if (requests[i] == MPI_REQUEST_NULL) continue;
+        if (requests[i] == MPI_REQUEST_NULL || inactive_persistent(requests[i])) continue;
+        any_active = true;
         int f = 0;
+        bool const keep = keeps_handle(requests[i]);
         int const rc = test_one(requests[i], &f, status);
         if (f != 0) {
-            requests[i] = MPI_REQUEST_NULL;
+            if (!keep) requests[i] = MPI_REQUEST_NULL;
             *index = i;
             *flag = 1;
             return rc;
         }
     }
+    // Nothing active (all null or inactive persistent): MPI semantics are
+    // flag=true with index=MPI_UNDEFINED — otherwise a poll loop over a
+    // retired persistent request would spin forever.
+    if (!any_active) *flag = 1;
     return MPI_SUCCESS;
 }
 
@@ -660,14 +720,18 @@ int MPI_Waitsome(int incount, MPI_Request* requests, int* outcount, int* indices
     indices[n] = index;
     if (statuses != MPI_STATUSES_IGNORE) statuses[n] = st;
     ++n;
-    // Harvest everything else already complete.
+    // Harvest everything else already complete. Skip the request Waitany
+    // just completed: a persistent one keeps its (non-null) handle and
+    // would otherwise be reported twice.
     for (int i = 0; i < incount; ++i) {
-        if (requests[i] == MPI_REQUEST_NULL) continue;
+        if (i == index || requests[i] == MPI_REQUEST_NULL || inactive_persistent(requests[i]))
+            continue;
         int f = 0;
         MPI_Status* stp = statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &statuses[n];
+        bool const keep = keeps_handle(requests[i]);
         int const rc2 = test_one(requests[i], &f, stp);
         if (f != 0) {
-            requests[i] = MPI_REQUEST_NULL;
+            if (!keep) requests[i] = MPI_REQUEST_NULL;
             indices[n++] = i;
         }
         if (rc2 != MPI_SUCCESS && rc == MPI_SUCCESS) rc = rc2;
@@ -679,13 +743,126 @@ int MPI_Waitsome(int incount, MPI_Request* requests, int* outcount, int* indices
 int MPI_Request_free(MPI_Request* request) {
     if (request == nullptr) return MPI_ERR_REQUEST;
     xmpi_request_t* req = *request;
+    // Freeing MPI_REQUEST_NULL is erroneous per the standard — this is what
+    // makes a double free well-defined: the first free nulls the handle, the
+    // second reports MPI_ERR_REQUEST instead of touching freed memory.
+    if (req == nullptr) return MPI_ERR_REQUEST;
     *request = MPI_REQUEST_NULL;
-    if (req == nullptr) return MPI_SUCCESS;
     RankState* self = tls_rank();
     if (req->kind == xmpi_request_t::Kind::recv && req->posted) {
+        // Cancels the pending receive, persistent or not: unlink so no
+        // straggling sender can match it and write into freed storage.
         std::lock_guard<std::mutex> lock(self->mbox.m);
         unlink_posted(self, req);
+    } else if (req->kind == xmpi_request_t::Kind::generalized && req->persistent && req->active &&
+               !req->complete.load(std::memory_order_acquire)) {
+        // A started persistent collective cannot be abandoned mid-schedule
+        // (peers depend on our remaining sends); drive it to completion
+        // first. Every rank freeing its started request terminates like the
+        // blocking collective would.
+        using namespace std::chrono_literals;
+        while (!req->complete.load(std::memory_order_acquire)) {
+            if (req->progress(req)) break;
+            std::unique_lock<std::mutex> lock(self->mbox.m);
+            if (req->complete.load(std::memory_order_acquire)) break;
+            self->mbox.cv.wait_for(lock, 200us);
+        }
     }
     delete req;
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Persistent requests: MPI_Send_init / MPI_Recv_init create *inactive*
+// requests whose communication spec is frozen; MPI_Start (re)runs the
+// operation, completion through the wait/test families returns the request
+// to the inactive state, and MPI_Request_free releases it.
+// ---------------------------------------------------------------------------
+
+int MPI_Start(MPI_Request* request) {
+    if (request == nullptr || *request == MPI_REQUEST_NULL) return MPI_ERR_REQUEST;
+    xmpi_request_t* req = *request;
+    // Starting a non-persistent request, or one whose previous start has not
+    // completed yet, is a usage error.
+    if (!req->persistent || req->active) return MPI_ERR_REQUEST;
+    req->active = true;
+    return req->start_fn(req);
+}
+
+int MPI_Startall(int count, MPI_Request* requests) {
+    if (count > 0 && requests == nullptr) return MPI_ERR_REQUEST;
+    int first_error = MPI_SUCCESS;
+    for (int i = 0; i < count; ++i) {
+        int const rc = MPI_Start(&requests[i]);
+        if (rc != MPI_SUCCESS && first_error == MPI_SUCCESS) first_error = rc;
+    }
+    return first_error;
+}
+
+int MPI_Send_init(const void* buf, int count, MPI_Datatype type, int dest, int tag, MPI_Comm comm,
+                  MPI_Request* request) {
+    comm = resolve(comm);
+    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
+    if (request == nullptr) return MPI_ERR_REQUEST;
+    if (dest != MPI_PROC_NULL && (dest < 0 || dest >= comm->size())) return MPI_ERR_RANK;
+    auto* req = new xmpi_request_t();
+    req->kind = xmpi_request_t::Kind::send;
+    req->owner = tls_rank();
+    req->comm = comm;
+    req->persistent = true;
+    req->active = false;
+    req->start_fn = [buf, count, type, dest, tag, comm](xmpi_request_t* rq) -> int {
+        // The transport is fully eager: a started send completes at once
+        // (possibly in error). The user buffer is re-read on every start.
+        rq->error = dest == MPI_PROC_NULL
+                        ? MPI_SUCCESS
+                        : xmpi::detail::deposit(tls_rank(), comm, comm->context, dest, tag, buf,
+                                                count, type, nullptr, false);
+        rq->completion_vtime = tls_rank()->vnow;
+        rq->complete.store(true, std::memory_order_release);
+        return MPI_SUCCESS;
+    };
+    *request = req;
+    return MPI_SUCCESS;
+}
+
+int MPI_Recv_init(void* buf, int count, MPI_Datatype type, int source, int tag, MPI_Comm comm,
+                  MPI_Request* request) {
+    comm = resolve(comm);
+    if (int rc = check_comm(comm); rc != MPI_SUCCESS) return rc;
+    if (request == nullptr) return MPI_ERR_REQUEST;
+    if (source != MPI_ANY_SOURCE && source != MPI_PROC_NULL &&
+        (source < 0 || source >= comm->size()))
+        return MPI_ERR_RANK;
+    auto* req = new xmpi_request_t();
+    req->owner = tls_rank();
+    req->comm = comm;
+    req->persistent = true;
+    req->active = false;
+    if (source == MPI_PROC_NULL) {
+        req->kind = xmpi_request_t::Kind::null;
+        req->start_fn = [](xmpi_request_t* rq) -> int {
+            rq->status = MPI_Status{MPI_PROC_NULL, MPI_ANY_TAG, MPI_SUCCESS, 0};
+            rq->complete.store(true, std::memory_order_release);
+            return MPI_SUCCESS;
+        };
+        *request = req;
+        return MPI_SUCCESS;
+    }
+    req->kind = xmpi_request_t::Kind::recv;
+    req->context = comm->context;
+    req->match_src = source;
+    req->match_tag = tag;
+    req->buf = buf;
+    req->count = count;
+    req->type = type;
+    req->start_fn = [](xmpi_request_t* rq) -> int {
+        rq->error = MPI_SUCCESS;
+        rq->status = MPI_Status{MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_SUCCESS, 0};
+        rq->complete.store(false, std::memory_order_release);
+        attach_recv(rq->owner, rq);
+        return MPI_SUCCESS;
+    };
+    *request = req;
     return MPI_SUCCESS;
 }

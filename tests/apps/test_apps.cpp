@@ -214,6 +214,7 @@ INSTANTIATE_TEST_SUITE_P(
         std::pair<char const*, BfsPtr>{"kamping", &apps::bfs::kamping_impl::bfs},
         std::pair<char const*, BfsPtr>{"kamping_sparse", &apps::bfs::kamping_sparse::bfs},
         std::pair<char const*, BfsPtr>{"kamping_overlap", &apps::bfs::kamping_overlap::bfs},
+        std::pair<char const*, BfsPtr>{"kamping_persistent", &apps::bfs::kamping_persistent::bfs},
         std::pair<char const*, BfsPtr>{"kamping_grid", &apps::bfs::kamping_grid::bfs},
         std::pair<char const*, BfsPtr>{"mpi_neighbor", &bfs_neighbor_static},
         std::pair<char const*, BfsPtr>{"mpi_neighbor_rebuild", &bfs_neighbor_rebuild},

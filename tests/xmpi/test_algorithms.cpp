@@ -3,9 +3,12 @@
 /// communicator sizes (power-of-two and not), message lengths (including 0
 /// and lengths not divisible by p), datatypes and roots, every registered
 /// algorithm of every collective family must produce byte-identical results
-/// to the flat reference — blocking and i-variant (driven to completion via
-/// kamping::RequestPool::test_all()), commutative and non-commutative
-/// reductions included. Failures log the seed; replay with XMPI_TEST_SEED.
+/// to the flat reference — in three execution flavors: blocking, i-variant
+/// (driven to completion via kamping::RequestPool::test_all()), and
+/// *persistent* (MPI_*_init restarted kPersistRounds times through one
+/// request, with fresh input contents every round — catching stale-scratch
+/// and missing-re-snapshot bugs). Commutative and non-commutative reductions
+/// included. Failures log the seed; replay with XMPI_TEST_SEED.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -63,22 +66,69 @@ void drive(MPI_Request req) {
     }
 }
 
+/// Execution flavors every (family, algorithm, node-shape) case runs in.
+enum class Exec { block, nb, persist };
+Exec const kExecModes[] = {Exec::block, Exec::nb, Exec::persist};
+
+char const* mode_name(Exec m) {
+    return m == Exec::block ? "blocking" : m == Exec::nb ? "nonblocking" : "persistent";
+}
+
+/// Restart count of the persistent flavor: every round rewrites the bound
+/// input buffers (salt + round), so a schedule that fails to re-snapshot or
+/// re-arm scratch produces a previous round's bytes and diverges.
+int const kPersistRounds = 3;
+
 template <typename T>
 using PerRank = std::vector<std::vector<T>>;
+
+/// Reference for the persistent flavor: the per-round flat blocking results,
+/// concatenated per rank in round order (the persistent runners append each
+/// round's output the same way).
+template <typename T, typename OneRound>
+PerRank<T> persist_ref(OneRound&& one_round, unsigned salt) {
+    PerRank<T> out;
+    for (int k = 0; k < kPersistRounds; ++k) {
+        auto const round = one_round(salt + static_cast<unsigned>(k));
+        if (out.empty()) out.resize(round.size());
+        for (std::size_t i = 0; i < round.size(); ++i)
+            out[i].insert(out[i].end(), round[i].begin(), round[i].end());
+    }
+    return out;
+}
 
 // Each case runs one collective on a fresh universe and returns every
 // rank's result buffer. Inputs are deterministic in (salt, rank, index) so
 // repeated runs under different algorithms see identical operands.
 
 template <typename T>
-PerRank<T> bcast_case(int p, int count, MPI_Datatype dt, int root, bool nb, unsigned salt) {
+PerRank<T> bcast_case(int p, int count, MPI_Datatype dt, int root, Exec mode, unsigned salt) {
     PerRank<T> out(static_cast<std::size_t>(p));
     xmpi::run(p, [&](int r) {
         std::vector<T> buf(static_cast<std::size_t>(count));
-        if (r == root)
+        auto fill = [&](unsigned s) {
             for (int i = 0; i < count; ++i)
-                buf[static_cast<std::size_t>(i)] = static_cast<T>(salt + 3u * static_cast<unsigned>(i) + 1u);
-        if (nb) {
+                buf[static_cast<std::size_t>(i)] =
+                    r == root ? static_cast<T>(s + 3u * static_cast<unsigned>(i) + 1u)
+                              : static_cast<T>(0xEE);
+        };
+        if (mode == Exec::persist) {
+            MPI_Request req = MPI_REQUEST_NULL;
+            ASSERT_EQ(MPI_Bcast_init(buf.data(), count, dt, root, MPI_COMM_WORLD, MPI_INFO_NULL,
+                                     &req),
+                      MPI_SUCCESS);
+            for (int k = 0; k < kPersistRounds; ++k) {
+                fill(salt + static_cast<unsigned>(k));
+                ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+                ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+                out[static_cast<std::size_t>(r)].insert(out[static_cast<std::size_t>(r)].end(),
+                                                        buf.begin(), buf.end());
+            }
+            ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+            return;
+        }
+        fill(salt);
+        if (mode == Exec::nb) {
             MPI_Request req = MPI_REQUEST_NULL;
             ASSERT_EQ(MPI_Ibcast(buf.data(), count, dt, root, MPI_COMM_WORLD, &req), MPI_SUCCESS);
             drive(req);
@@ -91,15 +141,34 @@ PerRank<T> bcast_case(int p, int count, MPI_Datatype dt, int root, bool nb, unsi
 }
 
 template <typename T>
-PerRank<T> allgather_case(int p, int count, MPI_Datatype dt, bool nb, unsigned salt) {
+PerRank<T> allgather_case(int p, int count, MPI_Datatype dt, Exec mode, unsigned salt) {
     PerRank<T> out(static_cast<std::size_t>(p));
     xmpi::run(p, [&](int r) {
         std::vector<T> send(static_cast<std::size_t>(count));
-        for (int i = 0; i < count; ++i)
-            send[static_cast<std::size_t>(i)] =
-                static_cast<T>(salt + 100u * static_cast<unsigned>(r) + static_cast<unsigned>(i));
         std::vector<T> recv(static_cast<std::size_t>(count) * static_cast<std::size_t>(p));
-        if (nb) {
+        auto fill = [&](unsigned s) {
+            for (int i = 0; i < count; ++i)
+                send[static_cast<std::size_t>(i)] = static_cast<T>(
+                    s + 100u * static_cast<unsigned>(r) + static_cast<unsigned>(i));
+            std::fill(recv.begin(), recv.end(), static_cast<T>(0xEE));
+        };
+        if (mode == Exec::persist) {
+            MPI_Request req = MPI_REQUEST_NULL;
+            ASSERT_EQ(MPI_Allgather_init(send.data(), count, dt, recv.data(), count, dt,
+                                         MPI_COMM_WORLD, MPI_INFO_NULL, &req),
+                      MPI_SUCCESS);
+            for (int k = 0; k < kPersistRounds; ++k) {
+                fill(salt + static_cast<unsigned>(k));
+                ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+                ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+                out[static_cast<std::size_t>(r)].insert(out[static_cast<std::size_t>(r)].end(),
+                                                        recv.begin(), recv.end());
+            }
+            ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+            return;
+        }
+        fill(salt);
+        if (mode == Exec::nb) {
             MPI_Request req = MPI_REQUEST_NULL;
             ASSERT_EQ(MPI_Iallgather(send.data(), count, dt, recv.data(), count, dt,
                                      MPI_COMM_WORLD, &req),
@@ -116,15 +185,34 @@ PerRank<T> allgather_case(int p, int count, MPI_Datatype dt, bool nb, unsigned s
 }
 
 template <typename T>
-PerRank<T> alltoall_case(int p, int count, MPI_Datatype dt, bool nb, unsigned salt) {
+PerRank<T> alltoall_case(int p, int count, MPI_Datatype dt, Exec mode, unsigned salt) {
     PerRank<T> out(static_cast<std::size_t>(p));
     xmpi::run(p, [&](int r) {
         std::vector<T> send(static_cast<std::size_t>(count) * static_cast<std::size_t>(p));
-        for (std::size_t i = 0; i < send.size(); ++i)
-            send[i] = static_cast<T>(salt + 1000u * static_cast<unsigned>(r) +
-                                     static_cast<unsigned>(i));
         std::vector<T> recv(send.size());
-        if (nb) {
+        auto fill = [&](unsigned s) {
+            for (std::size_t i = 0; i < send.size(); ++i)
+                send[i] = static_cast<T>(s + 1000u * static_cast<unsigned>(r) +
+                                         static_cast<unsigned>(i));
+            std::fill(recv.begin(), recv.end(), static_cast<T>(0xEE));
+        };
+        if (mode == Exec::persist) {
+            MPI_Request req = MPI_REQUEST_NULL;
+            ASSERT_EQ(MPI_Alltoall_init(send.data(), count, dt, recv.data(), count, dt,
+                                        MPI_COMM_WORLD, MPI_INFO_NULL, &req),
+                      MPI_SUCCESS);
+            for (int k = 0; k < kPersistRounds; ++k) {
+                fill(salt + static_cast<unsigned>(k));
+                ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+                ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+                out[static_cast<std::size_t>(r)].insert(out[static_cast<std::size_t>(r)].end(),
+                                                        recv.begin(), recv.end());
+            }
+            ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+            return;
+        }
+        fill(salt);
+        if (mode == Exec::nb) {
             MPI_Request req = MPI_REQUEST_NULL;
             ASSERT_EQ(MPI_Ialltoall(send.data(), count, dt, recv.data(), count, dt,
                                     MPI_COMM_WORLD, &req),
@@ -161,7 +249,7 @@ void matmul_op(void* in, void* inout, int* len, MPI_Datatype*) {
 enum class Red { sum, bxor, matmul };
 
 template <typename T>
-PerRank<T> reduce_case(int p, int count, MPI_Datatype dt, Red red, int root, bool all, bool nb,
+PerRank<T> reduce_case(int p, int count, MPI_Datatype dt, Red red, int root, bool all, Exec mode,
                        unsigned salt) {
     PerRank<T> out(static_cast<std::size_t>(p));
     xmpi::run(p, [&](int r) {
@@ -173,23 +261,52 @@ PerRank<T> reduce_case(int p, int count, MPI_Datatype dt, Red red, int root, boo
             op = user_op;
         }
         std::vector<T> send(static_cast<std::size_t>(count));
-        for (int i = 0; i < count; ++i) {
-            if (red == Red::matmul) {
-                // Block i/4 is the matrix {{r+i+1, 1}, {0, 1}}-ish: keep
-                // entries small to avoid overflow while staying
-                // order-sensitive.
-                int const pos = i % 4;
-                send[static_cast<std::size_t>(i)] = static_cast<T>(
-                    pos == 0 ? (r % 3) + 1 : (pos == 3 ? 1 : (pos == 1 ? (r + i) % 2 : 0)));
-            } else {
-                send[static_cast<std::size_t>(i)] =
-                    static_cast<T>(salt + 17u * static_cast<unsigned>(r) +
-                                   static_cast<unsigned>(i));
-            }
-        }
         std::vector<T> recv(static_cast<std::size_t>(count), T{});
+        auto fill = [&](unsigned s) {
+            for (int i = 0; i < count; ++i) {
+                if (red == Red::matmul) {
+                    // Block i/4 is the matrix {{r+i+1, 1}, {0, 1}}-ish: keep
+                    // entries small to avoid overflow while staying
+                    // order-sensitive. Salt enters the off-diagonal bit so
+                    // persistent rounds see genuinely fresh operands.
+                    int const pos = i % 4;
+                    send[static_cast<std::size_t>(i)] = static_cast<T>(
+                        pos == 0 ? (r % 3) + 1
+                                 : (pos == 3
+                                        ? 1
+                                        : (pos == 1 ? (r + i + static_cast<int>(s % 7u)) % 2
+                                                    : 0)));
+                } else {
+                    send[static_cast<std::size_t>(i)] = static_cast<T>(
+                        s + 17u * static_cast<unsigned>(r) + static_cast<unsigned>(i));
+                }
+            }
+            std::fill(recv.begin(), recv.end(), static_cast<T>(0xEE));
+        };
+        if (mode == Exec::persist) {
+            MPI_Request req = MPI_REQUEST_NULL;
+            int const rc =
+                all ? MPI_Allreduce_init(send.data(), recv.data(), count, dt, op, MPI_COMM_WORLD,
+                                         MPI_INFO_NULL, &req)
+                    : MPI_Reduce_init(send.data(), recv.data(), count, dt, op, root,
+                                      MPI_COMM_WORLD, MPI_INFO_NULL, &req);
+            ASSERT_EQ(rc, MPI_SUCCESS);
+            for (int k = 0; k < kPersistRounds; ++k) {
+                fill(salt + static_cast<unsigned>(k));
+                ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+                ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+                if (all || r == root)
+                    out[static_cast<std::size_t>(r)].insert(out[static_cast<std::size_t>(r)].end(),
+                                                            recv.begin(), recv.end());
+            }
+            ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+            if (user_op != MPI_OP_NULL) MPI_Op_free(&user_op);
+            return;
+        }
+        fill(salt);
         int rc;
         MPI_Request req = MPI_REQUEST_NULL;
+        bool const nb = mode == Exec::nb;
         if (all) {
             rc = nb ? MPI_Iallreduce(send.data(), recv.data(), count, dt, op, MPI_COMM_WORLD, &req)
                     : MPI_Allreduce(send.data(), recv.data(), count, dt, op, MPI_COMM_WORLD);
@@ -246,14 +363,19 @@ TEST(Algorithms, BcastEquivalence) {
         bool const use_char = rng.uniform(0, 1) == 1;
         auto check = [&](auto tag, MPI_Datatype dt) {
             using T = decltype(tag);
-            auto const ref = with_alg("bcast", "flat",
-                                      [&] { return bcast_case<T>(p, count, dt, root, false, salt); });
+            auto flat_ref = [&](unsigned s) {
+                return with_alg("bcast", "flat",
+                                [&] { return bcast_case<T>(p, count, dt, root, Exec::block, s); });
+            };
+            auto const ref = flat_ref(salt);
+            auto const refp = persist_ref<T>(flat_ref, salt);
             for (auto const& alg : algs) {
-                for (bool nb : {false, true}) {
+                for (Exec mode : kExecModes) {
                     auto const got = with_alg(
-                        "bcast", alg, [&] { return bcast_case<T>(p, count, dt, root, nb, salt); });
-                    EXPECT_EQ(got, ref) << "alg=" << alg << " nb=" << nb << " p=" << p
-                                        << " count=" << count << " root=" << root;
+                        "bcast", alg, [&] { return bcast_case<T>(p, count, dt, root, mode, salt); });
+                    EXPECT_EQ(got, mode == Exec::persist ? refp : ref)
+                        << "alg=" << alg << " mode=" << mode_name(mode) << " p=" << p
+                        << " count=" << count << " root=" << root;
                 }
             }
         };
@@ -272,15 +394,20 @@ TEST(Algorithms, AllgatherEquivalence) {
         int const p = rng.pick(kSizes);
         int const count = rng.pick(kCounts);
         auto const salt = static_cast<unsigned>(rng.uniform(1, 1 << 20));
-        auto const ref =
-            with_alg("allgather", "flat", [&] { return allgather_case<int>(p, count, MPI_INT, false, salt); });
+        auto flat_ref = [&](unsigned s) {
+            return with_alg("allgather", "flat",
+                            [&] { return allgather_case<int>(p, count, MPI_INT, Exec::block, s); });
+        };
+        auto const ref = flat_ref(salt);
+        auto const refp = persist_ref<int>(flat_ref, salt);
         for (auto const& alg : algs) {
-            for (bool nb : {false, true}) {
+            for (Exec mode : kExecModes) {
                 auto const got = with_alg("allgather", alg, [&] {
-                    return allgather_case<int>(p, count, MPI_INT, nb, salt);
+                    return allgather_case<int>(p, count, MPI_INT, mode, salt);
                 });
-                EXPECT_EQ(got, ref)
-                    << "alg=" << alg << " nb=" << nb << " p=" << p << " count=" << count;
+                EXPECT_EQ(got, mode == Exec::persist ? refp : ref)
+                    << "alg=" << alg << " mode=" << mode_name(mode) << " p=" << p
+                    << " count=" << count;
             }
         }
     }
@@ -297,14 +424,19 @@ TEST(Algorithms, AlltoallEquivalence) {
         bool const use_char = rng.uniform(0, 1) == 1;
         auto check = [&](auto tag, MPI_Datatype dt) {
             using T = decltype(tag);
-            auto const ref = with_alg("alltoall", "flat",
-                                      [&] { return alltoall_case<T>(p, count, dt, false, salt); });
+            auto flat_ref = [&](unsigned s) {
+                return with_alg("alltoall", "flat",
+                                [&] { return alltoall_case<T>(p, count, dt, Exec::block, s); });
+            };
+            auto const ref = flat_ref(salt);
+            auto const refp = persist_ref<T>(flat_ref, salt);
             for (auto const& alg : algs) {
-                for (bool nb : {false, true}) {
+                for (Exec mode : kExecModes) {
                     auto const got = with_alg(
-                        "alltoall", alg, [&] { return alltoall_case<T>(p, count, dt, nb, salt); });
-                    EXPECT_EQ(got, ref)
-                        << "alg=" << alg << " nb=" << nb << " p=" << p << " count=" << count;
+                        "alltoall", alg, [&] { return alltoall_case<T>(p, count, dt, mode, salt); });
+                    EXPECT_EQ(got, mode == Exec::persist ? refp : ref)
+                        << "alg=" << alg << " mode=" << mode_name(mode) << " p=" << p
+                        << " count=" << count;
                 }
             }
         };
@@ -328,15 +460,20 @@ void reduction_equivalence(char const* family, bool all, SeededRng& rng) {
         auto const salt = static_cast<unsigned>(rng.uniform(1, 1 << 20));
         auto check = [&](auto tag, MPI_Datatype dt) {
             using T = decltype(tag);
-            auto const ref = with_alg(
-                family, "flat", [&] { return reduce_case<T>(p, count, dt, red, root, all, false, salt); });
+            auto flat_ref = [&](unsigned s) {
+                return with_alg(family, "flat", [&] {
+                    return reduce_case<T>(p, count, dt, red, root, all, Exec::block, s);
+                });
+            };
+            auto const ref = flat_ref(salt);
+            auto const refp = persist_ref<T>(flat_ref, salt);
             for (auto const& alg : algs) {
-                for (bool nb : {false, true}) {
+                for (Exec mode : kExecModes) {
                     auto const got = with_alg(family, alg, [&] {
-                        return reduce_case<T>(p, count, dt, red, root, all, nb, salt);
+                        return reduce_case<T>(p, count, dt, red, root, all, mode, salt);
                     });
-                    EXPECT_EQ(got, ref)
-                        << family << " alg=" << alg << " nb=" << nb << " p=" << p
+                    EXPECT_EQ(got, mode == Exec::persist ? refp : ref)
+                        << family << " alg=" << alg << " mode=" << mode_name(mode) << " p=" << p
                         << " count=" << count << " root=" << root
                         << " op=" << (red == Red::sum ? "sum" : red == Red::bxor ? "bxor" : "matmul");
                 }
@@ -370,15 +507,34 @@ TEST(Algorithms, AllreduceInPlaceEquivalentAcrossAlgorithms) {
         int const p = rng.pick(kSizes);
         int const count = rng.pick(kCounts);
         auto const salt = static_cast<unsigned>(rng.uniform(1, 1 << 20));
-        auto run_inplace = [&](std::string const& alg, bool nb) {
+        auto run_inplace = [&](std::string const& alg, Exec mode, unsigned s) {
             return with_alg("allreduce", alg, [&] {
                 PerRank<int> out(static_cast<std::size_t>(p));
                 xmpi::run(p, [&](int r) {
                     std::vector<int> buf(static_cast<std::size_t>(count));
-                    for (int i = 0; i < count; ++i)
-                        buf[static_cast<std::size_t>(i)] =
-                            static_cast<int>(salt + 17u * static_cast<unsigned>(r)) + i;
-                    if (nb) {
+                    auto fill = [&](unsigned sv) {
+                        for (int i = 0; i < count; ++i)
+                            buf[static_cast<std::size_t>(i)] =
+                                static_cast<int>(sv + 17u * static_cast<unsigned>(r)) + i;
+                    };
+                    if (mode == Exec::persist) {
+                        MPI_Request req = MPI_REQUEST_NULL;
+                        ASSERT_EQ(MPI_Allreduce_init(MPI_IN_PLACE, buf.data(), count, MPI_INT,
+                                                     MPI_SUM, MPI_COMM_WORLD, MPI_INFO_NULL,
+                                                     &req),
+                                  MPI_SUCCESS);
+                        for (int k = 0; k < kPersistRounds; ++k) {
+                            fill(s + static_cast<unsigned>(k));
+                            ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+                            ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+                            out[static_cast<std::size_t>(r)].insert(
+                                out[static_cast<std::size_t>(r)].end(), buf.begin(), buf.end());
+                        }
+                        ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+                        return;
+                    }
+                    fill(s);
+                    if (mode == Exec::nb) {
                         MPI_Request req = MPI_REQUEST_NULL;
                         ASSERT_EQ(MPI_Iallreduce(MPI_IN_PLACE, buf.data(), count, MPI_INT,
                                                  MPI_SUM, MPI_COMM_WORLD, &req),
@@ -394,11 +550,14 @@ TEST(Algorithms, AllreduceInPlaceEquivalentAcrossAlgorithms) {
                 return out;
             });
         };
-        auto const ref = run_inplace("flat", false);
+        auto const ref = run_inplace("flat", Exec::block, salt);
+        auto const refp = persist_ref<int>(
+            [&](unsigned s) { return run_inplace("flat", Exec::block, s); }, salt);
         for (auto const& alg : algs) {
-            for (bool nb : {false, true}) {
-                EXPECT_EQ(run_inplace(alg, nb), ref)
-                    << "alg=" << alg << " nb=" << nb << " p=" << p << " count=" << count;
+            for (Exec mode : kExecModes) {
+                EXPECT_EQ(run_inplace(alg, mode, salt), mode == Exec::persist ? refp : ref)
+                    << "alg=" << alg << " mode=" << mode_name(mode) << " p=" << p
+                    << " count=" << count;
             }
         }
     }
@@ -433,42 +592,60 @@ TEST(Algorithms, HierarchicalByteIdenticalAcrossNodeShapes) {
         int const count = rng.pick(kCounts);
         int const mcount = rng.pick(kMatmulCounts);
         int const root = rng.uniform(0, sh.p - 1);
-        for (bool nb : {false, true}) {
+        for (Exec mode : kExecModes) {
+            bool const persist = mode == Exec::persist;
             auto const tag = [&](char const* fam) {
                 return std::string(fam) + " p=" + std::to_string(sh.p) +
-                       " rpn=" + std::to_string(sh.rpn) + " nb=" + (nb ? "1" : "0") +
+                       " rpn=" + std::to_string(sh.rpn) + " mode=" + mode_name(mode) +
                        " count=" + std::to_string(count);
             };
+            auto flat_or_persist = [&](char const* fam, auto one_round) {
+                return persist ? persist_ref<int>(one_round, salt) : one_round(salt);
+                (void)fam;
+            };
             EXPECT_EQ(with_alg("bcast", "hierarchical",
-                               [&] { return bcast_case<int>(sh.p, count, MPI_INT, root, nb, salt); }),
-                      with_alg("bcast", "flat",
-                               [&] { return bcast_case<int>(sh.p, count, MPI_INT, root, false, salt); }))
+                               [&] { return bcast_case<int>(sh.p, count, MPI_INT, root, mode, salt); }),
+                      flat_or_persist("bcast", [&](unsigned s) {
+                          return with_alg("bcast", "flat", [&] {
+                              return bcast_case<int>(sh.p, count, MPI_INT, root, Exec::block, s);
+                          });
+                      }))
                 << tag("bcast");
             EXPECT_EQ(with_alg("allgather", "hierarchical",
-                               [&] { return allgather_case<int>(sh.p, count, MPI_INT, nb, salt); }),
-                      with_alg("allgather", "flat",
-                               [&] { return allgather_case<int>(sh.p, count, MPI_INT, false, salt); }))
+                               [&] { return allgather_case<int>(sh.p, count, MPI_INT, mode, salt); }),
+                      flat_or_persist("allgather", [&](unsigned s) {
+                          return with_alg("allgather", "flat", [&] {
+                              return allgather_case<int>(sh.p, count, MPI_INT, Exec::block, s);
+                          });
+                      }))
                 << tag("allgather");
             EXPECT_EQ(with_alg("alltoall", "hierarchical",
-                               [&] { return alltoall_case<int>(sh.p, count, MPI_INT, nb, salt); }),
-                      with_alg("alltoall", "flat",
-                               [&] { return alltoall_case<int>(sh.p, count, MPI_INT, false, salt); }))
+                               [&] { return alltoall_case<int>(sh.p, count, MPI_INT, mode, salt); }),
+                      flat_or_persist("alltoall", [&](unsigned s) {
+                          return with_alg("alltoall", "flat", [&] {
+                              return alltoall_case<int>(sh.p, count, MPI_INT, Exec::block, s);
+                          });
+                      }))
                 << tag("alltoall");
             // Builtin (element-wise 2D path) and non-commutative user op
             // (leader path; node-contiguous block mapping keeps it exact).
             for (Red red : {Red::sum, Red::matmul}) {
                 int const c = red == Red::matmul ? mcount : count;
-                auto run_red = [&](char const* fam, std::string const& alg, bool all, bool nbi) {
+                auto run_red = [&](char const* fam, std::string const& alg, bool all, Exec m,
+                                   unsigned s) {
                     return with_alg(fam, alg, [&] {
-                        return reduce_case<long long>(sh.p, c, MPI_INT64_T, red, root, all, nbi,
-                                                      salt);
+                        return reduce_case<long long>(sh.p, c, MPI_INT64_T, red, root, all, m, s);
                     });
                 };
-                EXPECT_EQ(run_red("reduce", "hierarchical", false, nb),
-                          run_red("reduce", "flat", false, false))
+                auto red_ref = [&](char const* fam, bool all) {
+                    auto one = [&](unsigned s) { return run_red(fam, "flat", all, Exec::block, s); };
+                    return persist ? persist_ref<long long>(one, salt) : one(salt);
+                };
+                EXPECT_EQ(run_red("reduce", "hierarchical", false, mode, salt),
+                          red_ref("reduce", false))
                     << tag("reduce") << " op=" << (red == Red::sum ? "sum" : "matmul");
-                EXPECT_EQ(run_red("allreduce", "hierarchical", true, nb),
-                          run_red("allreduce", "flat", true, false))
+                EXPECT_EQ(run_red("allreduce", "hierarchical", true, mode, salt),
+                          red_ref("allreduce", true))
                     << tag("allreduce") << " op=" << (red == Red::sum ? "sum" : "matmul");
             }
         }

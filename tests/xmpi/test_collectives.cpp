@@ -691,3 +691,224 @@ TEST_P(CollectiveP, IallreduceInPlace) {
         EXPECT_EQ(value, p * (p + 1) / 2);
     });
 }
+
+// ---------------------------------------------------------------------------
+// Persistent collectives (MPI_*_init + MPI_Start): restartable schedules
+// with selection frozen at init. Input buffers are re-read on every start.
+// ---------------------------------------------------------------------------
+
+TEST_P(CollectiveP, BarrierInitRestarts) {
+    int const p = GetParam();
+    xmpi::run(p, [](int) {
+        MPI_Request req = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Barrier_init(MPI_COMM_WORLD, MPI_INFO_NULL, &req), MPI_SUCCESS);
+        for (int round = 0; round < 4; ++round) {
+            ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+            ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+            ASSERT_NE(req, MPI_REQUEST_NULL);
+        }
+        ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+    });
+}
+
+TEST_P(CollectiveP, BcastInitRereadsRootBufferEachStart) {
+    int const p = GetParam();
+    xmpi::run(p, [](int rank) {
+        std::vector<int> buf(8, -1);
+        MPI_Request req = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Bcast_init(buf.data(), 8, MPI_INT, 0, MPI_COMM_WORLD, MPI_INFO_NULL, &req),
+                  MPI_SUCCESS);
+        for (int round = 0; round < 3; ++round) {
+            // Root rewrites the bound buffer per round; non-roots clobber it
+            // so stale contents cannot masquerade as a fresh broadcast.
+            std::fill(buf.begin(), buf.end(), rank == 0 ? round * 7 + 1 : -1);
+            ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+            ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+            for (int v : buf) EXPECT_EQ(v, round * 7 + 1) << "round " << round;
+        }
+        ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+    });
+}
+
+TEST_P(CollectiveP, AllreduceInitRestartsWithFreshInputs) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        std::vector<long long> send(5), recv(5, -1);
+        MPI_Request req = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Allreduce_init(send.data(), recv.data(), 5, MPI_INT64_T, MPI_SUM,
+                                     MPI_COMM_WORLD, MPI_INFO_NULL, &req),
+                  MPI_SUCCESS);
+        for (int round = 0; round < 3; ++round) {
+            for (int i = 0; i < 5; ++i)
+                send[static_cast<std::size_t>(i)] = (round + 1) * (rank + 1) + i;
+            std::fill(recv.begin(), recv.end(), -1);
+            ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+            ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+            for (int i = 0; i < 5; ++i) {
+                long long expect = 0;
+                for (int r = 0; r < p; ++r) expect += (round + 1) * (r + 1) + i;
+                EXPECT_EQ(recv[static_cast<std::size_t>(i)], expect)
+                    << "round " << round << " i " << i;
+            }
+        }
+        ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+    });
+}
+
+TEST_P(CollectiveP, AllreduceInitInPlace) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        int value = 0;
+        MPI_Request req = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Allreduce_init(MPI_IN_PLACE, &value, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD,
+                                     MPI_INFO_NULL, &req),
+                  MPI_SUCCESS);
+        for (int round = 1; round <= 3; ++round) {
+            value = round * (rank + 1);
+            ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+            ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+            EXPECT_EQ(value, round * p * (p + 1) / 2) << "round " << round;
+        }
+        ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+    });
+}
+
+TEST_P(CollectiveP, ReduceInitToNonzeroRoot) {
+    int const p = GetParam();
+    int const root = p - 1;
+    xmpi::run(p, [p, root](int rank) {
+        int v = 0, out = -1;
+        MPI_Request req = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Reduce_init(&v, &out, 1, MPI_INT, MPI_SUM, root, MPI_COMM_WORLD,
+                                  MPI_INFO_NULL, &req),
+                  MPI_SUCCESS);
+        for (int round = 1; round <= 3; ++round) {
+            v = round + rank;
+            out = -1;
+            ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+            ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+            if (rank == root) EXPECT_EQ(out, p * round + p * (p - 1) / 2) << "round " << round;
+        }
+        ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+    });
+}
+
+TEST_P(CollectiveP, AllgatherInitRereadsSendBuffer) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        std::vector<int> send(3), recv(static_cast<std::size_t>(3 * p), -1);
+        MPI_Request req = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Allgather_init(send.data(), 3, MPI_INT, recv.data(), 3, MPI_INT,
+                                     MPI_COMM_WORLD, MPI_INFO_NULL, &req),
+                  MPI_SUCCESS);
+        for (int round = 0; round < 3; ++round) {
+            for (int i = 0; i < 3; ++i) send[static_cast<std::size_t>(i)] = 100 * round + 10 * rank + i;
+            std::fill(recv.begin(), recv.end(), -1);
+            ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+            ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+            for (int r = 0; r < p; ++r)
+                for (int i = 0; i < 3; ++i)
+                    EXPECT_EQ(recv[static_cast<std::size_t>(3 * r + i)], 100 * round + 10 * r + i)
+                        << "round " << round;
+        }
+        ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+    });
+}
+
+TEST_P(CollectiveP, AlltoallInitRestarts) {
+    int const p = GetParam();
+    xmpi::run(p, [p](int rank) {
+        std::vector<int> send(static_cast<std::size_t>(p)), recv(static_cast<std::size_t>(p), -1);
+        MPI_Request req = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Alltoall_init(send.data(), 1, MPI_INT, recv.data(), 1, MPI_INT,
+                                    MPI_COMM_WORLD, MPI_INFO_NULL, &req),
+                  MPI_SUCCESS);
+        for (int round = 0; round < 3; ++round) {
+            for (int d = 0; d < p; ++d)
+                send[static_cast<std::size_t>(d)] = 1000 * round + 10 * rank + d;
+            std::fill(recv.begin(), recv.end(), -1);
+            ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+            ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+            for (int s = 0; s < p; ++s)
+                EXPECT_EQ(recv[static_cast<std::size_t>(s)], 1000 * round + 10 * s + rank)
+                    << "round " << round;
+        }
+        ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+    });
+}
+
+TEST(PersistentCollective, SelectionFrozenAtInit) {
+    // Pinning a different algorithm after init must not affect a live
+    // persistent operation: the schedule was materialized at init time.
+    XMPI_T_topo_set(1);
+    ASSERT_EQ(XMPI_T_alg_set("allreduce", "binomial"), MPI_SUCCESS);
+    xmpi::run(4, [](int rank) {
+        int v = 0, out = -1;
+        MPI_Request req = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Allreduce_init(&v, &out, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD, MPI_INFO_NULL,
+                                     &req),
+                  MPI_SUCCESS);
+        char const* selected = nullptr;
+        ASSERT_EQ(XMPI_T_alg_selected("allreduce", &selected), MPI_SUCCESS);
+        EXPECT_STREQ(selected, "binomial");
+        // Every rank must have frozen its schedule before the (global) pin
+        // changes, otherwise ranks would init mismatched algorithms.
+        MPI_Barrier(MPI_COMM_WORLD);
+        // Re-pin mid-life: the live request keeps its frozen binomial
+        // schedule and must stay correct across restarts.
+        if (rank == 0) XMPI_T_alg_set("allreduce", "flat");
+        MPI_Barrier(MPI_COMM_WORLD);
+        for (int round = 1; round <= 3; ++round) {
+            v = round * (rank + 1);
+            ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+            ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+            EXPECT_EQ(out, round * 10);  // 1+2+3+4 = 10
+        }
+        ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+    });
+    XMPI_T_alg_set("allreduce", "auto");
+    XMPI_T_topo_set(0);
+}
+
+TEST(PersistentCollective, TwoOutstandingPersistentOpsInterleave) {
+    // Two persistent collectives on the same communicator, started in the
+    // same order by every rank, must not cross-match (distinct frozen
+    // sequence numbers).
+    xmpi::run(3, [](int rank) {
+        int a = 0, asum = -1;
+        std::vector<int> bbuf(4, -1);
+        MPI_Request ra = MPI_REQUEST_NULL, rb = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Allreduce_init(&a, &asum, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD,
+                                     MPI_INFO_NULL, &ra),
+                  MPI_SUCCESS);
+        ASSERT_EQ(MPI_Bcast_init(bbuf.data(), 4, MPI_INT, 0, MPI_COMM_WORLD, MPI_INFO_NULL, &rb),
+                  MPI_SUCCESS);
+        for (int round = 0; round < 3; ++round) {
+            a = rank + round;
+            std::fill(bbuf.begin(), bbuf.end(), rank == 0 ? 5 * round : -1);
+            // Start both before completing either.
+            MPI_Request both[2] = {ra, rb};
+            ASSERT_EQ(MPI_Startall(2, both), MPI_SUCCESS);
+            ASSERT_EQ(MPI_Waitall(2, both, MPI_STATUSES_IGNORE), MPI_SUCCESS);
+            EXPECT_EQ(asum, 3 * round + 3);  // 0+1+2 + 3*round
+            for (int v : bbuf) EXPECT_EQ(v, 5 * round);
+        }
+        ASSERT_EQ(MPI_Request_free(&ra), MPI_SUCCESS);
+        ASSERT_EQ(MPI_Request_free(&rb), MPI_SUCCESS);
+    });
+}
+
+TEST(PersistentCollective, FreeWhileStartedDrivesToCompletion) {
+    xmpi::run(4, [](int rank) {
+        int v = rank, out = -1;
+        MPI_Request req = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Allreduce_init(&v, &out, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD, MPI_INFO_NULL,
+                                     &req),
+                  MPI_SUCCESS);
+        ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+        // Freeing a started persistent collective first drives it to
+        // completion on every rank (so peers cannot deadlock).
+        ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+        EXPECT_EQ(out, 6);
+    });
+}

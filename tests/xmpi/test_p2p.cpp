@@ -248,3 +248,220 @@ TEST(P2P, CountersTrackBytes) {
     });
     EXPECT_EQ(result.total.p2p_bytes, 1024u);
 }
+
+// ---------------------------------------------------------------------------
+// Persistent point-to-point (MPI_Send_init / MPI_Recv_init / MPI_Start).
+// ---------------------------------------------------------------------------
+
+TEST(Persistent, SendRecvRestartLoop) {
+    xmpi::run(2, [](int rank) {
+        int const rounds = 5;
+        if (rank == 0) {
+            int v = -1;
+            MPI_Request req = MPI_REQUEST_NULL;
+            ASSERT_EQ(MPI_Send_init(&v, 1, MPI_INT, 1, 3, MPI_COMM_WORLD, &req), MPI_SUCCESS);
+            for (int i = 0; i < rounds; ++i) {
+                v = 10 * i;  // the bound buffer is re-read on every start
+                ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+                ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+                EXPECT_NE(req, MPI_REQUEST_NULL);  // persistent handles survive completion
+            }
+            ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+            EXPECT_EQ(req, MPI_REQUEST_NULL);
+        } else {
+            int v = -1;
+            MPI_Request req = MPI_REQUEST_NULL;
+            ASSERT_EQ(MPI_Recv_init(&v, 1, MPI_INT, 0, 3, MPI_COMM_WORLD, &req), MPI_SUCCESS);
+            for (int i = 0; i < rounds; ++i) {
+                v = -1;
+                ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+                MPI_Status st;
+                ASSERT_EQ(MPI_Wait(&req, &st), MPI_SUCCESS);
+                EXPECT_EQ(v, 10 * i);
+                EXPECT_EQ(st.MPI_SOURCE, 0);
+                EXPECT_EQ(st.MPI_TAG, 3);
+            }
+            ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+        }
+    });
+}
+
+TEST(Persistent, StartallAndTestDrivenCompletion) {
+    xmpi::run(2, [](int rank) {
+        if (rank == 0) {
+            int a = 1, b = 2;
+            MPI_Request reqs[2];
+            ASSERT_EQ(MPI_Send_init(&a, 1, MPI_INT, 1, 0, MPI_COMM_WORLD, &reqs[0]), MPI_SUCCESS);
+            ASSERT_EQ(MPI_Send_init(&b, 1, MPI_INT, 1, 1, MPI_COMM_WORLD, &reqs[1]), MPI_SUCCESS);
+            for (int round = 0; round < 3; ++round) {
+                a = round;
+                b = round + 100;
+                ASSERT_EQ(MPI_Startall(2, reqs), MPI_SUCCESS);
+                ASSERT_EQ(MPI_Waitall(2, reqs, MPI_STATUSES_IGNORE), MPI_SUCCESS);
+                ASSERT_NE(reqs[0], MPI_REQUEST_NULL);
+                ASSERT_NE(reqs[1], MPI_REQUEST_NULL);
+            }
+            ASSERT_EQ(MPI_Request_free(&reqs[0]), MPI_SUCCESS);
+            ASSERT_EQ(MPI_Request_free(&reqs[1]), MPI_SUCCESS);
+        } else {
+            int a = -1, b = -1;
+            MPI_Request reqs[2];
+            ASSERT_EQ(MPI_Recv_init(&a, 1, MPI_INT, 0, 0, MPI_COMM_WORLD, &reqs[0]), MPI_SUCCESS);
+            ASSERT_EQ(MPI_Recv_init(&b, 1, MPI_INT, 0, 1, MPI_COMM_WORLD, &reqs[1]), MPI_SUCCESS);
+            for (int round = 0; round < 3; ++round) {
+                ASSERT_EQ(MPI_Startall(2, reqs), MPI_SUCCESS);
+                // Drive completion purely through MPI_Test.
+                for (bool done0 = false, done1 = false; !done0 || !done1;) {
+                    int f = 0;
+                    if (!done0) {
+                        ASSERT_EQ(MPI_Test(&reqs[0], &f, MPI_STATUS_IGNORE), MPI_SUCCESS);
+                        done0 = f != 0;
+                    }
+                    f = 0;
+                    if (!done1) {
+                        ASSERT_EQ(MPI_Test(&reqs[1], &f, MPI_STATUS_IGNORE), MPI_SUCCESS);
+                        done1 = f != 0;
+                    }
+                }
+                EXPECT_EQ(a, round);
+                EXPECT_EQ(b, round + 100);
+            }
+            ASSERT_EQ(MPI_Request_free(&reqs[0]), MPI_SUCCESS);
+            ASSERT_EQ(MPI_Request_free(&reqs[1]), MPI_SUCCESS);
+        }
+    });
+}
+
+TEST(Persistent, InactiveSemanticsAndErrors) {
+    xmpi::run(1, [](int) {
+        int v = 0;
+        MPI_Request req = MPI_REQUEST_NULL;
+        // Wait/Test on an inactive persistent request return immediately
+        // with an empty status; the handle stays valid.
+        ASSERT_EQ(MPI_Send_init(&v, 1, MPI_INT, MPI_PROC_NULL, 0, MPI_COMM_WORLD, &req),
+                  MPI_SUCCESS);
+        MPI_Status st;
+        ASSERT_EQ(MPI_Wait(&req, &st), MPI_SUCCESS);
+        EXPECT_NE(req, MPI_REQUEST_NULL);
+        EXPECT_EQ(st.MPI_SOURCE, MPI_PROC_NULL);
+        int flag = 0;
+        ASSERT_EQ(MPI_Test(&req, &flag, &st), MPI_SUCCESS);
+        EXPECT_EQ(flag, 1);
+        EXPECT_NE(req, MPI_REQUEST_NULL);
+        // Starting a started-but-uncompleted request is rejected; here:
+        // start a PROC_NULL send (completes instantly), complete, restart.
+        ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+        EXPECT_EQ(MPI_Start(&req), MPI_ERR_REQUEST);  // still active
+        ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);  // restart after completion
+        ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        // Free while inactive releases the request.
+        ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+        EXPECT_EQ(req, MPI_REQUEST_NULL);
+        // Starting a non-persistent or null request is an error.
+        EXPECT_EQ(MPI_Start(&req), MPI_ERR_REQUEST);
+        MPI_Request oneshot = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Isend(&v, 1, MPI_INT, MPI_PROC_NULL, 0, MPI_COMM_WORLD, &oneshot),
+                  MPI_SUCCESS);
+        EXPECT_EQ(MPI_Start(&oneshot), MPI_ERR_REQUEST);
+        ASSERT_EQ(MPI_Wait(&oneshot, MPI_STATUS_IGNORE), MPI_SUCCESS);
+    });
+}
+
+TEST(Persistent, FreeWhileActiveCancelsRecvAndPreservesMatching) {
+    xmpi::run(2, [](int rank) {
+        if (rank == 0) {
+            int v = -1;
+            MPI_Request req = MPI_REQUEST_NULL;
+            ASSERT_EQ(MPI_Recv_init(&v, 1, MPI_INT, 1, 99, MPI_COMM_WORLD, &req), MPI_SUCCESS);
+            ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+            // Free while the started receive is still unmatched: cancels it.
+            ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+            EXPECT_EQ(req, MPI_REQUEST_NULL);
+            // The canceled receive must not consume the later tag-1 message.
+            MPI_Recv(&v, 1, MPI_INT, 1, 1, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+            EXPECT_EQ(v, 7);
+        } else {
+            int const v = 7;
+            MPI_Send(&v, 1, MPI_INT, 0, 1, MPI_COMM_WORLD);
+        }
+    });
+}
+
+TEST(Persistent, TestanyOverInactivePersistentRequestsReportsDone) {
+    // A poll loop over a set whose every member is null or a retired
+    // (inactive) persistent request must terminate: MPI semantics are
+    // flag=1 with index=MPI_UNDEFINED, not an eternal flag=0.
+    xmpi::run(1, [](int) {
+        int v = 0;
+        MPI_Request reqs[2] = {MPI_REQUEST_NULL, MPI_REQUEST_NULL};
+        ASSERT_EQ(MPI_Send_init(&v, 1, MPI_INT, MPI_PROC_NULL, 0, MPI_COMM_WORLD, &reqs[0]),
+                  MPI_SUCCESS);
+        ASSERT_EQ(MPI_Start(&reqs[0]), MPI_SUCCESS);
+        int flag = 0, index = -1;
+        ASSERT_EQ(MPI_Testany(2, reqs, &index, &flag, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        EXPECT_EQ(flag, 1);
+        EXPECT_EQ(index, 0);  // completes and retires the persistent request
+        // The retired request is inactive: a second poll reports done with
+        // MPI_UNDEFINED instead of spinning.
+        flag = 0;
+        index = -1;
+        ASSERT_EQ(MPI_Testany(2, reqs, &index, &flag, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        EXPECT_EQ(flag, 1);
+        EXPECT_EQ(index, MPI_UNDEFINED);
+        ASSERT_EQ(MPI_Request_free(&reqs[0]), MPI_SUCCESS);
+    });
+}
+
+TEST(Persistent, RecvInitFromProcNull) {
+    xmpi::run(1, [](int) {
+        int v = 42;
+        MPI_Request req = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Recv_init(&v, 1, MPI_INT, MPI_PROC_NULL, 0, MPI_COMM_WORLD, &req),
+                  MPI_SUCCESS);
+        for (int round = 0; round < 2; ++round) {
+            ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+            MPI_Status st;
+            ASSERT_EQ(MPI_Wait(&req, &st), MPI_SUCCESS);
+            EXPECT_EQ(st.MPI_SOURCE, MPI_PROC_NULL);
+            EXPECT_EQ(v, 42);  // untouched
+        }
+        ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Request-lifecycle hardening: completion calls on MPI_REQUEST_NULL and
+// double frees have well-defined results.
+// ---------------------------------------------------------------------------
+
+TEST(RequestLifecycle, WaitAndTestOnNullRequest) {
+    xmpi::run(1, [](int) {
+        MPI_Request req = MPI_REQUEST_NULL;
+        MPI_Status st;
+        st.MPI_SOURCE = -42;
+        ASSERT_EQ(MPI_Wait(&req, &st), MPI_SUCCESS);
+        EXPECT_EQ(st.MPI_SOURCE, MPI_PROC_NULL);  // empty status
+        EXPECT_EQ(req, MPI_REQUEST_NULL);
+        int flag = 0;
+        ASSERT_EQ(MPI_Test(&req, &flag, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        EXPECT_EQ(flag, 1);
+        // Null request *pointers* are rejected.
+        EXPECT_EQ(MPI_Wait(nullptr, MPI_STATUS_IGNORE), MPI_ERR_REQUEST);
+        EXPECT_EQ(MPI_Test(nullptr, &flag, MPI_STATUS_IGNORE), MPI_ERR_REQUEST);
+    });
+}
+
+TEST(RequestLifecycle, DoubleFreeIsWellDefined) {
+    xmpi::run(1, [](int) {
+        int v = 0;
+        MPI_Request req = MPI_REQUEST_NULL;
+        ASSERT_EQ(MPI_Isend(&v, 1, MPI_INT, MPI_PROC_NULL, 0, MPI_COMM_WORLD, &req), MPI_SUCCESS);
+        ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+        EXPECT_EQ(req, MPI_REQUEST_NULL);
+        // The second free sees MPI_REQUEST_NULL: erroneous per the standard,
+        // reported as MPI_ERR_REQUEST instead of touching freed memory.
+        EXPECT_EQ(MPI_Request_free(&req), MPI_ERR_REQUEST);
+        EXPECT_EQ(MPI_Request_free(nullptr), MPI_ERR_REQUEST);
+    });
+}
