@@ -312,6 +312,122 @@ void BM_allreduce_persistent(benchmark::State& state) {
 BENCHMARK(BM_allreduce_persistent)->Arg(1)->Arg(64)->Arg(4096)->UseManualTime()->MinTime(0.05);
 
 // ---------------------------------------------------------------------------
+// Schedule cache (BENCH_pipeline.json): the same blocking small-message
+// allreduce loop with the per-communicator schedule cache pinned off
+// (every call selects + builds the step program + allocates arena scratch)
+// and on (repeat calls re-arm the cached schedule; only selection and the
+// cache probe remain per call). Both run the identical communication
+// schedule, so the wall-time difference is the amortized compilation cost —
+// the transparent counterpart of BM_allreduce_persistent's win, available
+// to plain MPI_Allreduce calls with stable buffers.
+// ---------------------------------------------------------------------------
+
+void allreduce_blocking_cache_bench(benchmark::State& state, int cache_enabled) {
+    auto const n = static_cast<std::size_t>(state.range(0));
+    XMPI_T_sched_cache_set(cache_enabled);
+    for (auto _ : state) {
+        double elapsed = 0;
+        xmpi::run(kRanks, [&](int rank) {
+            std::vector<std::uint64_t> send(n, 1), recv(n);
+            MPI_Allreduce(send.data(), recv.data(), static_cast<int>(n), MPI_UINT64_T, MPI_SUM,
+                          MPI_COMM_WORLD);  // warmup (populates the cache)
+            auto const t0 = std::chrono::steady_clock::now();
+            for (int i = 0; i < kInner; ++i) {
+                MPI_Allreduce(send.data(), recv.data(), static_cast<int>(n), MPI_UINT64_T,
+                              MPI_SUM, MPI_COMM_WORLD);
+                benchmark::DoNotOptimize(recv.data());
+            }
+            auto const t1 = std::chrono::steady_clock::now();
+            if (rank == 0) elapsed = std::chrono::duration<double>(t1 - t0).count() / kInner;
+        });
+        state.SetIterationTime(elapsed);
+    }
+    XMPI_T_sched_cache_set(-1);
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) *
+                            static_cast<std::int64_t>(sizeof(std::uint64_t)));
+}
+
+void BM_allreduce_blocking_uncached(benchmark::State& state) {
+    allreduce_blocking_cache_bench(state, 0);
+}
+void BM_allreduce_blocking_cached(benchmark::State& state) {
+    allreduce_blocking_cache_bench(state, 1);
+}
+BENCHMARK(BM_allreduce_blocking_uncached)->Arg(1)->Arg(64)->Arg(4096)->UseManualTime()->MinTime(0.05);
+BENCHMARK(BM_allreduce_blocking_cached)->Arg(1)->Arg(64)->Arg(4096)->UseManualTime()->MinTime(0.05);
+
+// ---------------------------------------------------------------------------
+// Pipelined hierarchical allgather/alltoall (BENCH_pipeline.json): virtual
+// makespan of one collective on a modeled 2 nodes x 4 ranks machine with
+// the hierarchical composition pinned, once with the pipeline disabled (a
+// segment pin of 1 GiB >= any message degenerates to the PR-3 unpipelined
+// composition) and once with automatic cost-model segmentation. The win is
+// the intra-node share-back/gather hidden behind the leader exchange.
+// ---------------------------------------------------------------------------
+
+constexpr int kPipeRanks = 8;
+constexpr int kPipeRanksPerNode = 4;
+
+template <typename Op>
+void drive_vtime_pipelined(benchmark::State& state, char const* family, long long seg_bytes,
+                           Op&& op) {
+    if (XMPI_T_alg_set(family, "hierarchical") != MPI_SUCCESS) {
+        state.SkipWithError("unknown algorithm");
+        return;
+    }
+    XMPI_T_topo_set(kPipeRanksPerNode);
+    XMPI_T_segment_set(seg_bytes);
+    xmpi::Config cfg;
+    cfg.compute_scale = 0.0;
+    for (auto _ : state) {
+        auto result = xmpi::run(
+            kPipeRanks, [&](int rank) { op(rank, 0); }, cfg);
+        state.SetIterationTime(result.max_vtime);
+    }
+    XMPI_T_segment_set(0);
+    XMPI_T_topo_set(0);
+    XMPI_T_alg_set(family, "auto");
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) *
+                            static_cast<std::int64_t>(sizeof(std::uint64_t)));
+}
+
+void allgather_pipe_bench(benchmark::State& state, long long seg_bytes) {
+    auto const n = static_cast<std::size_t>(state.range(0));
+    drive_vtime_pipelined(state, "allgather", seg_bytes, [n](int rank, int) {
+        std::vector<std::uint64_t> send(n, static_cast<std::uint64_t>(rank));
+        std::vector<std::uint64_t> recv(n * kPipeRanks);
+        MPI_Allgather(send.data(), static_cast<int>(n), MPI_UINT64_T, recv.data(),
+                      static_cast<int>(n), MPI_UINT64_T, MPI_COMM_WORLD);
+        benchmark::DoNotOptimize(recv.data());
+    });
+}
+
+void BM_allgather_hier_unpipelined(benchmark::State& state) {
+    allgather_pipe_bench(state, 1LL << 30);
+}
+void BM_allgather_hier_pipelined(benchmark::State& state) { allgather_pipe_bench(state, 0); }
+BENCHMARK(BM_allgather_hier_unpipelined)->Arg(4096)->Arg(262144)->UseManualTime()->Iterations(3);
+BENCHMARK(BM_allgather_hier_pipelined)->Arg(4096)->Arg(262144)->UseManualTime()->Iterations(3);
+
+void alltoall_pipe_bench(benchmark::State& state, long long seg_bytes) {
+    auto const n = static_cast<std::size_t>(state.range(0));
+    drive_vtime_pipelined(state, "alltoall", seg_bytes, [n](int rank, int) {
+        std::vector<std::uint64_t> send(n * kPipeRanks, static_cast<std::uint64_t>(rank));
+        std::vector<std::uint64_t> recv(n * kPipeRanks);
+        MPI_Alltoall(send.data(), static_cast<int>(n), MPI_UINT64_T, recv.data(),
+                     static_cast<int>(n), MPI_UINT64_T, MPI_COMM_WORLD);
+        benchmark::DoNotOptimize(recv.data());
+    });
+}
+
+void BM_alltoall_hier_unpipelined(benchmark::State& state) {
+    alltoall_pipe_bench(state, 1LL << 30);
+}
+void BM_alltoall_hier_pipelined(benchmark::State& state) { alltoall_pipe_bench(state, 0); }
+BENCHMARK(BM_alltoall_hier_unpipelined)->Arg(8192)->Arg(262144)->UseManualTime()->Iterations(3);
+BENCHMARK(BM_alltoall_hier_pipelined)->Arg(8192)->Arg(262144)->UseManualTime()->Iterations(3);
+
+// ---------------------------------------------------------------------------
 // Collective algorithm comparison: the same operation under each pinned
 // algorithm (XMPI_T_alg_set), reported as *virtual* makespan per operation
 // under the default OmniPath-class cost model — the metric the algorithm

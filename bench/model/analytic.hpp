@@ -7,6 +7,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 namespace bench::model {
@@ -84,11 +85,50 @@ inline double neighbor_alltoallv(Machine const& m, double k, double bytes) {
 
 inline double ceil_log2(double p) { return std::ceil(log2d(p < 2 ? 2 : p)); }
 
+/// Hard cap on pipeline segments: step tags budget 10 bits per collective
+/// sequence number and the hierarchical tag bases are 256 apart, so per-
+/// segment tag offsets must stay below 64.
+inline constexpr double kMaxPipelineSegments = 64;
+
+/// Segment-size override shared between the substrate and this model:
+/// 0 = automatic (the per-shape formulas below), > 0 = forced segment bytes.
+/// The xmpi runtime writes the resolved XMPI_SEGMENT_BYTES / XMPI_T_segment
+/// value here so schedule builders and these cost formulas always agree on
+/// the segmentation (selection crossovers would otherwise drift from the
+/// schedules actually built).
+inline std::atomic<double>& forced_segment_bytes() {
+    static std::atomic<double> v{0.0};
+    return v;
+}
+
+inline double clamp_segments(double s, double bytes) {
+    if (!(s > 1)) return 1;
+    if (s > kMaxPipelineSegments) s = kMaxPipelineSegments;
+    if (s > bytes && bytes >= 1) s = std::ceil(bytes);  // at least one byte per segment
+    return s < 1 ? 1 : s;
+}
+
 /// Segments the pipelined ring bcast splits `bytes` into (64 KiB target,
-/// capped; mirrored by xmpi::detail::alg::ring_segments).
+/// capped; mirrored by xmpi::detail::alg::ring_segments). An explicit
+/// forced_segment_bytes() overrides the target.
 inline double ring_pipeline_segments(double bytes) {
-    double const s = std::ceil(bytes / (64.0 * 1024.0));
-    return s < 1 ? 1 : (s > 64 ? 64 : s);
+    double const forced = forced_segment_bytes().load(std::memory_order_relaxed);
+    double const target = forced > 0 ? forced : 64.0 * 1024.0;
+    return clamp_segments(std::ceil(bytes / target), bytes);
+}
+
+/// Optimal segment count for a phase pipeline: segmenting turns a
+/// non-overlapped cost `overlapped_cost` (the fill/drain work that can hide
+/// behind the steady-state phase once segmented) into overlapped_cost/nseg,
+/// at a price of `alpha_per_seg` extra latency per segment. Minimizing
+/// overlapped_cost/nseg + nseg*alpha_per_seg gives nseg* =
+/// sqrt(overlapped_cost / alpha_per_seg). forced_segment_bytes() overrides
+/// (nseg = bytes / forced), and the result is clamped to the tag budget.
+inline double pipeline_segments(double bytes, double overlapped_cost, double alpha_per_seg) {
+    double const forced = forced_segment_bytes().load(std::memory_order_relaxed);
+    if (forced > 0) return clamp_segments(std::ceil(bytes / forced), bytes);
+    if (!(overlapped_cost > 0) || !(alpha_per_seg > 0)) return 1;
+    return clamp_segments(std::round(std::sqrt(overlapped_cost / alpha_per_seg)), bytes);
 }
 
 inline double bcast_flat(Machine const& m, double p, double bytes) {
@@ -247,14 +287,51 @@ inline double allreduce_hier(TwoTier const& t, NodeShape const& s, double /*p*/,
            ceil_log2(m) * (t.intra.alpha + t.intra.o + t.intra.beta * bytes);
 }
 
-/// Hierarchical allgather (`bytes` = one rank's block): intra-node gather to
-/// the leader, a leader ring forwarding whole node bundles, and an
-/// intra-node binomial bcast of the assembled result.
-inline double allgather_hier(TwoTier const& t, NodeShape const& s, double p, double bytes) {
+/// Hierarchical allgather, unpipelined (`bytes` = one rank's block):
+/// intra-node gather to the leader, a leader ring forwarding whole node
+/// bundles, and an intra-node binomial bcast of the assembled result — each
+/// phase completing before the next starts.
+inline double allgather_hier_unpipelined(TwoTier const& t, NodeShape const& s, double p,
+                                         double bytes) {
     double const m = s.max_ppn < 1 ? 1 : s.max_ppn;
     return (m - 1) * (t.intra.alpha + t.intra.o + t.intra.beta * bytes) +
            (s.nodes - 1) * (t.inter.alpha + t.inter.o + t.inter.beta * bytes * m) +
            ceil_log2(m) * (t.intra.alpha + t.intra.o + t.intra.beta * bytes * p);
+}
+
+/// Segment count of the pipelined hierarchical allgather for a per-rank
+/// block of `bytes` (shared with the schedule builder): hides the intra
+/// share-back bulk (log2(m) relay levels of p*bytes) behind the leader
+/// ring, at (nodes-1) extra ring messages plus log2(m) relay hops per
+/// segment.
+inline double allgather_hier_segments(TwoTier const& t, NodeShape const& s, double p,
+                                      double bytes) {
+    double const m = s.max_ppn < 1 ? 1 : s.max_ppn;
+    double const overlapped = ceil_log2(m) * t.intra.beta * bytes * p + t.intra.beta * bytes;
+    double const alpha_seg = (s.nodes - 1) * (t.inter.alpha + t.inter.o) +
+                             ceil_log2(m) * (t.intra.alpha + t.intra.o);
+    return pipeline_segments(bytes, overlapped, alpha_seg);
+}
+
+/// Pipelined hierarchical allgather: the intra gather of segment k+1, the
+/// leader-ring exchange of segment k and the intra share-back of segment
+/// k-1 overlap, so only the first segment's gather and the last segment's
+/// share-back sit outside the ring's steady state.
+inline double allgather_hier_pipelined(TwoTier const& t, NodeShape const& s, double p,
+                                       double bytes) {
+    double const m = s.max_ppn < 1 ? 1 : s.max_ppn;
+    double const nseg = allgather_hier_segments(t, s, p, bytes);
+    double const seg = bytes / nseg;
+    return (t.intra.alpha + t.intra.o + t.intra.beta * seg) +
+           (s.nodes - 1) * (nseg * (t.inter.alpha + t.inter.o) + t.inter.beta * bytes * m) +
+           ceil_log2(m) * (t.intra.alpha + t.intra.o + t.intra.beta * seg * p);
+}
+
+/// Hierarchical allgather: whichever of the unpipelined and segment-
+/// pipelined compositions is cheaper (the builder makes the same choice).
+inline double allgather_hier(TwoTier const& t, NodeShape const& s, double p, double bytes) {
+    return std::min(allgather_hier_unpipelined(t, s, p, bytes),
+                    allgather_hier_pipelined(t, s, p, bytes));
 }
 
 /// Hierarchical alltoall (`bytes` = one per-destination block): members ship
@@ -263,11 +340,46 @@ inline double allgather_hier(TwoTier const& t, NodeShape const& s, double p, dou
 /// bandwidth (the leader carries its node's whole traffic) for messages
 /// (n-1 network messages instead of p-ppn), so this wins in the
 /// latency-bound regime.
-inline double alltoall_hier(TwoTier const& t, NodeShape const& s, double p, double bytes) {
+inline double alltoall_hier_unpipelined(TwoTier const& t, NodeShape const& s, double p,
+                                        double bytes) {
     double const m = s.max_ppn < 1 ? 1 : s.max_ppn;
     double const row = bytes * p;
     return 2 * ((m - 1) * (t.intra.alpha + t.intra.o) + t.intra.beta * row * m) +
            (s.nodes - 1) * (t.inter.alpha + t.inter.o) + t.inter.beta * m * (p - m) * bytes;
+}
+
+/// Segment count of the pipelined hierarchical alltoall for a per-
+/// destination block of `bytes` (shared with the schedule builder): hides
+/// the intra row shipping (up and back, m rows of p*bytes each through the
+/// leader) behind the pairwise bundle exchange, at (nodes-1) extra network
+/// messages per segment.
+inline double alltoall_hier_segments(TwoTier const& t, NodeShape const& s, double p,
+                                     double bytes) {
+    double const m = s.max_ppn < 1 ? 1 : s.max_ppn;
+    double const row = bytes * p;
+    double const overlapped = 2 * t.intra.beta * row * m;
+    double const alpha_seg = (s.nodes - 1) * (t.inter.alpha + t.inter.o);
+    return pipeline_segments(bytes, overlapped, alpha_seg);
+}
+
+/// Pipelined hierarchical alltoall: row segments flow up, across and back
+/// concurrently, so only one segment's worth of intra shipping sits outside
+/// the inter-node exchange's steady state.
+inline double alltoall_hier_pipelined(TwoTier const& t, NodeShape const& s, double p,
+                                      double bytes) {
+    double const m = s.max_ppn < 1 ? 1 : s.max_ppn;
+    double const row = bytes * p;
+    double const nseg = alltoall_hier_segments(t, s, p, bytes);
+    return 2 * ((m - 1) * (t.intra.alpha + t.intra.o) + t.intra.beta * row * m / nseg) +
+           (s.nodes - 1) * nseg * (t.inter.alpha + t.inter.o) +
+           t.inter.beta * m * (p - m) * bytes;
+}
+
+/// Hierarchical alltoall: cheaper of the unpipelined and segment-pipelined
+/// compositions (the builder makes the same choice).
+inline double alltoall_hier(TwoTier const& t, NodeShape const& s, double p, double bytes) {
+    return std::min(alltoall_hier_unpipelined(t, s, p, bytes),
+                    alltoall_hier_pipelined(t, s, p, bytes));
 }
 
 /// Fig. 8: sample sort of n elements/rank of `elem_bytes` each.

@@ -12,6 +12,16 @@
 /// time of the operation and produces the identical payloads on `wait()`).
 /// This is what guarantees that `ibcast(...).wait()` returns exactly what
 /// `bcast(...)` returns — both modes are instantiated from the same code.
+///
+/// Hot-path note: when the caller keeps its buffers stable across
+/// invocations (recv_buf()/send_buf() over the same storage, the pattern of
+/// every iteration loop), the substrate's per-communicator schedule cache
+/// recognizes the repeated (algorithm, counts, type, op, buffers) signature
+/// and re-arms the previously compiled schedule instead of rebuilding it —
+/// so the blocking and i-variant paths here amortize initiation exactly
+/// like the *_init persistent handles, with no API opt-in. Library-
+/// allocated implicit buffers get fresh addresses per call and therefore
+/// rebuild; pass explicit buffers in hot loops to hit the cache.
 #pragma once
 
 #include <memory>

@@ -1,13 +1,9 @@
 /// @file gather.hpp
-/// @brief Gather family: `gather`/`gatherv` and the nonblocking
-/// `igather`/`igatherv`, sharing one parameter-processing path through the
-/// dispatch engine (select buffers, derive receive counts by gathering the
-/// send counts, build displacements on the root, size the receive buffer).
-///
-/// No persistent `gather_init`/`gatherv_init` yet: the substrate's
-/// persistent surface (MPI_*_init + PersistentResult) covers
-/// barrier/bcast/reduce/allreduce/allgather/alltoall; schedule-backed
-/// persistent gather/scatter(v) are a ROADMAP follow-up.
+/// @brief Gather family: `gather`/`gatherv`, the nonblocking
+/// `igather`/`igatherv` and the persistent `gather_init`, sharing one
+/// parameter-processing path through the dispatch engine (select buffers,
+/// derive receive counts by gathering the send counts, build displacements
+/// on the root, size the receive buffer).
 #pragma once
 
 #include <utility>
@@ -34,6 +30,14 @@ public:
     template <typename... Args>
     auto igather(Args&&... args) const {
         return gather_impl(internal::nonblocking_t{}, args...);
+    }
+
+    /// Persistent gather: buffers bound once, the linear schedule frozen at
+    /// init; every `start()` re-reads the bound send storage and `wait()`
+    /// returns a view of the gathered vector (meaningful on the root).
+    template <typename... Args>
+    auto gather_init(Args&&... args) const {
+        return gather_impl(internal::persistent_t{}, args...);
     }
 
     /// Gather with per-rank counts. Receive counts are gathered from the
@@ -69,11 +73,16 @@ private:
         MPI_Comm const comm = self_().mpi_communicator();
         auto launch = [comm, count, root_rank, at_root](auto& r, auto& s, MPI_Request* req) {
             void* rbuf = at_root ? r.data_mutable() : nullptr;
-            return req != nullptr
-                       ? MPI_Igather(s.data(), count, mpi_datatype<T>(), rbuf, count,
-                                     mpi_datatype<T>(), root_rank, comm, req)
-                       : MPI_Gather(s.data(), count, mpi_datatype<T>(), rbuf, count,
-                                    mpi_datatype<T>(), root_rank, comm);
+            if constexpr (internal::is_persistent_v<Mode>) {
+                return MPI_Gather_init(s.data(), count, mpi_datatype<T>(), rbuf, count,
+                                       mpi_datatype<T>(), root_rank, comm, MPI_INFO_NULL, req);
+            } else {
+                return req != nullptr
+                           ? MPI_Igather(s.data(), count, mpi_datatype<T>(), rbuf, count,
+                                         mpi_datatype<T>(), root_rank, comm, req)
+                           : MPI_Gather(s.data(), count, mpi_datatype<T>(), rbuf, count,
+                                        mpi_datatype<T>(), root_rank, comm);
+            }
         };
         return internal::dispatch(mode, "gather", nullptr, launch, std::move(recv),
                                   std::move(send));

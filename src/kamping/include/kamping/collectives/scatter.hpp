@@ -1,12 +1,9 @@
 /// @file scatter.hpp
-/// @brief Scatter family: `scatter`/`scatterv` and the nonblocking
-/// `iscatter`/`iscatterv`. `scatterv` is the counterpart of `gatherv`: send
-/// displacements default to the exclusive prefix sum of the send counts on
-/// the root, and the per-rank receive count is derived by scattering the
-/// send counts when omitted.
-///
-/// No persistent `scatter_init`/`scatterv_init` yet — a ROADMAP follow-up
-/// alongside persistent gather(v) (see gather.hpp).
+/// @brief Scatter family: `scatter`/`scatterv`, the nonblocking
+/// `iscatter`/`iscatterv` and the persistent `scatter_init`. `scatterv` is
+/// the counterpart of `gatherv`: send displacements default to the
+/// exclusive prefix sum of the send counts on the root, and the per-rank
+/// receive count is derived by scattering the send counts when omitted.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +31,15 @@ public:
     template <typename... Args>
     auto iscatter(Args&&... args) const {
         return scatter_impl(internal::nonblocking_t{}, args...);
+    }
+
+    /// Persistent scatter: buffers bound once, the linear schedule frozen
+    /// at init; every `start()` re-reads the root's bound send storage and
+    /// `wait()` returns a view of the local slice. The per-rank count is
+    /// derived (blocking helper exchange) once, at init.
+    template <typename... Args>
+    auto scatter_init(Args&&... args) const {
+        return scatter_impl(internal::persistent_t{}, args...);
     }
 
     /// Scatter with per-rank counts from `root`. `send_counts` is required;
@@ -84,11 +90,16 @@ private:
         recv.resize_to(static_cast<std::size_t>(count));
         auto launch = [comm, count, root_rank, at_root](auto& r, auto& s, MPI_Request* req) {
             void const* sbuf = at_root ? s.data() : nullptr;
-            return req != nullptr
-                       ? MPI_Iscatter(sbuf, count, mpi_datatype<T>(), r.data_mutable(), count,
-                                      mpi_datatype<T>(), root_rank, comm, req)
-                       : MPI_Scatter(sbuf, count, mpi_datatype<T>(), r.data_mutable(), count,
-                                     mpi_datatype<T>(), root_rank, comm);
+            if constexpr (internal::is_persistent_v<Mode>) {
+                return MPI_Scatter_init(sbuf, count, mpi_datatype<T>(), r.data_mutable(), count,
+                                        mpi_datatype<T>(), root_rank, comm, MPI_INFO_NULL, req);
+            } else {
+                return req != nullptr
+                           ? MPI_Iscatter(sbuf, count, mpi_datatype<T>(), r.data_mutable(), count,
+                                          mpi_datatype<T>(), root_rank, comm, req)
+                           : MPI_Scatter(sbuf, count, mpi_datatype<T>(), r.data_mutable(), count,
+                                         mpi_datatype<T>(), root_rank, comm);
+            }
         };
         return internal::dispatch(mode, "scatter", nullptr, launch, std::move(recv),
                                   std::move(send));

@@ -82,6 +82,92 @@ int select_flat(Family f, int p, std::size_t bytes, bool commutative, bool eleme
 void reset_env_cache_for_testing();
 
 // ---------------------------------------------------------------------------
+// Schedule cache. Repeated blocking and MPI_I* collectives with identical
+// arguments re-arm a cached compiled schedule (reset + fresh sequence
+// number) instead of rebuilding the step program and reallocating scratch —
+// the same amortization MPI_*_init offers, made transparent.
+// ---------------------------------------------------------------------------
+
+/// Cache key of one compiled schedule. Buffer addresses are part of the key
+/// because schedules bind them at build time; counts/types/op/root pin the
+/// step program's shape. Only builtin datatypes and builtin (or absent)
+/// reduction operations are cacheable: user handles can be freed and
+/// reallocated at the same address mid-process, which would alias a stale
+/// entry (buffer-address reuse is harmless — schedules re-read buffers at
+/// execution time).
+struct SchedSpec {
+    Family family{};
+    int alg = 0;
+    int count = 0;
+    int count2 = 0;
+    int root = 0;
+    void const* buf1 = nullptr;
+    void const* buf2 = nullptr;
+    MPI_Datatype type1 = nullptr;
+    MPI_Datatype type2 = nullptr;
+    MPI_Op op = nullptr;
+
+    bool operator==(SchedSpec const&) const = default;
+};
+
+/// Handle-lifetime gate: true when `spec` may be cached at all — the cache
+/// is enabled and every handle in the key is a builtin singleton (derived
+/// datatypes and user-defined ops can be freed and recreated at the same
+/// address, which would alias a stale entry).
+bool spec_cacheable(SchedSpec const& spec);
+
+/// Cache probe: when `spec` is cacheable, the communicator's cache holds a
+/// matching idle entry and the epoch is current, returns that schedule
+/// reset and retagged with `seq` (counted as a hit); otherwise null.
+/// Entries are dropped when the control epoch moves (XMPI_T_alg_set,
+/// XMPI_T_alg_env_refresh, XMPI_T_topo_set, cache/segment control writes)
+/// and under LRU pressure; an entry still referenced by an in-flight
+/// nonblocking request is skipped, not reused concurrently.
+std::shared_ptr<Schedule> cache_take(MPI_Comm comm, std::uint64_t seq, SchedSpec const& spec);
+
+/// Offers a freshly built schedule to the communicator's cache (no-op when
+/// `spec` is not cacheable or the cache is disabled). Evicts LRU at
+/// capacity.
+void cache_insert(MPI_Comm comm, SchedSpec const& spec, std::shared_ptr<Schedule> const& s);
+
+/// Returns a ready-to-run schedule for `spec` on `comm`: a cached instance
+/// when one is available, otherwise a fresh one built by `build` (counted
+/// as a build) and offered to the cache. `*err` receives the builder's
+/// error code (the schedule must not run on error). Inline and templated so
+/// the hot path pays no std::function materialization.
+template <typename Build>
+std::shared_ptr<Schedule> acquire_schedule(MPI_Comm comm, std::uint64_t seq,
+                                           SchedSpec const& spec, int* err, Build&& build) {
+    bool const cacheable = spec_cacheable(spec);
+    if (cacheable) {
+        if (auto cached = cache_take(comm, seq, spec)) {
+            *err = MPI_SUCCESS;
+            return cached;
+        }
+    }
+    auto s = std::make_shared<Schedule>(comm, seq);
+    if (RankState* rs = tls_rank(); rs != nullptr) ++rs->counters.schedule_builds;
+    *err = build(*s);
+    if (cacheable && *err == MPI_SUCCESS) cache_insert(comm, spec, s);
+    return s;
+}
+
+/// True when the schedule cache is active (XMPI_T_sched_cache_set control,
+/// then the XMPI_SCHED_CACHE environment variable, then on by default).
+bool sched_cache_enabled();
+
+/// Bumps the schedule-control epoch, invalidating every communicator's
+/// cached schedules on their next use. Called by the XMPI_T alg/topo/cache/
+/// segment control writes and the env refresh.
+void bump_sched_epoch();
+
+/// Re-resolves the XMPI_SEGMENT_BYTES / XMPI_SCHED_CACHE environment knobs
+/// (warn-once state re-armed) and publishes the segment override to
+/// bench::model::forced_segment_bytes(). Called at first use and from
+/// XMPI_T_alg_env_refresh.
+void refresh_tuning_env();
+
+// ---------------------------------------------------------------------------
 // Builders. Each appends the selected algorithm's step program to `s`.
 // Wrapper-level normalization has already happened: `input` has MPI_IN_PLACE
 // resolved, and for allgather the caller's own block is already in recvbuf.
@@ -174,12 +260,19 @@ inline std::vector<long long> block_offsets(int count, int k) {
     return off;
 }
 
-/// Number of pipeline segments the ring bcast splits `bytes` into (kept in
-/// sync with bench::model::bcast_ring_pipelined's segment formula).
+/// Number of pipeline segments the ring bcast splits `bytes` into — the
+/// model's formula verbatim (one definition, so the builder and
+/// bench::model::bcast_ring_pipelined cannot drift), which also honors the
+/// XMPI_SEGMENT_BYTES / XMPI_T_segment_set override.
 inline int ring_segments(std::size_t bytes) {
-    std::size_t const target = 64 * 1024;
-    std::size_t const s = (bytes + target - 1) / target;
-    return static_cast<int>(s < 1 ? 1 : (s > 64 ? 64 : s));
+    return static_cast<int>(bench::model::ring_pipeline_segments(static_cast<double>(bytes)));
+}
+
+/// Clamps a model segment count to the actual element count (no empty
+/// segments; count 0 collapses to one segment of nothing).
+inline int clamp_segments_to_count(int nseg, int count) {
+    if (count <= 0) return 1;
+    return nseg > count ? count : (nseg < 1 ? 1 : nseg);
 }
 
 }  // namespace xmpi::detail::alg

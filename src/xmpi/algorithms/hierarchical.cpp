@@ -40,6 +40,46 @@ bench::model::NodeShape shape_of(NodeInfo const& ni) {
             static_cast<double>(ni.min_ppn)};
 }
 
+// ---------------------------------------------------------------------------
+// Segmented-phase composer. A pipelined hierarchical collective splits its
+// payload into near-even element segments and emits its phases once per
+// segment, seg-major: because the transport is eager and receives are
+// posted per phase, segment k+1's cheap phases execute while segment k's
+// expensive phase is still in flight — the intra gather of segment k+1
+// overlaps the inter-node exchange of segment k, which overlaps the intra
+// share-back of segment k-1. The bcast builder's per-segment relay (PR 3)
+// is the original instance of this shape; allgather and alltoall now reuse
+// the same machinery.
+// ---------------------------------------------------------------------------
+
+/// Emits `phase(k, elem_off, elem_len)` for each of `nseg` near-even
+/// segments of `count` elements (earlier segments take the remainder, so
+/// segment 0 is the largest — size scratch for it).
+template <typename Phase>
+void compose_segments(int count, int nseg, Phase&& phase) {
+    int const base = count / nseg;
+    int const rem = count % nseg;
+    long long off = 0;
+    for (int k = 0; k < nseg; ++k) {
+        int const len = base + (k < rem ? 1 : 0);
+        phase(k, off, len);
+        off += len;
+    }
+}
+
+/// Largest segment's element count under compose_segments' split.
+int max_seg_len(int count, int nseg) { return count / nseg + (count % nseg != 0 ? 1 : 0); }
+
+/// True when the caller pinned a segment size (XMPI_SEGMENT_BYTES /
+/// XMPI_T_segment_set): a pin engages the pipelined composition whenever it
+/// yields more than one segment, bypassing the cost-model comparison, so
+/// harnesses can exercise the pipeline at any granularity. A pin of at
+/// least the message size yields one segment and degenerates to the
+/// unpipelined composition.
+bool segment_forced() {
+    return bench::model::forced_segment_bytes().load(std::memory_order_relaxed) > 0;
+}
+
 /// The calling rank's index within its node's member list.
 int my_member_index(NodeInfo const& ni, int r) {
     auto const& mem = ni.members[static_cast<std::size_t>(ni.my_node)];
@@ -91,13 +131,7 @@ int build_hier_bcast(Schedule& s, void* buf, int count, MPI_Datatype type, int r
         bench::model::bcast_hier_ring(t, shape, static_cast<double>(bytes)) <=
         bench::model::bcast_hier_tree(t, shape, static_cast<double>(bytes));
     int nseg = 1;
-    if (use_ring) {
-        nseg = ring_segments(bytes);
-        if (nseg > count && count > 0) nseg = count;
-        if (count == 0) nseg = 1;
-    }
-    int const base = count / nseg;
-    int const rem = count % nseg;
+    if (use_ring) nseg = clamp_segments_to_count(ring_segments(bytes), count);
 
     auto const& mem = ni.members[static_cast<std::size_t>(ni.my_node)];
     int const m = static_cast<int>(mem.size());
@@ -108,9 +142,7 @@ int build_hier_bcast(Schedule& s, void* buf, int count, MPI_Datatype type, int r
         if (mem[static_cast<std::size_t>(i)] == node_leader) leader_mrank = i;
     }
 
-    long long off = 0;
-    for (int k = 0; k < nseg; ++k) {
-        int const len = base + (k < rem ? 1 : 0);
+    compose_segments(count, nseg, [&](int k, long long off, int len) {
         std::byte* const seg = at_offset(buf, off, type);
         if (my_lrank >= 0 && n > 1) {
             GroupScope scope(s, leaders, my_lrank, kInter);
@@ -125,8 +157,7 @@ int build_hier_bcast(Schedule& s, void* buf, int count, MPI_Datatype type, int r
             GroupScope scope(s, mem, my_mrank, kIntraUp);
             append_binomial_bcast(s, seg, len, type, leader_mrank, /*tag_base=*/k);
         }
-        off += len;
-    }
+    });
     return MPI_SUCCESS;
 }
 
@@ -398,10 +429,17 @@ int build_hier_allreduce(Schedule& s, void const* input, void* recvbuf, int coun
 // ---------------------------------------------------------------------------
 // Allgather: intra-node gather to the leader (blocks land directly at their
 // comm-rank offsets), a leader ring forwarding packed per-node bundles, and
-// an intra-node binomial bcast of the assembled result.
+// an intra-node binomial bcast of the assembled result. Two compositions:
+// the PR-3 unpipelined one (each phase completes before the next starts)
+// and a segment-pipelined one that interleaves the three phases per
+// segment; build_hier_allgather picks by the shared cost model (or by the
+// segment-size pin).
 // ---------------------------------------------------------------------------
 
-int build_hier_allgather(Schedule& s, void* recvbuf, int recvcount, MPI_Datatype recvtype) {
+namespace {
+
+int build_hier_allgather_unpipelined(Schedule& s, void* recvbuf, int recvcount,
+                                     MPI_Datatype recvtype) {
     MPI_Comm const c = s.comm();
     NodeInfo const& ni = topo::node_info(c);
     int const n = ni.num_nodes();
@@ -491,16 +529,200 @@ int build_hier_allgather(Schedule& s, void* recvbuf, int recvcount, MPI_Datatype
     return MPI_SUCCESS;
 }
 
+/// Segment-pipelined composition. Per segment k of every rank's block:
+/// members deposit their slice at the leader (phase A, all segments emitted
+/// up front — eager sends make every slice available as soon as the member
+/// reaches it), the leader rings the node bundles of segment k (phase B),
+/// packs the assembled segment and relays it binomially into the node
+/// (phase C). Segment-major emission order pipelines: while the leader sits
+/// in segment k's ring waits, the members relay and unpack segment k-1, and
+/// segment k+1's slices are already en route.
+int build_hier_allgather_pipelined(Schedule& s, void* recvbuf, int recvcount,
+                                   MPI_Datatype recvtype, int nseg) {
+    MPI_Comm const c = s.comm();
+    NodeInfo const& ni = topo::node_info(c);
+    int const n = ni.num_nodes();
+    int const p = s.size();
+    int const r = s.rank();
+    std::size_t const esz = static_cast<std::size_t>(recvtype->size);
+
+    auto const& mem = ni.members[static_cast<std::size_t>(ni.my_node)];
+    int const m = static_cast<int>(mem.size());
+    int const my_mrank = my_member_index(ni, r);
+    bool const node_leader = mem.front() == r;
+    std::size_t const sb_max = static_cast<std::size_t>(max_seg_len(recvcount, nseg)) * esz;
+
+    // Phase A, all segments up front: the slice [off, off+len) of our block
+    // goes to the leader at its final recvbuf offset.
+    if (!node_leader) {
+        compose_segments(recvcount, nseg, [&](int k, long long off, int len) {
+            s.send(mem.front(), kIntraUp + k,
+                   at_offset(recvbuf, static_cast<long long>(r) * recvcount + off, recvtype), len,
+                   recvtype);
+        });
+    }
+
+    // Shared per-rank scratch, reused across segments (program order makes
+    // each buffer's previous use complete before its next: sends copy into
+    // the transport eagerly and unpacks precede the next segment's receive).
+    std::byte* ring_cur = nullptr;
+    std::byte* ring_next = nullptr;
+    std::vector<int> leaders;
+    if (node_leader && n > 1) {
+        std::size_t const max_bundle = static_cast<std::size_t>(ni.max_ppn) * sb_max;
+        ring_cur = s.alloc(max_bundle);
+        ring_next = s.alloc(max_bundle);
+        leaders = leader_map(ni);
+    }
+    std::byte* const c_bundle = m > 1 ? s.alloc(static_cast<std::size_t>(p) * sb_max) : nullptr;
+
+    NodeInfo const* const nip = &ni;
+    compose_segments(recvcount, nseg, [&](int k, long long off, int len) {
+        std::size_t const sb = static_cast<std::size_t>(len) * esz;
+        if (node_leader) {
+            // Phase A receives for this segment (slices land in place).
+            for (int i = 1; i < m; ++i) {
+                int const w = mem[static_cast<std::size_t>(i)];
+                s.recv(w, kIntraUp + k,
+                       at_offset(recvbuf, static_cast<long long>(w) * recvcount + off, recvtype),
+                       len, recvtype);
+            }
+            // Phase B: ring the per-node bundles of this segment. Round j
+            // reuses tag kInter + j across segments — matching is FIFO per
+            // (source, tag) and both sides emit segments in ascending order.
+            if (n > 1) {
+                auto node_size = [&](int g) {
+                    return static_cast<int>(nip->members[static_cast<std::size_t>(g)].size());
+                };
+                if (sb > 0) {
+                    auto const* members = &nip->members[static_cast<std::size_t>(ni.my_node)];
+                    std::byte* const cur = ring_cur;
+                    s.local([cur, members, recvbuf, recvcount, recvtype, off, len, sb]() {
+                        for (std::size_t i = 0; i < members->size(); ++i) {
+                            recvtype->pack(
+                                at_offset(recvbuf,
+                                          static_cast<long long>((*members)[i]) * recvcount + off,
+                                          recvtype),
+                                len, cur + i * sb);
+                        }
+                        return MPI_SUCCESS;
+                    });
+                }
+                int const right = (ni.my_node + 1) % n;
+                int const left = (ni.my_node - 1 + n) % n;
+                for (int j = 0; j < n - 1; ++j) {
+                    int const send_node = (ni.my_node - j + n) % n;
+                    int const recv_node = (ni.my_node - j - 1 + n) % n;
+                    int const slot =
+                        s.post(leaders[static_cast<std::size_t>(left)], kInter + j, ring_next,
+                               static_cast<int>(static_cast<std::size_t>(node_size(recv_node)) * sb),
+                               MPI_BYTE);
+                    s.send(leaders[static_cast<std::size_t>(right)], kInter + j, ring_cur,
+                           static_cast<int>(static_cast<std::size_t>(node_size(send_node)) * sb),
+                           MPI_BYTE);
+                    s.wait(slot);
+                    if (sb > 0) {
+                        auto const* members = &nip->members[static_cast<std::size_t>(recv_node)];
+                        std::byte* const arrived = ring_next;
+                        s.local([arrived, members, recvbuf, recvcount, recvtype, off, len, sb]() {
+                            for (std::size_t i = 0; i < members->size(); ++i) {
+                                recvtype->unpack(
+                                    arrived + i * sb, len,
+                                    at_offset(recvbuf,
+                                              static_cast<long long>((*members)[i]) * recvcount +
+                                                  off,
+                                              recvtype));
+                            }
+                            return MPI_SUCCESS;
+                        });
+                    }
+                    std::swap(ring_cur, ring_next);
+                }
+            }
+            // Phase C: pack the assembled segment (p strided slices) into
+            // one contiguous bundle for the intra-node relay.
+            if (m > 1 && sb > 0) {
+                s.local([c_bundle, recvbuf, recvcount, recvtype, off, len, sb, p]() {
+                    for (int q = 0; q < p; ++q) {
+                        recvtype->pack(
+                            at_offset(recvbuf, static_cast<long long>(q) * recvcount + off,
+                                      recvtype),
+                            len, c_bundle + static_cast<std::size_t>(q) * sb);
+                    }
+                    return MPI_SUCCESS;
+                });
+            }
+        }
+        if (m > 1) {
+            {
+                GroupScope scope(s, mem, my_mrank, kIntraDown);
+                append_binomial_bcast(s, c_bundle, static_cast<int>(static_cast<std::size_t>(p) * sb),
+                                      MPI_BYTE, /*root=*/0, /*tag_base=*/k);
+            }
+            if (!node_leader && sb > 0) {
+                s.local([c_bundle, recvbuf, recvcount, recvtype, off, len, sb, p]() {
+                    for (int q = 0; q < p; ++q) {
+                        recvtype->unpack(
+                            c_bundle + static_cast<std::size_t>(q) * sb, len,
+                            at_offset(recvbuf, static_cast<long long>(q) * recvcount + off,
+                                      recvtype));
+                    }
+                    return MPI_SUCCESS;
+                });
+            }
+        }
+    });
+    return MPI_SUCCESS;
+}
+
+}  // namespace
+
+int build_hier_allgather(Schedule& s, void* recvbuf, int recvcount, MPI_Datatype recvtype) {
+    MPI_Comm const c = s.comm();
+    NodeInfo const& ni = topo::node_info(c);
+    std::size_t const bb =
+        static_cast<std::size_t>(recvcount) * static_cast<std::size_t>(recvtype->size);
+    auto const t = machine_of(c);
+    auto const shape = shape_of(ni);
+    // The model segments by bytes; emission additionally clamps to the
+    // element count (no empty segments). For blocks with fewer elements
+    // than the model's segment count the pipelined cost below was priced
+    // with more segments than get emitted — at such tiny sizes the two
+    // compositions' costs converge, so the decision error is bounded and
+    // correctness is unaffected.
+    int const nseg = clamp_segments_to_count(
+        static_cast<int>(bench::model::allgather_hier_segments(
+            t, shape, static_cast<double>(s.size()), static_cast<double>(bb))),
+        recvcount);
+    bool pipelined = nseg > 1;
+    if (pipelined && !segment_forced()) {
+        pipelined = bench::model::allgather_hier_pipelined(t, shape,
+                                                           static_cast<double>(s.size()),
+                                                           static_cast<double>(bb)) <
+                    bench::model::allgather_hier_unpipelined(t, shape,
+                                                            static_cast<double>(s.size()),
+                                                            static_cast<double>(bb));
+    }
+    return pipelined ? build_hier_allgather_pipelined(s, recvbuf, recvcount, recvtype, nseg)
+                     : build_hier_allgather_unpipelined(s, recvbuf, recvcount, recvtype);
+}
+
 // ---------------------------------------------------------------------------
 // Alltoall: members ship their whole send row to the leader, leaders
 // exchange one packed bundle per node pair (pairwise order), and leaders
 // ship each member its reassembled result row. Aggregation trades bandwidth
 // on the leader for an (n-1)-message network phase, so the cost model picks
-// this in the latency-bound regime.
+// this in the latency-bound regime. As with allgather, a segment-pipelined
+// composition interleaves the three phases per segment of the
+// per-destination block; build_hier_alltoall picks by the shared cost model
+// (or the segment-size pin).
 // ---------------------------------------------------------------------------
 
-int build_hier_alltoall(Schedule& s, void const* sendbuf, int sendcount, MPI_Datatype sendtype,
-                        void* recvbuf, int recvcount, MPI_Datatype recvtype) {
+namespace {
+
+int build_hier_alltoall_unpipelined(Schedule& s, void const* sendbuf, int sendcount,
+                                    MPI_Datatype sendtype, void* recvbuf, int recvcount,
+                                    MPI_Datatype recvtype) {
     MPI_Comm const c = s.comm();
     NodeInfo const& ni = topo::node_info(c);
     int const n = ni.num_nodes();
@@ -615,6 +837,231 @@ int build_hier_alltoall(Schedule& s, void const* sendbuf, int sendcount, MPI_Dat
         }
     }
     return MPI_SUCCESS;
+}
+
+/// Segment-pipelined composition over segments of the per-destination
+/// block. Per segment k: members pack and ship the row segment (one slice
+/// per destination comm rank) to the leader, leaders exchange per-node-pair
+/// bundle segments pairwise, and leaders ship each member its reassembled
+/// result-row segment. Requires element-aligned segmentation on both sides
+/// (the dispatcher gates on sendcount == recvcount with equal type sizes).
+int build_hier_alltoall_pipelined(Schedule& s, void const* sendbuf, int sendcount,
+                                  MPI_Datatype sendtype, void* recvbuf, int recvcount,
+                                  MPI_Datatype recvtype, int nseg) {
+    MPI_Comm const c = s.comm();
+    NodeInfo const& ni = topo::node_info(c);
+    int const n = ni.num_nodes();
+    int const p = s.size();
+    int const r = s.rank();
+    std::size_t const esz = static_cast<std::size_t>(sendtype->size);
+    std::size_t const sb_max = static_cast<std::size_t>(max_seg_len(sendcount, nseg)) * esz;
+    std::size_t const rowseg_max = static_cast<std::size_t>(p) * sb_max;
+
+    auto const& mem = ni.members[static_cast<std::size_t>(ni.my_node)];
+    int const m = static_cast<int>(mem.size());
+    int const my_mrank = my_member_index(ni, r);
+    bool const node_leader = mem.front() == r;
+    NodeInfo const* const nip = &ni;
+
+    if (!node_leader) {
+        // One shared row buffer each way, reused across segments: the
+        // upstream send copies into the transport eagerly, and the
+        // downstream unpack completes before the next segment's receive.
+        std::byte* const up = s.alloc(rowseg_max);
+        std::byte* const down = s.alloc(rowseg_max);
+        compose_segments(sendcount, nseg, [&](int k, long long off, int len) {
+            std::size_t const sb = static_cast<std::size_t>(len) * esz;
+            if (sb > 0) {
+                s.local([up, sendbuf, sendcount, sendtype, off, len, sb, p]() {
+                    for (int q = 0; q < p; ++q) {
+                        sendtype->pack(
+                            at_offset(sendbuf, static_cast<long long>(q) * sendcount + off,
+                                      sendtype),
+                            len, up + static_cast<std::size_t>(q) * sb);
+                    }
+                    return MPI_SUCCESS;
+                });
+            }
+            s.send(mem.front(), kIntraUp + k, up,
+                   static_cast<int>(static_cast<std::size_t>(p) * sb), MPI_BYTE);
+        });
+        compose_segments(recvcount, nseg, [&](int k, long long off, int len) {
+            std::size_t const sb = static_cast<std::size_t>(len) * esz;
+            s.recv(mem.front(), kIntraDown + k, down,
+                   static_cast<int>(static_cast<std::size_t>(p) * sb), MPI_BYTE);
+            if (sb > 0) {
+                s.local([down, recvbuf, recvcount, recvtype, off, len, sb, p]() {
+                    for (int q = 0; q < p; ++q) {
+                        recvtype->unpack(
+                            down + static_cast<std::size_t>(q) * sb, len,
+                            at_offset(recvbuf, static_cast<long long>(q) * recvcount + off,
+                                      recvtype));
+                    }
+                    return MPI_SUCCESS;
+                });
+            }
+        });
+        return MPI_SUCCESS;
+    }
+
+    // Leader scratch, all reused across segments. rows: one packed row
+    // segment per member (stride rowseg_max, blocks by destination comm
+    // rank); per-pair in/out bundles; one result-row buffer per member.
+    std::byte* const rows = s.alloc(static_cast<std::size_t>(m) * rowseg_max);
+    std::vector<int> const leaders = leader_map(ni);
+    std::vector<std::byte*> outb(static_cast<std::size_t>(n), nullptr);
+    std::vector<std::byte*> inb(static_cast<std::size_t>(n), nullptr);
+    for (int i = 1; i < n; ++i) {
+        int const dst = (ni.my_node + i) % n;
+        int const src = (ni.my_node - i + n) % n;
+        outb[static_cast<std::size_t>(dst)] = s.alloc(
+            static_cast<std::size_t>(m) * ni.members[static_cast<std::size_t>(dst)].size() *
+            sb_max);
+        inb[static_cast<std::size_t>(src)] = s.alloc(
+            ni.members[static_cast<std::size_t>(src)].size() * static_cast<std::size_t>(m) *
+            sb_max);
+    }
+    std::vector<std::byte*> out_rows(static_cast<std::size_t>(m), nullptr);
+    for (int w = 0; w < m; ++w) out_rows[static_cast<std::size_t>(w)] = s.alloc(rowseg_max);
+
+    compose_segments(sendcount, nseg, [&](int k, long long off, int len) {
+        std::size_t const sb = static_cast<std::size_t>(len) * esz;
+        std::size_t const rowseg = static_cast<std::size_t>(p) * sb;
+        // Phase A: own row segment packed in place; member row segments
+        // received as packed bytes.
+        if (sb > 0) {
+            s.local([rows, sendbuf, sendcount, sendtype, off, len, sb, p]() {
+                for (int q = 0; q < p; ++q) {
+                    sendtype->pack(
+                        at_offset(sendbuf, static_cast<long long>(q) * sendcount + off, sendtype),
+                        len, rows + static_cast<std::size_t>(q) * sb);
+                }
+                return MPI_SUCCESS;
+            });
+        }
+        for (int i = 1; i < m; ++i) {
+            s.recv(mem[static_cast<std::size_t>(i)], kIntraUp + k,
+                   rows + static_cast<std::size_t>(i) * rowseg_max, static_cast<int>(rowseg),
+                   MPI_BYTE);
+        }
+
+        // Phase B: pairwise bundle-segment exchange. Tag kInter + i is
+        // reused across segments (FIFO per source; both sides emit segments
+        // in ascending order).
+        for (int i = 1; i < n; ++i) {
+            int const dst = (ni.my_node + i) % n;
+            int const src = (ni.my_node - i + n) % n;
+            auto const& dmem = ni.members[static_cast<std::size_t>(dst)];
+            auto const& smem = ni.members[static_cast<std::size_t>(src)];
+            std::size_t const out_bytes = static_cast<std::size_t>(m) * dmem.size() * sb;
+            std::size_t const in_bytes = smem.size() * static_cast<std::size_t>(m) * sb;
+            std::byte* const out = outb[static_cast<std::size_t>(dst)];
+            std::byte* const in = inb[static_cast<std::size_t>(src)];
+            int const slot = s.post(leaders[static_cast<std::size_t>(src)], kInter + i, in,
+                                    static_cast<int>(in_bytes), MPI_BYTE);
+            if (sb > 0) {
+                auto const* dptr = &dmem;
+                s.local([out, rows, dptr, rowseg_max, sb, m]() {
+                    std::size_t pos = 0;
+                    for (int i2 = 0; i2 < m; ++i2) {
+                        for (int w : *dptr) {
+                            std::memcpy(out + pos,
+                                        rows + static_cast<std::size_t>(i2) * rowseg_max +
+                                            static_cast<std::size_t>(w) * sb,
+                                        sb);
+                            pos += sb;
+                        }
+                    }
+                    return MPI_SUCCESS;
+                });
+            }
+            s.send(leaders[static_cast<std::size_t>(dst)], kInter + i, out,
+                   static_cast<int>(out_bytes), MPI_BYTE);
+            s.wait(slot);
+        }
+
+        // Phase C: reassemble each member's result-row segment (blocks by
+        // source comm rank) and ship it down; unpack our own.
+        for (int w = 0; w < m; ++w) {
+            std::byte* const out_row = out_rows[static_cast<std::size_t>(w)];
+            int const dest_comm_rank = mem[static_cast<std::size_t>(w)];
+            if (sb > 0) {
+                s.local([out_row, nip, inb, rows, rowseg_max, sb, w, p, m, dest_comm_rank]() {
+                    for (int q = 0; q < p; ++q) {
+                        int const g = nip->node_of[static_cast<std::size_t>(q)];
+                        auto const& gm = nip->members[static_cast<std::size_t>(g)];
+                        std::size_t j = 0;
+                        while (gm[j] != q) ++j;  // q's index within its node
+                        std::byte const* const src =
+                            g == nip->my_node
+                                ? rows + j * rowseg_max +
+                                      static_cast<std::size_t>(dest_comm_rank) * sb
+                                : inb[static_cast<std::size_t>(g)] +
+                                      (j * static_cast<std::size_t>(m) +
+                                       static_cast<std::size_t>(w)) *
+                                          sb;
+                        std::memcpy(out_row + static_cast<std::size_t>(q) * sb, src, sb);
+                    }
+                    return MPI_SUCCESS;
+                });
+            }
+            if (w == my_mrank) {
+                if (sb > 0) {
+                    s.local([out_row, recvbuf, recvcount, recvtype, off, len, sb, p]() {
+                        for (int q = 0; q < p; ++q) {
+                            recvtype->unpack(
+                                out_row + static_cast<std::size_t>(q) * sb, len,
+                                at_offset(recvbuf, static_cast<long long>(q) * recvcount + off,
+                                          recvtype));
+                        }
+                        return MPI_SUCCESS;
+                    });
+                }
+            } else {
+                s.send(dest_comm_rank, kIntraDown + k, out_row, static_cast<int>(rowseg),
+                       MPI_BYTE);
+            }
+        }
+    });
+    return MPI_SUCCESS;
+}
+
+}  // namespace
+
+int build_hier_alltoall(Schedule& s, void const* sendbuf, int sendcount, MPI_Datatype sendtype,
+                        void* recvbuf, int recvcount, MPI_Datatype recvtype) {
+    MPI_Comm const c = s.comm();
+    NodeInfo const& ni = topo::node_info(c);
+    std::size_t const bb =
+        static_cast<std::size_t>(sendcount) * static_cast<std::size_t>(sendtype->size);
+    // Element-aligned segmentation needs the same block shape on both
+    // sides; mixed-shape (but signature-compatible) type pairs keep the
+    // unpipelined composition. As in build_hier_allgather, the element
+    // clamp below can emit fewer segments than the model priced for tiny
+    // blocks — bounded decision error, no correctness impact.
+    bool pipelined = sendcount == recvcount && sendtype->size == recvtype->size;
+    int nseg = 1;
+    if (pipelined) {
+        auto const t = machine_of(c);
+        auto const shape = shape_of(ni);
+        nseg = clamp_segments_to_count(
+            static_cast<int>(bench::model::alltoall_hier_segments(
+                t, shape, static_cast<double>(s.size()), static_cast<double>(bb))),
+            sendcount);
+        pipelined = nseg > 1;
+        if (pipelined && !segment_forced()) {
+            pipelined = bench::model::alltoall_hier_pipelined(t, shape,
+                                                              static_cast<double>(s.size()),
+                                                              static_cast<double>(bb)) <
+                        bench::model::alltoall_hier_unpipelined(t, shape,
+                                                               static_cast<double>(s.size()),
+                                                               static_cast<double>(bb));
+        }
+    }
+    return pipelined ? build_hier_alltoall_pipelined(s, sendbuf, sendcount, sendtype, recvbuf,
+                                                     recvcount, recvtype, nseg)
+                     : build_hier_alltoall_unpipelined(s, sendbuf, sendcount, sendtype, recvbuf,
+                                                       recvcount, recvtype);
 }
 
 }  // namespace xmpi::detail::alg

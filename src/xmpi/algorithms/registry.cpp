@@ -144,8 +144,89 @@ std::string joined_names(std::vector<AlgInfo> const& t) {
 /// Resolves XMPI_ALG_<FAMILY> once, emitting a one-time stderr warning that
 /// names the valid choices when the variable holds an unknown name (silent
 /// fallback used to make such typos indistinguishable from a deliberate
-/// "auto").
+/// "auto"). The same serialize-and-warn-once discipline covers the tuning
+/// knobs (XMPI_SEGMENT_BYTES, XMPI_SCHED_CACHE) below.
 std::mutex g_env_mutex;
+
+// ---------------------------------------------------------------------------
+// Tuning knobs: pipeline segment size and schedule-cache switch.
+// Resolution order is control call > environment > built-in default, with
+// the environment parsed once per process (re-armed by
+// XMPI_T_alg_env_refresh). Invalid values warn once on stderr and fall back
+// — a zero/garbage segment size must never reach a builder.
+// ---------------------------------------------------------------------------
+
+/// Epoch of the schedule-affecting controls; cached schedules are stamped
+/// with it and dropped when it moves.
+std::atomic<std::uint64_t> g_sched_epoch{1};
+
+// Resolved env values, written under g_env_mutex but read lock-free on the
+// collective hot path — hence atomics (relaxed suffices: each is an
+// independent flag and is stored exactly once per resolution, never through
+// a transient intermediate).
+std::atomic<bool> g_tuning_resolved{false};
+std::atomic<long long> g_env_segment_bytes{0};  ///< 0 = unset/invalid
+std::atomic<int> g_env_sched_cache{-1};         ///< -1 = unset/invalid
+
+std::atomic<long long> g_forced_segment{0};  ///< control pin; 0 = automatic
+std::atomic<int> g_forced_cache{-1};         ///< control pin; -1 = automatic
+
+/// Pushes the effective segment override (control > env > none) into the
+/// shared model hook so builders and cost formulas segment identically.
+void publish_segment_override() {
+    double v = 0.0;
+    if (long long const forced = g_forced_segment.load(std::memory_order_relaxed); forced > 0) {
+        v = static_cast<double>(forced);
+    } else if (long long const env = g_env_segment_bytes.load(std::memory_order_relaxed);
+               env > 0) {
+        v = static_cast<double>(env);
+    }
+    bench::model::forced_segment_bytes().store(v, std::memory_order_relaxed);
+}
+
+/// Parses the tuning environment once (under g_env_mutex); warns once per
+/// resolution for each invalid value. Each resolved value is computed into
+/// a local and published with a single store, so concurrent lock-free
+/// readers never observe a mid-resolution reset.
+void resolve_tuning_env_locked() {
+    long long seg = 0;
+    int cache = -1;
+    if (char const* env = std::getenv("XMPI_SEGMENT_BYTES"); env != nullptr && *env != '\0') {
+        char* end = nullptr;
+        long long const v = std::strtoll(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0) {
+            seg = v;
+        } else {
+            std::fprintf(stderr,
+                         "xmpi: XMPI_SEGMENT_BYTES=\"%s\" is not a positive byte count; "
+                         "falling back to the cost model's segment size\n",
+                         env);
+        }
+    }
+    if (char const* env = std::getenv("XMPI_SCHED_CACHE"); env != nullptr && *env != '\0') {
+        if (iequals(env, "0") || iequals(env, "off")) {
+            cache = 0;
+        } else if (iequals(env, "1") || iequals(env, "on")) {
+            cache = 1;
+        } else {
+            std::fprintf(stderr,
+                         "xmpi: XMPI_SCHED_CACHE=\"%s\" is not 0/1 (or off/on); "
+                         "the schedule cache stays enabled\n",
+                         env);
+        }
+    }
+    g_env_segment_bytes.store(seg, std::memory_order_relaxed);
+    g_env_sched_cache.store(cache, std::memory_order_relaxed);
+    publish_segment_override();
+    g_tuning_resolved.store(true, std::memory_order_release);
+}
+
+void ensure_tuning_resolved() {
+    if (g_tuning_resolved.load(std::memory_order_acquire)) return;
+    std::lock_guard<std::mutex> lock(g_env_mutex);
+    if (g_tuning_resolved.load(std::memory_order_relaxed)) return;
+    resolve_tuning_env_locked();
+}
 
 int resolve_env(Family f) {
     int const fi = static_cast<int>(f);
@@ -199,6 +280,9 @@ char const* family_name(Family f) { return kFamilyNames[static_cast<int>(f)]; }
 // schedule keeps the algorithm chosen at init for its whole lifetime, so
 // later XMPI_T_alg_set / environment refreshes only affect future inits.
 int select(Family f, MPI_Comm comm, std::size_t bytes, bool commutative, bool elementwise) {
+    // Pricing below may consult the pipeline-segment formulas, which honor
+    // the (lazily resolved) XMPI_SEGMENT_BYTES override.
+    ensure_tuning_resolved();
     auto const& t = table(f);
     int const p = comm->size();
     topo::NodeInfo const& ni = topo::node_info(comm);
@@ -290,6 +374,100 @@ void reset_env_cache_for_testing() {
     for (auto& c : g_env_cache) c.store(-2, std::memory_order_relaxed);
 }
 
+bool sched_cache_enabled() {
+    if (int const forced = g_forced_cache.load(std::memory_order_relaxed); forced >= 0)
+        return forced != 0;
+    ensure_tuning_resolved();
+    // Unset (-1) and 1 both mean enabled.
+    return g_env_sched_cache.load(std::memory_order_relaxed) != 0;
+}
+
+void bump_sched_epoch() { g_sched_epoch.fetch_add(1, std::memory_order_relaxed); }
+
+void refresh_tuning_env() {
+    std::lock_guard<std::mutex> lock(g_env_mutex);
+    resolve_tuning_env_locked();
+}
+
+// ---------------------------------------------------------------------------
+// Schedule cache.
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Entries per communicator copy. Small: the hot-loop pattern the cache
+/// exists for touches a handful of distinct collectives per communicator.
+constexpr std::size_t kSchedCacheCap = 16;
+}  // namespace
+
+struct SchedCache {
+    struct Entry {
+        SchedSpec spec;
+        std::shared_ptr<Schedule> sched;
+        std::uint64_t last_use = 0;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t epoch = 0;
+    std::uint64_t use_counter = 0;
+};
+
+bool spec_cacheable(SchedSpec const& spec) {
+    return sched_cache_enabled() && spec.type1 != nullptr && spec.type1->is_builtin &&
+           (spec.type2 == nullptr || spec.type2->is_builtin) &&
+           (spec.op == nullptr || spec.op->builtin);
+}
+
+namespace {
+
+/// The communicator's cache with its epoch reconciled (stale entries
+/// dropped and counted as evictions).
+SchedCache& reconciled_cache(MPI_Comm comm, RankState* rs) {
+    if (comm->sched_cache == nullptr) comm->sched_cache = std::make_shared<SchedCache>();
+    SchedCache& cache = *comm->sched_cache;
+    std::uint64_t const epoch = g_sched_epoch.load(std::memory_order_relaxed);
+    if (cache.epoch != epoch) {
+        if (rs != nullptr) rs->counters.schedule_cache_evictions += cache.entries.size();
+        cache.entries.clear();
+        cache.epoch = epoch;
+    }
+    return cache;
+}
+
+}  // namespace
+
+std::shared_ptr<Schedule> cache_take(MPI_Comm comm, std::uint64_t seq, SchedSpec const& spec) {
+    if (!spec_cacheable(spec)) return nullptr;
+    RankState* const rs = tls_rank();
+    SchedCache& cache = reconciled_cache(comm, rs);
+    for (auto& e : cache.entries) {
+        // use_count == 1 <=> only the cache references the schedule; a
+        // higher count means an in-flight nonblocking request still owns
+        // it, so it must not be re-armed underneath.
+        if (e.spec == spec && e.sched.use_count() == 1) {
+            e.last_use = ++cache.use_counter;
+            e.sched->reset();
+            e.sched->set_seq(seq);
+            if (rs != nullptr) ++rs->counters.schedule_cache_hits;
+            return e.sched;
+        }
+    }
+    return nullptr;
+}
+
+void cache_insert(MPI_Comm comm, SchedSpec const& spec, std::shared_ptr<Schedule> const& s) {
+    if (!spec_cacheable(spec)) return;
+    RankState* const rs = tls_rank();
+    SchedCache& cache = reconciled_cache(comm, rs);
+    if (cache.entries.size() >= kSchedCacheCap) {
+        auto lru = cache.entries.begin();
+        for (auto it = cache.entries.begin(); it != cache.entries.end(); ++it) {
+            if (it->last_use < lru->last_use) lru = it;
+        }
+        if (rs != nullptr) ++rs->counters.schedule_cache_evictions;
+        cache.entries.erase(lru);
+    }
+    cache.entries.push_back(SchedCache::Entry{spec, s, ++cache.use_counter});
+}
+
 }  // namespace xmpi::detail::alg
 
 // ---------------------------------------------------------------------------
@@ -303,11 +481,13 @@ int XMPI_T_alg_set(const char* family, const char* algorithm) {
     if (fi < 0) return MPI_ERR_ARG;
     if (algorithm == nullptr || *algorithm == '\0' || iequals(algorithm, "auto")) {
         g_forced[fi].store(-1, std::memory_order_relaxed);
+        bump_sched_epoch();
         return MPI_SUCCESS;
     }
     int const ai = name_index(table(static_cast<Family>(fi)), algorithm);
     if (ai < 0) return MPI_ERR_ARG;
     g_forced[fi].store(ai, std::memory_order_relaxed);
+    bump_sched_epoch();
     return MPI_SUCCESS;
 }
 
@@ -323,6 +503,8 @@ int XMPI_T_alg_get(const char* family, const char** algorithm) {
 
 int XMPI_T_alg_env_refresh(void) {
     reset_env_cache_for_testing();
+    refresh_tuning_env();
+    bump_sched_epoch();
     return MPI_SUCCESS;
 }
 
@@ -332,6 +514,52 @@ int XMPI_T_alg_selected(const char* family, const char** algorithm) {
     int const sel = g_selected[fi].load(std::memory_order_relaxed);
     *algorithm = sel < 0 ? "none"
                          : table(static_cast<Family>(fi))[static_cast<std::size_t>(sel)].name;
+    return MPI_SUCCESS;
+}
+
+int XMPI_T_segment_set(long long bytes) {
+    if (bytes < 0) return MPI_ERR_ARG;
+    ensure_tuning_resolved();
+    g_forced_segment.store(bytes, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(g_env_mutex);
+        publish_segment_override();
+    }
+    bump_sched_epoch();
+    return MPI_SUCCESS;
+}
+
+int XMPI_T_segment_get(long long* bytes) {
+    if (bytes == nullptr) return MPI_ERR_ARG;
+    ensure_tuning_resolved();
+    *bytes = static_cast<long long>(
+        bench::model::forced_segment_bytes().load(std::memory_order_relaxed));
+    return MPI_SUCCESS;
+}
+
+int XMPI_T_sched_cache_set(int enabled) {
+    if (enabled < -1 || enabled > 1) return MPI_ERR_ARG;
+    g_forced_cache.store(enabled, std::memory_order_relaxed);
+    bump_sched_epoch();
+    return MPI_SUCCESS;
+}
+
+int XMPI_T_sched_cache_get(int* enabled) {
+    if (enabled == nullptr) return MPI_ERR_ARG;
+    *enabled = sched_cache_enabled() ? 1 : 0;
+    return MPI_SUCCESS;
+}
+
+int XMPI_T_sched_stats(unsigned long long* builds, unsigned long long* cache_hits,
+                       unsigned long long* cache_evictions,
+                       unsigned long long* peak_scratch_bytes) {
+    xmpi::detail::RankState* const rs = xmpi::detail::tls_rank();
+    if (rs == nullptr) return MPI_ERR_OTHER;  // only meaningful inside a rank
+    if (builds != nullptr) *builds = rs->counters.schedule_builds;
+    if (cache_hits != nullptr) *cache_hits = rs->counters.schedule_cache_hits;
+    if (cache_evictions != nullptr) *cache_evictions = rs->counters.schedule_cache_evictions;
+    if (peak_scratch_bytes != nullptr)
+        *peak_scratch_bytes = rs->counters.schedule_peak_scratch_bytes;
     return MPI_SUCCESS;
 }
 

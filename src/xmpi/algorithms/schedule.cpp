@@ -6,6 +6,33 @@
 
 namespace xmpi::detail::alg {
 
+std::byte* Schedule::alloc(std::size_t bytes) {
+    if (bytes == 0) return nullptr;
+    // Bump allocation with 16-byte alignment. The first chunk is sized at
+    // 4x the first request (builders typically allocate a handful of
+    // payload-sized regions), later chunks double the arena, so the common
+    // case is one contiguous block and the worst case O(log n) chunks.
+    std::size_t const aligned = (bytes + 15u) & ~std::size_t{15u};
+    if (arena_.empty() || arena_.back().cap - arena_.back().used < aligned) {
+        std::size_t cap = arena_.empty() ? aligned * 4 : std::max(aligned, arena_cap_);
+        if (cap < 1024) cap = 1024;
+        Chunk c;
+        c.mem = std::make_unique<std::byte[]>(cap);  // value-init: zeroed
+        c.cap = cap;
+        arena_.push_back(std::move(c));
+        arena_cap_ += cap;
+    }
+    Chunk& c = arena_.back();
+    std::byte* const p = c.mem.get() + c.used;
+    c.used += aligned;
+    scratch_bytes_ += bytes;
+    if (RankState* rs = tls_rank(); rs != nullptr) {
+        if (scratch_bytes_ > rs->counters.schedule_peak_scratch_bytes)
+            rs->counters.schedule_peak_scratch_bytes = scratch_bytes_;
+    }
+    return p;
+}
+
 bool Schedule::advance(bool blocking, int* err) {
     while (pos_ < steps_.size()) {
         Step& st = steps_[pos_];
@@ -121,6 +148,7 @@ int launch_nonblocking(MPI_Comm comm, std::shared_ptr<Schedule> s, int init_erro
 }
 
 int launch_persistent(MPI_Comm comm, std::shared_ptr<Schedule> s, MPI_Request* request) {
+    if (RankState* rs = tls_rank(); rs != nullptr) ++rs->counters.schedule_builds;
     auto* req = new xmpi_request_t();
     req->kind = xmpi_request_t::Kind::generalized;
     req->owner = tls_rank();

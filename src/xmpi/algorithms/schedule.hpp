@@ -40,17 +40,30 @@ struct Step {
 /// steps are resolved at build time, so ping-pong accumulator schemes are
 /// expressed by tracking the current buffer while building.
 ///
+/// Scratch is arena-backed: alloc() bumps a pointer inside one contiguous
+/// zero-initialized block (the first chunk is sized to fit a typical
+/// builder's full working set, and overflow grows geometrically, so a
+/// schedule performs O(1) heap allocations instead of one per alloc() call
+/// as the former free-list-of-vectors did). The arena lives as long as the
+/// schedule — which, with the per-communicator schedule cache, means a hot
+/// collective loop allocates its scratch exactly once.
+///
 /// Schedules are *re-armable*: reset() rewinds the program to step 0 and
-/// restores the scratch to its freshly allocated (zeroed) state, so the same
-/// instance can be executed again — the engine behind the persistent
-/// collectives (MPI_*_init + MPI_Start). Restart correctness relies on two
-/// invariants every builder upholds: (a) user input is only ever read by
-/// execution-time steps (send steps read the user buffer when they run;
-/// snapshots into scratch are emitted as `local` steps, never performed at
-/// build time), so each start observes the buffer contents current at that
-/// start; (b) message tags are deterministic per step, and the transport
-/// matches equal (source, tag) pairs FIFO, so messages of restart round k+1
-/// can never overtake round k's matching.
+/// clears the request slots so the same instance can be executed again —
+/// the engine behind the persistent collectives (MPI_*_init + MPI_Start)
+/// and the per-communicator schedule cache. Scratch is deliberately NOT
+/// re-zeroed on reset (only on first allocation): builders must write every
+/// scratch region — via an input-snapshot `local` step or a received
+/// message — before reading it, so a re-armed schedule never observes a
+/// previous round's bytes; the equivalence harness's restart flavor
+/// enforces this write-before-read invariant. Restart correctness
+/// additionally relies on two invariants every builder upholds: (a) user
+/// input is only ever read by execution-time steps (send steps read the
+/// user buffer when they run; snapshots into scratch are emitted as `local`
+/// steps, never performed at build time), so each start observes the buffer
+/// contents current at that start; (b) message tags are deterministic per
+/// step, and the transport matches equal (source, tag) pairs FIFO, so
+/// messages of restart round k+1 can never overtake round k's matching.
 class Schedule {
 public:
     Schedule(MPI_Comm comm, std::uint64_t seq) : comm_(comm), seq_(seq) {}
@@ -63,12 +76,14 @@ public:
 
     // --- build API -----------------------------------------------------
 
-    /// Stable scratch allocation (zero-initialized); valid for the
-    /// schedule's lifetime. Returns nullptr for size 0.
-    std::byte* alloc(std::size_t bytes) {
-        scratch_.emplace_back(bytes);
-        return bytes > 0 ? scratch_.back().data() : nullptr;
-    }
+    /// Stable scratch allocation from the schedule's arena (zero-initialized
+    /// on first use); valid for the schedule's lifetime. Returns nullptr for
+    /// size 0.
+    std::byte* alloc(std::size_t bytes);
+
+    /// Total scratch bytes handed out by alloc() so far (the schedule's
+    /// working-set size; reported via Counters::schedule_peak_scratch_bytes).
+    std::size_t scratch_bytes() const { return scratch_bytes_; }
 
     // --- sub-schedule (group) scopes ------------------------------------
     //
@@ -159,6 +174,14 @@ public:
     /// starts.
     void reset();
 
+    /// Retags the schedule for a new collective sequence number. Step tags
+    /// are computed at execution time (coll_tag(seq, step)), so a cached
+    /// schedule re-armed with the caller's fresh coll_seq emits exactly the
+    /// tags a freshly built schedule would — which is what lets one rank
+    /// serve a call from its cache while a peer builds the same schedule
+    /// from scratch without any tag mismatch.
+    void set_seq(std::uint64_t seq) { seq_ = seq; }
+
     MPI_Comm comm() const { return comm_; }
 
 private:
@@ -186,14 +209,23 @@ private:
         return off;
     }
 
+    /// One arena block. Chunks never move or shrink, so pointers handed out
+    /// by alloc() stay stable for the schedule's lifetime.
+    struct Chunk {
+        std::unique_ptr<std::byte[]> mem;
+        std::size_t cap = 0;
+        std::size_t used = 0;
+    };
+
     std::vector<Scope> scopes_;
     MPI_Comm comm_;
     std::uint64_t seq_;
     std::vector<Step> steps_;
     std::size_t pos_ = 0;
     int error_ = MPI_SUCCESS;
-    /// Inner buffers are stable under outer growth (moves keep heap data).
-    std::vector<std::vector<std::byte>> scratch_;
+    std::vector<Chunk> arena_;
+    std::size_t arena_cap_ = 0;      ///< sum of chunk capacities
+    std::size_t scratch_bytes_ = 0;  ///< sum of requested alloc() sizes
     std::vector<xmpi_request_t*> reqs_;
 };
 

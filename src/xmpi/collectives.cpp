@@ -172,6 +172,12 @@ int MPI_Ibarrier(MPI_Comm comm, MPI_Request* request) {
 // Bcast (algorithm layer: flat / binomial / pipelined ring)
 // ---------------------------------------------------------------------------
 
+// The blocking and MPI_I* paths of the algorithm-backed collectives share
+// one shape: selection runs first (its result is part of the cache key),
+// alg::acquire_schedule serves the schedule from the per-communicator cache
+// or builds it, and `seq` is always the caller's freshly incremented
+// coll_seq so cached and fresh schedules emit identical tags.
+
 int MPI_Bcast(void* buf, int count, MPI_Datatype type, int root, MPI_Comm comm) {
     if (int rc = coll_entry(comm); rc != MPI_SUCCESS) return rc;
     int const p = comm->size();
@@ -180,10 +186,15 @@ int MPI_Bcast(void* buf, int count, MPI_Datatype type, int root, MPI_Comm comm) 
     std::uint64_t const seq = comm->coll_seq++;
     std::size_t const bytes =
         static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
-    alg::Schedule s(comm, seq);
     int const idx = alg::select(alg::Family::bcast, comm, bytes, true);
-    if (int rc = alg::build_bcast(idx, s, buf, count, type, root); rc != MPI_SUCCESS) return rc;
-    return alg::run_blocking(s);
+    int err = MPI_SUCCESS;
+    auto s = alg::acquire_schedule(
+        comm, seq,
+        alg::SchedSpec{alg::Family::bcast, idx, count, 0, root, buf, nullptr, type, nullptr,
+                       nullptr},
+        &err, [&](alg::Schedule& sch) { return alg::build_bcast(idx, sch, buf, count, type, root); });
+    if (err != MPI_SUCCESS) return err;
+    return alg::run_blocking(*s);
 }
 
 // ---------------------------------------------------------------------------
@@ -280,11 +291,16 @@ int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, voi
     std::uint64_t const seq = comm->coll_seq++;
     std::size_t const bytes =
         static_cast<std::size_t>(recvcount) * static_cast<std::size_t>(recvtype->size);
-    alg::Schedule s(comm, seq);
     int const idx = alg::select(alg::Family::allgather, comm, bytes, true);
-    if (int rc = alg::build_allgather(idx, s, recvbuf, recvcount, recvtype); rc != MPI_SUCCESS)
-        return rc;
-    return alg::run_blocking(s);
+    int err = MPI_SUCCESS;
+    auto s = alg::acquire_schedule(
+        comm, seq,
+        alg::SchedSpec{alg::Family::allgather, idx, recvcount, 0, 0, recvbuf, nullptr, recvtype,
+                       nullptr, nullptr},
+        &err,
+        [&](alg::Schedule& sch) { return alg::build_allgather(idx, sch, recvbuf, recvcount, recvtype); });
+    if (err != MPI_SUCCESS) return err;
+    return alg::run_blocking(*s);
 }
 
 int MPI_Allgatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
@@ -325,13 +341,18 @@ int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void
     std::uint64_t const seq = comm->coll_seq++;
     std::size_t const bytes =
         static_cast<std::size_t>(sendcount) * static_cast<std::size_t>(sendtype->size);
-    alg::Schedule s(comm, seq);
     int const idx = alg::select(alg::Family::alltoall, comm, bytes, true);
-    if (int rc = alg::build_alltoall(idx, s, sendbuf, sendcount, sendtype, recvbuf, recvcount,
-                                     recvtype);
-        rc != MPI_SUCCESS)
-        return rc;
-    return alg::run_blocking(s);
+    int err = MPI_SUCCESS;
+    auto s = alg::acquire_schedule(
+        comm, seq,
+        alg::SchedSpec{alg::Family::alltoall, idx, sendcount, recvcount, 0, sendbuf, recvbuf,
+                       sendtype, recvtype, nullptr},
+        &err, [&](alg::Schedule& sch) {
+            return alg::build_alltoall(idx, sch, sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                                       recvtype);
+        });
+    if (err != MPI_SUCCESS) return err;
+    return alg::run_blocking(*s);
 }
 
 int MPI_Alltoallv(const void* sendbuf, const int* sendcounts, const int* sdispls,
@@ -404,12 +425,17 @@ int MPI_Reduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type,
     void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
     std::size_t const bytes =
         static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
-    alg::Schedule s(comm, seq);
     int const idx = alg::select(alg::Family::reduce, comm, bytes, op->commutative, op->builtin);
-    if (int rc = alg::build_reduce(idx, s, input, recvbuf, count, type, op, root);
-        rc != MPI_SUCCESS)
-        return rc;
-    return alg::run_blocking(s);
+    int err = MPI_SUCCESS;
+    auto s = alg::acquire_schedule(
+        comm, seq,
+        alg::SchedSpec{alg::Family::reduce, idx, count, 0, root, input, recvbuf, type, nullptr,
+                       op},
+        &err, [&](alg::Schedule& sch) {
+            return alg::build_reduce(idx, sch, input, recvbuf, count, type, op, root);
+        });
+    if (err != MPI_SUCCESS) return err;
+    return alg::run_blocking(*s);
 }
 
 int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
@@ -419,11 +445,17 @@ int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype ty
     void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
     std::size_t const bytes =
         static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
-    alg::Schedule s(comm, seq);
     int const idx = alg::select(alg::Family::allreduce, comm, bytes, op->commutative, op->builtin);
-    if (int rc = alg::build_allreduce(idx, s, input, recvbuf, count, type, op); rc != MPI_SUCCESS)
-        return rc;
-    return alg::run_blocking(s);
+    int err = MPI_SUCCESS;
+    auto s = alg::acquire_schedule(
+        comm, seq,
+        alg::SchedSpec{alg::Family::allreduce, idx, count, 0, 0, input, recvbuf, type, nullptr,
+                       op},
+        &err, [&](alg::Schedule& sch) {
+            return alg::build_allreduce(idx, sch, input, recvbuf, count, type, op);
+        });
+    if (err != MPI_SUCCESS) return err;
+    return alg::run_blocking(*s);
 }
 
 int MPI_Scan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
@@ -603,9 +635,13 @@ int MPI_Ibcast(void* buf, int count, MPI_Datatype type, int root, MPI_Comm comm,
     std::uint64_t const seq = comm->coll_seq++;
     std::size_t const bytes =
         static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
-    auto s = std::make_shared<alg::Schedule>(comm, seq);
     int const idx = alg::select(alg::Family::bcast, comm, bytes, true);
-    int const err = alg::build_bcast(idx, *s, buf, count, type, root);
+    int err = MPI_SUCCESS;
+    auto s = alg::acquire_schedule(
+        comm, seq,
+        alg::SchedSpec{alg::Family::bcast, idx, count, 0, root, buf, nullptr, type, nullptr,
+                       nullptr},
+        &err, [&](alg::Schedule& sch) { return alg::build_bcast(idx, sch, buf, count, type, root); });
     return alg::launch_nonblocking(comm, std::move(s), err, request);
 }
 
@@ -730,9 +766,14 @@ int MPI_Iallgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, vo
     }
     std::size_t const bytes =
         static_cast<std::size_t>(recvcount) * static_cast<std::size_t>(recvtype->size);
-    auto s = std::make_shared<alg::Schedule>(comm, seq);
     int const idx = alg::select(alg::Family::allgather, comm, bytes, true);
-    int const err = alg::build_allgather(idx, *s, recvbuf, recvcount, recvtype);
+    int err = MPI_SUCCESS;
+    auto s = alg::acquire_schedule(
+        comm, seq,
+        alg::SchedSpec{alg::Family::allgather, idx, recvcount, 0, 0, recvbuf, nullptr, recvtype,
+                       nullptr, nullptr},
+        &err,
+        [&](alg::Schedule& sch) { return alg::build_allgather(idx, sch, recvbuf, recvcount, recvtype); });
     return alg::launch_nonblocking(comm, std::move(s), err, request);
 }
 
@@ -768,10 +809,16 @@ int MPI_Ialltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, voi
     std::uint64_t const seq = comm->coll_seq++;
     std::size_t const bytes =
         static_cast<std::size_t>(sendcount) * static_cast<std::size_t>(sendtype->size);
-    auto s = std::make_shared<alg::Schedule>(comm, seq);
     int const idx = alg::select(alg::Family::alltoall, comm, bytes, true);
-    int const err =
-        alg::build_alltoall(idx, *s, sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype);
+    int err = MPI_SUCCESS;
+    auto s = alg::acquire_schedule(
+        comm, seq,
+        alg::SchedSpec{alg::Family::alltoall, idx, sendcount, recvcount, 0, sendbuf, recvbuf,
+                       sendtype, recvtype, nullptr},
+        &err, [&](alg::Schedule& sch) {
+            return alg::build_alltoall(idx, sch, sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                                       recvtype);
+        });
     return alg::launch_nonblocking(comm, std::move(s), err, request);
 }
 
@@ -834,9 +881,15 @@ int MPI_Ireduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type
     void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
     std::size_t const bytes =
         static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
-    auto s = std::make_shared<alg::Schedule>(comm, seq);
     int const idx = alg::select(alg::Family::reduce, comm, bytes, op->commutative, op->builtin);
-    int const err = alg::build_reduce(idx, *s, input, recvbuf, count, type, op, root);
+    int err = MPI_SUCCESS;
+    auto s = alg::acquire_schedule(
+        comm, seq,
+        alg::SchedSpec{alg::Family::reduce, idx, count, 0, root, input, recvbuf, type, nullptr,
+                       op},
+        &err, [&](alg::Schedule& sch) {
+            return alg::build_reduce(idx, sch, input, recvbuf, count, type, op, root);
+        });
     return alg::launch_nonblocking(comm, std::move(s), err, request);
 }
 
@@ -847,9 +900,15 @@ int MPI_Iallreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype t
     void const* input = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
     std::size_t const bytes =
         static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
-    auto s = std::make_shared<alg::Schedule>(comm, seq);
     int const idx = alg::select(alg::Family::allreduce, comm, bytes, op->commutative, op->builtin);
-    int const err = alg::build_allreduce(idx, *s, input, recvbuf, count, type, op);
+    int err = MPI_SUCCESS;
+    auto s = alg::acquire_schedule(
+        comm, seq,
+        alg::SchedSpec{alg::Family::allreduce, idx, count, 0, 0, input, recvbuf, type, nullptr,
+                       op},
+        &err, [&](alg::Schedule& sch) {
+            return alg::build_allreduce(idx, sch, input, recvbuf, count, type, op);
+        });
     return alg::launch_nonblocking(comm, std::move(s), err, request);
 }
 
@@ -996,6 +1055,102 @@ int MPI_Alltoall_init(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
         rc != MPI_SUCCESS)
         return rc;
     return alg::launch_persistent(comm, std::move(s), request);
+}
+
+// Persistent gather/scatter family. The linear schedules are trivially
+// re-armable: every send reads its user buffer at execution time and the
+// root's own-block copy is an execution-time local step, so each start
+// observes current buffer contents. The v-variants read their
+// count/displacement arrays while building — i.e. the counts are frozen at
+// init, matching the selection-freeze contract of every other *_init.
+
+int MPI_Gatherv_init(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                     const int* recvcounts, const int* displs, MPI_Datatype recvtype, int root,
+                     MPI_Comm comm, int /*info*/, MPI_Request* request) {
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    if (root < 0 || root >= p) return MPI_ERR_ROOT;
+    std::uint64_t const seq = comm->coll_seq++;
+    auto s = std::make_shared<alg::Schedule>(comm, seq);
+    if (r != root) {
+        s->send(root, 0, sendbuf, sendcount, sendtype);
+    } else {
+        if (sendbuf != MPI_IN_PLACE) {
+            long long const own_off = displs[r];
+            s->local([sendbuf, sendcount, sendtype, recvbuf, own_off, recvtype]() {
+                local_copy(sendbuf, sendcount, sendtype, at_offset(recvbuf, own_off, recvtype),
+                           recvtype);
+                return MPI_SUCCESS;
+            });
+        }
+        // Post everything, then drain: the i-variant shape, re-armable.
+        std::vector<int> slots;
+        slots.reserve(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) {
+            if (i == r) continue;
+            slots.push_back(s->post(i, 0, at_offset(recvbuf, displs[i], recvtype), recvcounts[i],
+                                    recvtype));
+        }
+        for (int const slot : slots) s->wait(slot);
+    }
+    return alg::launch_persistent(comm, std::move(s), request);
+}
+
+int MPI_Gather_init(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                    int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm, int info,
+                    MPI_Request* request) {
+    MPI_Comm const rcomm = resolve(comm);
+    if (rcomm == nullptr) return MPI_ERR_COMM;
+    int const p = rcomm->size();
+    std::vector<int> counts(static_cast<std::size_t>(p), recvcount);
+    std::vector<int> displs(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) displs[static_cast<std::size_t>(i)] = i * recvcount;
+    // counts/displs are baked into the schedule at init; stack copies suffice.
+    return MPI_Gatherv_init(sendbuf, sendcount, sendtype, recvbuf, counts.data(), displs.data(),
+                            recvtype, root, rcomm, info, request);
+}
+
+int MPI_Scatterv_init(const void* sendbuf, const int* sendcounts, const int* displs,
+                      MPI_Datatype sendtype, void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                      int root, MPI_Comm comm, int /*info*/, MPI_Request* request) {
+    if (int rc = nb_entry(comm, request); rc != MPI_SUCCESS) return rc;
+    int const p = comm->size();
+    int const r = comm->rank();
+    if (root < 0 || root >= p) return MPI_ERR_ROOT;
+    std::uint64_t const seq = comm->coll_seq++;
+    auto s = std::make_shared<alg::Schedule>(comm, seq);
+    if (r == root) {
+        for (int i = 0; i < p; ++i) {
+            if (i == r) continue;
+            s->send(i, 0, at_offset(sendbuf, displs[i], sendtype), sendcounts[i], sendtype);
+        }
+        if (recvbuf != MPI_IN_PLACE) {
+            long long const own_off = displs[r];
+            int const own_count = sendcounts[r];
+            s->local([sendbuf, own_off, own_count, sendtype, recvbuf, recvtype]() {
+                local_copy(at_offset(sendbuf, own_off, sendtype), own_count, sendtype, recvbuf,
+                           recvtype);
+                return MPI_SUCCESS;
+            });
+        }
+    } else {
+        s->recv(root, 0, recvbuf, recvcount, recvtype);
+    }
+    return alg::launch_persistent(comm, std::move(s), request);
+}
+
+int MPI_Scatter_init(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                     int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm, int info,
+                     MPI_Request* request) {
+    MPI_Comm const rcomm = resolve(comm);
+    if (rcomm == nullptr) return MPI_ERR_COMM;
+    int const p = rcomm->size();
+    std::vector<int> counts(static_cast<std::size_t>(p), sendcount);
+    std::vector<int> displs(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) displs[static_cast<std::size_t>(i)] = i * sendcount;
+    return MPI_Scatterv_init(sendbuf, counts.data(), displs.data(), sendtype, recvbuf, recvcount,
+                             recvtype, root, rcomm, info, request);
 }
 
 int MPI_Iexscan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,

@@ -332,6 +332,21 @@ int MPI_Allgather_init(const void* sendbuf, int sendcount, MPI_Datatype sendtype
 int MPI_Alltoall_init(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
                       int recvcount, MPI_Datatype recvtype, MPI_Comm comm, int info,
                       MPI_Request* request);
+int MPI_Gather_init(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                    int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm, int info,
+                    MPI_Request* request);
+int MPI_Gatherv_init(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                     const int* recvcounts, const int* displs, MPI_Datatype recvtype, int root,
+                     MPI_Comm comm, int info, MPI_Request* request);
+int MPI_Scatter_init(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                     int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm, int info,
+                     MPI_Request* request);
+/// v-variant persistent collectives freeze the count/displacement arrays at
+/// init time (they are read while building the schedule, not at start), so
+/// the caller's arrays need not outlive the call.
+int MPI_Scatterv_init(const void* sendbuf, const int* sendcounts, const int* displs,
+                      MPI_Datatype sendtype, void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                      int root, MPI_Comm comm, int info, MPI_Request* request);
 
 // ---------------------------------------------------------------------------
 // Collective algorithm control (MPI_T-style substrate extension).
@@ -373,6 +388,45 @@ int XMPI_T_alg_selected(const char* family, const char** algorithm);
 /// only *future* selections: live persistent operations (MPI_*_init) froze
 /// their algorithm at init time and are not re-selected by a refresh.
 int XMPI_T_alg_env_refresh(void);
+
+// ---------------------------------------------------------------------------
+// Schedule compilation control (MPI_T-style substrate extension).
+//
+// Blocking and MPI_I* invocations of the algorithm-backed collectives
+// compile their communication schedule once and cache it per communicator,
+// keyed by (family, algorithm, counts, datatype, op, root, buffer
+// addresses); a repeat invocation re-arms the cached schedule instead of
+// rebuilding it (the same amortization MPI_*_init offers, transparently).
+// Entries are invalidated when any schedule-affecting control moves
+// (XMPI_T_alg_set, XMPI_T_alg_env_refresh, XMPI_T_topo_set, the controls
+// below). The cache can be disabled with XMPI_SCHED_CACHE=0 or
+// XMPI_T_sched_cache_set(0).
+//
+// Segment-pipelined schedules (ring bcast, pipelined hierarchical
+// allgather/alltoall) size their segments from the two-tier cost model;
+// XMPI_SEGMENT_BYTES or XMPI_T_segment_set overrides the segment size in
+// bytes. Invalid environment values (zero, negative, garbage) warn once on
+// stderr and fall back to the cost model.
+// ---------------------------------------------------------------------------
+
+/// Pins the pipeline segment size in bytes for segmented schedules; 0
+/// restores automatic sizing (environment, then cost model). Negative
+/// values are rejected with MPI_ERR_ARG.
+int XMPI_T_segment_set(long long bytes);
+/// Reports the effective segment override in bytes (0 when automatic).
+int XMPI_T_segment_get(long long* bytes);
+/// Enables (1) / disables (0) the schedule cache; -1 restores automatic
+/// resolution (XMPI_SCHED_CACHE, then enabled by default).
+int XMPI_T_sched_cache_set(int enabled);
+/// Reports whether the schedule cache is effectively enabled (0/1).
+int XMPI_T_sched_cache_get(int* enabled);
+/// Reports the calling rank's schedule accounting (any pointer may be
+/// null): schedules built, cache hits, cache evictions, and the largest
+/// single-schedule scratch working set in bytes. Callable only from inside
+/// a rank body (MPI_ERR_OTHER otherwise).
+int XMPI_T_sched_stats(unsigned long long* builds, unsigned long long* cache_hits,
+                       unsigned long long* cache_evictions,
+                       unsigned long long* peak_scratch_bytes);
 
 // ---------------------------------------------------------------------------
 // Hierarchical topology control (MPI_T-style substrate extension).

@@ -68,6 +68,20 @@ struct Counters {
     /// the inter-node share is the total minus these.
     std::uint64_t intra_node_messages = 0;
     std::uint64_t intra_node_bytes = 0;
+    /// @name Collective schedule-compilation accounting (also exposed inside
+    /// a rank via XMPI_T_sched_stats). A "build" materializes a schedule's
+    /// step program and arena (one-shot miss or persistent init); a "hit"
+    /// serves a blocking/nonblocking collective by re-arming a cached
+    /// schedule instead; an "eviction" drops a cache entry (LRU pressure or
+    /// an epoch bump from XMPI_T_alg_set / env refresh / topology change).
+    /// @{
+    std::uint64_t schedule_builds = 0;
+    std::uint64_t schedule_cache_hits = 0;
+    std::uint64_t schedule_cache_evictions = 0;
+    /// Largest single-schedule scratch working set seen (bytes). Aggregated
+    /// by max, not sum.
+    std::uint64_t schedule_peak_scratch_bytes = 0;
+    /// @}
 
     Counters& operator+=(Counters const& other) {
         p2p_messages += other.p2p_messages;
@@ -76,6 +90,11 @@ struct Counters {
         coll_bytes += other.coll_bytes;
         intra_node_messages += other.intra_node_messages;
         intra_node_bytes += other.intra_node_bytes;
+        schedule_builds += other.schedule_builds;
+        schedule_cache_hits += other.schedule_cache_hits;
+        schedule_cache_evictions += other.schedule_cache_evictions;
+        if (other.schedule_peak_scratch_bytes > schedule_peak_scratch_bytes)
+            schedule_peak_scratch_bytes = other.schedule_peak_scratch_bytes;
         return *this;
     }
 };

@@ -184,6 +184,11 @@ struct TopoInfo {
 
 }  // namespace xmpi::detail
 
+namespace xmpi::detail::alg {
+/// Per-communicator compiled-schedule cache (algorithms/registry.cpp).
+struct SchedCache;
+}  // namespace xmpi::detail::alg
+
 /// Communicator object. xmpi gives every member rank its *own* copy of the
 /// communicator (same context id, identical group vector), which removes any
 /// need for cross-thread synchronization on communicator state: matching
@@ -212,6 +217,11 @@ struct xmpi_comm_t {
     /// Lazily built node structure of this communicator under the
     /// universe's topology (see topo::node_info); owned per-copy.
     std::unique_ptr<xmpi::detail::topo::NodeInfo> node_cache;
+    /// Compiled-schedule reuse cache (see alg::acquire_schedule); per-copy
+    /// like everything else on the communicator, so no locking. shared_ptr
+    /// for the type-erased deleter — SchedCache is complete only inside the
+    /// algorithms layer.
+    std::shared_ptr<xmpi::detail::alg::SchedCache> sched_cache;
 
     int size() const { return static_cast<int>(group.size()); }
     int rank() const { return my_rank; }

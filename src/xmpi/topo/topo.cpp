@@ -114,9 +114,16 @@ NodeInfo const& node_info(MPI_Comm comm) {
 // after the call; a running universe's topology is immutable.
 // ---------------------------------------------------------------------------
 
+namespace xmpi::detail::alg {
+void bump_sched_epoch();  // algorithms/registry.cpp
+}
+
 int XMPI_T_topo_set(int ranks_per_node) {
     if (ranks_per_node < 0) return MPI_ERR_ARG;
     xmpi::detail::topo::g_forced_ranks_per_node.store(ranks_per_node, std::memory_order_relaxed);
+    // A topology change re-shapes hierarchical compositions; cached
+    // schedules from the previous shape must not be replayed.
+    xmpi::detail::alg::bump_sched_epoch();
     return MPI_SUCCESS;
 }
 

@@ -439,6 +439,43 @@ TEST(CollectivesEngine, BarrierInitAndTestDrivenCompletion) {
     });
 }
 
+TEST(CollectivesEngine, GatherInitRestartsAndMatchesBlocking) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        std::vector<int> input{0, 0};
+        auto handle = comm.gather_init(send_buf(input), root(2));
+        for (int round = 1; round <= 3; ++round) {
+            input[0] = 10 * round + rank;
+            input[1] = 20 * round + rank;
+            auto blocking = comm.gather(send_buf(input), root(2));
+            handle.start();
+            auto const& result = handle.wait();
+            if (rank == 2) {
+                ASSERT_EQ(result.size(), 8u);
+                EXPECT_EQ(result, blocking) << "round " << round;
+            }
+        }
+    });
+}
+
+TEST(CollectivesEngine, ScatterInitRereadsRootBufferEachRound) {
+    xmpi::run(4, [](int rank) {
+        Communicator comm;
+        std::vector<int> slices(rank == 1 ? 8 : 0);
+        auto handle = comm.scatter_init(send_buf(slices), root(1));
+        for (int round = 0; round < 3; ++round) {
+            if (rank == 1) {
+                for (int i = 0; i < 8; ++i) slices[static_cast<std::size_t>(i)] = 100 * round + i;
+            }
+            handle.start();
+            auto const& mine = handle.wait();
+            ASSERT_EQ(mine.size(), 2u);
+            EXPECT_EQ(mine[0], 100 * round + 2 * rank) << "round " << round;
+            EXPECT_EQ(mine[1], 100 * round + 2 * rank + 1) << "round " << round;
+        }
+    });
+}
+
 TEST(CollectivesEngine, PersistentStartWhileActiveThrows) {
     xmpi::run(2, [](int rank) {
         Communicator comm;

@@ -26,6 +26,17 @@ struct TopoPin {
     TopoPin& operator=(TopoPin const&) = delete;
 };
 
+/// Pins the pipeline segment size (bytes) for the scope via the
+/// XMPI_T_segment_set control channel (beats XMPI_SEGMENT_BYTES, so tests
+/// behave identically under the forced-segment CI matrix). The destructor
+/// restores automatic sizing.
+struct SegPin {
+    explicit SegPin(long long bytes) { XMPI_T_segment_set(bytes); }
+    ~SegPin() { XMPI_T_segment_set(0); }
+    SegPin(SegPin const&) = delete;
+    SegPin& operator=(SegPin const&) = delete;
+};
+
 /// The seed for this test's randomness: XMPI_TEST_SEED if set (replay),
 /// otherwise a fresh nondeterministic one.
 inline std::uint64_t pick_seed() {

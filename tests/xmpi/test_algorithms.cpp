@@ -652,6 +652,81 @@ TEST(Algorithms, HierarchicalByteIdenticalAcrossNodeShapes) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pipelined hierarchical schedules across forced segment sizes. The
+// XMPI_T_segment_set pin engages the segment-pipelined allgather/alltoall
+// compositions (and re-segments the ring bcast) at any granularity; results
+// must stay byte-identical to the flat reference for every segment size —
+// one element per segment, sizes that do not divide the message, and
+// segment >= message (which degenerates to the unpipelined composition) —
+// in all three execution flavors, on equal and ragged node shapes.
+// ---------------------------------------------------------------------------
+
+TEST(Algorithms, PipelinedSegmentSweepByteIdentical) {
+    using testing_utils::SegPin;
+    SeededRng rng;
+    struct Shape {
+        int p;
+        int rpn;
+    };
+    Shape const shapes[] = {
+        {8, 4},    // 2 equal nodes
+        {11, 4},   // ragged last node (4, 4, 3)
+        {10, 3},   // ragged (3, 3, 3, 1): a single-rank node in the ring
+    };
+    int const counts[] = {0, 1, 5, 16, 33};
+    for (auto const& sh : shapes) {
+        TopoPin const topo(sh.rpn);
+        int const count = rng.pick(counts);
+        auto const salt = static_cast<unsigned>(rng.uniform(1, 1 << 20));
+        int const root = rng.uniform(0, sh.p - 1);
+        // Segment pins in bytes of MPI_INT payload: one element, a
+        // non-divisible prime, and far beyond any message in the sweep.
+        long long const seg_bytes[] = {4, 12, 28, 1 << 20};
+        for (long long seg : seg_bytes) {
+            SegPin const pin(seg);
+            auto const tag = [&](char const* fam, Exec mode) {
+                return std::string(fam) + " p=" + std::to_string(sh.p) +
+                       " rpn=" + std::to_string(sh.rpn) + " seg=" + std::to_string(seg) +
+                       " count=" + std::to_string(count) + " mode=" + mode_name(mode);
+            };
+            for (Exec mode : kExecModes) {
+                bool const persist = mode == Exec::persist;
+                auto ref_of = [&](auto one_round) {
+                    return persist ? persist_ref<int>(one_round, salt) : one_round(salt);
+                };
+                EXPECT_EQ(
+                    with_alg("allgather", "hierarchical",
+                             [&] { return allgather_case<int>(sh.p, count, MPI_INT, mode, salt); }),
+                    ref_of([&](unsigned s) {
+                        return with_alg("allgather", "flat", [&] {
+                            return allgather_case<int>(sh.p, count, MPI_INT, Exec::block, s);
+                        });
+                    }))
+                    << tag("allgather", mode);
+                EXPECT_EQ(
+                    with_alg("alltoall", "hierarchical",
+                             [&] { return alltoall_case<int>(sh.p, count, MPI_INT, mode, salt); }),
+                    ref_of([&](unsigned s) {
+                        return with_alg("alltoall", "flat", [&] {
+                            return alltoall_case<int>(sh.p, count, MPI_INT, Exec::block, s);
+                        });
+                    }))
+                    << tag("alltoall", mode);
+                EXPECT_EQ(
+                    with_alg("bcast", "hierarchical",
+                             [&] { return bcast_case<int>(sh.p, count, MPI_INT, root, mode, salt); }),
+                    ref_of([&](unsigned s) {
+                        return with_alg("bcast", "flat", [&] {
+                            return bcast_case<int>(sh.p, count, MPI_INT, root, Exec::block, s);
+                        });
+                    }))
+                    << tag("bcast", mode);
+            }
+        }
+    }
+}
+
 TEST(Algorithms, UnknownEnvAlgorithmWarnsOnceAndFallsBack) {
     // The XMPI_ALG_* channel must not silently ignore typos: an unknown
     // name warns once on stderr (naming the valid choices) and falls back
