@@ -13,6 +13,17 @@ std::byte* Schedule::alloc(std::size_t bytes) {
     // payload-sized regions), later chunks double the arena, so the common
     // case is one contiguous block and the worst case O(log n) chunks.
     std::size_t const aligned = (bytes + 15u) & ~std::size_t{15u};
+    if (dry_ != nullptr) {
+        // Dry builds hand out stable *virtual* addresses from a bump offset
+        // in a range no real allocation can occupy. Builders compute offsets
+        // into these pointers but only dereference inside `local` steps,
+        // which dry mode discards — so simulated scratch costs no memory.
+        auto const base = std::uintptr_t{1} << 46;
+        std::byte* const p = reinterpret_cast<std::byte*>(base + dry_->scratch_used);
+        dry_->scratch_used += aligned;
+        if (dry_->scratch_used > dry_->scratch_peak) dry_->scratch_peak = dry_->scratch_used;
+        return p;
+    }
     if (arena_.empty() || arena_.back().cap - arena_.back().used < aligned) {
         std::size_t cap = arena_.empty() ? aligned * 4 : std::max(aligned, arena_cap_);
         if (cap < 1024) cap = 1024;

@@ -19,6 +19,42 @@
 
 namespace xmpi::detail::alg {
 
+/// One recorded step of a *dry-built* tape (see Schedule::begin_dry): the
+/// compact, payload-free form the virtual-time simulator (src/xmpi/sim/)
+/// executes at simulated communicator sizes where real buffers cannot
+/// exist. Sends and posts carry only their matching key and byte count.
+struct TapeStep {
+    enum : std::uint8_t { kSend = 0, kPost = 1, kWait = 2 };
+    std::uint64_t bytes = 0;  ///< packed message size (send / post)
+    std::uint32_t a = 0;      ///< send / post: peer comm rank; wait: slot
+    std::uint16_t tag = 0;    ///< full step tag (scope offset + tag_step)
+    std::uint8_t kind = kSend;
+};
+
+/// Recorder a Schedule writes TapeSteps into while in dry-build mode. One
+/// sink accumulates the tapes of many per-rank builds (steps append across
+/// builds; the per-build fields are re-zeroed by begin_build). Local steps
+/// are discarded — tapes carry costs, not computation — and scratch is a
+/// virtual bump offset, so a dry build allocates nothing payload-sized.
+struct DrySink {
+    /// Step tags are truncated to 10 bits by coll_tag() at execution time;
+    /// a dry-built tape whose full tag reaches this budget would silently
+    /// alias another phase's matching in a real run.
+    static constexpr int kTagBudget = 1024;
+
+    std::vector<TapeStep> steps;
+    std::size_t scratch_used = 0;  ///< virtual bump offset of the current build
+    std::size_t scratch_peak = 0;  ///< max scratch_used over all builds
+    int nslots = 0;                ///< receive slots of the current build
+    int over_tag = -1;             ///< first full tag >= kTagBudget (sticky)
+
+    /// Re-arms the per-build fields; recorded steps are kept.
+    void begin_build() {
+        scratch_used = 0;
+        nslots = 0;
+    }
+};
+
 /// One step of a collective schedule. Sends complete at execution time (the
 /// transport is fully eager); `wait_recv` is the only step that can stall.
 struct Step {
@@ -85,6 +121,19 @@ public:
     /// working-set size; reported via Counters::schedule_peak_scratch_bytes).
     std::size_t scratch_bytes() const { return scratch_bytes_; }
 
+    /// Switches this schedule into dry-build mode: build-API calls append
+    /// compact TapeSteps to `sink` instead of executable steps, alloc()
+    /// returns stable *virtual* addresses (builders do pointer arithmetic on
+    /// them but never dereference — every buffer access lives in a `local`
+    /// step, and local steps are discarded), and `local` closures are
+    /// dropped. A dry schedule must not be advance()d. Dry builds touch no
+    /// rank counters: XMPI_T_sched_stats' schedule_builds counts only real
+    /// compilations; simulated ones are reported via XMPI_T_sim_stats.
+    void begin_dry(DrySink* sink) {
+        dry_ = sink;
+        sink->begin_build();
+    }
+
     // --- sub-schedule (group) scopes ------------------------------------
     //
     // While a group scope is active, builders see the subgroup as the whole
@@ -110,6 +159,10 @@ public:
     int rank() const { return scopes_.empty() ? comm_->rank() : scopes_.back().rank; }
 
     void send(int peer, int tag_step, void const* buf, int count, MPI_Datatype t) {
+        if (dry_ != nullptr) {
+            dry_record(TapeStep::kSend, translate(peer), tag_offset() + tag_step, count, t);
+            return;
+        }
         Step s;
         s.kind = Step::Kind::send;
         s.peer = translate(peer);
@@ -122,6 +175,10 @@ public:
 
     /// Posts a receive into a fresh slot; pair with wait(slot).
     int post(int peer, int tag_step, void* buf, int count, MPI_Datatype t) {
+        if (dry_ != nullptr) {
+            dry_record(TapeStep::kPost, translate(peer), tag_offset() + tag_step, count, t);
+            return dry_->nslots++;
+        }
         int const slot = static_cast<int>(reqs_.size());
         reqs_.push_back(nullptr);
         Step s;
@@ -137,6 +194,13 @@ public:
     }
 
     void wait(int slot) {
+        if (dry_ != nullptr) {
+            TapeStep ts;
+            ts.a = static_cast<std::uint32_t>(slot);
+            ts.kind = TapeStep::kWait;
+            dry_->steps.push_back(ts);
+            return;
+        }
         Step s;
         s.kind = Step::Kind::wait_recv;
         s.slot = slot;
@@ -150,6 +214,7 @@ public:
 
     /// Local computation; `fn` returns an MPI error code.
     void local(std::function<int()> fn) {
+        if (dry_ != nullptr) return;  // tapes carry costs, not computation
         Step s;
         s.kind = Step::Kind::local;
         s.local_fn = std::move(fn);
@@ -209,6 +274,20 @@ private:
         return off;
     }
 
+    /// Appends one dry send/post TapeStep, flagging (sticky) any full tag
+    /// outside the 10-bit budget coll_tag() can represent.
+    void dry_record(std::uint8_t kind, int peer, int tag, int count, MPI_Datatype t) {
+        if ((tag < 0 || tag >= DrySink::kTagBudget) && dry_->over_tag < 0) {
+            dry_->over_tag = tag;
+        }
+        TapeStep ts;
+        ts.bytes = static_cast<std::uint64_t>(count) * static_cast<std::uint64_t>(t->size);
+        ts.a = static_cast<std::uint32_t>(peer);
+        ts.tag = static_cast<std::uint16_t>(tag & 0xFFFF);
+        ts.kind = kind;
+        dry_->steps.push_back(ts);
+    }
+
     /// One arena block. Chunks never move or shrink, so pointers handed out
     /// by alloc() stay stable for the schedule's lifetime.
     struct Chunk {
@@ -227,6 +306,7 @@ private:
     std::size_t arena_cap_ = 0;      ///< sum of chunk capacities
     std::size_t scratch_bytes_ = 0;  ///< sum of requested alloc() sizes
     std::vector<xmpi_request_t*> reqs_;
+    DrySink* dry_ = nullptr;  ///< non-null while in dry-build (tape) mode
 };
 
 /// RAII group scope: the hierarchical builders compose existing builders as

@@ -449,6 +449,33 @@ int XMPI_T_topo_set(int ranks_per_node);
 int XMPI_T_topo_get(int* ranks_per_node);
 
 // ---------------------------------------------------------------------------
+// Virtual-time simulation control (MPI_T-style substrate extension).
+//
+// The discrete-event simulator (src/xmpi/sim/) dry-builds collective
+// schedules at virtual communicator sizes far beyond what threads-as-ranks
+// can materialize (10^4..10^6 ranks) and replays the resulting payload-free
+// tapes under the two-tier cost model. Resolution order for the event limit
+// is control call > XMPI_SIM_EVENT_LIMIT environment variable > unlimited;
+// an invalid environment value warns once on stderr and falls back, the
+// same path as the XMPI_ALG_* / tuning knobs.
+// ---------------------------------------------------------------------------
+
+/// Caps the number of tape events one simulation may execute (a runaway
+/// guard for scripted sweeps): > 0 sets the cap, 0 means unlimited, -1
+/// restores automatic resolution (XMPI_SIM_EVENT_LIMIT, then unlimited).
+/// Values below -1 are rejected with MPI_ERR_ARG.
+int XMPI_T_sim_event_limit_set(long long limit);
+/// Reports the *effective* event limit (0 when unlimited).
+int XMPI_T_sim_event_limit_get(long long* limit);
+/// Reports process-wide simulator accounting (any pointer may be null):
+/// per-rank dry schedule builds (counted separately from the real
+/// compilations XMPI_T_sched_stats reports), recorded tape steps, executed
+/// events, and the most recent simulation's makespan in virtual seconds.
+/// Callable from anywhere, including outside rank bodies.
+int XMPI_T_sim_stats(unsigned long long* dry_builds, unsigned long long* tape_steps,
+                     unsigned long long* events, double* last_makespan);
+
+// ---------------------------------------------------------------------------
 // Derived datatypes
 // ---------------------------------------------------------------------------
 int MPI_Type_contiguous(int count, MPI_Datatype oldtype, MPI_Datatype* newtype);

@@ -1,0 +1,107 @@
+/// @file sim.hpp
+/// @brief Virtual-time discrete-event executor: dry-builds the *same*
+/// collective schedule builders the threaded substrate runs — but against a
+/// synthetic communicator of 10^4..10^6 virtual ranks — and replays the
+/// resulting payload-free tapes through a single-threaded event loop with a
+/// per-rank virtual clock, FIFO per-(source, tag) matching identical to the
+/// p2p engine's semantics, and per-message costs drawn from the two-tier
+/// machine model (intra/inter split plus sender overhead, exactly the
+/// deposit() arithmetic in p2p.cpp).
+///
+/// Tapes carry byte counts, not payloads: no threads run, no user or
+/// scratch buffer is allocated (Schedule::begin_dry hands builders stable
+/// *virtual* addresses), and `local` computation steps are discarded. What
+/// the simulator reports is therefore the communication makespan — the same
+/// quantity the closed-form model in bench/model/analytic.hpp prices — with
+/// the compiled tape as ground truth where compositions (hierarchical,
+/// pipelined) deviate from their formulas.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "../algorithms/algorithms.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace xmpi::detail::sim {
+
+using alg::Family;
+
+/// The simulated machine: a world size, a node map, and the cost
+/// parameters. Unlike a real universe, the topology is explicit — callers
+/// synthesize it (topo::block_map / topo::node_map_from_sizes), so randomized
+/// node shapes at scale need no environment plumbing.
+struct World {
+    int size = 0;
+    /// world rank -> node id; empty = flat (every rank its own node).
+    std::vector<int> node_map;
+    /// Supplies alpha/beta/o (+_intra). Compute is not simulated: tapes have
+    /// no local steps, which corresponds to Config::compute_scale = 0.
+    Config cfg;
+};
+
+/// One collective invocation to simulate.
+struct CollSpec {
+    Family family = Family::bcast;
+    /// Element count in the family's own argument position (bcast/reduce/
+    /// allreduce: total vector; allgather: per-rank block; alltoall:
+    /// per-pair block).
+    int count = 0;
+    /// Element size in bytes: 1, 4 or 8 (MPI_BYTE / MPI_INT / MPI_DOUBLE).
+    int elem_size = 1;
+    int root = 0;            ///< bcast / reduce
+    bool commutative = true; ///< reduction-operation property fed to selection
+    bool elementwise = true; ///< builtin (element-wise) op; false = user op
+    /// >= 0 pins the algorithm index (bypassing selection, like a control
+    /// pin, but *without* its never-breaks fallback: an invalid pin is an
+    /// error so sweeps cannot silently measure a different algorithm).
+    int force_alg = -1;
+
+    std::size_t bytes() const {
+        return static_cast<std::size_t>(count) * static_cast<std::size_t>(elem_size);
+    }
+};
+
+struct Options {
+    /// Record per-rank virtual finish times in Result::finish (the small-p
+    /// equivalence gate compares them against the threaded executor).
+    bool keep_finish = false;
+    /// Refuse tapes above this many recorded steps (16 B each): O(p^2)
+    /// algorithm/size combinations are *skipped and reported*, never built
+    /// to memory exhaustion.
+    std::uint64_t max_tape_steps = 60'000'000;
+};
+
+struct Result {
+    int error = MPI_SUCCESS;
+    /// Human-readable failure detail (tag budget, int-count overflow, step
+    /// cap, deadlock, event limit); empty on success.
+    std::string detail;
+    int alg = -1;                ///< algorithm index actually simulated
+    char const* alg_name = "";   ///< its registry name
+    double makespan = 0.0;       ///< max over ranks of virtual finish time
+    std::vector<double> finish;  ///< per-rank finish times (Options::keep_finish)
+    std::uint64_t tape_steps = 0;
+    std::uint64_t events = 0;
+    double build_seconds = 0.0;  ///< wall time spent dry-building the tapes
+    double run_seconds = 0.0;    ///< wall time spent in the event loop
+};
+
+/// Dry-builds and executes one collective on the simulated world.
+Result simulate(World const& w, CollSpec const& spec, Options const& opt = {});
+
+/// Selection only — which algorithm the registry would pick for this
+/// (family, p, size, shape); no tape is built. Drives the selection-at-scale
+/// tables across p = 2^10..2^20 where building every tape is infeasible.
+int select_at_scale(World const& w, CollSpec const& spec);
+
+/// Registry name of algorithm `alg` of `f` ("?" when out of range).
+char const* alg_name(Family f, int alg);
+
+/// Testing hook mirroring alg::reset_env_cache_for_testing: forgets the
+/// cached XMPI_SIM_EVENT_LIMIT resolution (re-arming its one-time warning).
+void reset_sim_env_cache_for_testing();
+
+}  // namespace xmpi::detail::sim

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <unordered_map>
 
 #include "../internal.hpp"
 
@@ -39,12 +40,25 @@ int resolve_ranks_per_node(int world_size, Config const& cfg) {
     return rpn <= 0 ? 1 : rpn;
 }
 
-std::vector<int> build_node_map(int world_size, Config const& cfg) {
-    int const rpn = resolve_ranks_per_node(world_size, cfg);
-    if (rpn <= 1) return {};  // flat: every rank its own node
+std::vector<int> block_map(int world_size, int ranks_per_node) {
+    if (ranks_per_node <= 1) return {};  // flat: every rank its own node
     std::vector<int> map(static_cast<std::size_t>(world_size));
-    for (int r = 0; r < world_size; ++r) map[static_cast<std::size_t>(r)] = r / rpn;
+    for (int r = 0; r < world_size; ++r) {
+        map[static_cast<std::size_t>(r)] = r / ranks_per_node;
+    }
     return map;
+}
+
+std::vector<int> node_map_from_sizes(std::vector<int> const& node_sizes) {
+    std::vector<int> map;
+    for (std::size_t n = 0; n < node_sizes.size(); ++n) {
+        for (int i = 0; i < node_sizes[n]; ++i) map.push_back(static_cast<int>(n));
+    }
+    return map;
+}
+
+std::vector<int> build_node_map(int world_size, Config const& cfg) {
+    return block_map(world_size, resolve_ranks_per_node(world_size, cfg));
 }
 
 bool same_node(Universe const* u, int wa, int wb) {
@@ -75,21 +89,16 @@ NodeInfo const& node_info(MPI_Comm comm) {
         return *comm->node_cache;
     }
     // Dense node ids in order of first appearance over ascending comm ranks.
-    std::vector<int> seen_world_node;  // dense node -> universe node id
+    // Hash-densified: the simulator runs this at p up to 10^6, where the
+    // former linear scan over seen nodes was O(p * nodes).
+    std::unordered_map<int, int> dense_of;  // universe node id -> dense node
+    dense_of.reserve(static_cast<std::size_t>(p));
     for (int r = 0; r < p; ++r) {
         int const wn = world_map[static_cast<std::size_t>(comm->world_of(r))];
-        int dense = -1;
-        for (std::size_t i = 0; i < seen_world_node.size(); ++i) {
-            if (seen_world_node[i] == wn) {
-                dense = static_cast<int>(i);
-                break;
-            }
-        }
-        if (dense < 0) {
-            dense = static_cast<int>(seen_world_node.size());
-            seen_world_node.push_back(wn);
-            ni->members.emplace_back();
-        }
+        auto const [it, inserted] =
+            dense_of.emplace(wn, static_cast<int>(ni->members.size()));
+        if (inserted) ni->members.emplace_back();
+        int const dense = it->second;
         ni->node_of[static_cast<std::size_t>(r)] = dense;
         ni->members[static_cast<std::size_t>(dense)].push_back(r);
     }

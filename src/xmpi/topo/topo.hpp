@@ -30,6 +30,17 @@ namespace xmpi::detail::topo {
 /// ranks (control > env > config). Returns 1 for a flat topology.
 int resolve_ranks_per_node(int world_size, Config const& cfg);
 
+/// The block mapping node = world_rank / ranks_per_node over `world_size`
+/// ranks. Empty result means flat (ranks_per_node <= 1: single tier, every
+/// rank its own node).
+std::vector<int> block_map(int world_size, int ranks_per_node);
+
+/// Synthesizes a node map from an explicit per-node size list (node n holds
+/// node_sizes[n] consecutive world ranks) — the shape source the virtual-
+/// time simulator uses for ragged / randomized topologies that no block
+/// mapping can describe.
+std::vector<int> node_map_from_sizes(std::vector<int> const& node_sizes);
+
 /// Builds the world-rank -> node-id map. Empty result means flat (single
 /// tier, every rank its own node).
 std::vector<int> build_node_map(int world_size, Config const& cfg);
