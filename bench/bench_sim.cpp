@@ -12,11 +12,14 @@
 ///                             (build + event loop) in under 60 s
 ///
 /// The full sweep records, per algorithm, the model-vs-simulator relative
-/// error — both where the tape is expected to reproduce the closed form
-/// (lock-step round-structured flats on pow2 worlds, within 5%) and where
-/// it deliberately is not (star-overlap flats, pipelined ring fill/drain,
-/// hierarchical compositions). The divergences are recorded, not hidden:
-/// the tape is ground truth, the formulas are the approximation.
+/// error. Since the closed forms learned sender-overhead pipelining (star
+/// flats) and the exact ragged-round recursion (non-pow2 binomial), every
+/// single-tier tape is expected to reproduce its formula — the remaining
+/// deliberate divergences are the pipelined bcast ring's fill/drain and the
+/// hierarchical compositions' phase overlap. Those rows are recorded, not
+/// hidden — and each is additionally replayed against a fitted scalar
+/// correction (the sim-side analogue of the tune subsystem's calibrated
+/// overlay): the tape is ground truth, the formulas are the approximation.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -122,13 +125,15 @@ double hier_model_cost(Family family, model::TwoTier const& t, model::NodeShape 
     return -1.0;
 }
 
-/// On pow2 flat worlds these tapes reproduce the closed form exactly; the
-/// rest (star-overlap flats, the pipelined ring) diverge by design.
+/// On pow2 flat worlds these tapes reproduce the closed form exactly. The
+/// star flats match since the formulas model sender-overhead pipelining
+/// ((p-1)*o + alpha + beta*B instead of serializing p-1 full messages);
+/// only the pipelined bcast ring still diverges by design (the formula
+/// folds fill/drain into uniform rounds, the tape pays the real
+/// store-and-forward).
 bool expected_to_match(Family family, std::string const& name) {
-    if (name == "flat") return family == Family::alltoall;  // pairwise, lock-step
-    if (name == "ring") return family != Family::bcast;     // bcast ring is pipelined
-    return name == "binomial" || name == "rdoubling" || name == "rabenseifner" ||
-           name == "bruck";
+    if (name == "ring") return family != Family::bcast;  // bcast ring is pipelined
+    return true;
 }
 
 double now_seconds() {
@@ -405,10 +410,18 @@ void sweep_divergences(Json& j, xmpi::Config const& cfg) {
     model::TwoTier const t = two_tier_of(cfg);
     j.key("divergences");
     j.open('[');
+    // Each row is scored twice: against the closed form as-is (rel_err) and
+    // against the closed form scaled by a correction ratio fitted from a
+    // replay of the same (family, algorithm, shape) at a second message
+    // size (corrected_rel_err) — the sim-side analogue of the tune
+    // subsystem's calibrated parameter overlay. Rows whose formula is now
+    // tape-exact fit a ratio of ~1 and both errors vanish; the deliberate
+    // divergences (pipelined ring, hierarchical phase overlap) record how
+    // much of the gap a single fitted scalar can close.
     auto emit = [&](char const* note, Family family, int p, std::vector<int> node_map, int count,
-                    int elem, int force_alg) {
+                    int elem, int force_alg, int cal_count) {
         model::NodeShape const ns = shape_of(node_map, p);
-        sim::Result const res = run_sim(family, p, std::move(node_map), count, elem, force_alg);
+        sim::Result const res = run_sim(family, p, node_map, count, elem, force_alg);
         j.comma();
         j.open('{');
         j.str("family", alg::family_name(family));
@@ -428,25 +441,42 @@ void sweep_divergences(Json& j, xmpi::Config const& cfg) {
         j.num("sim", res.makespan);
         j.num("model", want);
         j.num("rel_err", std::abs(res.makespan - want) / want);
+        sim::Result const cal =
+            run_sim(family, p, std::move(node_map), cal_count, elem, force_alg);
+        if (cal.error == MPI_SUCCESS && want > 0) {
+            double const cal_bytes = static_cast<double>(cal_count) * elem;
+            double cal_model = flat_model_cost(family, cal.alg_name, m, p, cal_bytes);
+            if (cal_model < 0) cal_model = hier_model_cost(family, t, ns, p, cal_bytes);
+            if (cal_model > 0 && cal.makespan > 0) {
+                double const fit = cal.makespan / cal_model;
+                j.num("fit_ratio", fit);
+                j.num("corrected_rel_err", std::abs(res.makespan - fit * want) / (fit * want));
+            }
+        }
         j.close('}');
     };
-    // Star-overlap flats: the closed forms serialize (p-1) full messages,
-    // the tape overlaps the p2p engine's per-message costs across senders.
-    emit("star overlap: flat reference vs serialized closed form", Family::bcast, 1024, {},
-         1024, 4, 0);
-    emit("star overlap: flat reference vs serialized closed form", Family::reduce, 1024, {},
-         1024, 4, 0);
-    emit("star overlap: flat reference vs serialized closed form", Family::allgather, 1024, {},
-         64, 4, 0);
-    emit("star overlap: flat reference vs serialized closed form", Family::allreduce, 1024, {},
-         64, 4, 0);
+    // Star flats: formerly ~2x off (the formulas serialized p-1 full
+    // messages where the tape overlaps them); the sender-pipelined closed
+    // forms are now tape-exact, so these rows must sit inside the 5%
+    // lock-step tolerance.
+    emit("star flat: sender-pipelined closed form (was ~2x)", Family::bcast, 1024, {},
+         1024, 4, 0, 4096);
+    emit("star flat: sender-pipelined closed form (was ~2x)", Family::reduce, 1024, {},
+         1024, 4, 0, 4096);
+    emit("star flat: sender-pipelined closed form (was ~2x)", Family::allgather, 1024, {},
+         64, 4, 0, 256);
+    emit("star flat: sender-pipelined closed form (was ~2x)", Family::allreduce, 1024, {},
+         64, 4, 0, 256);
     // Pipelined ring bcast: the formula folds fill/drain into (p-2+s) equal
     // rounds; the tape pays the real per-segment store-and-forward.
-    emit("pipelined ring: fill/drain vs folded rounds", Family::bcast, 1024, {}, 65536, 4, 2);
-    // Binomial trees at non-pow2 p: ceil(log2 p) rounds in the formula, a
-    // ragged last round in the tape.
-    emit("non-pow2 binomial: ragged last round", Family::bcast, 1000, {}, 1024, 4, 1);
-    emit("non-pow2 binomial: ragged last round", Family::allreduce, 1000, {}, 1024, 4, 1);
+    emit("pipelined ring: fill/drain vs folded rounds", Family::bcast, 1024, {}, 65536, 4, 2,
+         16384);
+    // Binomial trees at non-pow2 p: formerly priced at a flat ceil(log2 p)
+    // rounds (~10% off); the exact ragged-subtree recursion matches the tape.
+    emit("non-pow2 binomial: exact ragged recursion (was ~10%)", Family::bcast, 1000, {}, 1024,
+         4, 1, 4096);
+    emit("non-pow2 binomial: exact ragged recursion (was ~10%)", Family::allreduce, 1000, {},
+         1024, 4, 1, 4096);
     // Hierarchical compositions at p=8192, 16 ranks/node: phase overlap and
     // per-segment relays the two-tier formulas only approximate.
     for (Family family : kAllFamilies) {
@@ -457,7 +487,8 @@ void sweep_divergences(Json& j, xmpi::Config const& cfg) {
         }
         bool const per_block = family == Family::allgather || family == Family::alltoall;
         emit("hierarchical composition vs two-tier closed form", family, 8192,
-             topo::block_map(8192, 16), per_block ? 256 : 16384, 4, hier_idx);
+             topo::block_map(8192, 16), per_block ? 256 : 16384, 4, hier_idx,
+             per_block ? 64 : 4096);
     }
     j.close(']');
 }

@@ -131,11 +131,74 @@ inline double pipeline_segments(double bytes, double overlapped_cost, double alp
     return clamp_segments(std::round(std::sqrt(overlapped_cost / alpha_per_seg)), bytes);
 }
 
-inline double bcast_flat(Machine const& m, double p, double bytes) {
-    return (p - 1) * (m.alpha + m.o + m.beta * bytes);
+namespace detail {
+
+inline int ceil_log2_int(double p) {
+    unsigned long long const q =
+        static_cast<unsigned long long>(p < 1 ? 1 : std::llround(p));
+    int k = 0;
+    while (k < 63 && (1ull << k) < q) ++k;
+    return k;
 }
+
+/// Makespans of full power-of-two binomial bcast subtrees: g2[k] is the
+/// virtual-time finish of a subtree of 2^k ranks whose root starts sending
+/// at 0, with the descending-offset send order append_binomial_bcast uses.
+/// The root's j-th send completes at j*o, the message lands c = alpha +
+/// beta*bytes later, and the child at offset 2^(k-j) roots a full subtree
+/// of 2^(k-j) ranks.
+inline void bcast_pow2_subtrees(double o, double c, int kmax, double* g2) {
+    g2[0] = 0.0;
+    for (int k = 1; k <= kmax; ++k) {
+        double best = k * o;  // the root's own last send completes
+        for (int j = 1; j <= k; ++j) best = std::max(best, j * o + c + g2[k - j]);
+        g2[k] = best;
+    }
+}
+
+}  // namespace detail
+
+inline double bcast_flat(Machine const& m, double p, double bytes) {
+    // Tape-exact: the root pays o per egress message back-to-back; the last
+    // message leaves at (p-1)*o and lands alpha + beta*bytes later. The old
+    // (p-1)*(alpha+o+beta*bytes) form serialized what the executor overlaps
+    // (~2x recorded divergence, BENCH_sim.json). Selection uses
+    // bcast_flat_select below instead.
+    return (p - 1) * m.o + m.alpha + m.beta * bytes;
+}
+/// Exact virtual-time makespan of the binomial bcast tape over p ranks
+/// (p need not be a power of two), matching append_binomial_bcast: K =
+/// ceil_log2(p) rounds, the root's first send feeds the ragged remainder
+/// subtree of p - 2^(K-1) ranks, the later sends feed full power-of-two
+/// subtrees. The old K*(alpha+o+beta*bytes) closed form ignored the ragged
+/// last round (~10% recorded divergence at p=1000, BENCH_sim.json).
 inline double bcast_binomial(Machine const& m, double p, double bytes) {
-    return ceil_log2(p) * (m.alpha + m.o + m.beta * bytes);
+    double const o = m.o;
+    double const c = m.alpha + m.beta * bytes;
+    unsigned long long q =
+        static_cast<unsigned long long>(p < 1 ? 1 : std::llround(p));
+    if (q <= 1) return 0.0;
+    double g2[64];
+    detail::bcast_pow2_subtrees(o, c, detail::ceil_log2_int(p), g2);
+    double best = 0.0;   // finish over all subtrees peeled off so far
+    double base = 0.0;   // start time of the current ragged subtree's root
+    while (q > 1) {
+        int const K = detail::ceil_log2_int(static_cast<double>(q));
+        if ((q & (q - 1)) == 0) {  // power of two: closed subtree table
+            best = std::max(best, base + g2[K]);
+            return best;
+        }
+        // Root finishes its own K sends at K*o; sends j = 2..K feed full
+        // power-of-two subtrees of 2^(K-j) ranks each.
+        double local = K * o;
+        for (int j = 2; j <= K; ++j) local = std::max(local, j * o + c + g2[K - j]);
+        best = std::max(best, base + local);
+        // The first send (completing at o, landing at o + c) roots the
+        // ragged remainder of q - 2^(K-1) ranks.
+        base += o + c;
+        q -= 1ull << (K - 1);
+    }
+    return std::max(best, base);
 }
 inline double bcast_ring_pipelined(Machine const& m, double p, double bytes) {
     double const s = ring_pipeline_segments(bytes);
@@ -143,14 +206,44 @@ inline double bcast_ring_pipelined(Machine const& m, double p, double bytes) {
 }
 
 inline double reduce_flat(Machine const& m, double p, double bytes) {
-    return (p - 1) * (m.alpha + m.o + m.beta * bytes);
+    // Tape-exact and p-independent: all p-1 leaves send concurrently at time
+    // 0 (each paying its own o), the root's ingress costs nothing per
+    // message, so the makespan is one message's flight time.
+    (void)p;
+    return m.o + m.alpha + m.beta * bytes;
 }
+/// Exact virtual-time makespan of the binomial reduce tape over p ranks
+/// (p need not be a power of two), matching append_binomial_reduce: the
+/// root's children at offsets 1, 2, ..., 2^(K-1) all start folding at time
+/// 0; a full power-of-two subtree of 2^k ranks has its result in hand at
+/// k*(o+c), and the last (ragged) child covers the remainder recursively.
 inline double reduce_binomial(Machine const& m, double p, double bytes) {
-    return ceil_log2(p) * (m.alpha + m.o + m.beta * bytes);
+    double const oc = m.o + m.alpha + m.beta * bytes;
+    unsigned long long q =
+        static_cast<unsigned long long>(p < 1 ? 1 : std::llround(p));
+    if (q <= 1) return 0.0;
+    double best = 0.0;   // latest arrival at the root seen so far
+    double base = 0.0;   // hops already accumulated on the ragged chain
+    while (q > 1) {
+        int const K = detail::ceil_log2_int(static_cast<double>(q));
+        if ((q & (q - 1)) == 0) {  // power of two: h = log2(q)*(o+c)
+            best = std::max(best, base + K * oc);
+            return best;
+        }
+        // Non-ragged children of this root are full subtrees of up to
+        // 2^(K-2) ranks; the ragged child forwards one hop later.
+        base += oc;
+        best = std::max(best, base + (K - 2) * oc);
+        q -= 1ull << (K - 1);
+    }
+    return std::max(best, base);
 }
 
 inline double allgather_flat(Machine const& m, double p, double bytes) {
-    return (p - 1) * (m.alpha + m.o) + (p - 1) * m.beta * bytes;
+    // Tape-exact: every rank streams its p-1 egress copies back-to-back
+    // (concurrently across ranks), so the last message leaves at (p-1)*o
+    // and lands alpha + beta*bytes later.
+    return (p - 1) * m.o + m.alpha + m.beta * bytes;
 }
 inline double allgather_rdoubling(Machine const& m, double p, double bytes) {
     return ceil_log2(p) * (m.alpha + m.o) + (p - 1) * m.beta * bytes;
@@ -160,14 +253,18 @@ inline double allgather_ring(Machine const& m, double p, double bytes) {
 }
 
 inline double allreduce_flat(Machine const& m, double p, double bytes) {
-    return (p - 1) * (m.alpha + m.o) + (p - 1) * m.beta * bytes;
+    // Tape-exact: the flat allreduce's critical path is bounded by its
+    // star fan-out, same shape as allgather_flat (verified against the
+    // BENCH_sim.json lock-step tape).
+    return (p - 1) * m.o + m.alpha + m.beta * bytes;
 }
 inline double allreduce_rdoubling(Machine const& m, double p, double bytes) {
     return ceil_log2(p) * (m.alpha + m.o + m.beta * bytes);
 }
-/// Binomial reduce to rank 0 followed by a binomial bcast.
+/// Binomial reduce to rank 0 followed by a binomial bcast (both exact in
+/// the ragged last round).
 inline double allreduce_binomial(Machine const& m, double p, double bytes) {
-    return 2 * ceil_log2(p) * (m.alpha + m.o + m.beta * bytes);
+    return reduce_binomial(m, p, bytes) + bcast_binomial(m, p, bytes);
 }
 /// Recursive-halving reduce-scatter + recursive-doubling allgather.
 inline double allreduce_rabenseifner(Machine const& m, double p, double bytes) {
@@ -187,6 +284,33 @@ inline double alltoall_bruck(Machine const& m, double p, double block_bytes) {
 }
 
 // ---------------------------------------------------------------------------
+// Selection-side star costs. The tape-exact *_flat forms above price an
+// isolated collective, where the star root's p-1 messages overlap perfectly
+// in flight (the LogP tape has no shared wire). Algorithm selection charges
+// the star root's egress link serialization on top — beta per byte per
+// message — because a star that is virtually "free" would displace the
+// logarithmic algorithms at every size, which is wrong on any machine where
+// the root's NIC is a shared resource. The registry's tables point at these
+// variants; the bench/sim divergence tables use the tape-exact forms.
+// ---------------------------------------------------------------------------
+
+inline double star_flat_select(Machine const& m, double p, double bytes) {
+    return (p - 1) * (m.o + m.beta * bytes) + m.alpha;
+}
+inline double bcast_flat_select(Machine const& m, double p, double bytes) {
+    return star_flat_select(m, p, bytes);
+}
+inline double reduce_flat_select(Machine const& m, double p, double bytes) {
+    return star_flat_select(m, p, bytes);
+}
+inline double allgather_flat_select(Machine const& m, double p, double bytes) {
+    return star_flat_select(m, p, bytes);
+}
+inline double allreduce_flat_select(Machine const& m, double p, double bytes) {
+    return star_flat_select(m, p, bytes);
+}
+
+// ---------------------------------------------------------------------------
 // Hierarchical (two-tier) collective costs. Each composition mirrors the
 // leader-based schedules built in src/xmpi/algorithms/hierarchical.cpp:
 // an intra-node phase priced with the shared-memory tier, an inter-node
@@ -203,23 +327,23 @@ inline bool is_pow2_p(double p) {
 }
 
 inline double bcast_best_flat(Machine const& m, double p, double bytes) {
-    return std::min({bcast_flat(m, p, bytes), bcast_binomial(m, p, bytes),
+    return std::min({bcast_flat_select(m, p, bytes), bcast_binomial(m, p, bytes),
                      bcast_ring_pipelined(m, p, bytes)});
 }
 
 inline double reduce_best_flat(Machine const& m, double p, double bytes) {
-    return std::min(reduce_flat(m, p, bytes), reduce_binomial(m, p, bytes));
+    return std::min(reduce_flat_select(m, p, bytes), reduce_binomial(m, p, bytes));
 }
 
 inline double allgather_best_flat(Machine const& m, double p, double bytes) {
-    double c = std::min(allgather_flat(m, p, bytes), allgather_ring(m, p, bytes));
+    double c = std::min(allgather_flat_select(m, p, bytes), allgather_ring(m, p, bytes));
     if (is_pow2_p(p)) c = std::min(c, allgather_rdoubling(m, p, bytes));
     return c;
 }
 
 inline double allreduce_best_flat(Machine const& m, double p, double bytes, bool commutative,
                                   bool elementwise) {
-    double c = std::min(allreduce_flat(m, p, bytes), allreduce_binomial(m, p, bytes));
+    double c = std::min(allreduce_flat_select(m, p, bytes), allreduce_binomial(m, p, bytes));
     if (is_pow2_p(p)) c = std::min(c, allreduce_rdoubling(m, p, bytes));
     if (commutative && elementwise) {
         c = std::min(c, allreduce_ring(m, p, bytes));

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench/model/analytic.hpp"
+#include "../tune/tune.hpp"
 #include "schedule.hpp"
 
 namespace xmpi::detail::alg {
@@ -75,6 +76,14 @@ int select(Family f, MPI_Comm comm, std::size_t bytes, bool commutative, bool el
 /// user-visible collective, not to phases of a composition.
 int select_flat(Family f, int p, std::size_t bytes, bool commutative, bool elementwise,
                 bench::model::Machine const& m);
+
+/// run_blocking with measured-selection feedback: when tuning feedback is
+/// enabled, captures the schedule's per-rank virtual-time makespan (two
+/// clock reads around the run — behind the same counters infrastructure as
+/// the schedule-build stats) and records it into the tune feedback table
+/// under (family, comm size, `bytes`). With feedback off this is exactly
+/// run_blocking.
+int run_observed(Schedule& s, Family f, int alg, std::size_t bytes);
 
 /// Testing hook: forgets the cached XMPI_ALG_* environment resolutions (and
 /// re-arms the one-time unknown-name warning) so tests can exercise the env
@@ -231,9 +240,10 @@ inline void local_copy(void const* src, int scount, MPI_Datatype stype, void* ds
     rtype->unpack(tmp.data(), rtype->size > 0 ? static_cast<int>(bytes / rtype->size) : 0, dst);
 }
 
-/// The communicator universe's Config as a two-tier bench machine. Shared
-/// by the registry's selection and the hierarchical builders' inner-phase
-/// choices, so their cost decisions cannot drift.
+/// The communicator universe's Config as a two-tier bench machine, with the
+/// tuning overlay (control pins > calibrated fit > XMPI_TUNE_PROFILE)
+/// applied on top. Shared by the registry's selection and the hierarchical
+/// builders' inner-phase choices, so their cost decisions cannot drift.
 inline bench::model::TwoTier machine_of(MPI_Comm comm) {
     auto const& cfg = comm->universe->cfg;
     bench::model::TwoTier t;
@@ -243,6 +253,7 @@ inline bench::model::TwoTier machine_of(MPI_Comm comm) {
     t.intra.alpha = cfg.alpha_intra;
     t.intra.beta = cfg.beta_intra;
     t.intra.o = cfg.o_intra;
+    tune::overlay(t);
     return t;
 }
 

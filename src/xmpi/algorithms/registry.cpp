@@ -15,7 +15,9 @@
 #include <mutex>
 #include <string>
 
+#include "../env.hpp"
 #include "../topo/topo.hpp"
+#include "../tune/tune.hpp"
 #include "algorithms.hpp"
 
 namespace xmpi::detail::alg {
@@ -35,25 +37,31 @@ double adapt(bench::model::TwoTier const& t, bench::model::NodeShape const&, dou
 std::vector<AlgInfo> const& table(Family f) {
     // Index 0 is always the flat reference of each family (the PR-1
     // behavior); the hierarchical composition is always last.
+    // Star-shaped flat entries are priced with the *_flat_select variants:
+    // the tape-exact star forms (a star root's messages overlap in flight)
+    // would make "flat" nearly free in virtual time and displace the
+    // logarithmic algorithms everywhere, so selection charges the root's
+    // egress serialization on top. The bench/sim divergence tables use the
+    // tape-exact forms.
     static std::vector<AlgInfo> const bcast_t = {
-        {"flat", false, false, false, adapt<bench::model::bcast_flat>},
+        {"flat", false, false, false, adapt<bench::model::bcast_flat_select>},
         {"binomial", false, false, false, adapt<bench::model::bcast_binomial>},
         {"ring", false, false, false, adapt<bench::model::bcast_ring_pipelined>},
         {"hierarchical", false, false, false, nullptr, true},
     };
     static std::vector<AlgInfo> const reduce_t = {
-        {"flat", false, false, false, adapt<bench::model::reduce_flat>},
+        {"flat", false, false, false, adapt<bench::model::reduce_flat_select>},
         {"binomial", false, false, false, adapt<bench::model::reduce_binomial>},
         {"hierarchical", false, false, false, nullptr, true},
     };
     static std::vector<AlgInfo> const allgather_t = {
-        {"flat", false, false, false, adapt<bench::model::allgather_flat>},
+        {"flat", false, false, false, adapt<bench::model::allgather_flat_select>},
         {"rdoubling", true, false, false, adapt<bench::model::allgather_rdoubling>},
         {"ring", false, false, false, adapt<bench::model::allgather_ring>},
         {"hierarchical", false, false, false, nullptr, true},
     };
     static std::vector<AlgInfo> const allreduce_t = {
-        {"flat", false, false, false, adapt<bench::model::allreduce_flat>},
+        {"flat", false, false, false, adapt<bench::model::allreduce_flat_select>},
         {"binomial", false, false, false, adapt<bench::model::allreduce_binomial>},
         {"rdoubling", true, false, false, adapt<bench::model::allreduce_rdoubling>},
         // Recursive halving pairs ranks at distance p/2 first, so an
@@ -189,20 +197,10 @@ void publish_segment_override() {
 /// a local and published with a single store, so concurrent lock-free
 /// readers never observe a mid-resolution reset.
 void resolve_tuning_env_locked() {
-    long long seg = 0;
+    long long const seg = envutil::parse_env_int(
+        "XMPI_SEGMENT_BYTES", 0, 1, std::numeric_limits<long long>::max(),
+        "is not a positive byte count; falling back to the cost model's segment size");
     int cache = -1;
-    if (char const* env = std::getenv("XMPI_SEGMENT_BYTES"); env != nullptr && *env != '\0') {
-        char* end = nullptr;
-        long long const v = std::strtoll(env, &end, 10);
-        if (end != env && *end == '\0' && v > 0) {
-            seg = v;
-        } else {
-            std::fprintf(stderr,
-                         "xmpi: XMPI_SEGMENT_BYTES=\"%s\" is not a positive byte count; "
-                         "falling back to the cost model's segment size\n",
-                         env);
-        }
-    }
     if (char const* env = std::getenv("XMPI_SCHED_CACHE"); env != nullptr && *env != '\0') {
         if (iequals(env, "0") || iequals(env, "off")) {
             cache = 0;
@@ -345,7 +343,30 @@ int select(Family f, MPI_Comm comm, std::size_t bytes, bool commutative, bool el
             best = static_cast<int>(i);
         }
     }
+    // Measured-selection feedback: when tuning is on, the feedback table may
+    // override the model's argmin (a demotion) or schedule a probe of an
+    // under-sampled candidate. The decision is frozen per generation of
+    // coll_seq — identical on every rank of this collective — so ranks can
+    // never mix algorithms within one call (see tune.hpp).
+    if (tune::feedback_enabled() && t.size() > 1) {
+        unsigned valid_mask = 0;
+        for (std::size_t i = 0; i < t.size() && i < 32; ++i) {
+            if (valid(t[i])) valid_mask |= 1u << i;
+        }
+        best = tune::pick(static_cast<int>(f), p, bytes, comm->coll_seq, best, valid_mask);
+    }
     return chosen(best);
+}
+
+int run_observed(Schedule& s, Family f, int alg, std::size_t bytes) {
+    RankState* const rs = tls_rank();
+    if (rs == nullptr || !tune::feedback_enabled()) return run_blocking(s);
+    double const t0 = rs->vnow;
+    int const rc = run_blocking(s);
+    if (rc == MPI_SUCCESS) {
+        tune::record(static_cast<int>(f), s.size(), bytes, alg, rs->vnow - t0);
+    }
+    return rc;
 }
 
 int select_flat(Family f, int p, std::size_t bytes, bool commutative, bool elementwise,
@@ -502,8 +523,12 @@ int XMPI_T_alg_get(const char* family, const char** algorithm) {
 }
 
 int XMPI_T_alg_env_refresh(void) {
+    // Re-arm the one-time invalid-value diagnostics before re-resolving, so
+    // a refreshed environment warns again.
+    xmpi::detail::envutil::reset_warnings();
     reset_env_cache_for_testing();
     refresh_tuning_env();
+    xmpi::detail::tune::refresh_env();
     bump_sched_epoch();
     return MPI_SUCCESS;
 }

@@ -194,7 +194,7 @@ int MPI_Bcast(void* buf, int count, MPI_Datatype type, int root, MPI_Comm comm) 
                        nullptr},
         &err, [&](alg::Schedule& sch) { return alg::build_bcast(idx, sch, buf, count, type, root); });
     if (err != MPI_SUCCESS) return err;
-    return alg::run_blocking(*s);
+    return alg::run_observed(*s, alg::Family::bcast, idx, bytes);
 }
 
 // ---------------------------------------------------------------------------
@@ -300,7 +300,7 @@ int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, voi
         &err,
         [&](alg::Schedule& sch) { return alg::build_allgather(idx, sch, recvbuf, recvcount, recvtype); });
     if (err != MPI_SUCCESS) return err;
-    return alg::run_blocking(*s);
+    return alg::run_observed(*s, alg::Family::allgather, idx, bytes);
 }
 
 int MPI_Allgatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
@@ -352,7 +352,7 @@ int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void
                                        recvtype);
         });
     if (err != MPI_SUCCESS) return err;
-    return alg::run_blocking(*s);
+    return alg::run_observed(*s, alg::Family::alltoall, idx, bytes);
 }
 
 int MPI_Alltoallv(const void* sendbuf, const int* sendcounts, const int* sdispls,
@@ -435,7 +435,7 @@ int MPI_Reduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type,
             return alg::build_reduce(idx, sch, input, recvbuf, count, type, op, root);
         });
     if (err != MPI_SUCCESS) return err;
-    return alg::run_blocking(*s);
+    return alg::run_observed(*s, alg::Family::reduce, idx, bytes);
 }
 
 int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
@@ -455,7 +455,7 @@ int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype ty
             return alg::build_allreduce(idx, sch, input, recvbuf, count, type, op);
         });
     if (err != MPI_SUCCESS) return err;
-    return alg::run_blocking(*s);
+    return alg::run_observed(*s, alg::Family::allreduce, idx, bytes);
 }
 
 int MPI_Scan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,

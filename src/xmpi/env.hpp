@@ -1,0 +1,63 @@
+/// @file env.hpp
+/// @brief One validated environment-integer parser shared by every xmpi
+/// env knob. Historically each subsystem rolled its own: topo.cpp's strtol
+/// accepted trailing garbage and silently clamped, while XMPI_SEGMENT_BYTES
+/// and XMPI_SIM_EVENT_LIMIT warned once and fell back. This helper gives
+/// all call sites the strict-parse + warn-once-and-fall-back semantics:
+/// a value parses only when the whole string is a base-10 integer inside
+/// [min, max]; anything else emits one stderr diagnostic per variable (per
+/// resolution cycle — the XMPI_T_*_env_refresh controls re-arm it) and
+/// returns the caller's fallback.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace xmpi::detail::envutil {
+
+inline std::mutex& warn_mutex() {
+    static std::mutex m;
+    return m;
+}
+
+inline std::set<std::string>& warned_names() {
+    static std::set<std::string> s;
+    return s;
+}
+
+/// True exactly once per variable name between reset_warnings() calls.
+inline bool arm_warning(char const* name) {
+    std::lock_guard<std::mutex> lock(warn_mutex());
+    return warned_names().insert(name).second;
+}
+
+/// Re-arms the one-time diagnostics; called by the env-refresh controls so
+/// a test (or a harness that legitimately mutates its environment) sees the
+/// warning again on the next resolution.
+inline void reset_warnings() {
+    std::lock_guard<std::mutex> lock(warn_mutex());
+    warned_names().clear();
+}
+
+/// Parses environment variable `name` as a strict base-10 integer within
+/// [min, max]. Returns `fallback` when the variable is unset or empty;
+/// when it is set but invalid (trailing garbage, not a number, out of
+/// range), warns once on stderr — "xmpi: NAME="raw" <invalid_hint>" — and
+/// returns `fallback`.
+inline long long parse_env_int(char const* name, long long fallback, long long min_value,
+                               long long max_value, char const* invalid_hint) {
+    char const* env = std::getenv(name);
+    if (env == nullptr || *env == '\0') return fallback;
+    char* end = nullptr;
+    long long const v = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && v >= min_value && v <= max_value) return v;
+    if (arm_warning(name)) {
+        std::fprintf(stderr, "xmpi: %s=\"%s\" %s\n", name, env, invalid_hint);
+    }
+    return fallback;
+}
+
+}  // namespace xmpi::detail::envutil

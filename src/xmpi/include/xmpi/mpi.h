@@ -476,6 +476,54 @@ int XMPI_T_sim_stats(unsigned long long* dry_builds, unsigned long long* tape_st
                      unsigned long long* events, double* last_makespan);
 
 // ---------------------------------------------------------------------------
+// Self-tuning control (MPI_T-style substrate extension).
+//
+// The tuning subsystem (src/xmpi/tune/) layers measured machine parameters
+// over the analytic cost model and closes the selection loop with measured
+// makespans. The two-tier alpha/beta/o parameters resolve, per parameter,
+// as: XMPI_T_tune_set pin > calibrated fit (XMPI_T_tune_calibrate) >
+// XMPI_TUNE_PROFILE machine description > Config defaults — the same
+// control > environment > default precedence as the topology knobs. A
+// profile is a hostfile-style text file of "inter alpha=... beta=... o=..."
+// / "intra ..." lines ('#' comments); a malformed profile warns once on
+// stderr and is ignored whole.
+//
+// Selection feedback (default off; enabled by XMPI_TUNE=1 or
+// XMPI_T_tune_set("feedback", 1)) records every executed blocking
+// collective's measured virtual-time makespan into a per-(family,
+// comm-size-bucket, message-size-bucket) table, demotes algorithms whose
+// measured time is consistently beaten by a sampled alternative, and
+// epsilon-greedily re-probes so demotions can recover. Any tuning change
+// that can move selection bumps the schedule-cache epoch, so stale cached
+// schedules are never replayed.
+// ---------------------------------------------------------------------------
+
+/// Pins one machine parameter ("alpha", "beta", "o", "alpha_intra",
+/// "beta_intra", "o_intra") to `value` seconds (resp. seconds/byte), or the
+/// feedback switch ("feedback", value 0/1). A negative value restores the
+/// lower-precedence layers. Unknown keys are rejected with MPI_ERR_ARG.
+int XMPI_T_tune_set(const char* key, double value);
+/// Reports the effective layered value of `key` as selection would see it
+/// over the default machine configuration ("feedback" reports 0/1).
+int XMPI_T_tune_get(const char* key, double* value);
+/// Runs the calibration pass on `comm` (collective over all its ranks;
+/// callable only from inside a rank body, MPI_ERR_OTHER otherwise or when
+/// comm has fewer than 2 ranks): rank 0 fits alpha/beta/o per tier from
+/// isolated-send and two-size ping-pong probes against the first same-node
+/// and first off-node peer; absent tiers keep their previous layers.
+int XMPI_T_tune_calibrate(MPI_Comm comm);
+/// Writes the effective two-tier parameters to `path` in the
+/// XMPI_TUNE_PROFILE format (persist once, reuse via the environment).
+int XMPI_T_tune_save(const char* path);
+/// Reports process-wide feedback-loop accounting (any pointer may be
+/// null): recorded makespans, probe decisions, demotions and recoveries.
+int XMPI_T_tune_stats(unsigned long long* records, unsigned long long* probes,
+                      unsigned long long* demotions, unsigned long long* recoveries);
+/// Forgets measured state (calibrated fits, the feedback table, the stats
+/// counters) while keeping control pins and the environment profile.
+int XMPI_T_tune_reset(void);
+
+// ---------------------------------------------------------------------------
 // Derived datatypes
 // ---------------------------------------------------------------------------
 int MPI_Type_contiguous(int count, MPI_Datatype oldtype, MPI_Datatype* newtype);

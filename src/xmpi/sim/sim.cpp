@@ -14,12 +14,14 @@
 #include <chrono>
 #include <climits>
 #include <cstdio>
+#include <limits>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <numeric>
 #include <unordered_map>
 
+#include "../env.hpp"
 #include "../internal.hpp"
 #include "../topo/topo.hpp"
 
@@ -43,19 +45,9 @@ std::atomic<unsigned long long> g_events{0};
 std::atomic<double> g_last_makespan{0.0};
 
 void resolve_sim_env_locked() {
-    long long limit = 0;
-    if (char const* env = std::getenv("XMPI_SIM_EVENT_LIMIT"); env != nullptr && *env != '\0') {
-        char* end = nullptr;
-        long long const v = std::strtoll(env, &end, 10);
-        if (end != env && *end == '\0' && v >= 0) {
-            limit = v;
-        } else {
-            std::fprintf(stderr,
-                         "xmpi: XMPI_SIM_EVENT_LIMIT=\"%s\" is not a non-negative event "
-                         "count; the simulator runs unlimited\n",
-                         env);
-        }
-    }
+    long long const limit = envutil::parse_env_int(
+        "XMPI_SIM_EVENT_LIMIT", 0, 0, std::numeric_limits<long long>::max(),
+        "is not a non-negative event count; the simulator runs unlimited");
     g_env_event_limit.store(limit, std::memory_order_relaxed);
     g_sim_env_resolved.store(true, std::memory_order_release);
 }
@@ -471,6 +463,7 @@ Result simulate(World const& w, CollSpec const& spec, Options const& opt) {
 }
 
 void reset_sim_env_cache_for_testing() {
+    envutil::reset_warnings();  // a fresh resolution re-warns on invalid values
     std::lock_guard<std::mutex> lock(g_sim_env_mutex);
     g_sim_env_resolved.store(false, std::memory_order_release);
 }

@@ -5,8 +5,10 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <limits>
 #include <unordered_map>
 
+#include "../env.hpp"
 #include "../internal.hpp"
 
 namespace xmpi::detail::topo {
@@ -16,14 +18,14 @@ namespace {
 /// (environment, then Config).
 std::atomic<int> g_forced_ranks_per_node{0};
 
-/// Parses a positive integer environment variable; 0 when unset/invalid.
+/// Parses a positive integer environment variable; 0 when unset. Invalid
+/// values (trailing garbage, non-positive) warn once and fall back — the
+/// same validated parse as every other xmpi env knob (the old strtol path
+/// accepted trailing garbage and silently ignored bad values).
 int env_int(char const* name) {
-    char const* v = std::getenv(name);
-    if (v == nullptr || *v == '\0') return 0;
-    char* end = nullptr;
-    long const n = std::strtol(v, &end, 10);
-    if (end == v || *end != '\0' || n <= 0) return 0;
-    return static_cast<int>(n);
+    return static_cast<int>(envutil::parse_env_int(
+        name, 0, 1, std::numeric_limits<int>::max(),
+        "is not a positive rank count; falling back to the configured topology"));
 }
 
 }  // namespace

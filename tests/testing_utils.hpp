@@ -37,6 +37,37 @@ struct SegPin {
     SegPin& operator=(SegPin const&) = delete;
 };
 
+/// Clears every XMPI_ALG_* pin for a scope, so tests of *automatic*
+/// selection behave identically under the forced-algorithms CI matrix
+/// (there is no control value meaning "ignore the environment" — an
+/// XMPI_T_alg_set "auto" defers to the environment by design). The
+/// destructor restores the variables and re-resolves.
+struct ScrubAlgEnv {
+    static constexpr char const* kVars[5] = {"XMPI_ALG_BCAST", "XMPI_ALG_REDUCE",
+                                             "XMPI_ALG_ALLGATHER", "XMPI_ALG_ALLREDUCE",
+                                             "XMPI_ALG_ALLTOALL"};
+    std::string saved[5];
+    bool had[5] = {};
+    ScrubAlgEnv() {
+        for (int i = 0; i < 5; ++i) {
+            if (char const* v = std::getenv(kVars[i])) {
+                had[i] = true;
+                saved[i] = v;
+            }
+            unsetenv(kVars[i]);
+        }
+        XMPI_T_alg_env_refresh();
+    }
+    ~ScrubAlgEnv() {
+        for (int i = 0; i < 5; ++i) {
+            if (had[i]) setenv(kVars[i], saved[i].c_str(), 1);
+        }
+        XMPI_T_alg_env_refresh();
+    }
+    ScrubAlgEnv(ScrubAlgEnv const&) = delete;
+    ScrubAlgEnv& operator=(ScrubAlgEnv const&) = delete;
+};
+
 /// The seed for this test's randomness: XMPI_TEST_SEED if set (replay),
 /// otherwise a fresh nondeterministic one.
 inline std::uint64_t pick_seed() {

@@ -26,6 +26,7 @@ namespace topo = xmpi::detail::topo;
 namespace model = bench::model;
 
 using sim::Family;
+using testing_utils::ScrubAlgEnv;
 using testing_utils::SeededRng;
 using testing_utils::SegPin;
 using testing_utils::TopoPin;
@@ -286,8 +287,9 @@ TEST(SimModelMatch, AutoSelectedFlatAlgorithmsWithinFivePercent) {
     // The bench acceptance criterion at unit-test scale: on a flat pow2
     // world the auto-selected algorithm of every family is a lock-step
     // round-structured schedule whose tape reproduces the closed-form
-    // two-tier model (the star-shaped flat references and the pipelined
-    // ring diverge by design — they are never auto-selected here).
+    // two-tier model. This asserts *automatic* selection, so any
+    // forced-algorithms environment from the CI matrix is scrubbed.
+    ScrubAlgEnv const scrub;
     xmpi::Config const cfg = pure_comm_config();
     model::Machine m;
     m.alpha = cfg.alpha;
