@@ -156,6 +156,7 @@ std::shared_ptr<Schedule> acquire_schedule(MPI_Comm comm, std::uint64_t seq,
     }
     auto s = std::make_shared<Schedule>(comm, seq);
     if (RankState* rs = tls_rank(); rs != nullptr) ++rs->counters.schedule_builds;
+    trace::ev(trace::Ev::sched_build, -1, -1, 0, seq, static_cast<int>(spec.family), spec.alg);
     *err = build(*s);
     if (cacheable && *err == MPI_SUCCESS) cache_insert(comm, spec, s);
     return s;

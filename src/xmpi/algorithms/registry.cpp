@@ -360,11 +360,15 @@ int select(Family f, MPI_Comm comm, std::size_t bytes, bool commutative, bool el
 
 int run_observed(Schedule& s, Family f, int alg, std::size_t bytes) {
     RankState* const rs = tls_rank();
-    if (rs == nullptr || !tune::feedback_enabled()) return run_blocking(s);
+    if (rs == nullptr) return run_blocking(s);
     double const t0 = rs->vnow;
     int const rc = run_blocking(s);
     if (rc == MPI_SUCCESS) {
-        tune::record(static_cast<int>(f), s.size(), bytes, alg, rs->vnow - t0);
+        double const elapsed = rs->vnow - t0;
+        trace::hist_record(static_cast<int>(f), alg, bytes, elapsed);
+        if (tune::feedback_enabled()) {
+            tune::record(static_cast<int>(f), s.size(), bytes, alg, elapsed);
+        }
     }
     return rc;
 }
@@ -468,6 +472,8 @@ std::shared_ptr<Schedule> cache_take(MPI_Comm comm, std::uint64_t seq, SchedSpec
             e.sched->reset();
             e.sched->set_seq(seq);
             if (rs != nullptr) ++rs->counters.schedule_cache_hits;
+            trace::ev(trace::Ev::sched_cache_hit, -1, -1, 0, seq,
+                      static_cast<int>(spec.family), spec.alg);
             return e.sched;
         }
     }
@@ -529,6 +535,7 @@ int XMPI_T_alg_env_refresh(void) {
     reset_env_cache_for_testing();
     refresh_tuning_env();
     xmpi::detail::tune::refresh_env();
+    xmpi::detail::trace::refresh_env();
     bump_sched_epoch();
     return MPI_SUCCESS;
 }

@@ -50,11 +50,21 @@ bool Schedule::advance(bool blocking, int* err) {
         int rc = MPI_SUCCESS;
         switch (st.kind) {
             case Step::Kind::send:
+                trace::ev(trace::Ev::step_send, comm_->world_of(st.peer),
+                          coll_tag(seq_, st.tag_step),
+                          static_cast<std::size_t>(st.count) *
+                              static_cast<std::size_t>(st.type->size),
+                          seq_);
                 rc = deposit(tls_rank(), comm_, comm_->context + 1, st.peer,
                              coll_tag(seq_, st.tag_step), st.sbuf, st.count, st.type, nullptr,
                              true);
                 break;
             case Step::Kind::post_recv:
+                trace::ev(trace::Ev::step_post, comm_->world_of(st.peer),
+                          coll_tag(seq_, st.tag_step),
+                          static_cast<std::size_t>(st.count) *
+                              static_cast<std::size_t>(st.type->size),
+                          seq_);
                 rc = xmpi::detail::post_recv(tls_rank(), comm_, comm_->context + 1, st.peer,
                                              coll_tag(seq_, st.tag_step), st.rbuf, st.count,
                                              st.type, true, &reqs_[static_cast<std::size_t>(st.slot)]);
@@ -70,9 +80,14 @@ bool Schedule::advance(bool blocking, int* err) {
                     if (flag == 0) return false;
                     req = nullptr;
                 }
+                // Emitted on completion, not issue: the nonblocking path
+                // retries this step until the slot tests complete, and the
+                // replayed tape must contain each wait exactly once.
+                trace::ev(trace::Ev::step_wait, st.slot, -1, 0, seq_);
                 break;
             }
             case Step::Kind::local:
+                trace::ev(trace::Ev::step_local, -1, -1, 0, seq_);
                 rc = st.local_fn();
                 break;
         }
@@ -84,11 +99,13 @@ bool Schedule::advance(bool blocking, int* err) {
             error_ = rc;
             pos_ = steps_.size();
             release_pending();
+            trace::ev(trace::Ev::sched_done, -1, -1, static_cast<std::uint64_t>(error_), seq_);
             *err = error_;
             return true;
         }
         ++pos_;
     }
+    trace::ev(trace::Ev::sched_done, -1, -1, 0, seq_);
     *err = error_;
     return true;
 }
@@ -168,6 +185,7 @@ int launch_persistent(MPI_Comm comm, std::shared_ptr<Schedule> s, MPI_Request* r
     req->active = false;
     req->progress = schedule_progress(s);
     req->start_fn = [s = std::move(s)](xmpi_request_t* rq) -> int {
+        trace::ev(trace::Ev::sched_arm, -1, -1, 0, s->seq());
         s->reset();
         rq->error = MPI_SUCCESS;
         rq->complete.store(false, std::memory_order_release);

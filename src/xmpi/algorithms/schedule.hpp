@@ -247,6 +247,8 @@ public:
     /// from scratch without any tag mismatch.
     void set_seq(std::uint64_t seq) { seq_ = seq; }
 
+    std::uint64_t seq() const { return seq_; }
+
     MPI_Comm comm() const { return comm_; }
 
 private:

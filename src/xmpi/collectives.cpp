@@ -187,14 +187,16 @@ int MPI_Bcast(void* buf, int count, MPI_Datatype type, int root, MPI_Comm comm) 
     std::size_t const bytes =
         static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
     int const idx = alg::select(alg::Family::bcast, comm, bytes, true);
+    trace::ev(trace::Ev::coll_enter, -1, -1, bytes, seq, static_cast<int>(alg::Family::bcast), idx);
     int err = MPI_SUCCESS;
     auto s = alg::acquire_schedule(
         comm, seq,
         alg::SchedSpec{alg::Family::bcast, idx, count, 0, root, buf, nullptr, type, nullptr,
                        nullptr},
         &err, [&](alg::Schedule& sch) { return alg::build_bcast(idx, sch, buf, count, type, root); });
-    if (err != MPI_SUCCESS) return err;
-    return alg::run_observed(*s, alg::Family::bcast, idx, bytes);
+    if (err == MPI_SUCCESS) err = alg::run_observed(*s, alg::Family::bcast, idx, bytes);
+    trace::ev(trace::Ev::coll_exit, -1, -1, bytes, seq, static_cast<int>(alg::Family::bcast), idx);
+    return err;
 }
 
 // ---------------------------------------------------------------------------
@@ -292,6 +294,8 @@ int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, voi
     std::size_t const bytes =
         static_cast<std::size_t>(recvcount) * static_cast<std::size_t>(recvtype->size);
     int const idx = alg::select(alg::Family::allgather, comm, bytes, true);
+    trace::ev(trace::Ev::coll_enter, -1, -1, bytes, seq, static_cast<int>(alg::Family::allgather),
+              idx);
     int err = MPI_SUCCESS;
     auto s = alg::acquire_schedule(
         comm, seq,
@@ -299,8 +303,10 @@ int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, voi
                        nullptr, nullptr},
         &err,
         [&](alg::Schedule& sch) { return alg::build_allgather(idx, sch, recvbuf, recvcount, recvtype); });
-    if (err != MPI_SUCCESS) return err;
-    return alg::run_observed(*s, alg::Family::allgather, idx, bytes);
+    if (err == MPI_SUCCESS) err = alg::run_observed(*s, alg::Family::allgather, idx, bytes);
+    trace::ev(trace::Ev::coll_exit, -1, -1, bytes, seq, static_cast<int>(alg::Family::allgather),
+              idx);
+    return err;
 }
 
 int MPI_Allgatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
@@ -342,6 +348,8 @@ int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void
     std::size_t const bytes =
         static_cast<std::size_t>(sendcount) * static_cast<std::size_t>(sendtype->size);
     int const idx = alg::select(alg::Family::alltoall, comm, bytes, true);
+    trace::ev(trace::Ev::coll_enter, -1, -1, bytes, seq, static_cast<int>(alg::Family::alltoall),
+              idx);
     int err = MPI_SUCCESS;
     auto s = alg::acquire_schedule(
         comm, seq,
@@ -351,8 +359,10 @@ int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void
             return alg::build_alltoall(idx, sch, sendbuf, sendcount, sendtype, recvbuf, recvcount,
                                        recvtype);
         });
-    if (err != MPI_SUCCESS) return err;
-    return alg::run_observed(*s, alg::Family::alltoall, idx, bytes);
+    if (err == MPI_SUCCESS) err = alg::run_observed(*s, alg::Family::alltoall, idx, bytes);
+    trace::ev(trace::Ev::coll_exit, -1, -1, bytes, seq, static_cast<int>(alg::Family::alltoall),
+              idx);
+    return err;
 }
 
 int MPI_Alltoallv(const void* sendbuf, const int* sendcounts, const int* sdispls,
@@ -426,6 +436,8 @@ int MPI_Reduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type,
     std::size_t const bytes =
         static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
     int const idx = alg::select(alg::Family::reduce, comm, bytes, op->commutative, op->builtin);
+    trace::ev(trace::Ev::coll_enter, -1, -1, bytes, seq, static_cast<int>(alg::Family::reduce),
+              idx);
     int err = MPI_SUCCESS;
     auto s = alg::acquire_schedule(
         comm, seq,
@@ -434,8 +446,10 @@ int MPI_Reduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type,
         &err, [&](alg::Schedule& sch) {
             return alg::build_reduce(idx, sch, input, recvbuf, count, type, op, root);
         });
-    if (err != MPI_SUCCESS) return err;
-    return alg::run_observed(*s, alg::Family::reduce, idx, bytes);
+    if (err == MPI_SUCCESS) err = alg::run_observed(*s, alg::Family::reduce, idx, bytes);
+    trace::ev(trace::Ev::coll_exit, -1, -1, bytes, seq, static_cast<int>(alg::Family::reduce),
+              idx);
+    return err;
 }
 
 int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,
@@ -446,6 +460,8 @@ int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype ty
     std::size_t const bytes =
         static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size);
     int const idx = alg::select(alg::Family::allreduce, comm, bytes, op->commutative, op->builtin);
+    trace::ev(trace::Ev::coll_enter, -1, -1, bytes, seq, static_cast<int>(alg::Family::allreduce),
+              idx);
     int err = MPI_SUCCESS;
     auto s = alg::acquire_schedule(
         comm, seq,
@@ -454,8 +470,10 @@ int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype ty
         &err, [&](alg::Schedule& sch) {
             return alg::build_allreduce(idx, sch, input, recvbuf, count, type, op);
         });
-    if (err != MPI_SUCCESS) return err;
-    return alg::run_observed(*s, alg::Family::allreduce, idx, bytes);
+    if (err == MPI_SUCCESS) err = alg::run_observed(*s, alg::Family::allreduce, idx, bytes);
+    trace::ev(trace::Ev::coll_exit, -1, -1, bytes, seq, static_cast<int>(alg::Family::allreduce),
+              idx);
+    return err;
 }
 
 int MPI_Scan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype type, MPI_Op op,

@@ -524,6 +524,81 @@ int XMPI_T_tune_stats(unsigned long long* records, unsigned long long* probes,
 int XMPI_T_tune_reset(void);
 
 // ---------------------------------------------------------------------------
+// Event tracing + performance variables (MPI_T-style substrate extension).
+//
+// Setting XMPI_TRACE=<path> records every substrate event (p2p deposits and
+// completions, schedule builds/cache hits/steps, collective entry/exit, tune
+// decisions) into fixed-size per-rank ring buffers
+// (XMPI_TRACE_RING_EVENTS events each, default 65536; a garbage value warns
+// once and disables tracing for the run) and writes the merged timeline as
+// Chrome trace-event JSON — loadable in Perfetto — when the universe ends.
+// With XMPI_TRACE unset every hook compiles down to one relaxed atomic load.
+// Both knobs are re-read after XMPI_T_alg_env_refresh.
+//
+// The pvar registry enumerates every substrate counter through one uniform
+// handle-based interface. Naming scheme (dot-separated, stable):
+//   counters.*      the calling rank's Counters fields (in-rank only).
+//                   `schedule_peak_scratch_bytes.rank` is the calling rank's
+//                   own peak — the value XMPI_T_sched_stats also reports —
+//                   while `.max` reduces over all ranks of the universe, the
+//                   same aggregation RunResult::total applies.
+//   p2p.wait_time_ns  wall nanoseconds the rank spent blocked in wait/test
+//                   (summed over all ranks of the last traced run when read
+//                   outside a rank body).
+//   sim.* tune.*    process-wide simulator / feedback-loop accounting (the
+//                   XMPI_T_sim_stats / XMPI_T_tune_stats fields).
+//   trace.*         ring accounting (events recorded / dropped).
+//   hist.<family>.<alg>  log2-bucketed latency histogram: 25 payload-size
+//                   buckets (log2 bytes, clamped to 24) x 16 latency buckets
+//                   (log2 virtual ns, first bucket < 128 ns), size-major.
+// ---------------------------------------------------------------------------
+
+/// Reports the number of performance variables.
+int XMPI_T_pvar_num(int* num);
+/// Copies pvar `index`'s name into `name` (truncated to `namelen` bytes,
+/// always NUL-terminated) and reports how many values a read returns.
+int XMPI_T_pvar_name(int index, char* name, int namelen, int* value_count);
+/// Reads pvar `index`: `*count` carries the capacity of `values` in and the
+/// number of values written out. Per-rank variables return MPI_ERR_OTHER
+/// outside a rank body.
+int XMPI_T_pvar_read(int index, unsigned long long* values, int* count);
+/// Resets pvar `index` (histograms and `p2p.wait_time_ns`); MPI_ERR_OTHER
+/// for read-only variables.
+int XMPI_T_pvar_reset(int index);
+/// Reports the last traced run's ring accounting (any pointer may be null):
+/// events recorded (including overwritten), events dropped to ring
+/// overflow, and events retained in the merged timeline.
+int XMPI_T_trace_stats(unsigned long long* recorded, unsigned long long* dropped,
+                       unsigned long long* merged);
+
+/// Critical-path attribution of one traced collective invocation (see
+/// XMPI_T_trace_attribution).
+typedef struct XMPI_T_trace_attr {
+    double traced_makespan;   /* max rank exit vtime - min rank enter vtime */
+    double replayed_makespan; /* makespan of the replayed schedule tape */
+    double attributed;        /* alpha+beta+o total on the critical path */
+    double alpha_inter;
+    double beta_inter;
+    double o_inter;
+    double alpha_intra;
+    double beta_intra;
+    double o_intra;
+    double start_skew; /* entry-time skew carried by the path's origin rank */
+    unsigned long long steps; /* replayed tape steps across all ranks */
+    int family; /* alg::Family of the attributed collective, -1 unknown */
+    int alg;    /* selected algorithm index within the family, -1 unknown */
+} XMPI_T_trace_attr;
+
+/// Replays the schedule tape recorded for collective invocation `seq` of the
+/// last traced run (seq < 0: the most recently completed traced collective)
+/// through the transport's own LogP arithmetic and decomposes the finishing
+/// rank's critical path into named alpha/beta/o terms per tier. Compute time
+/// is not replayed, so observed-vs-attributed gaps surface real model
+/// divergence. MPI_ERR_OTHER when no traced run or no matching collective
+/// exists.
+int XMPI_T_trace_attribution(long long seq, XMPI_T_trace_attr* out);
+
+// ---------------------------------------------------------------------------
 // Derived datatypes
 // ---------------------------------------------------------------------------
 int MPI_Type_contiguous(int count, MPI_Datatype oldtype, MPI_Datatype* newtype);

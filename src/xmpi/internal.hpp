@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "topo/topo.hpp"
+#include "trace/trace.hpp"
 #include "xmpi/mpi.h"
 #include "xmpi/xmpi.hpp"
 
@@ -133,6 +134,17 @@ struct RankState {
     std::atomic<bool> dead{false};
 
     Counters counters;
+
+    /// Wall-clock nanoseconds spent asleep in blocking wait/test paths
+    /// (p2p.cpp samples the steady clock only when a wait actually blocks).
+    /// Deliberately *not* a Counters field: Counters is a stable
+    /// user-visible aggregate struct; this is exposed via the
+    /// `p2p.wait_time_ns` pvar instead.
+    std::uint64_t wait_time_ns = 0;
+
+    /// Event-trace ring; non-null only while this universe is traced
+    /// (XMPI_TRACE set). Written exclusively by the owning rank thread.
+    std::unique_ptr<trace::Ring> trace_ring;
 
     // Per-rank world/self communicator objects (sentinels resolve here).
     MPI_Comm world = nullptr;

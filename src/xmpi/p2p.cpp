@@ -55,6 +55,32 @@ void wake_rank(RankState* rs) {
     rs->mbox.cv.notify_all();
 }
 
+/// Wall-clock accounting for blocking waits. The steady clock is sampled
+/// lazily, just before the first actual sleep, so a wait whose request is
+/// already complete pays zero clock reads. Accumulates into
+/// RankState::wait_time_ns (the `p2p.wait_time_ns` pvar).
+struct WaitTimer {
+    std::chrono::steady_clock::time_point t0;
+    bool slept = false;
+
+    void about_to_sleep(int tag, std::uint64_t seq) {
+        if (slept) return;
+        slept = true;
+        t0 = std::chrono::steady_clock::now();
+        trace::ev(trace::Ev::wait_begin, -1, tag, 0, seq);
+    }
+
+    void finish(RankState* self, int tag, std::uint64_t seq) {
+        if (!slept) return;
+        auto const ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                                 t0)
+                .count());
+        self->wait_time_ns += ns;
+        trace::ev(trace::Ev::wait_end, -1, tag, ns, seq);
+    }
+};
+
 /// Failure/revocation predicate for a pending receive. Returns an MPI error
 /// code or MPI_SUCCESS when the operation may keep waiting.
 int recv_failure(Universe* u, xmpi_request_t* req) {
@@ -162,6 +188,7 @@ int deposit(RankState* sender, MPI_Comm comm, int context, int dest_comm_rank, i
         sender->counters.intra_node_messages += 1;
         sender->counters.intra_node_bytes += bytes;
     }
+    trace::ev(trace::Ev::send, dest_w, tag, bytes, static_cast<std::uint64_t>(context));
 
     RankState* dest = u->ranks[static_cast<std::size_t>(dest_w)].get();
     {
@@ -198,6 +225,9 @@ int post_recv(RankState* self, MPI_Comm comm, int context, int src, int tag, voi
     req->count = count;
     req->type = type;
     req->comm = comm;
+    trace::ev(trace::Ev::post, src, tag,
+              static_cast<std::size_t>(count) * static_cast<std::size_t>(type->size),
+              static_cast<std::uint64_t>(context));
     attach_recv(self, req);
     *out = req;
     return MPI_SUCCESS;
@@ -227,6 +257,9 @@ int wait_one(xmpi_request_t* req, MPI_Status* status) {
             return err;
         }
         case xmpi_request_t::Kind::recv: {
+            auto const ctx = static_cast<std::uint64_t>(req->context);
+            int const wtag = req->match_tag;
+            WaitTimer timer;
             int err = MPI_SUCCESS;
             {
                 std::unique_lock<std::mutex> lock(self->mbox.m);
@@ -236,20 +269,26 @@ int wait_one(xmpi_request_t* req, MPI_Status* status) {
                         unlink_posted(self, req);
                         break;
                     }
+                    timer.about_to_sleep(wtag, ctx);
                     self->mbox.cv.wait(lock);
                 }
             }
+            timer.finish(self, wtag, ctx);
             if (err != MPI_SUCCESS) {
                 retire(req);
                 return err;
             }
             self->vnow = std::max(self->vnow, req->completion_vtime);
             if (status != nullptr) *status = req->status;
+            trace::ev(trace::Ev::recv_done, req->comm->world_of(req->status.MPI_SOURCE),
+                      req->status.MPI_TAG, static_cast<std::uint64_t>(req->status._bytes), ctx);
             err = req->error;
             retire(req);
             return err;
         }
         case xmpi_request_t::Kind::ssend: {
+            auto const ctx = static_cast<std::uint64_t>(req->context);
+            WaitTimer timer;
             int err = MPI_SUCCESS;
             {
                 std::unique_lock<std::mutex> lock(self->mbox.m);
@@ -262,9 +301,11 @@ int wait_one(xmpi_request_t* req, MPI_Status* status) {
                         err = MPIX_ERR_PROC_FAILED;
                         break;
                     }
+                    timer.about_to_sleep(req->match_tag, ctx);
                     self->mbox.cv.wait(lock);
                 }
             }
+            timer.finish(self, req->match_tag, ctx);
             if (err == MPI_SUCCESS) self->vnow = std::max(self->vnow, req->tok->match_vtime);
             fill_empty_status(status);
             retire(req);
@@ -272,12 +313,16 @@ int wait_one(xmpi_request_t* req, MPI_Status* status) {
         }
         case xmpi_request_t::Kind::generalized: {
             using namespace std::chrono_literals;
+            auto const ctx = static_cast<std::uint64_t>(req->context);
+            WaitTimer timer;
             while (!req->complete.load(std::memory_order_acquire)) {
                 if (req->progress(req)) break;
                 std::unique_lock<std::mutex> lock(self->mbox.m);
                 if (req->complete.load(std::memory_order_acquire)) break;
+                timer.about_to_sleep(-1, ctx);
                 self->mbox.cv.wait_for(lock, 200us);
             }
+            timer.finish(self, -1, ctx);
             self->vnow = std::max(self->vnow, req->completion_vtime);
             fill_empty_status(status);
             int const err = req->error;
@@ -326,8 +371,14 @@ int test_one(xmpi_request_t* req, int* flag, MPI_Status* status) {
             return err;
         }
         case xmpi_request_t::Kind::recv: {
+            auto recv_done_ev = [&] {
+                trace::ev(trace::Ev::recv_done, req->comm->world_of(req->status.MPI_SOURCE),
+                          req->status.MPI_TAG, static_cast<std::uint64_t>(req->status._bytes),
+                          static_cast<std::uint64_t>(req->context));
+            };
             if (req->complete.load(std::memory_order_acquire)) {
                 consume_success(req->completion_vtime, &req->status);
+                recv_done_ev();
                 int const err = req->error;
                 retire(req);
                 return err;
@@ -345,6 +396,7 @@ int test_one(xmpi_request_t* req, int* flag, MPI_Status* status) {
             }
             if (req->complete.load(std::memory_order_acquire)) {
                 consume_success(req->completion_vtime, &req->status);
+                recv_done_ev();
                 int const e = req->error;
                 retire(req);
                 return e;

@@ -170,6 +170,10 @@ RunResult run(int num_ranks, std::function<void(int)> const& body, Config const&
     }
     universe->next_context.store(16);
 
+    // Allocate trace rings (and raise the hot-path flag) before any rank can
+    // emit; a no-op when XMPI_TRACE is unset.
+    detail::trace::begin_universe(*universe);
+
     std::vector<ThreadArg> args(static_cast<std::size_t>(num_ranks));
     std::vector<pthread_t> threads(static_cast<std::size_t>(num_ranks));
     pthread_attr_t attr;
@@ -192,6 +196,11 @@ RunResult run(int num_ranks, std::function<void(int)> const& body, Config const&
     for (int r = 0; r < num_ranks; ++r) pthread_join(threads[static_cast<std::size_t>(r)], nullptr);
     pthread_attr_destroy(&attr);
     auto const wall_end = std::chrono::steady_clock::now();
+
+    // All rank threads have joined: merge the per-rank rings and export the
+    // Chrome trace-event JSON (MPI_Finalize is a no-op in a threads-as-ranks
+    // substrate, so end-of-universe is the real finalize point).
+    detail::trace::end_universe(*universe);
 
     RunResult result;
     result.wall_time = std::chrono::duration<double>(wall_end - wall_start).count();

@@ -1,0 +1,803 @@
+/// @file trace.cpp
+/// @brief Trace subsystem implementation: ring management and env resolution,
+/// the merged-timeline Chrome trace-event exporter, the log2 latency
+/// histograms, the MPI_T-style pvar registry, and the per-invocation
+/// critical-path attribution replay.
+#include "trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "../algorithms/algorithms.hpp"
+#include "../env.hpp"
+#include "../internal.hpp"
+
+namespace xmpi::detail::trace {
+
+std::atomic<bool> g_on{false};
+
+namespace {
+
+constexpr char kEnvTrace[] = "XMPI_TRACE";
+constexpr char kEnvRing[] = "XMPI_TRACE_RING_EVENTS";
+constexpr std::size_t kDefaultRingEvents = 65536;
+
+/// Guards env resolution, the traced-universe count and the last-run state.
+std::mutex& mutex() {
+    static std::mutex m;
+    return m;
+}
+
+bool g_resolved = false;
+bool g_enabled = false;
+std::string g_path;
+std::size_t g_ring_events = kDefaultRingEvents;
+int g_active_universes = 0;
+
+LastRun& last_run_locked() {
+    static LastRun lr;
+    return lr;
+}
+
+std::size_t round_pow2(std::size_t v) {
+    std::size_t cap = 16;
+    while (cap < v) cap <<= 1;
+    return cap;
+}
+
+/// Reads XMPI_TRACE / XMPI_TRACE_RING_EVENTS once per resolution cycle.
+/// A set-but-garbage ring capacity warns once (via the shared warn-once
+/// registry) and disables tracing for the run; it never aborts.
+void resolve_locked() {
+    if (g_resolved) return;
+    g_resolved = true;
+    g_enabled = false;
+    g_path.clear();
+    g_ring_events = kDefaultRingEvents;
+    char const* const path = std::getenv(kEnvTrace);
+    if (path == nullptr || *path == '\0') return;
+    g_path = path;
+    g_enabled = true;
+    if (char const* const raw = std::getenv(kEnvRing); raw != nullptr && *raw != '\0') {
+        long long const v = envutil::parse_env_int(
+            kEnvRing, -1, 16, 1 << 22,
+            "is not a ring capacity in [16, 4194304]; tracing disabled");
+        if (v < 0) {
+            g_enabled = false;
+            g_path.clear();
+            return;
+        }
+        g_ring_events = round_pow2(static_cast<std::size_t>(v));
+    }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Ring
+// ---------------------------------------------------------------------------
+
+Ring::Ring(std::size_t capacity) {
+    std::size_t const cap = round_pow2(capacity);
+    buf_.resize(cap);
+    mask_ = cap - 1;
+}
+
+std::vector<Record> Ring::snapshot() const {
+    std::uint64_t const n = std::min<std::uint64_t>(count_, buf_.size());
+    std::vector<Record> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = count_ - n; i < count_; ++i) {
+        out.push_back(buf_[static_cast<std::size_t>(i & mask_)]);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Hook slow path
+// ---------------------------------------------------------------------------
+
+char const* ev_name(Ev kind) {
+    static constexpr std::array<char const*, kEvKinds> names = {
+        "coll_enter", "coll_exit",  "send",       "post",       "recv_done",
+        "wait_begin", "wait_end",   "sched_build", "sched_cache_hit", "sched_arm",
+        "step.send",  "step.post",  "step.wait",  "step.local", "sched_done",
+        "tune_probe", "tune_demote", "tune_recover",
+    };
+    auto const k = static_cast<std::size_t>(kind);
+    return k < names.size() ? names[k] : "?";
+}
+
+void emit(Ev kind, int peer, int tag, std::uint64_t bytes, std::uint64_t seq, int family,
+          int alg) {
+    RankState* const rs = tls_rank();
+    if (rs == nullptr || rs->trace_ring == nullptr) return;
+    Record r;
+    r.vtime = rs->vnow;
+    r.seq = seq;
+    r.bytes = bytes;
+    r.rank = rs->world_rank;
+    r.peer = peer;
+    r.tag = tag;
+    r.kind = static_cast<std::uint8_t>(kind);
+    r.family = family < 0 ? 0xff : static_cast<std::uint8_t>(family);
+    r.alg = alg < 0 ? 0xff : static_cast<std::uint8_t>(alg);
+    rs->trace_ring->push(r);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+void begin_universe(Universe& u) {
+    std::lock_guard<std::mutex> lock(mutex());
+    resolve_locked();
+    if (!g_enabled) return;
+    for (auto& rs : u.ranks) {
+        rs->trace_ring = std::make_unique<Ring>(g_ring_events);
+    }
+    ++g_active_universes;
+    g_on.store(true, std::memory_order_release);
+}
+
+void refresh_env() {
+    std::lock_guard<std::mutex> lock(mutex());
+    g_resolved = false;
+}
+
+namespace {
+
+/// Collective-slice display name: "family/alg" when both resolve.
+std::string coll_name(Record const& r) {
+    if (r.family >= alg::kFamilies) return "coll";
+    auto const fam = static_cast<alg::Family>(r.family);
+    std::string name = alg::family_name(fam);
+    auto const& table = alg::algorithms(fam);
+    if (static_cast<std::size_t>(r.alg) < table.size()) {
+        name += '/';
+        name += table[r.alg].name;
+    }
+    return name;
+}
+
+/// Writes the merged timeline as Chrome trace-event JSON ("JSON object
+/// format"): one lane (tid) per world rank, B/E slices for collectives and
+/// waits, instants for everything else, and s/f flow pairs connecting each
+/// matched send -> recv_done.
+void write_chrome_json(std::string const& path, LastRun const& run) {
+    std::FILE* const f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "xmpi: XMPI_TRACE=\"%s\" cannot be opened for writing\n",
+                     path.c_str());
+        return;
+    }
+
+    // Pass 1: pair sends with receive completions. Matching replicates the
+    // transport's FIFO-per-(src, dst, context, tag) ordering; records are
+    // already time-sorted, so queue order is send order.
+    std::map<std::array<std::int64_t, 4>, std::deque<std::size_t>> pending;
+    std::vector<std::int64_t> flow_id(run.records.size(), -1);
+    std::int64_t next_flow = 1;
+    for (std::size_t i = 0; i < run.records.size(); ++i) {
+        Record const& r = run.records[i];
+        if (r.kind == static_cast<std::uint8_t>(Ev::send)) {
+            pending[{r.rank, r.peer, static_cast<std::int64_t>(r.seq), r.tag}].push_back(i);
+        } else if (r.kind == static_cast<std::uint8_t>(Ev::recv_done)) {
+            auto it = pending.find({r.peer, r.rank, static_cast<std::int64_t>(r.seq), r.tag});
+            if (it != pending.end() && !it->second.empty()) {
+                std::size_t const j = it->second.front();
+                it->second.pop_front();
+                std::int64_t const id = next_flow++;
+                flow_id[j] = id;
+                flow_id[i] = id;
+            }
+        }
+    }
+
+    std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[", f);
+    bool first = true;
+    auto sep = [&] {
+        if (!first) std::fputc(',', f);
+        first = false;
+        std::fputc('\n', f);
+    };
+
+    for (int rank = 0; rank < run.world_size; ++rank) {
+        int const node = rank < static_cast<int>(run.node_of_world.size())
+                             ? run.node_of_world[static_cast<std::size_t>(rank)]
+                             : rank;
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\","
+                     "\"args\":{\"name\":\"rank %d (node %d)\"}}",
+                     rank, rank, node);
+    }
+
+    for (std::size_t i = 0; i < run.records.size(); ++i) {
+        Record const& r = run.records[i];
+        double const ts = r.vtime * 1e6;  // trace-event timestamps are in us
+        auto const kind = static_cast<Ev>(r.kind);
+        switch (kind) {
+            case Ev::coll_enter:
+                sep();
+                std::fprintf(f,
+                             "{\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%.6f,\"name\":\"%s\","
+                             "\"cat\":\"coll\",\"args\":{\"bytes\":%llu,\"seq\":%llu}}",
+                             r.rank, ts, coll_name(r).c_str(),
+                             static_cast<unsigned long long>(r.bytes),
+                             static_cast<unsigned long long>(r.seq));
+                break;
+            case Ev::coll_exit:
+                sep();
+                std::fprintf(f, "{\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%.6f}", r.rank, ts);
+                break;
+            case Ev::wait_begin:
+                sep();
+                std::fprintf(f,
+                             "{\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%.6f,"
+                             "\"name\":\"wait\",\"cat\":\"p2p\"}",
+                             r.rank, ts);
+                break;
+            case Ev::wait_end:
+                sep();
+                std::fprintf(f,
+                             "{\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%.6f,"
+                             "\"args\":{\"wall_ns\":%llu}}",
+                             r.rank, ts, static_cast<unsigned long long>(r.bytes));
+                break;
+            default:
+                sep();
+                std::fprintf(f,
+                             "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.6f,\"name\":\"%s\","
+                             "\"cat\":\"%s\",\"s\":\"t\",\"args\":{\"peer\":%d,\"tag\":%d,"
+                             "\"bytes\":%llu,\"seq\":%llu}}",
+                             r.rank, ts, ev_name(kind),
+                             kind == Ev::send || kind == Ev::post || kind == Ev::recv_done
+                                 ? "p2p"
+                                 : "sched",
+                             r.peer, r.tag, static_cast<unsigned long long>(r.bytes),
+                             static_cast<unsigned long long>(r.seq));
+                break;
+        }
+        if (flow_id[i] >= 0) {
+            bool const start = kind == Ev::send;
+            sep();
+            std::fprintf(f,
+                         "{\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%.6f,\"name\":\"msg\","
+                         "\"cat\":\"msg\",\"id\":%lld%s}",
+                         start ? "s" : "f", r.rank, ts,
+                         static_cast<long long>(flow_id[i]), start ? "" : ",\"bp\":\"e\"");
+        }
+    }
+    std::fputs("\n]}\n", f);
+    std::fclose(f);
+}
+
+}  // namespace
+
+void end_universe(Universe& u) {
+    bool traced = false;
+    for (auto& rs : u.ranks) {
+        if (rs->trace_ring != nullptr) traced = true;
+    }
+    if (!traced) return;
+
+    std::lock_guard<std::mutex> lock(mutex());
+    if (--g_active_universes <= 0) {
+        g_active_universes = 0;
+        g_on.store(false, std::memory_order_release);
+    }
+
+    LastRun run;
+    run.valid = true;
+    run.world_size = u.size;
+    run.node_of_world = u.node_of_world;
+    run.cfg = u.cfg;
+    for (auto& rs : u.ranks) {
+        if (rs->trace_ring == nullptr) continue;
+        run.recorded += rs->trace_ring->recorded();
+        run.dropped += rs->trace_ring->dropped();
+        run.wait_ns += rs->wait_time_ns;
+        auto snap = rs->trace_ring->snapshot();
+        run.records.insert(run.records.end(), snap.begin(), snap.end());
+        rs->trace_ring.reset();
+    }
+    // Merge lanes into one timeline. stable_sort keeps each rank's records
+    // in program order across equal timestamps.
+    std::stable_sort(run.records.begin(), run.records.end(),
+                     [](Record const& a, Record const& b) {
+                         if (a.vtime != b.vtime) return a.vtime < b.vtime;
+                         return a.rank < b.rank;
+                     });
+    if (!g_path.empty()) write_chrome_json(g_path, run);
+    last_run_locked() = std::move(run);
+}
+
+LastRun last_run() {
+    std::lock_guard<std::mutex> lock(mutex());
+    return last_run_locked();
+}
+
+// ---------------------------------------------------------------------------
+// Latency histograms
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<std::uint64_t>
+    g_hist[kHistFamilies][kHistMaxAlg][kHistSizeBuckets][kHistLatBuckets];
+
+int size_bucket(std::size_t bytes) {
+    int b = 0;
+    while (bytes > 1 && b < kHistSizeBuckets - 1) {
+        bytes >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+int lat_bucket(double elapsed) {
+    double const ns = elapsed * 1e9;
+    if (ns < 128.0) return 0;  // bucket 0: < 2^7 ns
+    int b = 0;
+    std::uint64_t n = static_cast<std::uint64_t>(ns) >> 7;
+    while (n > 0 && b < kHistLatBuckets - 1) {
+        n >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+}  // namespace
+
+void hist_record(int family, int alg, std::size_t bytes, double elapsed) {
+    if (family < 0 || family >= kHistFamilies || alg < 0 || alg >= kHistMaxAlg) return;
+    g_hist[family][alg][size_bucket(bytes)][lat_bucket(elapsed)].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+}  // namespace xmpi::detail::trace
+
+// ---------------------------------------------------------------------------
+// MPI_T-style pvar registry (global namespace: declared in xmpi/mpi.h).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using xmpi::Counters;
+using namespace xmpi::detail;
+
+struct Pvar {
+    std::string name;
+    int value_count = 1;
+    /// Writes exactly `value_count` values; returns an MPI error code.
+    std::function<int(unsigned long long*)> read;
+    /// Null when the variable is not resettable.
+    std::function<int()> reset;
+};
+
+struct CounterField {
+    char const* name;
+    std::uint64_t Counters::*field;
+};
+
+/// Every Counters field, by name. The static_assert below pins the struct
+/// size so adding a counter without extending this table (and the legacy
+/// stats structs' documentation) fails the build.
+constexpr CounterField kCounterFields[] = {
+    {"counters.p2p_messages", &Counters::p2p_messages},
+    {"counters.p2p_bytes", &Counters::p2p_bytes},
+    {"counters.coll_messages", &Counters::coll_messages},
+    {"counters.coll_bytes", &Counters::coll_bytes},
+    {"counters.intra_node_messages", &Counters::intra_node_messages},
+    {"counters.intra_node_bytes", &Counters::intra_node_bytes},
+    {"counters.schedule_builds", &Counters::schedule_builds},
+    {"counters.schedule_cache_hits", &Counters::schedule_cache_hits},
+    {"counters.schedule_cache_evictions", &Counters::schedule_cache_evictions},
+    {"counters.schedule_peak_scratch_bytes.rank", &Counters::schedule_peak_scratch_bytes},
+};
+
+static_assert(sizeof(Counters) == 10 * sizeof(std::uint64_t),
+              "a Counters field was added or removed: extend kCounterFields, the "
+              "pvar registry docs and the test_trace coverage list");
+
+int read_in_rank(std::function<unsigned long long(RankState*)> const& get,
+                 unsigned long long* out) {
+    RankState* const rs = tls_rank();
+    if (rs == nullptr) return MPI_ERR_OTHER;
+    *out = get(rs);
+    return MPI_SUCCESS;
+}
+
+std::vector<Pvar> build_pvar_table() {
+    std::vector<Pvar> t;
+
+    for (auto const& cf : kCounterFields) {
+        t.push_back({cf.name, 1,
+                     [field = cf.field](unsigned long long* out) {
+                         return read_in_rank(
+                             [field](RankState* rs) { return rs->counters.*field; }, out);
+                     },
+                     nullptr});
+    }
+    // Satellite of ISSUE 8: Counters::schedule_peak_scratch_bytes is per-rank
+    // state that RunResult aggregates by *max*. The `.rank` pvar above and
+    // XMPI_T_sched_stats both report the calling rank's own peak; `.max`
+    // reduces over every rank of the calling rank's universe. The reduction
+    // reads peer counters without locks, so it is exact only at quiescent
+    // points (between collectives / after joins) — same contract as
+    // RunResult::total.
+    t.push_back({"counters.schedule_peak_scratch_bytes.max", 1,
+                 [](unsigned long long* out) {
+                     return read_in_rank(
+                         [](RankState* rs) {
+                             unsigned long long peak = 0;
+                             for (auto const& peer : rs->universe->ranks) {
+                                 peak = std::max<unsigned long long>(
+                                     peak, peer->counters.schedule_peak_scratch_bytes);
+                             }
+                             return peak;
+                         },
+                         out);
+                 },
+                 nullptr});
+
+    t.push_back({"p2p.wait_time_ns", 1,
+                 [](unsigned long long* out) {
+                     if (tls_rank() != nullptr) {
+                         *out = tls_rank()->wait_time_ns;
+                         return MPI_SUCCESS;
+                     }
+                     auto const lr = trace::last_run();
+                     *out = lr.wait_ns;
+                     return MPI_SUCCESS;
+                 },
+                 [] {
+                     RankState* const rs = tls_rank();
+                     if (rs == nullptr) return MPI_ERR_OTHER;
+                     rs->wait_time_ns = 0;
+                     return MPI_SUCCESS;
+                 }});
+
+    auto sim_field = [](int idx) {
+        return [idx](unsigned long long* out) {
+            unsigned long long v[3] = {0, 0, 0};
+            double makespan = 0.0;
+            int const rc = XMPI_T_sim_stats(&v[0], &v[1], &v[2], &makespan);
+            if (rc != MPI_SUCCESS) return rc;
+            *out = idx < 3 ? v[idx]
+                           : static_cast<unsigned long long>(makespan * 1e9);
+            return MPI_SUCCESS;
+        };
+    };
+    t.push_back({"sim.dry_builds", 1, sim_field(0), nullptr});
+    t.push_back({"sim.tape_steps", 1, sim_field(1), nullptr});
+    t.push_back({"sim.events", 1, sim_field(2), nullptr});
+    t.push_back({"sim.last_makespan_ns", 1, sim_field(3), nullptr});
+
+    auto tune_field = [](int idx) {
+        return [idx](unsigned long long* out) {
+            unsigned long long v[4] = {0, 0, 0, 0};
+            int const rc = XMPI_T_tune_stats(&v[0], &v[1], &v[2], &v[3]);
+            if (rc != MPI_SUCCESS) return rc;
+            *out = v[idx];
+            return MPI_SUCCESS;
+        };
+    };
+    t.push_back({"tune.records", 1, tune_field(0), nullptr});
+    t.push_back({"tune.probes", 1, tune_field(1), nullptr});
+    t.push_back({"tune.demotions", 1, tune_field(2), nullptr});
+    t.push_back({"tune.recoveries", 1, tune_field(3), nullptr});
+
+    auto trace_field = [](bool dropped) {
+        return [dropped](unsigned long long* out) {
+            RankState* const rs = tls_rank();
+            if (rs != nullptr && rs->trace_ring != nullptr) {
+                *out = dropped ? rs->trace_ring->dropped() : rs->trace_ring->recorded();
+                return MPI_SUCCESS;
+            }
+            auto const lr = trace::last_run();
+            *out = dropped ? lr.dropped : lr.recorded;
+            return MPI_SUCCESS;
+        };
+    };
+    t.push_back({"trace.events_recorded", 1, trace_field(false), nullptr});
+    t.push_back({"trace.events_dropped", 1, trace_field(true), nullptr});
+
+    for (int f = 0; f < alg::kFamilies; ++f) {
+        auto const fam = static_cast<alg::Family>(f);
+        auto const& table = alg::algorithms(fam);
+        for (std::size_t a = 0;
+             a < table.size() && a < static_cast<std::size_t>(trace::kHistMaxAlg); ++a) {
+            std::string name = "hist.";
+            name += alg::family_name(fam);
+            name += '.';
+            name += table[a].name;
+            t.push_back(
+                {std::move(name), trace::kHistSizeBuckets * trace::kHistLatBuckets,
+                 [f, a](unsigned long long* out) {
+                     trace::hist_read(f, static_cast<int>(a), out);
+                     return MPI_SUCCESS;
+                 },
+                 [f, a] {
+                     trace::hist_reset(f, static_cast<int>(a));
+                     return MPI_SUCCESS;
+                 }});
+        }
+    }
+    return t;
+}
+
+std::vector<Pvar> const& pvar_table() {
+    static std::vector<Pvar> const t = build_pvar_table();
+    return t;
+}
+
+}  // namespace
+
+namespace xmpi::detail::trace {
+
+void hist_read(int family, int alg, unsigned long long* out) {
+    for (int s = 0; s < kHistSizeBuckets; ++s) {
+        for (int l = 0; l < kHistLatBuckets; ++l) {
+            *out++ = g_hist[family][alg][s][l].load(std::memory_order_relaxed);
+        }
+    }
+}
+
+void hist_reset(int family, int alg) {
+    for (int s = 0; s < kHistSizeBuckets; ++s) {
+        for (int l = 0; l < kHistLatBuckets; ++l) {
+            g_hist[family][alg][s][l].store(0, std::memory_order_relaxed);
+        }
+    }
+}
+
+}  // namespace xmpi::detail::trace
+
+int XMPI_T_pvar_num(int* num) {
+    if (num == nullptr) return MPI_ERR_ARG;
+    *num = static_cast<int>(pvar_table().size());
+    return MPI_SUCCESS;
+}
+
+int XMPI_T_pvar_name(int index, char* name, int namelen, int* value_count) {
+    auto const& t = pvar_table();
+    if (index < 0 || index >= static_cast<int>(t.size())) return MPI_ERR_ARG;
+    Pvar const& p = t[static_cast<std::size_t>(index)];
+    if (name != nullptr && namelen > 0) {
+        std::snprintf(name, static_cast<std::size_t>(namelen), "%s", p.name.c_str());
+    }
+    if (value_count != nullptr) *value_count = p.value_count;
+    return MPI_SUCCESS;
+}
+
+int XMPI_T_pvar_read(int index, unsigned long long* values, int* count) {
+    auto const& t = pvar_table();
+    if (index < 0 || index >= static_cast<int>(t.size())) return MPI_ERR_ARG;
+    if (values == nullptr || count == nullptr) return MPI_ERR_ARG;
+    Pvar const& p = t[static_cast<std::size_t>(index)];
+    if (*count < p.value_count) return MPI_ERR_ARG;
+    int const rc = p.read(values);
+    *count = rc == MPI_SUCCESS ? p.value_count : 0;
+    return rc;
+}
+
+int XMPI_T_pvar_reset(int index) {
+    auto const& t = pvar_table();
+    if (index < 0 || index >= static_cast<int>(t.size())) return MPI_ERR_ARG;
+    Pvar const& p = t[static_cast<std::size_t>(index)];
+    if (!p.reset) return MPI_ERR_OTHER;
+    return p.reset();
+}
+
+int XMPI_T_trace_stats(unsigned long long* recorded, unsigned long long* dropped,
+                       unsigned long long* merged) {
+    auto const lr = xmpi::detail::trace::last_run();
+    if (recorded != nullptr) *recorded = lr.recorded;
+    if (dropped != nullptr) *dropped = lr.dropped;
+    if (merged != nullptr) *merged = static_cast<unsigned long long>(lr.records.size());
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Per-invocation critical-path attribution: replay the traced schedule tape
+// of one collective through the LogP arithmetic the transport itself uses
+// (deposit: t += o, arrival = t + alpha + beta*bytes; wait: t = max(t,
+// arrival)), carrying a provenance chain so the finishing rank's makespan
+// decomposes into named alpha/beta/o terms per tier.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using xmpi::detail::trace::Ev;
+using xmpi::detail::trace::Record;
+
+struct ChainNode {
+    int prev = -1;       // index of the predecessor node in the arena
+    std::uint8_t term;   // 0 start-skew, 1 alpha, 2 beta, 3 o
+    std::uint8_t tier;   // 0 inter, 1 intra
+    double amount = 0.0;
+};
+
+struct ReplayStep {
+    Ev kind;
+    int peer;  // dest/src world rank for send/post; slot index for wait
+    int tag;
+    std::uint64_t bytes;
+};
+
+struct ReplayRank {
+    int world = -1;
+    double enter = 0.0;
+    double exit_t = 0.0;
+    std::vector<ReplayStep> steps;
+    std::vector<std::size_t> posts;  // step index per slot, in post order
+    double t = 0.0;
+    int last = -1;  // newest chain node
+    std::size_t pc = 0;
+    bool blocked = false;
+};
+
+struct SentMsg {
+    double t = 0.0;
+    int node = -1;  // sender's chain node at the send
+};
+
+}  // namespace
+
+int XMPI_T_trace_attribution(long long seq, XMPI_T_trace_attr* out) {
+    if (out == nullptr) return MPI_ERR_ARG;
+    auto const lr = xmpi::detail::trace::last_run();
+    if (!lr.valid) return MPI_ERR_OTHER;
+
+    if (seq < 0) {  // default: the last completed traced collective
+        for (auto it = lr.records.rbegin(); it != lr.records.rend(); ++it) {
+            if (it->kind == static_cast<std::uint8_t>(Ev::coll_exit)) {
+                seq = static_cast<long long>(it->seq);
+                break;
+            }
+        }
+        if (seq < 0) return MPI_ERR_OTHER;
+    }
+
+    std::memset(out, 0, sizeof(*out));
+    out->family = -1;
+    out->alg = -1;
+
+    // Collect, per participating rank, the *last* enter/exit pair carrying
+    // `seq` and the schedule steps issued between them.
+    std::map<int, ReplayRank> ranks;
+    for (Record const& r : lr.records) {
+        if (r.seq != static_cast<std::uint64_t>(seq)) continue;
+        auto const kind = static_cast<Ev>(r.kind);
+        if (kind == Ev::coll_enter) {
+            ReplayRank& rr = ranks[r.rank];
+            rr.world = r.rank;
+            rr.enter = r.vtime;
+            rr.steps.clear();
+            rr.posts.clear();
+            if (r.family != 0xff) out->family = r.family;
+            if (r.alg != 0xff) out->alg = r.alg;
+        } else if (kind == Ev::coll_exit) {
+            auto it = ranks.find(r.rank);
+            if (it != ranks.end()) it->second.exit_t = r.vtime;
+        } else if (kind == Ev::step_send || kind == Ev::step_post || kind == Ev::step_wait) {
+            auto it = ranks.find(r.rank);
+            if (it == ranks.end()) continue;
+            ReplayRank& rr = it->second;
+            if (kind == Ev::step_post) rr.posts.push_back(rr.steps.size());
+            rr.steps.push_back({kind, r.peer, r.tag, r.bytes});
+        }
+    }
+    if (ranks.empty()) return MPI_ERR_OTHER;
+
+    double enter_min = std::numeric_limits<double>::infinity();
+    double exit_max = 0.0;
+    for (auto& [w, rr] : ranks) {
+        enter_min = std::min(enter_min, rr.enter);
+        exit_max = std::max(exit_max, rr.exit_t);
+    }
+    out->traced_makespan = exit_max - enter_min;
+
+    auto tier_of = [&](int a, int b) -> int {
+        auto const& nm = lr.node_of_world;
+        if (nm.empty()) return 0;
+        if (a < 0 || b < 0 || a >= static_cast<int>(nm.size()) ||
+            b >= static_cast<int>(nm.size()))
+            return 0;
+        return nm[static_cast<std::size_t>(a)] == nm[static_cast<std::size_t>(b)] ? 1 : 0;
+    };
+    double const alpha[2] = {lr.cfg.alpha, lr.cfg.alpha_intra};
+    double const beta[2] = {lr.cfg.beta, lr.cfg.beta_intra};
+    double const o[2] = {lr.cfg.o, lr.cfg.o_intra};
+
+    std::vector<ChainNode> nodes;
+    auto push_node = [&](int prev, std::uint8_t term, std::uint8_t tier, double amount) {
+        nodes.push_back({prev, term, tier, amount});
+        return static_cast<int>(nodes.size()) - 1;
+    };
+
+    for (auto& [w, rr] : ranks) {
+        double const skew = rr.enter - enter_min;
+        rr.last = push_node(-1, 0, 0, skew);
+        rr.t = skew;
+    }
+
+    auto msg_key = [](int src, int dst, int tag) {
+        return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src) & 0xFFFF) << 48) |
+               (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst) & 0xFFFFF) << 28) |
+               static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag) & 0xFFFFFFF);
+    };
+    std::map<std::uint64_t, std::deque<SentMsg>> wire;
+
+    unsigned long long executed = 0;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto& [w, rr] : ranks) {
+            while (rr.pc < rr.steps.size()) {
+                ReplayStep const& st = rr.steps[rr.pc];
+                if (st.kind == Ev::step_send) {
+                    int const tier = tier_of(rr.world, st.peer);
+                    rr.last = push_node(rr.last, 3, static_cast<std::uint8_t>(tier), o[tier]);
+                    rr.t += o[tier];
+                    wire[msg_key(rr.world, st.peer, st.tag)].push_back({rr.t, rr.last});
+                } else if (st.kind == Ev::step_post) {
+                    // Posting is free in the model; slot bookkeeping happened
+                    // during collection.
+                } else if (st.kind == Ev::step_wait) {
+                    auto const slot = static_cast<std::size_t>(st.peer);
+                    if (slot >= rr.posts.size()) break;  // malformed; stop this rank
+                    ReplayStep const& post = rr.steps[rr.posts[slot]];
+                    auto it = wire.find(msg_key(post.peer, rr.world, post.tag));
+                    if (it == wire.end() || it->second.empty()) break;  // not sent yet
+                    SentMsg const msg = it->second.front();
+                    it->second.pop_front();
+                    int const tier = tier_of(post.peer, rr.world);
+                    double const arrival = msg.t + alpha[tier] + beta[tier] * post.bytes;
+                    if (arrival > rr.t) {
+                        int const an =
+                            push_node(msg.node, 1, static_cast<std::uint8_t>(tier), alpha[tier]);
+                        rr.last = push_node(an, 2, static_cast<std::uint8_t>(tier),
+                                            beta[tier] * post.bytes);
+                        rr.t = arrival;
+                    }
+                }
+                ++rr.pc;
+                ++executed;
+                progress = true;
+            }
+        }
+    }
+    out->steps = executed;
+
+    ReplayRank const* finisher = nullptr;
+    for (auto& [w, rr] : ranks) {
+        if (finisher == nullptr || rr.t > finisher->t) finisher = &rr;
+    }
+    out->replayed_makespan = finisher->t;
+
+    for (int n = finisher->last; n >= 0; n = nodes[static_cast<std::size_t>(n)].prev) {
+        ChainNode const& cn = nodes[static_cast<std::size_t>(n)];
+        bool const intra = cn.tier == 1;
+        switch (cn.term) {
+            case 0: out->start_skew += cn.amount; break;
+            case 1: (intra ? out->alpha_intra : out->alpha_inter) += cn.amount; break;
+            case 2: (intra ? out->beta_intra : out->beta_inter) += cn.amount; break;
+            case 3: (intra ? out->o_intra : out->o_inter) += cn.amount; break;
+        }
+    }
+    out->attributed = out->alpha_inter + out->beta_inter + out->o_inter + out->alpha_intra +
+                      out->beta_intra + out->o_intra;
+    return MPI_SUCCESS;
+}

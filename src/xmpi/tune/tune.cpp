@@ -242,7 +242,7 @@ Bucket& bucket_locked(int family, int p, std::size_t bytes) {
 /// while any is under-sampled (every other generation, so the model's pick
 /// keeps being measured too), re-probe occasionally at steady state so a
 /// demoted algorithm can recover, otherwise apply the bucket's preference.
-int decide_locked(Bucket& b, unsigned long long gen, unsigned valid_mask) {
+int decide_locked(Bucket& b, unsigned long long gen, unsigned valid_mask, bool* probed) {
     int least = -1;
     int least_n = std::numeric_limits<int>::max();
     for (int i = 0; i < 32; ++i) {
@@ -257,6 +257,7 @@ int decide_locked(Bucket& b, unsigned long long gen, unsigned valid_mask) {
     if ((undersampled && gen % 2 == 1) ||
         (!undersampled && least >= 0 && gen % kReprobe == kReprobe - 1)) {
         g_probes.fetch_add(1, std::memory_order_relaxed);
+        *probed = true;
         return least;
     }
     return b.preferred;
@@ -285,6 +286,7 @@ int pick(int family, int p, std::size_t bytes, unsigned long long seq, int model
          unsigned valid_mask) {
     unsigned long long const gen = seq / kGenLen;
     int decision;
+    bool probed = false;
     {
         std::lock_guard<std::mutex> lock(g_mutex);
         Bucket& b = bucket_locked(family, p, bytes);
@@ -293,10 +295,13 @@ int pick(int family, int p, std::size_t bytes, unsigned long long seq, int model
         if (it != b.frozen.end()) {
             decision = it->second;
         } else {
-            decision = decide_locked(b, gen, valid_mask);
+            decision = decide_locked(b, gen, valid_mask, &probed);
             b.frozen.emplace(gen, decision);
             while (b.frozen.size() > kFrozenKeep) b.frozen.erase(b.frozen.begin());
         }
+    }
+    if (probed) {
+        trace::ev(trace::Ev::tune_probe, model_pick, -1, bytes, seq, family, decision);
     }
     if (decision >= 0 && decision < 32 && (valid_mask >> decision & 1u) != 0) return decision;
     return model_pick;
@@ -305,6 +310,7 @@ int pick(int family, int p, std::size_t bytes, unsigned long long seq, int model
 void record(int family, int p, std::size_t bytes, int alg, double elapsed) {
     if (alg < 0 || alg >= 32 || !(elapsed >= 0)) return;
     bool flipped = false;
+    int demoted_to = -1;
     {
         std::lock_guard<std::mutex> lock(g_mutex);
         Bucket& b = bucket_locked(family, p, bytes);
@@ -340,11 +346,16 @@ void record(int family, int p, std::size_t bytes, int alg, double elapsed) {
             b.preferred = want;
             (want >= 0 ? g_demotions : g_recoveries).fetch_add(1, std::memory_order_relaxed);
             flipped = true;
+            demoted_to = want;
         }
     }
     // A preference flip changes future selections: stale cached schedules
     // keyed on the old algorithm must not be replayed.
-    if (flipped) alg::bump_sched_epoch();
+    if (flipped) {
+        trace::ev(demoted_to >= 0 ? trace::Ev::tune_demote : trace::Ev::tune_recover, -1, -1,
+                  bytes, 0, family, demoted_to >= 0 ? demoted_to : alg);
+        alg::bump_sched_epoch();
+    }
 }
 
 void refresh_env() {

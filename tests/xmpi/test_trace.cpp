@@ -1,0 +1,738 @@
+/// @file test_trace.cpp
+/// @brief Event tracing and the pvar registry: ring overflow semantics, the
+/// traced event stream of a hierarchical allreduce checked step-for-step
+/// against its dry-built schedule tape, Chrome trace-event export
+/// well-formedness and send/recv flow pairing, pvar enumeration coverage of
+/// every counter reachable through the legacy stats structs, byte-identity
+/// of counters between traced and untraced runs, blocking-wait wall-time
+/// accounting, warn-once validation of the trace environment knobs, and the
+/// per-invocation critical-path attribution replay.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../testing_utils.hpp"
+#include "src/xmpi/algorithms/algorithms.hpp"
+#include "src/xmpi/internal.hpp"
+#include "xmpi/mpi.h"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+namespace xd = xmpi::detail;
+namespace xt = xmpi::detail::trace;
+
+using testing_utils::TopoPin;
+
+/// Adding a Counters field must extend kExpectedPvars below (and the
+/// registry table in trace.cpp, which carries the same assert).
+static_assert(sizeof(xmpi::Counters) == 10 * sizeof(std::uint64_t),
+              "Counters changed: update the pvar coverage list in this test");
+
+/// setenv/unsetenv + env-refresh RAII so a failing assertion cannot leak a
+/// trace environment into later tests.
+struct EnvVar {
+    EnvVar(char const* name, std::string const& value) : name_(name) {
+        char const* const old = std::getenv(name);
+        had_ = old != nullptr;
+        if (had_) old_ = old;
+        setenv(name, value.c_str(), 1);
+        XMPI_T_alg_env_refresh();
+    }
+    ~EnvVar() {
+        if (had_) {
+            setenv(name_, old_.c_str(), 1);
+        } else {
+            unsetenv(name_);
+        }
+        XMPI_T_alg_env_refresh();
+    }
+    EnvVar(EnvVar const&) = delete;
+    EnvVar& operator=(EnvVar const&) = delete;
+
+private:
+    char const* name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+/// Guarantees a variable is unset for the scope.
+struct EnvUnset {
+    explicit EnvUnset(char const* name) : name_(name) {
+        char const* const old = std::getenv(name);
+        had_ = old != nullptr;
+        if (had_) old_ = old;
+        unsetenv(name);
+        XMPI_T_alg_env_refresh();
+    }
+    ~EnvUnset() {
+        if (had_) setenv(name_, old_.c_str(), 1);
+        XMPI_T_alg_env_refresh();
+    }
+    EnvUnset(EnvUnset const&) = delete;
+    EnvUnset& operator=(EnvUnset const&) = delete;
+
+private:
+    char const* name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+/// Pins one family's algorithm via the control API for the scope.
+struct AlgPin {
+    AlgPin(char const* family, char const* algorithm) : family_(family) {
+        EXPECT_EQ(XMPI_T_alg_set(family, algorithm), MPI_SUCCESS);
+    }
+    ~AlgPin() { XMPI_T_alg_set(family_, nullptr); }
+    AlgPin(AlgPin const&) = delete;
+    AlgPin& operator=(AlgPin const&) = delete;
+
+private:
+    char const* family_;
+};
+
+int pvar_index(std::string const& name) {
+    int num = 0;
+    if (XMPI_T_pvar_num(&num) != MPI_SUCCESS) return -1;
+    char buf[128];
+    for (int i = 0; i < num; ++i) {
+        if (XMPI_T_pvar_name(i, buf, sizeof(buf), nullptr) != MPI_SUCCESS) return -1;
+        if (name == buf) return i;
+    }
+    return -1;
+}
+
+unsigned long long pvar_read_scalar(int index) {
+    unsigned long long v = 0;
+    int count = 1;
+    EXPECT_EQ(XMPI_T_pvar_read(index, &v, &count), MPI_SUCCESS) << "pvar " << index;
+    EXPECT_EQ(count, 1);
+    return v;
+}
+
+bool file_exists(std::string const& path) {
+    std::FILE* const f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) return false;
+    std::fclose(f);
+    return true;
+}
+
+std::string read_file(std::string const& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::size_t count_occurrences(std::string const& hay, std::string const& needle) {
+    std::size_t n = 0;
+    for (std::size_t at = hay.find(needle); at != std::string::npos;
+         at = hay.find(needle, at + needle.size()))
+        ++n;
+    return n;
+}
+
+/// Minimal recursive-descent JSON well-formedness checker — enough to assert
+/// the exporter emits something a real trace viewer's parser will accept.
+class JsonChecker {
+public:
+    explicit JsonChecker(std::string const& s) : s_(s) {}
+    bool valid() {
+        skip();
+        if (!value()) return false;
+        skip();
+        return pos_ == s_.size();
+    }
+
+private:
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+    void skip() {
+        while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                    s_[pos_] == '\r'))
+            ++pos_;
+    }
+    bool lit(char const* w) {
+        std::size_t const n = std::strlen(w);
+        if (s_.compare(pos_, n, w) != 0) return false;
+        pos_ += n;
+        return true;
+    }
+    bool string_lit() {
+        if (peek() != '"') return false;
+        ++pos_;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\') ++pos_;
+            ++pos_;
+        }
+        if (pos_ >= s_.size()) return false;
+        ++pos_;
+        return true;
+    }
+    bool number() {
+        std::size_t const start = pos_;
+        if (peek() == '-') ++pos_;
+        while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+        if (peek() == '.') {
+            ++pos_;
+            while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-') ++pos_;
+            while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+        }
+        return pos_ > start;
+    }
+    bool array() {
+        ++pos_;  // '['
+        skip();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skip();
+            if (!value()) return false;
+            skip();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+    bool object() {
+        ++pos_;  // '{'
+        skip();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skip();
+            if (!string_lit()) return false;
+            skip();
+            if (peek() != ':') return false;
+            ++pos_;
+            skip();
+            if (!value()) return false;
+            skip();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+    bool value() {
+        switch (peek()) {
+            case '{': return object();
+            case '[': return array();
+            case '"': return string_lit();
+            case 't': return lit("true");
+            case 'f': return lit("false");
+            case 'n': return lit("null");
+            default: return number();
+        }
+    }
+
+    std::string const& s_;
+    std::size_t pos_ = 0;
+};
+
+bool is_step_event(xt::Record const& r) {
+    auto const k = static_cast<xt::Ev>(r.kind);
+    return k == xt::Ev::step_send || k == xt::Ev::step_post || k == xt::Ev::step_wait;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Ring semantics
+// ---------------------------------------------------------------------------
+
+TEST(Trace, RingOverflowKeepsNewestAndCountsDrops) {
+    EXPECT_EQ(xt::Ring(1).capacity(), 16u);   // floor
+    EXPECT_EQ(xt::Ring(40).capacity(), 64u);  // rounds up to a power of two
+
+    xt::Ring ring(16);
+    ASSERT_EQ(ring.capacity(), 16u);
+    for (std::uint64_t i = 0; i < 40; ++i) {
+        xt::Record r;
+        r.seq = i;
+        ring.push(r);
+    }
+    EXPECT_EQ(ring.recorded(), 40u);
+    EXPECT_EQ(ring.dropped(), 24u);
+    auto const snap = ring.snapshot();
+    ASSERT_EQ(snap.size(), 16u);
+    EXPECT_EQ(snap.front().seq, 24u);  // oldest retained is the 25th push
+    EXPECT_EQ(snap.back().seq, 39u);
+    for (std::size_t i = 1; i < snap.size(); ++i) {
+        EXPECT_EQ(snap[i].seq, snap[i - 1].seq + 1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Traced events vs. the dry-built schedule tape
+// ---------------------------------------------------------------------------
+
+TEST(Trace, HierarchicalAllreduceEventsMatchDryTape) {
+    TopoPin const topo(2);
+    AlgPin const pin("allreduce", "hierarchical");
+    std::string const path = "trace_hier_allreduce.json";
+    std::remove(path.c_str());
+    EnvVar const env("XMPI_TRACE", path);
+
+    constexpr int kRanks = 4;
+    constexpr int kCount = 96;
+    std::vector<std::vector<xd::alg::TapeStep>> tapes(kRanks);
+
+    xmpi::Config cfg;
+    cfg.compute_scale = 0.0;
+    xmpi::run(
+        kRanks,
+        [&](int r) {
+            std::vector<int> in(kCount, r + 1);
+            std::vector<int> out(kCount, -1);
+            MPI_Comm const world = xd::tls_rank()->world;
+            int const idx = xd::alg::select(xd::alg::Family::allreduce, world,
+                                            kCount * sizeof(int), true, true);
+            ASSERT_STREQ(
+                xd::alg::algorithms(xd::alg::Family::allreduce)[static_cast<std::size_t>(idx)]
+                    .name,
+                "hierarchical");
+            // Dry-build the exact tape this invocation will execute.
+            xd::alg::DrySink sink;
+            sink.begin_build();
+            xd::alg::Schedule dry(world, 0);
+            dry.begin_dry(&sink);
+            ASSERT_EQ(xd::alg::build_allreduce(idx, dry, in.data(), out.data(), kCount,
+                                               MPI_INT, MPI_SUM),
+                      MPI_SUCCESS);
+            tapes[static_cast<std::size_t>(r)] = sink.steps;
+
+            ASSERT_EQ(MPI_Allreduce(in.data(), out.data(), kCount, MPI_INT, MPI_SUM,
+                                    MPI_COMM_WORLD),
+                      MPI_SUCCESS);
+            for (int v : out) ASSERT_EQ(v, 1 + 2 + 3 + 4);
+        },
+        cfg);
+
+    auto const lr = xt::last_run();
+    ASSERT_TRUE(lr.valid);
+    EXPECT_EQ(lr.world_size, kRanks);
+    EXPECT_EQ(lr.dropped, 0u);
+
+    // The traced collective's sequence number, from its enter event.
+    std::uint64_t seq = ~0ull;
+    for (auto const& rec : lr.records) {
+        if (static_cast<xt::Ev>(rec.kind) == xt::Ev::coll_enter &&
+            rec.family == static_cast<std::uint8_t>(xd::alg::Family::allreduce)) {
+            seq = rec.seq;
+            break;
+        }
+    }
+    ASSERT_NE(seq, ~0ull);
+
+    for (int r = 0; r < kRanks; ++r) {
+        std::vector<xt::Record> got;
+        for (auto const& rec : lr.records) {
+            if (rec.rank == r && rec.seq == seq && is_step_event(rec)) got.push_back(rec);
+        }
+        auto const& tape = tapes[static_cast<std::size_t>(r)];
+        ASSERT_EQ(got.size(), tape.size()) << "rank " << r;
+        std::size_t sends = 0;
+        for (std::size_t i = 0; i < tape.size(); ++i) {
+            auto const& ts = tape[i];
+            auto const& rec = got[i];
+            switch (ts.kind) {
+                case xd::alg::TapeStep::kSend:
+                    ++sends;
+                    EXPECT_EQ(static_cast<xt::Ev>(rec.kind), xt::Ev::step_send)
+                        << "rank " << r << " step " << i;
+                    // MPI_COMM_WORLD: comm rank == world rank.
+                    EXPECT_EQ(rec.peer, static_cast<int>(ts.a));
+                    EXPECT_EQ(rec.tag, xd::coll_tag(seq, ts.tag));
+                    EXPECT_EQ(rec.bytes, ts.bytes);
+                    break;
+                case xd::alg::TapeStep::kPost:
+                    EXPECT_EQ(static_cast<xt::Ev>(rec.kind), xt::Ev::step_post)
+                        << "rank " << r << " step " << i;
+                    EXPECT_EQ(rec.peer, static_cast<int>(ts.a));
+                    EXPECT_EQ(rec.tag, xd::coll_tag(seq, ts.tag));
+                    EXPECT_EQ(rec.bytes, ts.bytes);
+                    break;
+                case xd::alg::TapeStep::kWait:
+                    EXPECT_EQ(static_cast<xt::Ev>(rec.kind), xt::Ev::step_wait)
+                        << "rank " << r << " step " << i;
+                    EXPECT_EQ(rec.peer, static_cast<int>(ts.a));  // slot index
+                    break;
+                default:
+                    FAIL() << "unknown tape step kind";
+            }
+        }
+        EXPECT_GT(sends, 0u) << "rank " << r;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export
+// ---------------------------------------------------------------------------
+
+TEST(Trace, ChromeJsonExportIsWellFormedWithPairedFlows) {
+    std::string const path = "trace_export.json";
+    std::remove(path.c_str());
+    EnvVar const env("XMPI_TRACE", path);
+
+    xmpi::run(4, [](int r) {
+        std::vector<int> in(64, r + 1);
+        std::vector<int> out(64, 0);
+        ASSERT_EQ(MPI_Allreduce(in.data(), out.data(), 64, MPI_INT, MPI_SUM, MPI_COMM_WORLD),
+                  MPI_SUCCESS);
+        if (r == 0) {
+            ASSERT_EQ(MPI_Send(in.data(), 64, MPI_INT, 1, 5, MPI_COMM_WORLD), MPI_SUCCESS);
+        } else if (r == 1) {
+            ASSERT_EQ(
+                MPI_Recv(out.data(), 64, MPI_INT, 0, 5, MPI_COMM_WORLD, MPI_STATUS_IGNORE),
+                MPI_SUCCESS);
+        }
+    });
+
+    ASSERT_TRUE(file_exists(path));
+    std::string const text = read_file(path);
+    ASSERT_FALSE(text.empty());
+    EXPECT_TRUE(JsonChecker(text).valid()) << "exporter wrote malformed JSON";
+
+    auto const lr = xt::last_run();
+    ASSERT_TRUE(lr.valid);
+    ASSERT_EQ(lr.dropped, 0u);
+    std::size_t n_send = 0;
+    std::size_t n_recv = 0;
+    for (auto const& rec : lr.records) {
+        if (static_cast<xt::Ev>(rec.kind) == xt::Ev::send) ++n_send;
+        if (static_cast<xt::Ev>(rec.kind) == xt::Ev::recv_done) ++n_recv;
+    }
+    EXPECT_GT(n_send, 0u);
+    EXPECT_EQ(n_send, n_recv);  // a completed blocking run consumes every message
+    // Every send has a flow start and every matched receive a flow finish.
+    EXPECT_EQ(count_occurrences(text, "\"ph\":\"s\""), n_send);
+    EXPECT_EQ(count_occurrences(text, "\"ph\":\"f\""), n_send);
+    // One lane of metadata per rank.
+    EXPECT_EQ(count_occurrences(text, "\"thread_name\""), 4u);
+    // Collective slices open (one enter per rank).
+    EXPECT_GT(count_occurrences(text, "\"ph\":\"B\""), 0u);
+    EXPECT_EQ(count_occurrences(text, "\"cat\":\"coll\""), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Pvar registry
+// ---------------------------------------------------------------------------
+
+TEST(Trace, PvarRegistryCoversStatsStructs) {
+    int num = 0;
+    ASSERT_EQ(XMPI_T_pvar_num(&num), MPI_SUCCESS);
+    EXPECT_GE(num, 27);  // 22 scalars + at least one histogram per family
+
+    std::set<std::string> names;
+    char buf[128];
+    for (int i = 0; i < num; ++i) {
+        int value_count = 0;
+        ASSERT_EQ(XMPI_T_pvar_name(i, buf, sizeof(buf), &value_count), MPI_SUCCESS);
+        EXPECT_GE(value_count, 1);
+        names.insert(buf);
+    }
+    EXPECT_EQ(static_cast<int>(names.size()), num) << "duplicate pvar names";
+
+    // Every counter reachable through Counters / XMPI_T_sched_stats /
+    // XMPI_T_sim_stats / XMPI_T_tune_stats must be enumerable. The
+    // static_assert at the top of this file pins the Counters field count.
+    char const* const expected[] = {
+        "counters.p2p_messages",
+        "counters.p2p_bytes",
+        "counters.coll_messages",
+        "counters.coll_bytes",
+        "counters.intra_node_messages",
+        "counters.intra_node_bytes",
+        "counters.schedule_builds",
+        "counters.schedule_cache_hits",
+        "counters.schedule_cache_evictions",
+        "counters.schedule_peak_scratch_bytes.rank",
+        "counters.schedule_peak_scratch_bytes.max",
+        "p2p.wait_time_ns",
+        "sim.dry_builds",
+        "sim.tape_steps",
+        "sim.events",
+        "sim.last_makespan_ns",
+        "tune.records",
+        "tune.probes",
+        "tune.demotions",
+        "tune.recoveries",
+        "trace.events_recorded",
+        "trace.events_dropped",
+    };
+    for (char const* name : expected) {
+        EXPECT_EQ(names.count(name), 1u) << "missing pvar: " << name;
+    }
+
+    // Histogram pvars exist per (family, algorithm) with the full bucket grid.
+    int const hist = pvar_index("hist.allreduce.hierarchical");
+    ASSERT_GE(hist, 0);
+    int value_count = 0;
+    ASSERT_EQ(XMPI_T_pvar_name(hist, buf, sizeof(buf), &value_count), MPI_SUCCESS);
+    EXPECT_EQ(value_count, xt::kHistSizeBuckets * xt::kHistLatBuckets);
+
+    // Argument validation and out-of-rank behavior.
+    EXPECT_EQ(XMPI_T_pvar_num(nullptr), MPI_ERR_ARG);
+    EXPECT_EQ(XMPI_T_pvar_name(-1, buf, sizeof(buf), &value_count), MPI_ERR_ARG);
+    EXPECT_EQ(XMPI_T_pvar_name(num, buf, sizeof(buf), &value_count), MPI_ERR_ARG);
+    int const cm = pvar_index("counters.coll_messages");
+    ASSERT_GE(cm, 0);
+    unsigned long long v = 0;
+    int count = 0;  // capacity too small
+    EXPECT_EQ(XMPI_T_pvar_read(cm, &v, &count), MPI_ERR_ARG);
+    count = 1;
+    EXPECT_EQ(XMPI_T_pvar_read(cm, &v, &count), MPI_ERR_OTHER);  // outside a rank
+    EXPECT_EQ(count, 0);
+    EXPECT_EQ(XMPI_T_pvar_reset(cm), MPI_ERR_OTHER);  // counters are read-only
+
+    // In-rank reads agree with the legacy structs.
+    xmpi::run(2, [&](int) {
+        std::vector<int> b(16, 1);
+        ASSERT_EQ(MPI_Bcast(b.data(), 16, MPI_INT, 0, MPI_COMM_WORLD), MPI_SUCCESS);
+        EXPECT_EQ(pvar_read_scalar(cm), xmpi::counters_now().coll_messages);
+        int const rank_peak = pvar_index("counters.schedule_peak_scratch_bytes.rank");
+        int const max_peak = pvar_index("counters.schedule_peak_scratch_bytes.max");
+        ASSERT_GE(rank_peak, 0);
+        ASSERT_GE(max_peak, 0);
+        EXPECT_GE(pvar_read_scalar(max_peak), pvar_read_scalar(rank_peak));
+        unsigned long long builds = 0, hits = 0, evictions = 0, peak = 0;
+        ASSERT_EQ(XMPI_T_sched_stats(&builds, &hits, &evictions, &peak), MPI_SUCCESS);
+        EXPECT_EQ(pvar_read_scalar(pvar_index("counters.schedule_builds")), builds);
+        EXPECT_EQ(pvar_read_scalar(rank_peak), peak);
+    });
+}
+
+TEST(Trace, HistogramPvarRecordsInvocations) {
+    // Reset every allreduce histogram, run a known number of collectives,
+    // and expect exactly one sample per rank per invocation.
+    int num = 0;
+    ASSERT_EQ(XMPI_T_pvar_num(&num), MPI_SUCCESS);
+    std::vector<int> hist_indices;
+    char buf[128];
+    for (int i = 0; i < num; ++i) {
+        ASSERT_EQ(XMPI_T_pvar_name(i, buf, sizeof(buf), nullptr), MPI_SUCCESS);
+        if (std::string(buf).rfind("hist.allreduce.", 0) == 0) hist_indices.push_back(i);
+    }
+    ASSERT_FALSE(hist_indices.empty());
+    for (int i : hist_indices) ASSERT_EQ(XMPI_T_pvar_reset(i), MPI_SUCCESS);
+
+    constexpr int kRanks = 2;
+    constexpr int kCalls = 3;
+    xmpi::run(kRanks, [](int r) {
+        std::vector<int> in(256, r);
+        std::vector<int> out(256, 0);
+        for (int i = 0; i < kCalls; ++i) {
+            ASSERT_EQ(MPI_Allreduce(in.data(), out.data(), 256, MPI_INT, MPI_SUM,
+                                    MPI_COMM_WORLD),
+                      MPI_SUCCESS);
+        }
+    });
+
+    std::vector<unsigned long long> values(
+        static_cast<std::size_t>(xt::kHistSizeBuckets * xt::kHistLatBuckets));
+    unsigned long long total = 0;
+    for (int i : hist_indices) {
+        int count = static_cast<int>(values.size());
+        ASSERT_EQ(XMPI_T_pvar_read(i, values.data(), &count), MPI_SUCCESS);
+        ASSERT_EQ(count, static_cast<int>(values.size()));
+        for (auto x : values) total += x;
+    }
+    EXPECT_EQ(total, static_cast<unsigned long long>(kRanks * kCalls));
+
+    for (int i : hist_indices) ASSERT_EQ(XMPI_T_pvar_reset(i), MPI_SUCCESS);
+    total = 0;
+    for (int i : hist_indices) {
+        int count = static_cast<int>(values.size());
+        ASSERT_EQ(XMPI_T_pvar_read(i, values.data(), &count), MPI_SUCCESS);
+        for (auto x : values) total += x;
+    }
+    EXPECT_EQ(total, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing must not perturb the run
+// ---------------------------------------------------------------------------
+
+TEST(Trace, UntracedRunCountersIdenticalToTraced) {
+    auto const workload = [](int r) {
+        std::vector<int> a(64, r + 1);
+        std::vector<int> b(64, 0);
+        ASSERT_EQ(MPI_Allreduce(a.data(), b.data(), 64, MPI_INT, MPI_SUM, MPI_COMM_WORLD),
+                  MPI_SUCCESS);
+        ASSERT_EQ(MPI_Bcast(b.data(), 64, MPI_INT, 0, MPI_COMM_WORLD), MPI_SUCCESS);
+        if (r == 0) {
+            ASSERT_EQ(MPI_Send(a.data(), 64, MPI_INT, 1, 3, MPI_COMM_WORLD), MPI_SUCCESS);
+        } else if (r == 1) {
+            ASSERT_EQ(
+                MPI_Recv(b.data(), 64, MPI_INT, 0, 3, MPI_COMM_WORLD, MPI_STATUS_IGNORE),
+                MPI_SUCCESS);
+        }
+    };
+
+    // compute_scale = 0 makes the virtual clock pure model arithmetic; with
+    // CPU time charged (the default), recording events costs real cycles and
+    // the clocks legitimately differ.
+    xmpi::Config cfg;
+    cfg.compute_scale = 0.0;
+    xmpi::RunResult off;
+    {
+        EnvUnset const no_trace("XMPI_TRACE");
+        off = xmpi::run(4, workload, cfg);
+    }
+    xmpi::RunResult on;
+    {
+        std::string const path = "trace_counters.json";
+        std::remove(path.c_str());
+        EnvVar const env("XMPI_TRACE", path);
+        on = xmpi::run(4, workload, cfg);
+        EXPECT_TRUE(file_exists(path));
+    }
+    EXPECT_EQ(std::memcmp(&off.total, &on.total, sizeof(xmpi::Counters)), 0)
+        << "tracing changed the counters";
+    EXPECT_EQ(off.max_vtime, on.max_vtime) << "tracing changed virtual time";
+}
+
+// ---------------------------------------------------------------------------
+// Blocking-wait wall-time accounting (satellite bugfix)
+// ---------------------------------------------------------------------------
+
+TEST(Trace, WaitTimeAccountedAndResettable) {
+    int const wi = pvar_index("p2p.wait_time_ns");
+    ASSERT_GE(wi, 0);
+    // Outside a rank this reads the last traced run's sum; it must not fail.
+    unsigned long long v = 0;
+    int count = 1;
+    EXPECT_EQ(XMPI_T_pvar_read(wi, &v, &count), MPI_SUCCESS);
+
+    xmpi::run(2, [&](int r) {
+        std::vector<int> buf(4, r);
+        if (r == 0) {
+            // Handshake so the peer's delay overlaps our blocking receive.
+            ASSERT_EQ(MPI_Send(buf.data(), 4, MPI_INT, 1, 6, MPI_COMM_WORLD), MPI_SUCCESS);
+            ASSERT_EQ(
+                MPI_Recv(buf.data(), 4, MPI_INT, 1, 7, MPI_COMM_WORLD, MPI_STATUS_IGNORE),
+                MPI_SUCCESS);
+            EXPECT_GE(pvar_read_scalar(wi), 1000000ull)
+                << "a ~5ms-delayed receive must account >= 1ms of wait";
+            ASSERT_EQ(XMPI_T_pvar_reset(wi), MPI_SUCCESS);
+            EXPECT_EQ(pvar_read_scalar(wi), 0ull);
+        } else {
+            ASSERT_EQ(
+                MPI_Recv(buf.data(), 4, MPI_INT, 0, 6, MPI_COMM_WORLD, MPI_STATUS_IGNORE),
+                MPI_SUCCESS);
+            usleep(5000);
+            ASSERT_EQ(MPI_Send(buf.data(), 4, MPI_INT, 0, 7, MPI_COMM_WORLD), MPI_SUCCESS);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Environment validation
+// ---------------------------------------------------------------------------
+
+TEST(Trace, GarbageRingEnvWarnsAndDisablesTracing) {
+    std::string const path = "trace_garbage.json";
+    std::remove(path.c_str());
+    {
+        EnvVar const trace("XMPI_TRACE", path);
+        EnvVar const ring("XMPI_TRACE_RING_EVENTS", "banana");
+        xmpi::run(2, [](int r) {
+            std::vector<int> a(8, r), b(8, 0);
+            ASSERT_EQ(MPI_Allreduce(a.data(), b.data(), 8, MPI_INT, MPI_SUM, MPI_COMM_WORLD),
+                      MPI_SUCCESS);
+        });
+        EXPECT_FALSE(file_exists(path)) << "garbage ring capacity must disable tracing";
+    }
+    {
+        // A valid tiny capacity traces with overflow accounted.
+        std::string const tiny = "trace_tiny_ring.json";
+        std::remove(tiny.c_str());
+        EnvVar const trace("XMPI_TRACE", tiny);
+        EnvVar const ring("XMPI_TRACE_RING_EVENTS", "17");  // rounds up to 32
+        xmpi::run(2, [](int r) {
+            std::vector<int> a(16, r), b(16, 0);
+            for (int i = 0; i < 64; ++i) {
+                ASSERT_EQ(MPI_Allreduce(a.data(), b.data(), 16, MPI_INT, MPI_SUM,
+                                        MPI_COMM_WORLD),
+                          MPI_SUCCESS);
+            }
+        });
+        EXPECT_TRUE(file_exists(tiny));
+        auto const lr = xt::last_run();
+        ASSERT_TRUE(lr.valid);
+        EXPECT_GT(lr.dropped, 0u);
+        EXPECT_GT(lr.recorded, lr.dropped);
+        EXPECT_LE(lr.records.size(), 2u * 32u);  // at most one ring per rank survives
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path attribution
+// ---------------------------------------------------------------------------
+
+TEST(Trace, AttributionCoversTracedMakespan) {
+    TopoPin const topo(2);
+    AlgPin const pin("allreduce", "hierarchical");
+    std::string const path = "trace_attr.json";
+    std::remove(path.c_str());
+    EnvVar const env("XMPI_TRACE", path);
+
+    xmpi::Config cfg;
+    cfg.compute_scale = 0.0;  // pure communication: the replay models no compute
+    xmpi::run(
+        4,
+        [](int r) {
+            std::vector<int> in(4096, r + 1);
+            std::vector<int> out(4096, 0);
+            ASSERT_EQ(MPI_Allreduce(in.data(), out.data(), 4096, MPI_INT, MPI_SUM,
+                                    MPI_COMM_WORLD),
+                      MPI_SUCCESS);
+        },
+        cfg);
+
+    XMPI_T_trace_attr attr;
+    ASSERT_EQ(XMPI_T_trace_attribution(-1, &attr), MPI_SUCCESS);
+    EXPECT_EQ(attr.family, static_cast<int>(xd::alg::Family::allreduce));
+    EXPECT_GT(attr.steps, 0ull);
+    ASSERT_GT(attr.traced_makespan, 0.0);
+    EXPECT_NEAR(attr.replayed_makespan, attr.traced_makespan, attr.traced_makespan * 0.05);
+
+    double const ratio = attr.attributed / attr.traced_makespan;
+    EXPECT_GE(ratio, 0.95) << "attribution must explain >= 95% of the traced makespan";
+    EXPECT_LE(ratio, 1.05);
+    // A hierarchical run crosses both tiers.
+    EXPECT_GT(attr.alpha_inter + attr.beta_inter + attr.o_inter, 0.0);
+    EXPECT_GT(attr.alpha_intra + attr.beta_intra + attr.o_intra, 0.0);
+
+    EXPECT_EQ(XMPI_T_trace_attribution(-1, nullptr), MPI_ERR_ARG);
+    EXPECT_EQ(XMPI_T_trace_attribution(123456, &attr), MPI_ERR_OTHER);
+}
