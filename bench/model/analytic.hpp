@@ -33,9 +33,18 @@ struct NodeShape {
 
 /// The two-tier machine: inter-node network plus intra-node shared memory.
 /// Defaults mirror xmpi::Config's inter/intra parameter pairs.
+///
+/// The copy tier prices the zero-copy shared-memory transport (src/xmpi/shm):
+/// a rendezvous publish costs `copy_sync` once (flag synchronization), after
+/// which any number of same-node peers read the buffer concurrently at
+/// `gamma_copy` seconds per byte each. Contrast with the message intra tier,
+/// where every hop pays alpha + o and the payload crosses the wire twice
+/// (pack + unpack) instead of once.
 struct TwoTier {
     Machine inter{};
     Machine intra{2e-7, 5e-11, 5e-8, 2.5e8};
+    double gamma_copy = 2e-11;  ///< per-byte direct-copy cost [s/B]
+    double copy_sync = 1e-7;    ///< rendezvous flag-synchronization cost [s]
 };
 
 inline double log2d(double x) { return std::log2(x); }
@@ -376,17 +385,76 @@ inline double bcast_hier_tree(TwoTier const& t, NodeShape const& s, double bytes
            ceil_log2(m) * (t.intra.alpha + t.intra.o + t.intra.beta * bytes);
 }
 
-/// Hierarchical bcast: the builder picks whichever variant is cheaper.
-inline double bcast_hier(TwoTier const& t, NodeShape const& s, double /*p*/, double bytes) {
-    return std::min(bcast_hier_ring(t, s, bytes), bcast_hier_tree(t, s, bytes));
+// ---------------------------------------------------------------------------
+// Zero-copy shared-memory phase costs. Each prices the copy-step schedules
+// built by the shm variants in hierarchical.cpp: a producer publishes its
+// buffer once (copy_sync), then consumers read it concurrently — p-1 readers
+// of the same buffer overlap, so a share-back costs one sync plus one
+// gamma_copy*bytes stream, not p-1 of them.
+// ---------------------------------------------------------------------------
+
+/// One buffer published, any number of same-node peers read it concurrently
+/// (bcast share-back, leader-to-members redistribution).
+inline double copy_share_back(TwoTier const& t, double bytes) {
+    return t.copy_sync + t.gamma_copy * bytes;
+}
+
+/// One consumer reads k peer buffers back-to-back (gather into a leader,
+/// reduce-scatter slice collection): the reads serialize on the consumer.
+inline double copy_gather(TwoTier const& t, double k, double bytes) {
+    return t.copy_sync + (k < 0 ? 0 : k) * t.gamma_copy * bytes;
+}
+
+/// In-place binomial tree reduce folding into the leader's accumulator:
+/// ceil(log2 m) levels, each one rendezvous plus one direct read of the
+/// full payload (the fold itself is compute, priced by the virtual clock).
+inline double copy_tree_reduce(TwoTier const& t, double m, double bytes) {
+    return ceil_log2(m) * (t.copy_sync + t.gamma_copy * bytes);
+}
+
+/// Hierarchical bcast, shm intra phases: the inter phase is unchanged; the
+/// per-segment intra relay collapses to one publish + concurrent reads, and
+/// only the last segment's share-back sits outside the ring's steady state.
+inline double bcast_hier_ring_shm(TwoTier const& t, NodeShape const& s, double bytes) {
+    double const n = s.nodes < 1 ? 1 : s.nodes;
+    double const nseg = ring_pipeline_segments(bytes);
+    double const seg = bytes / nseg;
+    return (n - 2 + nseg) * (t.inter.alpha + t.inter.o + t.inter.beta * seg) +
+           copy_share_back(t, seg);
+}
+
+inline double bcast_hier_tree_shm(TwoTier const& t, NodeShape const& s, double bytes) {
+    double const n = s.nodes < 1 ? 1 : s.nodes;
+    return ceil_log2(n) * (t.inter.alpha + t.inter.o + t.inter.beta * bytes) +
+           copy_share_back(t, bytes);
+}
+
+/// Hierarchical bcast: the builder picks whichever variant is cheaper; with
+/// the shm transport enabled the shm intra phases join the candidate set.
+inline double bcast_hier(TwoTier const& t, NodeShape const& s, double /*p*/, double bytes,
+                         bool shm = false) {
+    double c = std::min(bcast_hier_ring(t, s, bytes), bcast_hier_tree(t, s, bytes));
+    if (shm) {
+        c = std::min({c, bcast_hier_ring_shm(t, s, bytes), bcast_hier_tree_shm(t, s, bytes)});
+    }
+    return c;
 }
 
 /// Hierarchical reduce: intra-node binomial reduce to the node leader, a
 /// binomial reduce among leaders, and (worst case) one intra-node transfer
 /// from the root node's leader to the root.
-inline double reduce_hier(TwoTier const& t, NodeShape const& s, double /*p*/, double bytes) {
-    return (ceil_log2(s.max_ppn) + 1) * (t.intra.alpha + t.intra.o + t.intra.beta * bytes) +
-           ceil_log2(s.nodes) * (t.inter.alpha + t.inter.o + t.inter.beta * bytes);
+inline double reduce_hier(TwoTier const& t, NodeShape const& s, double /*p*/, double bytes,
+                          bool shm = false) {
+    double c = (ceil_log2(s.max_ppn) + 1) * (t.intra.alpha + t.intra.o + t.intra.beta * bytes) +
+               ceil_log2(s.nodes) * (t.inter.alpha + t.inter.o + t.inter.beta * bytes);
+    if (shm) {
+        // In-place shm tree reduce into the leader, plus (worst case) one
+        // shm transfer from the root node's leader to the root.
+        double const c_shm = copy_tree_reduce(t, s.max_ppn, bytes) + copy_share_back(t, bytes) +
+                             ceil_log2(s.nodes) * (t.inter.alpha + t.inter.o + t.inter.beta * bytes);
+        c = std::min(c, c_shm);
+    }
+    return c;
 }
 
 /// Hierarchical allreduce, element-wise path ("2D"): a flat intra-node
@@ -397,18 +465,34 @@ inline double reduce_hier(TwoTier const& t, NodeShape const& s, double /*p*/, do
 /// intra-node binomial reduce, best valid flat allreduce among leaders on
 /// the full payload, intra-node binomial bcast.
 inline double allreduce_hier(TwoTier const& t, NodeShape const& s, double /*p*/, double bytes,
-                             bool commutative, bool elementwise) {
+                             bool commutative, bool elementwise, bool shm = false) {
     double const m = s.max_ppn < 1 ? 1 : s.max_ppn;
     if (elementwise) {
         double const S = s.min_ppn < 1 ? 1 : s.min_ppn;
         double const slice = bytes / S;
         double const intra_phase =
             (m - 1) * (t.intra.alpha + t.intra.o) + t.intra.beta * bytes;
-        return 2 * intra_phase + allreduce_best_flat(t.inter, s.nodes, slice, true, true);
+        double c = 2 * intra_phase + allreduce_best_flat(t.inter, s.nodes, slice, true, true);
+        if (shm) {
+            // Phase A: every member publishes its input once, each slice
+            // owner reads m-1 peer slices directly; phase C: owners publish
+            // their result slice, every rank reads the m-1 it is missing.
+            double const c_shm = 2 * copy_gather(t, m - 1, slice) +
+                                 allreduce_best_flat(t.inter, s.nodes, slice, true, true);
+            c = std::min(c, c_shm);
+        }
+        return c;
     }
-    return ceil_log2(m) * (t.intra.alpha + t.intra.o + t.intra.beta * bytes) +
-           allreduce_best_flat(t.inter, s.nodes, bytes, commutative, false) +
-           ceil_log2(m) * (t.intra.alpha + t.intra.o + t.intra.beta * bytes);
+    double c = ceil_log2(m) * (t.intra.alpha + t.intra.o + t.intra.beta * bytes) +
+               allreduce_best_flat(t.inter, s.nodes, bytes, commutative, false) +
+               ceil_log2(m) * (t.intra.alpha + t.intra.o + t.intra.beta * bytes);
+    if (shm) {
+        double const c_shm = copy_tree_reduce(t, m, bytes) +
+                             allreduce_best_flat(t.inter, s.nodes, bytes, commutative, false) +
+                             copy_share_back(t, bytes);
+        c = std::min(c, c_shm);
+    }
+    return c;
 }
 
 /// Hierarchical allgather, unpipelined (`bytes` = one rank's block):
@@ -451,11 +535,46 @@ inline double allgather_hier_pipelined(TwoTier const& t, NodeShape const& s, dou
            ceil_log2(m) * (t.intra.alpha + t.intra.o + t.intra.beta * seg * p);
 }
 
-/// Hierarchical allgather: whichever of the unpipelined and segment-
-/// pipelined compositions is cheaper (the builder makes the same choice).
-inline double allgather_hier(TwoTier const& t, NodeShape const& s, double p, double bytes) {
-    return std::min(allgather_hier_unpipelined(t, s, p, bytes),
-                    allgather_hier_pipelined(t, s, p, bytes));
+/// Hierarchical allgather, shm leader composition (any node shape): members
+/// publish their blocks and the leader reads them directly (phase A), the
+/// leader ring forwards whole node bundles (unchanged), and the leader
+/// publishes the assembled result for concurrent member reads (phase C).
+inline double allgather_hier_leader_shm(TwoTier const& t, NodeShape const& s, double p,
+                                        double bytes) {
+    double const m = s.max_ppn < 1 ? 1 : s.max_ppn;
+    return copy_gather(t, m - 1, bytes) +
+           (s.nodes - 1) * (t.inter.alpha + t.inter.o + t.inter.beta * bytes * m) +
+           copy_share_back(t, bytes * p);
+}
+
+/// Hierarchical allgather, shm "2D" composition (uniform node shapes only:
+/// min_ppn == max_ppn == m): m concurrent inter-node rings — one per member
+/// index, one member per node — each forwarding single blocks of `bytes`
+/// directly into final recvbuf offsets, then every rank reads the
+/// (m-1)*nodes blocks it is missing straight out of its same-node peers'
+/// recvbufs. The inter phase moves bytes per hop instead of the leader
+/// ring's m*bytes, which is where the win comes from.
+inline double allgather_hier_shm2d(TwoTier const& t, NodeShape const& s, double p,
+                                   double bytes) {
+    (void)p;
+    double const m = s.max_ppn < 1 ? 1 : s.max_ppn;
+    return (s.nodes - 1) * (t.inter.alpha + t.inter.o + t.inter.beta * bytes) +
+           (m - 1) * t.copy_sync + (m - 1) * s.nodes * t.gamma_copy * bytes;
+}
+
+/// Hierarchical allgather: whichever of the unpipelined, segment-pipelined
+/// and (when the shm transport is enabled) shm compositions is cheapest
+/// (the builder makes the same choice). The 2D shm variant requires a
+/// uniform node shape.
+inline double allgather_hier(TwoTier const& t, NodeShape const& s, double p, double bytes,
+                             bool shm = false) {
+    double c = std::min(allgather_hier_unpipelined(t, s, p, bytes),
+                        allgather_hier_pipelined(t, s, p, bytes));
+    if (shm) {
+        c = std::min(c, allgather_hier_leader_shm(t, s, p, bytes));
+        if (s.min_ppn == s.max_ppn) c = std::min(c, allgather_hier_shm2d(t, s, p, bytes));
+    }
+    return c;
 }
 
 /// Hierarchical alltoall (`bytes` = one per-destination block): members ship

@@ -254,6 +254,8 @@ inline bench::model::TwoTier machine_of(MPI_Comm comm) {
     t.intra.alpha = cfg.alpha_intra;
     t.intra.beta = cfg.beta_intra;
     t.intra.o = cfg.o_intra;
+    t.gamma_copy = cfg.gamma_copy;
+    t.copy_sync = cfg.copy_sync;
     tune::overlay(t);
     return t;
 }

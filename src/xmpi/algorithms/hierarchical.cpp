@@ -19,9 +19,12 @@
 /// range the whole composition is a rank-order bracketing and
 /// non-commutative operations stay exact; the registry only selects
 /// hierarchical reductions for non-commutative operations in that case.
+#include <algorithm>
 #include <cstring>
+#include <limits>
 #include <vector>
 
+#include "../shm/shm.hpp"
 #include "../topo/topo.hpp"
 #include "algorithms.hpp"
 #include "fold.hpp"
@@ -97,6 +100,59 @@ std::vector<int> leader_map(NodeInfo const& ni) {
     return leaders;
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy intra-node phases (src/xmpi/shm). Copy steps are emitted
+// *outside* group scopes — peers are comm ranks and cell ids use the same
+// tag bases the message phases use, so copy cells and message tags keep the
+// phase-separation discipline. Every builder that publishes ends with
+// drain_published(), so no user or scratch buffer is handed back (or
+// overwritten by a restart) while a same-node peer still reads it.
+// ---------------------------------------------------------------------------
+
+/// Shm mirror of append_binomial_reduce over this node's member list
+/// (root = member 0, the leader): the same binomial tree with each
+/// (send, recv) pair replaced by a (copy_pub, copy_get) rendezvous, and
+/// byte-identical results — FoldChain emits the exact apply_op bracketing
+/// append_binomial_reduce does. Ranks that never fold (odd member index)
+/// publish the user input itself: zero copies on the way up, safe because
+/// the parent's read completes (ack) before the leader can publish onward,
+/// and the final drain precedes any buffer reuse.
+void append_shm_tree_reduce(Schedule& s, std::vector<int> const& mem, int mi, void const* input,
+                            void* out, int count, MPI_Datatype type, MPI_Op op, int cell_base) {
+    int const m = static_cast<int>(mem.size());
+    std::size_t const bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(type->extent);
+    if ((mi & 1) != 0) {
+        s.copy_pub(cell_base + mi, input, count, type, {mem[static_cast<std::size_t>(mi) - 1]});
+        return;
+    }
+    std::byte* const acc = s.alloc(bytes);
+    if (bytes > 0) {
+        s.local([acc, input, bytes]() {
+            std::memcpy(acc, input, bytes);
+            return MPI_SUCCESS;
+        });
+    }
+    FoldChain chain{s, op, count, type};
+    chain.cur = acc;
+    chain.free = {s.alloc(bytes)};
+    for (int mask = 1; mask < m; mask <<= 1) {
+        if ((mi & mask) != 0) {
+            s.copy_pub(cell_base + mi, chain.cur, count, type,
+                       {mem[static_cast<std::size_t>(mi - mask)]});
+            return;
+        }
+        if (mi + mask < m) {
+            std::byte* const target = chain.take();
+            s.copy_get(cell_base + mi + mask, mem[static_cast<std::size_t>(mi + mask)], target,
+                       0, count, type);
+            chain.fold_right(target);
+        }
+    }
+    // Only member 0 (the leader) reaches this point with the node result.
+    chain.emit_copy_out(out, bytes);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -127,9 +183,19 @@ int build_hier_bcast(Schedule& s, void* buf, int count, MPI_Datatype type, int r
 
     auto const t = machine_of(c);
     auto const shape = shape_of(ni);
-    bool const use_ring =
-        bench::model::bcast_hier_ring(t, shape, static_cast<double>(bytes)) <=
-        bench::model::bcast_hier_tree(t, shape, static_cast<double>(bytes));
+    double const c_ring = bench::model::bcast_hier_ring(t, shape, static_cast<double>(bytes));
+    double const c_tree = bench::model::bcast_hier_tree(t, shape, static_cast<double>(bytes));
+    double const c_ring_shm =
+        bench::model::bcast_hier_ring_shm(t, shape, static_cast<double>(bytes));
+    double const c_tree_shm =
+        bench::model::bcast_hier_tree_shm(t, shape, static_cast<double>(bytes));
+    // Zero-copy intra relay: the leader publishes each arrived segment once
+    // and the other members read it concurrently (p-1 direct loads instead
+    // of a log(m)-deep message relay). Same decision inputs as the registry
+    // (machine_of carries the copy tier), so selection and emission agree.
+    bool const shm_intra = shm::enabled() && ni.max_ppn > 1 &&
+                           std::min(c_ring_shm, c_tree_shm) < std::min(c_ring, c_tree);
+    bool const use_ring = shm_intra ? c_ring_shm <= c_tree_shm : c_ring <= c_tree;
     int nseg = 1;
     if (use_ring) nseg = clamp_segments_to_count(ring_segments(bytes), count);
 
@@ -154,10 +220,24 @@ int build_hier_bcast(Schedule& s, void* buf, int count, MPI_Datatype type, int r
             }
         }
         if (m > 1) {
-            GroupScope scope(s, mem, my_mrank, kIntraUp);
-            append_binomial_bcast(s, seg, len, type, leader_mrank, /*tag_base=*/k);
+            if (shm_intra) {
+                if (r == node_leader) {
+                    std::vector<int> readers;
+                    readers.reserve(static_cast<std::size_t>(m) - 1);
+                    for (int w : mem) {
+                        if (w != r) readers.push_back(w);
+                    }
+                    s.copy_pub(kIntraDown + k, seg, len, type, readers);
+                } else {
+                    s.copy_get(kIntraDown + k, node_leader, seg, /*src_byte_off=*/0, len, type);
+                }
+            } else {
+                GroupScope scope(s, mem, my_mrank, kIntraUp);
+                append_binomial_bcast(s, seg, len, type, leader_mrank, /*tag_base=*/k);
+            }
         }
     });
+    if (shm_intra) s.drain_published();
     return MPI_SUCCESS;
 }
 
@@ -185,11 +265,24 @@ int build_hier_reduce(Schedule& s, void const* input, void* recvbuf, int count, 
     int const root_node = ni.node_of[static_cast<std::size_t>(root)];
     int const root_leader = ni.leader(root_node);
 
+    auto const t = machine_of(c);
+    double const mb = static_cast<double>(count) * static_cast<double>(type->size);
+    double const pd = static_cast<double>(s.size());
+    bool const use_shm =
+        shm::enabled() &&
+        bench::model::reduce_hier(t, shape_of(ni), pd, mb, /*shm=*/true) <
+            bench::model::reduce_hier(t, shape_of(ni), pd, mb, /*shm=*/false);
+
     // Phase A: reduce this node's contributions to its leader.
     std::byte* node_acc = s.alloc(bytes);
     if (m > 1) {
-        GroupScope scope(s, mem, my_mrank, kIntraUp);
-        append_binomial_reduce(s, input, node_acc, count, type, op, /*root=*/0, /*tag_base=*/0);
+        if (use_shm) {
+            append_shm_tree_reduce(s, mem, my_mrank, input, node_acc, count, type, op, kIntraUp);
+        } else {
+            GroupScope scope(s, mem, my_mrank, kIntraUp);
+            append_binomial_reduce(s, input, node_acc, count, type, op, /*root=*/0,
+                                   /*tag_base=*/0);
+        }
     } else if (bytes > 0) {
         // Snapshot as a schedule step (not at build time): keeps this
         // builder composable with execution-produced inputs, like the flat
@@ -215,9 +308,21 @@ int build_hier_reduce(Schedule& s, void const* input, void* recvbuf, int count, 
                                        /*tag_base=*/0);
                 if (root_node != 0 && s.rank() == root_node) s.recv(0, 1, out, count, type);
             }
-            if (ni.my_node == root_node && r != root) s.send(root, kIntraDown, out, count, type);
+            if (ni.my_node == root_node && r != root) {
+                if (use_shm) {
+                    s.copy_pub(kIntraDown, out, count, type, {root});
+                } else {
+                    s.send(root, kIntraDown, out, count, type);
+                }
+            }
         }
-        if (r == root && root_leader != root) s.recv(root_leader, kIntraDown, recvbuf, count, type);
+        if (r == root && root_leader != root) {
+            if (use_shm) {
+                s.copy_get(kIntraDown, root_leader, recvbuf, /*src_byte_off=*/0, count, type);
+            } else {
+                s.recv(root_leader, kIntraDown, recvbuf, count, type);
+            }
+        }
     } else {
         // Degenerate single-node topology (never auto-selected): the node
         // result is already final at the leader.
@@ -234,6 +339,7 @@ int build_hier_reduce(Schedule& s, void const* input, void* recvbuf, int count, 
             }
         }
     }
+    if (use_shm) s.drain_published();
     return MPI_SUCCESS;
 }
 
@@ -272,13 +378,39 @@ void build_hier_allreduce_2d(Schedule& s, void const* input, void* recvbuf, int 
     bool const owner = my_mrank < S;
     int const my_slice = my_mrank;  // meaningful only when owner
 
-    // Phase A: flat intra-node reduce-scatter. All sends first (the
-    // transport is eager, so no emission order can deadlock), then each
-    // slice owner drains contributions in member order.
-    for (int j = 0; j < S; ++j) {
-        if (mem[static_cast<std::size_t>(j)] == r) continue;
-        s.send(mem[static_cast<std::size_t>(j)], kIntraUp + j,
-               at_offset(input, off[static_cast<std::size_t>(j)], type), slice_count(j), type);
+    auto const t = machine_of(c);
+    double const mb = static_cast<double>(count) * static_cast<double>(type->size);
+    double const pd = static_cast<double>(s.size());
+    bool const use_shm =
+        shm::enabled() && m > 1 &&
+        bench::model::allreduce_hier(t, shape_of(ni), pd, mb, /*commutative=*/true,
+                                     /*elementwise=*/true, /*shm=*/true) <
+            bench::model::allreduce_hier(t, shape_of(ni), pd, mb, /*commutative=*/true,
+                                         /*elementwise=*/true, /*shm=*/false);
+
+    // Phase A: flat intra-node reduce-scatter. With shm, each member
+    // publishes its whole input once and every slice owner loads just its
+    // slice out of it (src_off selects the slice): one data copy per
+    // contribution, no per-slice messages. Safe under MPI_IN_PLACE because
+    // every later write to recvbuf slice j is gated on owner j's phase C
+    // publish, which happens after owner j — the sole reader of slice j —
+    // acked every phase A cell. Without shm: all sends first (the transport
+    // is eager, so no emission order can deadlock), then each slice owner
+    // drains contributions in member order.
+    if (use_shm) {
+        std::vector<int> readers;
+        readers.reserve(static_cast<std::size_t>(S));
+        for (int j = 0; j < S; ++j) {
+            if (mem[static_cast<std::size_t>(j)] == r) continue;
+            readers.push_back(mem[static_cast<std::size_t>(j)]);
+        }
+        if (!readers.empty()) s.copy_pub(kIntraUp + my_mrank, input, count, type, readers);
+    } else {
+        for (int j = 0; j < S; ++j) {
+            if (mem[static_cast<std::size_t>(j)] == r) continue;
+            s.send(mem[static_cast<std::size_t>(j)], kIntraUp + j,
+                   at_offset(input, off[static_cast<std::size_t>(j)], type), slice_count(j), type);
+        }
     }
     FoldChain chain{s, op, owner ? slice_count(my_slice) : 0, type};
     if (owner) {
@@ -299,8 +431,15 @@ void build_hier_allreduce_2d(Schedule& s, void const* input, void* recvbuf, int 
                 continue;
             }
             std::byte* const target = chain.take();
-            s.recv(mem[static_cast<std::size_t>(i)], kIntraUp + my_slice, target,
-                   slice_count(my_slice), type);
+            if (use_shm) {
+                s.copy_get(kIntraUp + i, mem[static_cast<std::size_t>(i)], target,
+                           static_cast<long long>(off[static_cast<std::size_t>(my_slice)]) *
+                               static_cast<long long>(extent),
+                           slice_count(my_slice), type);
+            } else {
+                s.recv(mem[static_cast<std::size_t>(i)], kIntraUp + my_slice, target,
+                       slice_count(my_slice), type);
+            }
             chain.fold_right(target);
         }
     }
@@ -323,8 +462,7 @@ void build_hier_allreduce_2d(Schedule& s, void const* input, void* recvbuf, int 
             int const inner = select_flat(Family::allreduce, n,
                                           static_cast<std::size_t>(cnt) *
                                               static_cast<std::size_t>(type->size),
-                                          /*commutative=*/true, /*elementwise=*/true,
-                                          machine_of(c).inter);
+                                          /*commutative=*/true, /*elementwise=*/true, t.inter);
             GroupScope scope(s, std::move(peers), ni.my_node, kInter);
             build_allreduce(inner, s, chain.cur, result, cnt, type, op);
         } else if (sbytes > 0) {
@@ -336,12 +474,24 @@ void build_hier_allreduce_2d(Schedule& s, void const* input, void* recvbuf, int 
         }
     }
 
-    // Phase C: flat intra-node share-back of the reduced slices.
+    // Phase C: flat intra-node share-back of the reduced slices (with shm,
+    // each owner publishes its reduced slice once and the other m-1 members
+    // read it concurrently).
     if (owner) {
         int const cnt = slice_count(my_slice);
-        for (int i = 0; i < m; ++i) {
-            if (i == my_mrank) continue;
-            s.send(mem[static_cast<std::size_t>(i)], kIntraDown + my_slice, result, cnt, type);
+        if (use_shm) {
+            std::vector<int> readers;
+            readers.reserve(static_cast<std::size_t>(m) - 1);
+            for (int i = 0; i < m; ++i) {
+                if (i == my_mrank) continue;
+                readers.push_back(mem[static_cast<std::size_t>(i)]);
+            }
+            if (!readers.empty()) s.copy_pub(kIntraDown + my_mrank, result, cnt, type, readers);
+        } else {
+            for (int i = 0; i < m; ++i) {
+                if (i == my_mrank) continue;
+                s.send(mem[static_cast<std::size_t>(i)], kIntraDown + my_slice, result, cnt, type);
+            }
         }
         std::size_t const sbytes = static_cast<std::size_t>(cnt) * extent;
         if (sbytes > 0) {
@@ -355,9 +505,17 @@ void build_hier_allreduce_2d(Schedule& s, void const* input, void* recvbuf, int 
     }
     for (int j = 0; j < S; ++j) {
         if (owner && j == my_slice) continue;
-        s.recv(mem[static_cast<std::size_t>(j)], kIntraDown + j,
-               at_offset(recvbuf, off[static_cast<std::size_t>(j)], type), slice_count(j), type);
+        if (use_shm) {
+            s.copy_get(kIntraDown + j, mem[static_cast<std::size_t>(j)],
+                       at_offset(recvbuf, off[static_cast<std::size_t>(j)], type),
+                       /*src_byte_off=*/0, slice_count(j), type);
+        } else {
+            s.recv(mem[static_cast<std::size_t>(j)], kIntraDown + j,
+                   at_offset(recvbuf, off[static_cast<std::size_t>(j)], type), slice_count(j),
+                   type);
+        }
     }
+    if (use_shm) s.drain_published();
 }
 
 void build_hier_allreduce_leader(Schedule& s, void const* input, void* recvbuf, int count,
@@ -374,11 +532,27 @@ void build_hier_allreduce_leader(Schedule& s, void const* input, void* recvbuf, 
     int const my_mrank = my_member_index(ni, r);
     bool const node_leader = mem.front() == r;
 
-    // Phase A: intra-node binomial reduce to the leader.
+    auto const t = machine_of(c);
+    double const mb = static_cast<double>(count) * static_cast<double>(type->size);
+    double const pd = static_cast<double>(s.size());
+    bool const use_shm =
+        shm::enabled() && m > 1 &&
+        bench::model::allreduce_hier(t, shape_of(ni), pd, mb, op->commutative,
+                                     /*elementwise=*/false, /*shm=*/true) <
+            bench::model::allreduce_hier(t, shape_of(ni), pd, mb, op->commutative,
+                                         /*elementwise=*/false, /*shm=*/false);
+
+    // Phase A: intra-node reduce to the leader (zero-copy tree when the
+    // copy tier wins; byte-identical fold bracketing either way).
     std::byte* const node_acc = s.alloc(bytes);
     if (m > 1) {
-        GroupScope scope(s, mem, my_mrank, kIntraUp);
-        append_binomial_reduce(s, input, node_acc, count, type, op, /*root=*/0, /*tag_base=*/0);
+        if (use_shm) {
+            append_shm_tree_reduce(s, mem, my_mrank, input, node_acc, count, type, op, kIntraUp);
+        } else {
+            GroupScope scope(s, mem, my_mrank, kIntraUp);
+            append_binomial_reduce(s, input, node_acc, count, type, op, /*root=*/0,
+                                   /*tag_base=*/0);
+        }
     } else if (bytes > 0) {
         s.local([node_acc, input, bytes]() {
             std::memcpy(node_acc, input, bytes);
@@ -393,8 +567,7 @@ void build_hier_allreduce_leader(Schedule& s, void const* input, void* recvbuf, 
             int const inner = select_flat(Family::allreduce, n,
                                           static_cast<std::size_t>(count) *
                                               static_cast<std::size_t>(type->size),
-                                          op->commutative, /*elementwise=*/false,
-                                          machine_of(c).inter);
+                                          op->commutative, /*elementwise=*/false, t.inter);
             GroupScope scope(s, leader_map(ni), ni.my_node, kInter);
             build_allreduce(inner, s, node_acc, recvbuf, count, type, op);
         } else if (bytes > 0) {
@@ -405,11 +578,23 @@ void build_hier_allreduce_leader(Schedule& s, void const* input, void* recvbuf, 
         }
     }
 
-    // Phase C: intra-node bcast of the final vector from the leader.
+    // Phase C: the final vector leaves the leader — a single publish read
+    // concurrently by the other m-1 members under shm, a binomial relay
+    // otherwise.
     if (m > 1) {
-        GroupScope scope(s, mem, my_mrank, kIntraDown);
-        append_binomial_bcast(s, recvbuf, count, type, /*root=*/0, /*tag_base=*/0);
+        if (use_shm) {
+            if (node_leader) {
+                std::vector<int> readers(mem.begin() + 1, mem.end());
+                s.copy_pub(kIntraDown, recvbuf, count, type, readers);
+            } else {
+                s.copy_get(kIntraDown, mem.front(), recvbuf, /*src_byte_off=*/0, count, type);
+            }
+        } else {
+            GroupScope scope(s, mem, my_mrank, kIntraDown);
+            append_binomial_bcast(s, recvbuf, count, type, /*root=*/0, /*tag_base=*/0);
+        }
     }
+    if (use_shm) s.drain_published();
 }
 
 }  // namespace
@@ -675,6 +860,181 @@ int build_hier_allgather_pipelined(Schedule& s, void* recvbuf, int recvcount,
     return MPI_SUCCESS;
 }
 
+/// Leader composition with zero-copy intra phases: members publish their
+/// block once and the leader loads each directly into its final recvbuf
+/// offset (phase A), the packed leader ring runs unchanged (phase B), and
+/// the assembled result is published once and read concurrently by the
+/// other m-1 members (phase C — one epoch of p·B-byte reads instead of a
+/// log(m)-deep message relay).
+int build_hier_allgather_leader_shm(Schedule& s, void* recvbuf, int recvcount,
+                                    MPI_Datatype recvtype) {
+    MPI_Comm const c = s.comm();
+    NodeInfo const& ni = topo::node_info(c);
+    int const n = ni.num_nodes();
+    int const p = s.size();
+    int const r = s.rank();
+    std::size_t const bb =
+        static_cast<std::size_t>(recvcount) * static_cast<std::size_t>(recvtype->size);
+
+    auto const& mem = ni.members[static_cast<std::size_t>(ni.my_node)];
+    int const m = static_cast<int>(mem.size());
+    int const my_mrank = my_member_index(ni, r);
+    bool const node_leader = mem.front() == r;
+
+    // Phase A: each member publishes its block (already sitting at its own
+    // comm-rank offset in its recvbuf); the leader is the sole reader and
+    // lands it at the same offset in the leader's recvbuf. Safe against the
+    // phase C overwrite of the member's whole recvbuf: that copy_get waits
+    // on the leader's publish, which follows the leader's phase A reads.
+    if (!node_leader) {
+        s.copy_pub(kIntraUp + my_mrank,
+                   at_offset(recvbuf, static_cast<long long>(r) * recvcount, recvtype), recvcount,
+                   recvtype, {mem.front()});
+    } else {
+        for (int i = 1; i < m; ++i) {
+            int const w = mem[static_cast<std::size_t>(i)];
+            s.copy_get(kIntraUp + i, w,
+                       at_offset(recvbuf, static_cast<long long>(w) * recvcount, recvtype),
+                       /*src_byte_off=*/0, recvcount, recvtype);
+        }
+    }
+
+    // Phase B: leader ring, identical to the unpipelined composition.
+    if (node_leader && n > 1) {
+        auto node_size = [&](int g) {
+            return static_cast<int>(ni.members[static_cast<std::size_t>(g)].size());
+        };
+        std::size_t const max_bundle = static_cast<std::size_t>(ni.max_ppn) * bb;
+        std::byte* cur = s.alloc(max_bundle);
+        std::byte* next = s.alloc(max_bundle);
+        if (bb > 0) {
+            auto const* members = &ni.members[static_cast<std::size_t>(ni.my_node)];
+            s.local([cur, members, recvbuf, recvcount, recvtype, bb]() {
+                for (std::size_t i = 0; i < members->size(); ++i) {
+                    recvtype->pack(
+                        at_offset(recvbuf,
+                                  static_cast<long long>((*members)[i]) * recvcount, recvtype),
+                        recvcount, cur + i * bb);
+                }
+                return MPI_SUCCESS;
+            });
+        }
+        int const right = (ni.my_node + 1) % n;
+        int const left = (ni.my_node - 1 + n) % n;
+        std::vector<int> const leaders = leader_map(ni);
+        for (int k = 0; k < n - 1; ++k) {
+            int const send_node = (ni.my_node - k + n) % n;
+            int const recv_node = (ni.my_node - k - 1 + n) % n;
+            int const slot = s.post(leaders[static_cast<std::size_t>(left)], kInter + k, next,
+                                    static_cast<int>(static_cast<std::size_t>(node_size(recv_node)) * bb),
+                                    MPI_BYTE);
+            s.send(leaders[static_cast<std::size_t>(right)], kInter + k, cur,
+                   static_cast<int>(static_cast<std::size_t>(node_size(send_node)) * bb),
+                   MPI_BYTE);
+            s.wait(slot);
+            if (bb > 0) {
+                auto const* members = &ni.members[static_cast<std::size_t>(recv_node)];
+                s.local([next, members, recvbuf, recvcount, recvtype, bb]() {
+                    for (std::size_t i = 0; i < members->size(); ++i) {
+                        recvtype->unpack(
+                            next + i * bb, recvcount,
+                            at_offset(recvbuf,
+                                      static_cast<long long>((*members)[i]) * recvcount,
+                                      recvtype));
+                    }
+                    return MPI_SUCCESS;
+                });
+            }
+            std::swap(cur, next);
+        }
+    }
+
+    // Phase C: one publish of the assembled result, m-1 concurrent reads.
+    if (m > 1) {
+        if (node_leader) {
+            std::vector<int> const readers(mem.begin() + 1, mem.end());
+            s.copy_pub(kIntraDown, recvbuf, p * recvcount, recvtype, readers);
+        } else {
+            s.copy_get(kIntraDown, mem.front(), recvbuf, /*src_byte_off=*/0, p * recvcount,
+                       recvtype);
+        }
+    }
+    s.drain_published();
+    return MPI_SUCCESS;
+}
+
+/// "2D" zero-copy composition, uniform node shapes only (min_ppn ==
+/// max_ppn): the m-th members of all nodes form m concurrent inter-node
+/// rings moving single blocks (B bytes per hop instead of the leader ring's
+/// m·B packed bundles) directly into their final recvbuf offsets, then each
+/// member publishes its assembled ring column once and loads the other m-1
+/// columns — (m-1)·n strided reads — straight out of its same-node peers'
+/// recvbufs. Writes during the publish window touch only columns no reader
+/// of this rank's cell loads, so the concurrency is race-free.
+int build_hier_allgather_shm2d(Schedule& s, void* recvbuf, int recvcount, MPI_Datatype recvtype) {
+    MPI_Comm const c = s.comm();
+    NodeInfo const& ni = topo::node_info(c);
+    int const n = ni.num_nodes();
+    int const p = s.size();
+    int const r = s.rank();
+
+    auto const& mem = ni.members[static_cast<std::size_t>(ni.my_node)];
+    int const m = static_cast<int>(mem.size());
+    int const mi = my_member_index(ni, r);
+
+    // Phase B directly (no gather phase: every block already sits at its
+    // final offset): ring among the mi-th members of all nodes. Concurrent
+    // rings share tags kInter + k but are disjoint rank sets, so matching
+    // is unambiguous.
+    if (n > 1) {
+        int const right = ni.members[static_cast<std::size_t>((ni.my_node + 1) % n)]
+                                    [static_cast<std::size_t>(mi)];
+        int const left = ni.members[static_cast<std::size_t>((ni.my_node - 1 + n) % n)]
+                                   [static_cast<std::size_t>(mi)];
+        for (int k = 0; k < n - 1; ++k) {
+            int const send_node = (ni.my_node - k + n) % n;
+            int const recv_node = (ni.my_node - k - 1 + n) % n;
+            int const sw = ni.members[static_cast<std::size_t>(send_node)]
+                                     [static_cast<std::size_t>(mi)];
+            int const rw = ni.members[static_cast<std::size_t>(recv_node)]
+                                     [static_cast<std::size_t>(mi)];
+            int const slot =
+                s.post(left, kInter + k,
+                       at_offset(recvbuf, static_cast<long long>(rw) * recvcount, recvtype),
+                       recvcount, recvtype);
+            s.send(right, kInter + k,
+                   at_offset(recvbuf, static_cast<long long>(sw) * recvcount, recvtype),
+                   recvcount, recvtype);
+            s.wait(slot);
+        }
+    }
+
+    // Phase C: column share within the node. Reader lists repeat each peer
+    // n times — one expected get per block of this rank's column.
+    if (m > 1) {
+        std::vector<int> readers;
+        readers.reserve(static_cast<std::size_t>(m - 1) * static_cast<std::size_t>(n));
+        for (int i = 0; i < m; ++i) {
+            if (i == mi) continue;
+            for (int g = 0; g < n; ++g) readers.push_back(mem[static_cast<std::size_t>(i)]);
+        }
+        s.copy_pub(kIntraUp + mi, recvbuf, p * recvcount, recvtype, readers);
+        for (int i = 0; i < m; ++i) {
+            if (i == mi) continue;
+            for (int g = 0; g < n; ++g) {
+                int const w = ni.members[static_cast<std::size_t>(g)][static_cast<std::size_t>(i)];
+                s.copy_get(kIntraUp + i, mem[static_cast<std::size_t>(i)],
+                           at_offset(recvbuf, static_cast<long long>(w) * recvcount, recvtype),
+                           static_cast<long long>(w) * recvcount *
+                               static_cast<long long>(recvtype->extent),
+                           recvcount, recvtype);
+            }
+        }
+        s.drain_published();
+    }
+    return MPI_SUCCESS;
+}
+
 }  // namespace
 
 int build_hier_allgather(Schedule& s, void* recvbuf, int recvcount, MPI_Datatype recvtype) {
@@ -702,6 +1062,28 @@ int build_hier_allgather(Schedule& s, void* recvbuf, int recvcount, MPI_Datatype
                     bench::model::allgather_hier_unpipelined(t, shape,
                                                             static_cast<double>(s.size()),
                                                             static_cast<double>(bb));
+    }
+    // Zero-copy compositions, keyed on the same formulas the registry
+    // prices hierarchical allgather with. A segment-size pin keeps the
+    // pipelined p2p composition so segmentation harnesses stay exercised.
+    if (shm::enabled() && !(segment_forced() && nseg > 1)) {
+        double const pd = static_cast<double>(s.size());
+        double const c_leader =
+            bench::model::allgather_hier_leader_shm(t, shape, pd, static_cast<double>(bb));
+        double const c_2d = ni.min_ppn == ni.max_ppn
+                                ? bench::model::allgather_hier_shm2d(t, shape, pd,
+                                                                    static_cast<double>(bb))
+                                : std::numeric_limits<double>::infinity();
+        double const c_p2p =
+            std::min(bench::model::allgather_hier_unpipelined(t, shape, pd,
+                                                              static_cast<double>(bb)),
+                     bench::model::allgather_hier_pipelined(t, shape, pd,
+                                                            static_cast<double>(bb)));
+        if (std::min(c_leader, c_2d) < c_p2p) {
+            return c_2d <= c_leader
+                       ? build_hier_allgather_shm2d(s, recvbuf, recvcount, recvtype)
+                       : build_hier_allgather_leader_shm(s, recvbuf, recvcount, recvtype);
+        }
     }
     return pipelined ? build_hier_allgather_pipelined(s, recvbuf, recvcount, recvtype, nseg)
                      : build_hier_allgather_unpipelined(s, recvbuf, recvcount, recvtype);

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "../env.hpp"
+#include "../shm/shm.hpp"
 #include "../topo/topo.hpp"
 #include "../tune/tune.hpp"
 #include "algorithms.hpp"
@@ -253,15 +254,20 @@ int resolve_env(Family f) {
 
 /// Cost of a hierarchical entry; needs the operation's properties because
 /// the allreduce composition differs between element-wise (2D slice) and
-/// leader-based shapes.
+/// leader-based shapes. With the zero-copy shm transport enabled the shm
+/// intra-phase variants join each composition's candidate set — the
+/// builders take the same minimum, so "hierarchical" stays one registry
+/// entry whose internal shape follows the transport switch.
 double hier_cost(Family f, bench::model::TwoTier const& t, bench::model::NodeShape const& shape,
                  double p, double bytes, bool commutative, bool elementwise) {
+    bool const shm = shm::enabled();
     switch (f) {
-        case Family::bcast: return bench::model::bcast_hier(t, shape, p, bytes);
-        case Family::reduce: return bench::model::reduce_hier(t, shape, p, bytes);
-        case Family::allgather: return bench::model::allgather_hier(t, shape, p, bytes);
+        case Family::bcast: return bench::model::bcast_hier(t, shape, p, bytes, shm);
+        case Family::reduce: return bench::model::reduce_hier(t, shape, p, bytes, shm);
+        case Family::allgather: return bench::model::allgather_hier(t, shape, p, bytes, shm);
         case Family::allreduce:
-            return bench::model::allreduce_hier(t, shape, p, bytes, commutative, elementwise);
+            return bench::model::allreduce_hier(t, shape, p, bytes, commutative, elementwise,
+                                                shm);
         case Family::alltoall: return bench::model::alltoall_hier(t, shape, p, bytes);
     }
     return std::numeric_limits<double>::infinity();  // unreachable
@@ -536,6 +542,7 @@ int XMPI_T_alg_env_refresh(void) {
     refresh_tuning_env();
     xmpi::detail::tune::refresh_env();
     xmpi::detail::trace::refresh_env();
+    xmpi::detail::shm::refresh_env();
     bump_sched_epoch();
     return MPI_SUCCESS;
 }
@@ -566,6 +573,18 @@ int XMPI_T_segment_get(long long* bytes) {
     ensure_tuning_resolved();
     *bytes = static_cast<long long>(
         bench::model::forced_segment_bytes().load(std::memory_order_relaxed));
+    return MPI_SUCCESS;
+}
+
+int XMPI_T_shm_set(int enabled) {
+    if (enabled < -1 || enabled > 1) return MPI_ERR_ARG;
+    xmpi::detail::shm::set_forced(enabled);
+    return MPI_SUCCESS;
+}
+
+int XMPI_T_shm_get(int* enabled) {
+    if (enabled == nullptr) return MPI_ERR_ARG;
+    *enabled = xmpi::detail::shm::enabled() ? 1 : 0;
     return MPI_SUCCESS;
 }
 

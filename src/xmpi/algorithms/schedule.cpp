@@ -4,7 +4,32 @@
 /// persistent request (see schedule.hpp).
 #include "schedule.hpp"
 
+#include <cstring>
+
+#include "../shm/shm.hpp"
+
 namespace xmpi::detail::alg {
+
+namespace {
+
+/// Layout-aware single copy between two buffers of the same datatype: a
+/// straight memcpy for contiguous layouts; pack + unpack through a transient
+/// staging vector otherwise (still one modeled copy — the staging detour is
+/// a host-memory implementation detail, like the p2p envelope).
+void copy_typed(void* dst, void const* src, int count, MPI_Datatype t) {
+    if (count <= 0 || t->size == 0) return;
+    std::size_t const packed =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(t->size);
+    if (t->is_builtin || (t->extent == t->size && t->lb == 0)) {
+        std::memcpy(dst, src, packed);
+        return;
+    }
+    std::vector<std::byte> tmp(packed);
+    t->pack(src, count, tmp.data());
+    t->unpack(tmp.data(), count, dst);
+}
+
+}  // namespace
 
 std::byte* Schedule::alloc(std::size_t bytes) {
     if (bytes == 0) return nullptr;
@@ -44,7 +69,98 @@ std::byte* Schedule::alloc(std::size_t bytes) {
     return p;
 }
 
+void Schedule::copy_pub(int cell, void const* buf, int count, MPI_Datatype t,
+                        std::vector<int> const& readers) {
+    int const id = tag_offset() + cell;
+    if (dry_ != nullptr) {
+        // One pseudo-send per expected get, so the simulator's
+        // channel-closure validation (sends == posts) holds for copy
+        // channels exactly as for message channels.
+        for (int const r : readers) dry_record_copy(TapeStep::kCopyPub, translate(r), id, count, t);
+        return;
+    }
+    bind_shm();
+    Step s;
+    s.kind = Step::Kind::copy_pub;
+    s.peer = static_cast<int>(readers.size());
+    s.tag_step = id;
+    s.sbuf = buf;
+    s.count = count;
+    s.type = t;
+    steps_.push_back(std::move(s));
+    published_cells_.push_back(id);
+}
+
+void Schedule::copy_get(int cell, int producer, void* dst, long long src_byte_off, int count,
+                        MPI_Datatype t) {
+    int const id = tag_offset() + cell;
+    if (dry_ != nullptr) {
+        dry_record_copy(TapeStep::kPost, translate(producer), id, count, t);
+        TapeStep ts;
+        ts.bytes = static_cast<std::uint64_t>(count) * static_cast<std::uint64_t>(t->size);
+        ts.a = static_cast<std::uint32_t>(dry_->nslots++);
+        ts.kind = TapeStep::kCopyWait;
+        dry_->steps.push_back(ts);
+        return;
+    }
+    bind_shm();
+    Step s;
+    s.kind = Step::Kind::copy_get;
+    s.peer = translate(producer);
+    s.tag_step = id;
+    s.rbuf = dst;
+    s.count = count;
+    s.type = t;
+    s.src_off = src_byte_off;
+    steps_.push_back(std::move(s));
+}
+
+void Schedule::copy_drain(int cell) {
+    if (dry_ != nullptr) return;  // wall-clock-only sync: no modeled cost
+    bind_shm();
+    Step s;
+    s.kind = Step::Kind::copy_drain;
+    s.tag_step = tag_offset() + cell;
+    steps_.push_back(std::move(s));
+}
+
+void Schedule::drain_published() {
+    if (dry_ != nullptr) return;
+    for (int const id : published_cells_) {
+        Step s;
+        s.kind = Step::Kind::copy_drain;
+        s.tag_step = id;  // already a full (scope-offset) cell id
+        steps_.push_back(std::move(s));
+    }
+    published_cells_.clear();
+}
+
+void Schedule::bind_shm() {
+    if (shm_block_ != nullptr) return;
+    Universe* const u = comm_->universe;
+    int const me_world = comm_->world_of(comm_->rank());
+    int const node = u->node_of_world.empty() ? 0 : u->node_of_world[static_cast<std::size_t>(me_world)];
+    shm_block_ = shm::acquire_block(*u->shm, node, comm_->context + 1, seq_);
+    shm_epoch_ = 1;
+    ran_ = false;
+}
+
+void Schedule::rebind_shm() {
+    Universe* const u = comm_->universe;
+    int const me_world = comm_->world_of(comm_->rank());
+    int const node = u->node_of_world.empty() ? 0 : u->node_of_world[static_cast<std::size_t>(me_world)];
+    shm_block_ = shm::acquire_block(*u->shm, node, comm_->context + 1, seq_);
+    for (auto& st : steps_) {
+        if (st.kind == Step::Kind::copy_pub || st.kind == Step::Kind::copy_get ||
+            st.kind == Step::Kind::copy_drain)
+            st.cell = nullptr;
+    }
+    shm_epoch_ = 1;
+    ran_ = false;
+}
+
 bool Schedule::advance(bool blocking, int* err) {
+    if (pos_ < steps_.size()) ran_ = true;
     while (pos_ < steps_.size()) {
         Step& st = steps_[pos_];
         int rc = MPI_SUCCESS;
@@ -90,6 +206,66 @@ bool Schedule::advance(bool blocking, int* err) {
                 trace::ev(trace::Ev::step_local, -1, -1, 0, seq_);
                 rc = st.local_fn();
                 break;
+            case Step::Kind::copy_pub: {
+                if (st.cell == nullptr) st.cell = shm_block_->cell(st.tag_step);
+                int const w = shm::wait_publishable(*shm_block_, *st.cell, comm_, blocking);
+                if (w == 0) return false;
+                if (w < 0) {
+                    rc = -w;
+                    break;
+                }
+                RankState* const rs = tls_rank();
+                charge_compute(rs);
+                std::uint64_t const bytes = static_cast<std::uint64_t>(st.count) *
+                                            static_cast<std::uint64_t>(st.type->size);
+                // Publication costs the producer nothing; consumers price
+                // the rendezvous (copy_sync) plus the per-byte single copy.
+                trace::ev(trace::Ev::step_copy_pub, -1, st.tag_step, bytes, seq_);
+                shm::publish(*shm_block_, *st.cell, st.sbuf, bytes,
+                             static_cast<std::uint32_t>(st.peer),
+                             rs->vnow + rs->universe->cfg.copy_sync);
+                shm::stats_add_publish();
+                break;
+            }
+            case Step::Kind::copy_get: {
+                if (st.cell == nullptr) st.cell = shm_block_->cell(st.tag_step);
+                int const w = shm::wait_ready(*shm_block_, *st.cell, shm_epoch_, comm_, blocking);
+                if (w == 0) return false;
+                if (w < 0) {
+                    rc = -w;
+                    break;
+                }
+                RankState* const rs = tls_rank();
+                charge_compute(rs);
+                // Snapshot the epoch's fields *before* acking: the ack
+                // releases the producer to overwrite them.
+                double const arrival = st.cell->arrival;
+                std::byte const* const src =
+                    static_cast<std::byte const*>(st.cell->ptr) + st.src_off;
+                std::uint64_t const bytes = static_cast<std::uint64_t>(st.count) *
+                                            static_cast<std::uint64_t>(st.type->size);
+                copy_typed(st.rbuf, src, st.count, st.type);
+                shm::ack(*shm_block_, *st.cell);
+                if (arrival > rs->vnow) rs->vnow = arrival;
+                rs->vnow += rs->universe->cfg.gamma_copy * static_cast<double>(bytes);
+                ++rs->counters.shm_copies;
+                rs->counters.shm_copy_bytes += bytes;
+                shm::stats_add_copy(bytes);
+                trace::ev(trace::Ev::step_copy_get, comm_->world_of(st.peer), st.tag_step, bytes,
+                          seq_);
+                break;
+            }
+            case Step::Kind::copy_drain: {
+                if (st.cell == nullptr) st.cell = shm_block_->cell(st.tag_step);
+                int const w = shm::wait_drained(*shm_block_, *st.cell, comm_, blocking);
+                if (w == 0) return false;
+                if (w < 0) {
+                    rc = -w;
+                    break;
+                }
+                shm::stats_add_drain();
+                break;
+            }
         }
         if (rc != MPI_SUCCESS) {
             // Abandon the remainder of the program (error paths here mean a
@@ -123,6 +299,15 @@ void Schedule::reset() {
     for (auto& req : reqs_) req = nullptr;
     pos_ = 0;
     error_ = MPI_SUCCESS;
+    // Each completed execution consumed one rendezvous epoch of the bound
+    // shm block; the next run's copy_get steps wait for the next one. A
+    // reset before any execution (persistent init -> first MPI_Start) must
+    // not advance the epoch, hence the `ran_` latch. set_seq() afterwards
+    // (the cache-hit path) rebinds to a fresh block and pins epoch 1.
+    if (ran_) {
+        ++shm_epoch_;
+        ran_ = false;
+    }
     // Scratch is deliberately NOT re-zeroed: every builder writes each
     // scratch region (via an input-snapshot `local` step or a received
     // message) before reading it, so a restarted schedule cannot observe a

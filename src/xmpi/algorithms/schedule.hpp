@@ -17,15 +17,27 @@
 
 #include "../internal.hpp"
 
+namespace xmpi::detail::shm {
+struct Block;
+struct Cell;
+}  // namespace xmpi::detail::shm
+
 namespace xmpi::detail::alg {
 
 /// One recorded step of a *dry-built* tape (see Schedule::begin_dry): the
 /// compact, payload-free form the virtual-time simulator (src/xmpi/sim/)
 /// executes at simulated communicator sizes where real buffers cannot
 /// exist. Sends and posts carry only their matching key and byte count.
+///
+/// Shared-memory copy steps lower to the same channel algebra the simulator
+/// already validates: a publish becomes one kCopyPub pseudo-send per
+/// expected get (priced copy_sync, no per-byte wire cost, no sender
+/// overhead) and a get becomes kPost + kCopyWait (the wait additionally
+/// charges gamma_copy * bytes — the consumer-side single copy). Drains are
+/// wall-clock-only synchronization and leave no tape record.
 struct TapeStep {
-    enum : std::uint8_t { kSend = 0, kPost = 1, kWait = 2 };
-    std::uint64_t bytes = 0;  ///< packed message size (send / post)
+    enum : std::uint8_t { kSend = 0, kPost = 1, kWait = 2, kCopyPub = 3, kCopyWait = 4 };
+    std::uint64_t bytes = 0;  ///< packed message size (send / post / copy)
     std::uint32_t a = 0;      ///< send / post: peer comm rank; wait: slot
     std::uint16_t tag = 0;    ///< full step tag (scope offset + tag_step)
     std::uint8_t kind = kSend;
@@ -56,17 +68,29 @@ struct DrySink {
 };
 
 /// One step of a collective schedule. Sends complete at execution time (the
-/// transport is fully eager); `wait_recv` is the only step that can stall.
+/// transport is fully eager); `wait_recv` and the shared-memory copy steps
+/// are the only steps that can stall.
+///
+/// The copy kinds bypass the p2p deposit path entirely (see shm/shm.hpp):
+/// `copy_pub` makes a buffer readable by same-node peers through a
+/// rendezvous cell, `copy_get` loads directly out of the currently published
+/// peer buffer (the single data copy), and `copy_drain` blocks until every
+/// consumer retired the published epoch so the buffer can be reused.
 struct Step {
-    enum class Kind { send, post_recv, wait_recv, local };
+    enum class Kind { send, post_recv, wait_recv, local, copy_pub, copy_get, copy_drain };
     Kind kind = Kind::local;
-    int peer = 0;      ///< send / post_recv: partner comm rank
-    int tag_step = 0;  ///< step component of the collective tag
+    int peer = 0;      ///< send / post_recv: partner comm rank;
+                       ///< copy_pub: expected gets per epoch (fanout);
+                       ///< copy_get: producer comm rank (trace only)
+    int tag_step = 0;  ///< step component of the collective tag; copy steps:
+                       ///< cell id (scope tag offset + builder cell id)
     void const* sbuf = nullptr;
     void* rbuf = nullptr;
     int count = 0;
     MPI_Datatype type = nullptr;
     int slot = -1;  ///< post_recv / wait_recv: request slot
+    long long src_off = 0;  ///< copy_get: byte offset into the published buffer
+    shm::Cell* cell = nullptr;  ///< copy steps: resolved lazily per binding
     std::function<int()> local_fn;
 };
 
@@ -221,6 +245,38 @@ public:
         steps_.push_back(std::move(s));
     }
 
+    // --- shared-memory copy steps (shm/shm.hpp) -------------------------
+    //
+    // `cell` ids live in the same group-scope offset namespace as step tags
+    // (and the same 10-bit budget), so hierarchical phases hand them out
+    // with their existing tag-base discipline. All participants of a cell
+    // must be ranks of the same node; the builders guarantee this by only
+    // emitting copy steps inside intra-node phases.
+
+    /// Publishes `buf` through `cell` for direct peer reads. `readers` lists
+    /// one subgroup rank per expected copy_get of the epoch (a consumer
+    /// performing n gets appears n times); its size is the cell's ack
+    /// fanout. Pair every publish with drain_published() (or an explicit
+    /// copy_drain) before the end of the build, so the buffer is never
+    /// handed back to the user or overwritten by a re-run while a consumer
+    /// still reads it.
+    void copy_pub(int cell, void const* buf, int count, MPI_Datatype t,
+                  std::vector<int> const& readers);
+
+    /// Copies `count` elements of `t` out of the buffer published through
+    /// `cell` (starting `src_byte_off` bytes in) directly into `dst`.
+    /// `producer` is the publishing subgroup rank (trace/pricing identity).
+    void copy_get(int cell, int producer, void* dst, long long src_byte_off, int count,
+                  MPI_Datatype t);
+
+    /// Blocks (wall clock only; no modeled cost) until every consumer
+    /// retired every epoch published through `cell`.
+    void copy_drain(int cell);
+
+    /// Emits one copy_drain for every cell this build has published so far.
+    /// Builders call it once after composing all phases.
+    void drain_published();
+
     // --- execution -----------------------------------------------------
 
     /// Executes remaining steps in program order. With `blocking` set, stalls
@@ -244,8 +300,14 @@ public:
     /// schedule re-armed with the caller's fresh coll_seq emits exactly the
     /// tags a freshly built schedule would — which is what lets one rank
     /// serve a call from its cache while a peer builds the same schedule
-    /// from scratch without any tag mismatch.
-    void set_seq(std::uint64_t seq) { seq_ = seq; }
+    /// from scratch without any tag mismatch. A schedule with copy steps
+    /// additionally rebinds to the fresh (context, seq) rendezvous block —
+    /// the shm analogue of the tag change: a cache-hit rank and a
+    /// rebuilding peer meet in the same per-invocation cell namespace.
+    void set_seq(std::uint64_t seq) {
+        seq_ = seq;
+        if (shm_block_ != nullptr) rebind_shm();
+    }
 
     std::uint64_t seq() const { return seq_; }
 
@@ -290,6 +352,22 @@ private:
         dry_->steps.push_back(ts);
     }
 
+    /// Same, for copy-step lowering: cell ids obey the tag budget but live
+    /// in their own matching namespace, so the recorded tape tag carries a
+    /// high marker bit — a copy channel can never alias a message channel
+    /// in the simulator even when a cell id equals a step tag.
+    void dry_record_copy(std::uint8_t kind, int peer, int cell_id, int count, MPI_Datatype t) {
+        if ((cell_id < 0 || cell_id >= DrySink::kTagBudget) && dry_->over_tag < 0) {
+            dry_->over_tag = cell_id;
+        }
+        TapeStep ts;
+        ts.bytes = static_cast<std::uint64_t>(count) * static_cast<std::uint64_t>(t->size);
+        ts.a = static_cast<std::uint32_t>(peer);
+        ts.tag = static_cast<std::uint16_t>((cell_id & 0x7FFF) | 0x8000);
+        ts.kind = kind;
+        dry_->steps.push_back(ts);
+    }
+
     /// One arena block. Chunks never move or shrink, so pointers handed out
     /// by alloc() stay stable for the schedule's lifetime.
     struct Chunk {
@@ -309,6 +387,26 @@ private:
     std::size_t scratch_bytes_ = 0;  ///< sum of requested alloc() sizes
     std::vector<xmpi_request_t*> reqs_;
     DrySink* dry_ = nullptr;  ///< non-null while in dry-build (tape) mode
+
+    // --- shared-memory transport binding (only set when the build emitted
+    // copy steps; see shm/shm.hpp for the protocol) ----------------------
+
+    /// Binds this schedule to the (node, context, seq) rendezvous block on
+    /// first copy step append; no-op afterwards.
+    void bind_shm();
+    /// Re-acquires the block for the current seq_ and invalidates the
+    /// per-step cell caches; the next execution is epoch 1 of the new block.
+    void rebind_shm();
+
+    std::shared_ptr<shm::Block> shm_block_;
+    /// 1-based execution count within the bound block: the epoch the next
+    /// run's copy_get steps wait for. Advanced by reset() after a completed
+    /// run (`ran_`), pinned back to 1 by rebind_shm().
+    std::uint64_t shm_epoch_ = 0;
+    bool ran_ = false;
+    /// Cells published by this build (build-time bookkeeping for
+    /// drain_published()).
+    std::vector<int> published_cells_;
 };
 
 /// RAII group scope: the hierarchical builders compose existing builders as

@@ -420,6 +420,14 @@ int XMPI_T_segment_get(long long* bytes);
 int XMPI_T_sched_cache_set(int enabled);
 /// Reports whether the schedule cache is effectively enabled (0/1).
 int XMPI_T_sched_cache_get(int* enabled);
+/// Enables (1) / disables (0) the zero-copy shared-memory transport for
+/// intra-node collective phases; -1 restores automatic resolution
+/// (XMPI_SHM, then enabled by default). Disabling restores bit-identical
+/// message-passing schedules. Takes effect at the next schedule build
+/// (cached schedules are invalidated).
+int XMPI_T_shm_set(int enabled);
+/// Reports whether the shm transport is effectively enabled (0/1).
+int XMPI_T_shm_get(int* enabled);
 /// Reports the calling rank's schedule accounting (any pointer may be
 /// null): schedules built, cache hits, cache evictions, and the largest
 /// single-schedule scratch working set in bytes. Callable only from inside

@@ -46,6 +46,15 @@ struct Config {
     double beta_intra = 5e-11;
     double o_intra = 5e-8;
     /// @}
+    /// @name Copy tier, used by the shared-memory transport when an intra-node
+    /// schedule step is a direct load/store into a peer rank's buffer instead
+    /// of a simulated message. One synchronization constant per rendezvous
+    /// plus a per-byte single-copy cost (~50 GB/s streaming memcpy). Disabled
+    /// entirely by XMPI_SHM=0 / XMPI_T_shm_set(0).
+    /// @{
+    double gamma_copy = 2e-11;
+    double copy_sync = 1e-7;
+    /// @}
     /// Block rank->node mapping: node = world_rank / ranks_per_node (the
     /// last node may hold fewer ranks). <= 1 means a flat single-tier
     /// network. Overridable per process by XMPI_RANKS_PER_NODE / XMPI_NODES
@@ -82,6 +91,13 @@ struct Counters {
     /// by max, not sum.
     std::uint64_t schedule_peak_scratch_bytes = 0;
     /// @}
+    /// @name Shared-memory transport accounting: direct peer-buffer copies
+    /// performed by `copy` schedule steps (get side; publishes are free) and
+    /// the bytes they moved. Always 0 with the transport disabled.
+    /// @{
+    std::uint64_t shm_copies = 0;
+    std::uint64_t shm_copy_bytes = 0;
+    /// @}
 
     Counters& operator+=(Counters const& other) {
         p2p_messages += other.p2p_messages;
@@ -95,6 +111,8 @@ struct Counters {
         schedule_cache_evictions += other.schedule_cache_evictions;
         if (other.schedule_peak_scratch_bytes > schedule_peak_scratch_bytes)
             schedule_peak_scratch_bytes = other.schedule_peak_scratch_bytes;
+        shm_copies += other.shm_copies;
+        shm_copy_bytes += other.shm_copy_bytes;
         return *this;
     }
 };

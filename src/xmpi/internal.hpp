@@ -25,6 +25,10 @@ namespace xmpi::detail {
 struct RankState;
 struct Universe;
 
+namespace shm {
+struct State;
+}  // namespace shm
+
 // ---------------------------------------------------------------------------
 // Datatypes
 // ---------------------------------------------------------------------------
@@ -169,6 +173,11 @@ struct Universe {
     /// via an internal allreduce-max.
     std::atomic<int> next_context{16};
     std::atomic<int> dead_count{0};
+    /// Shared-memory transport state: per-node rendezvous-cell registries
+    /// (see shm/shm.hpp). Built once at universe creation alongside the node
+    /// map; shared_ptr for the type-erased deleter, the full type is only
+    /// visible to the transport and the schedule executor.
+    std::shared_ptr<shm::State> shm;
 };
 
 /// Thread-local pointer to the calling rank's state (null outside ranks).

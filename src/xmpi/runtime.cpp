@@ -14,6 +14,7 @@
 #include <unordered_set>
 
 #include "internal.hpp"
+#include "shm/shm.hpp"
 
 namespace xmpi::detail {
 
@@ -153,6 +154,12 @@ RunResult run(int num_ranks, std::function<void(int)> const& body, Config const&
     universe->size = num_ranks;
     universe->id = detail::g_universe_counter.fetch_add(1);
     universe->node_of_world = detail::topo::build_node_map(num_ranks, config);
+    {
+        int num_nodes = 1;
+        for (int const n : universe->node_of_world)
+            if (n + 1 > num_nodes) num_nodes = n + 1;
+        universe->shm = detail::shm::make_state(num_nodes);
+    }
     universe->ranks.reserve(static_cast<std::size_t>(num_ranks));
     for (int r = 0; r < num_ranks; ++r) {
         auto rs = std::make_unique<RankState>();

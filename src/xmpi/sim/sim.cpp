@@ -199,6 +199,12 @@ Result fail(Result res, int err, std::string detail) {
 //   send: vnow += o_tier; arrival = vnow + alpha_tier + beta_tier * bytes
 //   post: free
 //   wait: vnow = max(vnow, arrival of the matched send)
+//
+// Shared-memory copy steps ride the same channel algebra (their tape tags
+// carry a high marker bit, so a copy channel can never alias a message
+// channel) with the executor's copy-tier pricing:
+//   copy_pub:  publisher's clock unchanged; arrival = vnow + copy_sync
+//   copy_wait: vnow = max(vnow, arrival) + gamma_copy * bytes
 // ---------------------------------------------------------------------------
 
 constexpr std::uint32_t kNoRank = 0xFFFFFFFFu;
@@ -261,26 +267,39 @@ struct EventLoop {
             bool blocked = false;
             while (pos[r] < end) {
                 alg::TapeStep const& st = steps[pos[r]];
-                if (st.kind == alg::TapeStep::kWait) {
+                if (st.kind == alg::TapeStep::kWait || st.kind == alg::TapeStep::kCopyWait) {
                     SlotRef const sr = slots[slot_begin[r] + st.a];
                     Channel& ch = channels[sr.ch];
                     if (ch.nsends > sr.k) {
                         double const arrival = sr.k == 0 ? ch.a0 : ch.more[sr.k - 1];
                         if (arrival > t) t = arrival;
+                        if (st.kind == alg::TapeStep::kCopyWait) {
+                            t += cfg.gamma_copy * static_cast<double>(st.bytes);
+                        }
                     } else {
                         ch.waiter = r;
                         ch.waiter_k = sr.k;
                         blocked = true;
                         break;
                     }
-                } else if (st.kind == alg::TapeStep::kSend) {
+                } else if (st.kind == alg::TapeStep::kSend ||
+                           st.kind == alg::TapeStep::kCopyPub) {
                     std::uint32_t const dst = st.a;
-                    bool const intra =
-                        !node_map.empty() && node_map[r] == node_map[dst];
-                    t += intra ? cfg.o_intra : cfg.o;
-                    double const arrival = t + (intra ? cfg.alpha_intra : cfg.alpha) +
-                                           (intra ? cfg.beta_intra : cfg.beta) *
-                                               static_cast<double>(st.bytes);
+                    double arrival;
+                    if (st.kind == alg::TapeStep::kCopyPub) {
+                        // Rendezvous publish: the producer's clock does not
+                        // advance; the cell becomes visible one sync constant
+                        // later and the per-byte copy cost lands on the
+                        // consumer's kCopyWait.
+                        arrival = t + cfg.copy_sync;
+                    } else {
+                        bool const intra =
+                            !node_map.empty() && node_map[r] == node_map[dst];
+                        t += intra ? cfg.o_intra : cfg.o;
+                        arrival = t + (intra ? cfg.alpha_intra : cfg.alpha) +
+                                  (intra ? cfg.beta_intra : cfg.beta) *
+                                      static_cast<double>(st.bytes);
+                    }
                     Channel& ch = channels[chan(key(dst, r, st.tag))];
                     std::uint32_t const k = ch.nsends++;
                     if (k == 0) {

@@ -20,6 +20,7 @@
 #include "../algorithms/algorithms.hpp"
 #include "../env.hpp"
 #include "../internal.hpp"
+#include "../shm/shm.hpp"
 
 namespace xmpi::detail::trace {
 
@@ -111,7 +112,7 @@ char const* ev_name(Ev kind) {
         "coll_enter", "coll_exit",  "send",       "post",       "recv_done",
         "wait_begin", "wait_end",   "sched_build", "sched_cache_hit", "sched_arm",
         "step.send",  "step.post",  "step.wait",  "step.local", "sched_done",
-        "tune_probe", "tune_demote", "tune_recover",
+        "tune_probe", "tune_demote", "tune_recover", "step.copy_pub", "step.copy_get",
     };
     auto const k = static_cast<std::size_t>(kind);
     return k < names.size() ? names[k] : "?";
@@ -404,9 +405,11 @@ constexpr CounterField kCounterFields[] = {
     {"counters.schedule_cache_hits", &Counters::schedule_cache_hits},
     {"counters.schedule_cache_evictions", &Counters::schedule_cache_evictions},
     {"counters.schedule_peak_scratch_bytes.rank", &Counters::schedule_peak_scratch_bytes},
+    {"counters.shm_copies", &Counters::shm_copies},
+    {"counters.shm_copy_bytes", &Counters::shm_copy_bytes},
 };
 
-static_assert(sizeof(Counters) == 10 * sizeof(std::uint64_t),
+static_assert(sizeof(Counters) == 12 * sizeof(std::uint64_t),
               "a Counters field was added or removed: extend kCounterFields, the "
               "pvar registry docs and the test_trace coverage list");
 
@@ -512,6 +515,31 @@ std::vector<Pvar> build_pvar_table() {
     };
     t.push_back({"trace.events_recorded", 1, trace_field(false), nullptr});
     t.push_back({"trace.events_dropped", 1, trace_field(true), nullptr});
+
+    // Zero-copy shared-memory transport (src/xmpi/shm): effective
+    // enablement plus the process-wide operation counts.
+    t.push_back({"shm.enabled", 1,
+                 [](unsigned long long* out) {
+                     *out = shm::enabled() ? 1 : 0;
+                     return MPI_SUCCESS;
+                 },
+                 nullptr});
+    auto shm_field = [](int idx) {
+        return [idx](unsigned long long* out) {
+            shm::Stats const s = shm::stats();
+            switch (idx) {
+                case 0: *out = s.publishes; break;
+                case 1: *out = s.copies; break;
+                case 2: *out = s.copy_bytes; break;
+                default: *out = s.drains; break;
+            }
+            return MPI_SUCCESS;
+        };
+    };
+    t.push_back({"shm.publishes", 1, shm_field(0), nullptr});
+    t.push_back({"shm.copies", 1, shm_field(1), nullptr});
+    t.push_back({"shm.copy_bytes", 1, shm_field(2), nullptr});
+    t.push_back({"shm.drains", 1, shm_field(3), nullptr});
 
     for (int f = 0; f < alg::kFamilies; ++f) {
         auto const fam = static_cast<alg::Family>(f);
@@ -691,7 +719,8 @@ int XMPI_T_trace_attribution(long long seq, XMPI_T_trace_attr* out) {
         } else if (kind == Ev::coll_exit) {
             auto it = ranks.find(r.rank);
             if (it != ranks.end()) it->second.exit_t = r.vtime;
-        } else if (kind == Ev::step_send || kind == Ev::step_post || kind == Ev::step_wait) {
+        } else if (kind == Ev::step_send || kind == Ev::step_post || kind == Ev::step_wait ||
+                   kind == Ev::step_copy_pub || kind == Ev::step_copy_get) {
             auto it = ranks.find(r.rank);
             if (it == ranks.end()) continue;
             ReplayRank& rr = it->second;
@@ -739,6 +768,10 @@ int XMPI_T_trace_attribution(long long seq, XMPI_T_trace_attr* out) {
                static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag) & 0xFFFFFFF);
     };
     std::map<std::uint64_t, std::deque<SentMsg>> wire;
+    // Shared-memory publishes: one entry per (producer, cell), read by every
+    // consumer of the epoch (a publish is not consumed by its gets, unlike a
+    // message — fanout readers all pair with the same publish).
+    std::map<std::pair<int, int>, SentMsg> copy_wire;
 
     unsigned long long executed = 0;
     bool progress = true;
@@ -752,6 +785,24 @@ int XMPI_T_trace_attribution(long long seq, XMPI_T_trace_attr* out) {
                     rr.last = push_node(rr.last, 3, static_cast<std::uint8_t>(tier), o[tier]);
                     rr.t += o[tier];
                     wire[msg_key(rr.world, st.peer, st.tag)].push_back({rr.t, rr.last});
+                } else if (st.kind == Ev::step_copy_pub) {
+                    // Publication costs the producer nothing; the cell
+                    // becomes visible copy_sync later (priced at the get).
+                    copy_wire[{rr.world, st.tag}] = {rr.t, rr.last};
+                } else if (st.kind == Ev::step_copy_get) {
+                    auto it = copy_wire.find({st.peer, st.tag});
+                    if (it == copy_wire.end()) break;  // not published yet
+                    double const arrival = it->second.t + lr.cfg.copy_sync;
+                    if (arrival > rr.t) {
+                        // The rendezvous gated this rank: the sync constant
+                        // joins the intra alpha bucket, riding the
+                        // producer's chain.
+                        rr.last = push_node(it->second.node, 1, /*tier=*/1, lr.cfg.copy_sync);
+                        rr.t = arrival;
+                    }
+                    rr.last = push_node(rr.last, 2, /*tier=*/1,
+                                        lr.cfg.gamma_copy * static_cast<double>(st.bytes));
+                    rr.t += lr.cfg.gamma_copy * static_cast<double>(st.bytes);
                 } else if (st.kind == Ev::step_post) {
                     // Posting is free in the model; slot bookkeeping happened
                     // during collection.

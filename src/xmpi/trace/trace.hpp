@@ -51,9 +51,13 @@ enum class Ev : std::uint8_t {
     tune_probe,      ///< feedback loop forced a non-preferred algorithm
     tune_demote,     ///< feedback loop demoted the model's choice
     tune_recover,    ///< feedback loop recovered a demoted algorithm
+    step_copy_pub,   ///< executor published a buffer for direct peer reads
+                     ///< (tag = rendezvous cell id, bytes = published size)
+    step_copy_get,   ///< executor copied directly out of a peer buffer
+                     ///< (peer = producer world, tag = cell id)
 };
 
-inline constexpr int kEvKinds = 18;
+inline constexpr int kEvKinds = 20;
 
 /// Human-readable name for an event kind (used by the JSON exporter and
 /// tests). Returns "?" for out-of-range values.

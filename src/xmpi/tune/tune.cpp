@@ -15,8 +15,10 @@
 #include <mutex>
 #include <vector>
 
+#include "../algorithms/schedule.hpp"
 #include "../env.hpp"
 #include "../internal.hpp"
+#include "../shm/shm.hpp"
 #include "../topo/topo.hpp"
 
 namespace xmpi::detail::alg {
@@ -28,24 +30,27 @@ namespace {
 
 // ---------------------------------------------------------------------------
 // Parameter layers. Index order matches the XMPI_T_tune_set keys:
-// 0 alpha, 1 beta, 2 o (inter tier), 3 alpha_intra, 4 beta_intra, 5 o_intra.
+// 0 alpha, 1 beta, 2 o (inter tier), 3 alpha_intra, 4 beta_intra, 5 o_intra,
+// 6 gamma_copy, 7 copy_sync (shared-memory copy tier).
 // NaN means "unset, fall through to the next layer".
 // ---------------------------------------------------------------------------
 
-constexpr int kParams = 6;
+constexpr int kParams = 8;
 char const* const kParamNames[kParams] = {"alpha",       "beta",       "o",
-                                          "alpha_intra", "beta_intra", "o_intra"};
+                                          "alpha_intra", "beta_intra", "o_intra",
+                                          "gamma_copy",  "copy_sync"};
 
 double constexpr kUnset = std::numeric_limits<double>::quiet_NaN();
 
 std::mutex g_mutex;
 
-double g_control[kParams] = {kUnset, kUnset, kUnset, kUnset, kUnset, kUnset};
-double g_fit[kParams] = {kUnset, kUnset, kUnset, kUnset, kUnset, kUnset};
-double g_env[kParams] = {kUnset, kUnset, kUnset, kUnset, kUnset, kUnset};
+double g_control[kParams] = {kUnset, kUnset, kUnset, kUnset, kUnset, kUnset, kUnset, kUnset};
+double g_fit[kParams] = {kUnset, kUnset, kUnset, kUnset, kUnset, kUnset, kUnset, kUnset};
+double g_env[kParams] = {kUnset, kUnset, kUnset, kUnset, kUnset, kUnset, kUnset, kUnset};
 
 /// Effective layered values, readable lock-free on the selection hot path.
-std::atomic<double> g_eff[kParams] = {kUnset, kUnset, kUnset, kUnset, kUnset, kUnset};
+std::atomic<double> g_eff[kParams] = {kUnset, kUnset, kUnset, kUnset,
+                                      kUnset, kUnset, kUnset, kUnset};
 std::atomic<bool> g_overlay_active{false};
 
 /// Feedback switch: control pin (-1 auto / 0 off / 1 on) over XMPI_TUNE.
@@ -85,11 +90,26 @@ int param_index(char const* key) {
 //     # 100G fabric, DDR shared memory
 //     inter alpha=2e-6 beta=8e-10 o=2e-7
 //     intra alpha=2e-7 beta=5e-11 o=5e-8
+//     copy gamma_copy=2e-11 copy_sync=1e-7
+//     prefer family=2 p=4 bytes=21 alg=1
 //
-// Any parse error (unknown tier, unknown key, non-numeric or negative
-// value) warns once naming the file and line and discards the whole file —
-// a half-applied profile would be worse than none.
+// `copy` describes the zero-copy shared-memory tier (src/xmpi/shm/).
+// `prefer` lines seed the measured-selection feedback table: one line per
+// (family, log2(comm size), log2(bytes)) bucket whose preferred algorithm
+// index should override the model until measurements say otherwise —
+// XMPI_T_tune_save writes these out, so learned preferences round-trip
+// across runs. Any parse error (unknown tier, unknown key, non-numeric or
+// negative value) warns once naming the file and line and discards the
+// whole file — a half-applied profile would be worse than none.
 // ---------------------------------------------------------------------------
+
+/// One `prefer` line: bucket coordinates plus the preferred algorithm index.
+struct Pref {
+    int family;
+    int p_bits;
+    int bytes_bits;
+    int alg;
+};
 
 void warn_profile(char const* path, char const* detail, int lineno) {
     if (!envutil::arm_warning("XMPI_TUNE_PROFILE")) return;
@@ -104,7 +124,53 @@ void warn_profile(char const* path, char const* detail, int lineno) {
     }
 }
 
-bool parse_profile_file(char const* path, double out[kParams]) {
+/// Parses one `prefer` line's key=value tokens (family/p/bytes/alg, all
+/// required non-negative integers, alg < 32). Returns false on any error.
+bool parse_prefer_line(char const* path, int lineno, char** save, Pref* pref) {
+    int got = 0;  // bitmask: 1 family, 2 p, 4 bytes, 8 alg
+    char* tok = nullptr;
+    while ((tok = ::strtok_r(nullptr, " \t\r\n", save)) != nullptr) {
+        char* const eq = std::strchr(tok, '=');
+        if (eq == nullptr) {
+            warn_profile(path, "expected key=value", lineno);
+            return false;
+        }
+        *eq = '\0';
+        int* field;
+        int bit;
+        if (std::strcmp(tok, "family") == 0) {
+            field = &pref->family;
+            bit = 1;
+        } else if (std::strcmp(tok, "p") == 0) {
+            field = &pref->p_bits;
+            bit = 2;
+        } else if (std::strcmp(tok, "bytes") == 0) {
+            field = &pref->bytes_bits;
+            bit = 4;
+        } else if (std::strcmp(tok, "alg") == 0) {
+            field = &pref->alg;
+            bit = 8;
+        } else {
+            warn_profile(path, "unknown key (valid: family, p, bytes, alg)", lineno);
+            return false;
+        }
+        char* end = nullptr;
+        long const v = std::strtol(eq + 1, &end, 10);
+        if (end == eq + 1 || *end != '\0' || v < 0 || v > 1000) {
+            warn_profile(path, "value is not a small non-negative integer", lineno);
+            return false;
+        }
+        *field = static_cast<int>(v);
+        got |= bit;
+    }
+    if (got != 15 || pref->alg >= 32) {
+        warn_profile(path, "prefer needs family= p= bytes= alg= (alg < 32)", lineno);
+        return false;
+    }
+    return true;
+}
+
+bool parse_profile_file(char const* path, double out[kParams], std::vector<Pref>* prefs) {
     std::FILE* const f = std::fopen(path, "r");
     if (f == nullptr) {
         warn_profile(path, "cannot be opened", 0);
@@ -124,8 +190,18 @@ bool parse_profile_file(char const* path, double out[kParams]) {
             base = 0;
         } else if (std::strcmp(tok, "intra") == 0) {
             base = 3;
+        } else if (std::strcmp(tok, "copy") == 0) {
+            base = 6;
+        } else if (std::strcmp(tok, "prefer") == 0) {
+            Pref pref{};
+            if (!parse_prefer_line(path, lineno, &save, &pref)) {
+                ok = false;
+                break;
+            }
+            prefs->push_back(pref);
+            continue;
         } else {
-            warn_profile(path, "expected tier \"inter\" or \"intra\"", lineno);
+            warn_profile(path, "expected \"inter\", \"intra\", \"copy\" or \"prefer\"", lineno);
             ok = false;
             break;
         }
@@ -138,7 +214,17 @@ bool parse_profile_file(char const* path, double out[kParams]) {
             }
             *eq = '\0';
             int off;
-            if (std::strcmp(tok, "alpha") == 0) {
+            if (base == 6) {
+                if (std::strcmp(tok, "gamma_copy") == 0) {
+                    off = 0;
+                } else if (std::strcmp(tok, "copy_sync") == 0) {
+                    off = 1;
+                } else {
+                    warn_profile(path, "unknown key (valid: gamma_copy, copy_sync)", lineno);
+                    ok = false;
+                    break;
+                }
+            } else if (std::strcmp(tok, "alpha") == 0) {
                 off = 0;
             } else if (std::strcmp(tok, "beta") == 0) {
                 off = 1;
@@ -163,6 +249,10 @@ bool parse_profile_file(char const* path, double out[kParams]) {
     return ok;
 }
 
+/// Seeds feedback-table preferences from parsed `prefer` lines (defined
+/// below the feedback table). Caller holds g_mutex.
+void apply_prefs_locked(std::vector<Pref> const& prefs);
+
 /// Resolves XMPI_TUNE and XMPI_TUNE_PROFILE once per process (re-armed by
 /// refresh_env). Caller holds g_mutex.
 void resolve_env_locked() {
@@ -170,13 +260,16 @@ void resolve_env_locked() {
         static_cast<int>(envutil::parse_env_int("XMPI_TUNE", 0, 0, 1,
                                                 "is not 0/1; tuning feedback stays disabled")),
         std::memory_order_relaxed);
-    double parsed[kParams] = {kUnset, kUnset, kUnset, kUnset, kUnset, kUnset};
+    double parsed[kParams] = {kUnset, kUnset, kUnset, kUnset, kUnset, kUnset, kUnset, kUnset};
+    std::vector<Pref> prefs;
     if (char const* path = std::getenv("XMPI_TUNE_PROFILE"); path != nullptr && *path != '\0') {
-        if (!parse_profile_file(path, parsed)) {
+        if (!parse_profile_file(path, parsed, &prefs)) {
             for (double& v : parsed) v = kUnset;  // all-or-nothing fallback
+            prefs.clear();
         }
     }
     for (int i = 0; i < kParams; ++i) g_env[i] = parsed[i];
+    apply_prefs_locked(prefs);
     recompute_effective_locked();
     g_env_resolved.store(true, std::memory_order_release);
 }
@@ -238,6 +331,16 @@ Bucket& bucket_locked(int family, int p, std::size_t bytes) {
                                bit_width(static_cast<unsigned long long>(bytes))}];
 }
 
+/// Seeds `prefer` lines from a profile into the feedback table. The seeded
+/// preference overrides the model exactly like a learned demotion; it is
+/// dropped (recovery) once live measurements show the model's pick is at
+/// least as good, so a stale profile cannot pin a bad algorithm forever.
+void apply_prefs_locked(std::vector<Pref> const& prefs) {
+    for (Pref const& pr : prefs) {
+        g_buckets[BucketKey{pr.family, pr.p_bits, pr.bytes_bits}].preferred = pr.alg;
+    }
+}
+
 /// Decision for a fresh generation: probe the least-sampled valid candidate
 /// while any is under-sampled (every other generation, so the model's pick
 /// keeps being measured too), re-probe occasionally at steady state so a
@@ -269,7 +372,8 @@ void overlay(bench::model::TwoTier& t) {
     ensure_env_resolved();
     if (!g_overlay_active.load(std::memory_order_acquire)) return;
     double* const fields[kParams] = {&t.inter.alpha, &t.inter.beta, &t.inter.o,
-                                     &t.intra.alpha, &t.intra.beta, &t.intra.o};
+                                     &t.intra.alpha, &t.intra.beta, &t.intra.o,
+                                     &t.gamma_copy,  &t.copy_sync};
     for (int i = 0; i < kParams; ++i) {
         double const v = g_eff[i].load(std::memory_order_relaxed);
         if (!std::isnan(v)) *fields[i] = v;
@@ -380,6 +484,15 @@ void refresh_env() {
 // rank on a different node (inter tier); absent tiers are skipped and their
 // parameters fall through to the next layer. Every other rank waits in the
 // surrounding barriers, so the probe traffic is isolated.
+//
+// The copy tier's gamma_copy is fitted the same way through the real shm
+// transport: the intra peer publishes rendezvous cells at two sizes and
+// rank 0 copy-gets them through tiny one-shot schedules. After a warm-up
+// cell the consumer's clock is already past each publish's arrival (a
+// publish never advances the producer's clock), so the per-run virtual-time
+// delta is a constant plus exactly gamma_copy * bytes and two sizes
+// difference it out. copy_sync is not fitted — it is a sub-microsecond
+// constant that differencing removes — and falls through to the next layer.
 // ---------------------------------------------------------------------------
 
 namespace xmpi::detail::tune {
@@ -428,6 +541,41 @@ void echo_tier(MPI_Comm comm) {
     }
 }
 
+/// Schedule sequence numbers reserved for the copy-tier probe so its
+/// rendezvous cells can never collide with a real collective's.
+constexpr std::uint64_t kCalCopySeq = ~0ull - 16;
+
+/// Rank 0's side of the copy-tier probe: copy-get three cells (warm-up,
+/// B1, B2) published by the intra peer and difference the last two
+/// virtual-time deltas into gamma_copy.
+void probe_copy_tier(MPI_Comm comm, int peer, double* gamma_out) {
+    RankState* const rs = tls_rank();
+    std::vector<char> buf(kCalB2);
+    int const sizes[3] = {1, kCalB1, kCalB2};
+    double delta[3] = {0, 0, 0};
+    for (int k = 0; k < 3; ++k) {
+        alg::Schedule s(comm, kCalCopySeq + static_cast<std::uint64_t>(k));
+        s.copy_get(0, peer, buf.data(), 0, sizes[k], MPI_CHAR);
+        double const t0 = rs->vnow;
+        alg::run_blocking(s);
+        delta[k] = rs->vnow - t0;
+    }
+    double const gamma = (delta[2] - delta[1]) / static_cast<double>(kCalB2 - kCalB1);
+    *gamma_out = gamma < 0 ? 0.0 : gamma;
+}
+
+/// The probed peer's side: publish the three cells and drain the acks.
+void echo_copy_tier(MPI_Comm comm) {
+    std::vector<char> buf(kCalB2);
+    int const sizes[3] = {1, kCalB1, kCalB2};
+    for (int k = 0; k < 3; ++k) {
+        alg::Schedule s(comm, kCalCopySeq + static_cast<std::uint64_t>(k));
+        s.copy_pub(0, buf.data(), sizes[k], MPI_CHAR, {0});
+        s.drain_published();
+        alg::run_blocking(s);
+    }
+}
+
 }  // namespace
 
 int calibrate(MPI_Comm comm) {
@@ -449,7 +597,7 @@ int calibrate(MPI_Comm comm) {
         if (!same && inter_peer < 0) inter_peer = j;
     }
     if (int rc = MPI_Barrier(comm); rc != MPI_SUCCESS) return rc;
-    double fit[kParams] = {kUnset, kUnset, kUnset, kUnset, kUnset, kUnset};
+    double fit[kParams] = {kUnset, kUnset, kUnset, kUnset, kUnset, kUnset, kUnset, kUnset};
     if (inter_peer >= 0) {
         if (r == 0) probe_tier(comm, inter_peer, fit + 0);
         if (r == inter_peer) echo_tier(comm);
@@ -457,6 +605,10 @@ int calibrate(MPI_Comm comm) {
     if (intra_peer >= 0) {
         if (r == 0) probe_tier(comm, intra_peer, fit + 3);
         if (r == intra_peer) echo_tier(comm);
+        if (shm::enabled()) {
+            if (r == 0) probe_copy_tier(comm, intra_peer, fit + 6);
+            if (r == intra_peer) echo_copy_tier(comm);
+        }
     }
     if (r == 0) {
         {
@@ -504,7 +656,8 @@ int get_effective(char const* key, double* value) {
     bench::model::TwoTier t;
     overlay(t);
     double const* const fields[kParams] = {&t.inter.alpha, &t.inter.beta, &t.inter.o,
-                                           &t.intra.alpha, &t.intra.beta, &t.intra.o};
+                                           &t.intra.alpha, &t.intra.beta, &t.intra.o,
+                                           &t.gamma_copy,  &t.copy_sync};
     *value = *fields[i];
     return MPI_SUCCESS;
 }
@@ -514,6 +667,17 @@ int save_profile(char const* path) {
     ensure_env_resolved();
     bench::model::TwoTier t;
     overlay(t);
+    // Snapshot learned feedback-table preferences so they round-trip through
+    // the profile: loading this file seeds the same buckets back.
+    std::vector<Pref> prefs;
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        for (auto const& [key, b] : g_buckets) {
+            if (b.preferred < 0) continue;
+            prefs.push_back(Pref{std::get<0>(key), std::get<1>(key), std::get<2>(key),
+                                 b.preferred});
+        }
+    }
     std::FILE* const f = std::fopen(path, "w");
     if (f == nullptr) return MPI_ERR_OTHER;
     std::fprintf(f, "# xmpi tuning profile (effective two-tier machine parameters)\n");
@@ -521,6 +685,14 @@ int save_profile(char const* path) {
                  t.inter.o);
     std::fprintf(f, "intra alpha=%.17g beta=%.17g o=%.17g\n", t.intra.alpha, t.intra.beta,
                  t.intra.o);
+    std::fprintf(f, "copy gamma_copy=%.17g copy_sync=%.17g\n", t.gamma_copy, t.copy_sync);
+    if (!prefs.empty()) {
+        std::fprintf(f, "# measured-selection preferences (family, log2 p, log2 bytes)\n");
+        for (Pref const& pr : prefs) {
+            std::fprintf(f, "prefer family=%d p=%d bytes=%d alg=%d\n", pr.family, pr.p_bits,
+                         pr.bytes_bits, pr.alg);
+        }
+    }
     std::fclose(f);
     return MPI_SUCCESS;
 }

@@ -5,14 +5,20 @@
 /// Three parameter layers, in precedence order (same idiom as the topology
 /// knobs: control call > environment > built-in default):
 ///
-///   1. XMPI_T_tune_set("alpha"|"beta"|"o"|"alpha_intra"|..., value) pins
-///      one two-tier machine parameter programmatically;
+///   1. XMPI_T_tune_set("alpha"|"beta"|"o"|"alpha_intra"|...|"gamma_copy"|
+///      "copy_sync", value) pins one machine parameter programmatically;
 ///   2. XMPI_T_tune_calibrate(comm) fits both tiers' alpha/beta/o from the
 ///      observed virtual-time of a small probe schedule (isolated sends for
-///      the sender overhead, two-size ping-pongs for latency and bandwidth);
+///      the sender overhead, two-size ping-pongs for latency and bandwidth)
+///      and, when the shm transport is enabled, gamma_copy from two-size
+///      zero-copy cell reads through the real rendezvous protocol;
 ///   3. XMPI_TUNE_PROFILE names a hostfile-style machine description
-///      ("inter alpha=2e-6 beta=8e-10 o=2e-7" / "intra ..." lines) that is
-///      parsed once per process (re-armed by XMPI_T_alg_env_refresh).
+///      ("inter alpha=2e-6 beta=8e-10 o=2e-7" / "intra ..." /
+///      "copy gamma_copy=2e-11 copy_sync=1e-7" lines, plus optional
+///      "prefer family=.. p=.. bytes=.. alg=.." lines seeding the feedback
+///      table) that is parsed once per process (re-armed by
+///      XMPI_T_alg_env_refresh). XMPI_T_tune_save writes the same format,
+///      including learned preferences, so tuning state round-trips.
 ///
 /// Unset parameters fall through to the universe Config's defaults; the
 /// overlay is applied inside alg::machine_of(), so selection, the

@@ -26,6 +26,17 @@ struct TopoPin {
     TopoPin& operator=(TopoPin const&) = delete;
 };
 
+/// Pins the zero-copy shared-memory transport on (1) or off (0) for the
+/// scope via the XMPI_T_shm_set control channel (beats XMPI_SHM, so tests
+/// behave identically under the shm-off CI leg). The destructor restores
+/// automatic resolution from the environment.
+struct ShmPin {
+    explicit ShmPin(int on) { XMPI_T_shm_set(on); }
+    ~ShmPin() { XMPI_T_shm_set(-1); }
+    ShmPin(ShmPin const&) = delete;
+    ShmPin& operator=(ShmPin const&) = delete;
+};
+
 /// Pins the pipeline segment size (bytes) for the scope via the
 /// XMPI_T_segment_set control channel (beats XMPI_SEGMENT_BYTES, so tests
 /// behave identically under the forced-segment CI matrix). The destructor

@@ -653,6 +653,116 @@ TEST(Algorithms, HierarchicalByteIdenticalAcrossNodeShapes) {
 }
 
 // ---------------------------------------------------------------------------
+// Zero-copy shm transport equivalence: XMPI_T_shm_set(1) and (0) must be
+// byte-identical for every hierarchical family, on equal and ragged node
+// shapes, in all three execution flavors (the persistent flavor restarts
+// the schedule with fresh operands, exercising cell re-publication),
+// including MPI_IN_PLACE (the shm builders publish the user input buffer
+// itself) and the non-commutative user op (leader-path tree reduce).
+// ---------------------------------------------------------------------------
+
+TEST(Algorithms, ShmOnOffByteIdentical) {
+    using testing_utils::ShmPin;
+    SeededRng rng;
+    struct Shape {
+        int p;
+        int rpn;
+    };
+    Shape const shapes[] = {
+        {16, 4},  // equal nodes
+        {11, 4},  // ragged last node (4, 4, 3)
+        {6, 3},   // two equal nodes
+    };
+    for (auto const& sh : shapes) {
+        TopoPin const topo(sh.rpn);
+        auto const salt = static_cast<unsigned>(rng.uniform(1, 1 << 20));
+        int const count = rng.pick(kCounts);
+        int const mcount = rng.pick(kMatmulCounts);
+        int const root = rng.uniform(0, sh.p - 1);
+        for (Exec mode : kExecModes) {
+            auto const tag = [&](std::string const& what) {
+                return what + " p=" + std::to_string(sh.p) + " rpn=" + std::to_string(sh.rpn) +
+                       " mode=" + mode_name(mode) + " count=" + std::to_string(count);
+            };
+            auto same = [&](std::string const& what, auto run_one) {
+                ShmPin const on(1);
+                auto const with_shm = run_one();
+                ShmPin const off(0);
+                EXPECT_EQ(with_shm, run_one()) << tag(what);
+            };
+            same("bcast", [&] {
+                return with_alg("bcast", "hierarchical",
+                                [&] { return bcast_case<int>(sh.p, count, MPI_INT, root, mode, salt); });
+            });
+            same("allgather", [&] {
+                return with_alg("allgather", "hierarchical",
+                                [&] { return allgather_case<int>(sh.p, count, MPI_INT, mode, salt); });
+            });
+            for (Red red : {Red::sum, Red::matmul}) {
+                int const c = red == Red::matmul ? mcount : count;
+                std::string const op = red == Red::sum ? "sum" : "matmul";
+                same("reduce " + op, [&] {
+                    return with_alg("reduce", "hierarchical", [&] {
+                        return reduce_case<long long>(sh.p, c, MPI_INT64_T, red, root, false,
+                                                      mode, salt);
+                    });
+                });
+                same("allreduce " + op, [&] {
+                    return with_alg("allreduce", "hierarchical", [&] {
+                        return reduce_case<long long>(sh.p, c, MPI_INT64_T, red, root, true,
+                                                      mode, salt);
+                    });
+                });
+            }
+            same("allreduce in-place", [&] {
+                return with_alg("allreduce", "hierarchical", [&] {
+                    PerRank<int> out(static_cast<std::size_t>(sh.p));
+                    xmpi::run(sh.p, [&](int r) {
+                        std::vector<int> buf(static_cast<std::size_t>(count));
+                        auto fill = [&](unsigned sv) {
+                            for (int i = 0; i < count; ++i)
+                                buf[static_cast<std::size_t>(i)] =
+                                    static_cast<int>(sv + 17u * static_cast<unsigned>(r)) + i;
+                        };
+                        if (mode == Exec::persist) {
+                            MPI_Request req = MPI_REQUEST_NULL;
+                            ASSERT_EQ(MPI_Allreduce_init(MPI_IN_PLACE, buf.data(), count,
+                                                         MPI_INT, MPI_SUM, MPI_COMM_WORLD,
+                                                         MPI_INFO_NULL, &req),
+                                      MPI_SUCCESS);
+                            for (int k = 0; k < kPersistRounds; ++k) {
+                                fill(salt + static_cast<unsigned>(k));
+                                ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+                                ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+                                out[static_cast<std::size_t>(r)].insert(
+                                    out[static_cast<std::size_t>(r)].end(), buf.begin(),
+                                    buf.end());
+                            }
+                            ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+                            return;
+                        }
+                        fill(salt);
+                        if (mode == Exec::nb) {
+                            MPI_Request req = MPI_REQUEST_NULL;
+                            ASSERT_EQ(MPI_Iallreduce(MPI_IN_PLACE, buf.data(), count, MPI_INT,
+                                                     MPI_SUM, MPI_COMM_WORLD, &req),
+                                      MPI_SUCCESS);
+                            drive(req);
+                        } else {
+                            ASSERT_EQ(MPI_Allreduce(MPI_IN_PLACE, buf.data(), count, MPI_INT,
+                                                    MPI_SUM, MPI_COMM_WORLD),
+                                      MPI_SUCCESS);
+                        }
+                        out[static_cast<std::size_t>(r)] = buf;
+                    });
+                    return out;
+                });
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Pipelined hierarchical schedules across forced segment sizes. The
 // XMPI_T_segment_set pin engages the segment-pipelined allgather/alltoall
 // compositions (and re-segments the ring bcast) at any granularity; results

@@ -36,7 +36,7 @@ using testing_utils::TopoPin;
 
 /// Adding a Counters field must extend kExpectedPvars below (and the
 /// registry table in trace.cpp, which carries the same assert).
-static_assert(sizeof(xmpi::Counters) == 10 * sizeof(std::uint64_t),
+static_assert(sizeof(xmpi::Counters) == 12 * sizeof(std::uint64_t),
               "Counters changed: update the pvar coverage list in this test");
 
 /// setenv/unsetenv + env-refresh RAII so a failing assertion cannot leak a
@@ -297,6 +297,10 @@ TEST(Trace, RingOverflowKeepsNewestAndCountsDrops) {
 
 TEST(Trace, HierarchicalAllreduceEventsMatchDryTape) {
     TopoPin const topo(2);
+    // The p2p step stream is what this test pins byte-for-byte; the shm
+    // transport replaces intra phases with copy steps whose dry lowering is
+    // intentionally different (one pseudo-send per reader), so pin it off.
+    testing_utils::ShmPin const shm(0);
     AlgPin const pin("allreduce", "hierarchical");
     std::string const path = "trace_hier_allreduce.json";
     std::remove(path.c_str());
@@ -475,6 +479,8 @@ TEST(Trace, PvarRegistryCoversStatsStructs) {
         "counters.schedule_builds",
         "counters.schedule_cache_hits",
         "counters.schedule_cache_evictions",
+        "counters.shm_copies",
+        "counters.shm_copy_bytes",
         "counters.schedule_peak_scratch_bytes.rank",
         "counters.schedule_peak_scratch_bytes.max",
         "p2p.wait_time_ns",

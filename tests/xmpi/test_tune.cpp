@@ -12,10 +12,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "../testing_utils.hpp"
+#include "src/xmpi/algorithms/algorithms.hpp"
 #include "xmpi/mpi.h"
 #include "xmpi/xmpi.hpp"
 
@@ -29,7 +32,9 @@ struct TuneReset {
     TuneReset() { clear(); }
     ~TuneReset() { clear(); }
     static void clear() {
-        char const* const keys[] = {"alpha", "beta", "o", "alpha_intra", "beta_intra", "o_intra"};
+        char const* const keys[] = {"alpha",      "beta",       "o",
+                                    "alpha_intra", "beta_intra", "o_intra",
+                                    "gamma_copy",  "copy_sync"};
         for (char const* k : keys) EXPECT_EQ(XMPI_T_tune_set(k, -1.0), MPI_SUCCESS);
         EXPECT_EQ(XMPI_T_tune_set("feedback", -1.0), MPI_SUCCESS);
         EXPECT_EQ(XMPI_T_tune_reset(), MPI_SUCCESS);
@@ -170,6 +175,33 @@ TEST(Tune, CalibrationRecoversConfiguredMachineExactly) {
     ASSERT_EQ(XMPI_T_tune_reset(), MPI_SUCCESS);
     EXPECT_DOUBLE_EQ(tune_get("alpha"), 2e-6);
     EXPECT_DOUBLE_EQ(tune_get("beta_intra"), 5e-11);
+}
+
+TEST(Tune, CalibrationFitsGammaCopyThroughShmTransport) {
+    TuneReset const guard;
+    TopoPin const topo(4);  // 8 ranks -> 2 nodes of 4: an intra peer exists
+    xmpi::Config cfg;
+    cfg.gamma_copy = 7e-11;   // not the default: the fit must recover it
+    cfg.compute_scale = 0.0;  // deterministic copy pricing: the fit is exact
+    {
+        // The gamma probe reads rendezvous cells through the real transport,
+        // so it only runs when shm is enabled.
+        testing_utils::ShmPin const shm(1);
+        xmpi::run(
+            8, [](int) { ASSERT_EQ(XMPI_T_tune_calibrate(MPI_COMM_WORLD), MPI_SUCCESS); }, cfg);
+    }
+    EXPECT_NEAR(tune_get("gamma_copy"), cfg.gamma_copy, cfg.gamma_copy * 1e-9);
+    EXPECT_DOUBLE_EQ(tune_get("copy_sync"), 1e-7);  // not fitted: default
+
+    ASSERT_EQ(XMPI_T_tune_reset(), MPI_SUCCESS);
+    {
+        // With the transport disabled the probe is skipped and the copy tier
+        // falls through to the defaults.
+        testing_utils::ShmPin const shm(0);
+        xmpi::run(
+            8, [](int) { ASSERT_EQ(XMPI_T_tune_calibrate(MPI_COMM_WORLD), MPI_SUCCESS); }, cfg);
+    }
+    EXPECT_DOUBLE_EQ(tune_get("gamma_copy"), 2e-11);
 }
 
 TEST(Tune, FeedbackDemotesMisSetModelToMeasuredWinner) {
@@ -314,6 +346,7 @@ TEST(Tune, SaveProfileRoundTrips) {
     std::string const path = ::testing::TempDir() + "xmpi_tune_saved.profile";
     ASSERT_EQ(XMPI_T_tune_set("alpha", 7e-6), MPI_SUCCESS);
     ASSERT_EQ(XMPI_T_tune_set("beta_intra", 1.25e-11), MPI_SUCCESS);
+    ASSERT_EQ(XMPI_T_tune_set("gamma_copy", 4.5e-11), MPI_SUCCESS);
     ASSERT_EQ(XMPI_T_tune_save(path.c_str()), MPI_SUCCESS);
     TuneReset::clear();  // the pins are gone...
 
@@ -322,6 +355,113 @@ TEST(Tune, SaveProfileRoundTrips) {
     // ...but the saved profile reproduces the effective machine exactly.
     EXPECT_DOUBLE_EQ(tune_get("alpha"), 7e-6);
     EXPECT_DOUBLE_EQ(tune_get("beta_intra"), 1.25e-11);
-    EXPECT_DOUBLE_EQ(tune_get("o"), 2e-7);  // defaults round-trip too
+    EXPECT_DOUBLE_EQ(tune_get("gamma_copy"), 4.5e-11);
+    EXPECT_DOUBLE_EQ(tune_get("o"), 2e-7);        // defaults round-trip too
+    EXPECT_DOUBLE_EQ(tune_get("copy_sync"), 1e-7);
+    std::remove(path.c_str());
+}
+
+TEST(Tune, CopyTierProfileAndControlLayering) {
+    TuneReset const guard;
+    std::string const path = ::testing::TempDir() + "xmpi_tune_copy.profile";
+    write_file(path,
+               "# DDR shared memory\n"
+               "copy gamma_copy=5e-11 copy_sync=3e-7\n");
+    EnvVar const env("XMPI_TUNE_PROFILE", path);
+    ASSERT_EQ(XMPI_T_alg_env_refresh(), MPI_SUCCESS);
+    EXPECT_DOUBLE_EQ(tune_get("gamma_copy"), 5e-11);  // profile value
+    EXPECT_DOUBLE_EQ(tune_get("copy_sync"), 3e-7);    // profile value
+    EXPECT_DOUBLE_EQ(tune_get("alpha"), 2e-6);        // unlisted: default
+
+    ASSERT_EQ(XMPI_T_tune_set("gamma_copy", 9e-11), MPI_SUCCESS);
+    EXPECT_DOUBLE_EQ(tune_get("gamma_copy"), 9e-11);  // control beats env
+    ASSERT_EQ(XMPI_T_tune_set("gamma_copy", -1.0), MPI_SUCCESS);
+    EXPECT_DOUBLE_EQ(tune_get("gamma_copy"), 5e-11);  // clearing re-exposes env
+    std::remove(path.c_str());
+}
+
+TEST(Tune, PreferenceLinesSeedFeedbackAndRoundTripThroughSave) {
+    // A `prefer` profile line must seed the feedback table: with feedback on
+    // and a mis-set model, the very first collective selects the persisted
+    // winner instead of paying the full probe-and-demote convergence. Saving
+    // then writes the same preference back out (the round-trip contract).
+    testing_utils::ScrubAlgEnv const scrub;
+    TuneReset const guard;
+    TopoPin const topo(4);
+
+    // Bucket coordinates of a 2 MiB MPI_INT allreduce on 16 ranks, and the
+    // algorithm index the preference pins (the hierarchical entry).
+    int const family = static_cast<int>(xmpi::detail::alg::Family::allreduce);
+    auto const& algs = xmpi::detail::alg::algorithms(xmpi::detail::alg::Family::allreduce);
+    int alg_idx = -1;
+    for (std::size_t i = 0; i < algs.size(); ++i) {
+        if (std::string(algs[i].name) == "hierarchical") alg_idx = static_cast<int>(i);
+    }
+    ASSERT_GE(alg_idx, 0);
+    auto bit_width = [](unsigned long long v) {
+        int w = 0;
+        while (v != 0) {
+            ++w;
+            v >>= 1;
+        }
+        return w;
+    };
+    int const kCount = 524288;  // 2 MiB of MPI_INT
+    std::string const path = ::testing::TempDir() + "xmpi_tune_prefer.profile";
+    write_file(path, ("prefer family=" + std::to_string(family) +
+                      " p=" + std::to_string(bit_width(16)) +
+                      " bytes=" + std::to_string(bit_width(
+                                      static_cast<unsigned long long>(kCount) * sizeof(int))) +
+                      " alg=" + std::to_string(alg_idx) + "\n")
+                         .c_str());
+    EnvVar const env("XMPI_TUNE_PROFILE", path);
+    ASSERT_EQ(XMPI_T_alg_env_refresh(), MPI_SUCCESS);
+
+    // Model believes the network is ~4000x faster than it is and would pick
+    // "flat"; the seeded preference must override it from call one.
+    ASSERT_EQ(XMPI_T_tune_set("beta", 1e-13), MPI_SUCCESS);
+    ASSERT_EQ(XMPI_T_tune_set("feedback", 1.0), MPI_SUCCESS);
+    xmpi::Config cfg;
+    cfg.compute_scale = 0.0;
+    xmpi::run(
+        16,
+        [&](int rank) {
+            std::vector<int> in(static_cast<std::size_t>(kCount), rank + 1);
+            std::vector<int> out(static_cast<std::size_t>(kCount), 0);
+            ASSERT_EQ(
+                MPI_Allreduce(in.data(), out.data(), kCount, MPI_INT, MPI_SUM, MPI_COMM_WORLD),
+                MPI_SUCCESS);
+            EXPECT_EQ(out.front(), 136);
+        },
+        cfg);
+    EXPECT_EQ(selected("allreduce"), "hierarchical");
+
+    // The still-active preference survives a save: the written profile
+    // carries the same prefer line.
+    std::string const saved = ::testing::TempDir() + "xmpi_tune_prefer_saved.profile";
+    ASSERT_EQ(XMPI_T_tune_save(saved.c_str()), MPI_SUCCESS);
+    std::ifstream in(saved);
+    std::string const text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    EXPECT_EQ(count_occurrences(text, "prefer family=" + std::to_string(family)), 1u) << text;
+    EXPECT_EQ(count_occurrences(text, "alg=" + std::to_string(alg_idx)), 1u) << text;
+    std::remove(path.c_str());
+    std::remove(saved.c_str());
+}
+
+TEST(Tune, GarbagePreferLineDiscardsWholeProfile) {
+    TuneReset const guard;
+    std::string const path = ::testing::TempDir() + "xmpi_tune_bad_prefer.profile";
+    write_file(path,
+               "inter alpha=9e-6\n"
+               "prefer family=1 p=3\n");  // missing bytes= and alg=
+    EnvVar const env("XMPI_TUNE_PROFILE", path);
+    ::testing::internal::CaptureStderr();
+    ASSERT_EQ(XMPI_T_alg_env_refresh(), MPI_SUCCESS);
+    double v = 0;
+    ASSERT_EQ(XMPI_T_tune_get("alpha", &v), MPI_SUCCESS);
+    std::string const err = ::testing::internal::GetCapturedStderr();
+    EXPECT_DOUBLE_EQ(v, 2e-6) << "half-applied profile";  // default, not 9e-6
+    EXPECT_EQ(count_occurrences(err, "XMPI_TUNE_PROFILE"), 1u) << err;
     std::remove(path.c_str());
 }
