@@ -18,8 +18,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <mutex>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "kamping/kamping.hpp"
@@ -919,6 +921,226 @@ int shm_smoke(char const* out_path) {
     return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Asynchronous progress smoke (BENCH_progress.json): invoked as
+// `bench_overhead --progress-smoke [out.json]` instead of the
+// google-benchmark suite. Two legs:
+//
+//  1. Compute overlap (wall time, not vtime): a persistent 1 MiB allreduce
+//     started before a calibrated busy-compute phase and waited after it.
+//     With the engine off the wait drives every schedule step, so wall time
+//     is compute + communication; with it on, the progress threads complete
+//     the communication underneath the compute and the wait degenerates to
+//     an acquire load. The progress-on leg also reads the
+//     progress.app_progress_calls pvar per rank — the overlap claim is only
+//     honest if it completed with ZERO app-thread progress calls.
+//
+//  2. Small-message interference (8 B - 4 KiB blocking allreduce): these
+//     schedules sit below the XMPI_PROGRESS_MIN_BYTES offload gate, so the
+//     engine being armed must not cost the synchronous path more than 10%.
+//
+// Exits nonzero when the overlap win is < 1.3x, any app-thread progress
+// call leaks into the on leg, or interference exceeds 10% at any size.
+// ---------------------------------------------------------------------------
+
+/// Occupies the calling rank for `us` of wall time without polling MPI (the
+/// overlap "compute"): work done away from the library — an accelerator
+/// kernel, I/O, or CPU work on other cores. Sleeping rather than spinning
+/// keeps the measurement meaningful on single-core CI hosts, where a spin
+/// loop would steal the very core the progress engine needs; the conclusion
+/// is the same either way — with the engine off, nothing progresses during
+/// this window, with it on, the communication completes underneath it.
+void compute_phase_us(double us) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(static_cast<long long>(us * 1e3)));
+}
+
+/// One overlap repetition: wall seconds per start/compute/wait round on rank
+/// 0's clock, and (progress-on leg) the worst per-rank app-thread progress
+/// call count observed after the pvar reset.
+double overlap_rep(int count, double compute_us, int rounds, unsigned long long* max_app_calls) {
+    double elapsed = 0;
+    xmpi::run(kRanks, [&](int rank) {
+        std::vector<std::uint64_t> send(static_cast<std::size_t>(count), rank + 1u);
+        std::vector<std::uint64_t> recv(send.size(), 0);
+        MPI_Request req;
+        MPI_Allreduce_init(send.data(), recv.data(), count, MPI_UINT64_T, MPI_SUM,
+                           MPI_COMM_WORLD, MPI_INFO_NULL, &req);
+        MPI_Start(&req);
+        MPI_Wait(&req, MPI_STATUS_IGNORE);  // warmup round
+        int app_calls_idx = -1;
+        if (max_app_calls != nullptr) {
+            int num = 0;
+            XMPI_T_pvar_num(&num);
+            char name[64];
+            for (int i = 0; i < num; ++i) {
+                if (XMPI_T_pvar_name(i, name, sizeof(name), nullptr) == MPI_SUCCESS &&
+                    std::strcmp(name, "progress.app_progress_calls") == 0) {
+                    app_calls_idx = i;
+                    break;
+                }
+            }
+            if (app_calls_idx >= 0) XMPI_T_pvar_reset(app_calls_idx);
+        }
+        auto const t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < rounds; ++r) {
+            MPI_Start(&req);
+            compute_phase_us(compute_us);
+            MPI_Wait(&req, MPI_STATUS_IGNORE);
+            benchmark::DoNotOptimize(recv.data());
+        }
+        auto const t1 = std::chrono::steady_clock::now();
+        if (max_app_calls != nullptr && app_calls_idx >= 0) {
+            unsigned long long calls = 0;
+            int n = 1;
+            XMPI_T_pvar_read(app_calls_idx, &calls, &n);
+            static std::mutex m;
+            std::lock_guard<std::mutex> lock(m);
+            *max_app_calls = std::max(*max_app_calls, calls);
+        }
+        MPI_Request_free(&req);
+        if (rank == 0) elapsed = std::chrono::duration<double>(t1 - t0).count() / rounds;
+    });
+    return elapsed;
+}
+
+double overlap_best(int reps, int count, double compute_us, int rounds,
+                    unsigned long long* max_app_calls) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < reps; ++i)
+        best = std::min(best, overlap_rep(count, compute_us, rounds, max_app_calls));
+    return best;
+}
+
+/// Wall ns per op of a short blocking-allreduce loop at `count` elements.
+double small_allreduce_best(int reps, int count) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+        double elapsed = 0;
+        xmpi::run(kRanks, [&](int rank) {
+            std::vector<std::uint64_t> send(static_cast<std::size_t>(count), 3);
+            std::vector<std::uint64_t> recv(send.size(), 0);
+            MPI_Allreduce(send.data(), recv.data(), count, MPI_UINT64_T, MPI_SUM,
+                          MPI_COMM_WORLD);  // warmup
+            auto const t0 = std::chrono::steady_clock::now();
+            for (int i = 0; i < kInner; ++i) {
+                MPI_Allreduce(send.data(), recv.data(), count, MPI_UINT64_T, MPI_SUM,
+                              MPI_COMM_WORLD);
+                benchmark::DoNotOptimize(recv.data());
+            }
+            auto const t1 = std::chrono::steady_clock::now();
+            if (rank == 0) elapsed = std::chrono::duration<double>(t1 - t0).count() / kInner;
+        });
+        best = std::min(best, elapsed);
+    }
+    return best;
+}
+
+int progress_smoke(char const* out_path) {
+    constexpr int kOverlapCount = 262144;  // 2 MiB of uint64
+    constexpr int kOverlapRounds = 8;
+    constexpr int kReps = 7;
+    constexpr int kSmallReps = 25;
+    constexpr double kRequiredWin = 1.3;
+    constexpr double kMaxInterferencePct = 10.0;
+
+    setenv("XMPI_PROGRESS_THREADS", "2", 1);
+    XMPI_T_alg_env_refresh();
+
+    // Calibrate the compute phase to ~1.25x the communication-only wall
+    // time: long enough that the engine can finish the tape underneath it,
+    // short enough that the sequential (progress-off) baseline pays the
+    // full communication on top — the regime where overlap pays most.
+    XMPI_T_progress_set(0);
+    double const comm_only = overlap_best(kReps, kOverlapCount, 0.0, kOverlapRounds, nullptr);
+    double const compute_us = 1.25 * comm_only * 1e6;
+
+    double const off = overlap_best(kReps, kOverlapCount, compute_us, kOverlapRounds, nullptr);
+    XMPI_T_progress_set(1);
+    unsigned long long app_calls = 0;
+    double const on = overlap_best(kReps, kOverlapCount, compute_us, kOverlapRounds, &app_calls);
+    double const win = on > 0 ? off / on : 0.0;
+
+    // Interference curve: 8 B - 4 KiB stays under the default offload gate.
+    struct Point {
+        int count;
+        double off_ns, on_ns, delta_pct;
+    };
+    std::vector<Point> curve;
+    double worst_delta = 0.0;
+    for (int count : {1, 8, 64, 512}) {
+        XMPI_T_progress_set(0);
+        double const p_off = small_allreduce_best(kSmallReps, count);
+        XMPI_T_progress_set(1);
+        double const p_on = small_allreduce_best(kSmallReps, count);
+        double const delta = p_off > 0 ? (p_on - p_off) / p_off * 100.0 : 0.0;
+        curve.push_back({count, p_off * 1e9, p_on * 1e9, delta});
+        worst_delta = std::max(worst_delta, delta);
+    }
+    XMPI_T_progress_set(-1);
+    unsetenv("XMPI_PROGRESS_THREADS");
+    XMPI_T_alg_env_refresh();
+
+    bool const pass =
+        win >= kRequiredWin && app_calls == 0 && worst_delta <= kMaxInterferencePct;
+
+    std::FILE* const f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "progress-smoke: cannot open %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"progress\",\n"
+                 "  \"overlap_persistent_allreduce\": {\n"
+                 "    \"ranks\": %d,\n"
+                 "    \"payload_bytes\": %lld,\n"
+                 "    \"progress_threads\": 2,\n"
+                 "    \"rounds_per_rep\": %d,\n"
+                 "    \"repetitions\": %d,\n"
+                 "    \"comm_only_us_per_op\": %.2f,\n"
+                 "    \"compute_us_per_op\": %.2f,\n"
+                 "    \"progress_off_us_per_op\": %.2f,\n"
+                 "    \"progress_on_us_per_op\": %.2f,\n"
+                 "    \"wall_time_win\": %.3f,\n"
+                 "    \"app_progress_calls_with_engine\": %llu\n"
+                 "  },\n"
+                 "  \"small_message_interference\": [\n",
+                 kRanks,
+                 static_cast<long long>(kOverlapCount) *
+                     static_cast<long long>(sizeof(std::uint64_t)),
+                 kOverlapRounds, kReps, comm_only * 1e6, compute_us, off * 1e6, on * 1e6, win,
+                 app_calls);
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+        Point const& p = curve[i];
+        std::fprintf(f,
+                     "    {\"bytes\": %lld, \"progress_off_ns_per_op\": %.1f, "
+                     "\"progress_on_ns_per_op\": %.1f, \"delta_pct\": %.2f}%s\n",
+                     static_cast<long long>(p.count) * static_cast<long long>(sizeof(std::uint64_t)),
+                     p.off_ns, p.on_ns, p.delta_pct, i + 1 < curve.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"acceptance\": {\n"
+                 "    \"required_overlap_win\": %.2f,\n"
+                 "    \"max_interference_pct\": %.1f,\n"
+                 "    \"worst_interference_pct\": %.2f,\n"
+                 "    \"pass\": %s\n"
+                 "  }\n"
+                 "}\n",
+                 kRequiredWin, kMaxInterferencePct, worst_delta, pass ? "true" : "false");
+    std::fclose(f);
+
+    std::fprintf(stderr,
+                 "progress-smoke: overlap off %.1fus on %.1fus (win %.2fx, need %.2fx), "
+                 "app progress calls %llu; worst interference %+.2f%% -> %s\n",
+                 off * 1e6, on * 1e6, win, kRequiredWin, app_calls, worst_delta, out_path);
+    if (!pass) {
+        std::fprintf(stderr, "progress-smoke: FAILED\n");
+        return 1;
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -928,6 +1150,9 @@ int main(int argc, char** argv) {
         }
         if (std::string(argv[i]) == "--shm-smoke") {
             return shm_smoke(i + 1 < argc ? argv[i + 1] : "BENCH_shm.json");
+        }
+        if (std::string(argv[i]) == "--progress-smoke") {
+            return progress_smoke(i + 1 < argc ? argv[i + 1] : "BENCH_progress.json");
         }
     }
     benchmark::Initialize(&argc, argv);

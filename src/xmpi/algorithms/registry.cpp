@@ -16,6 +16,7 @@
 #include <string>
 
 #include "../env.hpp"
+#include "../progress.hpp"
 #include "../shm/shm.hpp"
 #include "../topo/topo.hpp"
 #include "../tune/tune.hpp"
@@ -180,6 +181,11 @@ std::atomic<int> g_env_sched_cache{-1};         ///< -1 = unset/invalid
 std::atomic<long long> g_forced_segment{0};  ///< control pin; 0 = automatic
 std::atomic<int> g_forced_cache{-1};         ///< control pin; -1 = automatic
 
+/// XMPI_HIER_FIT switch for the measured hierarchical correction ratios
+/// below (1 = apply, 0 = raw closed-form costs; default on). Resolved with
+/// the tuning environment, re-armed by XMPI_T_alg_env_refresh.
+std::atomic<int> g_env_hier_fit{1};
+
 /// Pushes the effective segment override (control > env > none) into the
 /// shared model hook so builders and cost formulas segment identically.
 void publish_segment_override() {
@@ -214,8 +220,20 @@ void resolve_tuning_env_locked() {
                          env);
         }
     }
+    int hier_fit = 1;
+    if (char const* env = std::getenv("XMPI_HIER_FIT"); env != nullptr && *env != '\0') {
+        if (iequals(env, "0") || iequals(env, "off")) {
+            hier_fit = 0;
+        } else if (!iequals(env, "1") && !iequals(env, "on")) {
+            std::fprintf(stderr,
+                         "xmpi: XMPI_HIER_FIT=\"%s\" is not 0/1 (or off/on); "
+                         "the fitted hierarchical correction stays enabled\n",
+                         env);
+        }
+    }
     g_env_segment_bytes.store(seg, std::memory_order_relaxed);
     g_env_sched_cache.store(cache, std::memory_order_relaxed);
+    g_env_hier_fit.store(hier_fit, std::memory_order_relaxed);
     publish_segment_override();
     g_tuning_resolved.store(true, std::memory_order_release);
 }
@@ -258,19 +276,37 @@ int resolve_env(Family f) {
 /// intra-phase variants join each composition's candidate set — the
 /// builders take the same minimum, so "hierarchical" stays one registry
 /// entry whose internal shape follows the transport switch.
+/// Measured correction applied to each hierarchical composition's
+/// closed-form cost: geometric mean of simulated/modeled makespan over the
+/// recorded divergence sweep (BENCH_sim.json "divergences", fit_ratio
+/// field). The closed forms systematically overprice the compositions that
+/// overlap their intra- and inter-node phases — worst for allreduce, whose
+/// reduce-scatter/leader/bcast phases pipeline across nodes — so without
+/// the ratio the selector under-picks "hierarchical" near the crossover
+/// sizes. Ratios of 1.0 mean the recorded sweep found no systematic bias.
+/// XMPI_HIER_FIT=0 restores the raw costs (regression-tested).
+constexpr double kHierFitRatio[kFamilies] = {
+    /*bcast=*/1.0, /*reduce=*/0.992528866, /*allgather=*/1.0,
+    /*allreduce=*/0.803476613, /*alltoall=*/0.94862726,
+};
+
 double hier_cost(Family f, bench::model::TwoTier const& t, bench::model::NodeShape const& shape,
                  double p, double bytes, bool commutative, bool elementwise) {
     bool const shm = shm::enabled();
+    double c = std::numeric_limits<double>::infinity();
     switch (f) {
-        case Family::bcast: return bench::model::bcast_hier(t, shape, p, bytes, shm);
-        case Family::reduce: return bench::model::reduce_hier(t, shape, p, bytes, shm);
-        case Family::allgather: return bench::model::allgather_hier(t, shape, p, bytes, shm);
+        case Family::bcast: c = bench::model::bcast_hier(t, shape, p, bytes, shm); break;
+        case Family::reduce: c = bench::model::reduce_hier(t, shape, p, bytes, shm); break;
+        case Family::allgather: c = bench::model::allgather_hier(t, shape, p, bytes, shm); break;
         case Family::allreduce:
-            return bench::model::allreduce_hier(t, shape, p, bytes, commutative, elementwise,
-                                                shm);
-        case Family::alltoall: return bench::model::alltoall_hier(t, shape, p, bytes);
+            c = bench::model::allreduce_hier(t, shape, p, bytes, commutative, elementwise, shm);
+            break;
+        case Family::alltoall: c = bench::model::alltoall_hier(t, shape, p, bytes); break;
     }
-    return std::numeric_limits<double>::infinity();  // unreachable
+    if (g_env_hier_fit.load(std::memory_order_relaxed) != 0) {
+        c *= kHierFitRatio[static_cast<int>(f)];
+    }
+    return c;
 }
 
 }  // namespace
@@ -543,6 +579,7 @@ int XMPI_T_alg_env_refresh(void) {
     xmpi::detail::tune::refresh_env();
     xmpi::detail::trace::refresh_env();
     xmpi::detail::shm::refresh_env();
+    xmpi::detail::progress::refresh_env();
     bump_sched_epoch();
     return MPI_SUCCESS;
 }
@@ -585,6 +622,18 @@ int XMPI_T_shm_set(int enabled) {
 int XMPI_T_shm_get(int* enabled) {
     if (enabled == nullptr) return MPI_ERR_ARG;
     *enabled = xmpi::detail::shm::enabled() ? 1 : 0;
+    return MPI_SUCCESS;
+}
+
+int XMPI_T_progress_set(int enabled) {
+    if (enabled < -1 || enabled > 1) return MPI_ERR_ARG;
+    xmpi::detail::progress::set_forced(enabled);
+    return MPI_SUCCESS;
+}
+
+int XMPI_T_progress_get(int* enabled) {
+    if (enabled == nullptr) return MPI_ERR_ARG;
+    *enabled = xmpi::detail::progress::enabled() ? 1 : 0;
     return MPI_SUCCESS;
 }
 

@@ -6,6 +6,7 @@
 
 #include <cstring>
 
+#include "../progress.hpp"
 #include "../shm/shm.hpp"
 
 namespace xmpi::detail::alg {
@@ -63,8 +64,7 @@ std::byte* Schedule::alloc(std::size_t bytes) {
     c.used += aligned;
     scratch_bytes_ += bytes;
     if (RankState* rs = tls_rank(); rs != nullptr) {
-        if (scratch_bytes_ > rs->counters.schedule_peak_scratch_bytes)
-            rs->counters.schedule_peak_scratch_bytes = scratch_bytes_;
+        rs->counters.schedule_peak_scratch_bytes.merge_max(scratch_bytes_);
     }
     return p;
 }
@@ -112,6 +112,7 @@ void Schedule::copy_get(int cell, int producer, void* dst, long long src_byte_of
     s.count = count;
     s.type = t;
     s.src_off = src_byte_off;
+    comm_bytes_ += static_cast<std::uint64_t>(count) * static_cast<std::uint64_t>(t->size);
     steps_.push_back(std::move(s));
 }
 
@@ -225,6 +226,8 @@ bool Schedule::advance(bool blocking, int* err) {
                              static_cast<std::uint32_t>(st.peer),
                              rs->vnow + rs->universe->cfg.copy_sync);
                 shm::stats_add_publish();
+                // Peer schedules parked on this cell may be engine-driven.
+                progress::stimulate(comm_->universe, -1);
                 break;
             }
             case Step::Kind::copy_get: {
@@ -246,7 +249,10 @@ bool Schedule::advance(bool blocking, int* err) {
                                             static_cast<std::uint64_t>(st.type->size);
                 copy_typed(st.rbuf, src, st.count, st.type);
                 shm::ack(*shm_block_, *st.cell);
-                if (arrival > rs->vnow) rs->vnow = arrival;
+                // The producer (possibly engine-driven) may be parked in
+                // wait_drained on this cell.
+                progress::stimulate(comm_->universe, -1);
+                rs->vnow.advance_to(arrival);
                 rs->vnow += rs->universe->cfg.gamma_copy * static_cast<double>(bytes);
                 ++rs->counters.shm_copies;
                 rs->counters.shm_copy_bytes += bytes;
@@ -354,8 +360,11 @@ int launch_nonblocking(MPI_Comm comm, std::shared_ptr<Schedule> s, int init_erro
         *request = req;
         return MPI_SUCCESS;
     }
-    req->progress = schedule_progress(std::move(s));
-    req->progress(req);
+    req->progress = schedule_progress(s);
+    // Hand the armed schedule to the asynchronous progress engine when it is
+    // running and the schedule clears the offload gate; otherwise run the
+    // classic inline first pass (wait/test drive the rest).
+    if (!progress::offload(req->owner, std::move(s), req)) req->progress(req);
     *request = req;
     return MPI_SUCCESS;
 }
@@ -373,8 +382,11 @@ int launch_persistent(MPI_Comm comm, std::shared_ptr<Schedule> s, MPI_Request* r
         trace::ev(trace::Ev::sched_arm, -1, -1, 0, s->seq());
         s->reset();
         rq->error = MPI_SUCCESS;
+        rq->offloaded = false;  // re-evaluated per start (controls may flip)
         rq->complete.store(false, std::memory_order_release);
-        rq->progress(rq);  // one pass so trivial schedules complete at start
+        if (!progress::offload(rq->owner, s, rq)) {
+            rq->progress(rq);  // one pass so trivial schedules complete at start
+        }
         return MPI_SUCCESS;
     };
     *request = req;

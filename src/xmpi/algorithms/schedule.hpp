@@ -194,6 +194,7 @@ public:
         s.sbuf = buf;
         s.count = count;
         s.type = t;
+        comm_bytes_ += static_cast<std::uint64_t>(count) * static_cast<std::uint64_t>(t->size);
         steps_.push_back(std::move(s));
     }
 
@@ -313,6 +314,18 @@ public:
 
     MPI_Comm comm() const { return comm_; }
 
+    /// Payload bytes this rank's program puts on the wire per execution
+    /// (send steps plus shared-memory gets): the transfer volume an
+    /// asynchronous progress thread could hide. Input to the offload gate.
+    std::uint64_t comm_bytes() const { return comm_bytes_; }
+
+    /// Current step cursor (monotone within one execution; reset() rewinds
+    /// it). The progress engine diffs it around advance() calls to account
+    /// `progress.steps_advanced`.
+    std::size_t pos() const { return pos_; }
+
+    std::size_t step_count() const { return steps_.size(); }
+
 private:
     /// Unlinks and frees every outstanding posted receive (error paths and
     /// destruction); safe to call only from the owning rank's thread.
@@ -385,6 +398,7 @@ private:
     std::vector<Chunk> arena_;
     std::size_t arena_cap_ = 0;      ///< sum of chunk capacities
     std::size_t scratch_bytes_ = 0;  ///< sum of requested alloc() sizes
+    std::uint64_t comm_bytes_ = 0;   ///< per-execution send + shm-get payload
     std::vector<xmpi_request_t*> reqs_;
     DrySink* dry_ = nullptr;  ///< non-null while in dry-build (tape) mode
 

@@ -428,6 +428,15 @@ int XMPI_T_sched_cache_get(int* enabled);
 int XMPI_T_shm_set(int enabled);
 /// Reports whether the shm transport is effectively enabled (0/1).
 int XMPI_T_shm_get(int* enabled);
+/// Enables (1) / disables (0) the asynchronous progress engine for
+/// universes started after the call; -1 restores automatic resolution
+/// (XMPI_ASYNC_PROGRESS, then off by default). With the engine on,
+/// nonblocking and started-persistent collective schedules whose payload
+/// clears XMPI_PROGRESS_MIN_BYTES are advanced by dedicated progress
+/// threads, so they complete without any wait/test-side progress calls.
+int XMPI_T_progress_set(int enabled);
+/// Reports whether the progress engine is effectively enabled (0/1).
+int XMPI_T_progress_get(int* enabled);
 /// Reports the calling rank's schedule accounting (any pointer may be
 /// null): schedules built, cache hits, cache evictions, and the largest
 /// single-schedule scratch working set in bytes. Callable only from inside

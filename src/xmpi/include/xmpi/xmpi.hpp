@@ -11,6 +11,7 @@
 /// @endcode
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -64,19 +65,65 @@ struct Config {
     double compute_scale = 1.0;
     /// Stack size per rank thread in bytes.
     std::size_t stack_size = 1u << 20;
+    /// Modeled latency (seconds) of handing a schedule to the asynchronous
+    /// progress engine and waking a parked progress thread. The offload
+    /// gate keeps a schedule on the synchronous path when the transfer time
+    /// the engine could hide is smaller than this wakeup cost (see
+    /// XMPI_ASYNC_PROGRESS / XMPI_PROGRESS_MIN_BYTES in the README).
+    double progress_wakeup = 1e-5;
+};
+
+/// One statistic cell of Counters: a relaxed atomic counter that copies by
+/// value and converts like the plain integer it replaces. Counters used to
+/// be plain uint64_t fields written only by the owning rank thread; with the
+/// asynchronous progress engine a schedule may be advanced by a progress
+/// thread concurrently with the owner's own point-to-point traffic, so each
+/// cell is independently atomic (relaxed: these are statistics, ordering is
+/// carried by the request-completion release/acquire pair).
+struct Stat {
+    std::atomic<std::uint64_t> v{0};
+
+    Stat() = default;
+    Stat(std::uint64_t x) : v(x) {}
+    Stat(Stat const& o) : v(o.v.load(std::memory_order_relaxed)) {}
+    Stat& operator=(Stat const& o) {
+        v.store(o.v.load(std::memory_order_relaxed), std::memory_order_relaxed);
+        return *this;
+    }
+    Stat& operator=(std::uint64_t x) {
+        v.store(x, std::memory_order_relaxed);
+        return *this;
+    }
+    operator std::uint64_t() const { return v.load(std::memory_order_relaxed); }
+    std::uint64_t load() const { return v.load(std::memory_order_relaxed); }
+    Stat& operator+=(std::uint64_t x) {
+        v.fetch_add(x, std::memory_order_relaxed);
+        return *this;
+    }
+    Stat& operator++() {
+        v.fetch_add(1, std::memory_order_relaxed);
+        return *this;
+    }
+    /// Monotone maximum (used by the peak-scratch statistic, which may be
+    /// probed concurrently by pvar readers).
+    void merge_max(std::uint64_t x) {
+        std::uint64_t cur = v.load(std::memory_order_relaxed);
+        while (x > cur && !v.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+        }
+    }
 };
 
 /// Per-rank communication counters, aggregated into RunResult.
 struct Counters {
-    std::uint64_t p2p_messages = 0;
-    std::uint64_t p2p_bytes = 0;
-    std::uint64_t coll_messages = 0;
-    std::uint64_t coll_bytes = 0;
+    Stat p2p_messages;
+    Stat p2p_bytes;
+    Stat coll_messages;
+    Stat coll_bytes;
     /// Messages/bytes between ranks on the same node of the configured
     /// topology (always 0 on a flat topology). p2p and collective combined;
     /// the inter-node share is the total minus these.
-    std::uint64_t intra_node_messages = 0;
-    std::uint64_t intra_node_bytes = 0;
+    Stat intra_node_messages;
+    Stat intra_node_bytes;
     /// @name Collective schedule-compilation accounting (also exposed inside
     /// a rank via XMPI_T_sched_stats). A "build" materializes a schedule's
     /// step program and arena (one-shot miss or persistent init); a "hit"
@@ -84,19 +131,19 @@ struct Counters {
     /// schedule instead; an "eviction" drops a cache entry (LRU pressure or
     /// an epoch bump from XMPI_T_alg_set / env refresh / topology change).
     /// @{
-    std::uint64_t schedule_builds = 0;
-    std::uint64_t schedule_cache_hits = 0;
-    std::uint64_t schedule_cache_evictions = 0;
+    Stat schedule_builds;
+    Stat schedule_cache_hits;
+    Stat schedule_cache_evictions;
     /// Largest single-schedule scratch working set seen (bytes). Aggregated
     /// by max, not sum.
-    std::uint64_t schedule_peak_scratch_bytes = 0;
+    Stat schedule_peak_scratch_bytes;
     /// @}
     /// @name Shared-memory transport accounting: direct peer-buffer copies
     /// performed by `copy` schedule steps (get side; publishes are free) and
     /// the bytes they moved. Always 0 with the transport disabled.
     /// @{
-    std::uint64_t shm_copies = 0;
-    std::uint64_t shm_copy_bytes = 0;
+    Stat shm_copies;
+    Stat shm_copy_bytes;
     /// @}
 
     Counters& operator+=(Counters const& other) {
@@ -109,8 +156,7 @@ struct Counters {
         schedule_builds += other.schedule_builds;
         schedule_cache_hits += other.schedule_cache_hits;
         schedule_cache_evictions += other.schedule_cache_evictions;
-        if (other.schedule_peak_scratch_bytes > schedule_peak_scratch_bytes)
-            schedule_peak_scratch_bytes = other.schedule_peak_scratch_bytes;
+        schedule_peak_scratch_bytes.merge_max(other.schedule_peak_scratch_bytes);
         shm_copies += other.shm_copies;
         shm_copy_bytes += other.shm_copy_bytes;
         return *this;

@@ -29,6 +29,10 @@ namespace shm {
 struct State;
 }  // namespace shm
 
+namespace progress {
+class Engine;
+}  // namespace progress
+
 // ---------------------------------------------------------------------------
 // Datatypes
 // ---------------------------------------------------------------------------
@@ -126,13 +130,44 @@ struct Mailbox {
 // ---------------------------------------------------------------------------
 // Rank state
 // ---------------------------------------------------------------------------
+
+/// A rank's virtual clock. Plain double semantics at the call sites, but
+/// independently atomic underneath: with the asynchronous progress engine a
+/// schedule owned by rank R may be advanced by a progress thread while R's
+/// own application thread keeps charging compute, so reads and updates must
+/// not tear. Updates use CAS loops (no lost increments within one
+/// operation); cross-thread *ordering* of clock advances during genuine
+/// overlap is inherently approximate — completion values are made coherent
+/// by the request's release/acquire completion flag.
+struct VTime {
+    std::atomic<double> v{0.0};
+
+    operator double() const { return v.load(std::memory_order_relaxed); }
+    VTime& operator=(double x) {
+        v.store(x, std::memory_order_relaxed);
+        return *this;
+    }
+    VTime& operator+=(double dt) {
+        double cur = v.load(std::memory_order_relaxed);
+        while (!v.compare_exchange_weak(cur, cur + dt, std::memory_order_relaxed)) {
+        }
+        return *this;
+    }
+    /// Monotone advance to at least `t` (message arrival semantics).
+    void advance_to(double t) {
+        double cur = v.load(std::memory_order_relaxed);
+        while (t > cur && !v.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
+        }
+    }
+};
+
 struct RankState {
     Universe* universe = nullptr;
     int world_rank = 0;
     Mailbox mbox;
 
     // Virtual clock.
-    double vnow = 0.0;
+    VTime vnow;
     double last_cpu = 0.0;  // last sampled thread CPU time
 
     std::atomic<bool> dead{false};
@@ -145,6 +180,13 @@ struct RankState {
     /// user-visible aggregate struct; this is exposed via the
     /// `p2p.wait_time_ns` pvar instead.
     std::uint64_t wait_time_ns = 0;
+
+    /// Number of generalized-request progress invocations made from this
+    /// rank's application thread (wait/test/free paths). The overlap test
+    /// and `bench_overhead --progress-smoke` assert this stays zero while
+    /// the asynchronous progress engine owns the armed schedules. Exposed
+    /// via the `progress.app_progress_calls` pvar.
+    std::uint64_t app_progress_calls = 0;
 
     /// Event-trace ring; non-null only while this universe is traced
     /// (XMPI_TRACE set). Written exclusively by the owning rank thread.
@@ -178,6 +220,15 @@ struct Universe {
     /// map; shared_ptr for the type-erased deleter, the full type is only
     /// visible to the transport and the schedule executor.
     std::shared_ptr<shm::State> shm;
+    /// Asynchronous progress engine; non-null only when XMPI_ASYNC_PROGRESS
+    /// (or the XMPI_T_progress_set control) enabled it at universe start.
+    /// shared_ptr for the type-erased deleter — progress::Engine is complete
+    /// only inside progress.cpp and its clients.
+    std::shared_ptr<progress::Engine> progress_engine;
+    /// Trace rings owned by the progress-engine threads (one per engine
+    /// thread, allocated via trace::add_engine_ring before rank threads
+    /// exist, merged into the timeline at trace::end_universe).
+    std::vector<std::unique_ptr<trace::Ring>> engine_trace_rings;
 };
 
 /// Thread-local pointer to the calling rank's state (null outside ranks).
@@ -193,6 +244,11 @@ void charge_compute(RankState* rs);
 /// Wakes every rank blocked on its mailbox (used on rank death / revoke so
 /// blocked operations re-evaluate their failure predicates).
 void wake_all(Universe* u);
+
+/// Wakes one rank blocked on its mailbox condition variable (lock-empty
+/// critical section, so a concurrently parking waiter cannot miss the
+/// notify). Used by the progress engine to publish schedule completion.
+void wake_rank(RankState* rs);
 
 // ---------------------------------------------------------------------------
 // Communicators
@@ -229,8 +285,10 @@ struct xmpi_comm_t {
     std::uint64_t coll_seq = 0;
     /// Revoke fast-path cache: re-checked against the global registry when
     /// the revoke epoch moves (revokes are rare; the hot path is one load).
-    std::uint64_t seen_revoke_epoch = 0;
-    bool revoked_cached = false;
+    /// Atomic because the progress engine re-evaluates revocation on behalf
+    /// of the owner while the owner may do the same on its own operations.
+    std::atomic<std::uint64_t> seen_revoke_epoch{0};
+    std::atomic<bool> revoked_cached{false};
     /// Acknowledged failures (ULFM): operations ignore acked dead ranks for
     /// MPI_ANY_SOURCE receives.
     std::vector<int> acked_failures;
@@ -294,6 +352,14 @@ struct xmpi_request_t {
     // from here): progress state machine. Invoked with the owner's mailbox
     // *unlocked*; returns completion.
     std::function<bool(xmpi_request_t*)> progress;
+
+    /// True while the asynchronous progress engine owns this generalized
+    /// request's schedule: wait/test/free must NOT invoke `progress` and
+    /// instead park on the completion flag (the engine wakes the owner).
+    /// Written by the initiating/starting application thread before the
+    /// handle can be observed by wait/test on that same thread; cleared on
+    /// each persistent restart that stays synchronous.
+    bool offloaded = false;
 };
 
 namespace xmpi::detail {

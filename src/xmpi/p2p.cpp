@@ -10,8 +10,18 @@
 #include <chrono>
 
 #include "internal.hpp"
+#include "progress.hpp"
 
 namespace xmpi::detail {
+
+/// Wakes a remote rank blocked on its own mailbox (lock-empty critical
+/// section avoids lost wakeups without holding two mailbox mutexes). Also
+/// used by the asynchronous progress engine to wake an owner parked in
+/// wait_one on an offloaded schedule.
+void wake_rank(RankState* rs) {
+    { std::lock_guard<std::mutex> lock(rs->mbox.m); }
+    rs->mbox.cv.notify_all();
+}
 
 namespace {
 
@@ -46,13 +56,6 @@ void unlink_posted(RankState* self, xmpi_request_t* req) {
     auto& posted = self->mbox.posted;
     posted.erase(std::remove(posted.begin(), posted.end(), req), posted.end());
     req->posted = false;
-}
-
-/// Wakes a remote rank blocked on its own mailbox (lock-empty critical
-/// section avoids lost wakeups without holding two mailbox mutexes).
-void wake_rank(RankState* rs) {
-    { std::lock_guard<std::mutex> lock(rs->mbox.m); }
-    rs->mbox.cv.notify_all();
 }
 
 /// Wall-clock accounting for blocking waits. The steady clock is sampled
@@ -129,7 +132,7 @@ void attach_recv(RankState* self, xmpi_request_t* req) {
         for (auto it = ux.begin(); it != ux.end(); ++it) {
             if (match(req->context, req->match_src, req->match_tag, *it)) {
                 tok = it->ssend;
-                if (tok) tok->match_vtime = std::max(self->vnow, it->arrival) + it->ack_alpha;
+                if (tok) tok->match_vtime = std::max<double>(self->vnow, it->arrival) + it->ack_alpha;
                 fill_recv(req, *it);
                 ux.erase(it);
                 matched = true;
@@ -194,6 +197,7 @@ int deposit(RankState* sender, MPI_Comm comm, int context, int dest_comm_rank, i
     {
         std::lock_guard<std::mutex> lock(dest->mbox.m);
         auto& posted = dest->mbox.posted;
+        bool matched = false;
         for (auto it = posted.begin(); it != posted.end(); ++it) {
             xmpi_request_t* pr = *it;
             if (match(pr->context, pr->match_src, pr->match_tag, env)) {
@@ -203,13 +207,17 @@ int deposit(RankState* sender, MPI_Comm comm, int context, int dest_comm_rank, i
                     sync->match_vtime = env.arrival + env.ack_alpha;
                     sync->matched.store(true, std::memory_order_release);
                 }
-                dest->mbox.cv.notify_all();
-                return MPI_SUCCESS;
+                matched = true;
+                break;
             }
         }
-        dest->mbox.unexpected.push_back(std::move(env));
+        if (!matched) dest->mbox.unexpected.push_back(std::move(env));
         dest->mbox.cv.notify_all();
     }
+    // An offloaded schedule owned by the destination may be parked waiting
+    // for exactly this message: nudge its progress worker (no-op when the
+    // engine is off).
+    progress::stimulate(u, dest_w);
     return MPI_SUCCESS;
 }
 
@@ -250,7 +258,7 @@ int wait_one(xmpi_request_t* req, MPI_Status* status) {
 
     switch (req->kind) {
         case xmpi_request_t::Kind::send: {
-            self->vnow = std::max(self->vnow, req->completion_vtime);
+            self->vnow.advance_to(req->completion_vtime);
             fill_empty_status(status);
             int const err = req->error;
             retire(req);
@@ -278,7 +286,7 @@ int wait_one(xmpi_request_t* req, MPI_Status* status) {
                 retire(req);
                 return err;
             }
-            self->vnow = std::max(self->vnow, req->completion_vtime);
+            self->vnow.advance_to(req->completion_vtime);
             if (status != nullptr) *status = req->status;
             trace::ev(trace::Ev::recv_done, req->comm->world_of(req->status.MPI_SOURCE),
                       req->status.MPI_TAG, static_cast<std::uint64_t>(req->status._bytes), ctx);
@@ -306,7 +314,7 @@ int wait_one(xmpi_request_t* req, MPI_Status* status) {
                 }
             }
             timer.finish(self, req->match_tag, ctx);
-            if (err == MPI_SUCCESS) self->vnow = std::max(self->vnow, req->tok->match_vtime);
+            if (err == MPI_SUCCESS) self->vnow.advance_to(req->tok->match_vtime);
             fill_empty_status(status);
             retire(req);
             return err;
@@ -316,14 +324,23 @@ int wait_one(xmpi_request_t* req, MPI_Status* status) {
             auto const ctx = static_cast<std::uint64_t>(req->context);
             WaitTimer timer;
             while (!req->complete.load(std::memory_order_acquire)) {
-                if (req->progress(req)) break;
+                // An offloaded schedule is driven entirely by the progress
+                // engine: the app thread parks and the engine's completion
+                // wakes it. Otherwise the app thread drives the schedule
+                // itself — those calls are counted so the overlap tests can
+                // assert the wait side did zero progress work under the
+                // engine.
+                if (!req->offloaded) {
+                    ++self->app_progress_calls;
+                    if (req->progress(req)) break;
+                }
                 std::unique_lock<std::mutex> lock(self->mbox.m);
                 if (req->complete.load(std::memory_order_acquire)) break;
                 timer.about_to_sleep(-1, ctx);
                 self->mbox.cv.wait_for(lock, 200us);
             }
             timer.finish(self, -1, ctx);
-            self->vnow = std::max(self->vnow, req->completion_vtime);
+            self->vnow.advance_to(req->completion_vtime);
             fill_empty_status(status);
             int const err = req->error;
             retire(req);
@@ -353,7 +370,7 @@ int test_one(xmpi_request_t* req, int* flag, MPI_Status* status) {
     charge_compute(self);
 
     auto consume_success = [&](double completion, MPI_Status const* st) {
-        self->vnow = std::max(self->vnow, completion);
+        self->vnow.advance_to(completion);
         if (status != nullptr) {
             if (st != nullptr)
                 *status = *st;
@@ -426,7 +443,12 @@ int test_one(xmpi_request_t* req, int* flag, MPI_Status* status) {
             return MPI_SUCCESS;
         }
         case xmpi_request_t::Kind::generalized: {
-            if (req->complete.load(std::memory_order_acquire) || req->progress(req)) {
+            bool done = req->complete.load(std::memory_order_acquire);
+            if (!done && !req->offloaded) {
+                ++self->app_progress_calls;
+                done = req->progress(req);
+            }
+            if (done) {
                 consume_success(req->completion_vtime, nullptr);
                 int const err = req->error;
                 retire(req);
@@ -595,7 +617,7 @@ int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status) {
                     *status = MPI_Status{env.src, env.tag, MPI_SUCCESS,
                                          static_cast<int>(env.bytes.size())};
                 }
-                self->vnow = std::max(self->vnow, env.arrival);
+                self->vnow.advance_to(env.arrival);
                 return MPI_SUCCESS;
             }
         }
@@ -624,7 +646,7 @@ int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag, MPI_Status* status
                 *status =
                     MPI_Status{env.src, env.tag, MPI_SUCCESS, static_cast<int>(env.bytes.size())};
             }
-            self->vnow = std::max(self->vnow, env.arrival);
+            self->vnow.advance_to(env.arrival);
             return MPI_SUCCESS;
         }
     }
@@ -814,7 +836,10 @@ int MPI_Request_free(MPI_Request* request) {
         // blocking collective would.
         using namespace std::chrono_literals;
         while (!req->complete.load(std::memory_order_acquire)) {
-            if (req->progress(req)) break;
+            if (!req->offloaded) {
+                ++self->app_progress_calls;
+                if (req->progress(req)) break;
+            }
             std::unique_lock<std::mutex> lock(self->mbox.m);
             if (req->complete.load(std::memory_order_acquire)) break;
             self->mbox.cv.wait_for(lock, 200us);

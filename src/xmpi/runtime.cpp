@@ -14,6 +14,7 @@
 #include <unordered_set>
 
 #include "internal.hpp"
+#include "progress.hpp"
 #include "shm/shm.hpp"
 
 namespace xmpi::detail {
@@ -48,6 +49,12 @@ double thread_cpu_now() {
 }
 
 void charge_compute(RankState* rs) {
+    // A progress thread adopts the owner's identity (tls_rank) while it
+    // advances an offloaded schedule, but its CPU clock is its *own*
+    // per-thread clock: sampling it here would corrupt the owner's last_cpu
+    // anchor and charge engine bookkeeping as application compute. The
+    // owner's thread keeps charging its real compute at its next MPI call.
+    if (progress::on_progress_thread()) return;
     double const cpu = thread_cpu_now();
     rs->vnow += (cpu - rs->last_cpu) * rs->universe->cfg.compute_scale;
     rs->last_cpu = cpu;
@@ -58,6 +65,10 @@ void wake_all(Universe* u) {
         std::lock_guard<std::mutex> lock(r->mbox.m);
         r->mbox.cv.notify_all();
     }
+    // Dead-rank / revoke predicates are also re-evaluated by parked progress
+    // threads (their nonblocking protocol waits return before the failure
+    // polls, so they rely on this nudge plus their park timeout).
+    progress::stimulate(u, -1);
 }
 
 bool rank_dead(Universe* u, int w) {
@@ -181,6 +192,12 @@ RunResult run(int num_ranks, std::function<void(int)> const& body, Config const&
     // emit; a no-op when XMPI_TRACE is unset.
     detail::trace::begin_universe(*universe);
 
+    // Spawn the asynchronous progress engine (after trace rings exist — the
+    // engine threads register their own rings — and before any rank thread
+    // can arm a schedule); a no-op unless XMPI_ASYNC_PROGRESS / the
+    // XMPI_T_progress_set control enabled it.
+    detail::progress::start(universe.get());
+
     std::vector<ThreadArg> args(static_cast<std::size_t>(num_ranks));
     std::vector<pthread_t> threads(static_cast<std::size_t>(num_ranks));
     pthread_attr_t attr;
@@ -197,12 +214,17 @@ RunResult run(int num_ranks, std::function<void(int)> const& body, Config const&
             // Join what we started before reporting.
             for (int j = 0; j < r; ++j) pthread_join(threads[static_cast<std::size_t>(j)], nullptr);
             pthread_attr_destroy(&attr);
+            detail::progress::stop(universe.get());
             throw std::runtime_error{"xmpi::run: pthread_create failed"};
         }
     }
     for (int r = 0; r < num_ranks; ++r) pthread_join(threads[static_cast<std::size_t>(r)], nullptr);
     pthread_attr_destroy(&attr);
     auto const wall_end = std::chrono::steady_clock::now();
+
+    // Stop and join the progress engine before trace export and counter
+    // aggregation: after this point no thread mutates rank state.
+    detail::progress::stop(universe.get());
 
     // All rank threads have joined: merge the per-rank rings and export the
     // Chrome trace-event JSON (MPI_Finalize is a no-op in a threads-as-ranks

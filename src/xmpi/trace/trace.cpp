@@ -20,6 +20,7 @@
 #include "../algorithms/algorithms.hpp"
 #include "../env.hpp"
 #include "../internal.hpp"
+#include "../progress.hpp"
 #include "../shm/shm.hpp"
 
 namespace xmpi::detail::trace {
@@ -113,15 +114,35 @@ char const* ev_name(Ev kind) {
         "wait_begin", "wait_end",   "sched_build", "sched_cache_hit", "sched_arm",
         "step.send",  "step.post",  "step.wait",  "step.local", "sched_done",
         "tune_probe", "tune_demote", "tune_recover", "step.copy_pub", "step.copy_get",
+        "prog.offload", "prog.step", "prog.complete",
     };
     auto const k = static_cast<std::size_t>(kind);
     return k < names.size() ? names[k] : "?";
 }
 
+namespace {
+
+/// Engine-thread binding: a progress thread adopts the owning rank's
+/// identity (tls_rank) but must never write that rank's single-writer ring.
+/// Its events go to its own ring, tagged with lane 1 + thread index in
+/// Record::pad (lane 0 = the owning rank's lane).
+thread_local bool t_engine_thread = false;
+thread_local Ring* t_engine_ring = nullptr;
+thread_local int t_engine_idx = 0;
+
+}  // namespace
+
 void emit(Ev kind, int peer, int tag, std::uint64_t bytes, std::uint64_t seq, int family,
           int alg) {
     RankState* const rs = tls_rank();
-    if (rs == nullptr || rs->trace_ring == nullptr) return;
+    if (rs == nullptr) return;
+    Ring* ring = rs->trace_ring.get();
+    std::uint8_t lane = 0;
+    if (t_engine_thread) {
+        ring = t_engine_ring;
+        lane = static_cast<std::uint8_t>(1 + t_engine_idx);
+    }
+    if (ring == nullptr) return;
     Record r;
     r.vtime = rs->vnow;
     r.seq = seq;
@@ -132,7 +153,22 @@ void emit(Ev kind, int peer, int tag, std::uint64_t bytes, std::uint64_t seq, in
     r.kind = static_cast<std::uint8_t>(kind);
     r.family = family < 0 ? 0xff : static_cast<std::uint8_t>(family);
     r.alg = alg < 0 ? 0xff : static_cast<std::uint8_t>(alg);
-    rs->trace_ring->push(r);
+    r.pad = lane;
+    ring->push(r);
+}
+
+Ring* add_engine_ring(Universe& u, int thread_idx) {
+    (void)thread_idx;
+    std::lock_guard<std::mutex> lock(mutex());
+    if (!g_enabled) return nullptr;
+    u.engine_trace_rings.push_back(std::make_unique<Ring>(g_ring_events));
+    return u.engine_trace_rings.back().get();
+}
+
+void bind_thread_ring(Ring* ring, int thread_idx) {
+    t_engine_thread = true;
+    t_engine_ring = ring;
+    t_engine_idx = thread_idx;
 }
 
 // ---------------------------------------------------------------------------
@@ -222,9 +258,24 @@ void write_chrome_json(std::string const& path, LastRun const& run) {
                      "\"args\":{\"name\":\"rank %d (node %d)\"}}",
                      rank, rank, node);
     }
+    // Progress-engine lanes follow the rank lanes (Record::pad = 1 + thread
+    // index for engine-emitted records, 0 for rank-thread records).
+    int max_lane = 0;
+    for (Record const& r : run.records) max_lane = std::max<int>(max_lane, r.pad);
+    for (int lane = 1; lane <= max_lane; ++lane) {
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\","
+                     "\"args\":{\"name\":\"progress %d\"}}",
+                     run.world_size + lane - 1, lane - 1);
+    }
+    auto tid_of = [&](Record const& r) {
+        return r.pad == 0 ? r.rank : run.world_size + r.pad - 1;
+    };
 
     for (std::size_t i = 0; i < run.records.size(); ++i) {
         Record const& r = run.records[i];
+        int const tid = tid_of(r);
         double const ts = r.vtime * 1e6;  // trace-event timestamps are in us
         auto const kind = static_cast<Ev>(r.kind);
         switch (kind) {
@@ -233,27 +284,27 @@ void write_chrome_json(std::string const& path, LastRun const& run) {
                 std::fprintf(f,
                              "{\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%.6f,\"name\":\"%s\","
                              "\"cat\":\"coll\",\"args\":{\"bytes\":%llu,\"seq\":%llu}}",
-                             r.rank, ts, coll_name(r).c_str(),
+                             tid, ts, coll_name(r).c_str(),
                              static_cast<unsigned long long>(r.bytes),
                              static_cast<unsigned long long>(r.seq));
                 break;
             case Ev::coll_exit:
                 sep();
-                std::fprintf(f, "{\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%.6f}", r.rank, ts);
+                std::fprintf(f, "{\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%.6f}", tid, ts);
                 break;
             case Ev::wait_begin:
                 sep();
                 std::fprintf(f,
                              "{\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%.6f,"
                              "\"name\":\"wait\",\"cat\":\"p2p\"}",
-                             r.rank, ts);
+                             tid, ts);
                 break;
             case Ev::wait_end:
                 sep();
                 std::fprintf(f,
                              "{\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%.6f,"
                              "\"args\":{\"wall_ns\":%llu}}",
-                             r.rank, ts, static_cast<unsigned long long>(r.bytes));
+                             tid, ts, static_cast<unsigned long long>(r.bytes));
                 break;
             default:
                 sep();
@@ -261,7 +312,7 @@ void write_chrome_json(std::string const& path, LastRun const& run) {
                              "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.6f,\"name\":\"%s\","
                              "\"cat\":\"%s\",\"s\":\"t\",\"args\":{\"peer\":%d,\"tag\":%d,"
                              "\"bytes\":%llu,\"seq\":%llu}}",
-                             r.rank, ts, ev_name(kind),
+                             tid, ts, ev_name(kind),
                              kind == Ev::send || kind == Ev::post || kind == Ev::recv_done
                                  ? "p2p"
                                  : "sched",
@@ -275,7 +326,7 @@ void write_chrome_json(std::string const& path, LastRun const& run) {
             std::fprintf(f,
                          "{\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%.6f,\"name\":\"msg\","
                          "\"cat\":\"msg\",\"id\":%lld%s}",
-                         start ? "s" : "f", r.rank, ts,
+                         start ? "s" : "f", tid, ts,
                          static_cast<long long>(flow_id[i]), start ? "" : ",\"bp\":\"e\"");
         }
     }
@@ -312,6 +363,16 @@ void end_universe(Universe& u) {
         run.records.insert(run.records.end(), snap.begin(), snap.end());
         rs->trace_ring.reset();
     }
+    // Progress-engine rings (their threads joined in progress::stop, before
+    // this runs). Records keep the owning rank in Record::rank; the exporter
+    // routes them to "progress <idx>" lanes via Record::pad.
+    for (auto& ring : u.engine_trace_rings) {
+        run.recorded += ring->recorded();
+        run.dropped += ring->dropped();
+        auto snap = ring->snapshot();
+        run.records.insert(run.records.end(), snap.begin(), snap.end());
+    }
+    u.engine_trace_rings.clear();
     // Merge lanes into one timeline. stable_sort keeps each rank's records
     // in program order across equal timestamps.
     std::stable_sort(run.records.begin(), run.records.end(),
@@ -388,7 +449,7 @@ struct Pvar {
 
 struct CounterField {
     char const* name;
-    std::uint64_t Counters::*field;
+    xmpi::Stat Counters::*field;
 };
 
 /// Every Counters field, by name. The static_assert below pins the struct
@@ -428,7 +489,10 @@ std::vector<Pvar> build_pvar_table() {
         t.push_back({cf.name, 1,
                      [field = cf.field](unsigned long long* out) {
                          return read_in_rank(
-                             [field](RankState* rs) { return rs->counters.*field; }, out);
+                             [field](RankState* rs) {
+                                 return static_cast<unsigned long long>(rs->counters.*field);
+                             },
+                             out);
                      },
                      nullptr});
     }
@@ -540,6 +604,53 @@ std::vector<Pvar> build_pvar_table() {
     t.push_back({"shm.copies", 1, shm_field(1), nullptr});
     t.push_back({"shm.copy_bytes", 1, shm_field(2), nullptr});
     t.push_back({"shm.drains", 1, shm_field(3), nullptr});
+
+    // Asynchronous progress engine (src/xmpi/progress): effective
+    // enablement, the process-wide engine statistics, and the per-rank
+    // count of wait/test-side progress calls (zero for a schedule the
+    // engine owned — the overlap tests pin exactly that).
+    t.push_back({"progress.enabled", 1,
+                 [](unsigned long long* out) {
+                     *out = progress::enabled() ? 1 : 0;
+                     return MPI_SUCCESS;
+                 },
+                 nullptr});
+    auto progress_field = [](int idx) {
+        return [idx](unsigned long long* out) {
+            progress::Stats const s = progress::stats();
+            switch (idx) {
+                case 0: *out = s.schedules_offloaded; break;
+                case 1: *out = s.schedules_kept_sync; break;
+                case 2: *out = s.steps_advanced; break;
+                case 3: *out = s.completions; break;
+                case 4: *out = s.wakeups; break;
+                case 5: *out = s.idle_parks; break;
+                default: *out = s.handoff_ns; break;
+            }
+            return MPI_SUCCESS;
+        };
+    };
+    t.push_back({"progress.schedules_offloaded", 1, progress_field(0), nullptr});
+    t.push_back({"progress.schedules_kept_sync", 1, progress_field(1), nullptr});
+    t.push_back({"progress.steps_advanced", 1, progress_field(2), nullptr});
+    t.push_back({"progress.completions", 1, progress_field(3), nullptr});
+    t.push_back({"progress.wakeups", 1, progress_field(4), nullptr});
+    t.push_back({"progress.idle_parks", 1, progress_field(5), nullptr});
+    t.push_back({"progress.handoff_ns", 1, progress_field(6), nullptr});
+    t.push_back({"progress.app_progress_calls", 1,
+                 [](unsigned long long* out) {
+                     return read_in_rank(
+                         [](RankState* rs) {
+                             return static_cast<unsigned long long>(rs->app_progress_calls);
+                         },
+                         out);
+                 },
+                 [] {
+                     RankState* const rs = tls_rank();
+                     if (rs == nullptr) return MPI_ERR_OTHER;
+                     rs->app_progress_calls = 0;
+                     return MPI_SUCCESS;
+                 }});
 
     for (int f = 0; f < alg::kFamilies; ++f) {
         auto const fam = static_cast<alg::Family>(f);

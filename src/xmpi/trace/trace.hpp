@@ -55,9 +55,16 @@ enum class Ev : std::uint8_t {
                      ///< (tag = rendezvous cell id, bytes = published size)
     step_copy_get,   ///< executor copied directly out of a peer buffer
                      ///< (peer = producer world, tag = cell id)
+    prog_offload,    ///< armed schedule handed to the progress engine
+                     ///< (emitted by the initiating app thread; bytes =
+                     ///< schedule comm_bytes)
+    prog_step,       ///< progress thread advanced an offloaded schedule
+                     ///< (peer = steps advanced this pass, rank = owner)
+    prog_complete,   ///< progress thread completed an offloaded schedule
+                     ///< (bytes = error code, rank = owner)
 };
 
-inline constexpr int kEvKinds = 20;
+inline constexpr int kEvKinds = 23;
 
 /// Human-readable name for an event kind (used by the JSON exporter and
 /// tests). Returns "?" for out-of-range values.
@@ -120,9 +127,24 @@ extern std::atomic<bool> g_on;
 
 inline bool on() { return g_on.load(std::memory_order_relaxed); }
 
-/// Out-of-line slow path: resolves tls_rank() and appends to its ring.
+/// Out-of-line slow path: resolves tls_rank() and appends to its ring (or
+/// to the calling thread's bound engine ring, see bind_thread_ring).
 void emit(Ev kind, int peer, int tag, std::uint64_t bytes, std::uint64_t seq,
           int family = -1, int alg = -1);
+
+/// Allocates and registers a ring for one asynchronous-progress-engine
+/// thread of the running traced universe; returns nullptr when tracing is
+/// off. Engine rings are merged at end_universe and exported on their own
+/// "progress <idx>" lane (records still carry the *owning* rank in
+/// Record::rank, so flow pairing and attribution see the same identities
+/// as a synchronous run).
+Ring* add_engine_ring(Universe& u, int thread_idx);
+
+/// Marks the calling thread as an engine thread and binds its trace
+/// emission to `ring` (records are tagged with lane `1 + thread_idx` in
+/// Record::pad). With `ring == nullptr` the thread's events are dropped —
+/// an engine thread must never write the owning rank's single-writer ring.
+void bind_thread_ring(Ring* ring, int thread_idx);
 
 /// The hook: call freely from any hot path.
 inline void ev(Ev kind, int peer, int tag, std::uint64_t bytes,

@@ -37,6 +37,17 @@ struct ShmPin {
     ShmPin& operator=(ShmPin const&) = delete;
 };
 
+/// Pins the asynchronous progress engine on (1) or off (0) for the scope
+/// via the XMPI_T_progress_set control channel (beats XMPI_ASYNC_PROGRESS,
+/// so tests behave identically under the progress-on CI leg). The
+/// destructor restores automatic resolution from the environment.
+struct ProgressPin {
+    explicit ProgressPin(int on) { XMPI_T_progress_set(on); }
+    ~ProgressPin() { XMPI_T_progress_set(-1); }
+    ProgressPin(ProgressPin const&) = delete;
+    ProgressPin& operator=(ProgressPin const&) = delete;
+};
+
 /// Pins the pipeline segment size (bytes) for the scope via the
 /// XMPI_T_segment_set control channel (beats XMPI_SEGMENT_BYTES, so tests
 /// behave identically under the forced-segment CI matrix). The destructor
